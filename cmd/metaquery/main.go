@@ -1,0 +1,116 @@
+// Command metaquery answers a metaquery over a CSV database directory.
+//
+// Usage:
+//
+//	metaquery -db DIR -query "R(X,Z) <- P(X,Y), Q(Y,Z)" \
+//	    [-type 0|1|2] [-min-sup R] [-min-cnf R] [-min-cvr R] \
+//	    [-naive] [-limit N] [-stats]
+//
+// The database directory holds one CSV file per relation (rows are tuples;
+// the file name without extension is the relation name). Thresholds are
+// exact rationals written as "1/2", "0.5" or "0"; every comparison is
+// strict (index > threshold), as in the paper. Omitted thresholds are
+// unconstrained.
+//
+// Example:
+//
+//	metaquery -db ./testdata/telecom -query 'R(X,Z) <- P(X,Y), Q(Y,Z)' \
+//	    -type 1 -min-cnf 1/2 -min-sup 1/4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/mqgo/metaquery"
+)
+
+func main() {
+	var (
+		dbDir   = flag.String("db", "", "directory of CSV files, one per relation (required)")
+		query   = flag.String("query", "", "metaquery, e.g. \"R(X,Z) <- P(X,Y), Q(Y,Z)\" (required)")
+		typN    = flag.Int("type", 0, "instantiation type: 0, 1 or 2")
+		minSup  = flag.String("min-sup", "", "strict support threshold (rational), empty = unconstrained")
+		minCnf  = flag.String("min-cnf", "", "strict confidence threshold (rational), empty = unconstrained")
+		minCvr  = flag.String("min-cvr", "", "strict cover threshold (rational), empty = unconstrained")
+		naive   = flag.Bool("naive", false, "use the naive reference engine instead of findRules")
+		limit   = flag.Int("limit", 0, "stop after N answers (0 = all; findRules engine only)")
+		showSts = flag.Bool("stats", false, "print engine search statistics")
+	)
+	flag.Parse()
+	if err := run(*dbDir, *query, *typN, *minSup, *minCnf, *minCvr, *naive, *limit, *showSts); err != nil {
+		fmt.Fprintln(os.Stderr, "metaquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dbDir, query string, typN int, minSup, minCnf, minCvr string, naive bool, limit int, showStats bool) error {
+	if dbDir == "" || query == "" {
+		return fmt.Errorf("both -db and -query are required (see -help)")
+	}
+	if typN < 0 || typN > 2 {
+		return fmt.Errorf("-type must be 0, 1 or 2")
+	}
+	db, err := metaquery.LoadCSVDir(dbDir)
+	if err != nil {
+		return err
+	}
+	mq, err := metaquery.Parse(query)
+	if err != nil {
+		return err
+	}
+
+	var th metaquery.Thresholds
+	set := func(s string, k *metaquery.Rat, check *bool) error {
+		if s == "" {
+			return nil
+		}
+		r, err := metaquery.ParseRat(s)
+		if err != nil {
+			return err
+		}
+		*k, *check = r, true
+		return nil
+	}
+	if err := set(minSup, &th.Sup, &th.CheckSup); err != nil {
+		return err
+	}
+	if err := set(minCnf, &th.Cnf, &th.CheckCnf); err != nil {
+		return err
+	}
+	if err := set(minCvr, &th.Cvr, &th.CheckCvr); err != nil {
+		return err
+	}
+
+	typ := metaquery.InstType(typN)
+	var answers []metaquery.Answer
+	if naive {
+		answers, err = metaquery.NaiveFindRules(db, mq, typ, th)
+		if err != nil {
+			return err
+		}
+	} else {
+		var stats *metaquery.Stats
+		answers, stats, err = metaquery.FindRulesStats(db, mq, metaquery.Options{
+			Type: typ, Thresholds: th, Limit: limit,
+		})
+		if err != nil {
+			return err
+		}
+		if showStats {
+			fmt.Printf("# width=%d nodes=%d candidates=%d pruned_empty=%d pruned_support=%d bodies=%d heads=%d\n",
+				stats.Width, stats.Nodes, stats.BodyCandidatesTried, stats.BodiesPrunedEmpty,
+				stats.BodiesPrunedSupport, stats.BodiesReachedRoot, stats.HeadsTried)
+		}
+	}
+
+	fmt.Printf("# database: %d relations, %d tuples; %s instantiations\n",
+		db.NumRelations(), db.Size(), typ)
+	fmt.Printf("# %d answers\n", len(answers))
+	for _, a := range answers {
+		fmt.Printf("%-60s sup=%-8s cnf=%-8s cvr=%-8s\n", a.Rule.String(),
+			a.Sup.String(), a.Cnf.String(), a.Cvr.String())
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTelecomCSV writes a small CSV database for CLI tests.
+func writeTelecomCSV(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"citizen.csv":  "john,italy\nmaria,italy\n",
+		"language.csv": "italy,italian\n",
+		"speaks.csv":   "john,italian\nmaria,italian\n",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestRunBasic(t *testing.T) {
+	dir := writeTelecomCSV(t)
+	if err := run(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "1/2", "0.9", "", false, 0, false); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}
+
+func TestRunNaiveEngine(t *testing.T) {
+	dir := writeTelecomCSV(t)
+	if err := run(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 1, "", "1/2", "", true, 0, false); err != nil {
+		t.Fatalf("naive run failed: %v", err)
+	}
+}
+
+func TestRunWithStatsAndLimit(t *testing.T) {
+	dir := writeTelecomCSV(t)
+	if err := run(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 2, "0", "", "0", false, 1, true); err != nil {
+		t.Fatalf("stats/limit run failed: %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	dir := writeTelecomCSV(t)
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"missing db", func() error { return run("", "R(X) <- P(X)", 0, "", "", "", false, 0, false) }},
+		{"missing query", func() error { return run(dir, "", 0, "", "", "", false, 0, false) }},
+		{"bad type", func() error { return run(dir, "R(X) <- P(X)", 7, "", "", "", false, 0, false) }},
+		{"bad query", func() error { return run(dir, "not a query", 0, "", "", "", false, 0, false) }},
+		{"bad threshold", func() error {
+			return run(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "x/y", "", "", false, 0, false)
+		}},
+		{"bad cnf threshold", func() error {
+			return run(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "", "-1", "", false, 0, false)
+		}},
+		{"bad cvr threshold", func() error {
+			return run(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "", "", "2/0", false, 0, false)
+		}},
+		{"missing dir", func() error { return run(dir+"/nope", "R(X) <- P(X)", 0, "", "", "", false, 0, false) }},
+	}
+	for _, c := range cases {
+		if c.err() == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestRunImpureQueryType0Fails(t *testing.T) {
+	dir := writeTelecomCSV(t)
+	// Impure metaquery under type-0 must surface the core validation error.
+	if err := run(dir, "P(X) <- P(X,Y)", 0, "", "", "", false, 0, false); err == nil {
+		t.Error("impure metaquery accepted under type-0")
+	}
+}

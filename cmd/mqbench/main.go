@@ -1,0 +1,55 @@
+// Command mqbench runs the paper-reproduction experiment harness: one
+// experiment per artifact of the paper (worked examples, Figure 5
+// complexity rows, Section 4 algorithm bounds), printing each result as a
+// table with a PASS/FAIL reproduction verdict. EXPERIMENTS.md records the
+// outputs of a full run.
+//
+// Usage:
+//
+//	mqbench               # run all experiments
+//	mqbench -exp E4       # run one experiment
+//	mqbench -quick        # smaller instances (CI-speed)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/mqgo/metaquery/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment ID (e.g. E4); empty = all")
+		quick = flag.Bool("quick", false, "use smaller instances")
+	)
+	flag.Parse()
+	if err := run(*exp, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "mqbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, quick bool) error {
+	ids := experiments.IDs()
+	if exp != "" {
+		ids = []string{exp}
+	}
+	failed := 0
+	for _, id := range ids {
+		res, err := experiments.Run(id, quick)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(res)
+		if !res.Pass {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failed)
+	}
+	fmt.Printf("all %d experiments passed\n", len(ids))
+	return nil
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperimentQuick(t *testing.T) {
+	if err := run("E1", true); err != nil {
+		t.Fatalf("E1 quick: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("E999", true); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunExampleExperiments(t *testing.T) {
+	// The cheap example-reproduction experiments; the full sweep runs in
+	// the experiments package tests and via the CLI.
+	for _, id := range []string{"E2", "E3", "E15", "E16", "E19"} {
+		if err := run(id, true); err != nil {
+			t.Errorf("%s quick: %v", id, err)
+		}
+	}
+}

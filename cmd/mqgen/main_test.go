@@ -1,0 +1,66 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/mqgo/metaquery"
+)
+
+func TestGenerateKinds(t *testing.T) {
+	cases := []struct {
+		kind      string
+		relations int // expected relation count, -1 = skip check
+	}{
+		{"random", 3},
+		{"chain", 4},
+		{"db1", 3},
+		{"db1ext", 3},
+	}
+	for _, c := range cases {
+		dir := filepath.Join(t.TempDir(), c.kind)
+		if err := run(dir, c.kind, 3, 2, 20, 10, 4, 5, 1); err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		db, err := metaquery.LoadCSVDir(dir)
+		if err != nil {
+			t.Fatalf("%s: reload: %v", c.kind, err)
+		}
+		if c.relations >= 0 && db.NumRelations() != c.relations {
+			t.Errorf("%s: %d relations, want %d", c.kind, db.NumRelations(), c.relations)
+		}
+		if db.Size() == 0 {
+			t.Errorf("%s: empty database", c.kind)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	d1 := filepath.Join(t.TempDir(), "a")
+	d2 := filepath.Join(t.TempDir(), "b")
+	for _, d := range []string{d1, d2} {
+		if err := run(d, "random", 2, 2, 15, 6, 0, 0, 42); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := metaquery.LoadCSVDir(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := metaquery.LoadCSVDir(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != b.Size() {
+		t.Errorf("same seed produced different sizes: %d vs %d", a.Size(), b.Size())
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if err := run("", "random", 1, 1, 1, 1, 1, 1, 1); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run(t.TempDir(), "bogus", 1, 1, 1, 1, 1, 1, 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package metaquery_test
+
+import (
+	"fmt"
+
+	"github.com/mqgo/metaquery"
+)
+
+// ExampleFindRules mines the paper's introductory rule (2).
+func ExampleFindRules() {
+	db := metaquery.NewDatabase()
+	db.MustInsertNamed("citizen", "john", "italy")
+	db.MustInsertNamed("citizen", "maria", "italy")
+	db.MustInsertNamed("language", "italy", "italian")
+	db.MustInsertNamed("speaks", "john", "italian")
+	db.MustInsertNamed("speaks", "maria", "italian")
+
+	mq := metaquery.MustParse("R(X,Z) <- P(X,Y), Q(Y,Z)")
+	answers, err := metaquery.FindRules(db, mq, metaquery.Options{
+		Type: metaquery.Type0,
+		Thresholds: metaquery.AllAbove(
+			metaquery.MustRat("1/2"), metaquery.MustRat("0.9"), metaquery.MustRat("0.9")),
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, a := range answers {
+		fmt.Printf("%s cnf=%v\n", a.Rule, a.Cnf)
+	}
+	// Output:
+	// speaks(X,Z) <- citizen(X,Y), language(Y,Z) cnf=1
+}
+
+// ExampleParse shows the textual metaquery syntax.
+func ExampleParse() {
+	mq, err := metaquery.Parse(`"UsPT"(X,Z) <- P(X,Y), Q(Y,Z)`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(mq)
+	fmt.Println("pure:", mq.IsPure(), "acyclic:", mq.IsAcyclic())
+	// Output:
+	// UsPT(X,Z) <- P(X,Y), Q(Y,Z)
+	// pure: true acyclic: false
+}
+
+// ExampleDecide solves one of the paper's decision problems
+// ⟨DB, MQ, I, k, T⟩ and inspects the witness.
+func ExampleDecide() {
+	db := metaquery.NewDatabase()
+	db.MustInsertNamed("p", "a", "b")
+	db.MustInsertNamed("q", "b", "c")
+	db.MustInsertNamed("r", "a", "c")
+
+	mq := metaquery.MustParse("R(X,Z) <- P(X,Y), Q(Y,Z)")
+	yes, witness, err := metaquery.Decide(db, mq, metaquery.Cnf, metaquery.MustRat("1/2"), metaquery.Type0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("decidable above 1/2:", yes)
+	rule, _ := witness.Apply(mq)
+	fmt.Println("witness:", rule)
+	// Output:
+	// decidable above 1/2: true
+	// witness: r(X,Z) <- p(X,Y), q(Y,Z)
+}
+
+// ExampleSupport evaluates the indices of a hand-built rule.
+func ExampleSupport() {
+	db := metaquery.NewDatabase()
+	db.MustInsertNamed("buys", "ann", "bread")
+	db.MustInsertNamed("buys", "bob", "bread")
+	db.MustInsertNamed("likes", "ann", "bread")
+
+	mq := metaquery.MustParse("L(X,Y) <- B(X,Y)")
+	answers, _ := metaquery.FindRules(db, mq, metaquery.Options{Type: metaquery.Type0})
+	for _, a := range answers {
+		if a.Rule.String() == "likes(X,Y) <- buys(X,Y)" {
+			fmt.Printf("sup=%v cnf=%v cvr=%v\n", a.Sup, a.Cnf, a.Cvr)
+		}
+	}
+	// Output:
+	// sup=1 cnf=1/2 cvr=1
+}

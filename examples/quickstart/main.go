@@ -1,0 +1,60 @@
+// Quickstart: discover the paper's introductory rule
+//
+//	speaks(X,Z) <- citizen(X,Y), language(Y,Z)
+//
+// from a small database using the transitive metaquery
+// R(X,Z) <- P(X,Y), Q(Y,Z), and print every answer with its plausibility
+// indices.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/mqgo/metaquery"
+)
+
+func main() {
+	// Build a database: who is a citizen of which country, which country
+	// speaks which language, and who speaks what.
+	db := metaquery.NewDatabase()
+	rows := [][3]string{
+		{"citizen", "john", "italy"},
+		{"citizen", "maria", "italy"},
+		{"citizen", "pierre", "france"},
+		{"citizen", "sofia", "spain"},
+		{"language", "italy", "italian"},
+		{"language", "france", "french"},
+		{"language", "spain", "spanish"},
+		{"speaks", "john", "italian"},
+		{"speaks", "maria", "italian"},
+		{"speaks", "pierre", "french"},
+		{"speaks", "sofia", "spanish"},
+		{"speaks", "sofia", "italian"}, // sofia also speaks Italian
+	}
+	for _, r := range rows {
+		db.MustInsertNamed(r[0], r[1], r[2])
+	}
+
+	// The metaquery: second-order variables R, P, Q range over relations.
+	mq := metaquery.MustParse("R(X,Z) <- P(X,Y), Q(Y,Z)")
+	fmt.Println("metaquery:", mq)
+
+	// Ask for rules with confidence > 0.9 and support > 0.5 (strict).
+	answers, err := metaquery.FindRules(db, mq, metaquery.Options{
+		Type: metaquery.Type0,
+		Thresholds: metaquery.AllAbove(
+			metaquery.MustRat("0.5"), // support
+			metaquery.MustRat("0.9"), // confidence
+			metaquery.MustRat("0"),   // cover
+		),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d rule(s) with sup > 1/2 and cnf > 9/10:\n", len(answers))
+	for _, a := range answers {
+		fmt.Printf("  %-55s sup=%v cnf=%v cvr=%v\n", a.Rule, a.Sup, a.Cnf, a.Cvr)
+	}
+}

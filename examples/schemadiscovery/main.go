@@ -1,0 +1,89 @@
+// Schema discovery: the introduction notes that metaqueries "can be
+// automatically generated from the database schema". This example generates
+// every pure chain metaquery shape up to a given body length, runs each
+// against a database, and reports the strongest discovered rules — a
+// miniature version of the automated discovery loop of Leng and Shen.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"github.com/mqgo/metaquery"
+)
+
+// generateChainMetaqueries emits R(X0,Xm) <- P1(X0,X1), ..., Pm(Xm-1,Xm)
+// for m = 1..maxLen, plus the symmetric variant with a shared endpoint
+// head R(X0,X1).
+func generateChainMetaqueries(maxLen int) []*metaquery.Metaquery {
+	var out []*metaquery.Metaquery
+	for m := 1; m <= maxLen; m++ {
+		body := ""
+		for i := 0; i < m; i++ {
+			if i > 0 {
+				body += ", "
+			}
+			body += fmt.Sprintf("P%d(X%d,X%d)", i+1, i, i+1)
+		}
+		out = append(out,
+			metaquery.MustParse(fmt.Sprintf("R(X0,X%d) <- %s", m, body)))
+	}
+	return out
+}
+
+func main() {
+	// A genealogy-flavoured database with a derivable "grandparent".
+	db := metaquery.NewDatabase()
+	rows := [][3]string{
+		{"parent", "ada", "bob"},
+		{"parent", "bob", "cid"},
+		{"parent", "bob", "dee"},
+		{"parent", "eva", "fay"},
+		{"parent", "fay", "gus"},
+		{"grandparent", "ada", "cid"},
+		{"grandparent", "ada", "dee"},
+		{"grandparent", "eva", "gus"},
+		{"sibling", "cid", "dee"},
+	}
+	for _, r := range rows {
+		db.MustInsertNamed(r[0], r[1], r[2])
+	}
+
+	type hit struct {
+		rule string
+		cnf  metaquery.Rat
+		cvr  metaquery.Rat
+	}
+	var hits []hit
+	for _, mq := range generateChainMetaqueries(3) {
+		answers, err := metaquery.FindRules(db, mq, metaquery.Options{
+			Type: metaquery.Type0,
+			Thresholds: metaquery.AllAbove(
+				metaquery.MustRat("0"), metaquery.MustRat("3/4"), metaquery.MustRat("3/4")),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, a := range answers {
+			// Skip rules whose head relation also appears in the body
+			// (tautological chains like parent <- parent).
+			self := false
+			for _, b := range a.Rule.Body {
+				if b.Pred == a.Rule.Head.Pred {
+					self = true
+				}
+			}
+			if !self {
+				hits = append(hits, hit{a.Rule.String(), a.Cnf, a.Cvr})
+			}
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].rule < hits[j].rule })
+
+	fmt.Println("auto-generated chain metaqueries up to length 3;")
+	fmt.Println("rules with cnf > 3/4 and cvr > 3/4, head not in body:")
+	for _, h := range hits {
+		fmt.Printf("  %-60s cnf=%v cvr=%v\n", h.rule, h.cnf, h.cvr)
+	}
+}

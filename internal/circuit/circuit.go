@@ -1,0 +1,237 @@
+// Package circuit implements the bounded-depth circuit substrate of the
+// paper's data-complexity results (Section 3.5): boolean circuits with
+// unbounded fan-in AND/OR/NOT and MAJORITY gates (Definitions 3.3/3.4),
+// arithmetic +/× gates in the #AC0 style (Definition 3.5), and the explicit
+// circuit families of Theorems 3.37 (metaquerying with k = 0 is in AC0) and
+// 3.38 (metaquerying is in TC0).
+//
+// The constructions follow the proofs: for a fixed metaquery, threshold and
+// instantiation type, a circuit family indexed by database size answers the
+// decision problem; depth is constant and size polynomial in the database.
+// The integer comparison b·|Qn| > a·|Qd| of Lemma 3.39 is realized by an
+// explicit comparator gate over the counting sub-circuits rather than a
+// MAJORITY-gate simulation of iterated addition; Proposition 3.8
+// (PAC0 = TC0) equates the two models. See DESIGN.md, "Substitutions".
+package circuit
+
+import (
+	"fmt"
+)
+
+// Kind enumerates gate kinds.
+type Kind int
+
+const (
+	// KInput is a named 0/1 input (one per potential database tuple).
+	KInput Kind = iota
+	// KConst is an integer constant.
+	KConst
+	// KAnd is unbounded fan-in boolean AND.
+	KAnd
+	// KOr is unbounded fan-in boolean OR.
+	KOr
+	// KNot is boolean negation.
+	KNot
+	// KMajority outputs 1 iff more than half of its inputs are non-zero
+	// (Definition 3.3).
+	KMajority
+	// KPlus is the unbounded fan-in arithmetic sum of #AC0.
+	KPlus
+	// KTimes is the unbounded fan-in arithmetic product of #AC0.
+	KTimes
+	// KGreater outputs 1 iff its first input is strictly greater than its
+	// second (the Lemma 3.39 comparator; see the package comment).
+	KGreater
+)
+
+// String names the gate kind.
+func (k Kind) String() string {
+	switch k {
+	case KInput:
+		return "input"
+	case KConst:
+		return "const"
+	case KAnd:
+		return "and"
+	case KOr:
+		return "or"
+	case KNot:
+		return "not"
+	case KMajority:
+		return "majority"
+	case KPlus:
+		return "plus"
+	case KTimes:
+		return "times"
+	case KGreater:
+		return "greater"
+	default:
+		return fmt.Sprintf("kind-%d", int(k))
+	}
+}
+
+type gate struct {
+	kind  Kind
+	args  []int
+	val   int64  // KConst
+	name  string // KInput
+	depth int
+}
+
+// Circuit is a DAG of gates with one output. Build circuits through the
+// constructor methods; gates are append-only.
+type Circuit struct {
+	gates  []gate
+	output int
+	inputs map[string]int
+}
+
+// New returns an empty circuit.
+func New() *Circuit {
+	return &Circuit{inputs: make(map[string]int)}
+}
+
+func (c *Circuit) add(g gate) int {
+	d := 0
+	for _, a := range g.args {
+		if c.gates[a].depth+1 > d {
+			d = c.gates[a].depth + 1
+		}
+	}
+	if g.kind == KInput || g.kind == KConst {
+		d = 0
+	}
+	g.depth = d
+	c.gates = append(c.gates, g)
+	return len(c.gates) - 1
+}
+
+// Input returns the gate index for the named input, creating it on first
+// use. Input names identify potential database tuples.
+func (c *Circuit) Input(name string) int {
+	if i, ok := c.inputs[name]; ok {
+		return i
+	}
+	i := c.add(gate{kind: KInput, name: name})
+	c.inputs[name] = i
+	return i
+}
+
+// Const returns a constant gate.
+func (c *Circuit) Const(v int64) int { return c.add(gate{kind: KConst, val: v}) }
+
+// And adds an AND gate. With no arguments it is the constant 1.
+func (c *Circuit) And(args ...int) int { return c.add(gate{kind: KAnd, args: args}) }
+
+// Or adds an OR gate. With no arguments it is the constant 0.
+func (c *Circuit) Or(args ...int) int { return c.add(gate{kind: KOr, args: args}) }
+
+// Not adds a NOT gate.
+func (c *Circuit) Not(x int) int { return c.add(gate{kind: KNot, args: []int{x}}) }
+
+// Majority adds a MAJORITY gate.
+func (c *Circuit) Majority(args ...int) int { return c.add(gate{kind: KMajority, args: args}) }
+
+// Plus adds an arithmetic sum gate.
+func (c *Circuit) Plus(args ...int) int { return c.add(gate{kind: KPlus, args: args}) }
+
+// Times adds an arithmetic product gate.
+func (c *Circuit) Times(args ...int) int { return c.add(gate{kind: KTimes, args: args}) }
+
+// Greater adds a strict comparison gate a > b.
+func (c *Circuit) Greater(a, b int) int { return c.add(gate{kind: KGreater, args: []int{a, b}}) }
+
+// SetOutput designates the output gate.
+func (c *Circuit) SetOutput(g int) { c.output = g }
+
+// NumInputs returns the number of input gates.
+func (c *Circuit) NumInputs() int { return len(c.inputs) }
+
+// Size returns the number of non-input, non-constant gates.
+func (c *Circuit) Size() int {
+	n := 0
+	for _, g := range c.gates {
+		if g.kind != KInput && g.kind != KConst {
+			n++
+		}
+	}
+	return n
+}
+
+// Depth returns the depth of the output gate (inputs and constants have
+// depth 0).
+func (c *Circuit) Depth() int { return c.gates[c.output].depth }
+
+// KindCounts returns how many gates of each kind the circuit contains.
+func (c *Circuit) KindCounts() map[Kind]int {
+	out := map[Kind]int{}
+	for _, g := range c.gates {
+		out[g.kind]++
+	}
+	return out
+}
+
+// Eval evaluates the circuit. Inputs absent from the assignment read 0.
+// Boolean gates treat any non-zero value as true and yield 0/1.
+func (c *Circuit) Eval(assign map[string]int64) int64 {
+	vals := make([]int64, len(c.gates))
+	for i, g := range c.gates {
+		switch g.kind {
+		case KInput:
+			vals[i] = assign[g.name]
+		case KConst:
+			vals[i] = g.val
+		case KAnd:
+			v := int64(1)
+			for _, a := range g.args {
+				if vals[a] == 0 {
+					v = 0
+					break
+				}
+			}
+			vals[i] = v
+		case KOr:
+			v := int64(0)
+			for _, a := range g.args {
+				if vals[a] != 0 {
+					v = 1
+					break
+				}
+			}
+			vals[i] = v
+		case KNot:
+			if vals[g.args[0]] == 0 {
+				vals[i] = 1
+			} else {
+				vals[i] = 0
+			}
+		case KMajority:
+			nz := 0
+			for _, a := range g.args {
+				if vals[a] != 0 {
+					nz++
+				}
+			}
+			if 2*nz > len(g.args) {
+				vals[i] = 1
+			}
+		case KPlus:
+			var v int64
+			for _, a := range g.args {
+				v += vals[a]
+			}
+			vals[i] = v
+		case KTimes:
+			v := int64(1)
+			for _, a := range g.args {
+				v *= vals[a]
+			}
+			vals[i] = v
+		case KGreater:
+			if vals[g.args[0]] > vals[g.args[1]] {
+				vals[i] = 1
+			}
+		}
+	}
+	return vals[c.output]
+}

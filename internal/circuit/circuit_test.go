@@ -1,0 +1,279 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+func TestGateEvaluation(t *testing.T) {
+	c := New()
+	x, y := c.Input("x"), c.Input("y")
+	and := c.And(x, y)
+	or := c.Or(x, y)
+	not := c.Not(x)
+	maj := c.Majority(x, y, c.Const(1))
+	plus := c.Plus(x, y, c.Const(3))
+	times := c.Times(c.Const(2), plus)
+	gt := c.Greater(times, c.Const(7))
+
+	eval := func(out int, asn map[string]int64) int64 {
+		c.SetOutput(out)
+		return c.Eval(asn)
+	}
+	one := map[string]int64{"x": 1, "y": 0}
+	if eval(and, one) != 0 || eval(or, one) != 1 || eval(not, one) != 0 {
+		t.Error("boolean gates wrong")
+	}
+	if eval(maj, one) != 1 { // 2 of 3 non-zero
+		t.Error("majority wrong")
+	}
+	if eval(plus, one) != 4 || eval(times, one) != 8 {
+		t.Error("arithmetic gates wrong")
+	}
+	if eval(gt, one) != 1 {
+		t.Error("greater wrong")
+	}
+	if eval(gt, map[string]int64{"x": 0, "y": 0}) != 0 { // 2*3 > 7 false
+		t.Error("greater boundary wrong")
+	}
+}
+
+func TestMajorityStrict(t *testing.T) {
+	c := New()
+	x, y := c.Input("x"), c.Input("y")
+	c.SetOutput(c.Majority(x, y))
+	// Exactly half non-zero is NOT a majority.
+	if c.Eval(map[string]int64{"x": 1, "y": 0}) != 0 {
+		t.Error("half inputs must not satisfy MAJORITY")
+	}
+	if c.Eval(map[string]int64{"x": 1, "y": 1}) != 1 {
+		t.Error("all inputs must satisfy MAJORITY")
+	}
+}
+
+func TestDepthAndSize(t *testing.T) {
+	c := New()
+	x := c.Input("x")
+	n := c.Not(x)
+	a := c.And(x, n)
+	o := c.Or(a, n)
+	c.SetOutput(o)
+	if c.Depth() != 3 {
+		t.Errorf("depth = %d, want 3", c.Depth())
+	}
+	if c.Size() != 3 {
+		t.Errorf("size = %d, want 3", c.Size())
+	}
+	if c.NumInputs() != 1 {
+		t.Errorf("inputs = %d", c.NumInputs())
+	}
+}
+
+func TestInputDedup(t *testing.T) {
+	c := New()
+	a := c.Input("p[0,1]")
+	b := c.Input("p[0,1]")
+	if a != b {
+		t.Error("duplicate input gates")
+	}
+}
+
+// randomDBWithSchema builds a database over constants "0".."d-1" using the
+// schema, interning all domain constants so values equal indices.
+func randomDBWithSchema(rng *rand.Rand, schema Schema, d, maxTuples int) *relation.Database {
+	db := relation.NewDatabase()
+	for i := 0; i < d; i++ {
+		db.Dict().Intern(itoa(i))
+	}
+	for _, rs := range schema {
+		db.MustAddRelation(rs.Name, rs.Arity)
+		for i := 0; i < rng.Intn(maxTuples+1); i++ {
+			row := make([]string, rs.Arity)
+			for j := range row {
+				row[j] = itoa(rng.Intn(d))
+			}
+			db.MustInsertNamed(rs.Name, row...)
+		}
+	}
+	return db
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// Theorem 3.37: the AC0 circuit decides ⟨DB, MQ, I, 0, T⟩ exactly.
+func TestExistsCircuitMatchesEngine(t *testing.T) {
+	schema := Schema{{"p", 2}, {"q", 2}}
+	mq := core.MustParse("R(X,Z) <- P(X,Y), Q(Y,Z)")
+	const d = 3
+	for _, typ := range []core.InstType{core.Type0, core.Type1} {
+		for _, ix := range core.AllIndices {
+			circ, err := BuildExistsMQ(schema, d, mq, ix, typ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := int64(0); seed < 25; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				db := randomDBWithSchema(rng, schema, d, 5)
+				asn, err := Assignment(db, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := circ.Eval(asn) != 0
+				want, _, err := core.Decide(db, mq, ix, rat.Zero, typ)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("%s %s seed %d: circuit = %v, engine = %v", typ, ix, seed, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Theorem 3.38: the TC0-style circuit decides ⟨DB, MQ, I, k, T⟩ exactly.
+func TestThresholdCircuitMatchesEngine(t *testing.T) {
+	schema := Schema{{"p", 2}, {"q", 2}}
+	mq := core.MustParse("R(X,Z) <- P(X,Y), Q(Y,Z)")
+	const d = 3
+	ks := []rat.Rat{rat.Zero, rat.New(1, 3), rat.New(1, 2), rat.New(3, 4)}
+	for _, ix := range core.AllIndices {
+		for _, k := range ks {
+			circ, err := BuildThresholdMQ(schema, d, mq, ix, k, core.Type0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := int64(0); seed < 20; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				db := randomDBWithSchema(rng, schema, d, 5)
+				asn, err := Assignment(db, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := circ.Eval(asn) != 0
+				want, _, err := core.Decide(db, mq, ix, k, core.Type0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("%s k=%v seed %d: circuit = %v, engine = %v", ix, k, seed, got, want)
+				}
+			}
+		}
+	}
+}
+
+// The family has constant depth and polynomially growing size as the
+// domain grows — the shape of Theorems 3.37/3.38.
+func TestCircuitFamilyShape(t *testing.T) {
+	schema := Schema{{"p", 2}, {"q", 2}}
+	mq := core.MustParse("R(X,Z) <- P(X,Y), Q(Y,Z)")
+	var depths []int
+	var sizes []int
+	for _, d := range []int{2, 3, 4, 5} {
+		circ, err := BuildExistsMQ(schema, d, mq, core.Cnf, core.Type0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		depths = append(depths, circ.Depth())
+		sizes = append(sizes, circ.Size())
+	}
+	for i := 1; i < len(depths); i++ {
+		if depths[i] != depths[0] {
+			t.Errorf("depth not constant across domain sizes: %v", depths)
+		}
+		if sizes[i] <= sizes[i-1] {
+			t.Errorf("size not growing: %v", sizes)
+		}
+	}
+	// Size must stay polynomial: for this query it is Θ(instantiations · d^3).
+	for i, d := range []int{2, 3, 4, 5} {
+		bound := 27 * (d*d*d + 10) * 4
+		if sizes[i] > bound {
+			t.Errorf("size %d at domain %d exceeds polynomial bound %d", sizes[i], d, bound)
+		}
+	}
+	// Threshold circuits likewise have constant depth.
+	var tDepths []int
+	for _, d := range []int{2, 3, 4} {
+		circ, err := BuildThresholdMQ(schema, d, mq, core.Cnf, rat.New(1, 2), core.Type0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tDepths = append(tDepths, circ.Depth())
+	}
+	for i := 1; i < len(tDepths); i++ {
+		if tDepths[i] != tDepths[0] {
+			t.Errorf("threshold depth not constant: %v", tDepths)
+		}
+	}
+}
+
+// With constants in certifying sets (via fully instantiated metaqueries)
+// the circuits still agree; also tests the sup variant on a one-atom body.
+func TestCircuitSingleAtomBody(t *testing.T) {
+	schema := Schema{{"p", 2}, {"q", 2}}
+	mq := core.MustParse("Q(X,Y) <- P(X,Y)")
+	const d = 3
+	circ, err := BuildThresholdMQ(schema, d, mq, core.Cvr, rat.New(1, 2), core.Type1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomDBWithSchema(rng, schema, d, 4)
+		asn, err := Assignment(db, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := circ.Eval(asn) != 0
+		want, _, err := core.Decide(db, mq, core.Cvr, rat.New(1, 2), core.Type1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("seed %d: circuit = %v, engine = %v", seed, got, want)
+		}
+	}
+}
+
+func TestAssignmentDomainCheck(t *testing.T) {
+	db := relation.NewDatabase()
+	db.MustInsertNamed("p", "a", "b")
+	db.MustInsertNamed("p", "c", "d")
+	if _, err := Assignment(db, 2); err == nil {
+		t.Error("oversized active domain accepted")
+	}
+	if _, err := Assignment(db, 4); err != nil {
+		t.Errorf("valid domain rejected: %v", err)
+	}
+}
+
+func TestKindCountsAndStrings(t *testing.T) {
+	c := New()
+	x := c.Input("x")
+	c.SetOutput(c.And(x, c.Or(x)))
+	counts := c.KindCounts()
+	if counts[KInput] != 1 || counts[KAnd] != 1 || counts[KOr] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	for k := KInput; k <= KGreater; k++ {
+		if k.String() == "" {
+			t.Error("empty kind name")
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package circuit
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// RelSchema fixes one relation's name and arity; under the data complexity
+// measure the database schema is fixed in advance (Section 3.2).
+type RelSchema struct {
+	Name  string
+	Arity int
+}
+
+// Schema is a fixed database schema.
+type Schema []RelSchema
+
+// SchemaOf extracts the schema of a concrete database.
+func SchemaOf(db *relation.Database) Schema {
+	var s Schema
+	for _, name := range db.RelationNames() {
+		s = append(s, RelSchema{Name: name, Arity: db.Relation(name).Arity()})
+	}
+	return s
+}
+
+// prototype builds an empty database with the schema, used to enumerate
+// instantiations (which depend only on relation names and arities).
+func (s Schema) prototype() *relation.Database {
+	db := relation.NewDatabase()
+	for _, r := range s {
+		db.MustAddRelation(r.Name, r.Arity)
+	}
+	return db
+}
+
+// InputName names the circuit input bit for tuple t of relation rel;
+// domain elements are identified with 0..d-1.
+func InputName(rel string, t []int) string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = fmt.Sprint(v)
+	}
+	return rel + "[" + strings.Join(parts, ",") + "]"
+}
+
+// Assignment encodes a database over a domain of size <= d as circuit
+// inputs: the bit for tuple t of relation r is 1 iff t ∈ r. Database values
+// are identified with their dictionary indices, which must be < d.
+func Assignment(db *relation.Database, d int) (map[string]int64, error) {
+	if db.Dict().Size() > d {
+		return nil, fmt.Errorf("circuit: database active domain %d exceeds circuit domain %d", db.Dict().Size(), d)
+	}
+	out := make(map[string]int64)
+	for _, name := range db.RelationNames() {
+		for _, tup := range db.Relation(name).Tuples() {
+			t := make([]int, len(tup))
+			for i, v := range tup {
+				t[i] = int(v)
+			}
+			out[InputName(name, t)] = 1
+		}
+	}
+	return out, nil
+}
+
+// atomBit returns the input gate for atom a under the variable assignment
+// asn (variable -> domain element); constant terms use their values
+// directly. ok is false when a constant exceeds the domain.
+func atomBit(c *Circuit, a relation.Atom, asn map[string]int, d int) (int, bool) {
+	t := make([]int, len(a.Terms))
+	for i, term := range a.Terms {
+		if term.IsVar() {
+			t[i] = asn[term.Var]
+		} else {
+			if int(term.Const) >= d {
+				return 0, false
+			}
+			t[i] = int(term.Const)
+		}
+	}
+	return c.Input(InputName(a.Pred, t)), true
+}
+
+// forEachAssignment enumerates all maps vars -> {0..d-1}.
+func forEachAssignment(vars []string, d int, f func(map[string]int)) {
+	asn := make(map[string]int, len(vars))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(vars) {
+			f(asn)
+			return
+		}
+		for v := 0; v < d; v++ {
+			asn[vars[i]] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// cqSatGate builds the depth-2 OR-of-ANDs deciding whether the atom set is
+// satisfiable over the domain: OR over substitutions of AND over atom bits
+// (the conjunctive-query circuits of [6] used in Theorem 3.37's proof).
+func cqSatGate(c *Circuit, atoms []relation.Atom, d int) int {
+	vars := relation.AtomsVars(atoms)
+	var ors []int
+	forEachAssignment(vars, d, func(asn map[string]int) {
+		var ands []int
+		ok := true
+		for _, a := range atoms {
+			bit, valid := atomBit(c, a, asn, d)
+			if !valid {
+				ok = false
+				break
+			}
+			ands = append(ands, bit)
+		}
+		if ok {
+			ors = append(ors, c.And(ands...))
+		}
+	})
+	return c.Or(ors...)
+}
+
+// countGate builds the #AC0-style counting circuit for the number of
+// distinct outVars-assignments that satisfy all atoms (extensions over the
+// remaining variables are absorbed by an inner OR): the circuits
+// {count(Q)_i} of Theorem 3.38's proof.
+func countGate(c *Circuit, atoms []relation.Atom, outVars []string, d int) int {
+	all := relation.AtomsVars(atoms)
+	inner := make([]string, 0, len(all))
+	outSet := map[string]bool{}
+	for _, v := range outVars {
+		outSet[v] = true
+	}
+	for _, v := range all {
+		if !outSet[v] {
+			inner = append(inner, v)
+		}
+	}
+	var bits []int
+	forEachAssignment(outVars, d, func(outer map[string]int) {
+		fixed := make(map[string]int, len(outer))
+		for k, v := range outer {
+			fixed[k] = v
+		}
+		var ors []int
+		forEachAssignment(inner, d, func(innerAsn map[string]int) {
+			asn := make(map[string]int, len(fixed)+len(innerAsn))
+			for k, v := range fixed {
+				asn[k] = v
+			}
+			for k, v := range innerAsn {
+				asn[k] = v
+			}
+			var ands []int
+			ok := true
+			for _, a := range atoms {
+				bit, valid := atomBit(c, a, asn, d)
+				if !valid {
+					ok = false
+					break
+				}
+				ands = append(ands, bit)
+			}
+			if ok {
+				ors = append(ors, c.And(ands...))
+			}
+		})
+		bits = append(bits, c.Or(ors...))
+	})
+	return c.Plus(bits...)
+}
+
+// BuildExistsMQ constructs the Theorem 3.37 AC0 circuit: for the fixed
+// metaquery, index and instantiation type, and for databases with the given
+// schema and domain size d, the circuit outputs 1 iff some type-T
+// instantiation has I(σ(MQ)) > 0. It is the OR, over the (constantly many)
+// instantiations, of the certifying-set satisfiability circuits.
+func BuildExistsMQ(schema Schema, d int, mq *core.Metaquery, ix core.Index, typ core.InstType) (*Circuit, error) {
+	proto := schema.prototype()
+	c := New()
+	var ors []int
+	err := core.ForEachInstantiation(proto, mq, typ, func(sigma *core.Instantiation) (bool, error) {
+		rule, err := sigma.Apply(mq)
+		if err != nil {
+			return false, err
+		}
+		ors = append(ors, cqSatGate(c, core.CertifyingSet(ix, rule), d))
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.SetOutput(c.Or(ors...))
+	return c, nil
+}
+
+// BuildThresholdMQ constructs the Theorem 3.38 TC0-style circuit deciding
+// whether some type-T instantiation has I(σ(MQ)) > k, with k = a/b. Per
+// instantiation and per Lemma 3.39 it compares b·|Qn| > a·|Qd| over
+// counting subcircuits; for sup the comparison is OR-ed over body atoms.
+func BuildThresholdMQ(schema Schema, d int, mq *core.Metaquery, ix core.Index, k rat.Rat, typ core.InstType) (*Circuit, error) {
+	proto := schema.prototype()
+	c := New()
+	a, b := k.Num(), k.Den()
+	aGate, bGate := c.Const(a), c.Const(b)
+	var ors []int
+	err := core.ForEachInstantiation(proto, mq, typ, func(sigma *core.Instantiation) (bool, error) {
+		rule, err := sigma.Apply(mq)
+		if err != nil {
+			return false, err
+		}
+		body := rule.BodyAtoms()
+		switch ix {
+		case core.Cnf:
+			// Qn: att(body)-assignments satisfying body ∧ head; Qd: |J(body)|.
+			bodyVars := relation.AtomsVars(body)
+			qn := countGate(c, append(append([]relation.Atom{}, body...), rule.Head), bodyVars, d)
+			qd := countGate(c, body, bodyVars, d)
+			ors = append(ors, c.Greater(c.Times(bGate, qn), c.Times(aGate, qd)))
+		case core.Cvr:
+			headVars := rule.Head.Vars()
+			qn := countGate(c, append(append([]relation.Atom{}, body...), rule.Head), headVars, d)
+			qd := countGate(c, []relation.Atom{rule.Head}, headVars, d)
+			ors = append(ors, c.Greater(c.Times(bGate, qn), c.Times(aGate, qd)))
+		case core.Sup:
+			for _, atom := range body {
+				av := atom.Vars()
+				qn := countGate(c, body, av, d)
+				qd := countGate(c, []relation.Atom{atom}, av, d)
+				ors = append(ors, c.Greater(c.Times(bGate, qn), c.Times(aGate, qd)))
+			}
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.SetOutput(c.Or(ors...))
+	return c, nil
+}

@@ -1,0 +1,282 @@
+// Package core implements the paper's primary contribution: metaquery
+// syntax and semantics (Section 2). It defines literal schemes, metaqueries,
+// the three instantiation types (Definitions 2.1–2.4), the plausibility
+// indices support, confidence and cover (Definitions 2.5–2.7), and the
+// decision problems of Section 3.2, together with a naive answering engine
+// used as the reference implementation.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mqgo/metaquery/internal/hypergraph"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// LiteralScheme is one literal of a metaquery: Q(Y1, ..., Yn) where Q is
+// either a predicate (second-order) variable or a relation name, and each
+// Yi is an ordinary (first-order) variable. When PredVar is true the scheme
+// is a relation pattern; otherwise it is an atom.
+type LiteralScheme struct {
+	Pred    string
+	PredVar bool
+	Args    []string
+}
+
+// Pattern builds a relation pattern Q(args...).
+func Pattern(q string, args ...string) LiteralScheme {
+	return LiteralScheme{Pred: q, PredVar: true, Args: args}
+}
+
+// SchemeAtom builds an ordinary atom r(args...) appearing in a metaquery.
+func SchemeAtom(r string, args ...string) LiteralScheme {
+	return LiteralScheme{Pred: r, PredVar: false, Args: args}
+}
+
+// Arity returns the number of arguments.
+func (l LiteralScheme) Arity() int { return len(l.Args) }
+
+// Vars returns varo(l): the distinct ordinary variables in first-occurrence
+// order.
+func (l LiteralScheme) Vars() []string {
+	seen := make(map[string]bool, len(l.Args))
+	var out []string
+	for _, a := range l.Args {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Key returns a canonical identity for the scheme. Two syntactically equal
+// literal schemes are the same element of ls(MQ) (literal schemes form a
+// set in the paper).
+func (l LiteralScheme) Key() string {
+	var b strings.Builder
+	if l.PredVar {
+		b.WriteByte('?')
+	}
+	b.WriteString(l.Pred)
+	b.WriteByte('(')
+	b.WriteString(strings.Join(l.Args, ","))
+	b.WriteByte(')')
+	return b.String()
+}
+
+// String renders the scheme in the paper's syntax.
+func (l LiteralScheme) String() string {
+	return fmt.Sprintf("%s(%s)", l.Pred, strings.Join(l.Args, ","))
+}
+
+// Atom converts an ordinary (non-pattern) literal scheme to a relation.Atom.
+// It panics if l is a relation pattern.
+func (l LiteralScheme) Atom() relation.Atom {
+	if l.PredVar {
+		panic("core: Atom called on a relation pattern")
+	}
+	return relation.NewAtom(l.Pred, l.Args...)
+}
+
+// Metaquery is a second-order Horn template T <- L1, ..., Lm (form (3) of
+// the paper). The body must be non-empty.
+type Metaquery struct {
+	Head LiteralScheme
+	Body []LiteralScheme
+}
+
+// NewMetaquery builds a metaquery and validates its shape.
+func NewMetaquery(head LiteralScheme, body ...LiteralScheme) (*Metaquery, error) {
+	mq := &Metaquery{Head: head, Body: body}
+	if err := mq.Check(); err != nil {
+		return nil, err
+	}
+	return mq, nil
+}
+
+// Check validates structural well-formedness: non-empty body, non-empty
+// predicate names, and no variable names colliding with the reserved
+// fresh-variable namespace.
+func (mq *Metaquery) Check() error {
+	if len(mq.Body) == 0 {
+		return fmt.Errorf("core: metaquery must have a non-empty body")
+	}
+	for _, l := range mq.LiteralSchemes() {
+		if l.Pred == "" {
+			return fmt.Errorf("core: empty predicate in literal scheme")
+		}
+		for _, a := range l.Args {
+			if a == "" {
+				return fmt.Errorf("core: empty variable in scheme %s", l)
+			}
+			if strings.HasPrefix(a, freshPrefix) {
+				return fmt.Errorf("core: variable %q uses the reserved prefix %q", a, freshPrefix)
+			}
+		}
+	}
+	return nil
+}
+
+// LiteralSchemes returns ls(MQ): the set of literal schemes of MQ (head and
+// body), deduplicated, head first then body in order.
+func (mq *Metaquery) LiteralSchemes() []LiteralScheme {
+	seen := make(map[string]bool)
+	out := make([]LiteralScheme, 0, len(mq.Body)+1)
+	add := func(l LiteralScheme) {
+		k := l.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, l)
+		}
+	}
+	add(mq.Head)
+	for _, l := range mq.Body {
+		add(l)
+	}
+	return out
+}
+
+// RelationPatterns returns rep(MQ): the distinct relation patterns of MQ,
+// head first.
+func (mq *Metaquery) RelationPatterns() []LiteralScheme {
+	var out []LiteralScheme
+	for _, l := range mq.LiteralSchemes() {
+		if l.PredVar {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// PredicateVars returns pv(MQ): the distinct predicate variables, in
+// first-occurrence order (head first).
+func (mq *Metaquery) PredicateVars() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, l := range mq.RelationPatterns() {
+		if !seen[l.Pred] {
+			seen[l.Pred] = true
+			out = append(out, l.Pred)
+		}
+	}
+	return out
+}
+
+// OrdinaryVars returns varo(MQ): distinct ordinary variables across all
+// literal schemes, in first-occurrence order.
+func (mq *Metaquery) OrdinaryVars() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, l := range mq.LiteralSchemes() {
+		for _, a := range l.Args {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// IsPure reports whether MQ is pure: every two relation patterns with the
+// same predicate variable have the same arity. Type-0 and type-1
+// instantiations require pure metaqueries.
+func (mq *Metaquery) IsPure() bool {
+	arity := make(map[string]int)
+	for _, l := range mq.RelationPatterns() {
+		if a, ok := arity[l.Pred]; ok {
+			if a != len(l.Args) {
+				return false
+			}
+		} else {
+			arity[l.Pred] = len(l.Args)
+		}
+	}
+	return true
+}
+
+// predVarVertex namespaces predicate variables in H(MQ) so that a predicate
+// variable named like an ordinary variable yields distinct vertices.
+const predVarVertex = "^"
+
+// Hypergraph returns H(MQ) of Definition 3.31: one vertex per (predicate or
+// ordinary) variable and one edge var(L) per literal scheme L. Edge IDs are
+// indices into LiteralSchemes().
+func (mq *Metaquery) Hypergraph() *hypergraph.Hypergraph {
+	h := &hypergraph.Hypergraph{}
+	for i, l := range mq.LiteralSchemes() {
+		var vs []string
+		if l.PredVar {
+			vs = append(vs, predVarVertex+l.Pred)
+		}
+		vs = append(vs, l.Vars()...)
+		h.Edges = append(h.Edges, hypergraph.Edge{ID: i, Vertices: vs})
+	}
+	return h
+}
+
+// SemiHypergraph returns SH(MQ) of Definition 3.31: vertices are the
+// ordinary variables only; one edge varo(L) per literal scheme.
+func (mq *Metaquery) SemiHypergraph() *hypergraph.Hypergraph {
+	h := &hypergraph.Hypergraph{}
+	for i, l := range mq.LiteralSchemes() {
+		h.Edges = append(h.Edges, hypergraph.Edge{ID: i, Vertices: l.Vars()})
+	}
+	return h
+}
+
+// IsAcyclic reports whether MQ is acyclic: H(MQ) is acyclic.
+func (mq *Metaquery) IsAcyclic() bool { return hypergraph.IsAcyclic(mq.Hypergraph()) }
+
+// IsSemiAcyclic reports whether MQ is semi-acyclic: SH(MQ) is acyclic.
+// Every acyclic metaquery is semi-acyclic.
+func (mq *Metaquery) IsSemiAcyclic() bool { return hypergraph.IsAcyclic(mq.SemiHypergraph()) }
+
+// String renders the metaquery in the paper's arrow syntax.
+func (mq *Metaquery) String() string {
+	parts := make([]string, len(mq.Body))
+	for i, l := range mq.Body {
+		parts[i] = l.String()
+	}
+	return fmt.Sprintf("%s <- %s", mq.Head.String(), strings.Join(parts, ", "))
+}
+
+// Rule is an ordinary Horn rule over a database: the result of applying an
+// instantiation to a metaquery.
+type Rule struct {
+	Head relation.Atom
+	Body []relation.Atom
+}
+
+// HeadAtoms returns h(r): the singleton set of head atoms.
+func (r Rule) HeadAtoms() []relation.Atom { return []relation.Atom{r.Head} }
+
+// BodyAtoms returns b(r): the set of body atoms (deduplicated).
+func (r Rule) BodyAtoms() []relation.Atom {
+	seen := make(map[string]bool, len(r.Body))
+	out := make([]relation.Atom, 0, len(r.Body))
+	for _, a := range r.Body {
+		k := a.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// AllAtoms returns the atoms of the rule, head first, deduplicated.
+func (r Rule) AllAtoms() []relation.Atom {
+	return append([]relation.Atom{r.Head}, r.BodyAtoms()...)
+}
+
+// String renders the rule in Datalog arrow syntax.
+func (r Rule) String() string {
+	parts := make([]string, len(r.Body))
+	for i, a := range r.Body {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s <- %s", r.Head.String(), strings.Join(parts, ", "))
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestLiteralSchemeVars(t *testing.T) {
+	l := Pattern("P", "X", "Y", "X")
+	vs := l.Vars()
+	if len(vs) != 2 || vs[0] != "X" || vs[1] != "Y" {
+		t.Errorf("Vars = %v", vs)
+	}
+	if l.Arity() != 3 {
+		t.Errorf("Arity = %d", l.Arity())
+	}
+}
+
+func TestSchemeSetsAndDedup(t *testing.T) {
+	// Head scheme identical to a body scheme collapses in ls(MQ).
+	mq := MustParse("N(X1,X2) <- N(X1,X2), e(X1,X2)")
+	if got := len(mq.LiteralSchemes()); got != 2 {
+		t.Errorf("ls(MQ) has %d schemes, want 2", got)
+	}
+	if got := len(mq.RelationPatterns()); got != 1 {
+		t.Errorf("rep(MQ) has %d patterns, want 1", got)
+	}
+	if got := mq.PredicateVars(); len(got) != 1 || got[0] != "N" {
+		t.Errorf("pv(MQ) = %v", got)
+	}
+}
+
+func TestPredicateVarsOrder(t *testing.T) {
+	mq := MustParse("R(X,Z) <- P(X,Y), Q(Y,Z)")
+	pv := mq.PredicateVars()
+	want := []string{"R", "P", "Q"}
+	if len(pv) != 3 {
+		t.Fatalf("pv = %v", pv)
+	}
+	for i := range want {
+		if pv[i] != want[i] {
+			t.Errorf("pv[%d] = %q, want %q", i, pv[i], want[i])
+		}
+	}
+}
+
+func TestOrdinaryVars(t *testing.T) {
+	mq := MustParse("R(X,Z) <- P(X,Y), Q(Y,Z)")
+	ov := mq.OrdinaryVars()
+	want := []string{"X", "Z", "Y"}
+	if len(ov) != 3 {
+		t.Fatalf("varo = %v", ov)
+	}
+	for i := range want {
+		if ov[i] != want[i] {
+			t.Errorf("varo[%d] = %q, want %q", i, ov[i], want[i])
+		}
+	}
+}
+
+func TestPurity(t *testing.T) {
+	pure := MustParse("P(X,Y) <- P(Y,Z), Q(Z,W)")
+	if !pure.IsPure() {
+		t.Error("pure metaquery reported impure")
+	}
+	impure := MustParse("P(X) <- P(X,Y)")
+	if impure.IsPure() {
+		t.Error("impure metaquery reported pure")
+	}
+}
+
+// The three examples following Definition 3.31.
+func TestPaperAcyclicityExamples(t *testing.T) {
+	mq1 := MustParse("P(X,Y) <- P(Y,Z), Q(Z,W)")
+	if !mq1.IsAcyclic() {
+		t.Error("MQ1 = P(X,Y) <- P(Y,Z), Q(Z,W) should be acyclic")
+	}
+	if !mq1.IsSemiAcyclic() {
+		t.Error("acyclic metaquery must be semi-acyclic")
+	}
+
+	mq2 := MustParse("P(X,Y) <- Q(Y,Z), P(Z,W)")
+	if mq2.IsAcyclic() {
+		t.Error("MQ2 = P(X,Y) <- Q(Y,Z), P(Z,W) should be cyclic")
+	}
+
+	mq3 := MustParse("N(X) <- N(Y), E(X,Y)")
+	if mq3.IsAcyclic() {
+		t.Error("N(X) <- N(Y), E(X,Y) should not be acyclic")
+	}
+	if !mq3.IsSemiAcyclic() {
+		t.Error("N(X) <- N(Y), E(X,Y) should be semi-acyclic")
+	}
+}
+
+// The HAMPATH metaquery of Theorem 3.33 is acyclic: the edge
+// {N, X1..Xn} witnesses every {Xi, Xi+1}.
+func TestHamPathMetaqueryAcyclic(t *testing.T) {
+	mq := MustParse("N(X1,X2,X3) <- N(X1,X2,X3), e(X1,X2), e(X2,X3)")
+	if !mq.IsAcyclic() {
+		t.Error("Theorem 3.33 metaquery should be acyclic")
+	}
+}
+
+func TestHypergraphPredVarNamespacing(t *testing.T) {
+	// A predicate variable named like an ordinary variable must not collide.
+	mq := MustParse("X(Y) <- X(Y), Q(Y)")
+	h := mq.Hypergraph()
+	// Edge for X(Y) must contain ^X and Y.
+	found := false
+	for _, e := range h.Edges {
+		hasPred, hasOrd := false, false
+		for _, v := range e.Vertices {
+			if v == predVarVertex+"X" {
+				hasPred = true
+			}
+			if v == "Y" {
+				hasOrd = true
+			}
+		}
+		if hasPred && hasOrd {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("predicate variable vertex missing or collided")
+	}
+}
+
+func TestCheckRejections(t *testing.T) {
+	if _, err := NewMetaquery(Pattern("R", "X")); err == nil {
+		t.Error("empty body accepted")
+	}
+	if _, err := NewMetaquery(Pattern("R", "X"), Pattern("", "X")); err == nil {
+		t.Error("empty predicate accepted")
+	}
+	if _, err := NewMetaquery(Pattern("R", "_f0_0"), Pattern("P", "X")); err == nil {
+		t.Error("reserved variable accepted")
+	}
+	if _, err := NewMetaquery(Pattern("R", ""), Pattern("P", "X")); err == nil {
+		t.Error("empty variable accepted")
+	}
+}
+
+func TestRuleAtomSets(t *testing.T) {
+	mq := MustParse("R(X,Z) <- P(X,Y), P(X,Y), Q(Y,Z)")
+	// rep dedups the two P(X,Y) occurrences.
+	if len(mq.RelationPatterns()) != 3 {
+		t.Errorf("rep = %v", mq.RelationPatterns())
+	}
+}
+
+func TestSchemeKeyDistinguishesPatternAndAtom(t *testing.T) {
+	p := Pattern("P", "X")
+	a := SchemeAtom("P", "X")
+	if p.Key() == a.Key() {
+		t.Error("pattern and atom with same name/args share a key")
+	}
+}
+
+func TestLiteralSchemeAtomPanicsOnPattern(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	Pattern("P", "X").Atom()
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// paperRule is the instantiated rule UsPT(X,Z) <- UsCa(X,Y), CaTe(Y,Z)
+// from Section 2.1.
+func paperRule() Rule {
+	return Rule{
+		Head: relation.NewAtom("UsPT", "X", "Z"),
+		Body: []relation.Atom{
+			relation.NewAtom("UsCa", "X", "Y"),
+			relation.NewAtom("CaTe", "Y", "Z"),
+		},
+	}
+}
+
+// Hand-computed on Figure 1:
+// J(body) has 7 tuples; 5 of them satisfy the head, so cnf = 5/7.
+// All 3 UsPT tuples are implied, so cvr = 1.
+// All UsCa tuples participate in the body join, so sup = 1.
+func TestIndicesOnFigure1(t *testing.T) {
+	db := db1(t)
+	r := paperRule()
+
+	cnf, err := Confidence(db, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cnf.Equal(rat.New(5, 7)) {
+		t.Errorf("cnf = %v, want 5/7", cnf)
+	}
+
+	cvr, err := Cover(db, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cvr.Equal(rat.One) {
+		t.Errorf("cvr = %v, want 1", cvr)
+	}
+
+	sup, err := Support(db, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sup.Equal(rat.One) {
+		t.Errorf("sup = %v, want 1", sup)
+	}
+}
+
+// Support is a max over body atoms: with the body alone, CaTe's fraction is
+// 5/6 (the Wind tuple joins nothing) while UsCa's is 1.
+func TestSupportIsMaxOverBodyAtoms(t *testing.T) {
+	db := db1(t)
+	r := paperRule()
+	body := r.BodyAtoms()
+
+	fUsCa, err := Fraction(db, []relation.Atom{body[0]}, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fUsCa.Equal(rat.One) {
+		t.Errorf("UsCa fraction = %v, want 1", fUsCa)
+	}
+	fCaTe, err := Fraction(db, []relation.Atom{body[1]}, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fCaTe.Equal(rat.New(5, 6)) {
+		t.Errorf("CaTe fraction = %v, want 5/6", fCaTe)
+	}
+}
+
+// The §2.2 cover example: with DB1's binary UsPt, the type-2 instantiation
+// UsCa(X,Z) <- UsPt(X,H) scores cover 1.
+func TestPaperCoverExample(t *testing.T) {
+	db := db1(t)
+	r := Rule{
+		Head: relation.NewAtom("UsCa", "X", "Z"),
+		Body: []relation.Atom{relation.NewAtom("UsPT", "X", "H")},
+	}
+	cvr, err := Cover(db, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cvr.Equal(rat.One) {
+		t.Errorf("cover = %v, want 1", cvr)
+	}
+}
+
+func TestFractionZeroDenominator(t *testing.T) {
+	// Empty J(R) must give 0, not an error (Definition 2.6's convention).
+	db := relation.NewDatabase()
+	db.MustAddRelation("empty", 1)
+	db.MustInsertNamed("p", "a")
+	f, err := Fraction(db, []relation.Atom{relation.NewAtom("empty", "X")},
+		[]relation.Atom{relation.NewAtom("p", "X")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.IsZero() {
+		t.Errorf("fraction with empty numerator = %v", f)
+	}
+}
+
+func TestFractionDisjointVars(t *testing.T) {
+	// att(R) ∩ att(S) = ∅: the join is a cartesian product, so the fraction
+	// is 1 if J(S) is non-empty and 0 otherwise.
+	db := relation.NewDatabase()
+	db.MustInsertNamed("p", "a")
+	db.MustInsertNamed("q", "b")
+	db.MustAddRelation("emptyrel", 1)
+	one, err := Fraction(db, []relation.Atom{relation.NewAtom("p", "X")},
+		[]relation.Atom{relation.NewAtom("q", "Y")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !one.Equal(rat.One) {
+		t.Errorf("disjoint fraction = %v, want 1", one)
+	}
+	zero, err := Fraction(db, []relation.Atom{relation.NewAtom("p", "X")},
+		[]relation.Atom{relation.NewAtom("emptyrel", "Y")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !zero.IsZero() {
+		t.Errorf("disjoint fraction vs empty = %v, want 0", zero)
+	}
+}
+
+func TestIndexStringAndCompute(t *testing.T) {
+	db := db1(t)
+	r := paperRule()
+	names := map[Index]string{Sup: "sup", Cnf: "cnf", Cvr: "cvr"}
+	for ix, want := range names {
+		if ix.String() != want {
+			t.Errorf("String = %q, want %q", ix.String(), want)
+		}
+		v, err := ix.Compute(db, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := map[Index]func(*relation.Database, Rule) (rat.Rat, error){
+			Sup: Support, Cnf: Confidence, Cvr: Cover,
+		}[ix]
+		d, _ := direct(db, r)
+		if !v.Equal(d) {
+			t.Errorf("%s.Compute = %v, direct = %v", ix, v, d)
+		}
+	}
+}
+
+func TestIndicesAlwaysInUnitInterval(t *testing.T) {
+	// Property over random databases and rules: 0 <= I(r) <= 1.
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomDB(rng, 3, 2, 5, 4)
+		r := randomRule(rng, db)
+		for _, ix := range AllIndices {
+			v, err := ix.Compute(db, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Less(rat.Zero) || v.Greater(rat.One) {
+				t.Errorf("seed %d: %s = %v outside [0,1] for %s", seed, ix, v, r)
+			}
+		}
+	}
+}
+
+// Proposition 3.20: I(r) > 0 iff the certifying set has a satisfied ground
+// instance, i.e. iff J(S_I) is non-empty.
+func TestCertifyingSets(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomDB(rng, 3, 2, 4, 3)
+		r := randomRule(rng, db)
+		for _, ix := range AllIndices {
+			v, err := ix.Compute(db, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cert := CertifyingSet(ix, r)
+			j, err := relation.JoinAtoms(db, cert)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Greater(rat.Zero) != !j.Empty() {
+				t.Errorf("seed %d: %s = %v but certifying set satisfiable = %v for %s",
+					seed, ix, v, !j.Empty(), r)
+			}
+		}
+	}
+}
+
+// randomDB builds a database with nRel relations of the given arity over a
+// domain of size dom, each with up to maxTuples tuples.
+func randomDB(rng *rand.Rand, nRel, arity, maxTuples, dom int) *relation.Database {
+	db := relation.NewDatabase()
+	consts := make([]string, dom)
+	for i := range consts {
+		consts[i] = string(rune('a' + i))
+	}
+	for i := 0; i < nRel; i++ {
+		name := string(rune('p' + i))
+		db.MustAddRelation(name, arity)
+		n := rng.Intn(maxTuples + 1)
+		for j := 0; j < n; j++ {
+			row := make([]string, arity)
+			for k := range row {
+				row[k] = consts[rng.Intn(dom)]
+			}
+			db.MustInsertNamed(name, row...)
+		}
+	}
+	return db
+}
+
+// randomRule builds a small random rule over db's relations with variables
+// drawn from {X, Y, Z, W}.
+func randomRule(rng *rand.Rand, db *relation.Database) Rule {
+	names := db.RelationNames()
+	vars := []string{"X", "Y", "Z", "W"}
+	mk := func() relation.Atom {
+		name := names[rng.Intn(len(names))]
+		arity := db.Relation(name).Arity()
+		args := make([]string, arity)
+		for i := range args {
+			args[i] = vars[rng.Intn(len(vars))]
+		}
+		return relation.NewAtom(name, args...)
+	}
+	nBody := 1 + rng.Intn(3)
+	body := make([]relation.Atom, nBody)
+	for i := range body {
+		body[i] = mk()
+	}
+	return Rule{Head: mk(), Body: body}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// Answer is one rule in the answer to a metaquery, together with its
+// plausibility indices.
+type Answer struct {
+	Inst *Instantiation
+	Rule Rule
+	Sup  rat.Rat
+	Cnf  rat.Rat
+	Cvr  rat.Rat
+}
+
+// Thresholds carries the user-provided admissibility thresholds for the
+// three indices; all comparisons are strict (index > threshold), matching
+// the decision problems of Section 3.2. The zero value (all thresholds 0)
+// requires every index to be positive. Use Unconstrained for a single-index
+// query.
+type Thresholds struct {
+	Sup rat.Rat
+	Cnf rat.Rat
+	Cvr rat.Rat
+
+	// Check*, when false, disable the corresponding threshold entirely
+	// (the index is still computed and reported).
+	CheckSup bool
+	CheckCnf bool
+	CheckCvr bool
+}
+
+// AllAbove builds thresholds requiring sup > ks, cnf > kc and cvr > kv.
+func AllAbove(ks, kc, kv rat.Rat) Thresholds {
+	return Thresholds{Sup: ks, Cnf: kc, Cvr: kv, CheckSup: true, CheckCnf: true, CheckCvr: true}
+}
+
+// SingleIndex builds thresholds constraining only the given index to be > k.
+func SingleIndex(ix Index, k rat.Rat) Thresholds {
+	var t Thresholds
+	switch ix {
+	case Sup:
+		t.Sup, t.CheckSup = k, true
+	case Cnf:
+		t.Cnf, t.CheckCnf = k, true
+	case Cvr:
+		t.Cvr, t.CheckCvr = k, true
+	}
+	return t
+}
+
+// Admits reports whether an answer with the given index values passes the
+// thresholds.
+func (t Thresholds) Admits(sup, cnf, cvr rat.Rat) bool {
+	if t.CheckSup && !sup.Greater(t.Sup) {
+		return false
+	}
+	if t.CheckCnf && !cnf.Greater(t.Cnf) {
+		return false
+	}
+	if t.CheckCvr && !cvr.Greater(t.Cvr) {
+		return false
+	}
+	return true
+}
+
+// NaiveAnswers enumerates every type-typ instantiation of mq over db,
+// computes all three indices by direct materialization of the relational
+// algebra definitions, and returns the answers passing the thresholds,
+// sorted by rule text. It is the reference implementation against which the
+// findRules engine is differentially tested.
+func NaiveAnswers(db *relation.Database, mq *Metaquery, typ InstType, th Thresholds) ([]Answer, error) {
+	var out []Answer
+	err := ForEachInstantiation(db, mq, typ, func(sigma *Instantiation) (bool, error) {
+		rule, err := sigma.Apply(mq)
+		if err != nil {
+			return false, err
+		}
+		sup, err := Support(db, rule)
+		if err != nil {
+			return false, err
+		}
+		cnf, err := Confidence(db, rule)
+		if err != nil {
+			return false, err
+		}
+		cvr, err := Cover(db, rule)
+		if err != nil {
+			return false, err
+		}
+		if th.Admits(sup, cnf, cvr) {
+			out = append(out, Answer{Inst: sigma.Clone(), Rule: rule, Sup: sup, Cnf: cnf, Cvr: cvr})
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	SortAnswers(out)
+	return out, nil
+}
+
+// SortAnswers orders answers deterministically by rule text.
+func SortAnswers(as []Answer) {
+	sort.Slice(as, func(i, j int) bool { return as[i].Rule.String() < as[j].Rule.String() })
+}
+
+// Decide solves the decision problem ⟨DB, MQ, I, k, T⟩ of Section 3.2: is
+// there a type-T instantiation σ with I(σ(MQ)) > k? It returns the witness
+// instantiation when the answer is yes. Enumeration stops at the first
+// witness.
+func Decide(db *relation.Database, mq *Metaquery, ix Index, k rat.Rat, typ InstType) (bool, *Instantiation, error) {
+	var witness *Instantiation
+	err := ForEachInstantiation(db, mq, typ, func(sigma *Instantiation) (bool, error) {
+		rule, err := sigma.Apply(mq)
+		if err != nil {
+			return false, err
+		}
+		v, err := ix.Compute(db, rule)
+		if err != nil {
+			return false, err
+		}
+		if v.Greater(k) {
+			witness = sigma.Clone()
+			return false, nil
+		}
+		return true, nil
+	})
+	if err != nil {
+		return false, nil, err
+	}
+	return witness != nil, witness, nil
+}

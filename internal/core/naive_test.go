@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+func TestNaiveAnswersFindsPaperRule(t *testing.T) {
+	db := db1(t)
+	// Require cnf > 1/2 and positive support/cover.
+	th := AllAbove(rat.Zero, rat.New(1, 2), rat.Zero)
+	answers, err := NaiveAnswers(db, mq4(), Type0, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit *Answer
+	for i := range answers {
+		if answers[i].Rule.String() == "UsPT(X,Z) <- UsCa(X,Y), CaTe(Y,Z)" {
+			hit = &answers[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("paper rule not in answers (%d found)", len(answers))
+	}
+	if !hit.Cnf.Equal(rat.New(5, 7)) || !hit.Cvr.Equal(rat.One) || !hit.Sup.Equal(rat.One) {
+		t.Errorf("indices = sup %v cnf %v cvr %v", hit.Sup, hit.Cnf, hit.Cvr)
+	}
+}
+
+func TestNaiveAnswersSortedDeterministic(t *testing.T) {
+	db := db1(t)
+	th := Thresholds{} // no checks enabled: every instantiation answers
+	a1, err := NaiveAnswers(db, mq4(), Type0, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1) != 27 {
+		t.Fatalf("unfiltered answers = %d, want 27", len(a1))
+	}
+	a2, _ := NaiveAnswers(db, mq4(), Type0, th)
+	for i := range a1 {
+		if a1[i].Rule.String() != a2[i].Rule.String() {
+			t.Fatal("non-deterministic answer order")
+		}
+	}
+	for i := 1; i < len(a1); i++ {
+		if a1[i-1].Rule.String() > a1[i].Rule.String() {
+			t.Fatal("answers not sorted")
+		}
+	}
+}
+
+func TestThresholdsAdmits(t *testing.T) {
+	th := AllAbove(rat.New(1, 2), rat.New(1, 2), rat.New(1, 2))
+	if th.Admits(rat.New(1, 2), rat.One, rat.One) {
+		t.Error("strict sup threshold not enforced")
+	}
+	if !th.Admits(rat.New(2, 3), rat.New(2, 3), rat.New(2, 3)) {
+		t.Error("valid answer rejected")
+	}
+	single := SingleIndex(Cnf, rat.New(3, 4))
+	if single.Admits(rat.Zero, rat.New(3, 4), rat.Zero) {
+		t.Error("strict single threshold not enforced")
+	}
+	if !single.Admits(rat.Zero, rat.New(4, 5), rat.Zero) {
+		t.Error("single-index thresholds must ignore other indices")
+	}
+}
+
+func TestDecidePositive(t *testing.T) {
+	db := db1(t)
+	yes, witness, err := Decide(db, mq4(), Cnf, rat.New(1, 2), Type0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !yes || witness == nil {
+		t.Fatal("expected YES instance with witness")
+	}
+	// The witness must actually certify the decision.
+	rule, err := witness.Apply(mq4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Confidence(db, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Greater(rat.New(1, 2)) {
+		t.Errorf("witness confidence %v not > 1/2", v)
+	}
+}
+
+func TestDecideNegative(t *testing.T) {
+	// A database where the only relation is empty: no index can exceed 0.
+	db := relation.NewDatabase()
+	db.MustAddRelation("p", 2)
+	mq := mq4()
+	for _, ix := range AllIndices {
+		yes, _, err := Decide(db, mq, ix, rat.Zero, Type0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if yes {
+			t.Errorf("Decide(%s) = yes on empty database", ix)
+		}
+	}
+}
+
+func TestDecideThresholdBoundary(t *testing.T) {
+	db := db1(t)
+	// cnf of the best rule for mq4/Type0: determine max, then decide at
+	// exactly that value (strictness must make it NO) and just below (YES).
+	answers, err := NaiveAnswers(db, mq4(), Type0, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := rat.Zero
+	for _, a := range answers {
+		best = rat.Max(best, a.Cnf)
+	}
+	if best.IsZero() {
+		t.Skip("degenerate: all confidences zero")
+	}
+	yes, _, err := Decide(db, mq4(), Cnf, best, Type0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yes {
+		t.Errorf("Decide at k = max cnf %v should be NO (strict)", best)
+	}
+	// Just below: k = best - epsilon via (num*2-1)/(den*2).
+	justBelow := rat.New(best.Num()*2-1, best.Den()*2)
+	yes, _, err = Decide(db, mq4(), Cnf, justBelow, Type0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !yes {
+		t.Errorf("Decide at k just below max cnf should be YES")
+	}
+}
+
+func TestNaiveAnswersType2Figure2(t *testing.T) {
+	// With the Figure 2 ternary UsPT, metaquery (4) admits the type-2
+	// answer UsPT(X,Z,T) <- UsCa(Y,X), CaTe(Y,Z) (§2.1).
+	db := db2(t)
+	answers, err := NaiveAnswers(db, mq4(), Type2, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range answers {
+		if a.Rule.Head.Pred == "UsPT" &&
+			a.Rule.Head.Terms[0].Var == "X" && a.Rule.Head.Terms[1].Var == "Z" &&
+			a.Rule.Body[0].String() == "UsCa(Y,X)" &&
+			a.Rule.Body[1].String() == "CaTe(Y,Z)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("type-2 paper instantiation not found")
+	}
+}
+
+func TestNaiveAnswerIndicesConsistent(t *testing.T) {
+	// Every reported index value must match a recomputation on the rule.
+	db := db1(t)
+	answers, err := NaiveAnswers(db, mq4(), Type1, SingleIndex(Sup, rat.New(1, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) == 0 {
+		t.Fatal("no answers")
+	}
+	for _, a := range answers {
+		sup, _ := Support(db, a.Rule)
+		cnf, _ := Confidence(db, a.Rule)
+		cvr, _ := Cover(db, a.Rule)
+		if !sup.Equal(a.Sup) || !cnf.Equal(a.Cnf) || !cvr.Equal(a.Cvr) {
+			t.Errorf("stale indices for %s", a.Rule)
+		}
+		if !a.Sup.Greater(rat.New(1, 2)) {
+			t.Errorf("threshold violated for %s: sup %v", a.Rule, a.Sup)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// DecideParallel solves the decision problem ⟨DB, MQ, I, k, T⟩ with worker
+// goroutines that partition the candidate atoms of the first relation
+// pattern. The paper singles out the acyclic/type-0 class as
+// LOGCFL-complete "and, as such, highly parallelizable" (Section 5); this
+// procedure demonstrates the coarse-grained version of that claim on any
+// instance: the instantiation space factorizes over patterns, so disjoint
+// candidate blocks can be searched independently.
+//
+// workers <= 0 selects GOMAXPROCS. The result is identical to Decide
+// (differentially tested); the witness may differ when several exist.
+func DecideParallel(db *relation.Database, mq *Metaquery, ix Index, k rat.Rat, typ InstType, workers int) (bool, *Instantiation, error) {
+	if err := ValidateForType(db, mq, typ); err != nil {
+		return false, nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	patterns := mq.RelationPatterns()
+	if len(patterns) == 0 || workers == 1 {
+		return Decide(db, mq, ix, k, typ)
+	}
+	first := patterns[0]
+	candidates := Candidates(db, first, typ, 0)
+	if len(candidates) == 0 {
+		return false, nil, nil
+	}
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+
+	jobs := make(chan relation.Atom, len(candidates))
+	for _, a := range candidates {
+		jobs <- a
+	}
+	close(jobs)
+
+	var (
+		mu       sync.Mutex
+		found    *Instantiation
+		firstErr error
+		done     = make(chan struct{})
+		once     sync.Once
+		wg       sync.WaitGroup
+	)
+	stop := func() { once.Do(func() { close(done) }) }
+
+	worker := func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			case atom, ok := <-jobs:
+				if !ok {
+					return
+				}
+				sigma := NewInstantiation()
+				if err := sigma.Assign(first, atom); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					stop()
+					return
+				}
+				err := forEachFrom(db, mq, typ, patterns, 1, sigma, func(s *Instantiation) (bool, error) {
+					select {
+					case <-done:
+						return false, nil
+					default:
+					}
+					rule, err := s.Apply(mq)
+					if err != nil {
+						return false, err
+					}
+					v, err := ix.Compute(db, rule)
+					if err != nil {
+						return false, err
+					}
+					if v.Greater(k) {
+						mu.Lock()
+						if found == nil {
+							found = s.Clone()
+						}
+						mu.Unlock()
+						stop()
+						return false, nil
+					}
+					return true, nil
+				})
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					stop()
+					return
+				}
+			}
+		}
+	}
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go worker()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return false, nil, firstErr
+	}
+	return found != nil, found, nil
+}
+
+// forEachFrom enumerates completions of sigma over patterns[start:],
+// sharing the candidate machinery with ForEachInstantiation.
+func forEachFrom(db *relation.Database, mq *Metaquery, typ InstType, patterns []LiteralScheme, start int, sigma *Instantiation, f func(*Instantiation) (bool, error)) error {
+	var rec func(i int) (bool, error)
+	rec = func(i int) (bool, error) {
+		if i == len(patterns) {
+			return f(sigma)
+		}
+		l := patterns[i]
+		if _, done := sigma.AtomFor(l); done {
+			return rec(i + 1)
+		}
+		for _, a := range Candidates(db, l, typ, i) {
+			if rel, ok := sigma.relOf[l.Pred]; ok && rel != a.Pred {
+				continue
+			}
+			_, hadRel := sigma.relOf[l.Pred]
+			sigma.assign[l.Key()] = a
+			if !hadRel {
+				sigma.relOf[l.Pred] = a.Pred
+			}
+			cont, err := rec(i + 1)
+			delete(sigma.assign, l.Key())
+			if !hadRel {
+				delete(sigma.relOf, l.Pred)
+			}
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+	_, err := rec(start)
+	return err
+}

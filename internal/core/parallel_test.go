@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// DecideParallel must agree with Decide on random instances for every
+// worker count.
+func TestDecideParallelMatchesSequential(t *testing.T) {
+	mqs := []string{
+		"R(X,Z) <- P(X,Y), Q(Y,Z)",
+		"P(X,Y) <- P(Y,Z), Q(Z,W)",
+		"R(X) <- P(X,X)",
+	}
+	ks := []rat.Rat{rat.Zero, rat.New(1, 2), rat.New(99, 100)}
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomDB(rng, 3, 2, 6, 3)
+		mq := MustParse(mqs[rng.Intn(len(mqs))])
+		ix := AllIndices[rng.Intn(len(AllIndices))]
+		k := ks[rng.Intn(len(ks))]
+		for _, typ := range []InstType{Type0, Type1} {
+			want, _, err := Decide(db, mq, ix, k, typ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 4, 64} {
+				got, witness, err := DecideParallel(db, mq, ix, k, typ, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("seed %d %s %s k=%v w=%d: parallel %v, sequential %v",
+						seed, typ, ix, k, workers, got, want)
+				}
+				if got {
+					// Witness must certify.
+					rule, err := witness.Apply(mq)
+					if err != nil {
+						t.Fatal(err)
+					}
+					v, err := ix.Compute(db, rule)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !v.Greater(k) {
+						t.Errorf("parallel witness does not certify: %v <= %v", v, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDecideParallelNoPatterns(t *testing.T) {
+	db := NewTestDB()
+	mq := MustParse("speaks(X,Y) <- speaks(X,Y)")
+	yes, _, err := DecideParallel(db, mq, Cnf, rat.Zero, Type0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !yes {
+		t.Error("trivial identity rule should decide YES")
+	}
+}
+
+func TestDecideParallelEmptyCandidates(t *testing.T) {
+	db := relation.NewDatabase()
+	db.MustInsertNamed("p", "a")
+	// Pattern of arity 3 over a database with only arity-1 relations.
+	mq := MustParse("R(X,Y,Z) <- p(X), P(X,Y,Z)")
+	yes, _, err := DecideParallel(db, mq, Sup, rat.Zero, Type0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yes {
+		t.Error("no candidates should decide NO")
+	}
+}
+
+// NewTestDB builds a tiny speaks database for parallel tests.
+func NewTestDB() *relation.Database {
+	db := relation.NewDatabase()
+	db.MustInsertNamed("speaks", "john", "italian")
+	db.MustInsertNamed("speaks", "maria", "italian")
+	return db
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a metaquery from the paper's textual syntax, e.g.
+//
+//	R(X,Z) <- P(X,Y), Q(Y,Z)
+//
+// Conventions:
+//
+//   - an identifier in predicate position starting with an upper-case letter
+//     is a predicate variable; starting with a lower-case letter or a digit
+//     it is a relation name;
+//   - a double-quoted predicate ("UsCa") is always a relation name, which is
+//     how upper-case relation names like those of Figure 1 are written;
+//   - arguments are ordinary variables (upper-case initial); the mute
+//     variable "_" denotes a fresh variable distinct at each occurrence;
+//   - "<-" and ":-" both separate head from body; body literals are
+//     comma-separated;
+//   - primes are allowed in identifiers (P', X'1).
+func Parse(input string) (*Metaquery, error) {
+	p := &parser{src: input}
+	mq, err := p.parseMetaquery()
+	if err != nil {
+		return nil, fmt.Errorf("core: parsing %q: %w", input, err)
+	}
+	return mq, nil
+}
+
+// MustParse is Parse panicking on error, for tests and examples.
+func MustParse(input string) *Metaquery {
+	mq, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return mq
+}
+
+type parser struct {
+	src  string
+	pos  int
+	mute int // counter for mute "_" variables
+}
+
+func (p *parser) parseMetaquery() (*Metaquery, error) {
+	head, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.eat("<-") && !p.eat(":-") {
+		return nil, fmt.Errorf("expected '<-' at offset %d", p.pos)
+	}
+	var body []LiteralScheme
+	for {
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, lit)
+		p.skipSpace()
+		if !p.eat(",") {
+			break
+		}
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("unexpected trailing input at offset %d: %q", p.pos, p.src[p.pos:])
+	}
+	return NewMetaquery(head, body...)
+}
+
+func (p *parser) parseLiteral() (LiteralScheme, error) {
+	p.skipSpace()
+	var pred string
+	var predVar bool
+	if p.peek() == '"' {
+		s, err := p.parseQuoted()
+		if err != nil {
+			return LiteralScheme{}, err
+		}
+		pred, predVar = s, false
+	} else {
+		id, err := p.parseIdent()
+		if err != nil {
+			return LiteralScheme{}, err
+		}
+		pred = id
+		predVar = startsUpper(id)
+	}
+	p.skipSpace()
+	if !p.eat("(") {
+		return LiteralScheme{}, fmt.Errorf("expected '(' after %q at offset %d", pred, p.pos)
+	}
+	var args []string
+	p.skipSpace()
+	if !p.eat(")") {
+		for {
+			p.skipSpace()
+			arg, err := p.parseIdent()
+			if err != nil {
+				return LiteralScheme{}, err
+			}
+			if arg == "_" {
+				p.mute++
+				arg = fmt.Sprintf("_m%d", p.mute)
+			} else if !startsUpper(arg) {
+				return LiteralScheme{}, fmt.Errorf("argument %q of %s must be an ordinary variable (upper-case initial) or '_'", arg, pred)
+			}
+			args = append(args, arg)
+			p.skipSpace()
+			if p.eat(")") {
+				break
+			}
+			if !p.eat(",") {
+				return LiteralScheme{}, fmt.Errorf("expected ',' or ')' at offset %d", p.pos)
+			}
+		}
+	}
+	return LiteralScheme{Pred: pred, PredVar: predVar, Args: args}, nil
+}
+
+func (p *parser) parseQuoted() (string, error) {
+	if p.peek() != '"' {
+		return "", fmt.Errorf("expected '\"' at offset %d", p.pos)
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != '"' {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return "", fmt.Errorf("unterminated quoted name starting at offset %d", start-1)
+	}
+	s := p.src[start:p.pos]
+	p.pos++
+	if s == "" {
+		return "", fmt.Errorf("empty quoted name at offset %d", start-1)
+	}
+	return s, nil
+}
+
+func (p *parser) parseIdent() (string, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isIdentRune(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("expected identifier at offset %d", p.pos)
+	}
+	return p.src[start:p.pos], nil
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '\''
+}
+
+func startsUpper(s string) bool {
+	for _, r := range s {
+		return unicode.IsUpper(r)
+	}
+	return false
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n' || p.src[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *parser) eat(tok string) bool {
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	mq, err := Parse("R(X,Z) <- P(X,Y), Q(Y,Z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mq.Head.PredVar || mq.Head.Pred != "R" {
+		t.Errorf("head = %+v", mq.Head)
+	}
+	if len(mq.Body) != 2 {
+		t.Fatalf("body len = %d", len(mq.Body))
+	}
+	if mq.Body[0].Pred != "P" || mq.Body[1].Pred != "Q" {
+		t.Errorf("body preds = %v", mq.Body)
+	}
+	if got := mq.String(); got != "R(X,Z) <- P(X,Y), Q(Y,Z)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParseRelationAtoms(t *testing.T) {
+	mq, err := Parse("speaks(X,Z) <- citizen(X,Y), language(Y,Z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range mq.LiteralSchemes() {
+		if l.PredVar {
+			t.Errorf("%s parsed as predicate variable", l)
+		}
+	}
+}
+
+func TestParseQuotedRelation(t *testing.T) {
+	mq, err := Parse(`"UsPT"(X,Z) <- "UsCa"(X,Y), "CaTe"(Y,Z)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mq.Head.PredVar {
+		t.Error("quoted head parsed as predicate variable")
+	}
+	if mq.Head.Pred != "UsPT" {
+		t.Errorf("head pred = %q", mq.Head.Pred)
+	}
+}
+
+func TestParseMixed(t *testing.T) {
+	mq, err := Parse("N(X1,X2) <- N(X1,X2), e(X1,X2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mq.Head.PredVar {
+		t.Error("N not a predicate variable")
+	}
+	if mq.Body[1].PredVar {
+		t.Error("e parsed as predicate variable")
+	}
+}
+
+func TestParseMuteVariables(t *testing.T) {
+	mq, err := Parse("P(X,_) <- P(X,_), Q(_,X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every "_" must be a distinct fresh variable.
+	seen := map[string]int{}
+	for _, l := range mq.LiteralSchemes() {
+		for _, a := range l.Args {
+			seen[a]++
+		}
+	}
+	muteCount := 0
+	for v := range seen {
+		if strings.HasPrefix(v, "_m") {
+			muteCount++
+			if seen[v] != 1 {
+				t.Errorf("mute variable %q occurs %d times", v, seen[v])
+			}
+		}
+	}
+	if muteCount != 3 {
+		t.Errorf("%d mute variables, want 3", muteCount)
+	}
+	// Head and first body literal must now be *different* schemes.
+	if len(mq.LiteralSchemes()) != 3 {
+		t.Errorf("schemes = %v", mq.LiteralSchemes())
+	}
+}
+
+func TestParsePrimedIdentifiers(t *testing.T) {
+	mq, err := Parse("X'1(X2,Y) <- X'1(X2,Y), X'2(Y,X2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mq.Head.Pred != "X'1" || !mq.Head.PredVar {
+		t.Errorf("head = %+v", mq.Head)
+	}
+}
+
+func TestParseColonDash(t *testing.T) {
+	if _, err := Parse("R(X) :- P(X)"); err != nil {
+		t.Errorf(":- rejected: %v", err)
+	}
+}
+
+func TestParseZeroArity(t *testing.T) {
+	mq, err := Parse("R() <- p()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mq.Head.Arity() != 0 || mq.Body[0].Arity() != 0 {
+		t.Error("zero arity mishandled")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"R(X)",                  // no body
+		"R(X) <-",               // empty body
+		"R(X <- P(X)",           // missing paren
+		"R(X) <- P(X) Q(X)",     // missing comma
+		"R(X) <- P(x)",          // lower-case argument (constant not allowed)
+		"R(X) <- P(X),",         // trailing comma
+		"R(X) <- P(X) trailing", // trailing junk
+		`R(X) <- "p(X)`,         // unterminated quote
+		"R(_f1_0) <- P(X)",      // reserved fresh prefix
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic")
+		}
+	}()
+	MustParse("bogus")
+}
+
+func TestParseWhitespaceTolerant(t *testing.T) {
+	mq, err := Parse("  R( X , Z )\n\t<-  P(X,Y) ,\n Q(Y,Z)  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mq.Body) != 2 {
+		t.Errorf("body = %v", mq.Body)
+	}
+}

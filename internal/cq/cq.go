@@ -1,0 +1,100 @@
+// Package cq implements conjunctive queries over databases: the Boolean
+// Conjunctive Query satisfaction problem BCQ (Definition 3.2), query
+// evaluation, and the counting problem #BCQ (Proposition 3.26). It also
+// exposes the acyclicity test for conjunctive queries used by the LOGCFL
+// membership reduction of Theorem 3.32.
+package cq
+
+import (
+	"github.com/mqgo/metaquery/internal/hypergraph"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// Query is a conjunctive query: a set of atoms whose terms are variables
+// and/or constants.
+type Query []relation.Atom
+
+// Vars returns the distinct variables of the query in first-occurrence
+// order.
+func (q Query) Vars() []string { return relation.AtomsVars(q) }
+
+// Satisfiable solves BCQ: does a substitution ρ for the query's variables
+// exist such that every ρ(atom) is in db?
+func Satisfiable(db *relation.Database, q Query) (bool, error) {
+	j, err := relation.JoinAtoms(db, q)
+	if err != nil {
+		return false, err
+	}
+	return !j.Empty(), nil
+}
+
+// Count solves #BCQ: the number of substitutions ρ for the query's
+// variables such that every ρ(atom) is in db. Equivalently |J(q)| over
+// att(q). A query with no variables counts 1 if satisfied and 0 otherwise.
+func Count(db *relation.Database, q Query) (int, error) {
+	j, err := relation.JoinAtoms(db, q)
+	if err != nil {
+		return 0, err
+	}
+	return j.Len(), nil
+}
+
+// Evaluate returns the satisfying assignments projected onto outVars.
+func Evaluate(db *relation.Database, q Query, outVars []string) (*relation.Table, error) {
+	j, err := relation.JoinAtoms(db, q)
+	if err != nil {
+		return nil, err
+	}
+	return j.Project(outVars), nil
+}
+
+// Hypergraph returns the query hypergraph: one edge per atom over the
+// atom's variables (constants are ignored).
+func Hypergraph(q Query) *hypergraph.Hypergraph {
+	h := &hypergraph.Hypergraph{}
+	for i, a := range q {
+		h.Edges = append(h.Edges, hypergraph.Edge{ID: i, Vertices: a.Vars()})
+	}
+	return h
+}
+
+// IsAcyclic reports whether the conjunctive query is acyclic in the sense
+// of [7] (GYO reduction empties the query hypergraph).
+func IsAcyclic(q Query) bool { return hypergraph.IsAcyclic(Hypergraph(q)) }
+
+// SatisfiableAcyclic solves BCQ for acyclic queries by the semijoin
+// full-reducer program (the polynomial algorithm underlying Theorem 3.32's
+// LOGCFL membership): it never materializes the full join. It returns an
+// error if the query is cyclic.
+func SatisfiableAcyclic(db *relation.Database, q Query) (bool, error) {
+	h := Hypergraph(q)
+	first, _, ok := hypergraph.FullReducer(h)
+	if !ok {
+		return Satisfiable(db, q) // fall back for cyclic queries
+	}
+	tables := make([]*relation.Table, len(q))
+	for i, a := range q {
+		t, err := relation.FromAtom(db, a)
+		if err != nil {
+			return false, err
+		}
+		tables[i] = t
+	}
+	// Only the first (bottom-up) half is needed for satisfiability: after
+	// it, the roots are non-empty iff the query is satisfiable.
+	for _, s := range first {
+		tables[s.Target] = tables[s.Target].Semijoin(tables[s.Source])
+	}
+	// Locate roots: edges never appearing as a Source-after... simpler:
+	// every table must be non-empty is not sufficient for disconnected
+	// queries; but after the first half each component's root is reduced,
+	// and a component is satisfiable iff its root is non-empty. An empty
+	// table anywhere implies its component root becomes empty too; checking
+	// all tables non-empty after the first half is therefore equivalent.
+	for _, t := range tables {
+		if t.Empty() {
+			return false, nil
+		}
+	}
+	return true, nil
+}

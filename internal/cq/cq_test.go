@@ -1,0 +1,129 @@
+package cq
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+func chainDB() *relation.Database {
+	db := relation.NewDatabase()
+	db.MustInsertNamed("p", "1", "2")
+	db.MustInsertNamed("p", "2", "3")
+	db.MustInsertNamed("q", "2", "4")
+	db.MustInsertNamed("q", "3", "5")
+	return db
+}
+
+func TestSatisfiable(t *testing.T) {
+	db := chainDB()
+	yes, err := Satisfiable(db, Query{relation.NewAtom("p", "X", "Y"), relation.NewAtom("q", "Y", "Z")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !yes {
+		t.Error("satisfiable chain reported unsatisfiable")
+	}
+	no, err := Satisfiable(db, Query{relation.NewAtom("q", "X", "Y"), relation.NewAtom("p", "Y", "Z")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if no {
+		t.Error("unsatisfiable chain reported satisfiable")
+	}
+}
+
+func TestCount(t *testing.T) {
+	db := chainDB()
+	n, err := Count(db, Query{relation.NewAtom("p", "X", "Y"), relation.NewAtom("q", "Y", "Z")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1,2,4) and (2,3,5).
+	if n != 2 {
+		t.Errorf("count = %d, want 2", n)
+	}
+}
+
+func TestCountNoVariables(t *testing.T) {
+	db := chainDB()
+	v1, _ := db.Dict().Lookup("1")
+	v2, _ := db.Dict().Lookup("2")
+	v9 := db.Dict().Intern("9")
+	hit := Query{{Pred: "p", Terms: []relation.Term{relation.C(v1), relation.C(v2)}}}
+	n, err := Count(db, hit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("ground satisfied count = %d, want 1", n)
+	}
+	miss := Query{{Pred: "p", Terms: []relation.Term{relation.C(v1), relation.C(v9)}}}
+	n, err = Count(db, miss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("ground unsatisfied count = %d, want 0", n)
+	}
+}
+
+func TestEvaluateProjection(t *testing.T) {
+	db := chainDB()
+	out, err := Evaluate(db, Query{relation.NewAtom("p", "X", "Y"), relation.NewAtom("q", "Y", "Z")}, []string{"X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Errorf("projected answers = %d", out.Len())
+	}
+}
+
+func TestIsAcyclic(t *testing.T) {
+	chain := Query{relation.NewAtom("p", "X", "Y"), relation.NewAtom("q", "Y", "Z")}
+	if !IsAcyclic(chain) {
+		t.Error("chain CQ not acyclic")
+	}
+	triangle := Query{
+		relation.NewAtom("p", "X", "Y"),
+		relation.NewAtom("p", "Y", "Z"),
+		relation.NewAtom("p", "Z", "X"),
+	}
+	if IsAcyclic(triangle) {
+		t.Error("triangle CQ acyclic")
+	}
+}
+
+// SatisfiableAcyclic must agree with the materializing evaluator on random
+// acyclic and cyclic queries.
+func TestSatisfiableAcyclicAgrees(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := relation.NewDatabase()
+		for r := 0; r < 2; r++ {
+			name := string(rune('p' + r))
+			db.MustAddRelation(name, 2)
+			for i := 0; i < rng.Intn(8); i++ {
+				db.MustInsertNamed(name, string(rune('a'+rng.Intn(3))), string(rune('a'+rng.Intn(3))))
+			}
+		}
+		vars := []string{"X", "Y", "Z", "W"}
+		var q Query
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			q = append(q, relation.NewAtom(string(rune('p'+rng.Intn(2))),
+				vars[rng.Intn(len(vars))], vars[rng.Intn(len(vars))]))
+		}
+		want, err := Satisfiable(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SatisfiableAcyclic(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("seed %d: acyclic evaluation = %v, materializing = %v for %v", seed, got, want, q)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package datalog implements a positive Datalog evaluation substrate: the
+// "deductive database technology" the paper's metaquery framework plugs
+// into (Section 1, citing Shen et al.). Rules discovered by metaquerying
+// are ordinary Horn rules; this package applies them back to a database,
+// computing the least fixpoint by semi-naive iteration.
+//
+// The engine is deliberately small: positive bodies (no negation), set
+// semantics, safety-checked heads (every head variable bound in the body).
+// It closes the loop of the paper's motivating pipeline: generate
+// metaqueries from the schema, mine rules above plausibility thresholds,
+// then *run* the rules deductively to materialize their consequences.
+package datalog
+
+import (
+	"fmt"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// Program is a set of positive Horn rules over a database's relations.
+type Program struct {
+	Rules []core.Rule
+}
+
+// FromAnswers builds a program from metaquery answers, the discovered
+// rules of a mining run.
+func FromAnswers(answers []core.Answer) *Program {
+	p := &Program{}
+	for _, a := range answers {
+		p.Rules = append(p.Rules, a.Rule)
+	}
+	return p
+}
+
+// Check validates the program against db: body relations must exist with
+// matching arities, head relations must exist or be creatable (they are
+// created on first derivation with the head's arity), heads must be safe
+// (every head variable occurs in the body), and head terms must be
+// variables (no constant invention here).
+func (p *Program) Check(db *relation.Database) error {
+	for i, r := range p.Rules {
+		bodyVars := map[string]bool{}
+		for _, a := range r.Body {
+			rel := db.Relation(a.Pred)
+			if rel == nil {
+				return fmt.Errorf("datalog: rule %d: unknown body relation %q", i, a.Pred)
+			}
+			if rel.Arity() != len(a.Terms) {
+				return fmt.Errorf("datalog: rule %d: atom %s has arity %d, relation has %d",
+					i, a.String(), len(a.Terms), rel.Arity())
+			}
+			for _, t := range a.Terms {
+				if t.IsVar() {
+					bodyVars[t.Var] = true
+				}
+			}
+		}
+		if len(r.Body) == 0 {
+			return fmt.Errorf("datalog: rule %d has an empty body", i)
+		}
+		for _, t := range r.Head.Terms {
+			if !t.IsVar() {
+				return fmt.Errorf("datalog: rule %d: constant in head not supported", i)
+			}
+			if !bodyVars[t.Var] {
+				return fmt.Errorf("datalog: rule %d: unsafe head variable %s", i, t.Var)
+			}
+		}
+		if existing := db.Relation(r.Head.Pred); existing != nil && existing.Arity() != len(r.Head.Terms) {
+			return fmt.Errorf("datalog: rule %d: head arity %d clashes with relation %s arity %d",
+				i, len(r.Head.Terms), r.Head.Pred, existing.Arity())
+		}
+	}
+	return nil
+}
+
+// Stats reports fixpoint evaluation effort.
+type Stats struct {
+	// Iterations is the number of fixpoint rounds (at least 1).
+	Iterations int
+	// Derived is the number of new tuples added across all relations.
+	Derived int
+}
+
+// Eval computes the least fixpoint of the program over db, mutating a
+// clone: the input database is untouched; the returned database contains
+// all original and derived tuples.
+func Eval(db *relation.Database, p *Program) (*relation.Database, *Stats, error) {
+	if err := p.Check(db); err != nil {
+		return nil, nil, err
+	}
+	out := db.Clone()
+	stats := &Stats{}
+	for {
+		stats.Iterations++
+		changed := false
+		for _, r := range p.Rules {
+			added, err := applyRule(out, r)
+			if err != nil {
+				return nil, nil, err
+			}
+			if added > 0 {
+				changed = true
+				stats.Derived += added
+			}
+		}
+		if !changed {
+			break
+		}
+		if stats.Iterations > 1_000_000 {
+			return nil, nil, fmt.Errorf("datalog: fixpoint did not converge (runaway derivation)")
+		}
+	}
+	return out, stats, nil
+}
+
+// applyRule inserts one round of consequences of r into db, returning the
+// number of new tuples.
+func applyRule(db *relation.Database, r core.Rule) (int, error) {
+	body, err := relation.JoinAtoms(db, r.Body)
+	if err != nil {
+		return 0, err
+	}
+	head, err := db.AddRelation(r.Head.Pred, len(r.Head.Terms))
+	if err != nil {
+		return 0, err
+	}
+	pos := make([]int, len(r.Head.Terms))
+	for i, t := range r.Head.Terms {
+		p := body.Pos(t.Var)
+		if p < 0 {
+			return 0, fmt.Errorf("datalog: head variable %s unbound after join", t.Var)
+		}
+		pos[i] = p
+	}
+	added := 0
+	buf := make(relation.Tuple, len(pos))
+	for _, tup := range body.Tuples() {
+		for i, p := range pos {
+			buf[i] = tup[p]
+		}
+		if head.Insert(buf) {
+			added++
+		}
+	}
+	return added, nil
+}
+
+// Consequences returns the tuples of the named relation derived by the
+// program but absent from the original database, in sorted name order —
+// the "new knowledge" a discovered rule contributes.
+func Consequences(original, closed *relation.Database, rel string) ([][]string, error) {
+	after := closed.Relation(rel)
+	if after == nil {
+		return nil, fmt.Errorf("datalog: relation %q not present after evaluation", rel)
+	}
+	before := original.Relation(rel)
+	var out [][]string
+	for _, t := range after.Tuples() {
+		names := make([]string, len(t))
+		for i, v := range t {
+			names[i] = closed.Dict().Name(v)
+		}
+		if before != nil {
+			orig := make(relation.Tuple, len(names))
+			known := true
+			for i, s := range names {
+				v, ok := original.Dict().Lookup(s)
+				if !ok {
+					known = false
+					break
+				}
+				orig[i] = v
+			}
+			if known && before.Contains(orig) {
+				continue
+			}
+		}
+		out = append(out, names)
+	}
+	return out, nil
+}

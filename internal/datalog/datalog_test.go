@@ -1,0 +1,179 @@
+package datalog
+
+import (
+	"testing"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+func edgeDB(edges ...[2]string) *relation.Database {
+	db := relation.NewDatabase()
+	db.MustAddRelation("e", 2)
+	for _, e := range edges {
+		db.MustInsertNamed("e", e[0], e[1])
+	}
+	return db
+}
+
+func rule(text string) core.Rule {
+	mq := core.MustParse(text)
+	// All-relation (non-pattern) metaqueries convert directly to rules.
+	body := make([]relation.Atom, len(mq.Body))
+	for i, l := range mq.Body {
+		body[i] = l.Atom()
+	}
+	return core.Rule{Head: mq.Head.Atom(), Body: body}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	db := edgeDB([2]string{"a", "b"}, [2]string{"b", "c"}, [2]string{"c", "d"})
+	db.MustAddRelation("tc", 2)
+	p := &Program{Rules: []core.Rule{
+		rule(`tc(X,Y) <- e(X,Y)`),
+		rule(`tc(X,Z) <- tc(X,Y), e(Y,Z)`),
+	}}
+	closed, stats, err := Eval(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reachability pairs: ab ac ad bc bd cd = 6.
+	if closed.Relation("tc").Len() != 6 {
+		t.Errorf("tc has %d tuples, want 6", closed.Relation("tc").Len())
+	}
+	if stats.Derived != 6 {
+		t.Errorf("derived = %d, want 6", stats.Derived)
+	}
+	if stats.Iterations < 3 {
+		t.Errorf("iterations = %d, expected at least 3 for a 3-hop chain", stats.Iterations)
+	}
+	// Input database untouched.
+	if db.Relation("tc").Len() != 0 {
+		t.Error("input database mutated")
+	}
+}
+
+func TestCycleClosureTerminates(t *testing.T) {
+	db := edgeDB([2]string{"a", "b"}, [2]string{"b", "a"})
+	db.MustAddRelation("tc", 2)
+	p := &Program{Rules: []core.Rule{
+		rule(`tc(X,Y) <- e(X,Y)`),
+		rule(`tc(X,Z) <- tc(X,Y), tc(Y,Z)`),
+	}}
+	closed, _, err := Eval(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// aa ab ba bb.
+	if closed.Relation("tc").Len() != 4 {
+		t.Errorf("cyclic closure = %d tuples, want 4", closed.Relation("tc").Len())
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	db := edgeDB([2]string{"a", "b"})
+	cases := []struct {
+		name string
+		p    *Program
+	}{
+		{"unknown body relation", &Program{Rules: []core.Rule{rule(`d(X,Y) <- nosuch(X,Y)`)}}},
+		{"unsafe head", &Program{Rules: []core.Rule{rule(`d(X,W) <- e(X,Y)`)}}},
+		{"body arity", &Program{Rules: []core.Rule{{
+			Head: relation.NewAtom("d", "X"),
+			Body: []relation.Atom{relation.NewAtom("e", "X")},
+		}}}},
+		{"empty body", &Program{Rules: []core.Rule{{Head: relation.NewAtom("d", "X")}}}},
+		{"head arity clash", &Program{Rules: []core.Rule{rule(`e(X,Y,Y) <- e(X,Y), e(Y,Y)`)}}},
+		{"constant head", &Program{Rules: []core.Rule{{
+			Head: relation.Atom{Pred: "d", Terms: []relation.Term{relation.C(0)}},
+			Body: []relation.Atom{relation.NewAtom("e", "X", "Y")},
+		}}}},
+	}
+	for _, c := range cases {
+		if _, _, err := Eval(db, c.p); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestHeadRelationCreatedOnDemand(t *testing.T) {
+	db := edgeDB([2]string{"a", "b"})
+	p := &Program{Rules: []core.Rule{rule(`derived(Y,X) <- e(X,Y)`)}}
+	closed, _, err := Eval(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := closed.Relation("derived")
+	if d == nil || d.Len() != 1 {
+		t.Fatalf("derived relation missing or wrong: %v", d)
+	}
+}
+
+func TestConsequences(t *testing.T) {
+	db := edgeDB([2]string{"a", "b"}, [2]string{"b", "c"})
+	db.MustAddRelation("tc", 2)
+	db.MustInsertNamed("tc", "a", "b") // already known
+	p := &Program{Rules: []core.Rule{
+		rule(`tc(X,Y) <- e(X,Y)`),
+		rule(`tc(X,Z) <- tc(X,Y), e(Y,Z)`),
+	}}
+	closed, _, err := Eval(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	news, err := Consequences(db, closed, "tc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New: bc, ac (ab was known).
+	if len(news) != 2 {
+		t.Errorf("consequences = %v, want 2 tuples", news)
+	}
+	if _, err := Consequences(db, closed, "nosuch"); err == nil {
+		t.Error("missing relation accepted")
+	}
+}
+
+// End-to-end pipeline: mine a rule with the metaquery engine, then run it
+// deductively on a fresh database — the Section 1 integration story.
+func TestMineThenDeduce(t *testing.T) {
+	train := relation.NewDatabase()
+	train.MustInsertNamed("parent", "ada", "bob")
+	train.MustInsertNamed("parent", "bob", "cid")
+	train.MustInsertNamed("grandparent", "ada", "cid")
+
+	mq := core.MustParse("R(X,Z) <- P(X,Y), Q(Y,Z)")
+	answers, err := core.NaiveAnswers(train, mq, core.Type0,
+		core.AllAbove(rat.Zero, rat.New(9, 10), rat.New(9, 10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mined []core.Answer
+	for _, a := range answers {
+		if a.Rule.Head.Pred == "grandparent" &&
+			a.Rule.Body[0].Pred == "parent" && a.Rule.Body[1].Pred == "parent" {
+			mined = append(mined, a)
+		}
+	}
+	if len(mined) == 0 {
+		t.Fatal("grandparent rule not mined")
+	}
+
+	// Apply to unseen facts.
+	fresh := relation.NewDatabase()
+	fresh.MustInsertNamed("parent", "eva", "fay")
+	fresh.MustInsertNamed("parent", "fay", "gus")
+	fresh.MustAddRelation("grandparent", 2)
+	closed, _, err := Eval(fresh, FromAnswers(mined))
+	if err != nil {
+		t.Fatal(err)
+	}
+	news, err := Consequences(fresh, closed, "grandparent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(news) != 1 || news[0][0] != "eva" || news[0][1] != "gus" {
+		t.Errorf("deduced %v, want [[eva gus]]", news)
+	}
+}

@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// An entirely empty database yields no answers under any checked threshold
+// and all-zero-index answers when nothing is checked.
+func TestFindRulesEmptyDatabase(t *testing.T) {
+	db := relation.NewDatabase()
+	db.MustAddRelation("p", 2)
+	db.MustAddRelation("q", 2)
+	mq := core.MustParse("R(X,Z) <- P(X,Y), Q(Y,Z)")
+
+	checked, _, err := FindRules(db, mq, Options{
+		Type:       core.Type0,
+		Thresholds: core.AllAbove(rat.Zero, rat.Zero, rat.Zero),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checked) != 0 {
+		t.Errorf("empty database produced %d answers", len(checked))
+	}
+
+	unchecked, _, err := FindRules(db, mq, Options{Type: core.Type0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unchecked) != 8 { // 2^3 instantiations
+		t.Errorf("unchecked answers = %d, want 8", len(unchecked))
+	}
+	for _, a := range unchecked {
+		if !a.Sup.IsZero() || !a.Cnf.IsZero() || !a.Cvr.IsZero() {
+			t.Errorf("non-zero index on empty database: %+v", a)
+		}
+	}
+}
+
+// A head variable absent from the body: cover semantics degrade to the
+// cartesian fraction, still matching the naive engine.
+func TestFindRulesHeadOnlyVariable(t *testing.T) {
+	db := relation.NewDatabase()
+	db.MustInsertNamed("p", "a", "b")
+	db.MustInsertNamed("q", "a", "c")
+	db.MustInsertNamed("q", "x", "y")
+	mq := core.MustParse("R(X,W) <- P(X,Y)")
+	th := core.Thresholds{}
+	want, err := core.NaiveAnswers(db, mq, core.Type0, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := FindRules(db, mq, Options{Type: core.Type0, Thresholds: th})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAnswers(t, got, want, "head-only var")
+}
+
+// Bodies with a single literal exercise the one-node decomposition.
+func TestFindRulesSingleLiteralBody(t *testing.T) {
+	db := relation.NewDatabase()
+	db.MustInsertNamed("p", "a", "b")
+	db.MustInsertNamed("q", "a", "b")
+	db.MustInsertNamed("q", "b", "a")
+	mq := core.MustParse("R(X,Y) <- P(X,Y)")
+	for _, typ := range []core.InstType{core.Type0, core.Type1, core.Type2} {
+		th := core.SingleIndex(core.Cnf, rat.New(1, 4))
+		want, err := core.NaiveAnswers(db, mq, typ, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := FindRules(db, mq, Options{Type: typ, Thresholds: th})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameAnswers(t, got, want, "single literal "+typ.String())
+	}
+}
+
+// Repeated variables inside patterns (diagonal selections) must survive the
+// decomposition pipeline.
+func TestFindRulesRepeatedVariables(t *testing.T) {
+	db := relation.NewDatabase()
+	db.MustInsertNamed("p", "a", "a")
+	db.MustInsertNamed("p", "a", "b")
+	db.MustInsertNamed("q", "a", "a")
+	db.MustInsertNamed("q", "b", "b")
+	mq := core.MustParse("R(X,X) <- P(X,X), Q(X,X)")
+	th := core.Thresholds{}
+	want, err := core.NaiveAnswers(db, mq, core.Type0, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := FindRules(db, mq, Options{Type: core.Type0, Thresholds: th})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAnswers(t, got, want, "repeated vars")
+}
+
+// Zero-arity relations are legal degenerate databases.
+func TestFindRulesZeroArity(t *testing.T) {
+	db := relation.NewDatabase()
+	r := db.MustAddRelation("unit", 0)
+	r.Insert(relation.Tuple{})
+	mq := core.MustParse("R() <- P()")
+	th := core.Thresholds{}
+	got, _, err := FindRules(db, mq, Options{Type: core.Type0, Thresholds: th})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.NaiveAnswers(db, mq, core.Type0, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAnswers(t, got, want, "zero arity")
+	if len(got) != 1 {
+		t.Errorf("answers = %d, want 1", len(got))
+	}
+	// unit() <- unit() holds totally.
+	if !got[0].Cnf.Equal(rat.One) || !got[0].Sup.Equal(rat.One) {
+		t.Errorf("indices = %+v", got[0])
+	}
+}
+
+// Limit interacts with sorted output: the single returned answer must be a
+// valid answer (not necessarily the lexicographically first).
+func TestFindRulesLimitValidity(t *testing.T) {
+	db := relation.NewDatabase()
+	db.MustInsertNamed("p", "a", "b")
+	db.MustInsertNamed("q", "b", "c")
+	mq := core.MustParse("R(X,Z) <- P(X,Y), Q(Y,Z)")
+	th := core.SingleIndex(core.Sup, rat.Zero)
+	got, _, err := FindRules(db, mq, Options{Type: core.Type0, Thresholds: th, Limit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("limit 2 returned %d answers", len(got))
+	}
+	for _, a := range got {
+		if !a.Sup.Greater(rat.Zero) {
+			t.Errorf("limited answer violates threshold: %+v", a)
+		}
+	}
+}
+
+// The engine must reject what the core validation rejects.
+func TestFindRulesValidation(t *testing.T) {
+	db := relation.NewDatabase()
+	db.MustInsertNamed("p", "a", "b")
+	impure := core.MustParse("P(X) <- P(X,Y)")
+	if _, _, err := FindRules(db, impure, Options{Type: core.Type0}); err == nil {
+		t.Error("impure metaquery accepted under type-0")
+	}
+	missing := core.MustParse("R(X) <- nosuch(X)")
+	if _, _, err := FindRules(db, missing, Options{Type: core.Type2}); err == nil {
+		t.Error("unknown relation accepted")
+	}
+}
+
+// Thresholds at the top of the range: k arbitrarily close to 1 still
+// behaves strictly; cnf = 1 passes k = 99999/100000.
+func TestFindRulesNearOneThreshold(t *testing.T) {
+	db := relation.NewDatabase()
+	db.MustInsertNamed("p", "a", "b")
+	db.MustInsertNamed("q", "a", "b")
+	mq := core.MustParse("Q(X,Y) <- P(X,Y)")
+	th := core.SingleIndex(core.Cnf, rat.New(99999, 100000))
+	got, _, err := FindRules(db, mq, Options{Type: core.Type0, Thresholds: th})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundPerfect := false
+	for _, a := range got {
+		if !a.Cnf.Equal(rat.One) {
+			t.Errorf("answer with cnf %v passed k≈1", a.Cnf)
+		}
+		foundPerfect = true
+	}
+	if !foundPerfect {
+		t.Error("perfect-confidence rule missing")
+	}
+}

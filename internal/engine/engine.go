@@ -1,0 +1,322 @@
+// Package engine implements the findRules algorithm of Figure 4 (Section 4
+// of the paper): metaquery answering driven by a complete hypertree
+// decomposition of the body, with semijoin full-reducer passes (the
+// "first half" and "second half" of Section 4), early support-based pruning
+// (enoughSupport), and head search (findHeads).
+//
+// The engine is differentially tested against the naive reference
+// implementation in internal/core; both compute the answer set
+//
+//	{ σ : sup(σ(MQ)) > ksup ∧ cvr(σ(MQ)) > kcvr ∧ cnf(σ(MQ)) > kcnf }
+//
+// with exact rational index values.
+package engine
+
+import (
+	"fmt"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/hypertree"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// Options configures a findRules run.
+type Options struct {
+	// Type selects the instantiation semantics (type-0/1/2).
+	Type core.InstType
+	// Thresholds are the strict admissibility thresholds. Disabled checks
+	// are reported but not filtered (and disable the related pruning).
+	Thresholds core.Thresholds
+	// Limit, when positive, stops the search after this many answers; used
+	// to solve decision problems with early exit.
+	Limit int
+
+	// Ablation switches (all default off = full algorithm). They change
+	// performance only, never results; see the ablation benchmarks.
+
+	// DisableSupportPruning skips the enoughSupport early check; support is
+	// still computed exactly for reporting and final filtering.
+	DisableSupportPruning bool
+	// DisableFullReducer skips both semijoin halves; node tables are used
+	// unreduced and the body join is materialized directly.
+	DisableFullReducer bool
+	// FlatDecomposition forces the trivial single-node decomposition
+	// (width = number of body schemes) instead of the minimal-width one.
+	FlatDecomposition bool
+}
+
+// Stats reports search-effort counters for experiments and ablations.
+type Stats struct {
+	// Width is the hypertree width of the decomposition used.
+	Width int
+	// Nodes is the number of decomposition nodes.
+	Nodes int
+	// BodyCandidatesTried counts node-level instantiation extensions.
+	BodyCandidatesTried int
+	// BodiesPrunedEmpty counts body branches cut because a node table was
+	// empty after reduction.
+	BodiesPrunedEmpty int
+	// BodiesReachedRoot counts complete body instantiations.
+	BodiesReachedRoot int
+	// BodiesPrunedSupport counts bodies rejected by enoughSupport.
+	BodiesPrunedSupport int
+	// HeadsTried counts head instantiations examined.
+	HeadsTried int
+	// Answers is the number of rules returned.
+	Answers int
+}
+
+// FindRules computes all type-T instantiations of mq over db whose indices
+// pass the thresholds, with exact index values, sorted by rule text.
+// It is the entry point corresponding to Figure 4's findRules.
+func FindRules(db *relation.Database, mq *core.Metaquery, opt Options) ([]core.Answer, *Stats, error) {
+	if err := core.ValidateForType(db, mq, opt.Type); err != nil {
+		return nil, nil, err
+	}
+	r := &run{db: db, mq: mq, opt: opt, stats: &Stats{}}
+	if err := r.setup(); err != nil {
+		return nil, nil, err
+	}
+	if err := r.findBodies(0, core.NewInstantiation()); err != nil && err != errLimit {
+		return nil, nil, err
+	}
+	core.SortAnswers(r.answers)
+	r.stats.Answers = len(r.answers)
+	return r.answers, r.stats, nil
+}
+
+// errLimit signals early termination once Options.Limit answers were found.
+var errLimit = fmt.Errorf("engine: answer limit reached")
+
+// bodyScheme couples a distinct body literal scheme with the data the
+// engine needs repeatedly.
+type bodyScheme struct {
+	scheme     core.LiteralScheme
+	patternIdx int // index in rep(MQ) for fresh-variable keying; -1 if atom
+	vars       []string
+}
+
+type run struct {
+	db    *relation.Database
+	mq    *core.Metaquery
+	opt   Options
+	stats *Stats
+
+	schemes []bodyScheme // distinct body schemes, ID = slice index
+	decomp  *hypertree.Decomposition
+	order   []*hypertree.Node // bottom-up
+
+	// nodeSchemes[nodeID] lists the scheme IDs in λ(node).
+	nodeSchemes map[int][]int
+
+	// rTables[nodeID] is r[i] of Figure 4 for the current partial body.
+	rTables map[int]*relation.Table
+	// joinCache caches π_χ(J(σ(λ))) keyed by node and atom assignment.
+	joinCache map[string]*relation.Table
+
+	answers []core.Answer
+}
+
+func (r *run) setup() error {
+	// Distinct body schemes (the paper treats ls(MQ) as a set).
+	seen := map[string]int{}
+	for _, l := range r.mq.Body {
+		if _, dup := seen[l.Key()]; dup {
+			continue
+		}
+		seen[l.Key()] = len(r.schemes)
+		r.schemes = append(r.schemes, bodyScheme{
+			scheme:     l,
+			patternIdx: core.PatternIndex(r.mq, l),
+			vars:       l.Vars(),
+		})
+	}
+
+	atoms := make([]hypertree.AtomSchema, len(r.schemes))
+	for i, s := range r.schemes {
+		atoms[i] = hypertree.AtomSchema{ID: i, Vars: s.vars}
+	}
+	if r.opt.FlatDecomposition {
+		r.decomp = flatDecomposition(atoms)
+	} else {
+		r.decomp = hypertree.Decompose(atoms)
+	}
+	if err := hypertree.Validate(atoms, r.decomp); err != nil {
+		return fmt.Errorf("engine: decomposition invalid: %w", err)
+	}
+	r.order = r.decomp.BottomUpOrder()
+	r.stats.Width = r.decomp.Width
+	r.stats.Nodes = len(r.order)
+
+	r.nodeSchemes = make(map[int][]int, len(r.order))
+	for _, n := range r.order {
+		r.nodeSchemes[n.ID] = append([]int(nil), n.Lambda...)
+	}
+	r.rTables = make(map[int]*relation.Table, len(r.order))
+	r.joinCache = make(map[string]*relation.Table)
+	return nil
+}
+
+// flatDecomposition builds the trivial one-node decomposition used by the
+// FlatDecomposition ablation.
+func flatDecomposition(atoms []hypertree.AtomSchema) *hypertree.Decomposition {
+	varSet := map[string]bool{}
+	ids := make([]int, len(atoms))
+	for i, a := range atoms {
+		ids[i] = a.ID
+		for _, v := range a.Vars {
+			varSet[v] = true
+		}
+	}
+	vars := make([]string, 0, len(varSet))
+	for v := range varSet {
+		vars = append(vars, v)
+	}
+	root := &hypertree.Node{Chi: sortStrings(vars), Lambda: ids}
+	return hypertree.Finish(root, atoms)
+}
+
+func sortStrings(vs []string) []string {
+	out := append([]string(nil), vs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// anyThresholdChecked reports whether empty-join pruning is sound: with at
+// least one strict threshold enabled, an empty body join (all indices 0)
+// can never pass.
+func (r *run) anyThresholdChecked() bool {
+	t := r.opt.Thresholds
+	return t.CheckSup || t.CheckCnf || t.CheckCvr
+}
+
+// findBodies is the recursive body search of Figure 4 (first half). i
+// indexes the bottom-up node order.
+func (r *run) findBodies(i int, sigma *core.Instantiation) error {
+	if i == len(r.order) {
+		return r.afterBodies(sigma)
+	}
+	node := r.order[i]
+	return r.instantiateNode(node, r.nodeSchemes[node.ID], 0, sigma, func() error {
+		return r.findBodies(i+1, sigma)
+	})
+}
+
+// instantiateNode extends sigma over the schemes of one node, then computes
+// the node table and recurses via cont.
+func (r *run) instantiateNode(node *hypertree.Node, schemeIDs []int, j int, sigma *core.Instantiation, cont func() error) error {
+	if j == len(schemeIDs) {
+		return r.evalNode(node, schemeIDs, sigma, cont)
+	}
+	bs := r.schemes[schemeIDs[j]]
+	l := bs.scheme
+	if !l.PredVar {
+		// Ordinary atom: nothing to assign.
+		return r.instantiateNode(node, schemeIDs, j+1, sigma, cont)
+	}
+	if _, done := sigma.AtomFor(l); done {
+		// Assigned at an earlier node (λ sets may overlap).
+		return r.instantiateNode(node, schemeIDs, j+1, sigma, cont)
+	}
+	for _, a := range core.Candidates(r.db, l, r.opt.Type, bs.patternIdx) {
+		if rel, ok := sigma.RelationOf(l.Pred); ok && rel != a.Pred {
+			continue
+		}
+		r.stats.BodyCandidatesTried++
+		if err := sigma.Assign(l, a); err != nil {
+			return err
+		}
+		err := r.instantiateNode(node, schemeIDs, j+1, sigma, cont)
+		sigma.Unassign(l)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalNode computes r[i] := π_χ(J(σ(λ))) semijoined with the children's
+// tables (the bottom-up first half), prunes empty branches, and continues.
+func (r *run) evalNode(node *hypertree.Node, schemeIDs []int, sigma *core.Instantiation, cont func() error) error {
+	tab, err := r.nodeJoin(node, schemeIDs, sigma)
+	if err != nil {
+		return err
+	}
+	if !r.opt.DisableFullReducer {
+		for _, c := range node.Children {
+			tab = tab.Semijoin(r.rTables[c.ID])
+		}
+	}
+	if tab.Empty() && r.anyThresholdChecked() {
+		r.stats.BodiesPrunedEmpty++
+		return nil
+	}
+	prev, had := r.rTables[node.ID]
+	r.rTables[node.ID] = tab
+	err = cont()
+	if had {
+		r.rTables[node.ID] = prev
+	} else {
+		delete(r.rTables, node.ID)
+	}
+	return err
+}
+
+// nodeJoin computes (and caches) π_χ(J(σ(λ(p)))) for the node's current
+// atom assignment.
+func (r *run) nodeJoin(node *hypertree.Node, schemeIDs []int, sigma *core.Instantiation) (*relation.Table, error) {
+	atoms := make([]relation.Atom, 0, len(schemeIDs))
+	key := fmt.Sprintf("n%d|", node.ID)
+	for _, id := range schemeIDs {
+		a, err := r.instAtom(r.schemes[id].scheme, sigma)
+		if err != nil {
+			return nil, err
+		}
+		atoms = append(atoms, a)
+		key += a.String() + ";"
+	}
+	if t, ok := r.joinCache[key]; ok {
+		return t, nil
+	}
+	j, err := relation.JoinAtoms(r.db, atoms)
+	if err != nil {
+		return nil, err
+	}
+	t := j.Project(node.Chi)
+	r.joinCache[key] = t
+	return t, nil
+}
+
+// instAtom maps a body scheme through sigma (identity on ordinary atoms).
+func (r *run) instAtom(l core.LiteralScheme, sigma *core.Instantiation) (relation.Atom, error) {
+	if !l.PredVar {
+		return l.Atom(), nil
+	}
+	a, ok := sigma.AtomFor(l)
+	if !ok {
+		return relation.Atom{}, fmt.Errorf("engine: pattern %s unassigned at evaluation", l)
+	}
+	return a, nil
+}
+
+// afterBodies runs once per complete body instantiation: executes the
+// second (top-down) half of the full reducer and calls findHeads.
+func (r *run) afterBodies(sigma *core.Instantiation) error {
+	r.stats.BodiesReachedRoot++
+
+	// Second half: s[j] := r[j] ⋉ s[parent(j)], top-down.
+	s := make(map[int]*relation.Table, len(r.order))
+	for i := len(r.order) - 1; i >= 0; i-- {
+		n := r.order[i]
+		t := r.rTables[n.ID]
+		if !r.opt.DisableFullReducer && n.Parent != nil {
+			t = t.Semijoin(s[n.Parent.ID])
+		}
+		s[n.ID] = t
+	}
+	return r.findHeads(sigma, s)
+}

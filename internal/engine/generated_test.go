@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/generate"
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/workload"
+)
+
+// The engine must agree with the naive reference across the whole
+// schema-generated metaquery family, on random databases, for all types.
+// This is the broadest differential sweep in the suite.
+func TestFindRulesMatchesNaiveOnGeneratedFamily(t *testing.T) {
+	if testing.Short() {
+		t.Skip("family sweep skipped in -short mode")
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := workload.Random{
+			Relations: 2 + rng.Intn(2),
+			Arity:     2,
+			Tuples:    4 + rng.Intn(5),
+			Domain:    3,
+			Seed:      seed,
+		}.Build()
+		mqs, err := generate.FromSchema(db, generate.Config{MaxBodyLiterals: 3, IncludeCycles: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		th := core.AllAbove(rat.New(1, 5), rat.Zero, rat.Zero)
+		for _, mq := range mqs {
+			for _, typ := range []core.InstType{core.Type0, core.Type1} {
+				want, err := core.NaiveAnswers(db, mq, typ, th)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, _, err := FindRules(db, mq, Options{Type: typ, Thresholds: th})
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameAnswers(t, got, want, mq.String()+" "+typ.String())
+			}
+		}
+	}
+}

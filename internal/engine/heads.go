@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// supportInfo carries the exact support value and whether the threshold
+// check passed.
+type supportInfo struct {
+	value  rat.Rat
+	passes bool
+}
+
+// computeSupport evaluates sup(σ(body)) exactly from the reduced node
+// tables: for each body atom a with cover node p,
+//
+//	{a} ↑ b(r)  =  |r_a ⋉ π_varo(a)(s[p])| / |r_a|
+//
+// which is the enoughSupport computation of Figure 4, extended to return
+// the exact maximum rather than only the threshold bit.
+func (r *run) computeSupport(sigma *core.Instantiation, s map[int]*relation.Table) (supportInfo, error) {
+	best := rat.Zero
+	for id, bs := range r.schemes {
+		atom, err := r.instAtom(bs.scheme, sigma)
+		if err != nil {
+			return supportInfo{}, err
+		}
+		ra, err := relation.FromAtom(r.db, atom)
+		if err != nil {
+			return supportInfo{}, err
+		}
+		if ra.Len() == 0 {
+			continue
+		}
+		node := r.decomp.CoverNode[id]
+		reduced := s[node.ID].Project(bs.vars)
+		num := ra.Semijoin(reduced).Len()
+		if num == 0 {
+			continue
+		}
+		best = rat.Max(best, rat.New(int64(num), int64(ra.Len())))
+	}
+	passes := !r.opt.Thresholds.CheckSup || best.Greater(r.opt.Thresholds.Sup)
+	return supportInfo{value: best, passes: passes}, nil
+}
+
+// enoughSupport is the early-exit variant used for pruning: it returns true
+// as soon as one body atom's fraction exceeds ksup (support is a maximum).
+func (r *run) enoughSupport(sigma *core.Instantiation, s map[int]*relation.Table) (bool, error) {
+	for id, bs := range r.schemes {
+		atom, err := r.instAtom(bs.scheme, sigma)
+		if err != nil {
+			return false, err
+		}
+		ra, err := relation.FromAtom(r.db, atom)
+		if err != nil {
+			return false, err
+		}
+		if ra.Len() == 0 {
+			continue
+		}
+		node := r.decomp.CoverNode[id]
+		reduced := s[node.ID].Project(bs.vars)
+		num := ra.Semijoin(reduced).Len()
+		if num == 0 {
+			continue
+		}
+		if rat.New(int64(num), int64(ra.Len())).Greater(r.opt.Thresholds.Sup) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// bodyJoin materializes b = J(σ(body)) over att(body), including type-2
+// padding variables (they contribute to the confidence denominator).
+// Atom tables are semijoin-reduced against their cover nodes first, which
+// is what makes the final join cheap after the full-reducer passes.
+func (r *run) bodyJoin(sigma *core.Instantiation, s map[int]*relation.Table) (*relation.Table, error) {
+	tables := make([]*relation.Table, 0, len(r.schemes))
+	for id, bs := range r.schemes {
+		atom, err := r.instAtom(bs.scheme, sigma)
+		if err != nil {
+			return nil, err
+		}
+		ta, err := relation.FromAtom(r.db, atom)
+		if err != nil {
+			return nil, err
+		}
+		if !r.opt.DisableFullReducer {
+			node := r.decomp.CoverNode[id]
+			ta = ta.Semijoin(s[node.ID])
+		}
+		tables = append(tables, ta)
+	}
+	acc := relation.Unit()
+	// Join smallest-first among those sharing variables, greedily.
+	remaining := append([]*relation.Table(nil), tables...)
+	for len(remaining) > 0 {
+		pick := 0
+		for i := 1; i < len(remaining); i++ {
+			if shares(acc, remaining[i]) && !shares(acc, remaining[pick]) {
+				pick = i
+			} else if shares(acc, remaining[i]) == shares(acc, remaining[pick]) &&
+				remaining[i].Len() < remaining[pick].Len() {
+				pick = i
+			}
+		}
+		acc = acc.NaturalJoin(remaining[pick])
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+	}
+	return acc, nil
+}
+
+func shares(a, b *relation.Table) bool {
+	for _, v := range b.Vars() {
+		if a.HasVar(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// findHeads is Figure 4's findHeads: with the body σb fixed and reduced,
+// check support, materialize b = J(σb(body)), and search head
+// instantiations agreeing with σb, filtering on cover and confidence.
+func (r *run) findHeads(sigma *core.Instantiation, s map[int]*relation.Table) error {
+	th := r.opt.Thresholds
+
+	if th.CheckSup && !r.opt.DisableSupportPruning {
+		ok, err := r.enoughSupport(sigma, s)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			r.stats.BodiesPrunedSupport++
+			return nil
+		}
+	}
+	sup, err := r.computeSupport(sigma, s)
+	if err != nil {
+		return err
+	}
+	if !sup.passes {
+		r.stats.BodiesPrunedSupport++
+		return nil
+	}
+
+	b, err := r.bodyJoin(sigma, s)
+	if err != nil {
+		return err
+	}
+
+	head := r.mq.Head
+	headPatternIdx := core.PatternIndex(r.mq, head)
+	for _, ha := range core.Candidates(r.db, head, r.opt.Type, headPatternIdx) {
+		if head.PredVar {
+			// Agreement with σb (Definition 4.13): same pattern -> same atom,
+			// same predicate variable -> same relation.
+			if prev, ok := sigma.AtomFor(head); ok && prev.String() != ha.String() {
+				continue
+			}
+			if rel, ok := sigma.RelationOf(head.Pred); ok && rel != ha.Pred {
+				continue
+			}
+		}
+		r.stats.HeadsTried++
+
+		h, err := relation.FromAtom(r.db, ha)
+		if err != nil {
+			return err
+		}
+		// h' := h ⋉ b ; cvr = |h'| / |h|.
+		hPrime := h.Semijoin(b)
+		cvr := rat.Zero
+		if hPrime.Len() > 0 {
+			cvr = rat.New(int64(hPrime.Len()), int64(h.Len()))
+		}
+		if th.CheckCvr && !cvr.Greater(th.Cvr) {
+			continue
+		}
+		// cnf = |b ⋉ h'| / |b|.
+		cnf := rat.Zero
+		if b.Len() > 0 {
+			num := b.Semijoin(hPrime).Len()
+			if num > 0 {
+				cnf = rat.New(int64(num), int64(b.Len()))
+			}
+		}
+		if th.CheckCnf && !cnf.Greater(th.Cnf) {
+			continue
+		}
+
+		full := sigma.Clone()
+		if head.PredVar {
+			if err := full.Assign(head, ha); err != nil {
+				continue // cannot agree (e.g. conflicting relation)
+			}
+		}
+		rule, err := full.Apply(r.mq)
+		if err != nil {
+			return err
+		}
+		r.answers = append(r.answers, core.Answer{
+			Inst: full,
+			Rule: rule,
+			Sup:  sup.value,
+			Cnf:  cnf,
+			Cvr:  cvr,
+		})
+		if r.opt.Limit > 0 && len(r.answers) >= r.opt.Limit {
+			return errLimit
+		}
+	}
+	return nil
+}

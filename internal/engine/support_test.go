@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/relation"
+	"github.com/mqgo/metaquery/internal/workload"
+)
+
+// The Theorem 4.12 support algorithm must equal the naive definition.
+func TestSupportOfRuleMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomDB(rng, 3, 2, 8, 4)
+		rule := randomRuleForSupport(rng, db)
+		fast, err := SupportOfRule(db, rule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := core.Support(db, rule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fast.Equal(slow) {
+			t.Errorf("seed %d: SupportOfRule = %v, Support = %v for %s", seed, fast, slow, rule)
+		}
+	}
+}
+
+func TestSupportOfRuleWidthWorkloads(t *testing.T) {
+	for c := 1; c <= 3; c++ {
+		db, rule := workload.WidthWorkload(c, 60, 12, int64(c))
+		fast, err := SupportOfRule(db, rule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := core.Support(db, rule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fast.Equal(slow) {
+			t.Errorf("width %d: %v != %v", c, fast, slow)
+		}
+	}
+}
+
+func TestSupportOfRuleEmptyRelation(t *testing.T) {
+	db := relation.NewDatabase()
+	db.MustAddRelation("p", 2)
+	rule := core.Rule{
+		Head: relation.NewAtom("p", "X", "Y"),
+		Body: []relation.Atom{relation.NewAtom("p", "X", "Y")},
+	}
+	v, err := SupportOfRule(db, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsZero() {
+		t.Errorf("support over empty relation = %v", v)
+	}
+}
+
+func randomRuleForSupport(rng *rand.Rand, db *relation.Database) core.Rule {
+	names := db.RelationNames()
+	vars := []string{"X", "Y", "Z", "W"}
+	mk := func() relation.Atom {
+		name := names[rng.Intn(len(names))]
+		arity := db.Relation(name).Arity()
+		args := make([]string, arity)
+		for i := range args {
+			args[i] = vars[rng.Intn(len(vars))]
+		}
+		return relation.NewAtom(name, args...)
+	}
+	nBody := 1 + rng.Intn(3)
+	body := make([]relation.Atom, nBody)
+	for i := range body {
+		body[i] = mk()
+	}
+	return core.Rule{Head: mk(), Body: body}
+}

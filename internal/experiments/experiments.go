@@ -1,0 +1,138 @@
+// Package experiments implements the per-experiment harness of DESIGN.md:
+// one runnable experiment per paper artifact (worked examples, Figure 5
+// complexity rows, Section 4 algorithm bounds). Each experiment returns a
+// table in the shape the paper reports plus a pass/fail verdict of the
+// reproduction check; cmd/mqbench prints them and EXPERIMENTS.md records
+// the outcomes.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Result is the outcome of one experiment.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+	Pass   bool
+}
+
+// AddRow appends a table row.
+func (r *Result) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// Notef appends a formatted note.
+func (r *Result) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	fmt.Fprintf(&b, "verdict: %s\n", map[bool]string{true: "PASS", false: "FAIL"}[r.Pass])
+	return b.String()
+}
+
+// Runner is an experiment implementation. quick trims instance sizes for
+// benchmark-time runs.
+type Runner func(quick bool) (*Result, error)
+
+var registry = map[string]Runner{
+	"E1":  runE1,
+	"E2":  runE2,
+	"E3":  runE3,
+	"E4":  runE4,
+	"E5":  runE5,
+	"E6":  runE6,
+	"E7":  runE7,
+	"E8":  runE8,
+	"E9":  runE9,
+	"E10": runE10,
+	"E11": runE11,
+	"E12": runE12,
+	"E13": runE13,
+	"E14": runE14,
+	"E15": runE15,
+	"E16": runE16,
+	"E17": runE17,
+	"E18": runE18,
+	"E19": runE19,
+	"E20": runE20,
+}
+
+// IDs returns the registered experiment IDs in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, quick bool) (*Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(quick)
+}
+
+// timeIt measures fn's wall-clock duration.
+func timeIt(fn func() error) (time.Duration, error) {
+	start := time.Now()
+	err := fn()
+	return time.Since(start), err
+}
+
+func fmtDur(d time.Duration) string { return d.Round(time.Microsecond).String() }
+
+func boolMark(b bool) string {
+	if b {
+		return "ok"
+	}
+	return "MISMATCH"
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every experiment must run in quick mode and pass its reproduction check.
+func TestAllExperimentsPassQuick(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, true)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if !res.Pass {
+				t.Errorf("%s failed:\n%s", id, res)
+			}
+			if res.Title == "" || len(res.Header) == 0 {
+				t.Errorf("%s: missing title or header", id)
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("E999", true); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	res := &Result{ID: "X", Title: "demo", Header: []string{"a", "b"}, Pass: true}
+	res.AddRow("1", "2")
+	res.Notef("note %d", 7)
+	s := res.String()
+	for _, want := range []string{"== X: demo ==", "a", "1", "note: note 7", "PASS"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered result missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestIDsOrdered(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 20 {
+		t.Fatalf("%d experiments registered, want 20", len(ids))
+	}
+	if ids[0] != "E1" || ids[len(ids)-1] != "E20" {
+		t.Errorf("order: %v", ids)
+	}
+}

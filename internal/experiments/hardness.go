@@ -1,0 +1,353 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/graphs"
+	"github.com/mqgo/metaquery/internal/logic"
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/reductions"
+)
+
+// runE4 reproduces Figure 5 row 1 (Theorem 3.21): the 3-COLORING reduction
+// decides graph colorability through metaquerying, for every index and
+// instantiation type, on fixed and random graphs.
+func runE4(quick bool) (*Result, error) {
+	res := &Result{ID: "E4", Title: "Thm 3.21 / Fig.5 row 1: 3-COLORING -> <DB,MQ,I,0,T>",
+		Header: []string{"graph", "3-colorable", "reduction says", "agree", "time"}}
+	type namedGraph struct {
+		name string
+		g    *graphs.Graph
+	}
+	cases := []namedGraph{
+		{"C5", graphs.Cycle(5)},
+		{"K3", graphs.Complete(3)},
+		{"K4", graphs.Complete(4)},
+		{"P6", graphs.Path(6)},
+	}
+	n := 10
+	if quick {
+		n = 3
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := graphs.Random(rng, 5+rng.Intn(3), 0.5)
+		if len(g.Edges) == 0 {
+			continue
+		}
+		cases = append(cases, namedGraph{fmt.Sprintf("G(seed=%d,n=%d)", seed, g.N), g})
+	}
+	pass := true
+	for _, c := range cases {
+		_, want := c.g.ThreeColorable()
+		red, err := reductions.BuildThreeColoring(c.g)
+		if err != nil {
+			return nil, err
+		}
+		var got bool
+		dur, err := timeIt(func() error {
+			var derr error
+			got, _, derr = core.Decide(red.DB, red.MQ, core.Sup, rat.Zero, core.Type0)
+			return derr
+		})
+		if err != nil {
+			return nil, err
+		}
+		agree := got == want
+		pass = pass && agree
+		res.AddRow(c.name, fmt.Sprint(want), fmt.Sprint(got), boolMark(agree), fmtDur(dur))
+	}
+	res.Notef("every index I ∈ {sup,cnf,cvr} and type T ∈ {0,1,2} is exercised by the unit tests; sup/type-0 shown here")
+	res.Pass = pass
+	return res, nil
+}
+
+// runE5 reproduces Theorem 3.24 / Figure 5 row 2: strict thresholds above 0
+// for sup behave exactly at the boundary of the true index value.
+func runE5(bool) (*Result, error) {
+	res := &Result{ID: "E5", Title: "Thm 3.24 / Fig.5 row 2: strict thresholds for sup/cvr",
+		Header: []string{"graph", "exact sup", "k just below", "k = sup", "pass"}}
+	pass := true
+	for _, g := range []*graphs.Graph{graphs.Cycle(5), graphs.Complete(3), graphs.Path(5)} {
+		red, err := reductions.BuildThreeColoring(g)
+		if err != nil {
+			return nil, err
+		}
+		answers, err := core.NaiveAnswers(red.DB, red.MQ, core.Type0, core.Thresholds{})
+		if err != nil {
+			return nil, err
+		}
+		if len(answers) != 1 {
+			return nil, fmt.Errorf("E5: expected unique instantiation, got %d", len(answers))
+		}
+		sup := answers[0].Sup
+		if sup.IsZero() {
+			continue
+		}
+		justBelow := rat.New(sup.Num()*2-1, sup.Den()*2)
+		yesBelow, _, err := core.Decide(red.DB, red.MQ, core.Sup, justBelow, core.Type0)
+		if err != nil {
+			return nil, err
+		}
+		yesAt, _, err := core.Decide(red.DB, red.MQ, core.Sup, sup, core.Type0)
+		if err != nil {
+			return nil, err
+		}
+		ok := yesBelow && !yesAt
+		pass = pass && ok
+		res.AddRow(fmt.Sprintf("n=%d,m=%d", g.N, len(g.Edges)), sup.String(),
+			fmt.Sprintf("YES=%v", yesBelow), fmt.Sprintf("YES=%v", yesAt), boolMark(ok))
+	}
+	res.Notef("strictness: I > k, so deciding at k = exact index must answer NO")
+	res.Pass = pass
+	return res, nil
+}
+
+// runE6 reproduces Theorem 3.28 / Figure 5 row 3 (type-0): the ∃C-3SAT
+// reduction to confidence thresholds agrees with brute force.
+func runE6(quick bool) (*Result, error) {
+	return runExistsCSAT("E6", "Thm 3.28 / Fig.5 row 3: ∃C-3SAT -> cnf threshold (type-0)",
+		reductions.VariantType0, []core.InstType{core.Type0}, quick)
+}
+
+// runE7 reproduces Theorem 3.29: the type-1/2 variant of the ∃C-3SAT
+// reduction.
+func runE7(quick bool) (*Result, error) {
+	return runExistsCSAT("E7", "Thm 3.29: ∃C-3SAT -> cnf threshold (types 1,2)",
+		reductions.VariantType12, []core.InstType{core.Type1, core.Type2}, quick)
+}
+
+func runExistsCSAT(id, title string, variant reductions.ExistsCSATVariant, types []core.InstType, quick bool) (*Result, error) {
+	res := &Result{ID: id, Title: title,
+		Header: []string{"instance", "k'", "2^h", "brute force", "type", "reduction", "agree"}}
+	n := 8
+	if quick {
+		n = 3
+	}
+	pass := true
+	for seed := int64(0); seed < int64(n); seed++ {
+		rng := rand.New(rand.NewSource(seed*31 + 7))
+		nPi, nChi := 1+rng.Intn(2), 2+rng.Intn(2)
+		f := logic.Random3CNF(rng, nPi+nChi, 2+rng.Intn(3))
+		pi := make([]int, nPi)
+		chi := make([]int, nChi)
+		for i := range pi {
+			pi[i] = i
+		}
+		for i := range chi {
+			chi[i] = nPi + i
+		}
+		inst := &logic.ExistsCountInstance{F: f, Pi: pi, Chi: chi, K: 1 + rng.Intn(1<<nChi)}
+		want, _, err := inst.Solve()
+		if err != nil {
+			return nil, err
+		}
+		red, err := reductions.BuildExistsCSAT(inst, variant)
+		if err != nil {
+			return nil, err
+		}
+		for _, typ := range types {
+			got, _, err := core.Decide(red.DB, red.MQ, core.Cnf, red.K, typ)
+			if err != nil {
+				return nil, err
+			}
+			agree := got == want
+			pass = pass && agree
+			res.AddRow(fmt.Sprintf("seed=%d s=%d h=%d m=%d", seed, nPi, nChi, len(f.Clauses)),
+				fmt.Sprint(inst.K), fmt.Sprint(1<<nChi), fmt.Sprint(want), typ.String(),
+				fmt.Sprint(got), boolMark(agree))
+		}
+	}
+	res.Notef("threshold k = (k'-1)/2^h; confidence exceeds k iff ≥ k' counted assignments satisfy F")
+	res.Pass = pass
+	return res, nil
+}
+
+// runE9 reproduces Theorem 3.33 / Figure 5 row 5: the HAMILTONIAN PATH
+// reduction through acyclic metaqueries under types 1 and 2.
+func runE9(quick bool) (*Result, error) {
+	res := &Result{ID: "E9", Title: "Thm 3.33 / Fig.5 row 5: HAMPATH -> acyclic <DB,MQ,I,0,{1,2}>",
+		Header: []string{"graph", "acyclic MQ", "ham path", "type-1 says", "type-2 says", "agree"}}
+	star := graphs.New(4)
+	star.AddEdge(0, 1)
+	star.AddEdge(0, 2)
+	star.AddEdge(0, 3)
+	cases := map[string]*graphs.Graph{
+		"P4":   graphs.Path(4),
+		"C5":   graphs.Cycle(5),
+		"K4":   graphs.Complete(4),
+		"star": star,
+	}
+	if !quick {
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 4; i++ {
+			g := graphs.Random(rng, 5, 0.5)
+			cases[fmt.Sprintf("G(seed11,#%d)", i)] = g
+		}
+	}
+	pass := true
+	names := make([]string, 0, len(cases))
+	for name := range cases {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		g := cases[name]
+		_, want := g.HamiltonianPath()
+		red, err := reductions.BuildHamPath(g)
+		if err != nil {
+			return nil, err
+		}
+		acyclic := red.MQ.IsAcyclic()
+		got1, _, err := core.Decide(red.DB, red.MQ, core.Sup, rat.Zero, core.Type1)
+		if err != nil {
+			return nil, err
+		}
+		got2, _, err := core.Decide(red.DB, red.MQ, core.Sup, rat.Zero, core.Type2)
+		if err != nil {
+			return nil, err
+		}
+		agree := acyclic && got1 == want && got2 == want
+		pass = pass && agree
+		res.AddRow(name, fmt.Sprint(acyclic), fmt.Sprint(want), fmt.Sprint(got1), fmt.Sprint(got2), boolMark(agree))
+	}
+	res.Notef("acyclicity of MQham certifies that NP-hardness holds already for acyclic metaqueries under types 1 and 2")
+	res.Pass = pass
+	return res, nil
+}
+
+// runE10 reproduces Theorem 3.34 / Figure 5 row 7: thresholds above 0 on
+// the acyclic HAMPATH metaquery, strict at the boundary.
+func runE10(bool) (*Result, error) {
+	res := &Result{ID: "E10", Title: "Thm 3.34 / Fig.5 row 7: acyclic, types 1-2, k > 0",
+		Header: []string{"graph", "max cvr", "YES below", "YES at max", "pass"}}
+	pass := true
+	for _, g := range []*graphs.Graph{graphs.Path(4), graphs.Cycle(4)} {
+		red, err := reductions.BuildHamPath(g)
+		if err != nil {
+			return nil, err
+		}
+		answers, err := core.NaiveAnswers(red.DB, red.MQ, core.Type1, core.Thresholds{})
+		if err != nil {
+			return nil, err
+		}
+		best := rat.Zero
+		for _, a := range answers {
+			best = rat.Max(best, a.Cvr)
+		}
+		if best.IsZero() {
+			continue
+		}
+		justBelow := rat.New(best.Num()*2-1, best.Den()*2)
+		yesBelow, _, err := core.Decide(red.DB, red.MQ, core.Cvr, justBelow, core.Type1)
+		if err != nil {
+			return nil, err
+		}
+		yesAt, _, err := core.Decide(red.DB, red.MQ, core.Cvr, best, core.Type1)
+		if err != nil {
+			return nil, err
+		}
+		ok := yesBelow && !yesAt
+		pass = pass && ok
+		res.AddRow(fmt.Sprintf("n=%d", g.N), best.String(),
+			fmt.Sprint(yesBelow), fmt.Sprint(yesAt), boolMark(ok))
+	}
+	res.Pass = pass
+	return res, nil
+}
+
+// runE11 reproduces Theorem 3.35 / Figure 5 row 9: the semi-acyclic type-0
+// 3-COLORING reduction.
+func runE11(quick bool) (*Result, error) {
+	res := &Result{ID: "E11", Title: "Thm 3.35 / Fig.5 row 9: semi-acyclic type-0 3-COLORING",
+		Header: []string{"graph", "semi-acyclic", "acyclic", "3-colorable", "reduction", "agree"}}
+	cases := map[string]*graphs.Graph{
+		"C5": graphs.Cycle(5),
+		"K3": graphs.Complete(3),
+		"K4": graphs.Complete(4),
+	}
+	if !quick {
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 3; i++ {
+			g := graphs.Random(rng, 4, 0.6)
+			if len(g.Edges) > 0 {
+				cases[fmt.Sprintf("G(seed3,#%d)", i)] = g
+			}
+		}
+	}
+	pass := true
+	names := make([]string, 0, len(cases))
+	for name := range cases {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		g := cases[name]
+		_, want := g.ThreeColorable()
+		red, err := reductions.BuildSemiAcyclicThreeCol(g)
+		if err != nil {
+			return nil, err
+		}
+		semi := red.MQ.IsSemiAcyclic()
+		acyc := red.MQ.IsAcyclic()
+		got, _, err := core.Decide(red.DB, red.MQ, core.Cnf, rat.Zero, core.Type0)
+		if err != nil {
+			return nil, err
+		}
+		// The construction is always semi-acyclic and answer-preserving;
+		// for particular graphs it may happen to be acyclic too (the paper:
+		// "MQ3col might not be acyclic, but it is semi-acyclic").
+		agree := semi && got == want
+		pass = pass && agree
+		res.AddRow(name, fmt.Sprint(semi), fmt.Sprint(acyc), fmt.Sprint(want), fmt.Sprint(got), boolMark(agree))
+	}
+	res.Notef("semi-acyclic (and non-acyclic on K4/C5) metaqueries stay NP-complete for type-0: Fig.5 row 9")
+	res.Pass = pass
+	return res, nil
+}
+
+// runE12 reproduces Proposition 3.26: the 3SAT -> BCQ transformation is
+// parsimonious: #BCQ equals #SAT over the occurring variables.
+func runE12(quick bool) (*Result, error) {
+	res := &Result{ID: "E12", Title: "Prop 3.26: parsimonious 3SAT -> #BCQ",
+		Header: []string{"formula", "#SAT", "#BCQ", "agree"}}
+	n := 12
+	if quick {
+		n = 4
+	}
+	pass := true
+	for seed := int64(0); seed < int64(n); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 3 + rng.Intn(4)
+		f := logic.Random3CNF(rng, nVars, 1+rng.Intn(8))
+		red, err := reductions.BuildSatBCQ(f)
+		if err != nil {
+			return nil, err
+		}
+		got, err := red.CountSolutions()
+		if err != nil {
+			return nil, err
+		}
+		full, err := logic.CountModels(f)
+		if err != nil {
+			return nil, err
+		}
+		want := full >> uint(nVars-len(f.UsedVars()))
+		agree := got == want
+		pass = pass && agree
+		res.AddRow(fmt.Sprintf("seed=%d vars=%d clauses=%d", seed, nVars, len(f.Clauses)),
+			fmt.Sprint(want), fmt.Sprint(got), boolMark(agree))
+	}
+	res.Pass = pass
+	return res, nil
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}

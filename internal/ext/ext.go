@@ -1,0 +1,308 @@
+// Package ext implements the extension the paper's conclusion (Section 5)
+// names as future work: "allowing negation ... to occur in metapatterns".
+// It is NOT part of the reproduced paper; it extends the metaquery language
+// with safe negated body literals under set semantics:
+//
+//	R(X,Z) <- P(X,Y), Q(Y,Z), not S(X,Z)
+//
+// Semantics. An extended metaquery instantiates exactly like a pure one
+// (types 0/1/2, functional predicate-variable restriction shared across
+// positive and negated patterns). For the instantiated rule, the body
+// assignment set is
+//
+//	J(body) = J(positive atoms) ▷ a1 ▷ a2 ... (anti-semijoin per negated atom)
+//
+// i.e. the assignments satisfying every positive atom and matching no
+// tuple of any negated atom on the shared variables. The indices keep their
+// Definition 2.7 readings with this J(body): confidence and cover are
+// unchanged formulas; support maximizes over the *positive* atoms only
+// (a negated atom has no satisfying tuples to count).
+//
+// Safety. A variable of a negated literal must either occur in some
+// positive body literal (a join variable) or occur in that literal only
+// (a local variable, existentially quantified under the negation, as in
+// SQL's NOT EXISTS). A variable shared between two negated literals — or
+// between a negated literal and the head — without a positive binding is
+// rejected: each negated atom is anti-joined independently, so such
+// correlations would be silently ignored. Type-2 padding variables in
+// negated atoms are local by construction.
+package ext
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// Literal is a possibly negated literal scheme.
+type Literal struct {
+	core.LiteralScheme
+	Negated bool
+}
+
+// String renders the literal with a "not " prefix when negated.
+func (l Literal) String() string {
+	if l.Negated {
+		return "not " + l.LiteralScheme.String()
+	}
+	return l.LiteralScheme.String()
+}
+
+// Metaquery is a metaquery whose body may contain negated literals. The
+// head must be positive.
+type Metaquery struct {
+	Head core.LiteralScheme
+	Body []Literal
+}
+
+// New builds an extended metaquery and validates well-formedness and
+// safety.
+func New(head core.LiteralScheme, body ...Literal) (*Metaquery, error) {
+	mq := &Metaquery{Head: head, Body: body}
+	if err := mq.Check(); err != nil {
+		return nil, err
+	}
+	return mq, nil
+}
+
+// Check validates the query: at least one positive body literal, and every
+// negated-literal variable either positively bound or local to that single
+// literal (see the package comment's safety discussion).
+func (mq *Metaquery) Check() error {
+	positive := make(map[string]bool)
+	nPos := 0
+	for _, l := range mq.Body {
+		if !l.Negated {
+			nPos++
+			for _, v := range l.Args {
+				positive[v] = true
+			}
+		}
+	}
+	if nPos == 0 {
+		return fmt.Errorf("ext: metaquery needs at least one positive body literal")
+	}
+	// occurrences[v] counts the literals (head and body) mentioning v.
+	occurrences := make(map[string]int)
+	countVars := func(args []string) {
+		seen := map[string]bool{}
+		for _, v := range args {
+			if !seen[v] {
+				seen[v] = true
+				occurrences[v]++
+			}
+		}
+	}
+	countVars(mq.Head.Args)
+	for _, l := range mq.Body {
+		countVars(l.Args)
+	}
+	for _, l := range mq.Body {
+		if !l.Negated {
+			continue
+		}
+		for _, v := range l.Args {
+			if !positive[v] && occurrences[v] > 1 {
+				return fmt.Errorf("ext: unsafe negation: variable %s of %s is shared but not bound by a positive literal", v, l)
+			}
+		}
+	}
+	// Reuse the core structural checks through the positive projection.
+	return mq.positiveCore().Check()
+}
+
+// positiveCore builds the core metaquery over head + positive body,
+// used for structural validation and instantiation plumbing.
+func (mq *Metaquery) positiveCore() *core.Metaquery {
+	var body []core.LiteralScheme
+	for _, l := range mq.Body {
+		if !l.Negated {
+			body = append(body, l.LiteralScheme)
+		}
+	}
+	return &core.Metaquery{Head: mq.Head, Body: body}
+}
+
+// allCore builds a core metaquery whose body includes the negated schemes
+// too (negation ignored); instantiation enumeration runs over this, so
+// negated patterns get atoms under the same functional σ'.
+func (mq *Metaquery) allCore() *core.Metaquery {
+	var body []core.LiteralScheme
+	for _, l := range mq.Body {
+		body = append(body, l.LiteralScheme)
+	}
+	return &core.Metaquery{Head: mq.Head, Body: body}
+}
+
+// String renders the metaquery.
+func (mq *Metaquery) String() string {
+	parts := make([]string, len(mq.Body))
+	for i, l := range mq.Body {
+		parts[i] = l.String()
+	}
+	return fmt.Sprintf("%s <- %s", mq.Head.String(), strings.Join(parts, ", "))
+}
+
+// Rule is an instantiated extended metaquery.
+type Rule struct {
+	Head relation.Atom
+	Pos  []relation.Atom
+	Neg  []relation.Atom
+}
+
+// String renders the rule.
+func (r Rule) String() string {
+	parts := make([]string, 0, len(r.Pos)+len(r.Neg))
+	for _, a := range r.Pos {
+		parts = append(parts, a.String())
+	}
+	for _, a := range r.Neg {
+		parts = append(parts, "not "+a.String())
+	}
+	return fmt.Sprintf("%s <- %s", r.Head.String(), strings.Join(parts, ", "))
+}
+
+// Answer is one discovered extended rule with its indices.
+type Answer struct {
+	Rule Rule
+	Sup  rat.Rat
+	Cnf  rat.Rat
+	Cvr  rat.Rat
+}
+
+// bodyTable computes J(body) with negation: the join of the positive atoms
+// anti-semijoined by each negated atom's table.
+func bodyTable(db *relation.Database, r Rule) (*relation.Table, error) {
+	pos, err := relation.JoinAtoms(db, r.Pos)
+	if err != nil {
+		return nil, err
+	}
+	for _, na := range r.Neg {
+		nt, err := relation.FromAtom(db, na)
+		if err != nil {
+			return nil, err
+		}
+		pos = pos.AntiSemijoin(nt)
+	}
+	return pos, nil
+}
+
+// Indices computes (sup, cnf, cvr) of the extended rule over db.
+func Indices(db *relation.Database, r Rule) (sup, cnf, cvr rat.Rat, err error) {
+	body, err := bodyTable(db, r)
+	if err != nil {
+		return rat.Zero, rat.Zero, rat.Zero, err
+	}
+	head, err := relation.FromAtom(db, r.Head)
+	if err != nil {
+		return rat.Zero, rat.Zero, rat.Zero, err
+	}
+	// sup: max over positive atoms of the participating fraction.
+	for _, a := range r.Pos {
+		ta, err := relation.FromAtom(db, a)
+		if err != nil {
+			return rat.Zero, rat.Zero, rat.Zero, err
+		}
+		if ta.Len() == 0 {
+			continue
+		}
+		num := ta.Semijoin(body).Len()
+		if num > 0 {
+			sup = rat.Max(sup, rat.New(int64(num), int64(ta.Len())))
+		}
+	}
+	// cnf = |body ⋉ head| / |body|.
+	if body.Len() > 0 {
+		if num := body.Semijoin(head).Len(); num > 0 {
+			cnf = rat.New(int64(num), int64(body.Len()))
+		}
+	}
+	// cvr = |head ⋉ body| / |head|.
+	if head.Len() > 0 {
+		if num := head.Semijoin(body).Len(); num > 0 {
+			cvr = rat.New(int64(num), int64(head.Len()))
+		}
+	}
+	return sup, cnf, cvr, nil
+}
+
+// Answers enumerates every type-typ instantiation of mq over db (positive
+// and negated patterns share the functional σ'), computes the indices with
+// negation semantics, and returns the answers passing the thresholds,
+// sorted by rule text.
+func Answers(db *relation.Database, mq *Metaquery, typ core.InstType, th core.Thresholds) ([]Answer, error) {
+	if err := mq.Check(); err != nil {
+		return nil, err
+	}
+	all := mq.allCore()
+	negated := make(map[string]bool)
+	for _, l := range mq.Body {
+		if l.Negated {
+			negated[l.Key()] = true
+		}
+	}
+	var out []Answer
+	err := core.ForEachInstantiation(db, all, typ, func(sigma *core.Instantiation) (bool, error) {
+		rule, err := buildRule(sigma, mq)
+		if err != nil {
+			return false, err
+		}
+		sup, cnf, cvr, err := Indices(db, rule)
+		if err != nil {
+			return false, err
+		}
+		if th.Admits(sup, cnf, cvr) {
+			out = append(out, Answer{Rule: rule, Sup: sup, Cnf: cnf, Cvr: cvr})
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rule.String() < out[j].Rule.String() })
+	return out, nil
+}
+
+// buildRule maps the extended metaquery through σ.
+func buildRule(sigma *core.Instantiation, mq *Metaquery) (Rule, error) {
+	var r Rule
+	headAtom, err := applyScheme(sigma, mq.Head)
+	if err != nil {
+		return Rule{}, err
+	}
+	r.Head = headAtom
+	seenPos := map[string]bool{}
+	seenNeg := map[string]bool{}
+	for _, l := range mq.Body {
+		a, err := applyScheme(sigma, l.LiteralScheme)
+		if err != nil {
+			return Rule{}, err
+		}
+		k := a.String()
+		if l.Negated {
+			if !seenNeg[k] {
+				seenNeg[k] = true
+				r.Neg = append(r.Neg, a)
+			}
+		} else if !seenPos[k] {
+			seenPos[k] = true
+			r.Pos = append(r.Pos, a)
+		}
+	}
+	return r, nil
+}
+
+func applyScheme(sigma *core.Instantiation, l core.LiteralScheme) (relation.Atom, error) {
+	if !l.PredVar {
+		return l.Atom(), nil
+	}
+	a, ok := sigma.AtomFor(l)
+	if !ok {
+		return relation.Atom{}, fmt.Errorf("ext: pattern %s unassigned", l)
+	}
+	return a, nil
+}

@@ -1,0 +1,270 @@
+package ext
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+func TestParseNegation(t *testing.T) {
+	mq := MustParse("R(X,Z) <- P(X,Y), Q(Y,Z), not S(X,Z)")
+	if len(mq.Body) != 3 {
+		t.Fatalf("body = %d literals", len(mq.Body))
+	}
+	if mq.Body[0].Negated || mq.Body[1].Negated || !mq.Body[2].Negated {
+		t.Errorf("negation flags wrong: %v", mq.Body)
+	}
+	bang := MustParse("R(X,Z) <- P(X,Y), Q(Y,Z), !S(X,Z)")
+	if !bang.Body[2].Negated {
+		t.Error("! prefix not recognized")
+	}
+	if got := mq.String(); got != "R(X,Z) <- P(X,Y), Q(Y,Z), not S(X,Z)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"R(X)",             // no arrow
+		"R(X) <- not P(X)", // no positive literal
+		// unsafe: W shared between two negated literals, never positive
+		"R(X) <- P(X), not S(X,W), not T(W)",
+		// unsafe: W in the head, bound only under negation
+		"R(X,W) <- P(X), not S(X,W)",
+		"R(X) <- P(X), not", // dangling not
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+// childlessDB: parent relation plus person list; "childless" is people with
+// no children — discoverable only with negation.
+func childlessDB() *relation.Database {
+	db := relation.NewDatabase()
+	db.MustInsertNamed("person", "ada", "ada")
+	db.MustInsertNamed("person", "bob", "bob")
+	db.MustInsertNamed("person", "cid", "cid")
+	db.MustInsertNamed("person", "dee", "dee")
+	db.MustInsertNamed("parent", "ada", "bob")
+	db.MustInsertNamed("parent", "bob", "cid")
+	db.MustInsertNamed("childless", "cid", "cid")
+	db.MustInsertNamed("childless", "dee", "dee")
+	return db
+}
+
+func TestNegationSemanticsHandChecked(t *testing.T) {
+	db := childlessDB()
+	// childless(X,X) <- person(X,X), not parent(X,Y): people who are not a
+	// parent of anyone. ada and bob are parents; cid and dee are not.
+	r := Rule{
+		Head: relation.NewAtom("childless", "X", "X"),
+		Pos:  []relation.Atom{relation.NewAtom("person", "X", "X")},
+		Neg:  []relation.Atom{relation.NewAtom("parent", "X", "Y")},
+	}
+	sup, cnf, cvr, err := Indices(db, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// J(body): persons minus parents = {cid, dee}: 2 of 4 -> sup = 1/2.
+	if !sup.Equal(rat.New(1, 2)) {
+		t.Errorf("sup = %v, want 1/2", sup)
+	}
+	// Both satisfy the head: cnf = 1.
+	if !cnf.Equal(rat.One) {
+		t.Errorf("cnf = %v, want 1", cnf)
+	}
+	// Both childless tuples implied: cvr = 1.
+	if !cvr.Equal(rat.One) {
+		t.Errorf("cvr = %v, want 1", cvr)
+	}
+}
+
+func TestAnswersDiscoverNegatedRule(t *testing.T) {
+	db := childlessDB()
+	mq := MustParse("R(X,X) <- person(X,X), not P(X,Y)")
+	answers, err := Answers(db, mq, core.Type0, core.AllAbove(rat.Zero, rat.New(9, 10), rat.New(9, 10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range answers {
+		if a.Rule.String() == "childless(X,X) <- person(X,X), not parent(X,Y)" {
+			found = true
+		}
+	}
+	if !found {
+		rules := make([]string, len(answers))
+		for i, a := range answers {
+			rules[i] = a.Rule.String()
+		}
+		t.Errorf("negated rule not discovered; got %v", rules)
+	}
+}
+
+// With no negated literals, the extension must agree exactly with the core
+// naive engine.
+func TestNoNegationMatchesCore(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := relation.NewDatabase()
+		for r := 0; r < 2; r++ {
+			name := string(rune('p' + r))
+			db.MustAddRelation(name, 2)
+			for i := 0; i < rng.Intn(6); i++ {
+				db.MustInsertNamed(name, string(rune('a'+rng.Intn(3))), string(rune('a'+rng.Intn(3))))
+			}
+		}
+		extMQ := MustParse("R(X,Z) <- P(X,Y), Q(Y,Z)")
+		coreMQ := core.MustParse("R(X,Z) <- P(X,Y), Q(Y,Z)")
+		th := core.AllAbove(rat.Zero, rat.Zero, rat.Zero)
+		got, err := Answers(db, extMQ, core.Type0, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.NaiveAnswers(db, coreMQ, core.Type0, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: ext %d answers, core %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Rule.String() != want[i].Rule.String() ||
+				!got[i].Sup.Equal(want[i].Sup) || !got[i].Cnf.Equal(want[i].Cnf) || !got[i].Cvr.Equal(want[i].Cvr) {
+				t.Errorf("seed %d answer %d: %s (%v,%v,%v) vs %s (%v,%v,%v)", seed, i,
+					got[i].Rule, got[i].Sup, got[i].Cnf, got[i].Cvr,
+					want[i].Rule, want[i].Sup, want[i].Cnf, want[i].Cvr)
+			}
+		}
+	}
+}
+
+// Adding "not empty(...)" must not change answers (negating an empty
+// relation is vacuous); adding "not full(...)" over a total relation must
+// empty them.
+func TestNegationBoundaryRelations(t *testing.T) {
+	db := relation.NewDatabase()
+	db.MustInsertNamed("p", "a", "b")
+	db.MustInsertNamed("p", "b", "c")
+	db.MustAddRelation("emptyrel", 2)
+	for _, x := range []string{"a", "b", "c"} {
+		for _, y := range []string{"a", "b", "c"} {
+			db.MustInsertNamed("full", x, y)
+		}
+	}
+	th := core.Thresholds{}
+	base, err := Answers(db, MustParse("R(X,Y) <- p(X,Y)"), core.Type0, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vacuous, err := Answers(db, MustParse("R(X,Y) <- p(X,Y), not emptyrel(X,Y)"), core.Type0, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != len(vacuous) {
+		t.Errorf("vacuous negation changed answer count: %d vs %d", len(base), len(vacuous))
+	}
+	for i := range base {
+		if !base[i].Cnf.Equal(vacuous[i].Cnf) || !base[i].Sup.Equal(vacuous[i].Sup) {
+			t.Error("vacuous negation changed indices")
+		}
+	}
+	killed, err := Answers(db, MustParse("R(X,Y) <- p(X,Y), not full(X,Y)"), core.Type0, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range killed {
+		if !a.Sup.IsZero() || !a.Cnf.IsZero() {
+			t.Errorf("negating a total relation left non-zero indices: %v", a)
+		}
+	}
+}
+
+// Negated patterns must respect the functional predicate-variable
+// restriction shared with positive patterns.
+func TestNegatedPatternFunctionality(t *testing.T) {
+	db := relation.NewDatabase()
+	db.MustInsertNamed("p", "a", "b")
+	db.MustInsertNamed("q", "b", "a")
+	mq := MustParse("R(X,Y) <- P(X,Y), not P(Y,X)")
+	answers, err := Answers(db, mq, core.Type0, core.Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range answers {
+		if len(a.Rule.Neg) != 1 || a.Rule.Pos[0].Pred != a.Rule.Neg[0].Pred {
+			t.Errorf("functionality across negation violated: %s", a.Rule)
+		}
+	}
+}
+
+func TestAntiSemijoin(t *testing.T) {
+	a := relation.NewTable([]string{"X", "Y"})
+	a.Add(relation.Tuple{1, 10})
+	a.Add(relation.Tuple{2, 20})
+	a.Add(relation.Tuple{3, 30})
+	b := relation.NewTable([]string{"Y"})
+	b.Add(relation.Tuple{10})
+	out := a.AntiSemijoin(b)
+	if out.Len() != 2 || out.Contains(relation.Tuple{1, 10}) {
+		t.Errorf("anti-semijoin = %v", out)
+	}
+	// Complement law: semijoin + anti-semijoin partition the left table.
+	semi := a.Semijoin(b)
+	if semi.Len()+out.Len() != a.Len() {
+		t.Error("semijoin/anti-semijoin do not partition")
+	}
+	// Disjoint columns: anti vs empty keeps all, anti vs non-empty drops all.
+	c := relation.NewTable([]string{"Z"})
+	if got := a.AntiSemijoin(c); got.Len() != 3 {
+		t.Errorf("anti vs empty disjoint = %d", got.Len())
+	}
+	c.Add(relation.Tuple{9})
+	if got := a.AntiSemijoin(c); got.Len() != 0 {
+		t.Errorf("anti vs non-empty disjoint = %d", got.Len())
+	}
+}
+
+func TestType2NegationFreshVars(t *testing.T) {
+	// Negated type-2 pattern against a wider relation: "no extension
+	// exists" semantics via anti-semijoin on the shared variables.
+	db := relation.NewDatabase()
+	db.MustInsertNamed("p", "a")
+	db.MustInsertNamed("p", "b")
+	db.MustInsertNamed("wide", "a", "x")
+	mq := MustParse("R(X) <- p(X), not W(X)")
+	answers, err := Answers(db, mq, core.Type2, core.Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Among the answers: W -> wide(X, fresh) removes "a" (wide's first
+	// column), leaving body = {b} and sup = 1/2; the mirrored candidate
+	// W -> wide(fresh, X) removes nothing ("x" is no person) and keeps
+	// sup = 1.
+	foundFirst, foundSecond := false, false
+	for _, a := range answers {
+		if len(a.Rule.Neg) != 1 || a.Rule.Neg[0].Pred != "wide" {
+			continue
+		}
+		if a.Rule.Neg[0].Terms[0].Var == "X" {
+			foundFirst = true
+			if !a.Sup.Equal(rat.New(1, 2)) {
+				t.Errorf("wide(X,fresh) negation sup = %v, want 1/2", a.Sup)
+			}
+		} else {
+			foundSecond = true
+			if !a.Sup.Equal(rat.One) {
+				t.Errorf("wide(fresh,X) negation sup = %v, want 1", a.Sup)
+			}
+		}
+	}
+	if !foundFirst || !foundSecond {
+		t.Errorf("type-2 negated candidates missing: first=%v second=%v", foundFirst, foundSecond)
+	}
+}

@@ -1,0 +1,88 @@
+package ext
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mqgo/metaquery/internal/core"
+)
+
+// Parse parses an extended metaquery. The syntax is the core syntax with
+// body literals optionally prefixed by "not " or "!":
+//
+//	R(X,Z) <- P(X,Y), Q(Y,Z), not S(X,Z)
+//	R(X,Z) <- P(X,Y), Q(Y,Z), !S(X,Z)
+//
+// Parsing strategy: negation markers are stripped and remembered by
+// position, then the positive skeleton is parsed by the core parser, so
+// both languages stay in sync.
+func Parse(input string) (*Metaquery, error) {
+	arrow := strings.Index(input, "<-")
+	if arrow < 0 {
+		arrow = strings.Index(input, ":-")
+	}
+	if arrow < 0 {
+		return nil, fmt.Errorf("ext: parsing %q: expected '<-'", input)
+	}
+	head := input[:arrow]
+	bodyText := input[arrow+2:]
+
+	parts := splitTopLevel(bodyText)
+	neg := make([]bool, len(parts))
+	for i, p := range parts {
+		t := strings.TrimSpace(p)
+		switch {
+		case strings.HasPrefix(t, "not "):
+			neg[i] = true
+			parts[i] = strings.TrimPrefix(t, "not ")
+		case strings.HasPrefix(t, "!"):
+			neg[i] = true
+			parts[i] = strings.TrimPrefix(t, "!")
+		default:
+			parts[i] = t
+		}
+	}
+	skeleton := head + " <- " + strings.Join(parts, ", ")
+	cmq, err := core.Parse(skeleton)
+	if err != nil {
+		return nil, fmt.Errorf("ext: %w", err)
+	}
+	if len(cmq.Body) != len(parts) {
+		return nil, fmt.Errorf("ext: internal error: literal count mismatch")
+	}
+	body := make([]Literal, len(cmq.Body))
+	for i, l := range cmq.Body {
+		body[i] = Literal{LiteralScheme: l, Negated: neg[i]}
+	}
+	return New(cmq.Head, body...)
+}
+
+// MustParse is Parse panicking on error.
+func MustParse(input string) *Metaquery {
+	mq, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return mq
+}
+
+// splitTopLevel splits on commas not nested inside parentheses.
+func splitTopLevel(s string) []string {
+	var parts []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}

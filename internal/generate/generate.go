@@ -1,0 +1,180 @@
+// Package generate produces metaqueries automatically from a database
+// schema, the workflow the paper's introduction describes ("they can be
+// automatically generated from the database schema") and that systems like
+// FlexiMine built loops around. Generators emit *pure* metaqueries (so all
+// three instantiation types apply) over canonical shapes: chains, stars,
+// cycles and same-arity head/body templates, deduplicated up to variable
+// renaming.
+package generate
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// Config bounds the generated family.
+type Config struct {
+	// MaxBodyLiterals caps the body length (chain length, star rays, cycle
+	// size). Values below 1 generate nothing.
+	MaxBodyLiterals int
+	// Arities lists the pattern arities to generate for; empty means the
+	// distinct arities occurring in the schema database.
+	Arities []int
+	// IncludeCycles adds cyclic bodies (which exercise hypertree width 2).
+	IncludeCycles bool
+}
+
+// FromSchema returns a deterministic, deduplicated family of metaqueries
+// for the database's schema under the given configuration.
+func FromSchema(db *relation.Database, cfg Config) ([]*core.Metaquery, error) {
+	if cfg.MaxBodyLiterals < 1 {
+		return nil, fmt.Errorf("generate: MaxBodyLiterals must be >= 1")
+	}
+	arities := cfg.Arities
+	if len(arities) == 0 {
+		seen := map[int]bool{}
+		for _, name := range db.RelationNames() {
+			a := db.Relation(name).Arity()
+			if !seen[a] {
+				seen[a] = true
+				arities = append(arities, a)
+			}
+		}
+		sort.Ints(arities)
+	}
+	var out []*core.Metaquery
+	seen := map[string]bool{}
+	add := func(mq *core.Metaquery, err error) error {
+		if err != nil {
+			return err
+		}
+		k := mq.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, mq)
+		}
+		return nil
+	}
+	for _, a := range arities {
+		if a == 2 {
+			for m := 1; m <= cfg.MaxBodyLiterals; m++ {
+				if err := add(Chain(m)); err != nil {
+					return nil, err
+				}
+				if err := add(Star(m)); err != nil {
+					return nil, err
+				}
+				if cfg.IncludeCycles && m >= 3 {
+					if err := add(Cycle(m)); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		if err := add(SameArity(a)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Chain returns the transitive chain metaquery with m binary body patterns:
+//
+//	R(X0,Xm) <- P1(X0,X1), ..., Pm(Xm-1,Xm)
+func Chain(m int) (*core.Metaquery, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("generate: chain length %d", m)
+	}
+	v := func(i int) string { return fmt.Sprintf("X%d", i) }
+	body := make([]core.LiteralScheme, m)
+	for i := 0; i < m; i++ {
+		body[i] = core.Pattern(fmt.Sprintf("P%d", i+1), v(i), v(i+1))
+	}
+	return core.NewMetaquery(core.Pattern("R", v(0), v(m)), body...)
+}
+
+// Star returns the star metaquery with m binary rays around a hub:
+//
+//	R(X0,X1) <- P1(X0,X1), ..., Pm(X0,Xm)
+func Star(m int) (*core.Metaquery, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("generate: star size %d", m)
+	}
+	v := func(i int) string { return fmt.Sprintf("X%d", i) }
+	body := make([]core.LiteralScheme, m)
+	for i := 0; i < m; i++ {
+		body[i] = core.Pattern(fmt.Sprintf("P%d", i+1), v(0), v(i+1))
+	}
+	return core.NewMetaquery(core.Pattern("R", v(0), v(1)), body...)
+}
+
+// Cycle returns the cyclic metaquery with an m-cycle body (m >= 3):
+//
+//	R(X0,X1) <- P1(X0,X1), ..., Pm(Xm-1,X0)
+func Cycle(m int) (*core.Metaquery, error) {
+	if m < 3 {
+		return nil, fmt.Errorf("generate: cycle size %d", m)
+	}
+	v := func(i int) string { return fmt.Sprintf("X%d", i%m) }
+	body := make([]core.LiteralScheme, m)
+	for i := 0; i < m; i++ {
+		body[i] = core.Pattern(fmt.Sprintf("P%d", i+1), v(i), v(i+1))
+	}
+	return core.NewMetaquery(core.Pattern("R", v(0), v(1)), body...)
+}
+
+// SameArity returns the inclusion-style template for arity a:
+//
+//	R(X1..Xa) <- P(X1..Xa)
+//
+// whose answers under type-1/2 discover containments up to column
+// permutation and projection (the §2.2 reengineering pattern).
+func SameArity(a int) (*core.Metaquery, error) {
+	if a < 1 {
+		return nil, fmt.Errorf("generate: arity %d", a)
+	}
+	vars := make([]string, a)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("X%d", i+1)
+	}
+	return core.NewMetaquery(core.Pattern("R", vars...), core.Pattern("P", vars...))
+}
+
+// Mine runs every generated metaquery against the database and collects
+// the answers passing the thresholds, tagging each with its originating
+// metaquery. Results are sorted by rule text. The search uses the naive
+// engine via core.NaiveAnswers for simplicity; callers wanting the
+// findRules engine can iterate FromSchema themselves.
+func Mine(db *relation.Database, cfg Config, typ core.InstType, th core.Thresholds) ([]Mined, error) {
+	mqs, err := FromSchema(db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []Mined
+	for _, mq := range mqs {
+		answers, err := core.NaiveAnswers(db, mq, typ, th)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range answers {
+			out = append(out, Mined{Metaquery: mq, Answer: a})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := out[i].Answer.Rule.String(), out[j].Answer.Rule.String()
+		if ri != rj {
+			return ri < rj
+		}
+		return out[i].Metaquery.String() < out[j].Metaquery.String()
+	})
+	return out, nil
+}
+
+// Mined couples an answer with the metaquery that produced it.
+type Mined struct {
+	Metaquery *core.Metaquery
+	Answer    core.Answer
+}

@@ -1,0 +1,169 @@
+package generate
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+func genealogyDB() *relation.Database {
+	db := relation.NewDatabase()
+	db.MustInsertNamed("parent", "ada", "bob")
+	db.MustInsertNamed("parent", "bob", "cid")
+	db.MustInsertNamed("grandparent", "ada", "cid")
+	db.MustInsertNamed("ancestor", "ada", "bob")
+	db.MustInsertNamed("ancestor", "bob", "cid")
+	db.MustInsertNamed("ancestor", "ada", "cid")
+	return db
+}
+
+func TestChainShapes(t *testing.T) {
+	for m := 1; m <= 4; m++ {
+		mq, err := Chain(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(mq.Body) != m {
+			t.Errorf("Chain(%d) body = %d", m, len(mq.Body))
+		}
+		if !mq.IsPure() {
+			t.Errorf("Chain(%d) not pure", m)
+		}
+	}
+	if _, err := Chain(0); err == nil {
+		t.Error("Chain(0) accepted")
+	}
+}
+
+func TestStarShapes(t *testing.T) {
+	mq, err := Star(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All body literals share the hub variable X0.
+	for _, l := range mq.Body {
+		if l.Args[0] != "X0" {
+			t.Errorf("star literal %s does not start at hub", l)
+		}
+	}
+	if _, err := Star(0); err == nil {
+		t.Error("Star(0) accepted")
+	}
+}
+
+func TestCycleShapes(t *testing.T) {
+	mq, err := Cycle(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mq.IsSemiAcyclic() {
+		t.Error("Cycle(3) should not be semi-acyclic")
+	}
+	if _, err := Cycle(2); err == nil {
+		t.Error("Cycle(2) accepted")
+	}
+}
+
+func TestSameArity(t *testing.T) {
+	mq, err := SameArity(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mq.Head.Arity() != 3 || len(mq.Body) != 1 || mq.Body[0].Arity() != 3 {
+		t.Errorf("SameArity(3) = %s", mq)
+	}
+	if _, err := SameArity(0); err == nil {
+		t.Error("SameArity(0) accepted")
+	}
+}
+
+func TestFromSchemaDeduplicates(t *testing.T) {
+	db := genealogyDB()
+	mqs, err := FromSchema(db, Config{MaxBodyLiterals: 3, IncludeCycles: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mqs) == 0 {
+		t.Fatal("no metaqueries generated")
+	}
+	seen := map[string]bool{}
+	for _, mq := range mqs {
+		k := mq.String()
+		if seen[k] {
+			t.Errorf("duplicate metaquery %s", k)
+		}
+		seen[k] = true
+		if !mq.IsPure() {
+			t.Errorf("generated impure metaquery %s", mq)
+		}
+	}
+	// Chain(1) and Star(1) coincide textually after renaming? They differ:
+	// Chain(1) = R(X0,X1) <- P1(X0,X1); Star(1) = R(X0,X1) <- P1(X0,X1).
+	// Dedup must collapse them.
+	count := 0
+	for _, mq := range mqs {
+		if mq.String() == "R(X0,X1) <- P1(X0,X1)" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("chain/star length-1 not deduplicated: %d copies", count)
+	}
+}
+
+func TestFromSchemaConfigValidation(t *testing.T) {
+	db := genealogyDB()
+	if _, err := FromSchema(db, Config{}); err == nil {
+		t.Error("zero MaxBodyLiterals accepted")
+	}
+}
+
+func TestMineDiscoversGrandparent(t *testing.T) {
+	db := genealogyDB()
+	mined, err := Mine(db, Config{MaxBodyLiterals: 2}, core.Type0,
+		core.AllAbove(rat.Zero, rat.New(9, 10), rat.New(9, 10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found *Mined
+	for i := range mined {
+		if mined[i].Answer.Rule.String() == "grandparent(X0,X2) <- parent(X0,X1), parent(X1,X2)" {
+			found = &mined[i]
+		}
+	}
+	if found == nil {
+		var rules []string
+		for _, m := range mined {
+			rules = append(rules, m.Answer.Rule.String())
+		}
+		t.Fatalf("grandparent rule not mined; got %v", rules)
+	}
+	if !found.Answer.Cnf.Equal(rat.One) || !found.Answer.Cvr.Equal(rat.One) {
+		t.Errorf("grandparent indices: cnf=%v cvr=%v", found.Answer.Cnf, found.Answer.Cvr)
+	}
+	if !strings.Contains(found.Metaquery.String(), "P1(X0,X1), P2(X1,X2)") {
+		t.Errorf("provenance metaquery wrong: %s", found.Metaquery)
+	}
+}
+
+func TestMineTransitivity(t *testing.T) {
+	// ancestor o ancestor ⊆ ancestor: cnf 1 through the chain template.
+	db := genealogyDB()
+	mined, err := Mine(db, Config{MaxBodyLiterals: 2}, core.Type0,
+		core.SingleIndex(core.Cnf, rat.New(99, 100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range mined {
+		if m.Answer.Rule.String() == "ancestor(X0,X2) <- ancestor(X0,X1), ancestor(X1,X2)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("transitivity of ancestor not discovered")
+	}
+}

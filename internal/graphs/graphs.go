@@ -1,0 +1,190 @@
+// Package graphs implements the graph substrate for the paper's hardness
+// reductions: undirected graphs, the 3-COLORING and HAMILTONIAN PATH
+// problems (solved exactly by backtracking for reduction cross-checks), and
+// generators for random and structured instances.
+package graphs
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Graph is a simple undirected graph on vertices 0..N-1.
+type Graph struct {
+	N     int
+	Edges [][2]int
+}
+
+// New returns a graph with n vertices and no edges.
+func New(n int) *Graph { return &Graph{N: n} }
+
+// AddEdge inserts the undirected edge {u, v}; self-loops and duplicates are
+// allowed in the input and normalized away.
+func (g *Graph) AddEdge(u, v int) {
+	if u > v {
+		u, v = v, u
+	}
+	for _, e := range g.Edges {
+		if e[0] == u && e[1] == v {
+			return
+		}
+	}
+	g.Edges = append(g.Edges, [2]int{u, v})
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	for _, e := range g.Edges {
+		if e[0] == u && e[1] == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Adjacency returns adjacency lists.
+func (g *Graph) Adjacency() [][]int {
+	adj := make([][]int, g.N)
+	for _, e := range g.Edges {
+		if e[0] == e[1] {
+			continue
+		}
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	return adj
+}
+
+// Check validates vertex indexing.
+func (g *Graph) Check() error {
+	for _, e := range g.Edges {
+		if e[0] < 0 || e[0] >= g.N || e[1] < 0 || e[1] >= g.N {
+			return fmt.Errorf("graphs: edge %v outside [0,%d)", e, g.N)
+		}
+	}
+	return nil
+}
+
+// ThreeColorable decides 3-COLORING by backtracking and returns a valid
+// coloring (values 0..2) when one exists. A self-loop makes the graph
+// uncolorable.
+func (g *Graph) ThreeColorable() ([]int, bool) {
+	for _, e := range g.Edges {
+		if e[0] == e[1] {
+			return nil, false
+		}
+	}
+	adj := g.Adjacency()
+	colors := make([]int, g.N)
+	for i := range colors {
+		colors[i] = -1
+	}
+	var rec func(v int) bool
+	rec = func(v int) bool {
+		if v == g.N {
+			return true
+		}
+		for c := 0; c < 3; c++ {
+			ok := true
+			for _, u := range adj[v] {
+				if colors[u] == c {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				colors[v] = c
+				if rec(v + 1) {
+					return true
+				}
+				colors[v] = -1
+			}
+		}
+		return false
+	}
+	if rec(0) {
+		return colors, true
+	}
+	return nil, false
+}
+
+// HamiltonianPath decides HAMILTONIAN PATH (a path visiting every vertex
+// exactly once) by backtracking, returning a witness path.
+func (g *Graph) HamiltonianPath() ([]int, bool) {
+	if g.N == 0 {
+		return nil, false
+	}
+	if g.N == 1 {
+		return []int{0}, true
+	}
+	adj := g.Adjacency()
+	visited := make([]bool, g.N)
+	path := make([]int, 0, g.N)
+	var rec func(v int) bool
+	rec = func(v int) bool {
+		visited[v] = true
+		path = append(path, v)
+		if len(path) == g.N {
+			return true
+		}
+		for _, u := range adj[v] {
+			if !visited[u] && rec(u) {
+				return true
+			}
+		}
+		visited[v] = false
+		path = path[:len(path)-1]
+		return false
+	}
+	for start := 0; start < g.N; start++ {
+		if rec(start) {
+			return path, true
+		}
+	}
+	return nil, false
+}
+
+// Random returns an Erdős–Rényi graph G(n, p).
+func Random(rng *rand.Rand, n int, p float64) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Cycle returns the n-cycle.
+func Cycle(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// Path returns the n-vertex path.
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Complete returns K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}

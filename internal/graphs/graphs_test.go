@@ -1,0 +1,127 @@
+package graphs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestThreeColorableKnown(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want bool
+	}{
+		{Cycle(4), true}, // even cycle: 2-colorable
+		{Cycle(5), true}, // odd cycle: 3-colorable
+		{Complete(3), true},
+		{Complete(4), false}, // K4 needs 4 colors
+		{Path(6), true},
+		{New(3), true}, // edgeless
+	}
+	for i, c := range cases {
+		colors, got := c.g.ThreeColorable()
+		if got != c.want {
+			t.Errorf("case %d: 3-colorable = %v, want %v", i, got, c.want)
+		}
+		if got {
+			for _, e := range c.g.Edges {
+				if colors[e[0]] == colors[e[1]] {
+					t.Errorf("case %d: invalid witness coloring", i)
+				}
+			}
+		}
+	}
+}
+
+func TestSelfLoopNotColorable(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 0)
+	if _, ok := g.ThreeColorable(); ok {
+		t.Error("self-loop colorable")
+	}
+}
+
+func TestHamiltonianPathKnown(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want bool
+	}{
+		{Path(5), true},
+		{Cycle(6), true},
+		{Complete(4), true},
+		{New(3), false}, // edgeless with >1 vertex
+	}
+	for i, c := range cases {
+		path, got := c.g.HamiltonianPath()
+		if got != c.want {
+			t.Errorf("case %d: ham path = %v, want %v", i, got, c.want)
+		}
+		if got {
+			seen := map[int]bool{}
+			for _, v := range path {
+				if seen[v] {
+					t.Errorf("case %d: repeated vertex", i)
+				}
+				seen[v] = true
+			}
+			if len(path) != c.g.N {
+				t.Errorf("case %d: path length %d", i, len(path))
+			}
+			for j := 0; j+1 < len(path); j++ {
+				if !c.g.HasEdge(path[j], path[j+1]) {
+					t.Errorf("case %d: non-edge used", i)
+				}
+			}
+		}
+	}
+}
+
+func TestStarHasNoHamPath(t *testing.T) {
+	// A star with 3 leaves has no Hamiltonian path.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	if _, ok := g.HamiltonianPath(); ok {
+		t.Error("star K1,3 has no Hamiltonian path")
+	}
+}
+
+func TestAddEdgeNormalizes(t *testing.T) {
+	g := New(3)
+	g.AddEdge(2, 1)
+	g.AddEdge(1, 2)
+	if len(g.Edges) != 1 {
+		t.Errorf("duplicate edges stored: %v", g.Edges)
+	}
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Error("HasEdge not symmetric")
+	}
+}
+
+func TestCheck(t *testing.T) {
+	g := New(2)
+	g.Edges = append(g.Edges, [2]int{0, 5})
+	if err := g.Check(); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}
+
+func TestRandomGraphBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := Random(rng, 8, 0.5)
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+	max := 8 * 7 / 2
+	if len(g.Edges) > max {
+		t.Errorf("too many edges: %d", len(g.Edges))
+	}
+	empty := Random(rng, 8, 0)
+	if len(empty.Edges) != 0 {
+		t.Error("p=0 produced edges")
+	}
+	full := Random(rng, 8, 1)
+	if len(full.Edges) != max {
+		t.Errorf("p=1 produced %d edges, want %d", len(full.Edges), max)
+	}
+}

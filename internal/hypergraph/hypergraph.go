@@ -1,0 +1,198 @@
+// Package hypergraph implements hypergraphs, the GYO ear-removal reduction,
+// the acyclicity test of Definition 3.30, and join-tree construction
+// (Definition 4.2) used by the semijoin full reducers of Section 4.
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Edge is a named hyperedge: a set of vertices. The ID ties the edge back to
+// whatever the caller is decomposing (e.g. the index of a literal scheme in
+// a metaquery body). Vertex order inside an edge is irrelevant.
+type Edge struct {
+	ID       int
+	Vertices []string
+}
+
+// vertexSet returns the edge's vertices as a set.
+func (e Edge) vertexSet() map[string]bool {
+	s := make(map[string]bool, len(e.Vertices))
+	for _, v := range e.Vertices {
+		s[v] = true
+	}
+	return s
+}
+
+// Hypergraph is a finite hypergraph H = <V, E>. V is implicit: the union of
+// all edge vertex sets (isolated vertices never matter for acyclicity).
+type Hypergraph struct {
+	Edges []Edge
+}
+
+// New builds a hypergraph from the given edges; edge IDs are assigned
+// positionally if the caller passes vertex lists.
+func New(edges ...[]string) *Hypergraph {
+	h := &Hypergraph{}
+	for i, vs := range edges {
+		h.Edges = append(h.Edges, Edge{ID: i, Vertices: append([]string(nil), vs...)})
+	}
+	return h
+}
+
+// Vertices returns the sorted vertex set of h.
+func (h *Hypergraph) Vertices() []string {
+	set := make(map[string]bool)
+	for _, e := range h.Edges {
+		for _, v := range e.Vertices {
+			set[v] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the hypergraph for debugging.
+func (h *Hypergraph) String() string {
+	var b strings.Builder
+	for i, e := range h.Edges {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		vs := append([]string(nil), e.Vertices...)
+		sort.Strings(vs)
+		fmt.Fprintf(&b, "e%d{%s}", e.ID, strings.Join(vs, ","))
+	}
+	return b.String()
+}
+
+// StepKind distinguishes the two GYO reduction actions.
+type StepKind int
+
+const (
+	// RemoveIsolated records the removal of an edge sharing no vertex with
+	// any other edge (step 1 of Definition 3.30).
+	RemoveIsolated StepKind = iota
+	// RemoveEar records the removal of an ear with its witness
+	// (steps 2 and 3 of Definition 3.30).
+	RemoveEar
+)
+
+// Step is one action of the GYO reduction trace.
+type Step struct {
+	Kind    StepKind
+	Ear     int // edge ID removed
+	Witness int // witness edge ID (RemoveEar only), -1 otherwise
+}
+
+// GYO runs the GYO reduction of Definition 3.30 and returns the remaining
+// hypergraph together with the removal trace. H is acyclic iff the returned
+// hypergraph has no edges.
+//
+// An ear is an edge e for which some distinct edge w (the witness) exists
+// such that no vertex of e−w occurs in any other edge. Isolated edges
+// (sharing no vertex with any other edge) are removed first at each round.
+func GYO(h *Hypergraph) (*Hypergraph, []Step) {
+	edges := make([]Edge, len(h.Edges))
+	copy(edges, h.Edges)
+	var steps []Step
+
+	for {
+		if len(edges) == 0 {
+			break
+		}
+		// Step 1: remove isolated edges.
+		removedIsolated := false
+		for i := 0; i < len(edges); {
+			if isIsolated(edges, i) {
+				steps = append(steps, Step{Kind: RemoveIsolated, Ear: edges[i].ID, Witness: -1})
+				edges = append(edges[:i], edges[i+1:]...)
+				removedIsolated = true
+			} else {
+				i++
+			}
+		}
+		if len(edges) == 0 {
+			break
+		}
+		// Steps 2-3: find and remove one ear.
+		earIdx, witnessIdx := findEar(edges)
+		if earIdx < 0 {
+			if removedIsolated {
+				continue // isolated removal may have created new ears
+			}
+			break // no ears: reduction is stuck, h is cyclic
+		}
+		steps = append(steps, Step{Kind: RemoveEar, Ear: edges[earIdx].ID, Witness: edges[witnessIdx].ID})
+		edges = append(edges[:earIdx], edges[earIdx+1:]...)
+	}
+	return &Hypergraph{Edges: edges}, steps
+}
+
+// isIsolated reports whether edges[i] shares no vertex with any other edge.
+func isIsolated(edges []Edge, i int) bool {
+	set := edges[i].vertexSet()
+	for j, e := range edges {
+		if j == i {
+			continue
+		}
+		for _, v := range e.Vertices {
+			if set[v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// findEar returns indices (ear, witness) of an ear and one witness for it,
+// or (-1, -1) if the hypergraph has no ear.
+func findEar(edges []Edge) (int, int) {
+	for i := range edges {
+		for j := range edges {
+			if i == j {
+				continue
+			}
+			if isEarWithWitness(edges, i, j) {
+				return i, j
+			}
+		}
+	}
+	return -1, -1
+}
+
+// isEarWithWitness reports whether edges[i] is an ear with witness edges[j]:
+// no vertex of e_i − e_j occurs in any edge other than e_i.
+func isEarWithWitness(edges []Edge, i, j int) bool {
+	wset := edges[j].vertexSet()
+	for _, v := range edges[i].Vertices {
+		if wset[v] {
+			continue
+		}
+		// v is in e_i − w: it must not occur in any other edge.
+		for k, e := range edges {
+			if k == i {
+				continue
+			}
+			for _, u := range e.Vertices {
+				if u == v {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// IsAcyclic reports whether h is acyclic per Definition 3.30: the GYO
+// reduction empties it.
+func IsAcyclic(h *Hypergraph) bool {
+	rest, _ := GYO(h)
+	return len(rest.Edges) == 0
+}

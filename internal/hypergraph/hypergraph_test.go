@@ -1,0 +1,240 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEmptyIsAcyclic(t *testing.T) {
+	if !IsAcyclic(New()) {
+		t.Error("empty hypergraph not acyclic")
+	}
+}
+
+func TestSingleEdgeAcyclic(t *testing.T) {
+	if !IsAcyclic(New([]string{"X", "Y"})) {
+		t.Error("single edge not acyclic")
+	}
+}
+
+func TestChainAcyclic(t *testing.T) {
+	// {X,Y},{Y,Z},{Z,W}: a path, acyclic.
+	h := New([]string{"X", "Y"}, []string{"Y", "Z"}, []string{"Z", "W"})
+	if !IsAcyclic(h) {
+		t.Error("chain not acyclic")
+	}
+}
+
+func TestTriangleCyclic(t *testing.T) {
+	// {X,Y},{Y,Z},{Z,X}: the classic cyclic example.
+	h := New([]string{"X", "Y"}, []string{"Y", "Z"}, []string{"Z", "X"})
+	if IsAcyclic(h) {
+		t.Error("triangle reported acyclic")
+	}
+}
+
+func TestTriangleWithCoverAcyclic(t *testing.T) {
+	// Adding an edge covering all three vertices makes it acyclic.
+	h := New([]string{"X", "Y"}, []string{"Y", "Z"}, []string{"Z", "X"}, []string{"X", "Y", "Z"})
+	if !IsAcyclic(h) {
+		t.Error("covered triangle not acyclic")
+	}
+}
+
+// The paper's examples after Definition 3.31.
+func TestPaperMQ1Acyclic(t *testing.T) {
+	// MQ1 = P(X,Y) <- P(Y,Z), Q(Z,W): edges {P,X,Y},{P,Y,Z},{Q,Z,W}.
+	h := New([]string{"^P", "X", "Y"}, []string{"^P", "Y", "Z"}, []string{"^Q", "Z", "W"})
+	if !IsAcyclic(h) {
+		t.Error("paper MQ1 not acyclic")
+	}
+}
+
+func TestPaperMQ2Cyclic(t *testing.T) {
+	// MQ2 = P(X,Y) <- Q(Y,Z), P(Z,W): edges {P,X,Y},{Q,Y,Z},{P,Z,W}.
+	h := New([]string{"^P", "X", "Y"}, []string{"^Q", "Y", "Z"}, []string{"^P", "Z", "W"})
+	if IsAcyclic(h) {
+		t.Error("paper MQ2 not cyclic")
+	}
+}
+
+func TestPaperSemiAcyclicExample(t *testing.T) {
+	// MQ = N(X) <- N(Y), E(X,Y): H cyclic, SH acyclic.
+	hFull := New([]string{"^N", "X"}, []string{"^N", "Y"}, []string{"^E", "X", "Y"})
+	if IsAcyclic(hFull) {
+		t.Error("H(MQ) should be cyclic")
+	}
+	hSemi := New([]string{"X"}, []string{"Y"}, []string{"X", "Y"})
+	if !IsAcyclic(hSemi) {
+		t.Error("SH(MQ) should be acyclic")
+	}
+}
+
+func TestDisconnectedAcyclic(t *testing.T) {
+	h := New([]string{"X", "Y"}, []string{"A", "B"})
+	if !IsAcyclic(h) {
+		t.Error("disconnected pair not acyclic")
+	}
+	f, ok := JoinForest(h)
+	if !ok || len(f.Roots) != 2 {
+		t.Errorf("expected 2 roots, got %v", f)
+	}
+}
+
+func TestGYOTrace(t *testing.T) {
+	h := New([]string{"X", "Y"}, []string{"Y", "Z"})
+	rest, steps := GYO(h)
+	if len(rest.Edges) != 0 {
+		t.Fatalf("GYO left %d edges", len(rest.Edges))
+	}
+	if len(steps) != 2 {
+		t.Fatalf("GYO trace = %v", steps)
+	}
+	// One ear removal and one isolated removal.
+	kinds := map[StepKind]int{}
+	for _, s := range steps {
+		kinds[s.Kind]++
+	}
+	if kinds[RemoveEar] != 1 || kinds[RemoveIsolated] != 1 {
+		t.Errorf("trace kinds = %v", kinds)
+	}
+}
+
+func TestJoinForestChain(t *testing.T) {
+	h := New([]string{"A", "B"}, []string{"B", "C"}, []string{"C", "D"})
+	f, ok := JoinForest(h)
+	if !ok {
+		t.Fatal("chain not acyclic")
+	}
+	if len(f.Roots) != 1 {
+		t.Fatalf("forest roots = %d", len(f.Roots))
+	}
+	if len(f.Nodes()) != 3 {
+		t.Fatalf("forest nodes = %d", len(f.Nodes()))
+	}
+	if !ValidateJoinTree(h, f) {
+		t.Error("join tree property violated")
+	}
+}
+
+func TestJoinForestCyclicFails(t *testing.T) {
+	h := New([]string{"X", "Y"}, []string{"Y", "Z"}, []string{"Z", "X"})
+	if _, ok := JoinForest(h); ok {
+		t.Error("JoinForest succeeded on cyclic hypergraph")
+	}
+	if _, _, ok := FullReducer(h); ok {
+		t.Error("FullReducer succeeded on cyclic hypergraph")
+	}
+}
+
+// Figure 3 / Example 4.3: join tree of {P(A,B), Q(B,C), R(C,D)}.
+func TestFigure3JoinTree(t *testing.T) {
+	h := New([]string{"A", "B"}, []string{"B", "C"}, []string{"C", "D"})
+	f, ok := JoinForest(h)
+	if !ok {
+		t.Fatal("not acyclic")
+	}
+	if !ValidateJoinTree(h, f) {
+		t.Error("invalid join tree")
+	}
+	// Q(B,C) (edge 1) must be adjacent to both P (edge 0) and R (edge 2):
+	// B is shared by 0-1 and C by 1-2, so on any valid tree the middle edge
+	// lies between them. Verify adjacency through parent/child relations.
+	adj := map[int]map[int]bool{}
+	var walk func(tr *Tree)
+	walk = func(tr *Tree) {
+		for _, c := range tr.Children {
+			if adj[tr.Edge.ID] == nil {
+				adj[tr.Edge.ID] = map[int]bool{}
+			}
+			if adj[c.Edge.ID] == nil {
+				adj[c.Edge.ID] = map[int]bool{}
+			}
+			adj[tr.Edge.ID][c.Edge.ID] = true
+			adj[c.Edge.ID][tr.Edge.ID] = true
+			walk(c)
+		}
+	}
+	for _, r := range f.Roots {
+		walk(r)
+	}
+	if !adj[1][0] || !adj[1][2] {
+		t.Errorf("expected Q adjacent to P and R, adjacency = %v", adj)
+	}
+}
+
+// Example 4.5: the full reducer of {p(A,B), q(B,C), r(C,D)} has two halves
+// of equal length, and the second half is the reversed-exchanged first half.
+func TestExample45FullReducerShape(t *testing.T) {
+	h := New([]string{"A", "B"}, []string{"B", "C"}, []string{"C", "D"})
+	first, second, ok := FullReducer(h)
+	if !ok {
+		t.Fatal("no full reducer for semi-acyclic set")
+	}
+	if len(first) != 2 || len(second) != 2 {
+		t.Fatalf("halves = %d/%d, want 2/2", len(first), len(second))
+	}
+	for i, s := range first {
+		rev := second[len(second)-1-i]
+		if rev.Target != s.Source || rev.Source != s.Target {
+			t.Errorf("second half not reversed-exchanged: %v vs %v", s, rev)
+		}
+	}
+}
+
+// Property: on random acyclic-by-construction hypergraphs (built by
+// attaching each new edge sharing vertices with a single previous edge),
+// GYO reports acyclic and produces a valid join forest.
+func TestQuickRandomAcyclicRecognized(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomAcyclicHypergraph(rng, 2+rng.Intn(6))
+		if !IsAcyclic(h) {
+			t.Fatalf("seed %d: constructed acyclic hypergraph rejected: %v", seed, h)
+		}
+		f, ok := JoinForest(h)
+		if !ok || !ValidateJoinTree(h, f) {
+			t.Fatalf("seed %d: invalid join forest", seed)
+		}
+	}
+}
+
+// randomAcyclicHypergraph builds a hypergraph with a join tree by
+// construction: each new edge overlaps a subset of exactly one earlier edge
+// plus fresh vertices.
+func randomAcyclicHypergraph(rng *rand.Rand, edges int) *Hypergraph {
+	h := &Hypergraph{}
+	next := 0
+	freshVar := func() string {
+		next++
+		return "v" + string(rune('A'+next%26)) + itoa(next)
+	}
+	first := []string{freshVar(), freshVar()}
+	h.Edges = append(h.Edges, Edge{ID: 0, Vertices: first})
+	for i := 1; i < edges; i++ {
+		parent := h.Edges[rng.Intn(len(h.Edges))]
+		var vs []string
+		for _, v := range parent.Vertices {
+			if rng.Intn(2) == 0 {
+				vs = append(vs, v)
+			}
+		}
+		for len(vs) == 0 || rng.Intn(2) == 0 {
+			vs = append(vs, freshVar())
+		}
+		h.Edges = append(h.Edges, Edge{ID: i, Vertices: vs})
+	}
+	return h
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,215 @@
+package hypergraph
+
+import "sort"
+
+// Tree is a rooted join tree node. The node stands for one hyperedge
+// (equivalently: one literal scheme / relation of the query).
+type Tree struct {
+	Edge     Edge
+	Children []*Tree
+}
+
+// Forest is a collection of rooted join trees, one per connected component
+// of an acyclic hypergraph.
+type Forest struct {
+	Roots []*Tree
+}
+
+// Nodes returns all nodes of the forest in preorder.
+func (f *Forest) Nodes() []*Tree {
+	var out []*Tree
+	var walk func(t *Tree)
+	walk = func(t *Tree) {
+		out = append(out, t)
+		for _, c := range t.Children {
+			walk(c)
+		}
+	}
+	for _, r := range f.Roots {
+		walk(r)
+	}
+	return out
+}
+
+// JoinForest builds a join forest for h from the GYO reduction trace: when
+// an ear e is removed with witness w, e becomes a child of w; edges removed
+// as isolated become roots. The second result reports whether h is acyclic;
+// if false, the forest is nil.
+//
+// The construction yields a forest satisfying the join-tree property of
+// Definition 4.2: any variable shared by two literal schemes occurs in every
+// scheme on the unique path linking them.
+func JoinForest(h *Hypergraph) (*Forest, bool) {
+	rest, steps := GYO(h)
+	if len(rest.Edges) != 0 {
+		return nil, false
+	}
+	byID := make(map[int]Edge, len(h.Edges))
+	for _, e := range h.Edges {
+		byID[e.ID] = e
+	}
+	nodes := make(map[int]*Tree, len(h.Edges))
+	node := func(id int) *Tree {
+		if n, ok := nodes[id]; ok {
+			return n
+		}
+		n := &Tree{Edge: byID[id]}
+		nodes[id] = n
+		return n
+	}
+	var roots []*Tree
+	for _, s := range steps {
+		switch s.Kind {
+		case RemoveIsolated:
+			roots = append(roots, node(s.Ear))
+		case RemoveEar:
+			parent := node(s.Witness)
+			parent.Children = append(parent.Children, node(s.Ear))
+		}
+	}
+	return &Forest{Roots: roots}, true
+}
+
+// SemijoinStep is one step "Target := Target ⋉ Source" of a semijoin
+// program (Definition 4.4). Target and Source are edge IDs.
+type SemijoinStep struct {
+	Target, Source int
+}
+
+// FullReducer returns the full-reducer semijoin program for an acyclic
+// hypergraph, as the two halves described after Definition 4.4:
+//
+//   - the first half performs a bottom-up visit of each join tree, adding
+//     "parent := parent ⋉ child" for every child;
+//   - the second half is the first half reversed with target and source
+//     exchanged ("child := child ⋉ parent").
+//
+// After executing firstHalf followed by secondHalf, each relation is reduced
+// with respect to the whole set (Bernstein–Goodman). The boolean result
+// reports whether h is acyclic; if false, no full reducer exists
+// (a set of atoms has a full reducer iff it is semi-acyclic).
+func FullReducer(h *Hypergraph) (firstHalf, secondHalf []SemijoinStep, ok bool) {
+	f, ok := JoinForest(h)
+	if !ok {
+		return nil, nil, false
+	}
+	for _, root := range f.Roots {
+		var visit func(t *Tree)
+		visit = func(t *Tree) {
+			for _, c := range t.Children {
+				visit(c)
+			}
+			for _, c := range t.Children {
+				firstHalf = append(firstHalf, SemijoinStep{Target: t.Edge.ID, Source: c.Edge.ID})
+			}
+		}
+		visit(root)
+	}
+	secondHalf = make([]SemijoinStep, 0, len(firstHalf))
+	for i := len(firstHalf) - 1; i >= 0; i-- {
+		s := firstHalf[i]
+		secondHalf = append(secondHalf, SemijoinStep{Target: s.Source, Source: s.Target})
+	}
+	return firstHalf, secondHalf, true
+}
+
+// ValidateJoinTree checks the Definition 4.2 property on a forest built for
+// h: for every variable occurring in two edges, the variable occurs in every
+// edge on the unique path linking them, and the two edges are in the same
+// tree. It returns true when the property holds.
+//
+// This is used by tests; JoinForest always produces valid forests.
+func ValidateJoinTree(h *Hypergraph, f *Forest) bool {
+	// Build parent pointers and locate nodes by edge ID.
+	parent := make(map[int]int)
+	treeOf := make(map[int]int)
+	var walk func(t *Tree, root int, par int)
+	walk = func(t *Tree, root, par int) {
+		parent[t.Edge.ID] = par
+		treeOf[t.Edge.ID] = root
+		for _, c := range t.Children {
+			walk(c, root, t.Edge.ID)
+		}
+	}
+	for i, r := range f.Roots {
+		walk(r, i, -1)
+	}
+	byID := make(map[int]Edge)
+	for _, e := range h.Edges {
+		byID[e.ID] = e
+	}
+	if len(parent) != len(h.Edges) {
+		return false
+	}
+
+	depth := func(id int) int {
+		d := 0
+		for parent[id] >= 0 {
+			id = parent[id]
+			d++
+		}
+		return d
+	}
+	pathHasVar := func(a, b int, v string) bool {
+		// Walk both nodes up to their LCA, checking v on every edge visited.
+		has := func(id int) bool {
+			for _, u := range byID[id].Vertices {
+				if u == v {
+					return true
+				}
+			}
+			return false
+		}
+		da, db := depth(a), depth(b)
+		for da > db {
+			if !has(a) {
+				return false
+			}
+			a, da = parent[a], da-1
+		}
+		for db > da {
+			if !has(b) {
+				return false
+			}
+			b, db = parent[b], db-1
+		}
+		for a != b {
+			if !has(a) || !has(b) {
+				return false
+			}
+			a, b = parent[a], parent[b]
+		}
+		return has(a) // the LCA itself
+	}
+
+	for i := 0; i < len(h.Edges); i++ {
+		for j := i + 1; j < len(h.Edges); j++ {
+			ei, ej := h.Edges[i], h.Edges[j]
+			shared := sharedVertices(ei, ej)
+			if len(shared) == 0 {
+				continue
+			}
+			if treeOf[ei.ID] != treeOf[ej.ID] {
+				return false
+			}
+			for _, v := range shared {
+				if !pathHasVar(ei.ID, ej.ID, v) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func sharedVertices(a, b Edge) []string {
+	set := b.vertexSet()
+	var out []string
+	for _, v := range a.Vertices {
+		if set[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

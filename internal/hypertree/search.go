@@ -1,0 +1,236 @@
+package hypertree
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// search finds a generalized hypertree decomposition of width <= c by
+// exhaustive separator search with memoization. Components are sets of
+// still-uncovered atoms; the connector of a component is the set of its
+// variables shared with the already-decomposed part, which must appear in
+// the χ label of the component's subtree root (else condition 2 of
+// Definition 4.7 would be violated).
+type search struct {
+	atoms []AtomSchema
+	c     int
+
+	varsOf map[int][]string // atom ID -> deduped vars
+	failed map[string]bool  // memoized failing (component, connector) pairs
+}
+
+func newSearch(atoms []AtomSchema, c int) *search {
+	s := &search{
+		atoms:  atoms,
+		c:      c,
+		varsOf: make(map[int][]string, len(atoms)),
+		failed: make(map[string]bool),
+	}
+	for _, a := range atoms {
+		s.varsOf[a.ID] = dedupe(a.Vars)
+	}
+	return s
+}
+
+// run attempts to decompose the full atom set.
+func (s *search) run() (*Node, bool) {
+	all := make([]int, 0, len(s.atoms))
+	for _, a := range s.atoms {
+		all = append(all, a.ID)
+	}
+	sort.Ints(all)
+	return s.decompose(all, nil)
+}
+
+// decompose builds a subtree for component comp (sorted atom IDs) whose root
+// χ must include every variable in connector (sorted).
+func (s *search) decompose(comp []int, connector []string) (*Node, bool) {
+	if len(comp) == 0 {
+		return nil, false
+	}
+	key := intsKey(comp) + "|" + strings.Join(connector, ",")
+	if s.failed[key] {
+		return nil, false
+	}
+
+	// Try every λ of size 1..c drawn from all atoms (GHD permits edges from
+	// outside the component).
+	ids := make([]int, 0, len(s.atoms))
+	for _, a := range s.atoms {
+		ids = append(ids, a.ID)
+	}
+	sort.Ints(ids)
+
+	var lambda []int
+	var try func(start int) (*Node, bool)
+	try = func(start int) (*Node, bool) {
+		if len(lambda) > 0 {
+			if n, ok := s.tryLambda(comp, connector, lambda); ok {
+				return n, true
+			}
+		}
+		if len(lambda) == s.c {
+			return nil, false
+		}
+		for i := start; i < len(ids); i++ {
+			lambda = append(lambda, ids[i])
+			if n, ok := try(i + 1); ok {
+				return n, true
+			}
+			lambda = lambda[:len(lambda)-1]
+		}
+		return nil, false
+	}
+	n, ok := try(0)
+	if !ok {
+		s.failed[key] = true
+	}
+	return n, ok
+}
+
+// tryLambda tests one separator choice: χ = var(λ) ∩ (connector ∪ var(comp)).
+// The choice is viable if χ ⊇ connector and it makes progress (covers at
+// least one component atom), and every residual sub-component decomposes
+// recursively.
+func (s *search) tryLambda(comp []int, connector []string, lambda []int) (*Node, bool) {
+	scope := make(map[string]bool)
+	for _, v := range connector {
+		scope[v] = true
+	}
+	for _, id := range comp {
+		for _, v := range s.varsOf[id] {
+			scope[v] = true
+		}
+	}
+	chi := make(map[string]bool)
+	for _, id := range lambda {
+		for _, v := range s.varsOf[id] {
+			if scope[v] {
+				chi[v] = true
+			}
+		}
+	}
+	for _, v := range connector {
+		if !chi[v] {
+			return nil, false
+		}
+	}
+
+	// Covered atoms: varo entirely inside χ.
+	var rest []int
+	covered := 0
+	for _, id := range comp {
+		if allIn(s.varsOf[id], chi) {
+			covered++
+		} else {
+			rest = append(rest, id)
+		}
+	}
+	if covered == 0 {
+		// No progress; rejecting keeps the search terminating. Decompositions
+		// in normal form always have such a node available.
+		return nil, false
+	}
+
+	node := &Node{
+		Chi:    sortedKeys(chi),
+		Lambda: sortedInts(append([]int(nil), lambda...)),
+	}
+	if len(rest) == 0 {
+		return node, true
+	}
+
+	// Split rest into connected components over variables outside χ.
+	for _, sub := range splitComponents(rest, s.varsOf, chi) {
+		subConn := make(map[string]bool)
+		for _, id := range sub {
+			for _, v := range s.varsOf[id] {
+				if chi[v] {
+					subConn[v] = true
+				}
+			}
+		}
+		child, ok := s.decompose(sub, sortedKeys(subConn))
+		if !ok {
+			return nil, false
+		}
+		child.Parent = node
+		node.Children = append(node.Children, child)
+	}
+	return node, true
+}
+
+func allIn(vars []string, set map[string]bool) bool {
+	for _, v := range vars {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// splitComponents partitions atoms into connected components, where two
+// atoms are connected if they share a variable not in exclude.
+func splitComponents(atomIDs []int, varsOf map[int][]string, exclude map[string]bool) [][]int {
+	// Union-find over atoms keyed by free variables.
+	parent := make(map[int]int, len(atomIDs))
+	var find func(x int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, id := range atomIDs {
+		parent[id] = id
+	}
+	varOwner := make(map[string]int)
+	for _, id := range atomIDs {
+		for _, v := range varsOf[id] {
+			if exclude[v] {
+				continue
+			}
+			if owner, ok := varOwner[v]; ok {
+				union(owner, id)
+			} else {
+				varOwner[v] = id
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	for _, id := range atomIDs {
+		r := find(id)
+		groups[r] = append(groups[r], id)
+	}
+	var roots []int
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([][]int, 0, len(groups))
+	for _, r := range roots {
+		g := groups[r]
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	return out
+}
+
+func intsKey(xs []int) string {
+	var b strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(x))
+	}
+	return b.String()
+}

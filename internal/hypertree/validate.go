@@ -1,0 +1,146 @@
+package hypertree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Validate checks that d is a complete generalized hypertree decomposition
+// of atoms: conditions 1–3 of Definition 4.7 plus completeness. It returns
+// nil when all hold.
+//
+//  1. every literal scheme L has a node p with varo(L) ⊆ χ(p);
+//  2. for every ordinary variable Y, the nodes with Y ∈ χ(p) induce a
+//     connected subtree;
+//  3. for every node p, χ(p) ⊆ varo(λ(p));
+//     completeness: each L additionally has such a p with L ∈ λ(p).
+func Validate(atoms []AtomSchema, d *Decomposition) error {
+	if d.Root == nil {
+		if len(atoms) == 0 {
+			return nil
+		}
+		return fmt.Errorf("hypertree: nil root for %d atoms", len(atoms))
+	}
+	varsOf := make(map[int][]string, len(atoms))
+	for _, a := range atoms {
+		varsOf[a.ID] = dedupe(a.Vars)
+	}
+
+	// Conditions 1 and completeness.
+	for _, a := range atoms {
+		cond1, complete := false, false
+		for _, n := range d.nodes {
+			if containsAll(n.Chi, varsOf[a.ID]) {
+				cond1 = true
+				if containsInt(n.Lambda, a.ID) {
+					complete = true
+					break
+				}
+			}
+		}
+		if !cond1 {
+			return fmt.Errorf("hypertree: condition 1 violated for atom %d", a.ID)
+		}
+		if !complete {
+			return fmt.Errorf("hypertree: completeness violated for atom %d", a.ID)
+		}
+	}
+
+	// Condition 2: χ-connectedness per variable.
+	allVars := make(map[string]bool)
+	for _, n := range d.nodes {
+		for _, v := range n.Chi {
+			allVars[v] = true
+		}
+	}
+	for v := range allVars {
+		withV := 0
+		for _, n := range d.nodes {
+			if containsAll(n.Chi, []string{v}) {
+				withV++
+			}
+		}
+		// Count connected nodes among those containing v, starting from the
+		// highest such node; condition 2 holds iff the set forms one subtree.
+		if withV == 0 {
+			continue
+		}
+		comp := connectedChiComponent(d, v)
+		if comp != withV {
+			return fmt.Errorf("hypertree: condition 2 violated for variable %q (%d nodes, largest connected set %d)", v, withV, comp)
+		}
+	}
+
+	// Condition 3: χ(p) ⊆ varo(λ(p)).
+	for _, n := range d.nodes {
+		lamVars := make(map[string]bool)
+		for _, id := range n.Lambda {
+			for _, u := range varsOf[id] {
+				lamVars[u] = true
+			}
+		}
+		for _, v := range n.Chi {
+			if !lamVars[v] {
+				return fmt.Errorf("hypertree: condition 3 violated at node %d: %q not in varo(λ)", n.ID, v)
+			}
+		}
+	}
+	return nil
+}
+
+// connectedChiComponent returns the size of the largest connected component
+// of the subgraph of tree nodes whose χ contains v.
+func connectedChiComponent(d *Decomposition, v string) int {
+	has := func(n *Node) bool { return containsAll(n.Chi, []string{v}) }
+	visited := make(map[*Node]bool)
+	best := 0
+	for _, start := range d.nodes {
+		if !has(start) || visited[start] {
+			continue
+		}
+		// BFS over tree adjacency restricted to nodes containing v.
+		size := 0
+		queue := []*Node{start}
+		visited[start] = true
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			size++
+			var adj []*Node
+			if n.Parent != nil {
+				adj = append(adj, n.Parent)
+			}
+			adj = append(adj, n.Children...)
+			for _, m := range adj {
+				if has(m) && !visited[m] {
+					visited[m] = true
+					queue = append(queue, m)
+				}
+			}
+		}
+		if size > best {
+			best = size
+		}
+	}
+	return best
+}
+
+// BottomUpOrder returns the decomposition's nodes in a bottom-up (children
+// before parents) order, the permutation ν of the findRules algorithm.
+func (d *Decomposition) BottomUpOrder() []*Node {
+	out := make([]*Node, 0, len(d.nodes))
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		// Deterministic child order by node ID.
+		kids := append([]*Node(nil), n.Children...)
+		sort.Slice(kids, func(i, j int) bool { return kids[i].ID < kids[j].ID })
+		for _, c := range kids {
+			walk(c)
+		}
+		out = append(out, n)
+	}
+	if d.Root != nil {
+		walk(d.Root)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+// Package logic implements the propositional substrate used by the paper's
+// hardness reductions: CNF formulas, satisfiability (3SAT), model counting
+// (#SAT, Theorem 3.25), and the counting-quantifier problem ∃C-SAT of
+// Definition 3.12, solved by brute force for the small instances the
+// reduction cross-checks use.
+package logic
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Literal is a propositional literal: variable index (0-based) and sign.
+type Literal struct {
+	Var int
+	Neg bool
+}
+
+// String renders the literal as "x3" or "~x3".
+func (l Literal) String() string {
+	if l.Neg {
+		return fmt.Sprintf("~x%d", l.Var)
+	}
+	return fmt.Sprintf("x%d", l.Var)
+}
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+// CNF is a formula in conjunctive normal form over variables 0..NumVars-1.
+type CNF struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// String renders the formula for debugging.
+func (f *CNF) String() string {
+	parts := make([]string, len(f.Clauses))
+	for i, c := range f.Clauses {
+		lits := make([]string, len(c))
+		for j, l := range c {
+			lits[j] = l.String()
+		}
+		parts[i] = "(" + strings.Join(lits, "|") + ")"
+	}
+	return strings.Join(parts, "&")
+}
+
+// Check validates variable indexing.
+func (f *CNF) Check() error {
+	for i, c := range f.Clauses {
+		if len(c) == 0 {
+			return fmt.Errorf("logic: clause %d is empty", i)
+		}
+		for _, l := range c {
+			if l.Var < 0 || l.Var >= f.NumVars {
+				return fmt.Errorf("logic: clause %d uses variable %d outside [0,%d)", i, l.Var, f.NumVars)
+			}
+		}
+	}
+	return nil
+}
+
+// Is3CNF reports whether every clause has at most three literals.
+func (f *CNF) Is3CNF() bool {
+	for _, c := range f.Clauses {
+		if len(c) > 3 {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval evaluates the formula under the assignment (true = 1).
+func (f *CNF) Eval(assign []bool) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			if assign[l.Var] != l.Neg {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// UsedVars returns the sorted list of variables occurring in the formula.
+func (f *CNF) UsedVars() []int {
+	seen := map[int]bool{}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			seen[l.Var] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Random3CNF generates a random 3CNF formula with the given number of
+// variables and clauses. Each clause has exactly three literals over three
+// distinct variables (when nVars >= 3).
+func Random3CNF(rng *rand.Rand, nVars, nClauses int) *CNF {
+	f := &CNF{NumVars: nVars}
+	for i := 0; i < nClauses; i++ {
+		vars := rng.Perm(nVars)
+		k := 3
+		if nVars < 3 {
+			k = nVars
+		}
+		clause := make(Clause, k)
+		for j := 0; j < k; j++ {
+			clause[j] = Literal{Var: vars[j], Neg: rng.Intn(2) == 1}
+		}
+		f.Clauses = append(f.Clauses, clause)
+	}
+	return f
+}

@@ -1,0 +1,206 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// clause builds a Clause from (var, neg) pairs.
+func cl(lits ...Literal) Clause { return Clause(lits) }
+
+func pos(v int) Literal { return Literal{Var: v} }
+func neg(v int) Literal { return Literal{Var: v, Neg: true} }
+
+func TestEval(t *testing.T) {
+	// (x0 | ~x1) & (x1 | x2)
+	f := &CNF{NumVars: 3, Clauses: []Clause{cl(pos(0), neg(1)), cl(pos(1), pos(2))}}
+	cases := []struct {
+		assign []bool
+		want   bool
+	}{
+		{[]bool{true, true, false}, true},
+		{[]bool{false, true, false}, false},
+		{[]bool{false, false, false}, false},
+		{[]bool{false, false, true}, true},
+	}
+	for _, c := range cases {
+		if got := f.Eval(c.assign); got != c.want {
+			t.Errorf("Eval(%v) = %v, want %v", c.assign, got, c.want)
+		}
+	}
+}
+
+func TestSatisfiableAgainstBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 80; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		f := Random3CNF(rng, 3+rng.Intn(5), 1+rng.Intn(12))
+		want, err := CountModels(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Satisfiable(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != (want > 0) {
+			t.Errorf("seed %d: DPLL = %v but count = %d for %s", seed, got, want, f)
+		}
+	}
+}
+
+func TestCountModelsKnown(t *testing.T) {
+	// x0 alone over 2 vars: 2 models.
+	f := &CNF{NumVars: 2, Clauses: []Clause{cl(pos(0))}}
+	n, err := CountModels(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("count = %d, want 2", n)
+	}
+	// Contradiction: x0 & ~x0.
+	f2 := &CNF{NumVars: 1, Clauses: []Clause{cl(pos(0)), cl(neg(0))}}
+	n2, _ := CountModels(f2)
+	if n2 != 0 {
+		t.Errorf("contradiction count = %d", n2)
+	}
+	// Tautological clause (x0 | ~x0) over 3 vars: 8 models.
+	f3 := &CNF{NumVars: 3, Clauses: []Clause{cl(pos(0), neg(0))}}
+	n3, _ := CountModels(f3)
+	if n3 != 8 {
+		t.Errorf("tautology count = %d, want 8", n3)
+	}
+}
+
+func TestCountModelsBound(t *testing.T) {
+	f := &CNF{NumVars: maxBruteForceVars + 1, Clauses: []Clause{cl(pos(0))}}
+	if _, err := CountModels(f); err == nil {
+		t.Error("oversized instance accepted")
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	if err := (&CNF{NumVars: 1, Clauses: []Clause{{}}}).Check(); err == nil {
+		t.Error("empty clause accepted")
+	}
+	if err := (&CNF{NumVars: 1, Clauses: []Clause{cl(pos(5))}}).Check(); err == nil {
+		t.Error("out-of-range variable accepted")
+	}
+}
+
+func TestCountModelsOver(t *testing.T) {
+	// F = x0 | x1, count over {x1} with x0 fixed false: only x1=1 works.
+	f := &CNF{NumVars: 2, Clauses: []Clause{cl(pos(0), pos(1))}}
+	base := []bool{false, false}
+	if got := CountModelsOver(f, []int{1}, base); got != 1 {
+		t.Errorf("count over x1 with x0=false = %d, want 1", got)
+	}
+	base[0] = true
+	if got := CountModelsOver(f, []int{1}, base); got != 2 {
+		t.Errorf("count over x1 with x0=true = %d, want 2", got)
+	}
+}
+
+func TestExistsCountInstance(t *testing.T) {
+	// F = (p | q) with Π = {p}, χ = {q}.
+	f := &CNF{NumVars: 2, Clauses: []Clause{cl(pos(0), pos(1))}}
+	inst := &ExistsCountInstance{F: f, Pi: []int{0}, Chi: []int{1}, K: 2}
+	yes, witness, err := inst.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p=true gives 2 satisfying q-assignments.
+	if !yes {
+		t.Fatal("expected YES")
+	}
+	if !witness[0] {
+		t.Error("witness should set p=true")
+	}
+	inst.K = 3
+	yes, _, err = inst.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yes {
+		t.Error("K=3 should be NO (only 2 q-assignments exist)")
+	}
+	max, err := inst.MaxCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max != 2 {
+		t.Errorf("MaxCount = %d, want 2", max)
+	}
+}
+
+func TestExistsCountPartitionValidation(t *testing.T) {
+	f := &CNF{NumVars: 2, Clauses: []Clause{cl(pos(0), pos(1))}}
+	bad := &ExistsCountInstance{F: f, Pi: []int{0}, Chi: []int{0, 1}, K: 1}
+	if err := bad.Check(); err == nil {
+		t.Error("overlapping partition accepted")
+	}
+	missing := &ExistsCountInstance{F: f, Pi: []int{0}, Chi: nil, K: 1}
+	if err := missing.Check(); err == nil {
+		t.Error("incomplete partition accepted")
+	}
+}
+
+func TestExistsCountBruteForceConsistency(t *testing.T) {
+	// Cross-check Solve against a direct double loop.
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nPi, nChi := 1+rng.Intn(2), 1+rng.Intn(3)
+		f := Random3CNF(rng, nPi+nChi, 2+rng.Intn(6))
+		pi := make([]int, nPi)
+		chi := make([]int, nChi)
+		for i := range pi {
+			pi[i] = i
+		}
+		for i := range chi {
+			chi[i] = nPi + i
+		}
+		inst := &ExistsCountInstance{F: f, Pi: pi, Chi: chi, K: 1 + rng.Intn(1<<nChi)}
+		got, _, err := inst.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		max, err := inst.MaxCount()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != (max >= inst.K) {
+			t.Errorf("seed %d: Solve = %v but MaxCount = %d, K = %d", seed, got, max, inst.K)
+		}
+	}
+}
+
+func TestRandom3CNFShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := Random3CNF(rng, 6, 10)
+	if err := f.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Is3CNF() {
+		t.Error("Random3CNF produced a clause with more than 3 literals")
+	}
+	if len(f.Clauses) != 10 {
+		t.Errorf("clauses = %d", len(f.Clauses))
+	}
+	for i, c := range f.Clauses {
+		vars := map[int]bool{}
+		for _, l := range c {
+			vars[l.Var] = true
+		}
+		if len(vars) != 3 {
+			t.Errorf("clause %d does not use 3 distinct variables", i)
+		}
+	}
+}
+
+func TestUsedVars(t *testing.T) {
+	f := &CNF{NumVars: 5, Clauses: []Clause{cl(pos(3), neg(1))}}
+	uv := f.UsedVars()
+	if len(uv) != 2 || uv[0] != 1 || uv[1] != 3 {
+		t.Errorf("UsedVars = %v", uv)
+	}
+}

@@ -1,0 +1,229 @@
+package logic
+
+import "fmt"
+
+// maxBruteForceVars bounds the exhaustive solvers; instances in this module
+// are reduction cross-checks, which are intentionally small.
+const maxBruteForceVars = 24
+
+// Satisfiable reports whether f has a model, by DPLL with unit propagation.
+func Satisfiable(f *CNF) (bool, error) {
+	if err := f.Check(); err != nil {
+		return false, err
+	}
+	assign := make([]int8, f.NumVars) // 0 unknown, +1 true, -1 false
+	return dpll(f, assign), nil
+}
+
+func dpll(f *CNF, parent []int8) bool {
+	// Work on a copy: unit-propagation assignments must not leak into the
+	// caller's sibling branch.
+	assign := make([]int8, len(parent))
+	copy(assign, parent)
+	// Unit propagation.
+	for {
+		unit, conflict, unitLit := false, false, Literal{}
+		for _, c := range f.Clauses {
+			unassigned := 0
+			satisfied := false
+			var last Literal
+			for _, l := range c {
+				switch {
+				case assign[l.Var] == 0:
+					unassigned++
+					last = l
+				case (assign[l.Var] == 1) != l.Neg:
+					satisfied = true
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			if unassigned == 0 {
+				conflict = true
+				break
+			}
+			if unassigned == 1 {
+				unit, unitLit = true, last
+				break
+			}
+		}
+		if conflict {
+			return false
+		}
+		if !unit {
+			break
+		}
+		if unitLit.Neg {
+			assign[unitLit.Var] = -1
+		} else {
+			assign[unitLit.Var] = 1
+		}
+	}
+	// Choose a branching variable.
+	branch := -1
+	for v := 0; v < f.NumVars; v++ {
+		if assign[v] == 0 {
+			branch = v
+			break
+		}
+	}
+	if branch < 0 {
+		// All assigned; every clause satisfied (no conflicts above)?
+		b := make([]bool, f.NumVars)
+		for v := range b {
+			b[v] = assign[v] == 1
+		}
+		return f.Eval(b)
+	}
+	for _, val := range []int8{1, -1} {
+		assign[branch] = val
+		if dpll(f, assign) {
+			return true
+		}
+	}
+	return false
+}
+
+// CountModels solves #SAT exactly: the number of satisfying assignments of
+// f over all NumVars variables, by exhaustive enumeration.
+func CountModels(f *CNF) (int, error) {
+	if err := f.Check(); err != nil {
+		return 0, err
+	}
+	if f.NumVars > maxBruteForceVars {
+		return 0, fmt.Errorf("logic: %d variables exceeds brute-force bound %d", f.NumVars, maxBruteForceVars)
+	}
+	count := 0
+	assign := make([]bool, f.NumVars)
+	var rec func(v int)
+	rec = func(v int) {
+		if v == f.NumVars {
+			if f.Eval(assign) {
+				count++
+			}
+			return
+		}
+		assign[v] = false
+		rec(v + 1)
+		assign[v] = true
+		rec(v + 1)
+	}
+	rec(0)
+	return count, nil
+}
+
+// CountModelsOver counts satisfying assignments over a subset of variables,
+// with the remaining variables fixed by base.
+func CountModelsOver(f *CNF, vars []int, base []bool) int {
+	assign := append([]bool(nil), base...)
+	count := 0
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(vars) {
+			if f.Eval(assign) {
+				count++
+			}
+			return
+		}
+		assign[vars[i]] = false
+		rec(i + 1)
+		assign[vars[i]] = true
+		rec(i + 1)
+	}
+	rec(0)
+	return count
+}
+
+// ExistsCountInstance is an ∃C-3SAT instance (Definition 3.12 with the
+// Theorem 3.28 shape): a formula F, a partition of its variables into Π
+// (existential) and χ (counted), and a threshold k.
+//
+// The question: is there an assignment of Π such that at least k
+// assignments of χ make F true?
+type ExistsCountInstance struct {
+	F   *CNF
+	Pi  []int // existentially quantified variables
+	Chi []int // counted variables
+	K   int
+}
+
+// Check validates the partition.
+func (inst *ExistsCountInstance) Check() error {
+	if err := inst.F.Check(); err != nil {
+		return err
+	}
+	seen := make(map[int]int)
+	for _, v := range inst.Pi {
+		seen[v]++
+	}
+	for _, v := range inst.Chi {
+		seen[v]++
+	}
+	for v := 0; v < inst.F.NumVars; v++ {
+		if seen[v] != 1 {
+			return fmt.Errorf("logic: variable %d appears %d times in the Π/χ partition", v, seen[v])
+		}
+	}
+	if inst.K < 0 {
+		return fmt.Errorf("logic: negative threshold")
+	}
+	return nil
+}
+
+// Solve decides the instance by brute force, returning the witnessing Π
+// assignment when the answer is yes.
+func (inst *ExistsCountInstance) Solve() (bool, []bool, error) {
+	if err := inst.Check(); err != nil {
+		return false, nil, err
+	}
+	if inst.F.NumVars > maxBruteForceVars {
+		return false, nil, fmt.Errorf("logic: instance too large for brute force")
+	}
+	base := make([]bool, inst.F.NumVars)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(inst.Pi) {
+			return CountModelsOver(inst.F, inst.Chi, base) >= inst.K
+		}
+		base[inst.Pi[i]] = false
+		if rec(i + 1) {
+			return true
+		}
+		base[inst.Pi[i]] = true
+		return rec(i + 1)
+	}
+	if rec(0) {
+		witness := append([]bool(nil), base...)
+		return true, witness, nil
+	}
+	return false, nil, nil
+}
+
+// MaxCount returns the maximum, over Π assignments, of the number of χ
+// assignments satisfying F. Useful for threshold-boundary tests.
+func (inst *ExistsCountInstance) MaxCount() (int, error) {
+	if err := inst.Check(); err != nil {
+		return 0, err
+	}
+	base := make([]bool, inst.F.NumVars)
+	best := 0
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(inst.Pi) {
+			if c := CountModelsOver(inst.F, inst.Chi, base); c > best {
+				best = c
+			}
+			return
+		}
+		base[inst.Pi[i]] = false
+		rec(i + 1)
+		base[inst.Pi[i]] = true
+		rec(i + 1)
+	}
+	rec(0)
+	return best, nil
+}

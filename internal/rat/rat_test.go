@@ -1,0 +1,293 @@
+package rat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNormalizes(t *testing.T) {
+	cases := []struct {
+		num, den     int64
+		wantN, wantD int64
+	}{
+		{0, 5, 0, 1},
+		{2, 4, 1, 2},
+		{6, 3, 2, 1},
+		{7, 7, 1, 1},
+		{93, 100, 93, 100},
+		{1024, 4096, 1, 4},
+	}
+	for _, c := range cases {
+		r := New(c.num, c.den)
+		if r.Num() != c.wantN || r.Den() != c.wantD {
+			t.Errorf("New(%d,%d) = %d/%d, want %d/%d", c.num, c.den, r.Num(), r.Den(), c.wantN, c.wantD)
+		}
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, c := range []struct{ num, den int64 }{{1, 0}, {-1, 2}, {1, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", c.num, c.den)
+				}
+			}()
+			New(c.num, c.den)
+		}()
+	}
+}
+
+func TestZeroValueIsZero(t *testing.T) {
+	var r Rat
+	if !r.IsZero() {
+		t.Error("zero value not zero")
+	}
+	if r.String() != "0" {
+		t.Errorf("zero value String = %q", r.String())
+	}
+	if r.Cmp(Zero) != 0 {
+		t.Error("zero value != Zero")
+	}
+	if r.Num() != 0 || r.Den() != 1 {
+		t.Errorf("zero value = %d/%d", r.Num(), r.Den())
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Rat
+	}{
+		{"1/2", New(1, 2)},
+		{"3/9", New(1, 3)},
+		{"0", Zero},
+		{"1", One},
+		{"0.75", New(3, 4)},
+		{"0.93", New(93, 100)},
+		{".5", New(1, 2)},
+		{"2.", New(2, 1)},
+		{" 1/2 ", New(1, 2)},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "a", "1/0", "-1/2", "1/-2", "-0.5", "x/y", "1/2/3"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestCmp(t *testing.T) {
+	cases := []struct {
+		a, b Rat
+		want int
+	}{
+		{New(1, 2), New(1, 2), 0},
+		{New(1, 3), New(1, 2), -1},
+		{New(2, 3), New(1, 2), 1},
+		{Zero, New(1, 1000000), -1},
+		{One, New(999999, 1000000), 1},
+		{New(93, 100), New(930, 1000), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Cmp(c.b); got != c.want {
+			t.Errorf("Cmp(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCmpLargeComponentsNoOverflow(t *testing.T) {
+	// These cross-products overflow int64; Cmp must still be exact.
+	big := int64(math.MaxInt64 / 2)
+	a := New(big, big-1)   // slightly greater than 1
+	b := New(big-1, big-2) // also slightly greater than 1, but larger
+	if got := a.Cmp(b); got != -1 {
+		t.Errorf("Cmp large = %d, want -1", got)
+	}
+	if got := b.Cmp(a); got != 1 {
+		t.Errorf("Cmp large reversed = %d, want 1", got)
+	}
+	if got := a.Cmp(a); got != 0 {
+		t.Errorf("Cmp self = %d, want 0", got)
+	}
+}
+
+func TestGreaterStrict(t *testing.T) {
+	// The paper's thresholds are strict: 1/2 > 1/2 must be false.
+	if New(1, 2).Greater(New(1, 2)) {
+		t.Error("1/2 > 1/2")
+	}
+	if !New(51, 100).Greater(New(1, 2)) {
+		t.Error("51/100 not > 1/2")
+	}
+	if Zero.Greater(Zero) {
+		t.Error("0 > 0")
+	}
+	if !New(1, 1000).Greater(Zero) {
+		t.Error("1/1000 not > 0")
+	}
+}
+
+func TestMaxMulSub(t *testing.T) {
+	if got := Max(New(1, 3), New(1, 2)); !got.Equal(New(1, 2)) {
+		t.Errorf("Max = %v", got)
+	}
+	if got := New(2, 3).Mul(New(3, 4)); !got.Equal(New(1, 2)) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := New(3, 4).Sub(New(1, 4)); !got.Equal(New(1, 2)) {
+		t.Errorf("Sub = %v", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative Sub did not panic")
+			}
+		}()
+		New(1, 4).Sub(New(1, 2))
+	}()
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		r    Rat
+		want string
+	}{
+		{Zero, "0"},
+		{One, "1"},
+		{New(5, 5), "1"},
+		{New(1, 2), "1/2"},
+		{New(7, 3), "7/3"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("String(%d/%d) = %q, want %q", c.r.Num(), c.r.Den(), got, c.want)
+		}
+	}
+}
+
+func TestFloat64(t *testing.T) {
+	if got := New(1, 2).Float64(); got != 0.5 {
+		t.Errorf("Float64 = %v", got)
+	}
+	if got := Zero.Float64(); got != 0 {
+		t.Errorf("Float64 zero = %v", got)
+	}
+}
+
+// Property: Cmp agrees with exact big-integer style comparison computed via
+// float fallback on small components.
+func TestQuickCmpConsistent(t *testing.T) {
+	f := func(a, b, c, d uint16) bool {
+		r := New(int64(a), int64(b)+1)
+		s := New(int64(c), int64(d)+1)
+		lhs := int64(a) * (int64(d) + 1)
+		rhs := int64(c) * (int64(b) + 1)
+		want := 0
+		if lhs < rhs {
+			want = -1
+		} else if lhs > rhs {
+			want = 1
+		}
+		return r.Cmp(s) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cmp is antisymmetric and transitive on a sample.
+func TestQuickCmpOrder(t *testing.T) {
+	f := func(a, b, c, d, e, g uint8) bool {
+		x := New(int64(a), int64(b)+1)
+		y := New(int64(c), int64(d)+1)
+		z := New(int64(e), int64(g)+1)
+		if x.Cmp(y) != -y.Cmp(x) {
+			return false
+		}
+		if x.Cmp(y) <= 0 && y.Cmp(z) <= 0 && x.Cmp(z) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Parse(String(r)) round-trips.
+func TestQuickStringRoundTrip(t *testing.T) {
+	f := func(a, b uint16) bool {
+		r := New(int64(a), int64(b)+1)
+		s, err := Parse(r.String())
+		return err == nil && s.Equal(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulOverflowPanics(t *testing.T) {
+	big := New(int64(1)<<61, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Mul overflow did not panic")
+		}
+	}()
+	big.Mul(big)
+}
+
+func TestSubOverflowGuard(t *testing.T) {
+	// Components large enough that cross-multiplication overflows the
+	// guarded range must panic rather than silently wrap.
+	a := New(int64(1)<<62-1, int64(1)<<62-3)
+	b := New(int64(1)<<61-1, int64(1)<<62-5)
+	defer func() {
+		recover() // either result or panic is acceptable; must not wrap
+	}()
+	r := a.Sub(b)
+	if r.Den() <= 0 {
+		t.Errorf("Sub wrapped: %v", r)
+	}
+}
+
+func TestMulCrossReduction(t *testing.T) {
+	// (2/3)*(3/2) = 1 exercises both cross-gcd paths.
+	if got := New(2, 3).Mul(New(3, 2)); !got.Equal(One) {
+		t.Errorf("Mul = %v", got)
+	}
+	// Multiplying by zero short-circuits.
+	if got := Zero.Mul(New(7, 9)); !got.IsZero() {
+		t.Errorf("0*x = %v", got)
+	}
+}
+
+func TestFromInt(t *testing.T) {
+	if got := FromInt(5); got.Num() != 5 || got.Den() != 1 {
+		t.Errorf("FromInt = %v", got)
+	}
+}
+
+func TestParseDecimalLimits(t *testing.T) {
+	// Too many fractional digits must error, not overflow.
+	if _, err := Parse("0.12345678901234567890123"); err == nil {
+		t.Error("overlong decimal accepted")
+	}
+	got, err := Parse("0.000001")
+	if err != nil || !got.Equal(New(1, 1000000)) {
+		t.Errorf("tiny decimal = %v, %v", got, err)
+	}
+}

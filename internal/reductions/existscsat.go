@@ -1,0 +1,195 @@
+package reductions
+
+import (
+	"fmt"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/logic"
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// ExistsCSAT is the NP^PP-hardness construction of Theorems 3.28 and 3.29:
+// a reduction from ∃C-3SAT to the confidence metaquerying problem
+// ⟨DB, MQ, cnf, k, T⟩ with k = (k'−1)/2^h.
+//
+// Variant Type0 builds Theorem 3.28's instance (one predicate variable P'_i
+// per existential variable, relations pa/pb fixing its truth value);
+// variant Type12 builds Theorem 3.29's instance (a single predicate
+// variable P' mapped to the one-tuple relation p = {(1,0,l)}, whose chosen
+// argument permutation encodes the truth value, guarded by ch = {(l)}).
+type ExistsCSAT struct {
+	DB   *relation.Database
+	MQ   *core.Metaquery
+	K    rat.Rat
+	Inst *logic.ExistsCountInstance
+}
+
+// ExistsCSATVariant selects which theorem's construction to build.
+type ExistsCSATVariant int
+
+const (
+	// VariantType0 is the Theorem 3.28 construction, sound for type-0.
+	VariantType0 ExistsCSATVariant = iota
+	// VariantType12 is the Theorem 3.29 construction, sound for types 1 and 2.
+	VariantType12
+)
+
+// BuildExistsCSAT constructs the reduction. Requirements: the formula is
+// 3CNF with exactly three literals per clause, at least one counted (χ)
+// variable, and 1 <= k' <= 2^h.
+//
+// If the formula has exactly three clauses, the first clause is duplicated
+// (with a fresh clause variable): this leaves the model count unchanged and
+// avoids an arity collision between the arity-n head relation c and the
+// arity-3 relation patterns, a corner case the paper's construction leaves
+// implicit.
+func BuildExistsCSAT(inst *logic.ExistsCountInstance, variant ExistsCSATVariant) (*ExistsCSAT, error) {
+	if err := inst.Check(); err != nil {
+		return nil, err
+	}
+	f := inst.F
+	for i, c := range f.Clauses {
+		if len(c) != 3 {
+			return nil, fmt.Errorf("reductions: clause %d has %d literals, want 3", i, len(c))
+		}
+	}
+	h := len(inst.Chi)
+	if h < 1 {
+		return nil, fmt.Errorf("reductions: need at least one counted variable")
+	}
+	if h > 20 {
+		return nil, fmt.Errorf("reductions: too many counted variables (%d)", h)
+	}
+	if inst.K < 1 || inst.K > 1<<h {
+		return nil, fmt.Errorf("reductions: threshold k'=%d outside [1, 2^%d]", inst.K, h)
+	}
+
+	clauses := append([]logic.Clause(nil), f.Clauses...)
+	if len(clauses) == 3 {
+		clauses = append(clauses, clauses[0])
+	}
+	n := len(clauses)
+
+	// Roles of the formula's variables.
+	piIndex := make(map[int]int)  // formula var -> Π position
+	chiIndex := make(map[int]int) // formula var -> χ position
+	for i, v := range inst.Pi {
+		piIndex[v] = i
+	}
+	for i, v := range inst.Chi {
+		chiIndex[v] = i
+	}
+	litVar := func(l logic.Literal) string {
+		if y, ok := piIndex[l.Var]; ok {
+			if l.Neg {
+				return fmt.Sprintf("PB%d", y)
+			}
+			return fmt.Sprintf("P%d", y)
+		}
+		y := chiIndex[l.Var]
+		if l.Neg {
+			return fmt.Sprintf("QB%d", y)
+		}
+		return fmt.Sprintf("Q%d", y)
+	}
+
+	db := relation.NewDatabase()
+	// Shared relations: q, c', c.
+	db.MustInsertNamed("q", "1", "0")
+	db.MustInsertNamed("q", "0", "1")
+	for _, t := range [][4]string{
+		{"1", "0", "0", "1"}, {"0", "1", "0", "1"}, {"0", "0", "1", "1"},
+		{"1", "0", "1", "1"}, {"1", "1", "0", "1"}, {"0", "1", "1", "1"},
+		{"1", "1", "1", "1"}, {"0", "0", "0", "0"},
+	} {
+		db.MustInsertNamed("c'", t[0], t[1], t[2], t[3])
+	}
+	ones := make([]string, n)
+	for i := range ones {
+		ones[i] = "1"
+	}
+	db.MustInsertNamed("c", ones...)
+
+	var body []core.LiteralScheme
+	switch variant {
+	case VariantType0:
+		db.MustInsertNamed("pa", "1", "0", "l")
+		db.MustInsertNamed("pb", "0", "1", "l")
+		for i := range inst.Pi {
+			body = append(body, core.Pattern(fmt.Sprintf("PV%d", i),
+				fmt.Sprintf("P%d", i), fmt.Sprintf("PB%d", i), "Y"))
+		}
+	case VariantType12:
+		db.MustInsertNamed("p", "1", "0", "l")
+		db.MustInsertNamed("ch", "l")
+		for i := range inst.Pi {
+			body = append(body, core.Pattern("PV",
+				fmt.Sprintf("P%d", i), fmt.Sprintf("PB%d", i), "Y"))
+		}
+		body = append(body, core.SchemeAtom("ch", "Y"))
+	default:
+		return nil, fmt.Errorf("reductions: unknown variant %d", variant)
+	}
+	for i := range inst.Chi {
+		body = append(body, core.SchemeAtom("q", fmt.Sprintf("Q%d", i), fmt.Sprintf("QB%d", i)))
+	}
+	cVars := make([]string, n)
+	for i, cl := range clauses {
+		cVars[i] = fmt.Sprintf("C%d", i)
+		body = append(body, core.SchemeAtom("c'",
+			litVar(cl[0]), litVar(cl[1]), litVar(cl[2]), cVars[i]))
+	}
+	head := core.SchemeAtom("c", cVars...)
+	mq, err := core.NewMetaquery(head, body...)
+	if err != nil {
+		return nil, err
+	}
+	// k = (k'-1) / 2^h.
+	k := rat.New(int64(inst.K-1), int64(1)<<h)
+	return &ExistsCSAT{DB: db, MQ: mq, K: k, Inst: inst}, nil
+}
+
+// PiAssignmentFromWitness reads the existential assignment off a witness
+// instantiation: for VariantType0, P'_i -> pa means true, pb means false;
+// for VariantType12, the position of P_i inside the atom's argument list
+// determines the value (first argument of p means true).
+func (r *ExistsCSAT) PiAssignmentFromWitness(sigma *core.Instantiation, variant ExistsCSATVariant) ([]bool, error) {
+	out := make([]bool, len(r.Inst.Pi))
+	for i := range r.Inst.Pi {
+		var pat core.LiteralScheme
+		if variant == VariantType0 {
+			pat = core.Pattern(fmt.Sprintf("PV%d", i),
+				fmt.Sprintf("P%d", i), fmt.Sprintf("PB%d", i), "Y")
+		} else {
+			pat = core.Pattern("PV",
+				fmt.Sprintf("P%d", i), fmt.Sprintf("PB%d", i), "Y")
+		}
+		atom, ok := sigma.AtomFor(pat)
+		if !ok {
+			return nil, fmt.Errorf("reductions: pattern for Π variable %d unassigned", i)
+		}
+		switch variant {
+		case VariantType0:
+			switch atom.Pred {
+			case "pa":
+				out[i] = true
+			case "pb":
+				out[i] = false
+			default:
+				return nil, fmt.Errorf("reductions: unexpected relation %q", atom.Pred)
+			}
+		case VariantType12:
+			if atom.Pred != "p" {
+				return nil, fmt.Errorf("reductions: unexpected relation %q", atom.Pred)
+			}
+			// p's single tuple is (1, 0, l): P_i is true iff it sits in the
+			// first argument position.
+			if len(atom.Terms) != 3 {
+				return nil, fmt.Errorf("reductions: unexpected arity %d", len(atom.Terms))
+			}
+			out[i] = atom.Terms[0].Var == fmt.Sprintf("P%d", i)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package reductions
+
+import (
+	"fmt"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/graphs"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// HamPath is the Theorem 3.33 construction: an *acyclic* metaquery MQham
+// and database DBham such that, for T ∈ {1, 2} and any index I,
+// ⟨DBham, MQham, I, 0, T⟩ is a YES instance iff the graph has a
+// Hamiltonian path.
+//
+// DBham holds a relation g with a single n-tuple of node names and the
+// binary edge relation e. Since the input graph is undirected, e stores
+// both orientations of each edge (the paper stores "one tuple for each
+// edge"; a path may traverse an edge in either direction, so the symmetric
+// closure realizes the intended semantics).
+type HamPath struct {
+	DB *relation.Database
+	MQ *core.Metaquery
+	N  int
+}
+
+// BuildHamPath constructs the reduction. The paper assumes |V| > 2.
+func BuildHamPath(g *graphs.Graph) (*HamPath, error) {
+	if err := g.Check(); err != nil {
+		return nil, err
+	}
+	if g.N <= 2 {
+		return nil, fmt.Errorf("reductions: Hamiltonian path reduction requires |V| > 2")
+	}
+	db := relation.NewDatabase()
+	nodeName := func(u int) string { return fmt.Sprintf("v%d", u) }
+	names := make([]string, g.N)
+	for u := 0; u < g.N; u++ {
+		names[u] = nodeName(u)
+	}
+	db.MustInsertNamed("g", names...)
+	db.MustAddRelation("e", 2)
+	for _, e := range g.Edges {
+		if e[0] == e[1] {
+			continue
+		}
+		db.MustInsertNamed("e", nodeName(e[0]), nodeName(e[1]))
+		db.MustInsertNamed("e", nodeName(e[1]), nodeName(e[0]))
+	}
+
+	// MQham = N(X1..Xn) <- N(X1..Xn), e(X1,X2), ..., e(Xn-1,Xn).
+	vars := make([]string, g.N)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("X%d", i+1)
+	}
+	body := []core.LiteralScheme{core.Pattern("N", vars...)}
+	for i := 0; i+1 < g.N; i++ {
+		body = append(body, core.SchemeAtom("e", vars[i], vars[i+1]))
+	}
+	mq, err := core.NewMetaquery(core.Pattern("N", vars...), body...)
+	if err != nil {
+		return nil, err
+	}
+	return &HamPath{DB: db, MQ: mq, N: g.N}, nil
+}
+
+// PathFromWitness extracts a Hamiltonian path (as a vertex sequence) from a
+// witness instantiation by reading the body join.
+func (r *HamPath) PathFromWitness(sigma *core.Instantiation) ([]int, error) {
+	rule, err := sigma.Apply(r.MQ)
+	if err != nil {
+		return nil, err
+	}
+	j, err := relation.JoinAtoms(r.DB, rule.BodyAtoms())
+	if err != nil {
+		return nil, err
+	}
+	if j.Empty() {
+		return nil, fmt.Errorf("reductions: witness has empty body join")
+	}
+	tup := j.Tuples()[0]
+	path := make([]int, r.N)
+	for i := 0; i < r.N; i++ {
+		v := fmt.Sprintf("X%d", i+1)
+		p := j.Pos(v)
+		if p < 0 {
+			return nil, fmt.Errorf("reductions: variable %s missing from body join", v)
+		}
+		name := r.DB.Dict().Name(tup[p])
+		var u int
+		if _, err := fmt.Sscanf(name, "v%d", &u); err != nil {
+			return nil, fmt.Errorf("reductions: bad node constant %q", name)
+		}
+		path[i] = u
+	}
+	return path, nil
+}
+
+// ValidHamPath checks that path visits every vertex of g exactly once along
+// edges of g.
+func ValidHamPath(g *graphs.Graph, path []int) bool {
+	if len(path) != g.N {
+		return false
+	}
+	seen := make([]bool, g.N)
+	for _, u := range path {
+		if u < 0 || u >= g.N || seen[u] {
+			return false
+		}
+		seen[u] = true
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if !g.HasEdge(path[i], path[i+1]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,104 @@
+package reductions
+
+import (
+	"fmt"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/cq"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// AcyclicCQ is the Theorem 3.32 membership construction: a logspace
+// reduction from ⟨DB, MQ, I, 0, 0⟩ (acyclic metaquery, type-0, threshold 0)
+// to an acyclic Boolean conjunctive query QMQ over a new database DDB.
+//
+// DDB introduces, for every arity a occurring in DB, a relation u_a of
+// arity a+1 holding (n_r, t1, ..., ta) for every tuple t of every arity-a
+// relation r, where n_r is a fresh constant naming r. QMQ replaces each
+// literal scheme L(X1..Xa) by u_a(L, X1..Xa): predicate variables become
+// ordinary variables ranging over relation names, which is exactly type-0
+// instantiation. For I = sup the head atom is dropped (its certifying set
+// is the body only, Proposition 3.20).
+type AcyclicCQ struct {
+	DDB *relation.Database
+	Q   cq.Query
+}
+
+// relConstPrefix namespaces the n_r constants so they cannot collide with
+// database constants.
+const relConstPrefix = "rel:"
+
+// BuildAcyclicCQ constructs ⟨QMQ, DDB⟩ for the given instance.
+func BuildAcyclicCQ(db *relation.Database, mq *core.Metaquery, ix core.Index) (*AcyclicCQ, error) {
+	ddb := relation.NewDatabase()
+	// Copy constants so tuple values keep their names.
+	arities := map[int]bool{}
+	for _, name := range db.RelationNames() {
+		arities[db.Relation(name).Arity()] = true
+	}
+	for a := range arities {
+		ddb.MustAddRelation(uRelName(a), a+1)
+	}
+	for _, name := range db.RelationNames() {
+		rel := db.Relation(name)
+		u := ddb.Relation(uRelName(rel.Arity()))
+		nr := ddb.Dict().Intern(relConstPrefix + name)
+		for _, t := range rel.Tuples() {
+			row := make(relation.Tuple, rel.Arity()+1)
+			row[0] = nr
+			for i, v := range t {
+				row[i+1] = ddb.Dict().Intern(db.Dict().Name(v))
+			}
+			u.Insert(row)
+		}
+	}
+
+	var schemes []core.LiteralScheme
+	if ix == core.Sup {
+		// Body only: deduplicated body schemes.
+		seen := map[string]bool{}
+		for _, l := range mq.Body {
+			if !seen[l.Key()] {
+				seen[l.Key()] = true
+				schemes = append(schemes, l)
+			}
+		}
+	} else {
+		schemes = mq.LiteralSchemes()
+	}
+
+	var q cq.Query
+	for _, l := range schemes {
+		// Patterns of an arity absent from DB still need their u_a relation
+		// (it is empty: no type-0 instantiation can exist for them).
+		if _, err := ddb.AddRelation(uRelName(len(l.Args)), len(l.Args)+1); err != nil {
+			return nil, err
+		}
+		terms := make([]relation.Term, 0, len(l.Args)+1)
+		if l.PredVar {
+			// Predicate variable becomes an ordinary CQ variable, namespaced
+			// to avoid clashing with the metaquery's ordinary variables.
+			terms = append(terms, relation.V("pv:"+l.Pred))
+		} else {
+			nr, ok := ddb.Dict().Lookup(relConstPrefix + l.Pred)
+			if !ok {
+				return nil, fmt.Errorf("reductions: metaquery atom %s names unknown relation", l)
+			}
+			terms = append(terms, relation.C(nr))
+		}
+		for _, a := range l.Args {
+			terms = append(terms, relation.V(a))
+		}
+		q = append(q, relation.Atom{Pred: uRelName(len(l.Args)), Terms: terms})
+	}
+	return &AcyclicCQ{DDB: ddb, Q: q}, nil
+}
+
+func uRelName(arity int) string { return fmt.Sprintf("u%d", arity) }
+
+// Decide answers the original instance through the reduction: QMQ has a
+// non-empty answer over DDB iff ⟨DB, MQ, I, 0, 0⟩ is a YES instance.
+// For acyclic metaqueries it uses the semijoin-program evaluation.
+func (r *AcyclicCQ) Decide() (bool, error) {
+	return cq.SatisfiableAcyclic(r.DDB, r.Q)
+}

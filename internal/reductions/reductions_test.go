@@ -1,0 +1,580 @@
+package reductions
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/cq"
+	"github.com/mqgo/metaquery/internal/graphs"
+	"github.com/mqgo/metaquery/internal/logic"
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// --- Theorem 3.21: 3-COLORING, all types, k = 0 -------------------------
+
+func TestThreeColoringKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graphs.Graph
+		want bool
+	}{
+		{"C5", graphs.Cycle(5), true},
+		{"K3", graphs.Complete(3), true},
+		{"K4", graphs.Complete(4), false},
+		{"P4", graphs.Path(4), true},
+	}
+	for _, c := range cases {
+		red, err := BuildThreeColoring(c.g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, typ := range []core.InstType{core.Type0, core.Type1, core.Type2} {
+			for _, ix := range core.AllIndices {
+				yes, witness, err := core.Decide(red.DB, red.MQ, ix, rat.Zero, typ)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if yes != c.want {
+					t.Errorf("%s %s %s: decide = %v, want %v", c.name, typ, ix, yes, c.want)
+				}
+				if yes {
+					colors, err := red.ColoringFromWitness(c.g, witness)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !ValidColoring(c.g, colors) {
+						t.Errorf("%s: extracted coloring invalid", c.name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestThreeColoringRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := graphs.Random(rng, 4+rng.Intn(3), 0.5)
+		if len(g.Edges) == 0 {
+			continue
+		}
+		_, want := g.ThreeColorable()
+		red, err := BuildThreeColoring(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := core.Decide(red.DB, red.MQ, core.Sup, rat.Zero, core.Type0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("seed %d: reduction = %v, brute force = %v", seed, got, want)
+		}
+	}
+}
+
+func TestThreeColoringRejectsEdgeless(t *testing.T) {
+	if _, err := BuildThreeColoring(graphs.New(3)); err == nil {
+		t.Error("edgeless graph accepted")
+	}
+}
+
+// --- Theorem 3.24 / Proposition 3.23: thresholds above 0 ----------------
+
+func TestThreeColoringWithPositiveThreshold(t *testing.T) {
+	// For a 3-colorable graph, the single type-0 instantiation maps E to e.
+	// All e-tuples that participate in the body join keep support positive;
+	// raising k up to just below sup keeps YES, raising above it flips NO.
+	g := graphs.Cycle(5)
+	red, err := BuildThreeColoring(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute exact support of the unique instantiation via naive engine.
+	answers, err := core.NaiveAnswers(red.DB, red.MQ, core.Type0, core.Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 {
+		t.Fatalf("expected a unique type-0 instantiation, got %d", len(answers))
+	}
+	sup := answers[0].Sup
+	if sup.IsZero() {
+		t.Fatal("support unexpectedly zero")
+	}
+	justBelow := rat.New(sup.Num()*2-1, sup.Den()*2)
+	yes, _, err := core.Decide(red.DB, red.MQ, core.Sup, justBelow, core.Type0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !yes {
+		t.Error("YES expected just below the exact support")
+	}
+	yes, _, err = core.Decide(red.DB, red.MQ, core.Sup, sup, core.Type0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yes {
+		t.Error("NO expected at the exact support (strict threshold)")
+	}
+}
+
+// --- Theorem 3.33: HAMILTONIAN PATH via acyclic metaqueries -------------
+
+func TestHamPathKnownGraphs(t *testing.T) {
+	star := graphs.New(4)
+	star.AddEdge(0, 1)
+	star.AddEdge(0, 2)
+	star.AddEdge(0, 3)
+	cases := []struct {
+		name string
+		g    *graphs.Graph
+		want bool
+	}{
+		{"P4", graphs.Path(4), true},
+		{"C5", graphs.Cycle(5), true},
+		{"K4", graphs.Complete(4), true},
+		{"star", star, false},
+	}
+	for _, c := range cases {
+		red, err := BuildHamPath(c.g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !red.MQ.IsAcyclic() {
+			t.Fatalf("%s: MQham must be acyclic (Theorem 3.33)", c.name)
+		}
+		for _, typ := range []core.InstType{core.Type1, core.Type2} {
+			yes, witness, err := core.Decide(red.DB, red.MQ, core.Sup, rat.Zero, typ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if yes != c.want {
+				t.Errorf("%s %s: decide = %v, want %v", c.name, typ, yes, c.want)
+			}
+			if yes {
+				path, err := red.PathFromWitness(witness)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ValidHamPath(c.g, path) {
+					t.Errorf("%s: extracted path %v invalid", c.name, path)
+				}
+			}
+		}
+	}
+}
+
+func TestHamPathRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := graphs.Random(rng, 4+rng.Intn(2), 0.45)
+		_, want := g.HamiltonianPath()
+		red, err := BuildHamPath(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := core.Decide(red.DB, red.MQ, core.Cvr, rat.Zero, core.Type1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("seed %d: reduction = %v, brute force = %v", seed, got, want)
+		}
+	}
+}
+
+func TestHamPathRejectsTinyGraphs(t *testing.T) {
+	if _, err := BuildHamPath(graphs.Path(2)); err == nil {
+		t.Error("|V| <= 2 accepted")
+	}
+}
+
+// Theorem 3.34: thresholds above 0 for sup/cvr on the acyclic HAMPATH
+// metaquery behave monotonically around the exact index value.
+func TestHamPathPositiveThreshold(t *testing.T) {
+	g := graphs.Path(4)
+	red, err := BuildHamPath(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := core.NaiveAnswers(red.DB, red.MQ, core.Type1, core.SingleIndex(core.Cvr, rat.Zero))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) == 0 {
+		t.Fatal("no answers")
+	}
+	best := rat.Zero
+	for _, a := range answers {
+		best = rat.Max(best, a.Cvr)
+	}
+	yes, _, err := core.Decide(red.DB, red.MQ, core.Cvr, best, core.Type1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yes {
+		t.Error("strictness violated at k = max cvr")
+	}
+}
+
+// --- Theorem 3.35: semi-acyclic type-0 3-COLORING -----------------------
+
+func TestSemiAcyclicThreeColShape(t *testing.T) {
+	g := graphs.Cycle(5)
+	red, err := BuildSemiAcyclicThreeCol(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !red.MQ.IsSemiAcyclic() {
+		t.Error("MQ3col must be semi-acyclic")
+	}
+	if red.MQ.IsAcyclic() {
+		t.Error("MQ3col is expected to be non-acyclic for graphs with shared nodes")
+	}
+	if !red.MQ.IsPure() {
+		t.Error("MQ3col must be pure (type-0 requires purity)")
+	}
+}
+
+func TestSemiAcyclicThreeColKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graphs.Graph
+		want bool
+	}{
+		{"C5", graphs.Cycle(5), true},
+		{"K3", graphs.Complete(3), true},
+		{"K4", graphs.Complete(4), false},
+	}
+	for _, c := range cases {
+		red, err := BuildSemiAcyclicThreeCol(c.g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ix := range core.AllIndices {
+			yes, witness, err := core.Decide(red.DB, red.MQ, ix, rat.Zero, core.Type0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if yes != c.want {
+				t.Errorf("%s %s: decide = %v, want %v", c.name, ix, yes, c.want)
+			}
+			if yes {
+				colors, err := red.ColoringFromWitness(witness)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ValidColoring(c.g, colors) {
+					t.Errorf("%s: extracted coloring %v invalid", c.name, colors)
+				}
+			}
+		}
+	}
+}
+
+func TestSemiAcyclicThreeColRandom(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := graphs.Random(rng, 4, 0.6)
+		if len(g.Edges) == 0 {
+			continue
+		}
+		_, want := g.ThreeColorable()
+		red, err := BuildSemiAcyclicThreeCol(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := core.Decide(red.DB, red.MQ, core.Sup, rat.Zero, core.Type0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("seed %d: reduction = %v, brute force = %v", seed, got, want)
+		}
+	}
+}
+
+// --- Proposition 3.26: parsimonious 3SAT -> BCQ -------------------------
+
+func TestSatBCQParsimonious(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 3 + rng.Intn(4)
+		f := logic.Random3CNF(rng, nVars, 1+rng.Intn(8))
+		red, err := BuildSatBCQ(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := red.CountSolutions()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// #BCQ counts assignments over variables OCCURRING in F; divide the
+		// full count by 2^(unused vars).
+		full, err := logic.CountModels(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unused := nVars - len(f.UsedVars())
+		want := full >> uint(unused)
+		if got != want {
+			t.Errorf("seed %d: #BCQ = %d, #SAT = %d (full %d, unused %d) for %s",
+				seed, got, want, full, unused, f)
+		}
+	}
+}
+
+func TestSatBCQRejectsNon3CNF(t *testing.T) {
+	f := &logic.CNF{NumVars: 2, Clauses: []logic.Clause{{logic.Literal{Var: 0}}}}
+	if _, err := BuildSatBCQ(f); err == nil {
+		t.Error("non-3 clause accepted")
+	}
+}
+
+func TestSatBCQRepeatedVariableClause(t *testing.T) {
+	// Clause (p | p | q): tautology-free but with repeated variable.
+	f := &logic.CNF{NumVars: 2, Clauses: []logic.Clause{{
+		logic.Literal{Var: 0}, logic.Literal{Var: 0}, logic.Literal{Var: 1},
+	}}}
+	red, err := BuildSatBCQ(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := red.CountSolutions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := logic.CountModels(f)
+	if got != want {
+		t.Errorf("#BCQ = %d, #SAT = %d", got, want)
+	}
+	// Tautological clause (p | ~p | q): every assignment satisfies it.
+	f2 := &logic.CNF{NumVars: 2, Clauses: []logic.Clause{{
+		logic.Literal{Var: 0}, logic.Literal{Var: 0, Neg: true}, logic.Literal{Var: 1},
+	}}}
+	red2, err := BuildSatBCQ(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := red2.CountSolutions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, _ := logic.CountModels(f2)
+	if got2 != want2 {
+		t.Errorf("tautology: #BCQ = %d, #SAT = %d", got2, want2)
+	}
+}
+
+// --- Theorems 3.28/3.29: ∃C-3SAT -> confidence --------------------------
+
+func existsCSATCase(rng *rand.Rand) *logic.ExistsCountInstance {
+	nPi, nChi := 1+rng.Intn(2), 2+rng.Intn(2)
+	f := logic.Random3CNF(rng, nPi+nChi, 2+rng.Intn(3))
+	pi := make([]int, nPi)
+	chi := make([]int, nChi)
+	for i := range pi {
+		pi[i] = i
+	}
+	for i := range chi {
+		chi[i] = nPi + i
+	}
+	return &logic.ExistsCountInstance{F: f, Pi: pi, Chi: chi, K: 1 + rng.Intn(1<<nChi)}
+}
+
+func TestExistsCSATType0(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		inst := existsCSATCase(rng)
+		want, _, err := inst.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := BuildExistsCSAT(inst, VariantType0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, witness, err := core.Decide(red.DB, red.MQ, core.Cnf, red.K, core.Type0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("seed %d: reduction = %v, brute force = %v (k'=%d, k=%v)\nF=%s",
+				seed, got, want, inst.K, red.K, inst.F)
+		}
+		if got {
+			// The recovered Π assignment must achieve the count.
+			assign, err := red.PiAssignmentFromWitness(witness, VariantType0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := make([]bool, inst.F.NumVars)
+			for i, v := range inst.Pi {
+				base[v] = assign[i]
+			}
+			if logic.CountModelsOver(inst.F, inst.Chi, base) < inst.K {
+				t.Errorf("seed %d: recovered Π assignment does not reach k'", seed)
+			}
+		}
+	}
+}
+
+func TestExistsCSATType1And2(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		inst := existsCSATCase(rng)
+		want, _, err := inst.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := BuildExistsCSAT(inst, VariantType12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, typ := range []core.InstType{core.Type1, core.Type2} {
+			got, witness, err := core.Decide(red.DB, red.MQ, core.Cnf, red.K, typ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("seed %d %s: reduction = %v, brute force = %v\nF=%s",
+					seed, typ, got, want, inst.F)
+			}
+			if got {
+				assign, err := red.PiAssignmentFromWitness(witness, VariantType12)
+				if err != nil {
+					t.Fatal(err)
+				}
+				base := make([]bool, inst.F.NumVars)
+				for i, v := range inst.Pi {
+					base[v] = assign[i]
+				}
+				if logic.CountModelsOver(inst.F, inst.Chi, base) < inst.K {
+					t.Errorf("seed %d %s: recovered Π assignment does not reach k'", seed, typ)
+				}
+			}
+		}
+	}
+}
+
+func TestExistsCSATThresholdExactness(t *testing.T) {
+	// The reduction must be exact at the boundary: k' = MaxCount is YES,
+	// k' = MaxCount+1 is NO.
+	rng := rand.New(rand.NewSource(5))
+	inst := existsCSATCase(rng)
+	max, err := inst.MaxCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max == 0 || max == 1<<len(inst.Chi) {
+		t.Skip("degenerate instance")
+	}
+	for _, kp := range []int{max, max + 1} {
+		inst.K = kp
+		red, err := BuildExistsCSAT(inst, VariantType0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := core.Decide(red.DB, red.MQ, core.Cnf, red.K, core.Type0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != (kp <= max) {
+			t.Errorf("k'=%d: got %v, want %v", kp, got, kp <= max)
+		}
+	}
+}
+
+func TestExistsCSATValidation(t *testing.T) {
+	f := &logic.CNF{NumVars: 2, Clauses: []logic.Clause{
+		{logic.Literal{Var: 0}, logic.Literal{Var: 1}, logic.Literal{Var: 0}},
+	}}
+	noChi := &logic.ExistsCountInstance{F: f, Pi: []int{0, 1}, Chi: nil, K: 1}
+	if _, err := BuildExistsCSAT(noChi, VariantType0); err == nil {
+		t.Error("instance without counted variables accepted")
+	}
+	badK := &logic.ExistsCountInstance{F: f, Pi: []int{0}, Chi: []int{1}, K: 5}
+	if _, err := BuildExistsCSAT(badK, VariantType0); err == nil {
+		t.Error("k' > 2^h accepted")
+	}
+}
+
+// --- Theorem 3.32: LOGCFL membership reduction --------------------------
+
+func TestAcyclicCQReductionAgrees(t *testing.T) {
+	// The reduced BCQ over DDB must answer exactly the type-0 k=0 problem.
+	// The construction itself is sound for any metaquery; acyclicity (which
+	// the LOGCFL bound needs) holds for the first and third entries, while
+	// the second — the paper's running metaquery (4) — is cyclic (its
+	// hypergraph is a triangle) and exercises the fallback path.
+	mqs := map[string]bool{ // text -> expected acyclicity
+		"P(X,Y) <- P(Y,Z), Q(Z,W)":                       true,
+		"R(X,Z) <- P(X,Y), Q(Y,Z)":                       false,
+		"N(X1,X2,X3) <- N(X1,X2,X3), e(X1,X2), e(X2,X3)": true,
+	}
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomDBForLogcfl(rng)
+		for text, wantAcyclic := range mqs {
+			mq := core.MustParse(text)
+			if mq.IsAcyclic() != wantAcyclic {
+				t.Fatalf("%s acyclicity = %v, want %v", text, mq.IsAcyclic(), wantAcyclic)
+			}
+			for _, ix := range core.AllIndices {
+				want, _, err := core.Decide(db, mq, ix, rat.Zero, core.Type0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				red, err := BuildAcyclicCQ(db, mq, ix)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := red.Decide()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("seed %d %s %s: reduction = %v, direct = %v", seed, text, ix, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAcyclicCQQueryIsAcyclic(t *testing.T) {
+	db := randomDBForLogcfl(rand.New(rand.NewSource(1)))
+	mq := core.MustParse("P(X,Y) <- P(Y,Z), Q(Z,W)")
+	red, err := BuildAcyclicCQ(db, mq, core.Cnf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cq.IsAcyclic(red.Q) {
+		t.Error("QMQ should be acyclic for an acyclic metaquery")
+	}
+}
+
+func randomDBForLogcfl(rng *rand.Rand) *relation.Database {
+	db := relation.NewDatabase()
+	// The ordinary atom e(X1,X2) of the third metaquery needs a binary
+	// relation named e.
+	db.MustAddRelation("e", 2)
+	for i := 0; i < rng.Intn(5); i++ {
+		db.MustInsertNamed("e", string(rune('a'+rng.Intn(3))), string(rune('a'+rng.Intn(3))))
+	}
+	for r := 0; r < 2+rng.Intn(2); r++ {
+		name := string(rune('p' + r))
+		arity := 2 + rng.Intn(2)
+		db.MustAddRelation(name, arity)
+		for i := 0; i < rng.Intn(6); i++ {
+			row := make([]string, arity)
+			for j := range row {
+				row[j] = string(rune('a' + rng.Intn(3)))
+			}
+			db.MustInsertNamed(name, row...)
+		}
+	}
+	return db
+}

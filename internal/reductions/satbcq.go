@@ -1,0 +1,82 @@
+package reductions
+
+import (
+	"fmt"
+
+	"github.com/mqgo/metaquery/internal/cq"
+	"github.com/mqgo/metaquery/internal/logic"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// SatBCQ is the Proposition 3.26 construction: a parsimonious
+// transformation from 3SAT to BCQ. For a 3CNF formula F it builds a
+// conjunctive query Q and database DB such that the number of satisfying
+// assignments of F over the variables occurring in F equals #BCQ(Q, DB).
+//
+// Each clause cl_i gets a ternary relation c_i over U = {0,1} containing
+// U³ minus the single falsifying tuple of cl_i; the query joins
+// c_i(X_{i1}, X_{i2}, X_{i3}) where X_{ij} is the propositional variable
+// underlying the j-th literal of cl_i (shared across clauses).
+type SatBCQ struct {
+	DB *relation.Database
+	Q  cq.Query
+	F  *logic.CNF
+}
+
+// BuildSatBCQ constructs the transformation. Clauses must have exactly
+// three literals (pad shorter clauses by repeating a literal beforehand if
+// needed); repeated variables within a clause are handled by the query's
+// repeated-variable semantics.
+func BuildSatBCQ(f *logic.CNF) (*SatBCQ, error) {
+	if err := f.Check(); err != nil {
+		return nil, err
+	}
+	for i, c := range f.Clauses {
+		if len(c) != 3 {
+			return nil, fmt.Errorf("reductions: clause %d has %d literals, want 3", i, len(c))
+		}
+	}
+	db := relation.NewDatabase()
+	// Intern "0" and "1" first so values are stable.
+	db.Dict().Intern("0")
+	db.Dict().Intern("1")
+	var q cq.Query
+	for i, cl := range f.Clauses {
+		relName := fmt.Sprintf("c%d", i)
+		rel := db.MustAddRelation(relName, 3)
+		// The falsifying tuple: every literal false. A positive literal is
+		// false when its variable is 0; a negative one when it is 1.
+		var falsify [3]string
+		for j, l := range cl {
+			if l.Neg {
+				falsify[j] = "1"
+			} else {
+				falsify[j] = "0"
+			}
+		}
+		for _, d1 := range []string{"0", "1"} {
+			for _, d2 := range []string{"0", "1"} {
+				for _, d3 := range []string{"0", "1"} {
+					if d1 == falsify[0] && d2 == falsify[1] && d3 == falsify[2] {
+						continue
+					}
+					v1, _ := db.Dict().Lookup(d1)
+					v2, _ := db.Dict().Lookup(d2)
+					v3, _ := db.Dict().Lookup(d3)
+					rel.Insert(relation.Tuple{v1, v2, v3})
+				}
+			}
+		}
+		q = append(q, relation.NewAtom(relName,
+			fmt.Sprintf("X%d", cl[0].Var),
+			fmt.Sprintf("X%d", cl[1].Var),
+			fmt.Sprintf("X%d", cl[2].Var)))
+	}
+	return &SatBCQ{DB: db, Q: q, F: f}, nil
+}
+
+// CountSolutions returns #BCQ(Q, DB), which by parsimony equals the number
+// of satisfying assignments of F over the variables occurring in F.
+func (r *SatBCQ) CountSolutions() (int, error) {
+	return cq.Count(r.DB, r.Q)
+}

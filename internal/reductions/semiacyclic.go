@@ -1,0 +1,87 @@
+package reductions
+
+import (
+	"fmt"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/graphs"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// SemiAcyclicThreeCol is the Theorem 3.35 construction: a *semi-acyclic*
+// metaquery MQ3col and database DB3col such that, for type-0 instantiation
+// and any index I, ⟨DB3col, MQ3col, I, 0, 0⟩ is a YES instance iff the
+// graph is 3-colorable. It shows that semi-acyclicity does not buy
+// tractability even for type-0.
+//
+// DB3col holds three binary relations r', g', b' with
+// r' = {(g,r),(b,r)}, g' = {(r,g),(b,g)}, b' = {(g,b),(r,b)}: the pairs
+// (color of a neighbour, own color) for each own color. The metaquery uses
+// one predicate variable X'_u and one ordinary variable X_u per node, plus
+// mute variables:
+//
+//	S'  = { X'_u(X_v, _) : (u,v) ∈ E }   (edge constraints)
+//	S'' = { X'_z(_, X_z) : z ∈ V }       (ties X'_z's color to X_z)
+type SemiAcyclicThreeCol struct {
+	DB *relation.Database
+	MQ *core.Metaquery
+	G  *graphs.Graph
+}
+
+// BuildSemiAcyclicThreeCol constructs the reduction; the graph must have at
+// least one edge.
+func BuildSemiAcyclicThreeCol(g *graphs.Graph) (*SemiAcyclicThreeCol, error) {
+	if err := g.Check(); err != nil {
+		return nil, err
+	}
+	if len(g.Edges) == 0 {
+		return nil, fmt.Errorf("reductions: 3-coloring reduction requires at least one edge")
+	}
+	db := relation.NewDatabase()
+	db.MustInsertNamed("r'", "g", "r")
+	db.MustInsertNamed("r'", "b", "r")
+	db.MustInsertNamed("g'", "r", "g")
+	db.MustInsertNamed("g'", "b", "g")
+	db.MustInsertNamed("b'", "g", "b")
+	db.MustInsertNamed("b'", "r", "b")
+
+	predVar := func(u int) string { return fmt.Sprintf("C%d", u) } // X'_u
+	ordVar := func(u int) string { return fmt.Sprintf("X%d", u) }  // X_u
+	mute := 0
+	freshMute := func() string { mute++; return fmt.Sprintf("M%d", mute) }
+
+	var body []core.LiteralScheme
+	// S': X'_u(X_v, _) for each edge (u, v).
+	for _, e := range g.Edges {
+		body = append(body, core.Pattern(predVar(e[0]), ordVar(e[1]), freshMute()))
+	}
+	// S'': X'_z(_, X_z) for each node z.
+	for z := 0; z < g.N; z++ {
+		body = append(body, core.Pattern(predVar(z), freshMute(), ordVar(z)))
+	}
+	head := body[0]
+	mq, err := core.NewMetaquery(head, body...)
+	if err != nil {
+		return nil, err
+	}
+	return &SemiAcyclicThreeCol{DB: db, MQ: mq, G: g}, nil
+}
+
+// ColoringFromWitness recovers a coloring from a witness instantiation: the
+// relation assigned to X'_u determines node u's color.
+func (r *SemiAcyclicThreeCol) ColoringFromWitness(sigma *core.Instantiation) ([]int, error) {
+	colorOf := map[string]int{"r'": 0, "g'": 1, "b'": 2}
+	colors := make([]int, r.G.N)
+	for u := 0; u < r.G.N; u++ {
+		rel, ok := sigma.RelationOf(fmt.Sprintf("C%d", u))
+		if !ok {
+			return nil, fmt.Errorf("reductions: node %d's predicate variable unassigned", u)
+		}
+		c, ok := colorOf[rel]
+		if !ok {
+			return nil, fmt.Errorf("reductions: node %d assigned unexpected relation %q", u, rel)
+		}
+		colors[u] = c
+	}
+	return colors, nil
+}

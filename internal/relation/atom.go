@@ -1,0 +1,99 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Term is one argument of an atom: either an ordinary variable or a
+// constant. Exactly one of Var/Const is meaningful; Var == "" marks a
+// constant term.
+type Term struct {
+	Var   string
+	Const Value
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C returns a constant term.
+func C(v Value) Term { return Term{Const: v} }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Var != "" }
+
+// Atom is a predicate applied to terms, e.g. p(X, Y, c). In metaquery
+// rules the predicate is always a database relation name; conjunctive
+// queries (Definition 3.2) additionally allow constant terms.
+type Atom struct {
+	Pred  string
+	Terms []Term
+}
+
+// NewAtom builds an atom over variables only, the common case for
+// instantiated metaqueries.
+func NewAtom(pred string, vars ...string) Atom {
+	terms := make([]Term, len(vars))
+	for i, v := range vars {
+		terms[i] = V(v)
+	}
+	return Atom{Pred: pred, Terms: terms}
+}
+
+// Vars returns the distinct variables of the atom in first-occurrence
+// order; varo(a) in the paper.
+func (a Atom) Vars() []string {
+	var out []string
+	seen := make(map[string]bool, len(a.Terms))
+	for _, t := range a.Terms {
+		if t.IsVar() && !seen[t.Var] {
+			seen[t.Var] = true
+			out = append(out, t.Var)
+		}
+	}
+	return out
+}
+
+// Arity returns the number of terms.
+func (a Atom) Arity() int { return len(a.Terms) }
+
+// String formats the atom in Datalog syntax using variable names and raw
+// value indices for constants. For constant names use StringDict.
+func (a Atom) String() string { return a.StringDict(nil) }
+
+// StringDict formats the atom, resolving constants through d when non-nil.
+func (a Atom) StringDict(d *Dict) string {
+	var b strings.Builder
+	b.WriteString(a.Pred)
+	b.WriteByte('(')
+	for i, t := range a.Terms {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if t.IsVar() {
+			b.WriteString(t.Var)
+		} else if d != nil {
+			b.WriteString(d.Name(t.Const))
+		} else {
+			fmt.Fprintf(&b, "#%d", t.Const)
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// AtomsVars returns att(R): the distinct variables across the given atoms in
+// first-occurrence order.
+func AtomsVars(atoms []Atom) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, a := range atoms {
+		for _, t := range a.Terms {
+			if t.IsVar() && !seen[t.Var] {
+				seen[t.Var] = true
+				out = append(out, t.Var)
+			}
+		}
+	}
+	return out
+}

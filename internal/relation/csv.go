@@ -1,0 +1,123 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadCSVDir loads every *.csv file in dir as a relation whose name is the
+// file name without extension. Each CSV row is a tuple of constants; the
+// arity is fixed by the first row of each file. Lines whose first field
+// starts with '#' are skipped. Duplicate rows collapse (set semantics).
+func LoadCSVDir(dir string) (*Database, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading %s: %w", dir, err)
+	}
+	db := NewDatabase()
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := loadCSVFile(db, filepath.Join(dir, name), strings.TrimSuffix(name, ".csv")); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+func loadCSVFile(db *Database, path, relName string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("relation: %w", err)
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1
+	r.TrimLeadingSpace = true
+	rows, err := r.ReadAll()
+	if err != nil {
+		return fmt.Errorf("relation: parsing %s: %w", path, err)
+	}
+	var rel *Relation
+	for i, row := range rows {
+		if len(row) == 0 || (len(row) > 0 && strings.HasPrefix(row[0], "#")) {
+			continue
+		}
+		if rel == nil {
+			rel, err = db.AddRelation(relName, len(row))
+			if err != nil {
+				return err
+			}
+		}
+		if len(row) != rel.Arity() {
+			return fmt.Errorf("relation: %s row %d has %d fields, expected %d", path, i+1, len(row), rel.Arity())
+		}
+		t := make(Tuple, len(row))
+		for j, field := range row {
+			t[j] = db.dict.Intern(strings.TrimSpace(field))
+		}
+		rel.Insert(t)
+	}
+	if rel == nil {
+		// Empty file: create a zero-tuple relation of arity 1 so the
+		// relation name exists (arity cannot be inferred; 1 is the minimum).
+		_, err = db.AddRelation(relName, 1)
+	}
+	return err
+}
+
+// SaveCSVDir writes every relation of db as <name>.csv under dir, creating
+// dir if necessary. Tuples are written in sorted order for reproducibility.
+func SaveCSVDir(db *Database, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("relation: %w", err)
+	}
+	for _, name := range db.RelationNames() {
+		rel := db.Relation(name)
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return fmt.Errorf("relation: %w", err)
+		}
+		w := csv.NewWriter(f)
+		tuples := make([]Tuple, len(rel.Tuples()))
+		copy(tuples, rel.Tuples())
+		sort.Slice(tuples, func(i, j int) bool {
+			a, b := tuples[i], tuples[j]
+			for k := range a {
+				if a[k] != b[k] {
+					return db.dict.Name(a[k]) < db.dict.Name(b[k])
+				}
+			}
+			return false
+		})
+		for _, t := range tuples {
+			row := make([]string, len(t))
+			for i, v := range t {
+				row[i] = db.dict.Name(v)
+			}
+			if err := w.Write(row); err != nil {
+				f.Close()
+				return fmt.Errorf("relation: writing %s: %w", name, err)
+			}
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			f.Close()
+			return fmt.Errorf("relation: writing %s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("relation: %w", err)
+		}
+	}
+	return nil
+}

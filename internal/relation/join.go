@@ -1,0 +1,121 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FromAtom materializes the table of assignments to varo(a) that satisfy
+// atom a in db: repeated variables within the atom act as equality
+// selections and constant terms act as constant selections, exactly as in
+// Datalog. The result's columns are a.Vars() (distinct variables in
+// first-occurrence order).
+//
+// It returns an error if the atom's predicate is not a relation of db or if
+// the arity does not match.
+func FromAtom(db *Database, a Atom) (*Table, error) {
+	r := db.Relation(a.Pred)
+	if r == nil {
+		return nil, fmt.Errorf("relation: unknown relation %q in atom %s", a.Pred, a.String())
+	}
+	if r.Arity() != len(a.Terms) {
+		return nil, fmt.Errorf("relation: atom %s has arity %d but relation %s has arity %d",
+			a.String(), len(a.Terms), a.Pred, r.Arity())
+	}
+	vars := a.Vars()
+	out := NewTable(vars)
+	firstPos := make(map[string]int, len(vars)) // variable -> first term position
+	for i, t := range a.Terms {
+		if t.IsVar() {
+			if _, ok := firstPos[t.Var]; !ok {
+				firstPos[t.Var] = i
+			}
+		}
+	}
+	buf := make(Tuple, len(vars))
+tuples:
+	for _, tup := range r.Tuples() {
+		for i, t := range a.Terms {
+			if t.IsVar() {
+				if tup[firstPos[t.Var]] != tup[i] {
+					continue tuples // repeated variable mismatch
+				}
+			} else if tup[i] != t.Const {
+				continue tuples // constant mismatch
+			}
+		}
+		for i, v := range vars {
+			buf[i] = tup[firstPos[v]]
+		}
+		out.Add(buf)
+	}
+	return out, nil
+}
+
+// JoinAtoms computes J(R) for the atom set R (Definition 2.6): the natural
+// join of the relations corresponding to the atoms, as a table over att(R).
+// For an empty atom list it returns the Unit table (join identity).
+//
+// Atoms are joined greedily: the next atom joined is one sharing variables
+// with the result so far (smallest first), to keep intermediates small.
+func JoinAtoms(db *Database, atoms []Atom) (*Table, error) {
+	if len(atoms) == 0 {
+		return Unit(), nil
+	}
+	tables := make([]*Table, len(atoms))
+	for i, a := range atoms {
+		t, err := FromAtom(db, a)
+		if err != nil {
+			return nil, err
+		}
+		tables[i] = t
+	}
+	// Order: start with the smallest table; repeatedly pick the smallest
+	// remaining table that shares a variable with the accumulated result,
+	// falling back to the smallest overall (cartesian step) if none does.
+	remaining := make([]int, len(tables))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	sort.Slice(remaining, func(i, j int) bool {
+		return tables[remaining[i]].Len() < tables[remaining[j]].Len()
+	})
+
+	acc := tables[remaining[0]]
+	remaining = remaining[1:]
+	accVars := make(map[string]bool)
+	for _, v := range acc.Vars() {
+		accVars[v] = true
+	}
+	for len(remaining) > 0 {
+		pick := -1
+		for k, idx := range remaining {
+			for _, v := range tables[idx].Vars() {
+				if accVars[v] {
+					pick = k
+					break
+				}
+			}
+			if pick >= 0 {
+				break
+			}
+		}
+		if pick < 0 {
+			pick = 0 // no shared variables anywhere: cartesian product
+		}
+		idx := remaining[pick]
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+		acc = acc.NaturalJoin(tables[idx])
+		for _, v := range tables[idx].Vars() {
+			accVars[v] = true
+		}
+		if acc.Empty() {
+			// The join is already empty; finish with the correct schema.
+			for _, j := range remaining {
+				acc = acc.NaturalJoin(tables[j])
+			}
+			return acc, nil
+		}
+	}
+	return acc, nil
+}

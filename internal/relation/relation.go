@@ -1,0 +1,195 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Relation is a named, fixed-arity set of tuples. Relations use set
+// semantics: inserting a duplicate tuple is a no-op.
+type Relation struct {
+	name  string
+	arity int
+
+	tuples []Tuple
+	seen   map[string]struct{}
+}
+
+// NewRelation returns an empty relation with the given name and arity.
+func NewRelation(name string, arity int) *Relation {
+	if arity < 0 {
+		panic("relation: negative arity")
+	}
+	return &Relation{
+		name:  name,
+		arity: arity,
+		seen:  make(map[string]struct{}),
+	}
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the number of columns, a(R) in the paper.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns |R|, the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Insert adds t to the relation, ignoring duplicates. It reports whether the
+// tuple was new. Insert panics if len(t) differs from the relation arity,
+// which indicates a programming error.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("relation %s: inserting tuple of length %d into arity-%d relation", r.name, len(t), r.arity))
+	}
+	k := t.key()
+	if _, dup := r.seen[k]; dup {
+		return false
+	}
+	r.seen[k] = struct{}{}
+	r.tuples = append(r.tuples, t.Clone())
+	return true
+}
+
+// Contains reports whether t is in the relation.
+func (r *Relation) Contains(t Tuple) bool {
+	if len(t) != r.arity {
+		return false
+	}
+	_, ok := r.seen[t.key()]
+	return ok
+}
+
+// Tuples returns the relation's tuples in insertion order. The returned
+// slice and its tuples must not be modified.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Clone returns a deep copy of r.
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.name, r.arity)
+	for _, t := range r.tuples {
+		c.Insert(t)
+	}
+	return c
+}
+
+// Database is a finite database instance (D, R1, ..., Rn): an interning
+// dictionary for the domain D plus a set of named relations.
+type Database struct {
+	dict  *Dict
+	rels  map[string]*Relation
+	order []string // relation names in creation order
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{
+		dict: newDict(),
+		rels: make(map[string]*Relation),
+	}
+}
+
+// Dict returns the database's constant dictionary.
+func (db *Database) Dict() *Dict { return db.dict }
+
+// AddRelation creates (or returns the existing) relation with the given name
+// and arity. It returns an error if a relation of the same name but a
+// different arity already exists.
+func (db *Database) AddRelation(name string, arity int) (*Relation, error) {
+	if r, ok := db.rels[name]; ok {
+		if r.arity != arity {
+			return nil, fmt.Errorf("relation: %s already exists with arity %d (requested %d)", name, r.arity, arity)
+		}
+		return r, nil
+	}
+	r := NewRelation(name, arity)
+	db.rels[name] = r
+	db.order = append(db.order, name)
+	return r, nil
+}
+
+// MustAddRelation is AddRelation for construction code where an arity clash
+// is a programming error.
+func (db *Database) MustAddRelation(name string, arity int) *Relation {
+	r, err := db.AddRelation(name, arity)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Relation returns the named relation, or nil if absent.
+func (db *Database) Relation(name string) *Relation { return db.rels[name] }
+
+// RelationNames returns all relation names, sorted, i.e. rel(DB).
+func (db *Database) RelationNames() []string {
+	out := make([]string, len(db.order))
+	copy(out, db.order)
+	sort.Strings(out)
+	return out
+}
+
+// NumRelations returns the number of relations in the database.
+func (db *Database) NumRelations() int { return len(db.rels) }
+
+// InsertNamed interns the given constant names and inserts the resulting
+// tuple into the named relation, creating the relation on first use.
+func (db *Database) InsertNamed(rel string, consts ...string) error {
+	r, err := db.AddRelation(rel, len(consts))
+	if err != nil {
+		return err
+	}
+	t := make(Tuple, len(consts))
+	for i, c := range consts {
+		t[i] = db.dict.Intern(c)
+	}
+	r.Insert(t)
+	return nil
+}
+
+// MustInsertNamed is InsertNamed for construction code.
+func (db *Database) MustInsertNamed(rel string, consts ...string) {
+	if err := db.InsertNamed(rel, consts...); err != nil {
+		panic(err)
+	}
+}
+
+// Size returns the total number of tuples across all relations; the "size of
+// DB" under the data complexity measure.
+func (db *Database) Size() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// MaxRelationSize returns d, the size of the largest relation in the
+// database (as used in Theorem 4.12), or 0 for an empty database.
+func (db *Database) MaxRelationSize() int {
+	d := 0
+	for _, r := range db.rels {
+		if r.Len() > d {
+			d = r.Len()
+		}
+	}
+	return d
+}
+
+// Clone returns a deep copy of the database sharing no mutable state.
+func (db *Database) Clone() *Database {
+	c := NewDatabase()
+	// Preserve interning so Values remain comparable across the copy.
+	for _, name := range db.dict.names {
+		c.dict.Intern(name)
+	}
+	for _, name := range db.order {
+		r := db.rels[name]
+		cr := c.MustAddRelation(name, r.arity)
+		for _, t := range r.tuples {
+			cr.Insert(t)
+		}
+	}
+	return c
+}

@@ -1,0 +1,156 @@
+package relation
+
+import (
+	"testing"
+)
+
+func TestDictIntern(t *testing.T) {
+	d := newDict()
+	a := d.Intern("alpha")
+	b := d.Intern("beta")
+	a2 := d.Intern("alpha")
+	if a != a2 {
+		t.Errorf("re-interning gave %d then %d", a, a2)
+	}
+	if a == b {
+		t.Error("distinct constants interned equal")
+	}
+	if d.Name(a) != "alpha" || d.Name(b) != "beta" {
+		t.Error("Name round-trip failed")
+	}
+	if d.Size() != 2 {
+		t.Errorf("Size = %d, want 2", d.Size())
+	}
+	if _, ok := d.Lookup("gamma"); ok {
+		t.Error("Lookup found missing constant")
+	}
+	if v, ok := d.Lookup("beta"); !ok || v != b {
+		t.Error("Lookup failed for interned constant")
+	}
+}
+
+func TestRelationSetSemantics(t *testing.T) {
+	r := NewRelation("p", 2)
+	if !r.Insert(Tuple{1, 2}) {
+		t.Error("first insert reported duplicate")
+	}
+	if r.Insert(Tuple{1, 2}) {
+		t.Error("duplicate insert reported new")
+	}
+	if !r.Insert(Tuple{2, 1}) {
+		t.Error("reversed tuple reported duplicate")
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2", r.Len())
+	}
+	if !r.Contains(Tuple{1, 2}) || r.Contains(Tuple{3, 3}) {
+		t.Error("Contains wrong")
+	}
+	if r.Contains(Tuple{1}) {
+		t.Error("Contains accepted wrong arity")
+	}
+}
+
+func TestRelationInsertArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on arity mismatch")
+		}
+	}()
+	NewRelation("p", 2).Insert(Tuple{1})
+}
+
+func TestInsertCopiesTuple(t *testing.T) {
+	r := NewRelation("p", 2)
+	tup := Tuple{1, 2}
+	r.Insert(tup)
+	tup[0] = 99
+	if !r.Contains(Tuple{1, 2}) {
+		t.Error("relation affected by caller mutation")
+	}
+}
+
+func TestDatabaseBasics(t *testing.T) {
+	db := NewDatabase()
+	db.MustInsertNamed("e", "a", "b")
+	db.MustInsertNamed("e", "b", "c")
+	db.MustInsertNamed("n", "a")
+
+	if db.NumRelations() != 2 {
+		t.Errorf("NumRelations = %d", db.NumRelations())
+	}
+	if got := db.RelationNames(); len(got) != 2 || got[0] != "e" || got[1] != "n" {
+		t.Errorf("RelationNames = %v", got)
+	}
+	if db.Relation("e").Len() != 2 {
+		t.Errorf("e has %d tuples", db.Relation("e").Len())
+	}
+	if db.Size() != 3 {
+		t.Errorf("Size = %d", db.Size())
+	}
+	if db.MaxRelationSize() != 2 {
+		t.Errorf("MaxRelationSize = %d", db.MaxRelationSize())
+	}
+	if db.Relation("missing") != nil {
+		t.Error("missing relation non-nil")
+	}
+}
+
+func TestDatabaseArityConflict(t *testing.T) {
+	db := NewDatabase()
+	db.MustInsertNamed("p", "a", "b")
+	if err := db.InsertNamed("p", "a"); err == nil {
+		t.Error("arity conflict not detected")
+	}
+	if _, err := db.AddRelation("p", 3); err == nil {
+		t.Error("AddRelation arity conflict not detected")
+	}
+}
+
+func TestDatabaseClone(t *testing.T) {
+	db := NewDatabase()
+	db.MustInsertNamed("p", "x", "y")
+	c := db.Clone()
+	c.MustInsertNamed("p", "y", "z")
+	if db.Relation("p").Len() != 1 {
+		t.Error("clone mutation leaked into original")
+	}
+	if c.Relation("p").Len() != 2 {
+		t.Error("clone missing insert")
+	}
+	// Interning must be preserved: the same constant maps to the same Value.
+	v1, _ := db.Dict().Lookup("x")
+	v2, _ := c.Dict().Lookup("x")
+	if v1 != v2 {
+		t.Error("clone re-interned constants differently")
+	}
+}
+
+func TestAtomVars(t *testing.T) {
+	a := NewAtom("p", "X", "Y", "X")
+	vs := a.Vars()
+	if len(vs) != 2 || vs[0] != "X" || vs[1] != "Y" {
+		t.Errorf("Vars = %v", vs)
+	}
+	if a.String() != "p(X,Y,X)" {
+		t.Errorf("String = %q", a.String())
+	}
+	mixed := Atom{Pred: "q", Terms: []Term{V("X"), C(3)}}
+	if got := mixed.Vars(); len(got) != 1 || got[0] != "X" {
+		t.Errorf("mixed Vars = %v", got)
+	}
+}
+
+func TestAtomsVars(t *testing.T) {
+	atoms := []Atom{NewAtom("p", "X", "Y"), NewAtom("q", "Y", "Z")}
+	vs := AtomsVars(atoms)
+	want := []string{"X", "Y", "Z"}
+	if len(vs) != len(want) {
+		t.Fatalf("AtomsVars = %v", vs)
+	}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Errorf("AtomsVars[%d] = %q, want %q", i, vs[i], want[i])
+		}
+	}
+}

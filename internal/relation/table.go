@@ -1,0 +1,383 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is an intermediate relational-algebra result: a set of tuples whose
+// columns are named by ordinary variables. Tables are what J(R), semijoin
+// programs and projections produce during index computation.
+//
+// Column names are distinct. The empty-column table with a single empty
+// tuple acts as the join identity (the "unit" table).
+type Table struct {
+	vars   []string
+	varPos map[string]int
+
+	tuples []Tuple
+	seen   map[string]struct{}
+}
+
+// NewTable returns an empty table with the given distinct column variables.
+func NewTable(vars []string) *Table {
+	t := &Table{
+		vars:   append([]string(nil), vars...),
+		varPos: make(map[string]int, len(vars)),
+		seen:   make(map[string]struct{}),
+	}
+	for i, v := range vars {
+		if _, dup := t.varPos[v]; dup {
+			panic(fmt.Sprintf("relation: duplicate table column %q", v))
+		}
+		t.varPos[v] = i
+	}
+	return t
+}
+
+// Unit returns the join identity: a table with no columns and one (empty)
+// tuple. Joining any table with Unit yields that table.
+func Unit() *Table {
+	t := NewTable(nil)
+	t.Add(Tuple{})
+	return t
+}
+
+// Vars returns the column variables in order. Callers must not modify it.
+func (t *Table) Vars() []string { return t.vars }
+
+// HasVar reports whether v is a column of t.
+func (t *Table) HasVar(v string) bool {
+	_, ok := t.varPos[v]
+	return ok
+}
+
+// Pos returns the column position of variable v, or -1.
+func (t *Table) Pos(v string) int {
+	if p, ok := t.varPos[v]; ok {
+		return p
+	}
+	return -1
+}
+
+// Len returns the number of tuples.
+func (t *Table) Len() int { return len(t.tuples) }
+
+// Empty reports whether the table has no tuples.
+func (t *Table) Empty() bool { return len(t.tuples) == 0 }
+
+// Add inserts tup (copied) if not already present and reports whether it was
+// new. It panics on arity mismatch.
+func (t *Table) Add(tup Tuple) bool {
+	if len(tup) != len(t.vars) {
+		panic(fmt.Sprintf("relation: adding %d-tuple to %d-column table", len(tup), len(t.vars)))
+	}
+	k := tup.key()
+	if _, dup := t.seen[k]; dup {
+		return false
+	}
+	t.seen[k] = struct{}{}
+	t.tuples = append(t.tuples, tup.Clone())
+	return true
+}
+
+// Contains reports whether tup is present.
+func (t *Table) Contains(tup Tuple) bool {
+	if len(tup) != len(t.vars) {
+		return false
+	}
+	_, ok := t.seen[tup.key()]
+	return ok
+}
+
+// Tuples returns the tuples in insertion order; the caller must not modify
+// the slice or its tuples.
+func (t *Table) Tuples() []Tuple { return t.tuples }
+
+// Clone returns a deep copy of t.
+func (t *Table) Clone() *Table {
+	c := NewTable(t.vars)
+	for _, tup := range t.tuples {
+		c.Add(tup)
+	}
+	return c
+}
+
+// Project returns π_vars(t) with set semantics. Requested variables must be
+// columns of t. The projection preserves the requested column order.
+func (t *Table) Project(vars []string) *Table {
+	pos := make([]int, len(vars))
+	for i, v := range vars {
+		p := t.Pos(v)
+		if p < 0 {
+			panic(fmt.Sprintf("relation: projecting on missing column %q", v))
+		}
+		pos[i] = p
+	}
+	out := NewTable(vars)
+	buf := make(Tuple, len(vars))
+	for _, tup := range t.tuples {
+		for i, p := range pos {
+			buf[i] = tup[p]
+		}
+		out.Add(buf)
+	}
+	return out
+}
+
+// sharedVars returns the variables common to t and u, in t's column order.
+func (t *Table) sharedVars(u *Table) []string {
+	var shared []string
+	for _, v := range t.vars {
+		if u.HasVar(v) {
+			shared = append(shared, v)
+		}
+	}
+	return shared
+}
+
+// projectKey builds the map key for tup restricted to positions pos.
+func projectKey(tup Tuple, pos []int) string {
+	b := make([]byte, 0, 4*len(pos))
+	for _, p := range pos {
+		v := tup[p]
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// NaturalJoin returns t ⋈ u: tuples over the union of columns (t's columns
+// first, then u's remaining columns) that agree on all shared columns.
+func (t *Table) NaturalJoin(u *Table) *Table {
+	// Build on the smaller side.
+	build, probe := u, t
+	swapped := false
+	if t.Len() < u.Len() {
+		build, probe = t, u
+		swapped = true
+	}
+	shared := probe.sharedVars(build)
+	probePos := make([]int, len(shared))
+	buildPos := make([]int, len(shared))
+	for i, v := range shared {
+		probePos[i] = probe.Pos(v)
+		buildPos[i] = build.Pos(v)
+	}
+	// Output columns: t's columns then u's extra columns.
+	var extra []string // columns of u not in t
+	for _, v := range u.vars {
+		if !t.HasVar(v) {
+			extra = append(extra, v)
+		}
+	}
+	outVars := append(append([]string(nil), t.vars...), extra...)
+	out := NewTable(outVars)
+
+	// Hash the build side on shared columns.
+	idx := make(map[string][]Tuple, build.Len())
+	for _, tup := range build.tuples {
+		k := projectKey(tup, buildPos)
+		idx[k] = append(idx[k], tup)
+	}
+
+	// For composing output rows we need, per output column, where the value
+	// comes from: position in t's tuple or in u's tuple.
+	type src struct {
+		fromT bool
+		pos   int
+	}
+	srcs := make([]src, len(outVars))
+	for i, v := range outVars {
+		if p := t.Pos(v); p >= 0 {
+			srcs[i] = src{true, p}
+		} else {
+			srcs[i] = src{false, u.Pos(v)}
+		}
+	}
+
+	buf := make(Tuple, len(outVars))
+	emit := func(tt, ut Tuple) {
+		for i, s := range srcs {
+			if s.fromT {
+				buf[i] = tt[s.pos]
+			} else {
+				buf[i] = ut[s.pos]
+			}
+		}
+		out.Add(buf)
+	}
+
+	for _, ptup := range probe.tuples {
+		k := projectKey(ptup, probePos)
+		for _, btup := range idx[k] {
+			if swapped {
+				// probe tuples come from u, build tuples from t
+				emit(btup, ptup)
+			} else {
+				emit(ptup, btup)
+			}
+		}
+	}
+	return out
+}
+
+// Semijoin returns t ⋉ u: the tuples of t whose projection on the shared
+// columns appears in u. With no shared columns, the result is t itself if u
+// is non-empty and the empty table otherwise (cartesian semantics).
+func (t *Table) Semijoin(u *Table) *Table {
+	shared := t.sharedVars(u)
+	out := NewTable(t.vars)
+	if len(shared) == 0 {
+		if u.Len() > 0 {
+			for _, tup := range t.tuples {
+				out.Add(tup)
+			}
+		}
+		return out
+	}
+	tPos := make([]int, len(shared))
+	uPos := make([]int, len(shared))
+	for i, v := range shared {
+		tPos[i] = t.Pos(v)
+		uPos[i] = u.Pos(v)
+	}
+	idx := make(map[string]struct{}, u.Len())
+	for _, tup := range u.tuples {
+		idx[projectKey(tup, uPos)] = struct{}{}
+	}
+	for _, tup := range t.tuples {
+		if _, ok := idx[projectKey(tup, tPos)]; ok {
+			out.Add(tup)
+		}
+	}
+	return out
+}
+
+// AntiSemijoin returns t ▷ u: the tuples of t whose projection on the
+// shared columns does NOT appear in u. With no shared columns, the result
+// is t itself if u is empty and the empty table otherwise (the complement
+// of Semijoin's cartesian semantics). Used by the negation extension.
+func (t *Table) AntiSemijoin(u *Table) *Table {
+	shared := t.sharedVars(u)
+	out := NewTable(t.vars)
+	if len(shared) == 0 {
+		if u.Len() == 0 {
+			for _, tup := range t.tuples {
+				out.Add(tup)
+			}
+		}
+		return out
+	}
+	tPos := make([]int, len(shared))
+	uPos := make([]int, len(shared))
+	for i, v := range shared {
+		tPos[i] = t.Pos(v)
+		uPos[i] = u.Pos(v)
+	}
+	idx := make(map[string]struct{}, u.Len())
+	for _, tup := range u.tuples {
+		idx[projectKey(tup, uPos)] = struct{}{}
+	}
+	for _, tup := range t.tuples {
+		if _, ok := idx[projectKey(tup, tPos)]; !ok {
+			out.Add(tup)
+		}
+	}
+	return out
+}
+
+// Union returns t ∪ u; the tables must have identical column lists.
+func (t *Table) Union(u *Table) *Table {
+	if !sameVars(t.vars, u.vars) {
+		panic("relation: union over different columns")
+	}
+	out := t.Clone()
+	for _, tup := range u.tuples {
+		out.Add(tup)
+	}
+	return out
+}
+
+// Diff returns t − u; the tables must have identical column lists.
+func (t *Table) Diff(u *Table) *Table {
+	if !sameVars(t.vars, u.vars) {
+		panic("relation: difference over different columns")
+	}
+	out := NewTable(t.vars)
+	for _, tup := range t.tuples {
+		if !u.Contains(tup) {
+			out.Add(tup)
+		}
+	}
+	return out
+}
+
+func sameVars(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedTuples returns the tuples in lexicographic order, for deterministic
+// output and tests.
+func (t *Table) SortedTuples() []Tuple {
+	out := make([]Tuple, len(t.tuples))
+	copy(out, t.tuples)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// EqualSet reports whether t and u contain the same tuple set over the same
+// column list, regardless of column order in u.
+func (t *Table) EqualSet(u *Table) bool {
+	if len(t.vars) != len(u.vars) || t.Len() != u.Len() {
+		return false
+	}
+	perm := make([]int, len(t.vars))
+	for i, v := range t.vars {
+		p := u.Pos(v)
+		if p < 0 {
+			return false
+		}
+		perm[i] = p
+	}
+	buf := make(Tuple, len(t.vars))
+	for _, tup := range u.tuples {
+		for i, p := range perm {
+			buf[i] = tup[p]
+		}
+		if !t.Contains(buf) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the table for debugging.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s]{", strings.Join(t.vars, ","))
+	for i, tup := range t.SortedTuples() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%v", []Value(tup))
+	}
+	b.WriteByte('}')
+	return b.String()
+}

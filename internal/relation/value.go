@@ -1,0 +1,88 @@
+// Package relation implements the set-semantics relational algebra substrate
+// used by the metaquery engine: interned constant values, relations,
+// variable-keyed tables, natural join, semijoin and projection.
+//
+// The model follows Section 2.1 of the paper: a database DB is
+// (D, R1, ..., Rn) where D is a finite set of constants drawn from a
+// countable domain U, and each Ri is a finite relation over D. Relations are
+// sets of tuples (no duplicates), as required by the relational-algebra
+// definitions of the plausibility indices (Definition 2.6).
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Value is an interned database constant. Values are indices into the
+// owning Database's dictionary; two values drawn from the same Database
+// are equal iff the underlying constants are equal.
+type Value int32
+
+// Tuple is an ordered list of constants. Tuples are compared positionally.
+type Tuple []Value
+
+// Clone returns a copy of t that shares no storage with t.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// key encodes a tuple as a map key. Encoding is 4 bytes per value.
+func (t Tuple) key() string {
+	b := make([]byte, 0, 4*len(t))
+	for _, v := range t {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// Dict interns constant names to Values. The zero value is not usable;
+// create dictionaries with newDict (Databases own their dictionary).
+type Dict struct {
+	byName map[string]Value
+	names  []string
+}
+
+func newDict() *Dict {
+	return &Dict{byName: make(map[string]Value)}
+}
+
+// Intern returns the Value for name, creating it if necessary.
+func (d *Dict) Intern(name string) Value {
+	if v, ok := d.byName[name]; ok {
+		return v
+	}
+	v := Value(len(d.names))
+	d.byName[name] = v
+	d.names = append(d.names, name)
+	return v
+}
+
+// Lookup returns the Value for name and whether it is interned.
+func (d *Dict) Lookup(name string) (Value, bool) {
+	v, ok := d.byName[name]
+	return v, ok
+}
+
+// Name returns the constant name for v. It panics if v was not produced by
+// this dictionary.
+func (d *Dict) Name(v Value) string {
+	if int(v) < 0 || int(v) >= len(d.names) {
+		panic(fmt.Sprintf("relation: value %d not in dictionary", v))
+	}
+	return d.names[v]
+}
+
+// Size returns the number of interned constants, i.e. |D|, the size of the
+// active domain.
+func (d *Dict) Size() int { return len(d.names) }
+
+// Names returns the interned constant names in sorted order.
+func (d *Dict) Names() []string {
+	out := make([]string, len(d.names))
+	copy(out, d.names)
+	sort.Strings(out)
+	return out
+}

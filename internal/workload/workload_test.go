@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/mqgo/metaquery/internal/hypertree"
+)
+
+func TestDB1Shape(t *testing.T) {
+	db := DB1()
+	if db.NumRelations() != 3 {
+		t.Fatalf("DB1 has %d relations", db.NumRelations())
+	}
+	if db.Relation("UsCa").Len() != 3 || db.Relation("CaTe").Len() != 6 || db.Relation("UsPT").Len() != 3 {
+		t.Error("DB1 cardinalities wrong")
+	}
+	ext := DB1Extended()
+	if ext.Relation("UsPT").Arity() != 3 {
+		t.Error("extended UsPT arity wrong")
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	w := Random{Relations: 3, Arity: 2, Tuples: 20, Domain: 5, Seed: 42}
+	a, b := w.Build(), w.Build()
+	if a.Size() != b.Size() {
+		t.Error("workload not deterministic")
+	}
+	for _, name := range a.RelationNames() {
+		if b.Relation(name) == nil || a.Relation(name).Len() != b.Relation(name).Len() {
+			t.Errorf("relation %s differs", name)
+		}
+	}
+}
+
+func TestChainMQShape(t *testing.T) {
+	mq := ChainMQ(4)
+	if len(mq.Body) != 4 {
+		t.Errorf("body = %d", len(mq.Body))
+	}
+	// The head R(X0,Xm) closes a cycle in SH(MQ), but the body — which is
+	// what findRules decomposes — is a width-1 chain.
+	atoms := make([]hypertree.AtomSchema, len(mq.Body))
+	for i, l := range mq.Body {
+		atoms[i] = hypertree.AtomSchema{ID: i, Vars: l.Vars()}
+	}
+	if w := hypertree.Width(atoms); w != 1 {
+		t.Errorf("chain body width = %d, want 1", w)
+	}
+}
+
+func TestCycleMQWidth2(t *testing.T) {
+	mq := CycleMQ(4)
+	if mq.IsSemiAcyclic() {
+		t.Error("cycle metaquery must not be semi-acyclic")
+	}
+	atoms := make([]hypertree.AtomSchema, len(mq.Body))
+	for i, l := range mq.Body {
+		atoms[i] = hypertree.AtomSchema{ID: i, Vars: l.Vars()}
+	}
+	if w := hypertree.Width(atoms); w != 2 {
+		t.Errorf("cycle body width = %d, want 2", w)
+	}
+}
+
+func TestStarMQSemiAcyclic(t *testing.T) {
+	if !StarMQ(5).IsSemiAcyclic() {
+		t.Error("star metaquery must be semi-acyclic")
+	}
+}
+
+func TestWidthWorkloadWidths(t *testing.T) {
+	for c := 1; c <= 3; c++ {
+		_, rule := WidthWorkload(c, 10, 5, 1)
+		atoms := make([]hypertree.AtomSchema, len(rule.Body))
+		for i, a := range rule.Body {
+			atoms[i] = hypertree.AtomSchema{ID: i, Vars: a.Vars()}
+		}
+		if w := hypertree.Width(atoms); w != c {
+			t.Errorf("WidthWorkload(%d) body width = %d", c, w)
+		}
+	}
+}
+
+func TestChainDBLayered(t *testing.T) {
+	db := ChainDB(3, 4, 10, 7)
+	if db.NumRelations() != 3 {
+		t.Errorf("ChainDB relations = %d", db.NumRelations())
+	}
+	for _, name := range db.RelationNames() {
+		if db.Relation(name).Len() == 0 {
+			t.Errorf("relation %s empty", name)
+		}
+	}
+}
+
+func TestCliqueMQPatternCount(t *testing.T) {
+	mq := CliqueMQ(4)
+	if len(mq.Body) != 6 {
+		t.Errorf("K4 clique body = %d patterns", len(mq.Body))
+	}
+}

@@ -1,0 +1,143 @@
+package metaquery
+
+import (
+	"testing"
+)
+
+// speaksDB is the introduction's example: citizenship and language tables
+// implying a speaks relation (rule (2) of the paper).
+func speaksDB() *Database {
+	db := NewDatabase()
+	db.MustInsertNamed("citizen", "john", "italy")
+	db.MustInsertNamed("citizen", "maria", "italy")
+	db.MustInsertNamed("citizen", "pierre", "france")
+	db.MustInsertNamed("language", "italy", "italian")
+	db.MustInsertNamed("language", "france", "french")
+	db.MustInsertNamed("speaks", "john", "italian")
+	db.MustInsertNamed("speaks", "maria", "italian")
+	db.MustInsertNamed("speaks", "pierre", "french")
+	return db
+}
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	db := speaksDB()
+	mq := MustParse("R(X,Z) <- P(X,Y), Q(Y,Z)")
+	answers, err := FindRules(db, mq, Options{
+		Type:       Type0,
+		Thresholds: AllAbove(MustRat("0.5"), MustRat("0.9"), MustRat("0.9")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range answers {
+		if a.Rule.String() == "speaks(X,Z) <- citizen(X,Y), language(Y,Z)" {
+			found = true
+			if !a.Cnf.Equal(MustRat("1")) {
+				t.Errorf("cnf = %v, want 1", a.Cnf)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("rule (2) of the paper not discovered; answers: %v", len(answers))
+	}
+}
+
+func TestPublicDecide(t *testing.T) {
+	db := speaksDB()
+	mq := MustParse("R(X,Z) <- P(X,Y), Q(Y,Z)")
+	yes, witness, err := Decide(db, mq, Cnf, MustRat("0.99"), Type0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !yes || witness == nil {
+		t.Fatal("expected YES with witness")
+	}
+	rule, err := witness.Apply(mq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Confidence(db, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Greater(MustRat("0.99")) {
+		t.Errorf("witness confidence %v", v)
+	}
+}
+
+func TestPublicNaiveMatchesEngine(t *testing.T) {
+	db := speaksDB()
+	mq := MustParse("R(X,Z) <- P(X,Y), Q(Y,Z)")
+	th := SingleIndex(Cvr, MustRat("1/2"))
+	fast, err := FindRules(db, mq, Options{Type: Type1, Thresholds: th})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := NaiveFindRules(db, mq, Type1, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast) != len(slow) {
+		t.Fatalf("engine %d answers, naive %d", len(fast), len(slow))
+	}
+	for i := range fast {
+		if fast[i].Rule.String() != slow[i].Rule.String() {
+			t.Errorf("answer %d differs", i)
+		}
+	}
+}
+
+func TestPublicCSVRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db := speaksDB()
+	if err := SaveCSVDir(db, dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSVDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != db.Size() {
+		t.Errorf("round trip size %d != %d", back.Size(), db.Size())
+	}
+}
+
+func TestPublicIndexHelpers(t *testing.T) {
+	db := speaksDB()
+	mq := MustParse("R(X,Z) <- P(X,Y), Q(Y,Z)")
+	answers, err := FindRules(db, mq, Options{Type: Type0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range answers {
+		s, err := Support(db, a.Rule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.Equal(a.Sup) {
+			t.Errorf("support mismatch for %s", a.Rule)
+		}
+	}
+}
+
+func TestPublicStats(t *testing.T) {
+	db := speaksDB()
+	mq := MustParse("R(X,Z) <- P(X,Y), Q(Y,Z)")
+	_, stats, err := FindRulesStats(db, mq, Options{Type: Type0, Thresholds: SingleIndex(Sup, MustRat("0.99"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Width != 1 || stats.BodyCandidatesTried == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestRatHelpers(t *testing.T) {
+	if !NewRat(2, 4).Equal(MustRat("0.5")) {
+		t.Error("rat helpers disagree")
+	}
+	if _, err := ParseRat("bogus"); err == nil {
+		t.Error("bad rat accepted")
+	}
+}
