@@ -7,6 +7,7 @@
 package metaquery
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -347,6 +348,66 @@ func BenchmarkInstantiationSpace(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPreparedReuse measures what the Engine/Prepared session API
+// amortizes: N executions of one Prepared metaquery (database indices,
+// query analysis and node joins computed once, then shared) against N cold
+// FindRules calls that redo the preprocessing every time.
+func BenchmarkPreparedReuse(b *testing.B) {
+	db := workload.ChainDB(3, 25, 100, 5)
+	mq := workload.ChainMQ(3)
+	opt := engine.Options{Type: core.Type0, Thresholds: core.AllAbove(rat.New(1, 10), rat.Zero, rat.Zero)}
+	ctx := context.Background()
+	b.Run("prepared", func(b *testing.B) {
+		prep, err := engine.NewEngine(db).Prepare(mq, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.FindRules(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := engine.FindRules(db, mq, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStreamFirstAnswer measures the early-exit benefit of streaming:
+// taking only the first answer versus materializing the full answer set.
+func BenchmarkStreamFirstAnswer(b *testing.B) {
+	db := workload.ChainDB(3, 25, 100, 5)
+	mq := workload.ChainMQ(3)
+	opt := engine.Options{Type: core.Type0}
+	ctx := context.Background()
+	prep, err := engine.NewEngine(db).Prepare(mq, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("first-streamed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, err := range prep.Stream(ctx) {
+				if err != nil {
+					b.Fatal(err)
+				}
+				break
+			}
+		}
+	})
+	b.Run("full-set", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.FindRules(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Beyond-paper extensions ----------------------------------------------

@@ -4,7 +4,7 @@
 //
 //	metaquery -db DIR -query "R(X,Z) <- P(X,Y), Q(Y,Z)" \
 //	    [-type 0|1|2] [-min-sup R] [-min-cnf R] [-min-cvr R] \
-//	    [-naive] [-limit N] [-stats]
+//	    [-naive] [-limit N] [-stats] [-timeout D]
 //
 // The database directory holds one CSV file per relation (rows are tuples;
 // the file name without extension is the relation name). Thresholds are
@@ -12,19 +12,33 @@
 // strict (index > threshold), as in the paper. Omitted thresholds are
 // unconstrained.
 //
+// -timeout bounds the search wall-clock (e.g. "2s", "500ms"; 0 = none).
+// When the deadline passes mid-search, the answers found so far are still
+// printed (findRules engine; the naive engine keeps no partial results), a
+// "# search timed out" note marks the output as partial, and the command
+// exits with status 4 instead of 1.
+//
 // Example:
 //
 //	metaquery -db ./testdata/telecom -query 'R(X,Z) <- P(X,Y), Q(Y,Z)' \
-//	    -type 1 -min-cnf 1/2 -min-sup 1/4
+//	    -type 1 -min-cnf 1/2 -min-sup 1/4 -timeout 5s
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"time"
 
 	"github.com/mqgo/metaquery"
 )
+
+// exitTimeout is the distinct exit status for a search cut off by
+// -timeout; partial results have already been printed in that case.
+const exitTimeout = 4
 
 func main() {
 	var (
@@ -37,15 +51,26 @@ func main() {
 		naive   = flag.Bool("naive", false, "use the naive reference engine instead of findRules")
 		limit   = flag.Int("limit", 0, "stop after N answers (0 = all; findRules engine only)")
 		showSts = flag.Bool("stats", false, "print engine search statistics")
+		timeout = flag.Duration("timeout", 0, "bound the search wall-clock, e.g. 2s (0 = none)")
 	)
 	flag.Parse()
-	if err := run(*dbDir, *query, *typN, *minSup, *minCnf, *minCvr, *naive, *limit, *showSts); err != nil {
+	if err := runTimed(*dbDir, *query, *typN, *minSup, *minCnf, *minCvr, *naive, *limit, *showSts, *timeout); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "metaquery: search timed out, results are partial")
+			os.Exit(exitTimeout)
+		}
 		fmt.Fprintln(os.Stderr, "metaquery:", err)
 		os.Exit(1)
 	}
 }
 
+// run answers the query without a time bound. It is the historical entry
+// point, kept for compatibility; runTimed is the full CLI.
 func run(dbDir, query string, typN int, minSup, minCnf, minCvr string, naive bool, limit int, showStats bool) error {
+	return runTimed(dbDir, query, typN, minSup, minCnf, minCvr, naive, limit, showStats, 0)
+}
+
+func runTimed(dbDir, query string, typN int, minSup, minCnf, minCvr string, naive bool, limit int, showStats bool, timeout time.Duration) error {
 	if dbDir == "" || query == "" {
 		return fmt.Errorf("both -db and -query are required (see -help)")
 	}
@@ -83,21 +108,42 @@ func run(dbDir, query string, typN int, minSup, minCnf, minCvr string, naive boo
 		return err
 	}
 
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
 	typ := metaquery.InstType(typN)
 	var answers []metaquery.Answer
+	var searchErr error
 	if naive {
-		answers, err = metaquery.NaiveFindRules(db, mq, typ, th)
-		if err != nil {
-			return err
+		answers, searchErr = metaquery.NaiveFindRulesContext(ctx, db, mq, typ, th)
+		if searchErr != nil && !errors.Is(searchErr, context.DeadlineExceeded) {
+			return searchErr
 		}
 	} else {
-		var stats *metaquery.Stats
-		answers, stats, err = metaquery.FindRulesStats(db, mq, metaquery.Options{
-			Type: typ, Thresholds: th, Limit: limit,
-		})
+		eng := metaquery.NewEngine(db)
+		prep, err := eng.Prepare(mq, metaquery.Options{Type: typ, Thresholds: th, Limit: limit})
 		if err != nil {
 			return err
 		}
+		// Stream so that answers found before a deadline are kept.
+		var stats metaquery.Stats
+		for a, err := range prep.StreamStats(ctx, &stats) {
+			if err != nil {
+				if errors.Is(err, context.DeadlineExceeded) {
+					searchErr = err
+					break
+				}
+				return err
+			}
+			answers = append(answers, a)
+		}
+		sort.Slice(answers, func(i, j int) bool {
+			return answers[i].Rule.String() < answers[j].Rule.String()
+		})
 		if showStats {
 			fmt.Printf("# width=%d nodes=%d candidates=%d pruned_empty=%d pruned_support=%d bodies=%d heads=%d\n",
 				stats.Width, stats.Nodes, stats.BodyCandidatesTried, stats.BodiesPrunedEmpty,
@@ -111,6 +157,14 @@ func run(dbDir, query string, typN int, minSup, minCnf, minCvr string, naive boo
 	for _, a := range answers {
 		fmt.Printf("%-60s sup=%-8s cnf=%-8s cvr=%-8s\n", a.Rule.String(),
 			a.Sup.String(), a.Cnf.String(), a.Cvr.String())
+	}
+	if searchErr != nil {
+		if naive {
+			fmt.Printf("# search timed out after %v; the naive engine keeps no partial results\n", timeout)
+		} else {
+			fmt.Printf("# search timed out after %v; the answers above are partial\n", timeout)
+		}
+		return searchErr
 	}
 	return nil
 }

@@ -9,9 +9,11 @@
 //	mqbench               # run all experiments
 //	mqbench -exp E4       # run one experiment
 //	mqbench -quick        # smaller instances (CI-speed)
+//	mqbench -timeout 30s  # bound the whole suite's wall-clock
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,24 +23,36 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment ID (e.g. E4); empty = all")
-		quick = flag.Bool("quick", false, "use smaller instances")
+		exp     = flag.String("exp", "", "experiment ID (e.g. E4); empty = all")
+		quick   = flag.Bool("quick", false, "use smaller instances")
+		timeout = flag.Duration("timeout", 0, "bound the suite wall-clock, e.g. 30s (0 = none)")
 	)
 	flag.Parse()
-	if err := run(*exp, *quick); err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := runCtx(ctx, *exp, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "mqbench:", err)
 		os.Exit(1)
 	}
 }
 
+// run executes without a time bound; runCtx is the full CLI entry point.
 func run(exp string, quick bool) error {
+	return runCtx(context.Background(), exp, quick)
+}
+
+func runCtx(ctx context.Context, exp string, quick bool) error {
 	ids := experiments.IDs()
 	if exp != "" {
 		ids = []string{exp}
 	}
 	failed := 0
 	for _, id := range ids {
-		res, err := experiments.Run(id, quick)
+		res, err := experiments.RunContext(ctx, id, quick)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}

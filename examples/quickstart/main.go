@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,8 +41,14 @@ func main() {
 	mq := metaquery.MustParse("R(X,Z) <- P(X,Y), Q(Y,Z)")
 	fmt.Println("metaquery:", mq)
 
+	// An Engine is a reusable session bound to the database: it builds the
+	// relation and candidate indices once and shares them across queries.
+	eng := metaquery.NewEngine(db)
+
+	// Prepare analyzes the metaquery once (validation, hypertree
+	// decomposition); the Prepared can then be executed many times.
 	// Ask for rules with confidence > 0.9 and support > 0.5 (strict).
-	answers, err := metaquery.FindRules(db, mq, metaquery.Options{
+	prep, err := eng.Prepare(mq, metaquery.Options{
 		Type: metaquery.Type0,
 		Thresholds: metaquery.AllAbove(
 			metaquery.MustRat("0.5"), // support
@@ -49,6 +56,10 @@ func main() {
 			metaquery.MustRat("0"),   // cover
 		),
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	answers, err := prep.FindRules(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,7 +40,7 @@ func main() {
 	// strict thresholds) flags full derivability; confidence says how much
 	// of the candidate view is correct.
 	mq := metaquery.MustParse("T(X,Z) <- A(X,Y), B(Y,Z)")
-	answers, err := metaquery.FindRules(db, mq, metaquery.Options{
+	prep, err := metaquery.NewEngine(db).Prepare(mq, metaquery.Options{
 		Type:       metaquery.Type0,
 		Thresholds: metaquery.SingleIndex(metaquery.Cvr, metaquery.MustRat("99/100")),
 	})
@@ -47,8 +48,14 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Stream the answers as the search discovers them: for an audit over a
+	// large legacy schema the first findings appear immediately, and
+	// breaking out of the loop would abandon the remaining search.
 	fmt.Println("tables fully implied by a join of two others (cover = 1):")
-	for _, a := range answers {
+	for a, err := range prep.Stream(context.Background()) {
+		if err != nil {
+			log.Fatal(err)
+		}
 		if a.Rule.Head.Pred == a.Rule.Body[0].Pred || a.Rule.Head.Pred == a.Rule.Body[1].Pred {
 			continue // skip self-referential trivia
 		}

@@ -6,9 +6,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"sort"
+	"time"
 
 	"github.com/mqgo/metaquery"
 )
@@ -50,18 +53,38 @@ func main() {
 		db.MustInsertNamed(r[0], r[1], r[2])
 	}
 
+	// The discovery loop runs many generated metaqueries against one
+	// database: exactly the access pattern the Engine session amortizes
+	// (relation and candidate indices are built once, and every prepared
+	// query shares them). The whole sweep is time-bounded by the context —
+	// generated metaquery sets can explode combinatorially.
+	eng := metaquery.NewEngine(db)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
 	type hit struct {
 		rule string
 		cnf  metaquery.Rat
 		cvr  metaquery.Rat
 	}
 	var hits []hit
+	timedOut := false
 	for _, mq := range generateChainMetaqueries(3) {
-		answers, err := metaquery.FindRules(db, mq, metaquery.Options{
+		prep, err := eng.Prepare(mq, metaquery.Options{
 			Type: metaquery.Type0,
 			Thresholds: metaquery.AllAbove(
 				metaquery.MustRat("0"), metaquery.MustRat("3/4"), metaquery.MustRat("3/4")),
 		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		answers, err := prep.FindRules(ctx)
+		if errors.Is(err, context.DeadlineExceeded) {
+			// Keep what earlier metaqueries discovered: the sweep is
+			// time-bounded, not all-or-nothing.
+			timedOut = true
+			break
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -81,6 +104,9 @@ func main() {
 	}
 	sort.Slice(hits, func(i, j int) bool { return hits[i].rule < hits[j].rule })
 
+	if timedOut {
+		fmt.Println("(sweep deadline reached; results below are partial)")
+	}
 	fmt.Println("auto-generated chain metaqueries up to length 3;")
 	fmt.Println("rules with cnf > 3/4 and cvr > 3/4, head not in body:")
 	for _, h := range hits {

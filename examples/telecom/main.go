@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,16 +14,17 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	mq := metaquery.MustParse("R(X,Z) <- P(X,Y), Q(Y,Z)")
+	thresholds := metaquery.AllAbove(
+		metaquery.MustRat("1/2"), metaquery.MustRat("1/2"), metaquery.MustRat("1/2"))
 
 	fmt.Println("== Figure 1 database (UsCa, CaTe, UsPT) ==")
-	db := workload.DB1()
+	// One Engine per database: the relation and candidate indices are
+	// built once and shared by both instantiation-type runs below.
+	eng := metaquery.NewEngine(workload.DB1())
 	for _, typ := range []metaquery.InstType{metaquery.Type0, metaquery.Type1} {
-		answers, err := metaquery.FindRules(db, mq, metaquery.Options{
-			Type: typ,
-			Thresholds: metaquery.AllAbove(
-				metaquery.MustRat("1/2"), metaquery.MustRat("1/2"), metaquery.MustRat("1/2")),
-		})
+		answers, err := eng.FindRules(ctx, mq, metaquery.Options{Type: typ, Thresholds: thresholds})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -33,12 +35,8 @@ func main() {
 	}
 
 	fmt.Println("\n== Figure 2 database (UsPT gains a Model column) ==")
-	ext := workload.DB1Extended()
-	answers, err := metaquery.FindRules(ext, mq, metaquery.Options{
-		Type: metaquery.Type2,
-		Thresholds: metaquery.AllAbove(
-			metaquery.MustRat("1/2"), metaquery.MustRat("1/2"), metaquery.MustRat("1/2")),
-	})
+	extEng := metaquery.NewEngine(workload.DB1Extended())
+	answers, err := extEng.FindRules(ctx, mq, metaquery.Options{Type: metaquery.Type2, Thresholds: thresholds})
 	if err != nil {
 		log.Fatal(err)
 	}

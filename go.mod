@@ -1,0 +1,3 @@
+module github.com/mqgo/metaquery
+
+go 1.23

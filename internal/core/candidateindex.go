@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// CandidateIndex caches the per-database structures the instantiation
+// search consults on every pattern assignment: the database's relations
+// bucketed by arity, and the memoized candidate atom lists per (pattern,
+// type) pair. Building the index once per database and sharing it across
+// queries amortizes the preprocessing that Candidates otherwise redoes on
+// every call (scanning all relations, enumerating permutations or
+// injections, deduplicating).
+//
+// A CandidateIndex snapshots the database schema at construction time: the
+// database must not gain or lose relations (or change relation arities)
+// while the index is in use. Tuple-level updates are harmless because
+// candidate atoms depend only on relation names and arities.
+//
+// All methods are safe for concurrent use.
+type CandidateIndex struct {
+	db *relation.Database
+
+	// byArity buckets relation names by arity, each bucket sorted.
+	byArity  map[int][]string
+	maxArity int
+
+	mu   sync.RWMutex
+	memo map[string][]relation.Atom
+}
+
+// NewCandidateIndex builds the arity buckets for db.
+func NewCandidateIndex(db *relation.Database) *CandidateIndex {
+	ix := &CandidateIndex{
+		db:      db,
+		byArity: make(map[int][]string),
+		memo:    make(map[string][]relation.Atom),
+	}
+	for _, name := range db.RelationNames() {
+		a := db.Relation(name).Arity()
+		ix.byArity[a] = append(ix.byArity[a], name)
+		if a > ix.maxArity {
+			ix.maxArity = a
+		}
+	}
+	return ix
+}
+
+// Database returns the database the index was built over.
+func (ix *CandidateIndex) Database() *relation.Database { return ix.db }
+
+// RelationsOfArity returns the names of the relations with the given
+// arity, sorted. The caller must not modify the returned slice.
+func (ix *CandidateIndex) RelationsOfArity(k int) []string { return ix.byArity[k] }
+
+// Candidates is Candidates(ix.Database(), l, typ, patternIdx) served from
+// the index: the relation scan is restricted to the arity buckets that can
+// match l, and the resulting atom list is memoized. The caller must not
+// modify the returned slice.
+func (ix *CandidateIndex) Candidates(l LiteralScheme, typ InstType, patternIdx int) []relation.Atom {
+	if !l.PredVar {
+		return []relation.Atom{l.Atom()}
+	}
+	key := fmt.Sprintf("%d|%d|%s", typ, patternIdx, l.Key())
+	ix.mu.RLock()
+	out, ok := ix.memo[key]
+	ix.mu.RUnlock()
+	if ok {
+		return out
+	}
+
+	k := len(l.Args)
+	var names []string
+	switch typ {
+	case Type0, Type1:
+		names = ix.byArity[k]
+	default: // Type2: any arity >= k
+		for a := k; a <= ix.maxArity; a++ {
+			names = append(names, ix.byArity[a]...)
+		}
+		sort.Strings(names)
+	}
+	out = candidatesOver(ix.db, l, typ, patternIdx, names)
+
+	ix.mu.Lock()
+	if prev, ok := ix.memo[key]; ok {
+		out = prev // another goroutine won the race; keep one canonical slice
+	} else {
+		ix.memo[key] = out
+	}
+	ix.mu.Unlock()
+	return out
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -54,6 +55,13 @@ func Candidates(db *relation.Database, l LiteralScheme, typ InstType, patternIdx
 	if !l.PredVar {
 		return []relation.Atom{l.Atom()}
 	}
+	return candidatesOver(db, l, typ, patternIdx, db.RelationNames())
+}
+
+// candidatesOver generates the candidate atoms of pattern l restricted to
+// the given relation names. It is the shared generator behind Candidates
+// (all relations) and CandidateIndex.Candidates (arity-bucketed names).
+func candidatesOver(db *relation.Database, l LiteralScheme, typ InstType, patternIdx int, names []string) []relation.Atom {
 	var out []relation.Atom
 	seen := make(map[string]bool)
 	add := func(a relation.Atom) {
@@ -64,7 +72,7 @@ func Candidates(db *relation.Database, l LiteralScheme, typ InstType, patternIdx
 		}
 	}
 	k := len(l.Args)
-	for _, name := range db.RelationNames() {
+	for _, name := range names {
 		rel := db.Relation(name)
 		switch typ {
 		case Type0:
@@ -168,6 +176,14 @@ func CountInstantiations(db *relation.Database, mq *Metaquery, typ InstType) (in
 // db, calling f with each. Enumeration stops early when f returns false.
 // The *Instantiation passed to f is reused; clone it to retain it.
 func ForEachInstantiation(db *relation.Database, mq *Metaquery, typ InstType, f func(*Instantiation) (bool, error)) error {
+	return ForEachInstantiationContext(context.Background(), db, mq, typ, f)
+}
+
+// ForEachInstantiationContext is ForEachInstantiation with cancellation:
+// ctx is checked before every candidate extension, and enumeration stops
+// with ctx.Err() as soon as the context is cancelled or its deadline
+// passes.
+func ForEachInstantiationContext(ctx context.Context, db *relation.Database, mq *Metaquery, typ InstType, f func(*Instantiation) (bool, error)) error {
 	if err := ValidateForType(db, mq, typ); err != nil {
 		return err
 	}
@@ -175,6 +191,9 @@ func ForEachInstantiation(db *relation.Database, mq *Metaquery, typ InstType, f 
 	sigma := NewInstantiation()
 	var rec func(i int) (bool, error)
 	rec = func(i int) (bool, error) {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		if i == len(patterns) {
 			return f(sigma)
 		}

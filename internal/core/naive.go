@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"github.com/mqgo/metaquery/internal/rat"
@@ -74,8 +75,14 @@ func (t Thresholds) Admits(sup, cnf, cvr rat.Rat) bool {
 // sorted by rule text. It is the reference implementation against which the
 // findRules engine is differentially tested.
 func NaiveAnswers(db *relation.Database, mq *Metaquery, typ InstType, th Thresholds) ([]Answer, error) {
+	return NaiveAnswersContext(context.Background(), db, mq, typ, th)
+}
+
+// NaiveAnswersContext is NaiveAnswers with cancellation: enumeration stops
+// with ctx.Err() as soon as ctx is cancelled or its deadline passes.
+func NaiveAnswersContext(ctx context.Context, db *relation.Database, mq *Metaquery, typ InstType, th Thresholds) ([]Answer, error) {
 	var out []Answer
-	err := ForEachInstantiation(db, mq, typ, func(sigma *Instantiation) (bool, error) {
+	err := ForEachInstantiationContext(ctx, db, mq, typ, func(sigma *Instantiation) (bool, error) {
 		rule, err := sigma.Apply(mq)
 		if err != nil {
 			return false, err
@@ -114,8 +121,14 @@ func SortAnswers(as []Answer) {
 // instantiation when the answer is yes. Enumeration stops at the first
 // witness.
 func Decide(db *relation.Database, mq *Metaquery, ix Index, k rat.Rat, typ InstType) (bool, *Instantiation, error) {
+	return DecideContext(context.Background(), db, mq, ix, k, typ)
+}
+
+// DecideContext is Decide with cancellation: enumeration stops with
+// ctx.Err() as soon as ctx is cancelled or its deadline passes.
+func DecideContext(ctx context.Context, db *relation.Database, mq *Metaquery, ix Index, k rat.Rat, typ InstType) (bool, *Instantiation, error) {
 	var witness *Instantiation
-	err := ForEachInstantiation(db, mq, typ, func(sigma *Instantiation) (bool, error) {
+	err := ForEachInstantiationContext(ctx, db, mq, typ, func(sigma *Instantiation) (bool, error) {
 		rule, err := sigma.Apply(mq)
 		if err != nil {
 			return false, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -19,6 +20,13 @@ import (
 // workers <= 0 selects GOMAXPROCS. The result is identical to Decide
 // (differentially tested); the witness may differ when several exist.
 func DecideParallel(db *relation.Database, mq *Metaquery, ix Index, k rat.Rat, typ InstType, workers int) (bool, *Instantiation, error) {
+	return DecideParallelContext(context.Background(), db, mq, ix, k, typ, workers)
+}
+
+// DecideParallelContext is DecideParallel with cancellation: all workers
+// stop with ctx.Err() as soon as ctx is cancelled or its deadline passes.
+// A witness found before cancellation is still returned.
+func DecideParallelContext(ctx context.Context, db *relation.Database, mq *Metaquery, ix Index, k rat.Rat, typ InstType, workers int) (bool, *Instantiation, error) {
 	if err := ValidateForType(db, mq, typ); err != nil {
 		return false, nil, err
 	}
@@ -27,7 +35,7 @@ func DecideParallel(db *relation.Database, mq *Metaquery, ix Index, k rat.Rat, t
 	}
 	patterns := mq.RelationPatterns()
 	if len(patterns) == 0 || workers == 1 {
-		return Decide(db, mq, ix, k, typ)
+		return DecideContext(ctx, db, mq, ix, k, typ)
 	}
 	first := patterns[0]
 	candidates := Candidates(db, first, typ, 0)
@@ -48,17 +56,26 @@ func DecideParallel(db *relation.Database, mq *Metaquery, ix Index, k rat.Rat, t
 		mu       sync.Mutex
 		found    *Instantiation
 		firstErr error
+		cut      bool // a worker abandoned enumeration because of ctx
 		done     = make(chan struct{})
 		once     sync.Once
 		wg       sync.WaitGroup
 	)
 	stop := func() { once.Do(func() { close(done) }) }
+	markCut := func() {
+		mu.Lock()
+		cut = true
+		mu.Unlock()
+	}
 
 	worker := func() {
 		defer wg.Done()
 		for {
 			select {
 			case <-done:
+				return
+			case <-ctx.Done():
+				markCut()
 				return
 			case atom, ok := <-jobs:
 				if !ok {
@@ -75,6 +92,10 @@ func DecideParallel(db *relation.Database, mq *Metaquery, ix Index, k rat.Rat, t
 					return
 				}
 				err := forEachFrom(db, mq, typ, patterns, 1, sigma, func(s *Instantiation) (bool, error) {
+					if err := ctx.Err(); err != nil {
+						markCut()
+						return false, nil
+					}
 					select {
 					case <-done:
 						return false, nil
@@ -119,7 +140,18 @@ func DecideParallel(db *relation.Database, mq *Metaquery, ix Index, k rat.Rat, t
 	if firstErr != nil {
 		return false, nil, firstErr
 	}
-	return found != nil, found, nil
+	if found != nil {
+		return true, found, nil
+	}
+	// Report the context error only when it actually cut enumeration short:
+	// a search that exhausted the space before cancellation is a definitive
+	// NO, matching the sequential DecideContext.
+	if cut {
+		if err := ctx.Err(); err != nil {
+			return false, nil, err
+		}
+	}
+	return false, nil, nil
 }
 
 // forEachFrom enumerates completions of sigma over patterns[start:],

@@ -4,6 +4,21 @@
 // "first half" and "second half" of Section 4), early support-based pruning
 // (enoughSupport), and head search (findHeads).
 //
+// The public surface is organized around two reusable objects:
+//
+//   - Engine (session.go) binds to one database and caches the
+//     database-level structures every search consults: the candidate index
+//     (relations bucketed by arity, memoized pattern candidates) and the
+//     materialized atom tables.
+//   - Prepared (prepare.go) binds an Engine to one metaquery and caches the
+//     query-level analysis: validation, the hypertree decomposition, the
+//     bottom-up node order, and the node-join cache. A Prepared can be
+//     executed many times and from many goroutines concurrently.
+//
+// Executions take a context.Context and stop promptly with ctx.Err() on
+// cancellation; Prepared.Stream (stream.go) yields answers incrementally so
+// consumers can abandon the search early.
+//
 // The engine is differentially tested against the naive reference
 // implementation in internal/core; both compute the answer set
 //
@@ -13,6 +28,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/mqgo/metaquery/internal/core"
@@ -68,25 +84,24 @@ type Stats struct {
 
 // FindRules computes all type-T instantiations of mq over db whose indices
 // pass the thresholds, with exact index values, sorted by rule text.
-// It is the entry point corresponding to Figure 4's findRules.
+// It is the entry point corresponding to Figure 4's findRules, implemented
+// as a one-shot Engine session; callers answering several metaqueries over
+// the same database should hold a NewEngine and Prepare instead.
 func FindRules(db *relation.Database, mq *core.Metaquery, opt Options) ([]core.Answer, *Stats, error) {
-	if err := core.ValidateForType(db, mq, opt.Type); err != nil {
-		return nil, nil, err
-	}
-	r := &run{db: db, mq: mq, opt: opt, stats: &Stats{}}
-	if err := r.setup(); err != nil {
-		return nil, nil, err
-	}
-	if err := r.findBodies(0, core.NewInstantiation()); err != nil && err != errLimit {
-		return nil, nil, err
-	}
-	core.SortAnswers(r.answers)
-	r.stats.Answers = len(r.answers)
-	return r.answers, r.stats, nil
+	return NewEngine(db).FindRulesStats(context.Background(), mq, opt)
+}
+
+// FindRulesContext is FindRules bounded by ctx: the search stops promptly
+// with ctx.Err() when ctx is cancelled or its deadline passes.
+func FindRulesContext(ctx context.Context, db *relation.Database, mq *core.Metaquery, opt Options) ([]core.Answer, *Stats, error) {
+	return NewEngine(db).FindRulesStats(ctx, mq, opt)
 }
 
 // errLimit signals early termination once Options.Limit answers were found.
 var errLimit = fmt.Errorf("engine: answer limit reached")
+
+// errStop signals that a streaming consumer stopped iterating.
+var errStop = fmt.Errorf("engine: consumer stopped iteration")
 
 // bodyScheme couples a distinct body literal scheme with the data the
 // engine needs repeatedly.
@@ -96,65 +111,28 @@ type bodyScheme struct {
 	vars       []string
 }
 
+// run is the per-execution state of one search over a Prepared metaquery:
+// the context, the effort counters, the current node tables of Figure 4's
+// first half, and the answer sink. Everything shared across executions
+// (database caches, decomposition, join cache) lives on run.p and is only
+// read here, which is what makes concurrent executions of one Prepared
+// safe.
 type run struct {
-	db    *relation.Database
-	mq    *core.Metaquery
-	opt   Options
+	p     *Prepared
+	ctx   context.Context
 	stats *Stats
-
-	schemes []bodyScheme // distinct body schemes, ID = slice index
-	decomp  *hypertree.Decomposition
-	order   []*hypertree.Node // bottom-up
-
-	// nodeSchemes[nodeID] lists the scheme IDs in λ(node).
-	nodeSchemes map[int][]int
 
 	// rTables[nodeID] is r[i] of Figure 4 for the current partial body.
 	rTables map[int]*relation.Table
-	// joinCache caches π_χ(J(σ(λ))) keyed by node and atom assignment.
-	joinCache map[string]*relation.Table
 
-	answers []core.Answer
+	// emit receives each discovered answer, in discovery order. Returning
+	// errLimit or errStop unwinds the search cleanly.
+	emit func(core.Answer) error
 }
 
-func (r *run) setup() error {
-	// Distinct body schemes (the paper treats ls(MQ) as a set).
-	seen := map[string]int{}
-	for _, l := range r.mq.Body {
-		if _, dup := seen[l.Key()]; dup {
-			continue
-		}
-		seen[l.Key()] = len(r.schemes)
-		r.schemes = append(r.schemes, bodyScheme{
-			scheme:     l,
-			patternIdx: core.PatternIndex(r.mq, l),
-			vars:       l.Vars(),
-		})
-	}
-
-	atoms := make([]hypertree.AtomSchema, len(r.schemes))
-	for i, s := range r.schemes {
-		atoms[i] = hypertree.AtomSchema{ID: i, Vars: s.vars}
-	}
-	if r.opt.FlatDecomposition {
-		r.decomp = flatDecomposition(atoms)
-	} else {
-		r.decomp = hypertree.Decompose(atoms)
-	}
-	if err := hypertree.Validate(atoms, r.decomp); err != nil {
-		return fmt.Errorf("engine: decomposition invalid: %w", err)
-	}
-	r.order = r.decomp.BottomUpOrder()
-	r.stats.Width = r.decomp.Width
-	r.stats.Nodes = len(r.order)
-
-	r.nodeSchemes = make(map[int][]int, len(r.order))
-	for _, n := range r.order {
-		r.nodeSchemes[n.ID] = append([]int(nil), n.Lambda...)
-	}
-	r.rTables = make(map[int]*relation.Table, len(r.order))
-	r.joinCache = make(map[string]*relation.Table)
-	return nil
+// search runs the body search of Figure 4 over the whole candidate space.
+func (r *run) search() error {
+	return r.findBodies(0, core.NewInstantiation())
 }
 
 // flatDecomposition builds the trivial one-node decomposition used by the
@@ -190,18 +168,21 @@ func sortStrings(vs []string) []string {
 // least one strict threshold enabled, an empty body join (all indices 0)
 // can never pass.
 func (r *run) anyThresholdChecked() bool {
-	t := r.opt.Thresholds
+	t := r.p.opt.Thresholds
 	return t.CheckSup || t.CheckCnf || t.CheckCvr
 }
 
 // findBodies is the recursive body search of Figure 4 (first half). i
 // indexes the bottom-up node order.
 func (r *run) findBodies(i int, sigma *core.Instantiation) error {
-	if i == len(r.order) {
+	if err := r.ctx.Err(); err != nil {
+		return err
+	}
+	if i == len(r.p.order) {
 		return r.afterBodies(sigma)
 	}
-	node := r.order[i]
-	return r.instantiateNode(node, r.nodeSchemes[node.ID], 0, sigma, func() error {
+	node := r.p.order[i]
+	return r.instantiateNode(node, r.p.nodeSchemes[node.ID], 0, sigma, func() error {
 		return r.findBodies(i+1, sigma)
 	})
 }
@@ -212,7 +193,7 @@ func (r *run) instantiateNode(node *hypertree.Node, schemeIDs []int, j int, sigm
 	if j == len(schemeIDs) {
 		return r.evalNode(node, schemeIDs, sigma, cont)
 	}
-	bs := r.schemes[schemeIDs[j]]
+	bs := r.p.schemes[schemeIDs[j]]
 	l := bs.scheme
 	if !l.PredVar {
 		// Ordinary atom: nothing to assign.
@@ -222,7 +203,10 @@ func (r *run) instantiateNode(node *hypertree.Node, schemeIDs []int, j int, sigm
 		// Assigned at an earlier node (λ sets may overlap).
 		return r.instantiateNode(node, schemeIDs, j+1, sigma, cont)
 	}
-	for _, a := range core.Candidates(r.db, l, r.opt.Type, bs.patternIdx) {
+	for _, a := range r.p.eng.cands.Candidates(l, r.p.opt.Type, bs.patternIdx) {
+		if err := r.ctx.Err(); err != nil {
+			return err
+		}
 		if rel, ok := sigma.RelationOf(l.Pred); ok && rel != a.Pred {
 			continue
 		}
@@ -246,7 +230,7 @@ func (r *run) evalNode(node *hypertree.Node, schemeIDs []int, sigma *core.Instan
 	if err != nil {
 		return err
 	}
-	if !r.opt.DisableFullReducer {
+	if !r.p.opt.DisableFullReducer {
 		for _, c := range node.Children {
 			tab = tab.Semijoin(r.rTables[c.ID])
 		}
@@ -266,29 +250,28 @@ func (r *run) evalNode(node *hypertree.Node, schemeIDs []int, sigma *core.Instan
 	return err
 }
 
-// nodeJoin computes (and caches) π_χ(J(σ(λ(p)))) for the node's current
-// atom assignment.
+// nodeJoin computes π_χ(J(σ(λ(p)))) for the node's current atom
+// assignment, served from the Prepared's cross-execution join cache.
 func (r *run) nodeJoin(node *hypertree.Node, schemeIDs []int, sigma *core.Instantiation) (*relation.Table, error) {
 	atoms := make([]relation.Atom, 0, len(schemeIDs))
 	key := fmt.Sprintf("n%d|", node.ID)
 	for _, id := range schemeIDs {
-		a, err := r.instAtom(r.schemes[id].scheme, sigma)
+		a, err := r.instAtom(r.p.schemes[id].scheme, sigma)
 		if err != nil {
 			return nil, err
 		}
 		atoms = append(atoms, a)
 		key += a.String() + ";"
 	}
-	if t, ok := r.joinCache[key]; ok {
+	if t, ok := r.p.cachedJoin(key); ok {
 		return t, nil
 	}
-	j, err := relation.JoinAtoms(r.db, atoms)
+	j, err := relation.JoinAtoms(r.p.eng.db, atoms)
 	if err != nil {
 		return nil, err
 	}
 	t := j.Project(node.Chi)
-	r.joinCache[key] = t
-	return t, nil
+	return r.p.storeJoin(key, t), nil
 }
 
 // instAtom maps a body scheme through sigma (identity on ordinary atoms).
@@ -309,11 +292,11 @@ func (r *run) afterBodies(sigma *core.Instantiation) error {
 	r.stats.BodiesReachedRoot++
 
 	// Second half: s[j] := r[j] ⋉ s[parent(j)], top-down.
-	s := make(map[int]*relation.Table, len(r.order))
-	for i := len(r.order) - 1; i >= 0; i-- {
-		n := r.order[i]
+	s := make(map[int]*relation.Table, len(r.p.order))
+	for i := len(r.p.order) - 1; i >= 0; i-- {
+		n := r.p.order[i]
 		t := r.rTables[n.ID]
-		if !r.opt.DisableFullReducer && n.Parent != nil {
+		if !r.p.opt.DisableFullReducer && n.Parent != nil {
 			t = t.Semijoin(s[n.Parent.ID])
 		}
 		s[n.ID] = t

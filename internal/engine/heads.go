@@ -22,19 +22,19 @@ type supportInfo struct {
 // the exact maximum rather than only the threshold bit.
 func (r *run) computeSupport(sigma *core.Instantiation, s map[int]*relation.Table) (supportInfo, error) {
 	best := rat.Zero
-	for id, bs := range r.schemes {
+	for id, bs := range r.p.schemes {
 		atom, err := r.instAtom(bs.scheme, sigma)
 		if err != nil {
 			return supportInfo{}, err
 		}
-		ra, err := relation.FromAtom(r.db, atom)
+		ra, err := r.p.eng.tableFor(atom)
 		if err != nil {
 			return supportInfo{}, err
 		}
 		if ra.Len() == 0 {
 			continue
 		}
-		node := r.decomp.CoverNode[id]
+		node := r.p.decomp.CoverNode[id]
 		reduced := s[node.ID].Project(bs.vars)
 		num := ra.Semijoin(reduced).Len()
 		if num == 0 {
@@ -42,32 +42,32 @@ func (r *run) computeSupport(sigma *core.Instantiation, s map[int]*relation.Tabl
 		}
 		best = rat.Max(best, rat.New(int64(num), int64(ra.Len())))
 	}
-	passes := !r.opt.Thresholds.CheckSup || best.Greater(r.opt.Thresholds.Sup)
+	passes := !r.p.opt.Thresholds.CheckSup || best.Greater(r.p.opt.Thresholds.Sup)
 	return supportInfo{value: best, passes: passes}, nil
 }
 
 // enoughSupport is the early-exit variant used for pruning: it returns true
 // as soon as one body atom's fraction exceeds ksup (support is a maximum).
 func (r *run) enoughSupport(sigma *core.Instantiation, s map[int]*relation.Table) (bool, error) {
-	for id, bs := range r.schemes {
+	for id, bs := range r.p.schemes {
 		atom, err := r.instAtom(bs.scheme, sigma)
 		if err != nil {
 			return false, err
 		}
-		ra, err := relation.FromAtom(r.db, atom)
+		ra, err := r.p.eng.tableFor(atom)
 		if err != nil {
 			return false, err
 		}
 		if ra.Len() == 0 {
 			continue
 		}
-		node := r.decomp.CoverNode[id]
+		node := r.p.decomp.CoverNode[id]
 		reduced := s[node.ID].Project(bs.vars)
 		num := ra.Semijoin(reduced).Len()
 		if num == 0 {
 			continue
 		}
-		if rat.New(int64(num), int64(ra.Len())).Greater(r.opt.Thresholds.Sup) {
+		if rat.New(int64(num), int64(ra.Len())).Greater(r.p.opt.Thresholds.Sup) {
 			return true, nil
 		}
 	}
@@ -79,18 +79,18 @@ func (r *run) enoughSupport(sigma *core.Instantiation, s map[int]*relation.Table
 // Atom tables are semijoin-reduced against their cover nodes first, which
 // is what makes the final join cheap after the full-reducer passes.
 func (r *run) bodyJoin(sigma *core.Instantiation, s map[int]*relation.Table) (*relation.Table, error) {
-	tables := make([]*relation.Table, 0, len(r.schemes))
-	for id, bs := range r.schemes {
+	tables := make([]*relation.Table, 0, len(r.p.schemes))
+	for id, bs := range r.p.schemes {
 		atom, err := r.instAtom(bs.scheme, sigma)
 		if err != nil {
 			return nil, err
 		}
-		ta, err := relation.FromAtom(r.db, atom)
+		ta, err := r.p.eng.tableFor(atom)
 		if err != nil {
 			return nil, err
 		}
-		if !r.opt.DisableFullReducer {
-			node := r.decomp.CoverNode[id]
+		if !r.p.opt.DisableFullReducer {
+			node := r.p.decomp.CoverNode[id]
 			ta = ta.Semijoin(s[node.ID])
 		}
 		tables = append(tables, ta)
@@ -127,9 +127,9 @@ func shares(a, b *relation.Table) bool {
 // check support, materialize b = J(σb(body)), and search head
 // instantiations agreeing with σb, filtering on cover and confidence.
 func (r *run) findHeads(sigma *core.Instantiation, s map[int]*relation.Table) error {
-	th := r.opt.Thresholds
+	th := r.p.opt.Thresholds
 
-	if th.CheckSup && !r.opt.DisableSupportPruning {
+	if th.CheckSup && !r.p.opt.DisableSupportPruning {
 		ok, err := r.enoughSupport(sigma, s)
 		if err != nil {
 			return err
@@ -153,9 +153,11 @@ func (r *run) findHeads(sigma *core.Instantiation, s map[int]*relation.Table) er
 		return err
 	}
 
-	head := r.mq.Head
-	headPatternIdx := core.PatternIndex(r.mq, head)
-	for _, ha := range core.Candidates(r.db, head, r.opt.Type, headPatternIdx) {
+	head := r.p.mq.Head
+	for _, ha := range r.p.eng.cands.Candidates(head, r.p.opt.Type, r.p.headPatternIdx) {
+		if err := r.ctx.Err(); err != nil {
+			return err
+		}
 		if head.PredVar {
 			// Agreement with σb (Definition 4.13): same pattern -> same atom,
 			// same predicate variable -> same relation.
@@ -168,7 +170,7 @@ func (r *run) findHeads(sigma *core.Instantiation, s map[int]*relation.Table) er
 		}
 		r.stats.HeadsTried++
 
-		h, err := relation.FromAtom(r.db, ha)
+		h, err := r.p.eng.tableFor(ha)
 		if err != nil {
 			return err
 		}
@@ -199,19 +201,18 @@ func (r *run) findHeads(sigma *core.Instantiation, s map[int]*relation.Table) er
 				continue // cannot agree (e.g. conflicting relation)
 			}
 		}
-		rule, err := full.Apply(r.mq)
+		rule, err := full.Apply(r.p.mq)
 		if err != nil {
 			return err
 		}
-		r.answers = append(r.answers, core.Answer{
+		if err := r.emit(core.Answer{
 			Inst: full,
 			Rule: rule,
 			Sup:  sup.value,
 			Cnf:  cnf,
 			Cvr:  cvr,
-		})
-		if r.opt.Limit > 0 && len(r.answers) >= r.opt.Limit {
-			return errLimit
+		}); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/hypertree"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// Prepared is a metaquery analyzed once and executable many times against
+// its Engine's database, analogous to database/sql's *Stmt. Preparation
+// performs the per-query work of Figure 4's preamble — semantic validation
+// for the chosen instantiation type, deduplication of body schemes, the
+// hypertree decomposition and its bottom-up order — so repeated executions
+// pay only for the search itself. The node-join cache (π_χ(J(σ(λ))) per
+// atom assignment) is also shared across executions, so later runs reuse
+// the joins earlier runs materialized.
+//
+// A Prepared is safe for concurrent use by multiple goroutines; each
+// execution carries its own mutable search state.
+type Prepared struct {
+	eng *Engine
+	mq  *core.Metaquery
+	opt Options
+
+	schemes []bodyScheme // distinct body schemes, ID = slice index
+	decomp  *hypertree.Decomposition
+	order   []*hypertree.Node // bottom-up
+
+	// nodeSchemes[nodeID] lists the scheme IDs in λ(node).
+	nodeSchemes map[int][]int
+
+	headPatternIdx int
+
+	// joinCache caches π_χ(J(σ(λ))) keyed by node and atom assignment,
+	// shared by all executions of this Prepared.
+	joinMu    sync.RWMutex
+	joinCache map[string]*relation.Table
+}
+
+// Prepare validates mq for opt.Type and computes the query-level analysis
+// (body scheme deduplication, hypertree decomposition, node order) the
+// executions share.
+func (e *Engine) Prepare(mq *core.Metaquery, opt Options) (*Prepared, error) {
+	if err := core.ValidateForType(e.db, mq, opt.Type); err != nil {
+		return nil, err
+	}
+	p := &Prepared{
+		eng:       e,
+		mq:        mq,
+		opt:       opt,
+		joinCache: make(map[string]*relation.Table),
+	}
+
+	// Distinct body schemes (the paper treats ls(MQ) as a set).
+	seen := map[string]int{}
+	for _, l := range mq.Body {
+		if _, dup := seen[l.Key()]; dup {
+			continue
+		}
+		seen[l.Key()] = len(p.schemes)
+		p.schemes = append(p.schemes, bodyScheme{
+			scheme:     l,
+			patternIdx: core.PatternIndex(mq, l),
+			vars:       l.Vars(),
+		})
+	}
+	p.headPatternIdx = core.PatternIndex(mq, mq.Head)
+
+	atoms := make([]hypertree.AtomSchema, len(p.schemes))
+	for i, s := range p.schemes {
+		atoms[i] = hypertree.AtomSchema{ID: i, Vars: s.vars}
+	}
+	if opt.FlatDecomposition {
+		p.decomp = flatDecomposition(atoms)
+	} else {
+		p.decomp = hypertree.Decompose(atoms)
+	}
+	if err := hypertree.Validate(atoms, p.decomp); err != nil {
+		return nil, fmt.Errorf("engine: decomposition invalid: %w", err)
+	}
+	p.order = p.decomp.BottomUpOrder()
+
+	p.nodeSchemes = make(map[int][]int, len(p.order))
+	for _, n := range p.order {
+		p.nodeSchemes[n.ID] = append([]int(nil), n.Lambda...)
+	}
+	return p, nil
+}
+
+// Engine returns the session the metaquery was prepared on.
+func (p *Prepared) Engine() *Engine { return p.eng }
+
+// Metaquery returns the prepared metaquery.
+func (p *Prepared) Metaquery() *core.Metaquery { return p.mq }
+
+// Options returns the options the metaquery was prepared with.
+func (p *Prepared) Options() Options { return p.opt }
+
+// Width returns the hypertree width of the decomposition in use.
+func (p *Prepared) Width() int { return p.decomp.Width }
+
+func (p *Prepared) cachedJoin(key string) (*relation.Table, bool) {
+	p.joinMu.RLock()
+	t, ok := p.joinCache[key]
+	p.joinMu.RUnlock()
+	return t, ok
+}
+
+// storeJoin records t under key and returns the canonical cached table
+// (an earlier concurrent writer's, if it lost the race).
+func (p *Prepared) storeJoin(key string, t *relation.Table) *relation.Table {
+	p.joinMu.Lock()
+	if prev, ok := p.joinCache[key]; ok {
+		t = prev
+	} else {
+		p.joinCache[key] = t
+	}
+	p.joinMu.Unlock()
+	return t
+}
+
+// newRun builds the per-execution search state. ctx may be nil.
+func (p *Prepared) newRun(ctx context.Context) *run {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &run{
+		p:       p,
+		ctx:     ctx,
+		stats:   &Stats{Width: p.decomp.Width, Nodes: len(p.order)},
+		rTables: make(map[int]*relation.Table, len(p.order)),
+	}
+}
+
+// FindRules executes the prepared metaquery, returning every admissible
+// answer sorted by rule text. The search stops promptly with ctx.Err()
+// when ctx is cancelled or its deadline passes.
+func (p *Prepared) FindRules(ctx context.Context) ([]core.Answer, error) {
+	answers, _, err := p.FindRulesStats(ctx)
+	return answers, err
+}
+
+// FindRulesStats is FindRules returning the execution's search counters.
+func (p *Prepared) FindRulesStats(ctx context.Context) ([]core.Answer, *Stats, error) {
+	r := p.newRun(ctx)
+	var answers []core.Answer
+	r.emit = func(a core.Answer) error {
+		answers = append(answers, a)
+		if p.opt.Limit > 0 && len(answers) >= p.opt.Limit {
+			return errLimit
+		}
+		return nil
+	}
+	if err := r.search(); err != nil && err != errLimit {
+		return nil, nil, err
+	}
+	core.SortAnswers(answers)
+	r.stats.Answers = len(answers)
+	return answers, r.stats, nil
+}

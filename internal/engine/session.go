@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"context"
+	"sync"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// Engine is a reusable metaquerying session bound to one database,
+// analogous to database/sql's *DB. It builds the per-database structures
+// every search consults — the candidate index (relations bucketed by
+// arity, memoized pattern candidates) and the materialized atom tables —
+// once, and shares them across all queries prepared on it.
+//
+// An Engine is safe for concurrent use by multiple goroutines. It
+// snapshots the database at construction: the database must not be
+// modified while the Engine is in use.
+type Engine struct {
+	db    *relation.Database
+	cands *core.CandidateIndex
+
+	mu         sync.RWMutex
+	atomTables map[string]*relation.Table // FromAtom materializations by atom text
+}
+
+// NewEngine builds a session over db, constructing the relation and
+// candidate indices the searches share.
+func NewEngine(db *relation.Database) *Engine {
+	return &Engine{
+		db:         db,
+		cands:      core.NewCandidateIndex(db),
+		atomTables: make(map[string]*relation.Table),
+	}
+}
+
+// Database returns the database the engine is bound to.
+func (e *Engine) Database() *relation.Database { return e.db }
+
+// tableFor returns the materialization of atom a over the engine's
+// database, cached across all queries and executions. Tables are immutable
+// after construction, so one instance is shared freely.
+func (e *Engine) tableFor(a relation.Atom) (*relation.Table, error) {
+	k := a.String()
+	e.mu.RLock()
+	t, ok := e.atomTables[k]
+	e.mu.RUnlock()
+	if ok {
+		return t, nil
+	}
+	t, err := relation.FromAtom(e.db, a)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if prev, ok := e.atomTables[k]; ok {
+		t = prev // another goroutine won the race; keep one canonical table
+	} else {
+		e.atomTables[k] = t
+	}
+	e.mu.Unlock()
+	return t, nil
+}
+
+// FindRules is the one-shot convenience over Prepare: it answers mq with
+// the findRules algorithm, bounded by ctx. Callers executing the same
+// metaquery repeatedly should Prepare it once instead.
+func (e *Engine) FindRules(ctx context.Context, mq *core.Metaquery, opt Options) ([]core.Answer, error) {
+	answers, _, err := e.FindRulesStats(ctx, mq, opt)
+	return answers, err
+}
+
+// FindRulesStats is FindRules returning the engine's search counters.
+func (e *Engine) FindRulesStats(ctx context.Context, mq *core.Metaquery, opt Options) ([]core.Answer, *Stats, error) {
+	p, err := e.Prepare(mq, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p.FindRulesStats(ctx)
+}
+
+// Decide solves the decision problem ⟨DB, MQ, I, k, T⟩ on the engine's
+// database with the findRules machinery: the search runs with the single
+// index threshold and stops at the first admissible instantiation, which
+// is returned as the witness. The YES/NO answer matches core.Decide; the
+// witness may differ when several exist.
+func (e *Engine) Decide(ctx context.Context, mq *core.Metaquery, ix core.Index, k rat.Rat, typ core.InstType) (bool, *core.Instantiation, error) {
+	p, err := e.Prepare(mq, Options{Type: typ, Thresholds: core.SingleIndex(ix, k), Limit: 1})
+	if err != nil {
+		return false, nil, err
+	}
+	answers, err := p.FindRules(ctx)
+	if err != nil {
+		return false, nil, err
+	}
+	if len(answers) == 0 {
+		return false, nil, nil
+	}
+	return true, answers[0].Inst, nil
+}

@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"context"
+	"iter"
+
+	"github.com/mqgo/metaquery/internal/core"
+)
+
+// Stream executes the prepared metaquery and yields answers incrementally,
+// in discovery order (not sorted; use FindRules for the canonical sorted
+// answer set). Breaking out of the range loop abandons the remaining
+// search immediately, so first-witness and top-k consumers do strictly
+// less work than a full materializing run.
+//
+// Cancellation and errors are delivered in-band: when the search fails or
+// ctx is cancelled, the final pair yielded is (zero Answer, err). A
+// non-positive Options.Limit streams every answer; a positive one ends the
+// stream after Limit answers.
+func (p *Prepared) Stream(ctx context.Context) iter.Seq2[core.Answer, error] {
+	return p.StreamStats(ctx, nil)
+}
+
+// StreamStats is Stream additionally recording the search-effort counters
+// into st (when non-nil) as the search progresses, so an early-exiting
+// consumer can observe how much of the candidate space was actually
+// explored.
+func (p *Prepared) StreamStats(ctx context.Context, st *Stats) iter.Seq2[core.Answer, error] {
+	return func(yield func(core.Answer, error) bool) {
+		r := p.newRun(ctx)
+		if st != nil {
+			*st = *r.stats
+			r.stats = st
+		}
+		emitted := 0
+		r.emit = func(a core.Answer) error {
+			// Count before yielding: an answer the consumer breaks on was
+			// still delivered, and must show in st.Answers.
+			emitted++
+			r.stats.Answers = emitted
+			if !yield(a, nil) {
+				return errStop
+			}
+			if p.opt.Limit > 0 && emitted >= p.opt.Limit {
+				return errLimit
+			}
+			return nil
+		}
+		err := r.search()
+		if err != nil && err != errStop && err != errLimit {
+			yield(core.Answer{}, err)
+		}
+	}
+}

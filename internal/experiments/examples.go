@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/mqgo/metaquery/internal/core"
@@ -15,7 +16,7 @@ import (
 // runE1 reproduces Figure 1 and the Section 2.1 worked example: on DB1 the
 // metaquery (4) admits 27 type-0 and 216 type-1 instantiations, and the
 // rule UsPT(X,Z) <- UsCa(X,Y), CaTe(Y,Z) scores sup 1, cnf 5/7, cvr 1.
-func runE1(bool) (*Result, error) {
+func runE1(ctx context.Context, _ bool) (*Result, error) {
 	res := &Result{ID: "E1", Title: "Figure 1 / §2.1: DB1 and metaquery (4)",
 		Header: []string{"type", "instantiations", "paper rule found", "sup", "cnf", "cvr"}}
 	db := workload.DB1()
@@ -27,7 +28,7 @@ func runE1(bool) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		answers, _, err := engine.FindRules(db, mq, engine.Options{Type: typ})
+		answers, _, err := engine.FindRulesContext(ctx, db, mq, engine.Options{Type: typ})
 		if err != nil {
 			return nil, err
 		}
@@ -54,12 +55,12 @@ func runE1(bool) (*Result, error) {
 
 // runE2 reproduces the Figure 2 type-2 example: with the ternary UsPT the
 // metaquery (4) instantiates to UsPT(X,Z,T) <- UsCa(Y,X), CaTe(Y,Z).
-func runE2(bool) (*Result, error) {
+func runE2(ctx context.Context, _ bool) (*Result, error) {
 	res := &Result{ID: "E2", Title: "Figure 2 / §2.1: type-2 instantiation with padded head",
 		Header: []string{"rule", "sup", "cnf", "cvr"}}
 	db := workload.DB1Extended()
 	mq := workload.MQ4()
-	answers, _, err := engine.FindRules(db, mq, engine.Options{Type: core.Type2})
+	answers, _, err := engine.FindRulesContext(ctx, db, mq, engine.Options{Type: core.Type2})
 	if err != nil {
 		return nil, err
 	}
@@ -80,12 +81,12 @@ func runE2(bool) (*Result, error) {
 
 // runE3 reproduces the §2.2 cover example: the type-2 instantiation
 // UsCa(X,Z) <- UsPT(X,H) of I(X) <- O(X) scores cover 1.
-func runE3(bool) (*Result, error) {
+func runE3(ctx context.Context, _ bool) (*Result, error) {
 	res := &Result{ID: "E3", Title: "§2.2: cover example I(X) <- O(X)",
 		Header: []string{"rule", "cvr"}}
 	db := workload.DB1()
 	mq := core.MustParse("I(X) <- O(X)")
-	answers, _, err := engine.FindRules(db, mq, engine.Options{
+	answers, _, err := engine.FindRulesContext(ctx, db, mq, engine.Options{
 		Type:       core.Type2,
 		Thresholds: core.SingleIndex(core.Cvr, rat.New(99, 100)),
 	})
@@ -110,7 +111,7 @@ func runE3(bool) (*Result, error) {
 // runE15 reproduces Figure 3 / Examples 4.3 and 4.5: the join tree of
 // {P(A,B), Q(B,C), R(C,D)} and its two-half full reducer, verified to
 // reduce a concrete database to the projections of the full join.
-func runE15(bool) (*Result, error) {
+func runE15(ctx context.Context, _ bool) (*Result, error) {
 	res := &Result{ID: "E15", Title: "Figure 3 / Examples 4.3, 4.5: join tree and full reducer",
 		Header: []string{"half", "step"}}
 	h := hypergraph.New([]string{"A", "B"}, []string{"B", "C"}, []string{"C", "D"})
@@ -172,7 +173,7 @@ func runE15(bool) (*Result, error) {
 
 // runE16 reproduces Examples 4.8/4.10: the hypertree decomposition of
 // Qex = {P(A,B), Q(B,C), R(C,D), S(B,D)} has width exactly 2.
-func runE16(bool) (*Result, error) {
+func runE16(ctx context.Context, _ bool) (*Result, error) {
 	res := &Result{ID: "E16", Title: "Examples 4.8/4.10: hypertree decomposition of Qex",
 		Header: []string{"node", "chi", "lambda"}}
 	names := []string{"P(A,B)", "Q(B,C)", "R(C,D)", "S(B,D)"}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -70,8 +71,9 @@ func (r *Result) String() string {
 }
 
 // Runner is an experiment implementation. quick trims instance sizes for
-// benchmark-time runs.
-type Runner func(quick bool) (*Result, error)
+// benchmark-time runs; ctx bounds the engine and decision searches the
+// experiment performs.
+type Runner func(ctx context.Context, quick bool) (*Result, error)
 
 var registry = map[string]Runner{
 	"E1":  runE1,
@@ -114,11 +116,17 @@ func IDs() []string {
 
 // Run executes one experiment by ID.
 func Run(id string, quick bool) (*Result, error) {
+	return RunContext(context.Background(), id, quick)
+}
+
+// RunContext is Run bounded by ctx: the experiment's searches stop with
+// ctx.Err() when ctx is cancelled or its deadline passes.
+func RunContext(ctx context.Context, id string, quick bool) (*Result, error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
-	return r(quick)
+	return r(ctx, quick)
 }
 
 // timeIt measures fn's wall-clock duration.

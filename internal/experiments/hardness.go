@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -14,7 +15,7 @@ import (
 // runE4 reproduces Figure 5 row 1 (Theorem 3.21): the 3-COLORING reduction
 // decides graph colorability through metaquerying, for every index and
 // instantiation type, on fixed and random graphs.
-func runE4(quick bool) (*Result, error) {
+func runE4(ctx context.Context, quick bool) (*Result, error) {
 	res := &Result{ID: "E4", Title: "Thm 3.21 / Fig.5 row 1: 3-COLORING -> <DB,MQ,I,0,T>",
 		Header: []string{"graph", "3-colorable", "reduction says", "agree", "time"}}
 	type namedGraph struct {
@@ -49,7 +50,7 @@ func runE4(quick bool) (*Result, error) {
 		var got bool
 		dur, err := timeIt(func() error {
 			var derr error
-			got, _, derr = core.Decide(red.DB, red.MQ, core.Sup, rat.Zero, core.Type0)
+			got, _, derr = core.DecideContext(ctx, red.DB, red.MQ, core.Sup, rat.Zero, core.Type0)
 			return derr
 		})
 		if err != nil {
@@ -66,7 +67,7 @@ func runE4(quick bool) (*Result, error) {
 
 // runE5 reproduces Theorem 3.24 / Figure 5 row 2: strict thresholds above 0
 // for sup behave exactly at the boundary of the true index value.
-func runE5(bool) (*Result, error) {
+func runE5(ctx context.Context, _ bool) (*Result, error) {
 	res := &Result{ID: "E5", Title: "Thm 3.24 / Fig.5 row 2: strict thresholds for sup/cvr",
 		Header: []string{"graph", "exact sup", "k just below", "k = sup", "pass"}}
 	pass := true
@@ -75,7 +76,7 @@ func runE5(bool) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		answers, err := core.NaiveAnswers(red.DB, red.MQ, core.Type0, core.Thresholds{})
+		answers, err := core.NaiveAnswersContext(ctx, red.DB, red.MQ, core.Type0, core.Thresholds{})
 		if err != nil {
 			return nil, err
 		}
@@ -87,11 +88,11 @@ func runE5(bool) (*Result, error) {
 			continue
 		}
 		justBelow := rat.New(sup.Num()*2-1, sup.Den()*2)
-		yesBelow, _, err := core.Decide(red.DB, red.MQ, core.Sup, justBelow, core.Type0)
+		yesBelow, _, err := core.DecideContext(ctx, red.DB, red.MQ, core.Sup, justBelow, core.Type0)
 		if err != nil {
 			return nil, err
 		}
-		yesAt, _, err := core.Decide(red.DB, red.MQ, core.Sup, sup, core.Type0)
+		yesAt, _, err := core.DecideContext(ctx, red.DB, red.MQ, core.Sup, sup, core.Type0)
 		if err != nil {
 			return nil, err
 		}
@@ -107,19 +108,19 @@ func runE5(bool) (*Result, error) {
 
 // runE6 reproduces Theorem 3.28 / Figure 5 row 3 (type-0): the ∃C-3SAT
 // reduction to confidence thresholds agrees with brute force.
-func runE6(quick bool) (*Result, error) {
-	return runExistsCSAT("E6", "Thm 3.28 / Fig.5 row 3: ∃C-3SAT -> cnf threshold (type-0)",
+func runE6(ctx context.Context, quick bool) (*Result, error) {
+	return runExistsCSAT(ctx, "E6", "Thm 3.28 / Fig.5 row 3: ∃C-3SAT -> cnf threshold (type-0)",
 		reductions.VariantType0, []core.InstType{core.Type0}, quick)
 }
 
 // runE7 reproduces Theorem 3.29: the type-1/2 variant of the ∃C-3SAT
 // reduction.
-func runE7(quick bool) (*Result, error) {
-	return runExistsCSAT("E7", "Thm 3.29: ∃C-3SAT -> cnf threshold (types 1,2)",
+func runE7(ctx context.Context, quick bool) (*Result, error) {
+	return runExistsCSAT(ctx, "E7", "Thm 3.29: ∃C-3SAT -> cnf threshold (types 1,2)",
 		reductions.VariantType12, []core.InstType{core.Type1, core.Type2}, quick)
 }
 
-func runExistsCSAT(id, title string, variant reductions.ExistsCSATVariant, types []core.InstType, quick bool) (*Result, error) {
+func runExistsCSAT(ctx context.Context, id, title string, variant reductions.ExistsCSATVariant, types []core.InstType, quick bool) (*Result, error) {
 	res := &Result{ID: id, Title: title,
 		Header: []string{"instance", "k'", "2^h", "brute force", "type", "reduction", "agree"}}
 	n := 8
@@ -149,7 +150,7 @@ func runExistsCSAT(id, title string, variant reductions.ExistsCSATVariant, types
 			return nil, err
 		}
 		for _, typ := range types {
-			got, _, err := core.Decide(red.DB, red.MQ, core.Cnf, red.K, typ)
+			got, _, err := core.DecideContext(ctx, red.DB, red.MQ, core.Cnf, red.K, typ)
 			if err != nil {
 				return nil, err
 			}
@@ -167,7 +168,7 @@ func runExistsCSAT(id, title string, variant reductions.ExistsCSATVariant, types
 
 // runE9 reproduces Theorem 3.33 / Figure 5 row 5: the HAMILTONIAN PATH
 // reduction through acyclic metaqueries under types 1 and 2.
-func runE9(quick bool) (*Result, error) {
+func runE9(ctx context.Context, quick bool) (*Result, error) {
 	res := &Result{ID: "E9", Title: "Thm 3.33 / Fig.5 row 5: HAMPATH -> acyclic <DB,MQ,I,0,{1,2}>",
 		Header: []string{"graph", "acyclic MQ", "ham path", "type-1 says", "type-2 says", "agree"}}
 	star := graphs.New(4)
@@ -201,11 +202,11 @@ func runE9(quick bool) (*Result, error) {
 			return nil, err
 		}
 		acyclic := red.MQ.IsAcyclic()
-		got1, _, err := core.Decide(red.DB, red.MQ, core.Sup, rat.Zero, core.Type1)
+		got1, _, err := core.DecideContext(ctx, red.DB, red.MQ, core.Sup, rat.Zero, core.Type1)
 		if err != nil {
 			return nil, err
 		}
-		got2, _, err := core.Decide(red.DB, red.MQ, core.Sup, rat.Zero, core.Type2)
+		got2, _, err := core.DecideContext(ctx, red.DB, red.MQ, core.Sup, rat.Zero, core.Type2)
 		if err != nil {
 			return nil, err
 		}
@@ -220,7 +221,7 @@ func runE9(quick bool) (*Result, error) {
 
 // runE10 reproduces Theorem 3.34 / Figure 5 row 7: thresholds above 0 on
 // the acyclic HAMPATH metaquery, strict at the boundary.
-func runE10(bool) (*Result, error) {
+func runE10(ctx context.Context, _ bool) (*Result, error) {
 	res := &Result{ID: "E10", Title: "Thm 3.34 / Fig.5 row 7: acyclic, types 1-2, k > 0",
 		Header: []string{"graph", "max cvr", "YES below", "YES at max", "pass"}}
 	pass := true
@@ -229,7 +230,7 @@ func runE10(bool) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		answers, err := core.NaiveAnswers(red.DB, red.MQ, core.Type1, core.Thresholds{})
+		answers, err := core.NaiveAnswersContext(ctx, red.DB, red.MQ, core.Type1, core.Thresholds{})
 		if err != nil {
 			return nil, err
 		}
@@ -241,11 +242,11 @@ func runE10(bool) (*Result, error) {
 			continue
 		}
 		justBelow := rat.New(best.Num()*2-1, best.Den()*2)
-		yesBelow, _, err := core.Decide(red.DB, red.MQ, core.Cvr, justBelow, core.Type1)
+		yesBelow, _, err := core.DecideContext(ctx, red.DB, red.MQ, core.Cvr, justBelow, core.Type1)
 		if err != nil {
 			return nil, err
 		}
-		yesAt, _, err := core.Decide(red.DB, red.MQ, core.Cvr, best, core.Type1)
+		yesAt, _, err := core.DecideContext(ctx, red.DB, red.MQ, core.Cvr, best, core.Type1)
 		if err != nil {
 			return nil, err
 		}
@@ -260,7 +261,7 @@ func runE10(bool) (*Result, error) {
 
 // runE11 reproduces Theorem 3.35 / Figure 5 row 9: the semi-acyclic type-0
 // 3-COLORING reduction.
-func runE11(quick bool) (*Result, error) {
+func runE11(ctx context.Context, quick bool) (*Result, error) {
 	res := &Result{ID: "E11", Title: "Thm 3.35 / Fig.5 row 9: semi-acyclic type-0 3-COLORING",
 		Header: []string{"graph", "semi-acyclic", "acyclic", "3-colorable", "reduction", "agree"}}
 	cases := map[string]*graphs.Graph{
@@ -292,7 +293,7 @@ func runE11(quick bool) (*Result, error) {
 		}
 		semi := red.MQ.IsSemiAcyclic()
 		acyc := red.MQ.IsAcyclic()
-		got, _, err := core.Decide(red.DB, red.MQ, core.Cnf, rat.Zero, core.Type0)
+		got, _, err := core.DecideContext(ctx, red.DB, red.MQ, core.Cnf, rat.Zero, core.Type0)
 		if err != nil {
 			return nil, err
 		}
@@ -310,7 +311,7 @@ func runE11(quick bool) (*Result, error) {
 
 // runE12 reproduces Proposition 3.26: the 3SAT -> BCQ transformation is
 // parsimonious: #BCQ equals #SAT over the occurring variables.
-func runE12(quick bool) (*Result, error) {
+func runE12(ctx context.Context, quick bool) (*Result, error) {
 	res := &Result{ID: "E12", Title: "Prop 3.26: parsimonious 3SAT -> #BCQ",
 		Header: []string{"formula", "#SAT", "#BCQ", "agree"}}
 	n := 12

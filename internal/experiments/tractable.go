@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -19,7 +20,7 @@ import (
 // metaquerying reduces to acyclic BCQ over DDB; the semijoin evaluation
 // scales polynomially with the database while agreeing with the direct
 // engine.
-func runE8(quick bool) (*Result, error) {
+func runE8(ctx context.Context, quick bool) (*Result, error) {
 	res := &Result{ID: "E8", Title: "Thm 3.32 / Fig.5 row 4: acyclic type-0 via acyclic BCQ on DDB",
 		Header: []string{"|DB| tuples/rel", "direct", "reduction", "agree", "reduction time"}}
 	mq := core.MustParse("P(X,Y) <- P(Y,Z), Q(Z,W)")
@@ -34,7 +35,7 @@ func runE8(quick bool) (*Result, error) {
 	var times []time.Duration
 	for _, n := range sizes {
 		db := workload.Random{Relations: 3, Arity: 2, Tuples: n, Domain: n / 2, Seed: int64(n)}.Build()
-		want, _, err := core.Decide(db, mq, core.Cnf, rat.Zero, core.Type0)
+		want, _, err := core.DecideContext(ctx, db, mq, core.Cnf, rat.Zero, core.Type0)
 		if err != nil {
 			return nil, err
 		}
@@ -68,7 +69,7 @@ func runE8(quick bool) (*Result, error) {
 // runE13 reproduces Theorem 3.37 / Figure 5 row 10: the constructed AC0
 // circuit family matches the engine and keeps constant depth / polynomial
 // size as the domain grows.
-func runE13(quick bool) (*Result, error) {
+func runE13(ctx context.Context, quick bool) (*Result, error) {
 	res := &Result{ID: "E13", Title: "Thm 3.37 / Fig.5 row 10: AC0 circuits for k = 0",
 		Header: []string{"domain", "depth", "gates", "inputs", "agreement (25 random DBs)"}}
 	schema := circuit.Schema{{Name: "p", Arity: 2}, {Name: "q", Arity: 2}}
@@ -94,7 +95,7 @@ func runE13(quick bool) (*Result, error) {
 				return nil, err
 			}
 			got := circ.Eval(asn) != 0
-			want, _, err := core.Decide(db, mq, core.Cnf, rat.Zero, core.Type0)
+			want, _, err := core.DecideContext(ctx, db, mq, core.Cnf, rat.Zero, core.Type0)
 			if err != nil {
 				return nil, err
 			}
@@ -115,7 +116,7 @@ func runE13(quick bool) (*Result, error) {
 
 // runE14 reproduces Theorem 3.38 / Figure 5 row 11: the TC0-style counting
 // circuits for k > 0.
-func runE14(quick bool) (*Result, error) {
+func runE14(ctx context.Context, quick bool) (*Result, error) {
 	res := &Result{ID: "E14", Title: "Thm 3.38 / Fig.5 row 11: TC0 counting circuits for k > 0",
 		Header: []string{"index", "domain", "depth", "gates", "agreement (20 random DBs)"}}
 	schema := circuit.Schema{{Name: "p", Arity: 2}, {Name: "q", Arity: 2}}
@@ -143,7 +144,7 @@ func runE14(quick bool) (*Result, error) {
 					return nil, err
 				}
 				got := circ.Eval(asn) != 0
-				want, _, err := core.Decide(db, mq, ix, k, core.Type0)
+				want, _, err := core.DecideContext(ctx, db, mq, ix, k, core.Type0)
 				if err != nil {
 					return nil, err
 				}
@@ -166,7 +167,7 @@ func runE14(quick bool) (*Result, error) {
 // runE17 reproduces Theorem 4.12: computing sup(r) scales as d^c (up to the
 // log factor) where c is the hypertree width of the body. The fitted
 // exponent of the time curve grows with the width.
-func runE17(quick bool) (*Result, error) {
+func runE17(ctx context.Context, quick bool) (*Result, error) {
 	res := &Result{ID: "E17", Title: "Thm 4.12: sup(r) in d^c log d for hypertree width c",
 		Header: []string{"width c", "d", "sup (Thm 4.12 algo)", "agrees with naive", "fitted exponent"}}
 	sizes := []int{300, 600, 1200, 2400}
@@ -236,7 +237,7 @@ func fitExponent(sizes []int, times []float64) float64 {
 
 // runE18 reproduces Figure 4: findRules equals the naive engine and the
 // support-pruning semijoin machinery pays off on selective workloads.
-func runE18(quick bool) (*Result, error) {
+func runE18(ctx context.Context, quick bool) (*Result, error) {
 	res := &Result{ID: "E18", Title: "Figure 4: findRules vs naive enumeration",
 		Header: []string{"workload", "answers", "naive time", "findRules time", "speedup", "equal"}}
 	sizes := []int{60, 120}
@@ -251,7 +252,7 @@ func runE18(quick bool) (*Result, error) {
 		var naive []core.Answer
 		naiveDur, err := timeIt(func() error {
 			var nerr error
-			naive, nerr = core.NaiveAnswers(db, mq, core.Type0, th)
+			naive, nerr = core.NaiveAnswersContext(ctx, db, mq, core.Type0, th)
 			return nerr
 		})
 		if err != nil {
@@ -260,7 +261,7 @@ func runE18(quick bool) (*Result, error) {
 		var fast []core.Answer
 		fastDur, err := timeIt(func() error {
 			var ferr error
-			fast, _, ferr = engine.FindRules(db, mq, engine.Options{Type: core.Type0, Thresholds: th})
+			fast, _, ferr = engine.FindRulesContext(ctx, db, mq, engine.Options{Type: core.Type0, Thresholds: th})
 			return ferr
 		})
 		if err != nil {
@@ -290,7 +291,7 @@ func runE18(quick bool) (*Result, error) {
 
 // runE19 reproduces the closing analysis of Section 4: instantiation-space
 // sizes n^m' for types 0/1 and the larger type-2 space.
-func runE19(bool) (*Result, error) {
+func runE19(ctx context.Context, _ bool) (*Result, error) {
 	res := &Result{ID: "E19", Title: "§4 closing analysis: instantiation-space growth",
 		Header: []string{"relations n", "patterns m", "type-0", "type-1", "type-2"}}
 	mqByM := map[int]*core.Metaquery{
@@ -339,7 +340,7 @@ func pow(b, e int) int {
 // runE20 documents the two Figure 5 rows marked Open (acyclic, k > 0,
 // type-0 for cvr/sup; acyclic cnf): the paper leaves their exact complexity
 // open; we measure our engine's behavior on them without claiming a bound.
-func runE20(quick bool) (*Result, error) {
+func runE20(ctx context.Context, quick bool) (*Result, error) {
 	res := &Result{ID: "E20", Title: "Fig.5 rows 6/8 (Open): acyclic type-0 thresholds, measured only",
 		Header: []string{"index", "|DB| tuples/rel", "time", "answers"}}
 	sizes := []int{50, 100, 200}
@@ -352,7 +353,7 @@ func runE20(quick bool) (*Result, error) {
 			db := workload.Random{Relations: 3, Arity: 2, Tuples: n, Domain: n / 3, Seed: int64(n)}.Build()
 			var count int
 			dur, err := timeIt(func() error {
-				answers, _, ferr := engine.FindRules(db, mq, engine.Options{
+				answers, _, ferr := engine.FindRulesContext(ctx, db, mq, engine.Options{
 					Type:       core.Type0,
 					Thresholds: core.SingleIndex(ix, rat.New(1, 4)),
 				})

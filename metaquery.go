@@ -32,9 +32,37 @@
 //
 // Each answer is an ordinary Horn rule (e.g. "speaks(X,Z) <- citizen(X,Y),
 // language(Y,Z)") with its exact support, confidence and cover.
+//
+// # Sessions, preparation and streaming
+//
+// Metaquerying is interactive: many queries are asked of one database, and
+// the instantiation space of a single query can be exponential. The
+// Engine/Prepared API (modeled on database/sql's DB/Stmt pair) amortizes
+// the per-database and per-query preprocessing and keeps runaway searches
+// controllable:
+//
+//	eng := metaquery.NewEngine(db)        // per-database indices, built once
+//	prep, err := eng.Prepare(mq, opts)    // per-query analysis, done once
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+//	defer cancel()
+//	answers, err := prep.FindRules(ctx)   // full sorted answer set
+//
+//	for a, err := range prep.Stream(ctx) { // incremental, discovery order
+//	    if err != nil { ... }              // in-band search/ctx error
+//	    use(a)
+//	    break // abandoning the loop abandons the remaining search
+//	}
+//
+// Every free-function entry point (FindRules, Decide, NaiveFindRules,
+// DecideParallel) remains available as a thin wrapper over a one-shot
+// Engine, together with a context-aware variant (FindRulesContext,
+// DecideContext, ...) that stops promptly with ctx.Err() on cancellation.
 package metaquery
 
 import (
+	"context"
+
 	"github.com/mqgo/metaquery/internal/core"
 	"github.com/mqgo/metaquery/internal/engine"
 	"github.com/mqgo/metaquery/internal/rat"
@@ -151,28 +179,29 @@ func SingleIndex(ix Index, k Rat) Thresholds { return core.SingleIndex(ix, k) }
 
 // FindRules answers mq over db with the findRules algorithm (Figure 4 of
 // the paper): all instantiations whose indices pass the thresholds, with
-// exact index values, sorted by rule text.
+// exact index values, sorted by rule text. It is a thin wrapper over a
+// one-shot Engine; see FindRulesContext for cancellation and NewEngine /
+// Engine.Prepare for amortizing repeated queries.
 func FindRules(db *Database, mq *Metaquery, opt Options) ([]Answer, error) {
-	answers, _, err := engine.FindRules(db, mq, opt)
-	return answers, err
+	return FindRulesContext(context.Background(), db, mq, opt)
 }
 
 // FindRulesStats is FindRules returning the engine's search counters.
 func FindRulesStats(db *Database, mq *Metaquery, opt Options) ([]Answer, *Stats, error) {
-	return engine.FindRules(db, mq, opt)
+	return FindRulesStatsContext(context.Background(), db, mq, opt)
 }
 
 // NaiveFindRules answers mq by exhaustive enumeration and direct index
 // evaluation: the reference implementation the engine is tested against.
 func NaiveFindRules(db *Database, mq *Metaquery, typ InstType, th Thresholds) ([]Answer, error) {
-	return core.NaiveAnswers(db, mq, typ, th)
+	return NaiveFindRulesContext(context.Background(), db, mq, typ, th)
 }
 
 // Decide solves the decision problem ⟨DB, MQ, I, k, T⟩ of the paper: is
 // there a type-T instantiation with I(σ(MQ)) > k? It returns a witness
 // instantiation on YES.
 func Decide(db *Database, mq *Metaquery, ix Index, k Rat, typ InstType) (bool, *Instantiation, error) {
-	return core.Decide(db, mq, ix, k, typ)
+	return DecideContext(context.Background(), db, mq, ix, k, typ)
 }
 
 // Top returns the k highest-ranked answers by the given index (descending,
@@ -185,7 +214,7 @@ func Top(answers []Answer, by Index, k int) []Answer {
 // instantiation space (see the paper's Section 5 parallelizability remark);
 // workers <= 0 selects GOMAXPROCS.
 func DecideParallel(db *Database, mq *Metaquery, ix Index, k Rat, typ InstType, workers int) (bool, *Instantiation, error) {
-	return core.DecideParallel(db, mq, ix, k, typ, workers)
+	return DecideParallelContext(context.Background(), db, mq, ix, k, typ, workers)
 }
 
 // Support computes sup(r) over db (Definition 2.7).

@@ -1,0 +1,63 @@
+package metaquery
+
+import (
+	"context"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/engine"
+)
+
+// Engine is a reusable metaquerying session bound to one database,
+// analogous to database/sql's *DB: it builds and caches the per-database
+// structures every search consults (relation indices, arity/candidate
+// buckets, materialized atom tables) once, and shares them across all
+// queries prepared on it. Safe for concurrent use; the database must not
+// be modified while the Engine is in use.
+type Engine = engine.Engine
+
+// Prepared is a metaquery analyzed once — validation, hypertree
+// decomposition, scheme ordering — and executable many times against its
+// Engine's database, analogous to database/sql's *Stmt. Safe for
+// concurrent use.
+//
+// Execute with FindRules / FindRulesStats (full sorted answer set) or
+// Stream / StreamStats (incremental answers in discovery order; breaking
+// out of the loop abandons the remaining search).
+type Prepared = engine.Prepared
+
+// NewEngine builds a reusable session over db. Use eng.Prepare(mq, opt) to
+// analyze a metaquery once and execute it many times, eng.FindRules for
+// one-shot queries that still share the database caches, and eng.Decide
+// for engine-accelerated decision problems.
+func NewEngine(db *Database) *Engine { return engine.NewEngine(db) }
+
+// FindRulesContext is FindRules bounded by ctx: the search stops promptly
+// with ctx.Err() when ctx is cancelled or its deadline passes.
+func FindRulesContext(ctx context.Context, db *Database, mq *Metaquery, opt Options) ([]Answer, error) {
+	return engine.NewEngine(db).FindRules(ctx, mq, opt)
+}
+
+// FindRulesStatsContext is FindRulesContext returning the engine's search
+// counters.
+func FindRulesStatsContext(ctx context.Context, db *Database, mq *Metaquery, opt Options) ([]Answer, *Stats, error) {
+	return engine.FindRulesContext(ctx, db, mq, opt)
+}
+
+// NaiveFindRulesContext is NaiveFindRules bounded by ctx: enumeration
+// stops promptly with ctx.Err() when ctx is cancelled or its deadline
+// passes.
+func NaiveFindRulesContext(ctx context.Context, db *Database, mq *Metaquery, typ InstType, th Thresholds) ([]Answer, error) {
+	return core.NaiveAnswersContext(ctx, db, mq, typ, th)
+}
+
+// DecideContext is Decide bounded by ctx: enumeration stops promptly with
+// ctx.Err() when ctx is cancelled or its deadline passes.
+func DecideContext(ctx context.Context, db *Database, mq *Metaquery, ix Index, k Rat, typ InstType) (bool, *Instantiation, error) {
+	return core.DecideContext(ctx, db, mq, ix, k, typ)
+}
+
+// DecideParallelContext is DecideParallel bounded by ctx: all workers stop
+// promptly with ctx.Err() when ctx is cancelled or its deadline passes.
+func DecideParallelContext(ctx context.Context, db *Database, mq *Metaquery, ix Index, k Rat, typ InstType, workers int) (bool, *Instantiation, error) {
+	return core.DecideParallelContext(ctx, db, mq, ix, k, typ, workers)
+}
