@@ -6,26 +6,33 @@
 //
 // Usage:
 //
-//	mqbench               # run all experiments
-//	mqbench -exp E4       # run one experiment
-//	mqbench -quick        # smaller instances (CI-speed)
-//	mqbench -timeout 30s  # bound the whole suite's wall-clock
+//	mqbench                    # run all experiments
+//	mqbench -exp E4            # run one experiment
+//	mqbench -quick             # smaller instances (CI-speed)
+//	mqbench -timeout 30s       # bound the whole suite's wall-clock
+//	mqbench -json              # machine-readable per-experiment records on stdout
+//	mqbench -bench-out FILE    # additionally write the JSON records to FILE
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"github.com/mqgo/metaquery/internal/experiments"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment ID (e.g. E4); empty = all")
-		quick   = flag.Bool("quick", false, "use smaller instances")
-		timeout = flag.Duration("timeout", 0, "bound the suite wall-clock, e.g. 30s (0 = none)")
+		exp      = flag.String("exp", "", "experiment ID (e.g. E4); empty = all")
+		quick    = flag.Bool("quick", false, "use smaller instances")
+		timeout  = flag.Duration("timeout", 0, "bound the suite wall-clock, e.g. 30s (0 = none)")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON records instead of tables")
+		benchOut = flag.String("bench-out", "", "write the JSON records to FILE (independent of -json)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -34,36 +41,108 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := runCtx(ctx, *exp, *quick); err != nil {
+	if err := runCtx(ctx, *exp, *quick, *jsonOut, *benchOut); err != nil {
 		fmt.Fprintln(os.Stderr, "mqbench:", err)
 		os.Exit(1)
 	}
 }
 
-// run executes without a time bound; runCtx is the full CLI entry point.
-func run(exp string, quick bool) error {
-	return runCtx(context.Background(), exp, quick)
+// benchRecord is the machine-readable per-experiment record emitted by
+// -json / -bench-out, the unit of the repo's recorded perf trajectory
+// (BENCH_*.json): what ran, whether it reproduced, how long it took, and
+// how allocation-heavy it was.
+type benchRecord struct {
+	Name       string     `json:"name"`
+	Title      string     `json:"title"`
+	Pass       bool       `json:"pass"`
+	WallMS     float64    `json:"wall_ms"`
+	Allocs     uint64     `json:"allocs"`
+	AllocBytes uint64     `json:"alloc_bytes"`
+	Header     []string   `json:"header,omitempty"`
+	Rows       [][]string `json:"rows,omitempty"`
+	Notes      []string   `json:"notes,omitempty"`
 }
 
-func runCtx(ctx context.Context, exp string, quick bool) error {
+// run executes without a time bound; runCtx is the full CLI entry point.
+func run(exp string, quick bool) error {
+	return runCtx(context.Background(), exp, quick, false, "")
+}
+
+func runCtx(ctx context.Context, exp string, quick, jsonOut bool, benchOut string) error {
 	ids := experiments.IDs()
 	if exp != "" {
 		ids = []string{exp}
 	}
+	record := jsonOut || benchOut != ""
+	records := make([]benchRecord, 0, len(ids))
+	// Records accumulated before a mid-suite error (e.g. the -timeout
+	// deadline firing) are still flushed: the perf trajectory of the
+	// experiments that did finish is exactly what -bench-out is for.
+	flush := func() error {
+		if !record || len(records) == 0 {
+			// Never clobber a previously recorded trajectory file with an
+			// empty list (e.g. a typo'd -exp ID erroring before any record).
+			return nil
+		}
+		blob, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			fmt.Println(string(blob))
+		}
+		if benchOut != "" {
+			if err := os.WriteFile(benchOut, append(blob, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	failed := 0
 	for _, id := range ids {
+		var before runtime.MemStats
+		if record {
+			runtime.ReadMemStats(&before)
+		}
+		start := time.Now()
 		res, err := experiments.RunContext(ctx, id, quick)
+		wall := time.Since(start)
 		if err != nil {
+			if ferr := flush(); ferr != nil {
+				return fmt.Errorf("%s: %w (flushing records: %v)", id, err, ferr)
+			}
 			return fmt.Errorf("%s: %w", id, err)
 		}
-		fmt.Println(res)
+		if record {
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			records = append(records, benchRecord{
+				Name:       res.ID,
+				Title:      res.Title,
+				Pass:       res.Pass,
+				WallMS:     float64(wall.Microseconds()) / 1e3,
+				Allocs:     after.Mallocs - before.Mallocs,
+				AllocBytes: after.TotalAlloc - before.TotalAlloc,
+				Header:     res.Header,
+				Rows:       res.Rows,
+				Notes:      res.Notes,
+			})
+		}
+		if !jsonOut {
+			fmt.Println(res)
+		}
 		if !res.Pass {
 			failed++
 		}
 	}
+	if err := flush(); err != nil {
+		return err
+	}
 	if failed > 0 {
 		return fmt.Errorf("%d experiment(s) failed", failed)
 	}
-	fmt.Printf("all %d experiments passed\n", len(ids))
+	if !jsonOut {
+		fmt.Printf("all %d experiments passed\n", len(ids))
+	}
 	return nil
 }

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunSingleExperimentQuick(t *testing.T) {
 	if err := run("E1", true); err != nil {
@@ -11,6 +17,28 @@ func TestRunSingleExperimentQuick(t *testing.T) {
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run("E999", true); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestBenchOutWritesRecords(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := runCtx(context.Background(), "E1", true, false, out); err != nil {
+		t.Fatalf("runCtx with -bench-out: %v", err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("reading bench-out file: %v", err)
+	}
+	var records []benchRecord
+	if err := json.Unmarshal(blob, &records); err != nil {
+		t.Fatalf("bench-out is not valid JSON: %v", err)
+	}
+	if len(records) != 1 {
+		t.Fatalf("got %d records, want 1", len(records))
+	}
+	r := records[0]
+	if r.Name != "E1" || !r.Pass || r.WallMS <= 0 || r.Allocs == 0 {
+		t.Errorf("record fields unpopulated: %+v", r)
 	}
 }
 

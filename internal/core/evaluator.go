@@ -1,0 +1,183 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// Evaluator computes plausibility indices over one database through two
+// caches shared across rule evaluations: the FromAtom materializations
+// (keyed by atom text) and the compiled join plans (keyed by atom-set
+// shape). The instantiation searches (NaiveAnswers, Decide, DecideParallel)
+// evaluate thousands of rules whose atoms and join shapes repeat constantly;
+// holding one Evaluator per search turns those repeats into cache hits
+// instead of fresh relation scans and join-order analyses.
+//
+// An Evaluator snapshots nothing: it reads the database lazily, so the
+// database must not be modified while the Evaluator is in use. All methods
+// are safe for concurrent use.
+type Evaluator struct {
+	db *relation.Database
+
+	mu    sync.RWMutex
+	atoms map[string]*relation.Table
+	plans *relation.PlanCache
+}
+
+// NewEvaluator returns an empty-cached evaluator over db.
+func NewEvaluator(db *relation.Database) *Evaluator {
+	return &Evaluator{
+		db:    db,
+		atoms: make(map[string]*relation.Table),
+		plans: relation.NewPlanCache(),
+	}
+}
+
+// Database returns the database the evaluator is bound to.
+func (ev *Evaluator) Database() *relation.Database { return ev.db }
+
+// TableFor returns the materialization of atom a (relation.FromAtom), cached
+// across evaluations. The result is shared: callers must not modify it.
+func (ev *Evaluator) TableFor(a relation.Atom) (*relation.Table, error) {
+	k := a.String()
+	ev.mu.RLock()
+	t, ok := ev.atoms[k]
+	ev.mu.RUnlock()
+	if ok {
+		return t, nil
+	}
+	t, err := relation.FromAtom(ev.db, a)
+	if err != nil {
+		return nil, err
+	}
+	t = t.Compact() // cached for the evaluator's lifetime; don't pin the scan-sized arena
+	ev.mu.Lock()
+	if prev, ok := ev.atoms[k]; ok {
+		t = prev // another goroutine won the race; keep one canonical table
+	} else {
+		ev.atoms[k] = t
+	}
+	ev.mu.Unlock()
+	return t, nil
+}
+
+// Join computes J(R) for the atom set R through a compiled join plan: the
+// per-atom tables come from the TableFor cache and the join order and column
+// bookkeeping from the plan cache, so repeated shapes pay only the
+// build/probe passes. The result must be treated as immutable (single-atom
+// joins return the cached atom table itself).
+func (ev *Evaluator) Join(atoms []relation.Atom) (*relation.Table, error) {
+	if len(atoms) == 0 {
+		return relation.Unit(), nil
+	}
+	tables := make([]*relation.Table, len(atoms))
+	schemas := make([][]string, len(atoms))
+	for i, a := range atoms {
+		t, err := ev.TableFor(a)
+		if err != nil {
+			return nil, err
+		}
+		tables[i] = t
+		schemas[i] = t.Vars()
+	}
+	return ev.plans.For(schemas).Run(tables)
+}
+
+// Fraction computes R ↑ S of Definition 2.6 (see the package-level Fraction)
+// through the evaluator's caches.
+func (ev *Evaluator) Fraction(r, s []relation.Atom) (rat.Rat, error) {
+	jr, err := ev.Join(r)
+	if err != nil {
+		return rat.Zero, err
+	}
+	return ev.fractionOf(jr, s)
+}
+
+// fractionOf finishes R ↑ S given jr = J(R) already materialized. J(S) is
+// not materialized when jr is empty (the fraction is 0 regardless).
+func (ev *Evaluator) fractionOf(jr *relation.Table, s []relation.Atom) (rat.Rat, error) {
+	if jr.Empty() {
+		return rat.Zero, nil
+	}
+	js, err := ev.Join(s)
+	if err != nil {
+		return rat.Zero, err
+	}
+	return tableFraction(jr, js), nil
+}
+
+// tableFraction computes |jr ⋉ js| / |jr| with the Definition 2.6 zero
+// conventions (0 when either the denominator or the numerator is 0), given
+// both joins materialized. It is the single implementation behind every
+// fraction the evaluator reports.
+func tableFraction(jr, js *relation.Table) rat.Rat {
+	if jr.Empty() {
+		return rat.Zero
+	}
+	num := jr.SemijoinCount(js)
+	if num == 0 {
+		return rat.Zero
+	}
+	return rat.New(int64(num), int64(jr.Len()))
+}
+
+// supportOf computes max_{a ∈ body} |J({a}) ⋉ jb| / |J({a})| given the body
+// join jb already materialized.
+func (ev *Evaluator) supportOf(body []relation.Atom, jb *relation.Table) (rat.Rat, error) {
+	best := rat.Zero
+	for _, a := range body {
+		ja, err := ev.TableFor(a)
+		if err != nil {
+			return rat.Zero, err
+		}
+		best = rat.Max(best, tableFraction(ja, jb))
+	}
+	return best, nil
+}
+
+// Confidence computes cnf(r) = b(r) ↑ h(r) (Definition 2.7).
+func (ev *Evaluator) Confidence(r Rule) (rat.Rat, error) {
+	return ev.Fraction(r.BodyAtoms(), r.HeadAtoms())
+}
+
+// Cover computes cvr(r) = h(r) ↑ b(r) (Definition 2.7).
+func (ev *Evaluator) Cover(r Rule) (rat.Rat, error) {
+	return ev.Fraction(r.HeadAtoms(), r.BodyAtoms())
+}
+
+// Support computes sup(r) = max_{a ∈ b(r)} ({a} ↑ b(r)) (Definition 2.7).
+// The body join J(b(r)) is materialized once and shared by every per-atom
+// fraction, instead of once per body atom.
+func (ev *Evaluator) Support(r Rule) (rat.Rat, error) {
+	body := r.BodyAtoms()
+	jb, err := ev.Join(body)
+	if err != nil {
+		return rat.Zero, err
+	}
+	return ev.supportOf(body, jb)
+}
+
+// Indices computes all three plausibility indices of r, materializing the
+// body join J(b(r)) and head join J(h(r)) once each and sharing them: sup
+// probes J(b(r)) per body atom, cnf is |J(b) ⋉ J(h)| / |J(b)| and cvr is
+// |J(h) ⋉ J(b)| / |J(h)|.
+func (ev *Evaluator) Indices(r Rule) (sup, cnf, cvr rat.Rat, err error) {
+	body, head := r.BodyAtoms(), r.HeadAtoms()
+	jb, err := ev.Join(body)
+	if err != nil {
+		return
+	}
+	jh, err := ev.Join(head)
+	if err != nil {
+		return
+	}
+	sup, err = ev.supportOf(body, jb)
+	if err != nil {
+		return
+	}
+	cnf = tableFraction(jb, jh)
+	cvr = tableFraction(jh, jb)
+	return
+}

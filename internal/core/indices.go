@@ -14,51 +14,31 @@ import (
 // defined as 0 whenever the numerator is 0. Because att(R) covers every
 // column of J(R), the projection of the join onto att(R) equals the
 // semijoin J(R) ⋉ J(S), which is how it is computed.
+//
+// The free functions evaluate through a transient Evaluator; callers
+// computing indices for many rules over one database should hold a
+// NewEvaluator and use its methods so atom tables and join plans are reused.
 func Fraction(db *relation.Database, r, s []relation.Atom) (rat.Rat, error) {
-	jr, err := relation.JoinAtoms(db, r)
-	if err != nil {
-		return rat.Zero, err
-	}
-	if jr.Empty() {
-		return rat.Zero, nil
-	}
-	js, err := relation.JoinAtoms(db, s)
-	if err != nil {
-		return rat.Zero, err
-	}
-	num := jr.Semijoin(js).Len()
-	if num == 0 {
-		return rat.Zero, nil
-	}
-	return rat.New(int64(num), int64(jr.Len())), nil
+	return NewEvaluator(db).Fraction(r, s)
 }
 
 // Confidence computes cnf(r) = b(r) ↑ h(r): the fraction of body-satisfying
 // assignments that also satisfy the head (Definition 2.7).
 func Confidence(db *relation.Database, r Rule) (rat.Rat, error) {
-	return Fraction(db, r.BodyAtoms(), r.HeadAtoms())
+	return NewEvaluator(db).Confidence(r)
 }
 
 // Cover computes cvr(r) = h(r) ↑ b(r): the fraction of head tuples implied
 // by the body (Definition 2.7).
 func Cover(db *relation.Database, r Rule) (rat.Rat, error) {
-	return Fraction(db, r.HeadAtoms(), r.BodyAtoms())
+	return NewEvaluator(db).Cover(r)
 }
 
 // Support computes sup(r) = max_{a ∈ b(r)} ({a} ↑ b(r)): the largest
 // fraction, over the body relations, of tuples participating in the body
 // join (Definition 2.7).
 func Support(db *relation.Database, r Rule) (rat.Rat, error) {
-	body := r.BodyAtoms()
-	best := rat.Zero
-	for _, a := range body {
-		f, err := Fraction(db, []relation.Atom{a}, body)
-		if err != nil {
-			return rat.Zero, err
-		}
-		best = rat.Max(best, f)
-	}
-	return best, nil
+	return NewEvaluator(db).Support(r)
 }
 
 // Index identifies one of the paper's plausibility indices; the set
@@ -91,15 +71,21 @@ func (ix Index) String() string {
 	}
 }
 
-// Compute evaluates the index on rule r over db.
+// Compute evaluates the index on rule r over db through a transient
+// Evaluator; hot loops should hold one Evaluator and use ComputeEval.
 func (ix Index) Compute(db *relation.Database, r Rule) (rat.Rat, error) {
+	return ix.ComputeEval(NewEvaluator(db), r)
+}
+
+// ComputeEval evaluates the index on rule r through ev's caches.
+func (ix Index) ComputeEval(ev *Evaluator, r Rule) (rat.Rat, error) {
 	switch ix {
 	case Sup:
-		return Support(db, r)
+		return ev.Support(r)
 	case Cnf:
-		return Confidence(db, r)
+		return ev.Confidence(r)
 	case Cvr:
-		return Cover(db, r)
+		return ev.Cover(r)
 	default:
 		return rat.Zero, fmt.Errorf("core: unknown index %d", int(ix))
 	}

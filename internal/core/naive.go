@@ -81,21 +81,14 @@ func NaiveAnswers(db *relation.Database, mq *Metaquery, typ InstType, th Thresho
 // NaiveAnswersContext is NaiveAnswers with cancellation: enumeration stops
 // with ctx.Err() as soon as ctx is cancelled or its deadline passes.
 func NaiveAnswersContext(ctx context.Context, db *relation.Database, mq *Metaquery, typ InstType, th Thresholds) ([]Answer, error) {
+	ev := NewEvaluator(db)
 	var out []Answer
 	err := ForEachInstantiationContext(ctx, db, mq, typ, func(sigma *Instantiation) (bool, error) {
 		rule, err := sigma.Apply(mq)
 		if err != nil {
 			return false, err
 		}
-		sup, err := Support(db, rule)
-		if err != nil {
-			return false, err
-		}
-		cnf, err := Confidence(db, rule)
-		if err != nil {
-			return false, err
-		}
-		cvr, err := Cover(db, rule)
+		sup, cnf, cvr, err := ev.Indices(rule)
 		if err != nil {
 			return false, err
 		}
@@ -127,13 +120,14 @@ func Decide(db *relation.Database, mq *Metaquery, ix Index, k rat.Rat, typ InstT
 // DecideContext is Decide with cancellation: enumeration stops with
 // ctx.Err() as soon as ctx is cancelled or its deadline passes.
 func DecideContext(ctx context.Context, db *relation.Database, mq *Metaquery, ix Index, k rat.Rat, typ InstType) (bool, *Instantiation, error) {
+	ev := NewEvaluator(db)
 	var witness *Instantiation
 	err := ForEachInstantiationContext(ctx, db, mq, typ, func(sigma *Instantiation) (bool, error) {
 		rule, err := sigma.Apply(mq)
 		if err != nil {
 			return false, err
 		}
-		v, err := ix.Compute(db, rule)
+		v, err := ix.ComputeEval(ev, rule)
 		if err != nil {
 			return false, err
 		}

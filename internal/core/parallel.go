@@ -45,6 +45,9 @@ func DecideParallelContext(ctx context.Context, db *relation.Database, mq *Metaq
 	if workers > len(candidates) {
 		workers = len(candidates)
 	}
+	// One evaluator shared by all workers: the candidate atoms (and so the
+	// atom tables and join shapes) overlap heavily across blocks.
+	ev := NewEvaluator(db)
 
 	jobs := make(chan relation.Atom, len(candidates))
 	for _, a := range candidates {
@@ -105,7 +108,7 @@ func DecideParallelContext(ctx context.Context, db *relation.Database, mq *Metaq
 					if err != nil {
 						return false, err
 					}
-					v, err := ix.Compute(db, rule)
+					v, err := ix.ComputeEval(ev, rule)
 					if err != nil {
 						return false, err
 					}

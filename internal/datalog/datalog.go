@@ -136,7 +136,8 @@ func applyRule(db *relation.Database, r core.Rule) (int, error) {
 	}
 	added := 0
 	buf := make(relation.Tuple, len(pos))
-	for _, tup := range body.Tuples() {
+	for r := 0; r < body.Len(); r++ {
+		tup := body.Row(r)
 		for i, p := range pos {
 			buf[i] = tup[p]
 		}
@@ -157,7 +158,8 @@ func Consequences(original, closed *relation.Database, rel string) ([][]string, 
 	}
 	before := original.Relation(rel)
 	var out [][]string
-	for _, t := range after.Tuples() {
+	for r := 0; r < after.Len(); r++ {
+		t := after.Row(r)
 		names := make([]string, len(t))
 		for i, v := range t {
 			names[i] = closed.Dict().Name(v)

@@ -251,7 +251,10 @@ func (r *run) evalNode(node *hypertree.Node, schemeIDs []int, sigma *core.Instan
 }
 
 // nodeJoin computes π_χ(J(σ(λ(p)))) for the node's current atom
-// assignment, served from the Prepared's cross-execution join cache.
+// assignment, served from the Prepared's cross-execution join cache. On a
+// miss, the join executes through the Engine evaluator: per-atom tables
+// from the shared materialization cache, join order and column bookkeeping
+// from a plan compiled once per atom-set shape.
 func (r *run) nodeJoin(node *hypertree.Node, schemeIDs []int, sigma *core.Instantiation) (*relation.Table, error) {
 	atoms := make([]relation.Atom, 0, len(schemeIDs))
 	key := fmt.Sprintf("n%d|", node.ID)
@@ -266,7 +269,7 @@ func (r *run) nodeJoin(node *hypertree.Node, schemeIDs []int, sigma *core.Instan
 	if t, ok := r.p.cachedJoin(key); ok {
 		return t, nil
 	}
-	j, err := relation.JoinAtoms(r.p.eng.db, atoms)
+	j, err := r.p.eng.ev.Join(atoms)
 	if err != nil {
 		return nil, err
 	}

@@ -36,7 +36,7 @@ func (r *run) computeSupport(sigma *core.Instantiation, s map[int]*relation.Tabl
 		}
 		node := r.p.decomp.CoverNode[id]
 		reduced := s[node.ID].Project(bs.vars)
-		num := ra.Semijoin(reduced).Len()
+		num := ra.SemijoinCount(reduced)
 		if num == 0 {
 			continue
 		}
@@ -63,7 +63,7 @@ func (r *run) enoughSupport(sigma *core.Instantiation, s map[int]*relation.Table
 		}
 		node := r.p.decomp.CoverNode[id]
 		reduced := s[node.ID].Project(bs.vars)
-		num := ra.Semijoin(reduced).Len()
+		num := ra.SemijoinCount(reduced)
 		if num == 0 {
 			continue
 		}
@@ -95,32 +95,12 @@ func (r *run) bodyJoin(sigma *core.Instantiation, s map[int]*relation.Table) (*r
 		}
 		tables = append(tables, ta)
 	}
-	acc := relation.Unit()
-	// Join smallest-first among those sharing variables, greedily.
-	remaining := append([]*relation.Table(nil), tables...)
-	for len(remaining) > 0 {
-		pick := 0
-		for i := 1; i < len(remaining); i++ {
-			if shares(acc, remaining[i]) && !shares(acc, remaining[pick]) {
-				pick = i
-			} else if shares(acc, remaining[i]) == shares(acc, remaining[pick]) &&
-				remaining[i].Len() < remaining[pick].Len() {
-				pick = i
-			}
-		}
-		acc = acc.NaturalJoin(remaining[pick])
-		remaining = append(remaining[:pick], remaining[pick+1:]...)
+	if len(tables) == 0 {
+		return relation.Unit(), nil
 	}
-	return acc, nil
-}
-
-func shares(a, b *relation.Table) bool {
-	for _, v := range b.Vars() {
-		if a.HasVar(v) {
-			return true
-		}
-	}
-	return false
+	// Size-aware greedy ordering, shared with JoinAtoms and the JoinPlan
+	// skew fallback.
+	return relation.JoinTablesGreedy(tables), nil
 }
 
 // findHeads is Figure 4's findHeads: with the body σb fixed and reduced,
@@ -186,7 +166,7 @@ func (r *run) findHeads(sigma *core.Instantiation, s map[int]*relation.Table) er
 		// cnf = |b ⋉ h'| / |b|.
 		cnf := rat.Zero
 		if b.Len() > 0 {
-			num := b.Semijoin(hPrime).Len()
+			num := b.SemijoinCount(hPrime)
 			if num > 0 {
 				cnf = rat.New(int64(num), int64(b.Len()))
 			}

@@ -36,7 +36,10 @@ type Prepared struct {
 	headPatternIdx int
 
 	// joinCache caches π_χ(J(σ(λ))) keyed by node and atom assignment,
-	// shared by all executions of this Prepared.
+	// shared by all executions of this Prepared. Misses execute through the
+	// Engine evaluator's compiled-plan cache (one plan per node atom-set
+	// shape), so they pay only the build/probe passes, not the join-order
+	// and column analysis.
 	joinMu    sync.RWMutex
 	joinCache map[string]*relation.Table
 }
@@ -113,6 +116,7 @@ func (p *Prepared) cachedJoin(key string) (*relation.Table, bool) {
 // storeJoin records t under key and returns the canonical cached table
 // (an earlier concurrent writer's, if it lost the race).
 func (p *Prepared) storeJoin(key string, t *relation.Table) *relation.Table {
+	t = t.Compact() // cached across executions; don't pin the input-sized arena
 	p.joinMu.Lock()
 	if prev, ok := p.joinCache[key]; ok {
 		t = prev

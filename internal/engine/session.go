@@ -2,7 +2,6 @@ package engine
 
 import (
 	"context"
-	"sync"
 
 	"github.com/mqgo/metaquery/internal/core"
 	"github.com/mqgo/metaquery/internal/rat"
@@ -12,8 +11,9 @@ import (
 // Engine is a reusable metaquerying session bound to one database,
 // analogous to database/sql's *DB. It builds the per-database structures
 // every search consults — the candidate index (relations bucketed by
-// arity, memoized pattern candidates) and the materialized atom tables —
-// once, and shares them across all queries prepared on it.
+// arity, memoized pattern candidates) and the evaluator caches (FromAtom
+// materializations, compiled join plans per atom-set shape) — once, and
+// shares them across all queries prepared on it.
 //
 // An Engine is safe for concurrent use by multiple goroutines. It
 // snapshots the database at construction: the database must not be
@@ -21,18 +21,16 @@ import (
 type Engine struct {
 	db    *relation.Database
 	cands *core.CandidateIndex
-
-	mu         sync.RWMutex
-	atomTables map[string]*relation.Table // FromAtom materializations by atom text
+	ev    *core.Evaluator
 }
 
 // NewEngine builds a session over db, constructing the relation and
 // candidate indices the searches share.
 func NewEngine(db *relation.Database) *Engine {
 	return &Engine{
-		db:         db,
-		cands:      core.NewCandidateIndex(db),
-		atomTables: make(map[string]*relation.Table),
+		db:    db,
+		cands: core.NewCandidateIndex(db),
+		ev:    core.NewEvaluator(db),
 	}
 }
 
@@ -43,25 +41,7 @@ func (e *Engine) Database() *relation.Database { return e.db }
 // database, cached across all queries and executions. Tables are immutable
 // after construction, so one instance is shared freely.
 func (e *Engine) tableFor(a relation.Atom) (*relation.Table, error) {
-	k := a.String()
-	e.mu.RLock()
-	t, ok := e.atomTables[k]
-	e.mu.RUnlock()
-	if ok {
-		return t, nil
-	}
-	t, err := relation.FromAtom(e.db, a)
-	if err != nil {
-		return nil, err
-	}
-	e.mu.Lock()
-	if prev, ok := e.atomTables[k]; ok {
-		t = prev // another goroutine won the race; keep one canonical table
-	} else {
-		e.atomTables[k] = t
-	}
-	e.mu.Unlock()
-	return t, nil
+	return e.ev.TableFor(a)
 }
 
 // FindRules is the one-shot convenience over Prepare: it answers mq with

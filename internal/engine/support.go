@@ -25,14 +25,17 @@ func SupportOfRule(db *relation.Database, r core.Rule) (rat.Rat, error) {
 	decomp := hypertree.Decompose(atoms)
 	order := decomp.BottomUpOrder()
 
-	// Node tables: π_χ(J(λ)).
+	// Node tables: π_χ(J(λ)). One evaluator shares the per-atom
+	// materializations across nodes (λ sets overlap) and with the final
+	// per-relation reduction pass below.
+	ev := core.NewEvaluator(db)
 	tables := make(map[int]*relation.Table, len(order))
 	for _, n := range order {
 		lam := make([]relation.Atom, len(n.Lambda))
 		for i, id := range n.Lambda {
 			lam[i] = body[id]
 		}
-		j, err := relation.JoinAtoms(db, lam)
+		j, err := ev.Join(lam)
 		if err != nil {
 			return rat.Zero, err
 		}
@@ -56,7 +59,7 @@ func SupportOfRule(db *relation.Database, r core.Rule) (rat.Rat, error) {
 	// sup(r) = max_i |r_i ⋉ s[cover(i)]| / |r_i|.
 	best := rat.Zero
 	for i, a := range body {
-		ra, err := relation.FromAtom(db, a)
+		ra, err := ev.TableFor(a)
 		if err != nil {
 			return rat.Zero, err
 		}
@@ -65,7 +68,7 @@ func SupportOfRule(db *relation.Database, r core.Rule) (rat.Rat, error) {
 		}
 		node := decomp.CoverNode[i]
 		reduced := tables[node.ID].Project(a.Vars())
-		num := ra.Semijoin(reduced).Len()
+		num := ra.SemijoinCount(reduced)
 		if num == 0 {
 			continue
 		}

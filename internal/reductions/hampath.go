@@ -78,7 +78,7 @@ func (r *HamPath) PathFromWitness(sigma *core.Instantiation) ([]int, error) {
 	if j.Empty() {
 		return nil, fmt.Errorf("reductions: witness has empty body join")
 	}
-	tup := j.Tuples()[0]
+	tup := j.Row(0)
 	path := make([]int, r.N)
 	for i := 0; i < r.N; i++ {
 		v := fmt.Sprintf("X%d", i+1)

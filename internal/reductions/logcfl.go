@@ -43,10 +43,10 @@ func BuildAcyclicCQ(db *relation.Database, mq *core.Metaquery, ix core.Index) (*
 		rel := db.Relation(name)
 		u := ddb.Relation(uRelName(rel.Arity()))
 		nr := ddb.Dict().Intern(relConstPrefix + name)
-		for _, t := range rel.Tuples() {
+		for r := 0; r < rel.Len(); r++ {
 			row := make(relation.Tuple, rel.Arity()+1)
 			row[0] = nr
-			for i, v := range t {
+			for i, v := range rel.Row(r) {
 				row[i+1] = ddb.Dict().Intern(db.Dict().Name(v))
 			}
 			u.Insert(row)

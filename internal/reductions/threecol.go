@@ -71,7 +71,7 @@ func (r *ThreeColoring) ColoringFromWitness(g *graphs.Graph, sigma *core.Instant
 	if j.Empty() {
 		return nil, fmt.Errorf("reductions: witness instantiation has empty body join")
 	}
-	tup := j.Tuples()[0]
+	tup := j.Row(0)
 	colors := make([]int, g.N)
 	for i := range colors {
 		colors[i] = 0 // isolated nodes: any color

@@ -1,0 +1,117 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchTables builds two joinable tables a(X,Y) and b(Y,Z) with rows random
+// tuples each over a domain of rows/4 constants, so joins produce output
+// without degenerating into a cartesian product.
+func benchTables(rows int) (*Table, *Table) {
+	rng := rand.New(rand.NewSource(42))
+	dom := rows / 4
+	if dom < 2 {
+		dom = 2
+	}
+	a := NewTable([]string{"X", "Y"})
+	b := NewTable([]string{"Y", "Z"})
+	for i := 0; i < rows; i++ {
+		a.Add(Tuple{Value(rng.Intn(dom)), Value(rng.Intn(dom))})
+		b.Add(Tuple{Value(rng.Intn(dom)), Value(rng.Intn(dom))})
+	}
+	return a, b
+}
+
+// benchDB builds a chain database p(X,Y), q(Y,Z), r(Z,W) for JoinAtoms
+// benchmarks.
+func benchDB(rows int) (*Database, []Atom) {
+	db := NewDatabase()
+	rng := rand.New(rand.NewSource(7))
+	dom := rows / 4
+	if dom < 2 {
+		dom = 2
+	}
+	for _, name := range []string{"p", "q", "r"} {
+		rel := db.MustAddRelation(name, 2)
+		for i := 0; i < rows; i++ {
+			rel.Insert(Tuple{
+				db.Dict().Intern(fmt.Sprint(rng.Intn(dom))),
+				db.Dict().Intern(fmt.Sprint(rng.Intn(dom))),
+			})
+		}
+	}
+	atoms := []Atom{
+		NewAtom("p", "X", "Y"),
+		NewAtom("q", "Y", "Z"),
+		NewAtom("r", "Z", "W"),
+	}
+	return db, atoms
+}
+
+func BenchmarkNaturalJoin(b *testing.B) {
+	for _, rows := range []int{256, 1024, 4096} {
+		l, r := benchTables(rows)
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				l.NaturalJoin(r)
+			}
+		})
+	}
+}
+
+func BenchmarkSemijoin(b *testing.B) {
+	for _, rows := range []int{256, 1024, 4096} {
+		l, r := benchTables(rows)
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				l.Semijoin(r)
+			}
+		})
+	}
+}
+
+func BenchmarkTableAdd(b *testing.B) {
+	for _, rows := range []int{1024, 8192} {
+		rng := rand.New(rand.NewSource(3))
+		tuples := make([]Tuple, rows)
+		for i := range tuples {
+			tuples[i] = Tuple{Value(rng.Intn(rows / 2)), Value(rng.Intn(rows / 2)), Value(rng.Intn(rows / 2))}
+		}
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				t := NewTable([]string{"X", "Y", "Z"})
+				for _, tup := range tuples {
+					t.Add(tup)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkJoinAtomsChain(b *testing.B) {
+	for _, rows := range []int{256, 1024} {
+		db, atoms := benchDB(rows)
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := JoinAtoms(db, atoms); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkProject(b *testing.B) {
+	l, _ := benchTables(4096)
+	j := l.NaturalJoin(l.Project([]string{"Y"}))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j.Project([]string{"X"})
+	}
+}

@@ -1,0 +1,251 @@
+package relation
+
+// This file implements the columnar storage substrate shared by Relation and
+// Table: tuples live in a single flat []Value arena (row i occupies
+// data[i*width : (i+1)*width]) and set semantics are enforced by an
+// open-addressing hash set of row ids keyed by an integer FNV-1a hash of the
+// row's values. Nothing here materializes strings or clones tuples: Add
+// copies the incoming values straight into the arena and the hash set stores
+// 4-byte row references.
+
+import "math"
+
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// hashValues is FNV-1a over the 32-bit words of vals.
+func hashValues(vals []Value) uint64 {
+	h := fnvOffset64
+	for _, v := range vals {
+		h ^= uint64(uint32(v))
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// hashAt hashes row restricted to positions pos; it must agree with
+// hashValues on the projected tuple.
+func hashAt(row Tuple, pos []int) uint64 {
+	h := fnvOffset64
+	for _, p := range pos {
+		h ^= uint64(uint32(row[p]))
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// colStore is the arena + row hash set. The zero value is a usable empty
+// store of the width set by init.
+type colStore struct {
+	width int
+	data  []Value // row-major arena; nrows * width values
+	nrows int
+
+	// slots is the open-addressing row set: 0 marks an empty slot, any
+	// other value s references row s-1. len(slots) is a power of two.
+	slots []int32
+	mask  uint64
+}
+
+// init sets the row width and preallocates for capRows rows.
+func (c *colStore) init(width, capRows int) {
+	c.width = width
+	if capRows > 0 {
+		c.data = make([]Value, 0, capRows*width)
+		c.growSlots(slotsFor(capRows))
+	}
+}
+
+// slotsFor returns the power-of-two slot count that keeps n rows under the
+// 3/4 load factor.
+func slotsFor(n int) int {
+	size := 8
+	for size*3 < n*4 {
+		size *= 2
+	}
+	return size
+}
+
+func (c *colStore) growSlots(size int) {
+	c.slots = make([]int32, size)
+	c.mask = uint64(size - 1)
+	for r := 0; r < c.nrows; r++ {
+		c.insertSlot(hashValues(c.row(r)), int32(r+1))
+	}
+}
+
+// insertSlot places ref at the first free slot of its probe sequence.
+func (c *colStore) insertSlot(h uint64, ref int32) {
+	i := h & c.mask
+	for c.slots[i] != 0 {
+		i = (i + 1) & c.mask
+	}
+	c.slots[i] = ref
+}
+
+// row returns row r as a slice into the arena. The caller must not modify
+// it. Appending rows never mutates previously returned slices (the arena is
+// append-only), so held rows stay valid across later adds.
+func (c *colStore) row(r int) Tuple {
+	return c.data[r*c.width : r*c.width+c.width : r*c.width+c.width]
+}
+
+func (c *colStore) rowEqual(r int, tup Tuple) bool {
+	row := c.data[r*c.width : r*c.width+c.width]
+	for k := range row {
+		if row[k] != tup[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// add inserts tup if absent and reports whether it was new. len(tup) must
+// equal the store width.
+func (c *colStore) add(tup Tuple) bool {
+	if c.slots == nil {
+		c.growSlots(8)
+	}
+	c.checkRef()
+	h := hashValues(tup)
+	i := h & c.mask
+	for {
+		s := c.slots[i]
+		if s == 0 {
+			break
+		}
+		if c.rowEqual(int(s-1), tup) {
+			return false
+		}
+		i = (i + 1) & c.mask
+	}
+	c.data = append(c.data, tup...)
+	c.nrows++
+	c.slots[i] = int32(c.nrows)
+	if c.nrows*4 >= len(c.slots)*3 {
+		c.growSlots(len(c.slots) * 2)
+	}
+	return true
+}
+
+// addUnique appends tup without a membership probe. It is the fast path for
+// operators whose output is guaranteed duplicate-free (natural join and
+// semijoin of set-semantics inputs); the hash set is still maintained so the
+// table supports Contains and further Adds.
+func (c *colStore) addUnique(tup Tuple) {
+	if c.slots == nil {
+		c.growSlots(8)
+	}
+	c.checkRef()
+	c.data = append(c.data, tup...)
+	c.nrows++
+	c.insertSlot(hashValues(tup), int32(c.nrows))
+	if c.nrows*4 >= len(c.slots)*3 {
+		c.growSlots(len(c.slots) * 2)
+	}
+}
+
+// checkRef fails loudly when the next row id would overflow the int32 slot
+// references, instead of silently corrupting set membership.
+func (c *colStore) checkRef() {
+	if c.nrows >= math.MaxInt32 {
+		panic("relation: table exceeds 2^31-1 rows")
+	}
+}
+
+// contains reports whether tup is a row of the store.
+func (c *colStore) contains(tup Tuple) bool {
+	if c.nrows == 0 {
+		return false
+	}
+	h := hashValues(tup)
+	i := h & c.mask
+	for {
+		s := c.slots[i]
+		if s == 0 {
+			return false
+		}
+		if c.rowEqual(int(s-1), tup) {
+			return true
+		}
+		i = (i + 1) & c.mask
+	}
+}
+
+// oversized reports whether the store's preallocated storage greatly
+// exceeds what its rows need — the situation after a selective FromAtom or
+// Project preallocated for its input cardinality.
+func (c *colStore) oversized() bool {
+	return cap(c.data) > 2*len(c.data)+64 || len(c.slots) > 4*slotsFor(c.nrows)
+}
+
+// compactFrom makes c an exactly-sized copy of src.
+func (c *colStore) compactFrom(src *colStore) {
+	c.width = src.width
+	c.nrows = src.nrows
+	c.data = append(make([]Value, 0, len(src.data)), src.data...)
+	c.growSlots(slotsFor(src.nrows))
+}
+
+// cloneFrom makes c a deep copy of src.
+func (c *colStore) cloneFrom(src *colStore) {
+	c.width = src.width
+	c.nrows = src.nrows
+	c.data = append([]Value(nil), src.data...)
+	c.mask = src.mask
+	if src.slots != nil {
+		c.slots = append([]int32(nil), src.slots...)
+	}
+}
+
+// headers materializes the []Tuple view of the store: one slice header per
+// row, all pointing into the arena. One allocation, no value copies.
+func (c *colStore) headers() []Tuple {
+	out := make([]Tuple, c.nrows)
+	for r := range out {
+		out[r] = c.row(r)
+	}
+	return out
+}
+
+// chainIndex is a hash-chained row index over one table's rows projected to
+// a fixed column list: heads[h&mask] links the first row whose projection
+// hashes to h, next[r] links the following one. It is the build side of the
+// integer-keyed build/probe join operators. Chains may mix rows with equal
+// hashes but different keys; probers re-check key equality per row.
+type chainIndex struct {
+	heads []int32 // 0 = end of chain, else rowID+1
+	next  []int32
+	mask  uint64
+}
+
+// buildChainIndex indexes all rows of c on positions pos.
+func buildChainIndex(c *colStore, pos []int) chainIndex {
+	size := slotsFor(c.nrows)
+	ix := chainIndex{
+		heads: make([]int32, size),
+		next:  make([]int32, c.nrows),
+		mask:  uint64(size - 1),
+	}
+	for r := 0; r < c.nrows; r++ {
+		h := hashAt(c.row(r), pos) & ix.mask
+		ix.next[r] = ix.heads[h]
+		ix.heads[h] = int32(r + 1)
+	}
+	return ix
+}
+
+// first returns the head of the chain for hash h (0 when empty).
+func (ix *chainIndex) first(h uint64) int32 { return ix.heads[h&ix.mask] }
+
+// equalAt reports whether a[apos[k]] == b[bpos[k]] for all k.
+func equalAt(a Tuple, apos []int, b Tuple, bpos []int) bool {
+	for k, p := range apos {
+		if a[p] != b[bpos[k]] {
+			return false
+		}
+	}
+	return true
+}

@@ -89,8 +89,7 @@ func SaveCSVDir(db *Database, dir string) error {
 			return fmt.Errorf("relation: %w", err)
 		}
 		w := csv.NewWriter(f)
-		tuples := make([]Tuple, len(rel.Tuples()))
-		copy(tuples, rel.Tuples())
+		tuples := rel.Tuples() // fresh header slice; safe to sort in place
 		sort.Slice(tuples, func(i, j int) bool {
 			a, b := tuples[i], tuples[j]
 			for k := range a {

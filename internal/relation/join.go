@@ -23,7 +23,7 @@ func FromAtom(db *Database, a Atom) (*Table, error) {
 			a.String(), len(a.Terms), a.Pred, r.Arity())
 	}
 	vars := a.Vars()
-	out := NewTable(vars)
+	out := NewTableCap(vars, r.Len())
 	firstPos := make(map[string]int, len(vars)) // variable -> first term position
 	for i, t := range a.Terms {
 		if t.IsVar() {
@@ -32,22 +32,44 @@ func FromAtom(db *Database, a Atom) (*Table, error) {
 			}
 		}
 	}
+	// Compile the per-row checks so the scan does no string-map lookups:
+	// eqPos[i] = -1 for a constant term (compare against Terms[i].Const),
+	// i for a variable's first occurrence (no check), or the first-occurrence
+	// position of a repeated variable (equality selection).
+	eqPos := make([]int, len(a.Terms))
+	for i, t := range a.Terms {
+		if t.IsVar() {
+			eqPos[i] = firstPos[t.Var]
+		} else {
+			eqPos[i] = -1
+		}
+	}
+	// varPos[i] is the term position feeding output column i.
+	varPos := make([]int, len(vars))
+	for i, v := range vars {
+		varPos[i] = firstPos[v]
+	}
 	buf := make(Tuple, len(vars))
 tuples:
-	for _, tup := range r.Tuples() {
-		for i, t := range a.Terms {
-			if t.IsVar() {
-				if tup[firstPos[t.Var]] != tup[i] {
-					continue tuples // repeated variable mismatch
+	for ri := 0; ri < r.Len(); ri++ {
+		tup := r.row(ri)
+		for i, p := range eqPos {
+			if p == -1 {
+				if tup[i] != a.Terms[i].Const {
+					continue tuples // constant mismatch
 				}
-			} else if tup[i] != t.Const {
-				continue tuples // constant mismatch
+			} else if p != i && tup[p] != tup[i] {
+				continue tuples // repeated variable mismatch
 			}
 		}
-		for i, v := range vars {
-			buf[i] = tup[firstPos[v]]
+		for i, p := range varPos {
+			buf[i] = tup[p]
 		}
-		out.Add(buf)
+		// Duplicate-free by construction: every term position is either a
+		// fixed constant, equal to a repeated variable's first occurrence,
+		// or itself a first occurrence (an output column), so the source row
+		// is fully determined by the emitted tuple.
+		out.addUnique(buf)
 	}
 	return out, nil
 }
@@ -58,6 +80,8 @@ tuples:
 //
 // Atoms are joined greedily: the next atom joined is one sharing variables
 // with the result so far (smallest first), to keep intermediates small.
+// Callers evaluating many atom sets of the same shape should compile a
+// JoinPlan once and Run it instead.
 func JoinAtoms(db *Database, atoms []Atom) (*Table, error) {
 	if len(atoms) == 0 {
 		return Unit(), nil
@@ -70,9 +94,18 @@ func JoinAtoms(db *Database, atoms []Atom) (*Table, error) {
 		}
 		tables[i] = t
 	}
-	// Order: start with the smallest table; repeatedly pick the smallest
-	// remaining table that shares a variable with the accumulated result,
-	// falling back to the smallest overall (cartesian step) if none does.
+	return JoinTablesGreedy(tables), nil
+}
+
+// JoinTablesGreedy joins tables in the size-aware greedy order: start with
+// the smallest table; repeatedly pick the smallest remaining table that
+// shares a variable with the accumulated result, falling back to the
+// smallest overall (cartesian step) if none does. It is the dynamic
+// counterpart of a compiled JoinPlan, used when the actual cardinalities
+// matter more than saving the per-call ordering analysis; it must not be
+// given an empty slice. The result's column order depends on the join
+// order chosen.
+func JoinTablesGreedy(tables []*Table) *Table {
 	remaining := make([]int, len(tables))
 	for i := range remaining {
 		remaining[i] = i
@@ -110,12 +143,20 @@ func JoinAtoms(db *Database, atoms []Atom) (*Table, error) {
 			accVars[v] = true
 		}
 		if acc.Empty() {
-			// The join is already empty; finish with the correct schema.
+			// The join is already empty; build the empty result directly
+			// over the unioned schema instead of joining (and hash-indexing)
+			// the remaining tables just to recover their columns.
+			outVars := append([]string(nil), acc.Vars()...)
 			for _, j := range remaining {
-				acc = acc.NaturalJoin(tables[j])
+				for _, v := range tables[j].Vars() {
+					if !accVars[v] {
+						accVars[v] = true
+						outVars = append(outVars, v)
+					}
+				}
 			}
-			return acc, nil
+			return NewTable(outVars)
 		}
 	}
-	return acc, nil
+	return acc
 }

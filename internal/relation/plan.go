@@ -1,0 +1,230 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// JoinPlan is a compiled natural-join recipe for a fixed sequence of input
+// schemas (an "atom-set shape"): the join order, the shared-column positions
+// of every build/probe step and the output-column sources are all resolved
+// at compile time, so executing the plan against concrete tables does no
+// per-call schema analysis. Plans are stateless and safe for concurrent use;
+// the engine caches one per hypertree-node shape and the core evaluator one
+// per atom-set shape.
+type JoinPlan struct {
+	key     string
+	widths  []int
+	start   int
+	steps   []joinStep
+	outVars []string
+}
+
+// joinStep joins input table `input` into the accumulated result. accPos and
+// inPos are the positions of the shared columns on the accumulated and input
+// side; inExtra lists the input positions appended as new output columns.
+type joinStep struct {
+	input   int
+	accPos  []int
+	inPos   []int
+	inExtra []int
+	vars    []string // schema after this step
+}
+
+// PlanKey returns the cache key identifying the join shape of schemas: two
+// atom sets with equal keys compile to identical plans.
+func PlanKey(schemas [][]string) string {
+	var b strings.Builder
+	for i, s := range schemas {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(strings.Join(s, ","))
+	}
+	return b.String()
+}
+
+// CompileJoinPlan builds the plan for joining tables with the given column
+// schemas, in a deterministic connectivity-greedy order: start with the
+// first schema, repeatedly pick the lowest-indexed remaining schema sharing
+// a variable with the accumulated columns, falling back to the lowest-indexed
+// remaining one (a cartesian step) when none does.
+//
+// The order is fixed at compile time from schemas alone — deliberately
+// size-blind, since one plan serves every instantiation of the shape. Each
+// step still hashes the smaller side at Run time, and Run falls back to the
+// size-sorted dynamic order when the actual input cardinalities are heavily
+// skewed (see Run), so the compiled order only ever decides near-uniform
+// joins, where any order is fine.
+func CompileJoinPlan(schemas [][]string) *JoinPlan {
+	p := &JoinPlan{key: PlanKey(schemas), widths: make([]int, len(schemas))}
+	for i, s := range schemas {
+		p.widths[i] = len(s)
+	}
+	if len(schemas) == 0 {
+		p.start = -1
+		return p
+	}
+	acc := append([]string(nil), schemas[0]...)
+	used := make([]bool, len(schemas))
+	used[0] = true
+	hasVar := func(vs []string, v string) bool {
+		for _, x := range vs {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	for range schemas[1:] {
+		pick := -1
+		for i, s := range schemas {
+			if used[i] {
+				continue
+			}
+			connected := false
+			for _, v := range s {
+				if hasVar(acc, v) {
+					connected = true
+					break
+				}
+			}
+			if connected {
+				pick = i
+				break
+			}
+			if pick < 0 {
+				pick = i // lowest-indexed fallback; replaced by any connected schema
+			}
+		}
+		used[pick] = true
+		in := schemas[pick]
+		step := joinStep{input: pick}
+		for ip, v := range in {
+			if ap := indexOf(acc, v); ap >= 0 {
+				step.accPos = append(step.accPos, ap)
+				step.inPos = append(step.inPos, ip)
+			} else {
+				step.inExtra = append(step.inExtra, ip)
+				acc = append(acc, v)
+			}
+		}
+		step.vars = append([]string(nil), acc...)
+		p.steps = append(p.steps, step)
+	}
+	p.outVars = acc
+	return p
+}
+
+func indexOf(vs []string, v string) int {
+	for i, x := range vs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Key returns the plan's shape key (see PlanKey).
+func (p *JoinPlan) Key() string { return p.key }
+
+// OutVars returns the result schema of the plan. Callers must not modify it.
+func (p *JoinPlan) OutVars() []string { return p.outVars }
+
+// Run executes the plan over tables, which must match the compiled schemas
+// positionally (same count, same column lists in order). For a single input
+// the table itself is returned; callers must treat results as immutable.
+// As soon as an intermediate is empty, the empty result is constructed
+// directly over the final schema without running the remaining steps.
+//
+// When three or more inputs have heavily skewed cardinalities, Run falls
+// back to the size-sorted dynamic greedy order (JoinTablesGreedy): the
+// compiled order is size-blind, and on skewed instantiations of the shape
+// it can build intermediates proportional to the largest input rather than
+// the result. Either way the result's columns are OutVars in order (the
+// fallback result is remapped), so callers may rely on the schema.
+func (p *JoinPlan) Run(tables []*Table) (*Table, error) {
+	if len(tables) != len(p.widths) {
+		return nil, fmt.Errorf("relation: plan over %d tables run with %d", len(p.widths), len(tables))
+	}
+	for i, t := range tables {
+		if len(t.vars) != p.widths[i] {
+			return nil, fmt.Errorf("relation: plan input %d has %d columns, want %d", i, len(t.vars), p.widths[i])
+		}
+	}
+	if p.start < 0 {
+		return Unit(), nil
+	}
+	if len(tables) > 2 && skewed(tables) {
+		j := JoinTablesGreedy(tables)
+		if !sameVars(j.vars, p.outVars) {
+			j = j.Project(p.outVars) // same column set, plan-schema order
+		}
+		return j, nil
+	}
+	acc := tables[p.start]
+	for _, st := range p.steps {
+		if acc.Empty() {
+			return NewTable(p.outVars), nil
+		}
+		acc = st.join(acc, tables[st.input])
+	}
+	return acc, nil
+}
+
+// skewed reports whether the input cardinalities differ enough that join
+// order should be chosen from the actual sizes. With two inputs the order
+// is irrelevant (hashJoin already hashes the smaller side), so this only
+// gates plans of three or more tables.
+func skewed(tables []*Table) bool {
+	minL, maxL := tables[0].nrows, tables[0].nrows
+	for _, t := range tables[1:] {
+		if t.nrows < minL {
+			minL = t.nrows
+		}
+		if t.nrows > maxL {
+			maxL = t.nrows
+		}
+	}
+	return maxL > 8*(minL+1)
+}
+
+// join executes one precompiled build/probe step: acc ⋈ in with the shared
+// columns resolved at compile time, through the shared hashJoin loop.
+func (st *joinStep) join(acc, in *Table) *Table {
+	return hashJoin(acc, in, st.accPos, st.inPos, st.inExtra, st.vars)
+}
+
+// PlanCache memoizes compiled join plans by shape key. The zero value is not
+// usable; construct with NewPlanCache. Safe for concurrent use.
+type PlanCache struct {
+	mu sync.RWMutex
+	m  map[string]*JoinPlan
+}
+
+// NewPlanCache returns an empty cache.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{m: make(map[string]*JoinPlan)}
+}
+
+// For returns the compiled plan for schemas, compiling and caching it on
+// first use.
+func (pc *PlanCache) For(schemas [][]string) *JoinPlan {
+	key := PlanKey(schemas)
+	pc.mu.RLock()
+	p, ok := pc.m[key]
+	pc.mu.RUnlock()
+	if ok {
+		return p
+	}
+	p = CompileJoinPlan(schemas)
+	pc.mu.Lock()
+	if prev, ok := pc.m[key]; ok {
+		p = prev // another goroutine won the race; keep one canonical plan
+	} else {
+		pc.m[key] = p
+	}
+	pc.mu.Unlock()
+	return p
+}

@@ -6,13 +6,12 @@ import (
 )
 
 // Relation is a named, fixed-arity set of tuples. Relations use set
-// semantics: inserting a duplicate tuple is a no-op.
+// semantics: inserting a duplicate tuple is a no-op. Storage is columnar
+// (a flat []Value arena plus an integer-hashed row set; see colstore.go).
 type Relation struct {
 	name  string
 	arity int
-
-	tuples []Tuple
-	seen   map[string]struct{}
+	colStore
 }
 
 // NewRelation returns an empty relation with the given name and arity.
@@ -20,11 +19,9 @@ func NewRelation(name string, arity int) *Relation {
 	if arity < 0 {
 		panic("relation: negative arity")
 	}
-	return &Relation{
-		name:  name,
-		arity: arity,
-		seen:  make(map[string]struct{}),
-	}
+	r := &Relation{name: name, arity: arity}
+	r.init(arity, 0)
+	return r
 }
 
 // Name returns the relation name.
@@ -34,7 +31,7 @@ func (r *Relation) Name() string { return r.name }
 func (r *Relation) Arity() int { return r.arity }
 
 // Len returns |R|, the number of tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int { return r.nrows }
 
 // Insert adds t to the relation, ignoring duplicates. It reports whether the
 // tuple was new. Insert panics if len(t) differs from the relation arity,
@@ -43,13 +40,7 @@ func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("relation %s: inserting tuple of length %d into arity-%d relation", r.name, len(t), r.arity))
 	}
-	k := t.key()
-	if _, dup := r.seen[k]; dup {
-		return false
-	}
-	r.seen[k] = struct{}{}
-	r.tuples = append(r.tuples, t.Clone())
-	return true
+	return r.add(t)
 }
 
 // Contains reports whether t is in the relation.
@@ -57,20 +48,23 @@ func (r *Relation) Contains(t Tuple) bool {
 	if len(t) != r.arity {
 		return false
 	}
-	_, ok := r.seen[t.key()]
-	return ok
+	return r.contains(t)
 }
 
-// Tuples returns the relation's tuples in insertion order. The returned
-// slice and its tuples must not be modified.
-func (r *Relation) Tuples() []Tuple { return r.tuples }
+// Row returns tuple i (0 <= i < Len()) in insertion order as a slice into
+// the relation's arena; the caller must not modify it.
+func (r *Relation) Row(i int) Tuple { return r.row(i) }
+
+// Tuples returns the relation's tuples in insertion order. Each call
+// materializes a fresh header slice that the caller may reorder freely; the
+// tuples themselves point into the relation's arena and must not be
+// modified. Iterate with Len/Row in hot paths.
+func (r *Relation) Tuples() []Tuple { return r.headers() }
 
 // Clone returns a deep copy of r.
 func (r *Relation) Clone() *Relation {
-	c := NewRelation(r.name, r.arity)
-	for _, t := range r.tuples {
-		c.Insert(t)
-	}
+	c := &Relation{name: r.name, arity: r.arity}
+	c.cloneFrom(&r.colStore)
 	return c
 }
 
@@ -187,9 +181,7 @@ func (db *Database) Clone() *Database {
 	for _, name := range db.order {
 		r := db.rels[name]
 		cr := c.MustAddRelation(name, r.arity)
-		for _, t := range r.tuples {
-			cr.Insert(t)
-		}
+		cr.cloneFrom(&r.colStore)
 	}
 	return c
 }

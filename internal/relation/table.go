@@ -10,29 +10,36 @@ import (
 // columns are named by ordinary variables. Tables are what J(R), semijoin
 // programs and projections produce during index computation.
 //
+// Storage is columnar: rows live in a flat []Value arena and set semantics
+// are enforced by an integer-hashed row set (see colstore.go), so Add,
+// Contains and the join operators never materialize string keys or clone
+// tuples. Tables are immutable once fully constructed and may then be shared
+// freely across goroutines.
+//
 // Column names are distinct. The empty-column table with a single empty
 // tuple acts as the join identity (the "unit" table).
 type Table struct {
-	vars   []string
-	varPos map[string]int
-
-	tuples []Tuple
-	seen   map[string]struct{}
+	vars []string
+	colStore
 }
 
 // NewTable returns an empty table with the given distinct column variables.
 func NewTable(vars []string) *Table {
-	t := &Table{
-		vars:   append([]string(nil), vars...),
-		varPos: make(map[string]int, len(vars)),
-		seen:   make(map[string]struct{}),
-	}
+	return NewTableCap(vars, 0)
+}
+
+// NewTableCap is NewTable with storage preallocated for capRows rows; use it
+// when the result cardinality is known (or bounded) in advance.
+func NewTableCap(vars []string, capRows int) *Table {
+	t := &Table{vars: append([]string(nil), vars...)}
 	for i, v := range vars {
-		if _, dup := t.varPos[v]; dup {
-			panic(fmt.Sprintf("relation: duplicate table column %q", v))
+		for j := 0; j < i; j++ {
+			if vars[j] == v {
+				panic(fmt.Sprintf("relation: duplicate table column %q", v))
+			}
 		}
-		t.varPos[v] = i
 	}
+	t.init(len(vars), capRows)
 	return t
 }
 
@@ -48,38 +55,32 @@ func Unit() *Table {
 func (t *Table) Vars() []string { return t.vars }
 
 // HasVar reports whether v is a column of t.
-func (t *Table) HasVar(v string) bool {
-	_, ok := t.varPos[v]
-	return ok
-}
+func (t *Table) HasVar(v string) bool { return t.Pos(v) >= 0 }
 
-// Pos returns the column position of variable v, or -1.
+// Pos returns the column position of variable v, or -1. Column lists are
+// small, so a linear scan beats a per-table map (and costs no allocation).
 func (t *Table) Pos(v string) int {
-	if p, ok := t.varPos[v]; ok {
-		return p
+	for i, tv := range t.vars {
+		if tv == v {
+			return i
+		}
 	}
 	return -1
 }
 
 // Len returns the number of tuples.
-func (t *Table) Len() int { return len(t.tuples) }
+func (t *Table) Len() int { return t.nrows }
 
 // Empty reports whether the table has no tuples.
-func (t *Table) Empty() bool { return len(t.tuples) == 0 }
+func (t *Table) Empty() bool { return t.nrows == 0 }
 
-// Add inserts tup (copied) if not already present and reports whether it was
-// new. It panics on arity mismatch.
+// Add inserts tup (values copied into the arena) if not already present and
+// reports whether it was new. It panics on arity mismatch.
 func (t *Table) Add(tup Tuple) bool {
 	if len(tup) != len(t.vars) {
 		panic(fmt.Sprintf("relation: adding %d-tuple to %d-column table", len(tup), len(t.vars)))
 	}
-	k := tup.key()
-	if _, dup := t.seen[k]; dup {
-		return false
-	}
-	t.seen[k] = struct{}{}
-	t.tuples = append(t.tuples, tup.Clone())
-	return true
+	return t.add(tup)
 }
 
 // Contains reports whether tup is present.
@@ -87,20 +88,38 @@ func (t *Table) Contains(tup Tuple) bool {
 	if len(tup) != len(t.vars) {
 		return false
 	}
-	_, ok := t.seen[tup.key()]
-	return ok
+	return t.contains(tup)
 }
 
-// Tuples returns the tuples in insertion order; the caller must not modify
-// the slice or its tuples.
-func (t *Table) Tuples() []Tuple { return t.tuples }
+// Row returns row r (0 <= r < Len()) as a slice into the table's arena, in
+// insertion order. The caller must not modify it. Row is the allocation-free
+// iteration primitive; Tuples materializes the full header slice.
+func (t *Table) Row(r int) Tuple { return t.row(r) }
+
+// Tuples returns the tuples in insertion order. Each call materializes a
+// fresh slice of row headers (one allocation) that the caller may reorder
+// freely; the tuples themselves point into the table's arena and must not
+// be modified. Iterate with Len/Row in hot paths.
+func (t *Table) Tuples() []Tuple { return t.headers() }
+
+// Compact returns t itself when its storage is tight, or an exactly-sized
+// copy when the preallocated arena/row set greatly exceeds the actual row
+// count (the output of a selective FromAtom or Project preallocated for its
+// input cardinality). Use before inserting a table into a long-lived cache,
+// so the cache pins memory proportional to the rows kept, not scanned.
+func (t *Table) Compact() *Table {
+	if !t.oversized() {
+		return t
+	}
+	c := &Table{vars: t.vars}
+	c.compactFrom(&t.colStore)
+	return c
+}
 
 // Clone returns a deep copy of t.
 func (t *Table) Clone() *Table {
-	c := NewTable(t.vars)
-	for _, tup := range t.tuples {
-		c.Add(tup)
-	}
+	c := &Table{vars: append([]string(nil), t.vars...)}
+	c.cloneFrom(&t.colStore)
 	return c
 }
 
@@ -115,13 +134,14 @@ func (t *Table) Project(vars []string) *Table {
 		}
 		pos[i] = p
 	}
-	out := NewTable(vars)
+	out := NewTableCap(vars, t.nrows)
 	buf := make(Tuple, len(vars))
-	for _, tup := range t.tuples {
+	for r := 0; r < t.nrows; r++ {
+		row := t.row(r)
 		for i, p := range pos {
-			buf[i] = tup[p]
+			buf[i] = row[p]
 		}
-		out.Add(buf)
+		out.add(buf)
 	}
 	return out
 }
@@ -137,86 +157,73 @@ func (t *Table) sharedVars(u *Table) []string {
 	return shared
 }
 
-// projectKey builds the map key for tup restricted to positions pos.
-func projectKey(tup Tuple, pos []int) string {
-	b := make([]byte, 0, 4*len(pos))
-	for _, p := range pos {
-		v := tup[p]
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+// sharedPos resolves the positions of the shared columns on both sides.
+func sharedPos(t, u *Table) (shared []string, tPos, uPos []int) {
+	shared = t.sharedVars(u)
+	tPos = make([]int, len(shared))
+	uPos = make([]int, len(shared))
+	for i, v := range shared {
+		tPos[i] = t.Pos(v)
+		uPos[i] = u.Pos(v)
 	}
-	return string(b)
+	return shared, tPos, uPos
 }
 
 // NaturalJoin returns t ⋈ u: tuples over the union of columns (t's columns
 // first, then u's remaining columns) that agree on all shared columns.
 func (t *Table) NaturalJoin(u *Table) *Table {
-	// Build on the smaller side.
-	build, probe := u, t
+	_, tPos, uPos := sharedPos(t, u)
+
+	// Output columns: t's columns then u's extra columns.
+	outVars := append([]string(nil), t.vars...)
+	uExtra := make([]int, 0, len(u.vars)) // u-positions feeding the extra columns
+	for p, v := range u.vars {
+		if !t.HasVar(v) {
+			outVars = append(outVars, v)
+			uExtra = append(uExtra, p)
+		}
+	}
+	return hashJoin(t, u, tPos, uPos, uExtra, outVars)
+}
+
+// hashJoin executes one build/probe natural-join pass: left ⋈ right over
+// the precomputed shared-column positions leftPos/rightPos, emitting left's
+// columns followed by right's rightExtra positions, as outVars. The smaller
+// side is hashed on the shared columns with integer hashing; the output
+// needs no dedup probes because the join of two sets is a set (each output
+// row determines its left and right source rows). Both NaturalJoin and the
+// compiled joinStep execute through this one loop.
+func hashJoin(left, right *Table, leftPos, rightPos, rightExtra []int, outVars []string) *Table {
+	out := NewTableCap(outVars, max(left.nrows, right.nrows))
+	buf := make(Tuple, len(outVars))
+	leftW := len(left.vars)
+
+	build, probe := right, left
+	buildPos, probePos := rightPos, leftPos
 	swapped := false
-	if t.Len() < u.Len() {
-		build, probe = t, u
+	if left.nrows < right.nrows {
+		build, probe = left, right
+		buildPos, probePos = leftPos, rightPos
 		swapped = true
 	}
-	shared := probe.sharedVars(build)
-	probePos := make([]int, len(shared))
-	buildPos := make([]int, len(shared))
-	for i, v := range shared {
-		probePos[i] = probe.Pos(v)
-		buildPos[i] = build.Pos(v)
-	}
-	// Output columns: t's columns then u's extra columns.
-	var extra []string // columns of u not in t
-	for _, v := range u.vars {
-		if !t.HasVar(v) {
-			extra = append(extra, v)
-		}
-	}
-	outVars := append(append([]string(nil), t.vars...), extra...)
-	out := NewTable(outVars)
-
-	// Hash the build side on shared columns.
-	idx := make(map[string][]Tuple, build.Len())
-	for _, tup := range build.tuples {
-		k := projectKey(tup, buildPos)
-		idx[k] = append(idx[k], tup)
-	}
-
-	// For composing output rows we need, per output column, where the value
-	// comes from: position in t's tuple or in u's tuple.
-	type src struct {
-		fromT bool
-		pos   int
-	}
-	srcs := make([]src, len(outVars))
-	for i, v := range outVars {
-		if p := t.Pos(v); p >= 0 {
-			srcs[i] = src{true, p}
-		} else {
-			srcs[i] = src{false, u.Pos(v)}
-		}
-	}
-
-	buf := make(Tuple, len(outVars))
-	emit := func(tt, ut Tuple) {
-		for i, s := range srcs {
-			if s.fromT {
-				buf[i] = tt[s.pos]
-			} else {
-				buf[i] = ut[s.pos]
+	idx := buildChainIndex(&build.colStore, buildPos)
+	for pr := 0; pr < probe.nrows; pr++ {
+		prow := probe.row(pr)
+		h := hashAt(prow, probePos)
+		for s := idx.first(h); s != 0; s = idx.next[s-1] {
+			brow := build.row(int(s - 1))
+			if !equalAt(prow, probePos, brow, buildPos) {
+				continue
 			}
-		}
-		out.Add(buf)
-	}
-
-	for _, ptup := range probe.tuples {
-		k := projectKey(ptup, probePos)
-		for _, btup := range idx[k] {
+			lrow, rrow := prow, brow
 			if swapped {
-				// probe tuples come from u, build tuples from t
-				emit(btup, ptup)
-			} else {
-				emit(ptup, btup)
+				lrow, rrow = brow, prow
 			}
+			copy(buf, lrow)
+			for i, p := range rightExtra {
+				buf[leftW+i] = rrow[p]
+			}
+			out.addUnique(buf)
 		}
 	}
 	return out
@@ -226,32 +233,7 @@ func (t *Table) NaturalJoin(u *Table) *Table {
 // columns appears in u. With no shared columns, the result is t itself if u
 // is non-empty and the empty table otherwise (cartesian semantics).
 func (t *Table) Semijoin(u *Table) *Table {
-	shared := t.sharedVars(u)
-	out := NewTable(t.vars)
-	if len(shared) == 0 {
-		if u.Len() > 0 {
-			for _, tup := range t.tuples {
-				out.Add(tup)
-			}
-		}
-		return out
-	}
-	tPos := make([]int, len(shared))
-	uPos := make([]int, len(shared))
-	for i, v := range shared {
-		tPos[i] = t.Pos(v)
-		uPos[i] = u.Pos(v)
-	}
-	idx := make(map[string]struct{}, u.Len())
-	for _, tup := range u.tuples {
-		idx[projectKey(tup, uPos)] = struct{}{}
-	}
-	for _, tup := range t.tuples {
-		if _, ok := idx[projectKey(tup, tPos)]; ok {
-			out.Add(tup)
-		}
-	}
-	return out
+	return t.semi(u, true)
 }
 
 // AntiSemijoin returns t ▷ u: the tuples of t whose projection on the
@@ -259,29 +241,62 @@ func (t *Table) Semijoin(u *Table) *Table {
 // is t itself if u is empty and the empty table otherwise (the complement
 // of Semijoin's cartesian semantics). Used by the negation extension.
 func (t *Table) AntiSemijoin(u *Table) *Table {
-	shared := t.sharedVars(u)
-	out := NewTable(t.vars)
+	return t.semi(u, false)
+}
+
+// SemijoinCount returns |t ⋉ u| without materializing the semijoin: the
+// same chain-index probe as Semijoin, but only a counter on the probe side.
+// The index-computation hot paths (Definition 2.6 fractions) consume only
+// the cardinality of their semijoins, so this saves the output arena, row
+// set, and per-row rehash entirely.
+func (t *Table) SemijoinCount(u *Table) int {
+	shared, tPos, uPos := sharedPos(t, u)
 	if len(shared) == 0 {
-		if u.Len() == 0 {
-			for _, tup := range t.tuples {
-				out.Add(tup)
+		if u.nrows > 0 {
+			return t.nrows
+		}
+		return 0
+	}
+	idx := buildChainIndex(&u.colStore, uPos)
+	n := 0
+	for r := 0; r < t.nrows; r++ {
+		row := t.row(r)
+		h := hashAt(row, tPos)
+		for s := idx.first(h); s != 0; s = idx.next[s-1] {
+			if equalAt(row, tPos, u.row(int(s-1)), uPos) {
+				n++
+				break
 			}
+		}
+	}
+	return n
+}
+
+// semi implements Semijoin (keep=true) and AntiSemijoin (keep=false) as one
+// probe loop over u's chain index.
+func (t *Table) semi(u *Table, keep bool) *Table {
+	shared, tPos, uPos := sharedPos(t, u)
+	if len(shared) == 0 {
+		out := NewTable(t.vars)
+		if (u.nrows > 0) == keep {
+			out.cloneFrom(&t.colStore)
 		}
 		return out
 	}
-	tPos := make([]int, len(shared))
-	uPos := make([]int, len(shared))
-	for i, v := range shared {
-		tPos[i] = t.Pos(v)
-		uPos[i] = u.Pos(v)
-	}
-	idx := make(map[string]struct{}, u.Len())
-	for _, tup := range u.tuples {
-		idx[projectKey(tup, uPos)] = struct{}{}
-	}
-	for _, tup := range t.tuples {
-		if _, ok := idx[projectKey(tup, tPos)]; !ok {
-			out.Add(tup)
+	out := NewTableCap(t.vars, t.nrows)
+	idx := buildChainIndex(&u.colStore, uPos)
+	for r := 0; r < t.nrows; r++ {
+		row := t.row(r)
+		h := hashAt(row, tPos)
+		found := false
+		for s := idx.first(h); s != 0; s = idx.next[s-1] {
+			if equalAt(row, tPos, u.row(int(s-1)), uPos) {
+				found = true
+				break
+			}
+		}
+		if found == keep {
+			out.addUnique(row)
 		}
 	}
 	return out
@@ -293,8 +308,8 @@ func (t *Table) Union(u *Table) *Table {
 		panic("relation: union over different columns")
 	}
 	out := t.Clone()
-	for _, tup := range u.tuples {
-		out.Add(tup)
+	for r := 0; r < u.nrows; r++ {
+		out.add(u.row(r))
 	}
 	return out
 }
@@ -305,9 +320,10 @@ func (t *Table) Diff(u *Table) *Table {
 		panic("relation: difference over different columns")
 	}
 	out := NewTable(t.vars)
-	for _, tup := range t.tuples {
-		if !u.Contains(tup) {
-			out.Add(tup)
+	for r := 0; r < t.nrows; r++ {
+		row := t.row(r)
+		if !u.contains(row) {
+			out.addUnique(row)
 		}
 	}
 	return out
@@ -328,8 +344,7 @@ func sameVars(a, b []string) bool {
 // SortedTuples returns the tuples in lexicographic order, for deterministic
 // output and tests.
 func (t *Table) SortedTuples() []Tuple {
-	out := make([]Tuple, len(t.tuples))
-	copy(out, t.tuples)
+	out := t.headers()
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		for k := range a {
@@ -345,7 +360,7 @@ func (t *Table) SortedTuples() []Tuple {
 // EqualSet reports whether t and u contain the same tuple set over the same
 // column list, regardless of column order in u.
 func (t *Table) EqualSet(u *Table) bool {
-	if len(t.vars) != len(u.vars) || t.Len() != u.Len() {
+	if len(t.vars) != len(u.vars) || t.nrows != u.nrows {
 		return false
 	}
 	perm := make([]int, len(t.vars))
@@ -357,11 +372,12 @@ func (t *Table) EqualSet(u *Table) bool {
 		perm[i] = p
 	}
 	buf := make(Tuple, len(t.vars))
-	for _, tup := range u.tuples {
+	for r := 0; r < u.nrows; r++ {
+		row := u.row(r)
 		for i, p := range perm {
-			buf[i] = tup[p]
+			buf[i] = row[p]
 		}
-		if !t.Contains(buf) {
+		if !t.contains(buf) {
 			return false
 		}
 	}

@@ -29,15 +29,6 @@ func (t Tuple) Clone() Tuple {
 	return c
 }
 
-// key encodes a tuple as a map key. Encoding is 4 bytes per value.
-func (t Tuple) key() string {
-	b := make([]byte, 0, 4*len(t))
-	for _, v := range t {
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	return string(b)
-}
-
 // Dict interns constant names to Values. The zero value is not usable;
 // create dictionaries with newDict (Databases own their dictionary).
 type Dict struct {
