@@ -1,0 +1,117 @@
+// Command mqfuzz drives the differential oracle harness (internal/diff)
+// over seeded random scenarios: every generated case is executed on every
+// production path — naive enumeration, the findRules engine, the
+// Prepared/Stream session API, and the sequential, parallel and
+// engine-backed deciders — and each is checked against the transparent
+// brute-force oracle, rat-exact and order-insensitive.
+//
+// On a mismatch, the failing scenario is greedily minimized (dropping body
+// literals, relations and tuples while the divergence persists) and printed
+// in the committable repro format; save it under
+// internal/diff/testdata/corpus/<name>.scenario and the TestCorpus
+// regression test replays it forever.
+//
+// Usage:
+//
+//	mqfuzz -n 1000                 # 1000 cases across all shapes
+//	mqfuzz -seed 42 -n 200         # different seed range
+//	mqfuzz -shape t2-pad -n 500    # one shape only
+//	mqfuzz -shapes                 # list the registered shapes
+//	mqfuzz -write-repro DIR        # also write any repro into DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/mqgo/metaquery/internal/diff"
+	"github.com/mqgo/metaquery/internal/gen"
+)
+
+func main() {
+	var (
+		seed       = flag.Int64("seed", 1, "base seed; case i of a shape uses seed+i")
+		n          = flag.Int("n", 1000, "number of scenarios to run")
+		shape      = flag.String("shape", "", "restrict to one shape (see -shapes); empty = round-robin over all")
+		listShapes = flag.Bool("shapes", false, "list the registered scenario shapes and exit")
+		verbose    = flag.Bool("v", false, "log every case")
+		writeRepro = flag.String("write-repro", "", "directory to write a minimized repro file into on failure")
+	)
+	flag.Parse()
+	if *listShapes {
+		for _, s := range gen.Shapes() {
+			fmt.Println(s)
+		}
+		return
+	}
+	if err := run(os.Stdout, *seed, *n, *shape, *verbose, *writeRepro); err != nil {
+		fmt.Fprintln(os.Stderr, "mqfuzz:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the fuzz loop, writing progress and any repro to w.
+func run(w *os.File, seed int64, n int, shape string, verbose bool, writeRepro string) error {
+	shapes := gen.Shapes()
+	if shape != "" {
+		found := false
+		for _, s := range shapes {
+			if s == shape {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown shape %q (have: %s)", shape, strings.Join(shapes, ", "))
+		}
+		shapes = []string{shape}
+	}
+	if n <= 0 {
+		return fmt.Errorf("-n must be positive")
+	}
+	ran := 0
+	for i := 0; i < n; i++ {
+		sh := shapes[i%len(shapes)]
+		caseSeed := seed + int64(i/len(shapes))
+		s, err := gen.NewScenario(caseSeed, sh)
+		if err != nil {
+			return err
+		}
+		m, err := diff.Run(s)
+		if err != nil {
+			return fmt.Errorf("%s/%d: %w", sh, caseSeed, err)
+		}
+		ran++
+		if verbose {
+			fmt.Fprintf(w, "ok %s seed=%d\n", sh, caseSeed)
+		}
+		if m == nil {
+			continue
+		}
+		// Divergence: minimize and print a committable repro.
+		min := diff.Minimize(s)
+		repro, merr := diff.MarshalScenario(min)
+		if merr != nil {
+			return fmt.Errorf("%v (marshal of minimized repro failed: %v)", m, merr)
+		}
+		fmt.Fprintf(w, "MISMATCH after %d case(s): %v\n", ran, m)
+		fmt.Fprintf(w, "minimized repro (save as internal/diff/testdata/corpus/%s-seed%d.scenario):\n%s",
+			sh, caseSeed, repro)
+		if writeRepro != "" {
+			if err := os.MkdirAll(writeRepro, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(writeRepro, fmt.Sprintf("%s-seed%d.scenario", sh, caseSeed))
+			if err := os.WriteFile(path, []byte(repro), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "repro written to %s\n", path)
+		}
+		return fmt.Errorf("differential mismatch on %s seed=%d", sh, caseSeed)
+	}
+	fmt.Fprintf(w, "mqfuzz: %d case(s) across %d shape(s), all paths agree with the oracle\n", ran, len(shapes))
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// A short fuzz run across every shape must pass and report its case count.
+func TestRunSmoke(t *testing.T) {
+	out := tempFile(t)
+	if err := run(out, 1, 24, "", false, ""); err != nil {
+		t.Fatal(err)
+	}
+	text := readBack(t, out)
+	if !strings.Contains(text, "24 case(s)") {
+		t.Errorf("output %q does not report the case count", text)
+	}
+}
+
+// The -shape filter restricts generation and rejects unknown names.
+func TestRunShapeFilter(t *testing.T) {
+	out := tempFile(t)
+	if err := run(out, 3, 4, "t0-chain", true, ""); err != nil {
+		t.Fatal(err)
+	}
+	text := readBack(t, out)
+	if !strings.Contains(text, "ok t0-chain seed=3") || !strings.Contains(text, "ok t0-chain seed=6") {
+		t.Errorf("verbose output missing per-case lines:\n%s", text)
+	}
+	if err := run(out, 1, 1, "no-such-shape", false, ""); err == nil {
+		t.Fatal("expected an error for an unknown shape")
+	}
+}
+
+func TestRunRejectsBadN(t *testing.T) {
+	out := tempFile(t)
+	if err := run(out, 1, 0, "", false, ""); err == nil {
+		t.Fatal("expected an error for -n 0")
+	}
+}
+
+func tempFile(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.Create(filepath.Join(t.TempDir(), "out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func readBack(t *testing.T, f *os.File) string {
+	t.Helper()
+	blob, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}

@@ -42,7 +42,7 @@ func ExampleParse() {
 	fmt.Println(mq)
 	fmt.Println("pure:", mq.IsPure(), "acyclic:", mq.IsAcyclic())
 	// Output:
-	// UsPT(X,Z) <- P(X,Y), Q(Y,Z)
+	// "UsPT"(X,Z) <- P(X,Y), Q(Y,Z)
 	// pure: true acyclic: false
 }
 

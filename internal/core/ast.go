@@ -66,9 +66,34 @@ func (l LiteralScheme) Key() string {
 	return b.String()
 }
 
-// String renders the scheme in the paper's syntax.
+// String renders the scheme in the paper's syntax. Relation names that
+// would reparse as predicate variables (upper-case initial) or that contain
+// bytes outside the identifier alphabet are double-quoted, exactly as the
+// parser accepts them, so Parse(mq.String()) reconstructs any mq the parser
+// can produce. The one exclusion: the quoted syntax has no escape sequence,
+// so a programmatically built relation name containing '"' itself renders
+// as a literal that cannot be reparsed.
 func (l LiteralScheme) String() string {
-	return fmt.Sprintf("%s(%s)", l.Pred, strings.Join(l.Args, ","))
+	name := l.Pred
+	if !l.PredVar && relNameNeedsQuotes(name) {
+		name = `"` + name + `"`
+	}
+	return fmt.Sprintf("%s(%s)", name, strings.Join(l.Args, ","))
+}
+
+// relNameNeedsQuotes reports whether a relation name must be quoted to
+// survive reparsing. The byte-wise scan mirrors parseIdent, which consumes
+// input byte by byte.
+func relNameNeedsQuotes(name string) bool {
+	if startsUpper(name) {
+		return true
+	}
+	for i := 0; i < len(name); i++ {
+		if !isIdentRune(rune(name[i])) {
+			return true
+		}
+	}
+	return false
 }
 
 // Atom converts an ordinary (non-pattern) literal scheme to a relation.Atom.

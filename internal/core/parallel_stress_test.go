@@ -1,0 +1,174 @@
+package core_test
+
+// Race and cancellation stress for DecideParallel over generated instances.
+// This file lives in an external test package so it can draw scenarios from
+// internal/gen (which imports core). Run it under -race: the assertions are
+// half the test, the data-race detector is the other half.
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/gen"
+	"github.com/mqgo/metaquery/internal/rat"
+)
+
+// stressShapes mixes cheap and branchy shapes so some searches finish
+// before cancellation and others are cut mid-flight.
+var stressShapes = []string{"t0-chain", "t1-cycle", "t2-pad", "t0-repeat-pred"}
+
+// DecideParallel must return the same verdict as the sequential Decide for
+// randomized worker counts, and every witness must genuinely pass the
+// threshold.
+func TestDecideParallelMatchesSequentialStress(t *testing.T) {
+	for _, shape := range stressShapes {
+		for seed := int64(0); seed < 6; seed++ {
+			s, err := gen.NewScenario(seed, shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			for _, ix := range core.AllIndices {
+				k := rat.New(int64(rng.Intn(3)), int64(2+rng.Intn(3)))
+				wantYes, _, err := core.Decide(s.DB, s.MQ, ix, k, s.Type)
+				if err != nil {
+					t.Fatal(err)
+				}
+				workers := 1 + rng.Intn(8)
+				gotYes, wit, err := core.DecideParallel(s.DB, s.MQ, ix, k, s.Type, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotYes != wantYes {
+					t.Errorf("%s/%d %s>%s workers=%d: parallel %v, sequential %v",
+						shape, seed, ix, k, workers, gotYes, wantYes)
+				}
+				if wit != nil {
+					assertWitness(t, s, ix, k, wit)
+				}
+			}
+		}
+	}
+}
+
+// Cancelling mid-search must neither deadlock nor corrupt the result: the
+// call returns promptly with either a valid witness (found before the cut),
+// the context error, or a definitive NO when the space was exhausted first.
+func TestDecideParallelCancellationStress(t *testing.T) {
+	for _, shape := range stressShapes {
+		for seed := int64(0); seed < 6; seed++ {
+			s, err := gen.NewScenario(seed, shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed * 7))
+			for trial := 0; trial < 4; trial++ {
+				ix := core.AllIndices[rng.Intn(len(core.AllIndices))]
+				k := rat.New(int64(rng.Intn(2)), 2)
+				workers := 1 + rng.Intn(8)
+				ctx, cancel := context.WithCancel(context.Background())
+
+				var wg sync.WaitGroup
+				wg.Add(1)
+				delay := time.Duration(rng.Intn(300)) * time.Microsecond
+				go func() {
+					defer wg.Done()
+					time.Sleep(delay)
+					cancel()
+				}()
+
+				done := make(chan struct{})
+				var (
+					yes  bool
+					wit  *core.Instantiation
+					derr error
+				)
+				go func() {
+					yes, wit, derr = core.DecideParallelContext(ctx, s.DB, s.MQ, ix, k, s.Type, workers)
+					close(done)
+				}()
+				select {
+				case <-done:
+				case <-time.After(30 * time.Second):
+					t.Fatalf("%s/%d trial %d: DecideParallelContext deadlocked after cancellation", shape, seed, trial)
+				}
+				wg.Wait()
+				cancel()
+
+				switch {
+				case derr != nil:
+					if derr != context.Canceled {
+						t.Errorf("%s/%d trial %d: unexpected error %v", shape, seed, trial, derr)
+					}
+					if yes || wit != nil {
+						t.Errorf("%s/%d trial %d: error return carries a result", shape, seed, trial)
+					}
+				case yes:
+					if wit == nil {
+						t.Errorf("%s/%d trial %d: YES without witness", shape, seed, trial)
+					} else {
+						assertWitness(t, s, ix, k, wit)
+					}
+				default:
+					// Definitive NO despite the cancel: the search exhausted
+					// the space before the context was observed. Verify
+					// against an uncancelled sequential run.
+					wantYes, _, err := core.Decide(s.DB, s.MQ, ix, k, s.Type)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if wantYes {
+						t.Errorf("%s/%d trial %d: definitive NO but sequential search says YES", shape, seed, trial)
+					}
+				}
+			}
+		}
+	}
+}
+
+// A context cancelled before the call must not hang either, and must never
+// fabricate a definitive NO for an instance that has a witness.
+func TestDecideParallelPreCancelled(t *testing.T) {
+	s, err := gen.NewScenario(1, "t0-chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	yes, wit, derr := core.DecideParallelContext(ctx, s.DB, s.MQ, core.Sup, rat.Zero, s.Type, 4)
+	if derr == nil && !yes {
+		wantYes, _, err := core.Decide(s.DB, s.MQ, core.Sup, rat.Zero, s.Type)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantYes {
+			t.Error("pre-cancelled call returned definitive NO on a YES instance")
+		}
+	}
+	if yes && wit == nil {
+		t.Error("YES without witness")
+	}
+}
+
+// assertWitness checks witness validity: it must instantiate the metaquery
+// into a rule whose index value strictly exceeds k.
+func assertWitness(t *testing.T, s *gen.Scenario, ix core.Index, k rat.Rat, wit *core.Instantiation) {
+	t.Helper()
+	rule, err := wit.Apply(s.MQ)
+	if err != nil {
+		t.Errorf("witness does not instantiate %s: %v", s.MQ, err)
+		return
+	}
+	v, err := ix.Compute(s.DB, rule)
+	if err != nil {
+		t.Errorf("witness rule %s not evaluable: %v", rule, err)
+		return
+	}
+	if !v.Greater(k) {
+		t.Errorf("witness rule %s has %s = %s, not > %s", rule, ix, v, k)
+	}
+}

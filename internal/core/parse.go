@@ -106,10 +106,12 @@ func (p *parser) parseLiteral() (LiteralScheme, error) {
 				return LiteralScheme{}, err
 			}
 			if arg == "_" {
-				p.mute++
-				arg = fmt.Sprintf("_m%d", p.mute)
-			} else if !startsUpper(arg) {
-				return LiteralScheme{}, fmt.Errorf("argument %q of %s must be an ordinary variable (upper-case initial) or '_'", arg, pred)
+				arg = p.freshMute()
+			} else if !startsUpper(arg) && arg[0] != '_' {
+				// '_'-initial identifiers are ordinary variables too: the
+				// String renderer emits materialized mute variables (_m1)
+				// verbatim, and they must parse back to themselves.
+				return LiteralScheme{}, fmt.Errorf("argument %q of %s must be an ordinary variable (upper-case initial or '_'-initial)", arg, pred)
 			}
 			args = append(args, arg)
 			p.skipSpace()
@@ -153,6 +155,40 @@ func (p *parser) parseIdent() (string, error) {
 		return "", fmt.Errorf("expected identifier at offset %d", p.pos)
 	}
 	return p.src[start:p.pos], nil
+}
+
+// freshMute materializes one "_" occurrence as a fresh variable. Because
+// '_'-initial identifiers are themselves legal ordinary variables (String
+// renders materialized mutes verbatim and they must reparse), the counter
+// skips any _m<N> name the user wrote explicitly anywhere in the input —
+// otherwise a mute could silently alias an explicit variable.
+func (p *parser) freshMute() string {
+	for {
+		p.mute++
+		name := fmt.Sprintf("_m%d", p.mute)
+		if !identOccursIn(p.src, name) {
+			return name
+		}
+	}
+}
+
+// identOccursIn reports whether name occurs in src as a complete
+// identifier token (not as a prefix of a longer identifier).
+func identOccursIn(src, name string) bool {
+	for from := 0; ; {
+		i := strings.Index(src[from:], name)
+		if i < 0 {
+			return false
+		}
+		i += from
+		end := i + len(name)
+		beforeOK := i == 0 || !isIdentRune(rune(src[i-1]))
+		afterOK := end == len(src) || !isIdentRune(rune(src[end]))
+		if beforeOK && afterOK {
+			return true
+		}
+		from = i + 1
+	}
 }
 
 func isIdentRune(r rune) bool {

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+)
+
+// Materialized mute variables must never alias an explicit variable: the
+// fresh-name counter skips _m<N> identifiers the input already uses as
+// complete tokens (but not as prefixes of longer identifiers).
+func TestMuteVariablesNeverAliasExplicit(t *testing.T) {
+	mq, err := Parse("R(X) <- p(_m1,X), q(_,X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mq.Body[1].Args[0]; got == "_m1" {
+		t.Fatalf("mute in q materialized as %q, aliasing the explicit _m1 in p", got)
+	}
+	// A longer identifier sharing the prefix does not block the short name.
+	mq, err = Parse("R(X) <- p(_m12,X), q(_,X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mq.Body[1].Args[0]; got != "_m1" {
+		t.Errorf("mute materialized as %q, want _m1 (only whole-token collisions skip)", got)
+	}
+}
+
+// FuzzParse asserts the two parser robustness properties the repro corpus
+// pins down: Parse never panics on arbitrary input, and accepted inputs
+// reach a print/parse fixpoint — Parse(mq.String()) succeeds and renders
+// identically, so textual metaqueries are a faithful interchange format
+// (scenario repro files, cmd/metaquery -mq flags, corpus entries).
+//
+// Run with: go test -fuzz=FuzzParse ./internal/core
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"R(X,Z) <- P(X,Y), Q(Y,Z)",
+		`"UsPT"(X,Z) <- "UsCa"(X,Y), "CaTe"(Y,Z)`,
+		"P(X,_) <- P(X,_), Q(_,X)",
+		"R(X) :- p(X), q(X,X)",
+		"N(X1,X2) <- N(X1,X2), e(X1,X2)",
+		"R(X',Y) <- P'(X',Y)",
+		`"q r"(X) <- "1 2 3"(X,Y)`,
+		"R() <- p()",
+		"R(X)<-p(X),q(X)",
+		"R(X, Y) <-\n\tp(X,\tY)",
+		"R(X) <- ",
+		"<- p(X)",
+		"R(X",
+		`"unterminated(X) <- p(X)`,
+		"R(x) <- p(X)",
+		"R(_f1_0) <- p(X)",
+		"R(X) <- p(_m1,X), q(_,X)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		mq, err := Parse(input)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		text := mq.String()
+		mq2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(%q) accepted, but its rendering %q does not reparse: %v", input, text, err)
+		}
+		if text2 := mq2.String(); text2 != text {
+			t.Fatalf("print/parse not a fixpoint for %q: %q reparsed to %q", input, text, text2)
+		}
+		// The reparse must preserve structure, not just text: same literal
+		// scheme set and pattern/atom split.
+		ls1, ls2 := mq.LiteralSchemes(), mq2.LiteralSchemes()
+		if len(ls1) != len(ls2) {
+			t.Fatalf("reparse of %q changed the scheme set size", input)
+		}
+		for i := range ls1 {
+			if ls1[i].Key() != ls2[i].Key() {
+				t.Fatalf("reparse of %q changed scheme %d: %q vs %q", input, i, ls1[i].Key(), ls2[i].Key())
+			}
+		}
+	})
+}

@@ -1,0 +1,270 @@
+// Package diff is the differential oracle harness: it runs one generated
+// scenario (internal/gen) through every execution path of the repo — the
+// naive enumerator, the findRules engine, the Prepared/Stream session API,
+// and the sequential and parallel deciders — and checks each against the
+// transparent brute-force oracle (internal/oracle), rat-exact and
+// order-insensitive. A disagreement anywhere is a bug in one of the
+// production paths (or, symmetrically, in the oracle), and is reported as a
+// Mismatch naming the path and the divergence.
+//
+// cmd/mqfuzz drives this package over seed ranges; TestDifferentialSweep
+// pins a few hundred seeded cases into `go test ./...`; the corpus under
+// testdata/corpus replays previously found (or representative) scenarios as
+// regression tests.
+package diff
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/engine"
+	"github.com/mqgo/metaquery/internal/gen"
+	"github.com/mqgo/metaquery/internal/oracle"
+	"github.com/mqgo/metaquery/internal/rat"
+)
+
+// Mismatch describes one divergence between a production execution path and
+// the oracle (or between two production paths).
+type Mismatch struct {
+	Scenario *gen.Scenario
+	// Path names the execution path that disagreed: "naive", "engine",
+	// "stream", "stream-rerun", "decide", "decide-parallel",
+	// "engine-decide", "witness".
+	Path string
+	// Detail is a human-readable description of the divergence.
+	Detail string
+}
+
+// Error renders the mismatch as a one-line summary; the full repro comes
+// from MarshalScenario.
+func (m *Mismatch) Error() string {
+	return fmt.Sprintf("diff: %s/%d: path %q disagrees with the oracle: %s",
+		m.Scenario.Shape, m.Scenario.Seed, m.Path, m.Detail)
+}
+
+// admitted applies the scenario's strict thresholds to one oracle answer,
+// spelled out here rather than through core.Thresholds.Admits so the
+// expected set is derived without production code.
+func admitted(th core.Thresholds, a oracle.Answer) bool {
+	if th.CheckSup && !a.Sup.Greater(th.Sup) {
+		return false
+	}
+	if th.CheckCnf && !a.Cnf.Greater(th.Cnf) {
+		return false
+	}
+	if th.CheckCvr && !a.Cvr.Greater(th.Cvr) {
+		return false
+	}
+	return true
+}
+
+// answerKey is the order-insensitive identity of one answer: rule text plus
+// the three exact index values.
+func answerKey(rule string, sup, cnf, cvr rat.Rat) string {
+	return fmt.Sprintf("%s | sup=%s cnf=%s cvr=%s", rule, sup, cnf, cvr)
+}
+
+// answerSet folds answers into a multiset of answer keys.
+func answerSet(keys []string) map[string]int {
+	m := make(map[string]int, len(keys))
+	for _, k := range keys {
+		m[k]++
+	}
+	return m
+}
+
+// diffSets renders the difference between two answer multisets, or "" when
+// they are equal.
+func diffSets(got, want map[string]int) string {
+	var missing, extra []string
+	for k, n := range want {
+		if got[k] < n {
+			missing = append(missing, k)
+		}
+	}
+	for k, n := range got {
+		if want[k] < n {
+			extra = append(extra, k)
+		}
+	}
+	if len(missing) == 0 && len(extra) == 0 {
+		return ""
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	var b strings.Builder
+	if len(missing) > 0 {
+		fmt.Fprintf(&b, "missing %d answer(s):\n  %s", len(missing), strings.Join(missing, "\n  "))
+	}
+	if len(extra) > 0 {
+		if b.Len() > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "extra %d answer(s):\n  %s", len(extra), strings.Join(extra, "\n  "))
+	}
+	return b.String()
+}
+
+// coreKeys projects core answers onto answer keys.
+func coreKeys(as []core.Answer) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = answerKey(a.Rule.String(), a.Sup, a.Cnf, a.Cvr)
+	}
+	return out
+}
+
+// Run executes scenario s on every path and returns the first mismatch
+// found, or nil when all paths agree with the oracle exactly. Errors are
+// infrastructure failures (invalid scenario), not divergences.
+func Run(s *gen.Scenario) (*Mismatch, error) {
+	ctx := context.Background()
+
+	// Ground truth: one exhaustive oracle pass yields both the admissible
+	// answer set and the per-index maxima the decision bounds come from.
+	all, err := oracle.AllRules(s.DB, s.MQ, s.Type)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: %w", err)
+	}
+	var wantKeys []string
+	maxes := map[core.Index]rat.Rat{core.Sup: rat.Zero, core.Cnf: rat.Zero, core.Cvr: rat.Zero}
+	for _, a := range all {
+		maxes[core.Sup] = rat.Max(maxes[core.Sup], a.Sup)
+		maxes[core.Cnf] = rat.Max(maxes[core.Cnf], a.Cnf)
+		maxes[core.Cvr] = rat.Max(maxes[core.Cvr], a.Cvr)
+		if admitted(s.Th, a) {
+			wantKeys = append(wantKeys, answerKey(a.Rule.String(), a.Sup, a.Cnf, a.Cvr))
+		}
+	}
+	wantSet := answerSet(wantKeys)
+
+	// Path 1: naive enumerator.
+	naive, err := core.NaiveAnswers(s.DB, s.MQ, s.Type, s.Th)
+	if err != nil {
+		return nil, fmt.Errorf("naive: %w", err)
+	}
+	if d := diffSets(answerSet(coreKeys(naive)), wantSet); d != "" {
+		return &Mismatch{Scenario: s, Path: "naive", Detail: d}, nil
+	}
+
+	// Path 2: findRules engine (one-shot).
+	opt := engine.Options{Type: s.Type, Thresholds: s.Th}
+	eng := engine.NewEngine(s.DB)
+	prep, err := eng.Prepare(s.MQ, opt)
+	if err != nil {
+		return nil, fmt.Errorf("prepare: %w", err)
+	}
+	full, err := prep.FindRules(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	if d := diffSets(answerSet(coreKeys(full)), wantSet); d != "" {
+		return &Mismatch{Scenario: s, Path: "engine", Detail: d}, nil
+	}
+
+	// Path 3: Prepared.Stream, twice — the second execution rides the
+	// cross-execution node-join cache the first one populated.
+	for _, path := range []string{"stream", "stream-rerun"} {
+		var streamed []core.Answer
+		for a, serr := range prep.Stream(ctx) {
+			if serr != nil {
+				return nil, fmt.Errorf("%s: %w", path, serr)
+			}
+			streamed = append(streamed, a)
+		}
+		if d := diffSets(answerSet(coreKeys(streamed)), wantSet); d != "" {
+			return &Mismatch{Scenario: s, Path: path, Detail: d}, nil
+		}
+	}
+
+	// Decision problems: for every index, derive bounds that flip the
+	// verdict — 0 (YES iff the max index is positive) and the exact max
+	// (always NO under the strict comparison) — and check the sequential
+	// decider, the parallel decider (seeded worker count) and the
+	// engine-backed decider against the oracle's verdict, plus every
+	// returned witness against the oracle's index values.
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x5eed))
+	for _, ix := range core.AllIndices {
+		maxV := maxes[ix]
+		bounds := []rat.Rat{rat.Zero, maxV}
+		if maxV.Greater(rat.Zero) {
+			// A bound strictly inside (0, max) when one exists: max/2.
+			bounds = append(bounds, rat.New(maxV.Num(), maxV.Den()*2))
+		}
+		for _, k := range bounds {
+			wantYes := maxV.Greater(k)
+
+			gotSeq, wit, err := core.Decide(s.DB, s.MQ, ix, k, s.Type)
+			if err != nil {
+				return nil, fmt.Errorf("decide: %w", err)
+			}
+			if gotSeq != wantYes {
+				return &Mismatch{Scenario: s, Path: "decide",
+					Detail: fmt.Sprintf("%s > %s: got %v, oracle max %s says %v", ix, k, gotSeq, maxV, wantYes)}, nil
+			}
+			if m := checkWitness(s, ix, k, wit, "decide"); m != nil {
+				return m, nil
+			}
+
+			workers := 1 + rng.Intn(6)
+			gotPar, witPar, err := core.DecideParallel(s.DB, s.MQ, ix, k, s.Type, workers)
+			if err != nil {
+				return nil, fmt.Errorf("decide-parallel: %w", err)
+			}
+			if gotPar != wantYes {
+				return &Mismatch{Scenario: s, Path: "decide-parallel",
+					Detail: fmt.Sprintf("%s > %s (workers=%d): got %v, oracle says %v", ix, k, workers, gotPar, wantYes)}, nil
+			}
+			if m := checkWitness(s, ix, k, witPar, "decide-parallel"); m != nil {
+				return m, nil
+			}
+
+			gotEng, witEng, err := eng.Decide(ctx, s.MQ, ix, k, s.Type)
+			if err != nil {
+				return nil, fmt.Errorf("engine-decide: %w", err)
+			}
+			if gotEng != wantYes {
+				return &Mismatch{Scenario: s, Path: "engine-decide",
+					Detail: fmt.Sprintf("%s > %s: got %v, oracle says %v", ix, k, gotEng, wantYes)}, nil
+			}
+			if m := checkWitness(s, ix, k, witEng, "engine-decide"); m != nil {
+				return m, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkWitness verifies a decider's witness against the oracle: applying it
+// to the metaquery must yield a rule whose index value genuinely exceeds k.
+func checkWitness(s *gen.Scenario, ix core.Index, k rat.Rat, wit *core.Instantiation, path string) *Mismatch {
+	if wit == nil {
+		return nil
+	}
+	rule, err := wit.Apply(s.MQ)
+	if err != nil {
+		return &Mismatch{Scenario: s, Path: path + "-witness",
+			Detail: fmt.Sprintf("witness %s does not instantiate the metaquery: %v", wit, err)}
+	}
+	sup, cnf, cvr, err := oracle.Indices(s.DB, rule)
+	if err != nil {
+		return &Mismatch{Scenario: s, Path: path + "-witness",
+			Detail: fmt.Sprintf("witness rule %s not evaluable: %v", rule, err)}
+	}
+	v := sup
+	switch ix {
+	case core.Cnf:
+		v = cnf
+	case core.Cvr:
+		v = cvr
+	}
+	if !v.Greater(k) {
+		return &Mismatch{Scenario: s, Path: path + "-witness",
+			Detail: fmt.Sprintf("witness rule %s has %s = %s, not > %s", rule, ix, v, k)}
+	}
+	return nil
+}

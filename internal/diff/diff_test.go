@@ -1,0 +1,264 @@
+package diff
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/gen"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// seedsPerShape * len(gen.Shapes()) must stay >= 300: the differential
+// sweep is the repo's primary correctness gate and runs in short mode too.
+const seedsPerShape = 25
+
+// TestDifferentialSweep runs the full harness — oracle vs. naive, engine,
+// stream (twice), and all three deciders with witness validation — over
+// hundreds of seeded scenarios across every registered shape.
+func TestDifferentialSweep(t *testing.T) {
+	shapes := gen.Shapes()
+	if total := seedsPerShape * len(shapes); total < 300 {
+		t.Fatalf("sweep covers only %d cases; the harness promises >= 300", total)
+	}
+	for _, shape := range shapes {
+		shape := shape
+		t.Run(shape, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < seedsPerShape; seed++ {
+				s, err := gen.NewScenario(seed, shape)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err := Run(s)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if m != nil {
+					min := Minimize(s)
+					repro, merr := MarshalScenario(min)
+					if merr != nil {
+						repro = "(marshal failed: " + merr.Error() + ")"
+					}
+					t.Fatalf("%v\nminimized repro (commit under internal/diff/testdata/corpus/):\n%s", m, repro)
+				}
+			}
+		})
+	}
+}
+
+// Every committed corpus entry must keep passing the full harness: corpus
+// entries are minimized repros of past failures (or representative pinned
+// scenarios), so a regression here is a reintroduced bug.
+func TestCorpus(t *testing.T) {
+	entries, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.scenario"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no corpus entries found; the corpus must at least hold the pinned seed scenarios")
+	}
+	for _, path := range entries {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := UnmarshalScenario(string(blob))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m != nil {
+				t.Fatalf("corpus regression: %v", m)
+			}
+		})
+	}
+}
+
+// Marshal/Unmarshal must round-trip scenarios exactly: same metaquery text,
+// thresholds, schemas and row sets — including CSV-hostile constants.
+func TestScenarioRoundTrip(t *testing.T) {
+	for _, shape := range gen.Shapes() {
+		s, err := gen.NewScenario(11, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text, err := MarshalScenario(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalScenario(text)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", shape, err, text)
+		}
+		if back.MQ.String() != s.MQ.String() {
+			t.Errorf("%s: metaquery round-trip %q != %q", shape, back.MQ, s.MQ)
+		}
+		if back.Type != s.Type || back.Th != s.Th || back.Seed != s.Seed || back.Shape != s.Shape {
+			t.Errorf("%s: scenario metadata changed in round-trip", shape)
+		}
+		text2, err := MarshalScenario(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if text2 != text {
+			t.Errorf("%s: marshal not a fixpoint:\n%s\nvs\n%s", shape, text, text2)
+		}
+	}
+}
+
+// Minimize must return a passing scenario unchanged.
+func TestMinimizePassingScenarioUnchanged(t *testing.T) {
+	s, err := gen.NewScenario(3, "t0-chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Minimize(s); got != s {
+		t.Error("Minimize must return a passing scenario unchanged")
+	}
+}
+
+// On a synthetic failure — injected through the swappable run check, since
+// the production paths currently agree with the oracle everywhere — the
+// minimizer must shrink the scenario to the failure's essential core
+// (here: one needle tuple) while keeping it failing, valid, and
+// marshalable.
+func TestMinimizeShrinksToFailureCore(t *testing.T) {
+	s, err := gen.NewScenario(5, "t0-chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant a needle tuple in the first relation.
+	names := s.DB.RelationNames()
+	needleRel := names[0]
+	arity := s.DB.Relation(needleRel).Arity()
+	needle := make([]string, arity)
+	for i := range needle {
+		needle[i] = "needle"
+	}
+	s.DB.MustInsertNamed(needleRel, needle...)
+
+	orig := runCheck
+	defer func() { runCheck = orig }()
+	runCheck = func(c *gen.Scenario) (*Mismatch, error) {
+		rel := c.DB.Relation(needleRel)
+		if rel == nil {
+			return nil, nil
+		}
+		if v, ok := c.DB.Dict().Lookup("needle"); ok {
+			needleTup := make(relation.Tuple, arity)
+			for i := range needleTup {
+				needleTup[i] = v
+			}
+			if rel.Contains(needleTup) {
+				return &Mismatch{Scenario: c, Path: "synthetic", Detail: "needle present"}, nil
+			}
+		}
+		return nil, nil
+	}
+
+	min := Minimize(s)
+	if !stillFails(min) {
+		t.Fatal("minimized scenario no longer fails")
+	}
+	// Everything inessential is gone: only the needle relation with only
+	// the needle tuple, and a single body literal.
+	if got := min.DB.Relation(needleRel).Len(); got != 1 {
+		t.Errorf("minimized needle relation has %d tuples, want 1", got)
+	}
+	if got := min.DB.NumRelations(); got != 1 {
+		t.Errorf("minimized database has %d relations, want 1", got)
+	}
+	if got := len(min.MQ.Body); got != 1 {
+		t.Errorf("minimized metaquery has %d body literals, want 1", got)
+	}
+	if _, err := MarshalScenario(min); err != nil {
+		t.Fatalf("minimized scenario does not marshal: %v", err)
+	}
+}
+
+// Constants that collide with the block grammar — the literal "end"
+// terminator and the empty string — must still round-trip: the marshaller
+// force-quotes them.
+func TestScenarioRoundTripGrammarCollidingConstants(t *testing.T) {
+	db := relation.NewDatabase()
+	db.MustInsertNamed("r0", "end")
+	db.MustInsertNamed("r0", "")
+	db.MustInsertNamed("r0", "plain")
+	db.MustInsertNamed("r1", "end", "x")
+	s := &gen.Scenario{Shape: "hand", DB: db, MQ: core.MustParse("R(X) <- P(X)"), Type: core.Type0}
+	text, err := MarshalScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalScenario(text)
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\n%s", err, text)
+	}
+	if got := back.DB.Relation("r0").Len(); got != 3 {
+		t.Errorf("r0 has %d rows after round-trip, want 3\n%s", got, text)
+	}
+	if got := back.DB.Relation("r1").Len(); got != 1 {
+		t.Errorf("r1 has %d rows after round-trip, want 1\n%s", got, text)
+	}
+	for _, c := range []string{"end", "", "plain"} {
+		if _, ok := back.DB.Dict().Lookup(c); !ok {
+			t.Errorf("constant %q lost in round-trip\n%s", c, text)
+		}
+	}
+}
+
+// Unmarshal must reject malformed inputs with errors, not panics.
+func TestUnmarshalErrors(t *testing.T) {
+	bad := []string{
+		"",                             // no mq
+		"mq not a metaquery",           // parse error
+		"type 7\nmq R(X) <- p(X)",      // bad type
+		"rel r0\nmq R(X) <- p(X)",      // bad rel line
+		"seed x\nmq R(X) <- p(X)",      // bad seed
+		"mq R(X) <- p(X)\nrel r0 1\na", // missing end
+		"bogus line",                   // unrecognized
+	}
+	for _, text := range bad {
+		if _, err := UnmarshalScenario(text); err == nil {
+			t.Errorf("UnmarshalScenario(%q) succeeded, want error", text)
+		}
+	}
+}
+
+// The textual format documented in MarshalScenario parses as written.
+func TestUnmarshalDocumentedExample(t *testing.T) {
+	text := strings.Join([]string{
+		"# mqfuzz repro",
+		"shape t0-chain",
+		"seed 17",
+		"type 0",
+		"sup 1/3",
+		"mq R(X,Z) <- P1(X,Y), P2(Y,Z)",
+		"rel r0 2",
+		"a,b",
+		`"c,d",e`,
+		"end",
+		"",
+	}, "\n")
+	s, err := UnmarshalScenario(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DB.Relation("r0").Len() != 2 {
+		t.Errorf("r0 has %d rows, want 2", s.DB.Relation("r0").Len())
+	}
+	if !s.Th.CheckSup || s.Th.CheckCnf {
+		t.Error("threshold flags not parsed")
+	}
+	if _, ok := s.DB.Dict().Lookup("c,d"); !ok {
+		t.Error("CSV-quoted constant not preserved")
+	}
+}

@@ -1,0 +1,297 @@
+package diff
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/gen"
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// MarshalScenario renders a scenario as the committable textual repro
+// format used by cmd/mqfuzz and the testdata/corpus regression entries:
+//
+//	# mqfuzz repro (optional comment lines)
+//	shape t0-chain
+//	seed 17
+//	type 0
+//	sup 1/3          (omitted when the check is disabled)
+//	mq R(X,Z) <- P1(X,Y), P2(Y,Z)
+//	rel r0 2
+//	a,b              (CSV rows; quoting per encoding/csv)
+//	end
+//
+// The format is self-contained: UnmarshalScenario rebuilds the exact
+// database (schemas, rows, constants) and query, so a repro keeps failing —
+// or keeps passing — regardless of generator changes.
+func MarshalScenario(s *gen.Scenario) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# mqfuzz scenario\n")
+	fmt.Fprintf(&b, "shape %s\n", s.Shape)
+	fmt.Fprintf(&b, "seed %d\n", s.Seed)
+	fmt.Fprintf(&b, "type %d\n", int(s.Type))
+	if s.Th.CheckSup {
+		fmt.Fprintf(&b, "sup %s\n", s.Th.Sup)
+	}
+	if s.Th.CheckCnf {
+		fmt.Fprintf(&b, "cnf %s\n", s.Th.Cnf)
+	}
+	if s.Th.CheckCvr {
+		fmt.Fprintf(&b, "cvr %s\n", s.Th.Cvr)
+	}
+	fmt.Fprintf(&b, "mq %s\n", s.MQ)
+	for _, name := range s.DB.RelationNames() {
+		rel := s.DB.Relation(name)
+		fmt.Fprintf(&b, "rel %s %d\n", name, rel.Arity())
+		dict := s.DB.Dict()
+		for i := 0; i < rel.Len(); i++ {
+			row := rel.Row(i)
+			rec := make([]string, len(row))
+			for j, v := range row {
+				rec[j] = dict.Name(v)
+			}
+			line, err := csvLine(rec)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "end\n")
+	}
+	return b.String(), nil
+}
+
+// csvLine renders one record as a single CSV line. Records whose bare
+// rendering would collide with the block grammar — the literal terminator
+// line "end", or an empty line (which csv readers skip) — are force-quoted,
+// which encodes the same values unambiguously.
+func csvLine(rec []string) (string, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.Write(rec); err != nil {
+		return "", err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return "", err
+	}
+	line := strings.TrimRight(buf.String(), "\n")
+	if line == "end" || line == "" {
+		quoted := make([]string, len(rec))
+		for i, f := range rec {
+			quoted[i] = `"` + strings.ReplaceAll(f, `"`, `""`) + `"`
+		}
+		line = strings.Join(quoted, ",")
+	}
+	return line, nil
+}
+
+// UnmarshalScenario parses the MarshalScenario format.
+func UnmarshalScenario(text string) (*gen.Scenario, error) {
+	s := &gen.Scenario{DB: relation.NewDatabase()}
+	// Disabled thresholds hold the canonical zero, matching the generator.
+	s.Th.Sup, s.Th.Cnf, s.Th.Cvr = rat.Zero, rat.Zero, rat.Zero
+	lines := strings.Split(text, "\n")
+	i := 0
+	sawMQ := false
+	for i < len(lines) {
+		line := strings.TrimRight(lines[i], "\r")
+		i++
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+			continue
+		case strings.HasPrefix(line, "shape "):
+			s.Shape = strings.TrimSpace(line[len("shape "):])
+		case strings.HasPrefix(line, "seed "):
+			n, err := strconv.ParseInt(strings.TrimSpace(line[len("seed "):]), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("diff: bad seed line %q: %v", line, err)
+			}
+			s.Seed = n
+		case strings.HasPrefix(line, "type "):
+			n, err := strconv.Atoi(strings.TrimSpace(line[len("type "):]))
+			if err != nil || n < 0 || n > 2 {
+				return nil, fmt.Errorf("diff: bad type line %q", line)
+			}
+			s.Type = core.InstType(n)
+		case strings.HasPrefix(line, "sup "):
+			v, err := rat.Parse(strings.TrimSpace(line[len("sup "):]))
+			if err != nil {
+				return nil, fmt.Errorf("diff: bad sup line %q: %v", line, err)
+			}
+			s.Th.Sup, s.Th.CheckSup = v, true
+		case strings.HasPrefix(line, "cnf "):
+			v, err := rat.Parse(strings.TrimSpace(line[len("cnf "):]))
+			if err != nil {
+				return nil, fmt.Errorf("diff: bad cnf line %q: %v", line, err)
+			}
+			s.Th.Cnf, s.Th.CheckCnf = v, true
+		case strings.HasPrefix(line, "cvr "):
+			v, err := rat.Parse(strings.TrimSpace(line[len("cvr "):]))
+			if err != nil {
+				return nil, fmt.Errorf("diff: bad cvr line %q: %v", line, err)
+			}
+			s.Th.Cvr, s.Th.CheckCvr = v, true
+		case strings.HasPrefix(line, "mq "):
+			mq, err := core.Parse(line[len("mq "):])
+			if err != nil {
+				return nil, fmt.Errorf("diff: %v", err)
+			}
+			s.MQ = mq
+			sawMQ = true
+		case strings.HasPrefix(line, "rel "):
+			fields := strings.Fields(line)
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("diff: bad rel line %q", line)
+			}
+			arity, err := strconv.Atoi(fields[2])
+			if err != nil || arity < 0 {
+				return nil, fmt.Errorf("diff: bad arity in %q", line)
+			}
+			name := fields[1]
+			if _, err := s.DB.AddRelation(name, arity); err != nil {
+				return nil, fmt.Errorf("diff: %v", err)
+			}
+			// Collect the CSV block up to "end".
+			start := i
+			for i < len(lines) && strings.TrimRight(lines[i], "\r") != "end" {
+				i++
+			}
+			if i >= len(lines) {
+				return nil, fmt.Errorf("diff: relation %s block missing 'end'", name)
+			}
+			block := strings.Join(lines[start:i], "\n")
+			i++ // consume "end"
+			if strings.TrimSpace(block) == "" {
+				continue
+			}
+			r := csv.NewReader(strings.NewReader(block))
+			r.FieldsPerRecord = arity
+			recs, err := r.ReadAll()
+			if err != nil {
+				return nil, fmt.Errorf("diff: relation %s rows: %v", name, err)
+			}
+			for _, rec := range recs {
+				if err := s.DB.InsertNamed(name, rec...); err != nil {
+					return nil, fmt.Errorf("diff: %v", err)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("diff: unrecognized line %q", line)
+		}
+	}
+	if !sawMQ {
+		return nil, fmt.Errorf("diff: scenario has no mq line")
+	}
+	return s, nil
+}
+
+// Minimize greedily shrinks a mismatching scenario while Run still reports
+// a mismatch: it tries dropping body literals, whole relations, and
+// individual tuples, repeating until no single reduction keeps the failure
+// alive. The result is the committable repro cmd/mqfuzz prints.
+func Minimize(s *gen.Scenario) *gen.Scenario {
+	cur := s
+	for {
+		next := shrinkOnce(cur)
+		if next == nil {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// runCheck is the failure predicate Minimize preserves; tests swap it to
+// exercise the minimizer on synthetic failures.
+var runCheck = Run
+
+// stillFails reports whether the candidate scenario still mismatches.
+// Scenarios whose reduction makes them invalid (e.g. an ordinary atom's
+// relation was dropped) are treated as not failing.
+func stillFails(s *gen.Scenario) bool {
+	if s.MQ == nil || len(s.MQ.Body) == 0 {
+		return false
+	}
+	if err := core.ValidateForType(s.DB, s.MQ, s.Type); err != nil {
+		return false
+	}
+	m, err := runCheck(s)
+	return err == nil && m != nil
+}
+
+// shrinkOnce returns the first single-step reduction that still fails, or
+// nil when none does.
+func shrinkOnce(s *gen.Scenario) *gen.Scenario {
+	// Drop one body literal.
+	if len(s.MQ.Body) > 1 {
+		for drop := range s.MQ.Body {
+			body := make([]core.LiteralScheme, 0, len(s.MQ.Body)-1)
+			for i, l := range s.MQ.Body {
+				if i != drop {
+					body = append(body, l)
+				}
+			}
+			mq, err := core.NewMetaquery(s.MQ.Head, body...)
+			if err != nil {
+				continue
+			}
+			cand := &gen.Scenario{Seed: s.Seed, Shape: s.Shape, DB: s.DB, MQ: mq, Type: s.Type, Th: s.Th}
+			if stillFails(cand) {
+				return cand
+			}
+		}
+	}
+	// Drop one whole relation.
+	names := s.DB.RelationNames()
+	if len(names) > 1 {
+		for _, drop := range names {
+			cand := &gen.Scenario{Seed: s.Seed, Shape: s.Shape, DB: rebuildDB(s.DB, drop, "", -1), MQ: s.MQ, Type: s.Type, Th: s.Th}
+			if stillFails(cand) {
+				return cand
+			}
+		}
+	}
+	// Drop one tuple.
+	for _, name := range names {
+		rel := s.DB.Relation(name)
+		for i := 0; i < rel.Len(); i++ {
+			cand := &gen.Scenario{Seed: s.Seed, Shape: s.Shape, DB: rebuildDB(s.DB, "", name, i), MQ: s.MQ, Type: s.Type, Th: s.Th}
+			if stillFails(cand) {
+				return cand
+			}
+		}
+	}
+	return nil
+}
+
+// rebuildDB copies db, omitting the named relation entirely (dropRel != "")
+// or one tuple (skipRel's row skipIdx).
+func rebuildDB(db *relation.Database, dropRel, skipRel string, skipIdx int) *relation.Database {
+	out := relation.NewDatabase()
+	dict := db.Dict()
+	for _, name := range db.RelationNames() {
+		if name == dropRel {
+			continue
+		}
+		rel := db.Relation(name)
+		out.MustAddRelation(name, rel.Arity())
+		for i := 0; i < rel.Len(); i++ {
+			if name == skipRel && i == skipIdx {
+				continue
+			}
+			row := rel.Row(i)
+			rec := make([]string, len(row))
+			for j, v := range row {
+				rec[j] = dict.Name(v)
+			}
+			out.MustInsertNamed(name, rec...)
+		}
+	}
+	return out
+}

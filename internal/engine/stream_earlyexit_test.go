@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/workload"
+)
+
+// Breaking out of Stream after the first answer must abandon the remaining
+// search: the recorded effort counters stay strictly below those of a full
+// run of the same Prepared — on every axis, not just in aggregate — and the
+// Prepared stays fully reusable afterwards (complete FindRules answer set,
+// complete fresh stream). Complements TestStreamEarlyExitDoesLessWork
+// (session_test.go), which compares against a fresh Prepared.
+func TestStreamAbandonedSearchStatsAndReuse(t *testing.T) {
+	db := workload.DB1()
+	mq := workload.MQ4()
+	eng := NewEngine(db)
+	p, err := eng.Prepare(mq, Options{Type: core.Type0})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline: the full search, counters included.
+	full, fullStats, err := p.FindRulesStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 2 {
+		t.Fatalf("workload yields %d answers; the early-exit comparison needs at least 2", len(full))
+	}
+
+	// Early exit: break after the first streamed answer.
+	var early Stats
+	got := 0
+	for _, serr := range p.StreamStats(context.Background(), &early) {
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		got++
+		break
+	}
+	if got != 1 {
+		t.Fatalf("streamed %d answers before break, want 1", got)
+	}
+	if early.Answers != 1 {
+		t.Errorf("early stats report %d answers, want 1 (the delivered one)", early.Answers)
+	}
+
+	// Strictly less work on every search-effort axis that grows with the
+	// explored candidate space.
+	if early.BodyCandidatesTried >= fullStats.BodyCandidatesTried {
+		t.Errorf("early exit tried %d body candidates, full run %d; want strictly less",
+			early.BodyCandidatesTried, fullStats.BodyCandidatesTried)
+	}
+	if early.BodiesReachedRoot >= fullStats.BodiesReachedRoot {
+		t.Errorf("early exit completed %d bodies, full run %d; want strictly less",
+			early.BodiesReachedRoot, fullStats.BodiesReachedRoot)
+	}
+	if early.HeadsTried >= fullStats.HeadsTried {
+		t.Errorf("early exit tried %d heads, full run %d; want strictly less",
+			early.HeadsTried, fullStats.HeadsTried)
+	}
+
+	// The Prepared must remain reusable after an abandoned stream: a full
+	// FindRules still returns the complete sorted answer set.
+	again, err := p.FindRules(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(full) {
+		t.Fatalf("after abandoned stream, FindRules returned %d answers, want %d", len(again), len(full))
+	}
+	for i := range again {
+		if again[i].Rule.String() != full[i].Rule.String() {
+			t.Fatalf("answer %d differs after abandoned stream: %s vs %s", i, again[i].Rule, full[i].Rule)
+		}
+	}
+	// And a fresh complete stream on the same Prepared delivers every answer.
+	count := 0
+	for _, serr := range p.Stream(context.Background()) {
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		count++
+	}
+	if count != len(full) {
+		t.Fatalf("post-break full stream delivered %d answers, want %d", count, len(full))
+	}
+}
+
+// An early exit with a positive Limit interacts correctly: breaking before
+// the limit still abandons the search and records only delivered answers.
+func TestStreamEarlyExitWithLimit(t *testing.T) {
+	db := workload.DB1()
+	mq := workload.MQ4()
+	eng := NewEngine(db)
+	p, err := eng.Prepare(mq, Options{Type: core.Type0, Limit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	got := 0
+	for _, serr := range p.StreamStats(context.Background(), &st) {
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		got++
+		if got == 2 {
+			break
+		}
+	}
+	if got != 2 || st.Answers != 2 {
+		t.Fatalf("delivered %d answers with stats reporting %d, want 2/2", got, st.Answers)
+	}
+}

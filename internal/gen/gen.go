@@ -1,0 +1,344 @@
+// Package gen produces seeded random metaquerying scenarios — databases and
+// metaqueries of controllable shape — for the differential oracle harness
+// (internal/diff) and the fuzz/stress suites. Everything is deterministic in
+// the seed: the same (seed, shape) pair always yields byte-identical
+// scenarios, so any failure found by cmd/mqfuzz is reproducible and
+// committable as a regression corpus entry.
+//
+// The generators cover the axes the paper's complexity map cares about:
+// instantiation type (0/1/2), acyclic vs. cyclic bodies, pattern count,
+// repeated predicate variables, repeated variables inside a literal, mixed
+// arities, ordinary atoms in the body, and head variables absent from the
+// body. Each named Shape fixes one point in that space; seeds vary the data.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// DBConfig bounds a random database. All counts are inclusive ranges where a
+// Min/Max pair is given.
+type DBConfig struct {
+	// Relations is the number of relations (named r0, r1, ...).
+	Relations int
+	// MinArity and MaxArity bound each relation's arity, drawn uniformly.
+	MinArity, MaxArity int
+	// MinTuples and MaxTuples bound each relation's tuple count.
+	MinTuples, MaxTuples int
+	// Domain is the active-domain size (constants d0 .. d<Domain-1>).
+	Domain int
+	// Skew biases constant choice toward low-numbered constants: 0 is
+	// uniform; larger values concentrate probability mass, producing the
+	// heavy-hitter value distributions that stress join selectivity.
+	Skew float64
+	// FancyConsts replaces the plain d<i> constant names with names
+	// containing spaces, commas, quotes and non-ASCII runes, for
+	// serialization round-trip stress (CSV, repro files).
+	FancyConsts bool
+}
+
+// fancyNames decorates constant index i with CSV-hostile characters. Names
+// never start with '#' and carry no leading/trailing whitespace (the CSV
+// loader's documented comment and trimming rules).
+var fancyDecor = []string{`c %d`, `v,%d`, `q"%d"`, `λ%d`, `x %d,y`, `d%d`}
+
+// constName names constant i under the config's naming mode.
+func (c DBConfig) constName(i int) string {
+	if !c.FancyConsts {
+		return fmt.Sprintf("d%d", i)
+	}
+	return fmt.Sprintf(fancyDecor[i%len(fancyDecor)], i)
+}
+
+// drawConst picks a constant index with the configured skew.
+func (c DBConfig) drawConst(rng *rand.Rand) int {
+	if c.Domain <= 1 {
+		return 0
+	}
+	u := rng.Float64()
+	if c.Skew > 0 {
+		u = math.Pow(u, 1+c.Skew)
+	}
+	i := int(u * float64(c.Domain))
+	if i >= c.Domain {
+		i = c.Domain - 1
+	}
+	return i
+}
+
+// Generate materializes a database from the config and rng. Arity draws are
+// made relation-by-relation, so the arity distribution is part of the seeded
+// stream.
+func (c DBConfig) Generate(rng *rand.Rand) *relation.Database {
+	db := relation.NewDatabase()
+	for r := 0; r < c.Relations; r++ {
+		arity := c.MinArity
+		if c.MaxArity > c.MinArity {
+			arity += rng.Intn(c.MaxArity - c.MinArity + 1)
+		}
+		name := fmt.Sprintf("r%d", r)
+		db.MustAddRelation(name, arity)
+		n := c.MinTuples
+		if c.MaxTuples > c.MinTuples {
+			n += rng.Intn(c.MaxTuples - c.MinTuples + 1)
+		}
+		row := make([]string, arity)
+		for i := 0; i < n; i++ {
+			for j := range row {
+				row[j] = c.constName(c.drawConst(rng))
+			}
+			db.MustInsertNamed(name, row...)
+		}
+	}
+	return db
+}
+
+// MQConfig bounds a random metaquery. Generated metaqueries are always pure
+// (every two patterns sharing a predicate variable have the same arity), so
+// all three instantiation types apply.
+type MQConfig struct {
+	// BodyPatterns is the number of relation patterns in the body.
+	BodyPatterns int
+	// PatternArity is the arity of every pattern (purity keeps this single).
+	PatternArity int
+	// Cyclic builds the body as a variable cycle (hypertree width 2 for
+	// cycles of length >= 3 of binary patterns); otherwise a chain/star mix.
+	Cyclic bool
+	// Star builds a star (all patterns share variable X0) instead of a chain.
+	Star bool
+	// RepeatPredVar reuses the first body pattern's predicate variable for
+	// the last body pattern (exercising the functionality constraint on σ').
+	RepeatPredVar bool
+	// RepeatArgs makes the first body pattern use one variable in every
+	// position (equality selection inside a literal).
+	RepeatArgs bool
+	// IncludeAtom appends one ordinary atom naming a database relation
+	// (drawn from db's schema) to the body.
+	IncludeAtom bool
+	// HeadFreeVar gives the head one variable that occurs nowhere in the
+	// body (joins against the body become cartesian on that column).
+	HeadFreeVar bool
+	// HeadSharesPredVar names the head with the first body pattern's
+	// predicate variable instead of a fresh one.
+	HeadSharesPredVar bool
+}
+
+// Generate builds a metaquery over db's schema from the config and rng.
+func (c MQConfig) Generate(rng *rand.Rand, db *relation.Database) (*core.Metaquery, error) {
+	if c.BodyPatterns < 1 {
+		return nil, fmt.Errorf("gen: BodyPatterns must be >= 1")
+	}
+	a := c.PatternArity
+	if a < 1 {
+		a = 2
+	}
+	v := func(i int) string { return fmt.Sprintf("X%d", i) }
+
+	// Body variable frame: chain, star or cycle over X0..; extra argument
+	// positions (arity > 2) draw from the same pool.
+	var body []core.LiteralScheme
+	pred := func(i int) string {
+		if c.RepeatPredVar && i == c.BodyPatterns-1 && c.BodyPatterns > 1 {
+			return "P1"
+		}
+		return fmt.Sprintf("P%d", i+1)
+	}
+	nVars := c.BodyPatterns + 1
+	if c.Cyclic {
+		// A cycle closes back onto X0: only X0..X{m-1} occur in the body.
+		nVars = c.BodyPatterns
+	}
+	for i := 0; i < c.BodyPatterns; i++ {
+		args := make([]string, a)
+		switch {
+		case c.RepeatArgs && i == 0:
+			for j := range args {
+				args[j] = v(0)
+			}
+		case c.Cyclic:
+			args[0] = v(i)
+			if a > 1 {
+				args[1] = v((i + 1) % c.BodyPatterns)
+			}
+			for j := 2; j < a; j++ {
+				args[j] = v(rng.Intn(c.BodyPatterns))
+			}
+		case c.Star:
+			args[0] = v(0)
+			if a > 1 {
+				args[1] = v(i + 1)
+			}
+			for j := 2; j < a; j++ {
+				args[j] = v(rng.Intn(nVars))
+			}
+		default: // chain
+			args[0] = v(i)
+			if a > 1 {
+				args[1] = v(i + 1)
+			}
+			for j := 2; j < a; j++ {
+				args[j] = v(rng.Intn(nVars))
+			}
+		}
+		body = append(body, core.Pattern(pred(i), args...))
+	}
+
+	if c.IncludeAtom {
+		names := db.RelationNames()
+		if len(names) > 0 {
+			name := names[rng.Intn(len(names))]
+			ar := db.Relation(name).Arity()
+			args := make([]string, ar)
+			for j := range args {
+				args[j] = v(rng.Intn(nVars))
+			}
+			body = append(body, core.SchemeAtom(name, args...))
+		}
+	}
+
+	// Head: same arity as the patterns (purity when sharing a pred var).
+	headArgs := make([]string, a)
+	for j := range headArgs {
+		headArgs[j] = v(rng.Intn(nVars))
+	}
+	if c.HeadFreeVar {
+		headArgs[0] = "Z0" // occurs nowhere in the body
+	}
+	headPred := "R"
+	if c.HeadSharesPredVar {
+		headPred = "P1"
+	}
+	return core.NewMetaquery(core.Pattern(headPred, headArgs...), body...)
+}
+
+// Scenario is one generated differential test case: a database, a
+// metaquery, an instantiation type and admissibility thresholds.
+type Scenario struct {
+	Seed  int64
+	Shape string
+	DB    *relation.Database
+	MQ    *core.Metaquery
+	Type  core.InstType
+	Th    core.Thresholds
+}
+
+// shapeSpec fixes one point in the scenario space; seeds vary the data.
+type shapeSpec struct {
+	name string
+	typ  core.InstType
+	db   DBConfig
+	mq   MQConfig
+}
+
+// shapes is the registry of named scenario shapes, covering the axes of the
+// paper's complexity map. Sizes are deliberately tiny: the oracle is a
+// nested-loop brute-forcer and the harness runs hundreds of cases per test.
+var shapes = []shapeSpec{
+	{"t0-chain", core.Type0,
+		DBConfig{Relations: 3, MinArity: 2, MaxArity: 2, MinTuples: 3, MaxTuples: 7, Domain: 4},
+		MQConfig{BodyPatterns: 3, PatternArity: 2}},
+	{"t0-star", core.Type0,
+		DBConfig{Relations: 3, MinArity: 2, MaxArity: 2, MinTuples: 3, MaxTuples: 7, Domain: 4, Skew: 1.5},
+		MQConfig{BodyPatterns: 3, PatternArity: 2, Star: true}},
+	{"t0-mixed-arity", core.Type0,
+		DBConfig{Relations: 4, MinArity: 1, MaxArity: 3, MinTuples: 2, MaxTuples: 6, Domain: 4},
+		MQConfig{BodyPatterns: 2, PatternArity: 2}},
+	{"t0-repeat-pred", core.Type0,
+		DBConfig{Relations: 3, MinArity: 2, MaxArity: 2, MinTuples: 3, MaxTuples: 6, Domain: 3},
+		MQConfig{BodyPatterns: 3, PatternArity: 2, RepeatPredVar: true}},
+	{"t0-atom-mix", core.Type0,
+		DBConfig{Relations: 3, MinArity: 2, MaxArity: 2, MinTuples: 3, MaxTuples: 6, Domain: 4},
+		MQConfig{BodyPatterns: 2, PatternArity: 2, IncludeAtom: true}},
+	{"t0-selfhead", core.Type0,
+		DBConfig{Relations: 3, MinArity: 2, MaxArity: 2, MinTuples: 3, MaxTuples: 6, Domain: 4},
+		MQConfig{BodyPatterns: 2, PatternArity: 2, HeadSharesPredVar: true}},
+	{"t1-chain", core.Type1,
+		DBConfig{Relations: 2, MinArity: 2, MaxArity: 2, MinTuples: 3, MaxTuples: 6, Domain: 4},
+		MQConfig{BodyPatterns: 2, PatternArity: 2}},
+	{"t1-cycle", core.Type1,
+		DBConfig{Relations: 2, MinArity: 2, MaxArity: 2, MinTuples: 3, MaxTuples: 6, Domain: 3},
+		MQConfig{BodyPatterns: 3, PatternArity: 2, Cyclic: true}},
+	{"t1-repeat-args", core.Type1,
+		DBConfig{Relations: 2, MinArity: 2, MaxArity: 2, MinTuples: 3, MaxTuples: 7, Domain: 3, Skew: 1},
+		MQConfig{BodyPatterns: 2, PatternArity: 2, RepeatArgs: true}},
+	{"t2-pad", core.Type2,
+		DBConfig{Relations: 2, MinArity: 2, MaxArity: 3, MinTuples: 2, MaxTuples: 5, Domain: 4},
+		MQConfig{BodyPatterns: 2, PatternArity: 2}},
+	{"t2-head-free", core.Type2,
+		DBConfig{Relations: 2, MinArity: 2, MaxArity: 2, MinTuples: 2, MaxTuples: 5, Domain: 4},
+		MQConfig{BodyPatterns: 2, PatternArity: 2, HeadFreeVar: true}},
+	{"t2-atom-mix", core.Type2,
+		DBConfig{Relations: 2, MinArity: 2, MaxArity: 2, MinTuples: 2, MaxTuples: 5, Domain: 4},
+		MQConfig{BodyPatterns: 1, PatternArity: 2, IncludeAtom: true}},
+}
+
+// Shapes lists the registered scenario shape names in deterministic order.
+func Shapes() []string {
+	out := make([]string, len(shapes))
+	for i, s := range shapes {
+		out[i] = s.name
+	}
+	return out
+}
+
+// specFor resolves a shape name.
+func specFor(shape string) (shapeSpec, error) {
+	for _, s := range shapes {
+		if s.name == shape {
+			return s, nil
+		}
+	}
+	return shapeSpec{}, fmt.Errorf("gen: unknown shape %q (have %v)", shape, Shapes())
+}
+
+// NewScenario builds the deterministic scenario for (seed, shape). The same
+// pair always yields the same database, metaquery and thresholds.
+func NewScenario(seed int64, shape string) (*Scenario, error) {
+	spec, err := specFor(shape)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed*1_000_003 + int64(hashName(shape))))
+	db := spec.db.Generate(rng)
+	mq, err := spec.mq.Generate(rng, db)
+	if err != nil {
+		return nil, err
+	}
+	th := randomThresholds(rng)
+	return &Scenario{Seed: seed, Shape: shape, DB: db, MQ: mq, Type: spec.typ, Th: th}, nil
+}
+
+// randomThresholds draws a threshold triple: each index is enabled with
+// probability ~2/3 with a small rational bound in [0,1). About 1 case in 27
+// has every check disabled, exercising the engine's no-pruning paths.
+func randomThresholds(rng *rand.Rand) core.Thresholds {
+	var th core.Thresholds
+	draw := func() (rat.Rat, bool) {
+		if rng.Intn(3) == 0 {
+			return rat.Zero, false
+		}
+		den := int64(2 + rng.Intn(4)) // 2..5
+		num := int64(rng.Intn(int(den)))
+		return rat.New(num, den), true
+	}
+	th.Sup, th.CheckSup = draw()
+	th.Cnf, th.CheckCnf = draw()
+	th.Cvr, th.CheckCvr = draw()
+	return th
+}
+
+// hashName folds a shape name into the seed stream (FNV-1a, 32-bit).
+func hashName(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

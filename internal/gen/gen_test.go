@@ -1,0 +1,134 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mqgo/metaquery/internal/core"
+)
+
+// Every shape must produce scenarios that validate for their instantiation
+// type (pure metaqueries, ordinary atoms naming real relations) across many
+// seeds; generation failures here would silently hollow out the harness.
+func TestScenariosValidate(t *testing.T) {
+	for _, shape := range Shapes() {
+		for seed := int64(0); seed < 20; seed++ {
+			s, err := NewScenario(seed, shape)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", shape, seed, err)
+			}
+			if err := core.ValidateForType(s.DB, s.MQ, s.Type); err != nil {
+				t.Errorf("%s/%d: generated scenario invalid: %v", shape, seed, err)
+			}
+			if !s.MQ.IsPure() {
+				t.Errorf("%s/%d: generated metaquery %s is impure", shape, seed, s.MQ)
+			}
+			if s.DB.Size() == 0 {
+				t.Errorf("%s/%d: generated database is empty", shape, seed)
+			}
+		}
+	}
+}
+
+// The same (seed, shape) pair must be fully deterministic: identical
+// metaquery text, thresholds, and database contents.
+func TestScenarioDeterminism(t *testing.T) {
+	for _, shape := range Shapes() {
+		a, err := NewScenario(7, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewScenario(7, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.MQ.String() != b.MQ.String() {
+			t.Errorf("%s: metaquery differs across builds: %s vs %s", shape, a.MQ, b.MQ)
+		}
+		if a.Th != b.Th {
+			t.Errorf("%s: thresholds differ across builds", shape)
+		}
+		if a.DB.Size() != b.DB.Size() || a.DB.NumRelations() != b.DB.NumRelations() {
+			t.Errorf("%s: database differs across builds", shape)
+		}
+		for _, name := range a.DB.RelationNames() {
+			ra, rb := a.DB.Relation(name), b.DB.Relation(name)
+			if rb == nil || ra.Len() != rb.Len() || ra.Arity() != rb.Arity() {
+				t.Fatalf("%s: relation %s differs across builds", shape, name)
+			}
+			for i := 0; i < ra.Len(); i++ {
+				row := ra.Row(i)
+				got := make([]string, len(row))
+				for j, v := range row {
+					got[j] = a.DB.Dict().Name(v)
+				}
+				tb := make([]string, len(row))
+				for j, v := range rb.Row(i) {
+					tb[j] = b.DB.Dict().Name(v)
+				}
+				for j := range got {
+					if got[j] != tb[j] {
+						t.Fatalf("%s: %s row %d differs: %v vs %v", shape, name, i, got, tb)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Shape axes must actually hold: cyclic shapes are cyclic, the others
+// acyclic or at worst semi-acyclic per their construction.
+func TestShapeAxes(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		cyc, err := NewScenario(seed, "t1-cycle")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cyc.MQ.IsAcyclic() {
+			t.Errorf("t1-cycle/%d: expected a cyclic metaquery, got %s", seed, cyc.MQ)
+		}
+		rep, err := NewScenario(seed, "t0-repeat-pred")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(rep.MQ.PredicateVars()); got != 3 { // head R + P1, P2 (P1 reused)
+			t.Errorf("t0-repeat-pred/%d: expected 3 predicate variables, got %d in %s", seed, got, rep.MQ)
+		}
+		free, err := NewScenario(seed, "t2-head-free")
+		if err != nil {
+			t.Fatal(err)
+		}
+		headHasZ := false
+		for _, v := range free.MQ.Head.Args {
+			if v == "Z0" {
+				headHasZ = true
+			}
+		}
+		if !headHasZ {
+			t.Errorf("t2-head-free/%d: head %s lacks the free variable", seed, free.MQ.Head)
+		}
+	}
+}
+
+// Skewed draws must actually concentrate mass on low-numbered constants.
+func TestSkewConcentrates(t *testing.T) {
+	cfg := DBConfig{Domain: 10, Skew: 2}
+	rng := rand.New(rand.NewSource(1))
+	low := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if cfg.drawConst(rng) < 3 {
+			low++
+		}
+	}
+	// Uniform would put ~30% below 3; skew 2 concentrates well past half.
+	if low < n/2 {
+		t.Errorf("skewed draw put only %d/%d mass on the low constants", low, n)
+	}
+}
+
+func TestUnknownShape(t *testing.T) {
+	if _, err := NewScenario(1, "no-such-shape"); err == nil {
+		t.Fatal("expected an error for an unknown shape")
+	}
+}

@@ -1,0 +1,514 @@
+// Package oracle is a deliberately transparent brute-force metaquery
+// evaluator used as the ground truth of the differential harness
+// (internal/diff). It shares only data types with the production code
+// (core.Metaquery, core.Rule, relation.Atom, rat.Rat) and none of its
+// machinery: rows are string tuples keyed by joined text, joins are nested
+// loops, fractions follow Definition 2.6 literally (full join, then
+// projection, then distinct count — no semijoin shortcut), candidate atoms
+// are enumerated by its own permutation/injection code, and nothing is
+// cached or planned. Every shortcut the engine takes is therefore checked
+// against an implementation that takes none.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// table is a set of string rows under named columns. Set semantics are kept
+// with a string key joining the row values.
+type table struct {
+	vars []string
+	rows [][]string
+	seen map[string]bool
+}
+
+func newTable(vars []string) *table {
+	return &table{vars: vars, seen: make(map[string]bool)}
+}
+
+// key builds the string identity of a row. Values may contain any runes, so
+// fields are length-prefixed to keep the key injective.
+func key(row []string) string {
+	var b strings.Builder
+	for _, v := range row {
+		fmt.Fprintf(&b, "%d:%s|", len(v), v)
+	}
+	return b.String()
+}
+
+func (t *table) add(row []string) {
+	k := key(row)
+	if t.seen[k] {
+		return
+	}
+	t.seen[k] = true
+	t.rows = append(t.rows, append([]string(nil), row...))
+}
+
+func (t *table) pos(v string) int {
+	for i, tv := range t.vars {
+		if tv == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// unit is the join identity: no columns, one empty row.
+func unit() *table {
+	t := newTable(nil)
+	t.add(nil)
+	return t
+}
+
+// fromAtom materializes one atom against the database: scan every tuple,
+// check repeated-variable equalities and constant terms positionally, and
+// project onto the atom's distinct variables in first-occurrence order.
+func fromAtom(db *relation.Database, a relation.Atom) (*table, error) {
+	r := db.Relation(a.Pred)
+	if r == nil {
+		return nil, fmt.Errorf("oracle: unknown relation %q in atom %s", a.Pred, a)
+	}
+	if r.Arity() != len(a.Terms) {
+		return nil, fmt.Errorf("oracle: atom %s arity %d vs relation arity %d", a, len(a.Terms), r.Arity())
+	}
+	vars := a.Vars()
+	out := newTable(vars)
+	dict := db.Dict()
+	for ri := 0; ri < r.Len(); ri++ {
+		tup := r.Row(ri)
+		bind := make(map[string]string, len(vars))
+		ok := true
+		for i, term := range a.Terms {
+			val := dict.Name(tup[i])
+			if term.IsVar() {
+				if prev, bound := bind[term.Var]; bound {
+					if prev != val {
+						ok = false
+						break
+					}
+				} else {
+					bind[term.Var] = val
+				}
+			} else if dict.Name(term.Const) != val {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		row := make([]string, len(vars))
+		for i, v := range vars {
+			row[i] = bind[v]
+		}
+		out.add(row)
+	}
+	return out, nil
+}
+
+// naturalJoin computes a ⋈ b by nested loops: every row pair agreeing on
+// every shared column contributes the merged row. With no shared columns
+// this is the cartesian product.
+func naturalJoin(a, b *table) *table {
+	outVars := append([]string(nil), a.vars...)
+	var bExtra []int
+	for i, v := range b.vars {
+		if a.pos(v) < 0 {
+			outVars = append(outVars, v)
+			bExtra = append(bExtra, i)
+		}
+	}
+	out := newTable(outVars)
+	for _, ra := range a.rows {
+		for _, rb := range b.rows {
+			match := true
+			for i, v := range b.vars {
+				if p := a.pos(v); p >= 0 && ra[p] != rb[i] {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			row := append(append([]string(nil), ra...), make([]string, len(bExtra))...)
+			for i, p := range bExtra {
+				row[len(a.vars)+i] = rb[p]
+			}
+			out.add(row)
+		}
+	}
+	return out
+}
+
+// project computes π_vars(t) with set semantics.
+func project(t *table, vars []string) *table {
+	out := newTable(vars)
+	row := make([]string, len(vars))
+	for _, r := range t.rows {
+		for i, v := range vars {
+			p := t.pos(v)
+			if p < 0 {
+				panic(fmt.Sprintf("oracle: projecting on missing column %q", v))
+			}
+			row[i] = r[p]
+		}
+		out.add(row)
+	}
+	return out
+}
+
+// joinAll computes J(R) for the atom set R: the natural join of the atom
+// materializations, folded left to right, starting from the unit table.
+func joinAll(db *relation.Database, atoms []relation.Atom) (*table, error) {
+	j := unit()
+	for _, a := range atoms {
+		t, err := fromAtom(db, a)
+		if err != nil {
+			return nil, err
+		}
+		j = naturalJoin(j, t)
+	}
+	return j, nil
+}
+
+// Fraction computes R ↑ S of Definition 2.6 exactly as written:
+//
+//	R ↑ S = |π_att(R)(J(R) ⋈ J(S))| / |J(R)|
+//
+// with the convention that the fraction is 0 when the numerator (or the
+// denominator) is 0. The full join is materialized and projected; no
+// semijoin rewriting is applied.
+func Fraction(db *relation.Database, r, s []relation.Atom) (rat.Rat, error) {
+	jr, err := joinAll(db, r)
+	if err != nil {
+		return rat.Zero, err
+	}
+	if len(jr.rows) == 0 {
+		return rat.Zero, nil
+	}
+	js, err := joinAll(db, s)
+	if err != nil {
+		return rat.Zero, err
+	}
+	joined := naturalJoin(jr, js)
+	num := len(project(joined, jr.vars).rows)
+	if num == 0 {
+		return rat.Zero, nil
+	}
+	return rat.New(int64(num), int64(len(jr.rows))), nil
+}
+
+// fractionTables finishes R ↑ S with both joins already materialized,
+// exactly as Definition 2.6 is written: the full natural join, projected
+// onto R's attributes, counted distinct.
+func fractionTables(jr, js *table) rat.Rat {
+	if len(jr.rows) == 0 {
+		return rat.Zero
+	}
+	num := len(project(naturalJoin(jr, js), jr.vars).rows)
+	if num == 0 {
+		return rat.Zero
+	}
+	return rat.New(int64(num), int64(len(jr.rows)))
+}
+
+// Indices computes sup, cnf and cvr of rule r over db from first principles
+// (Definition 2.7): cnf = b(r) ↑ h(r), cvr = h(r) ↑ b(r), and
+// sup = max over body atoms a of {a} ↑ b(r). J(b(r)) and J(h(r)) are
+// materialized once per rule; every fraction is still the literal
+// join-project-count of Definition 2.6, with no caching across rules.
+func Indices(db *relation.Database, r core.Rule) (sup, cnf, cvr rat.Rat, err error) {
+	body, head := r.BodyAtoms(), r.HeadAtoms()
+	jb, err := joinAll(db, body)
+	if err != nil {
+		return rat.Zero, rat.Zero, rat.Zero, err
+	}
+	jh, err := joinAll(db, head)
+	if err != nil {
+		return rat.Zero, rat.Zero, rat.Zero, err
+	}
+	sup = rat.Zero
+	for _, a := range body {
+		ja, ferr := fromAtom(db, a)
+		if ferr != nil {
+			return rat.Zero, rat.Zero, rat.Zero, ferr
+		}
+		sup = rat.Max(sup, fractionTables(ja, jb))
+	}
+	cnf = fractionTables(jb, jh)
+	cvr = fractionTables(jh, jb)
+	return sup, cnf, cvr, nil
+}
+
+// candidates enumerates the atoms pattern l may map to under the given
+// instantiation type, with the oracle's own permutation and injection
+// generators. patternIdx keys type-2 fresh padding variables and must be
+// l's index in rep(MQ); the names follow the engine's reserved "_f" scheme
+// so instantiated rules print identically across implementations.
+func candidates(db *relation.Database, l core.LiteralScheme, typ core.InstType, patternIdx int) []relation.Atom {
+	if !l.PredVar {
+		return []relation.Atom{l.Atom()}
+	}
+	var out []relation.Atom
+	seen := make(map[string]bool)
+	add := func(a relation.Atom) {
+		k := a.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, a)
+		}
+	}
+	k := len(l.Args)
+	for _, name := range db.RelationNames() {
+		arity := db.Relation(name).Arity()
+		switch typ {
+		case core.Type0:
+			if arity == k {
+				add(relation.NewAtom(name, l.Args...))
+			}
+		case core.Type1:
+			if arity == k {
+				for _, perm := range permutations(l.Args) {
+					add(relation.NewAtom(name, perm...))
+				}
+			}
+		case core.Type2:
+			if arity < k {
+				continue
+			}
+			for _, inj := range injections(k, arity) {
+				args := make([]string, arity)
+				for j := range args {
+					args[j] = ""
+				}
+				for j, p := range inj {
+					args[p] = l.Args[j]
+				}
+				for p, a := range args {
+					if a == "" {
+						args[p] = fmt.Sprintf("_f%d_%d", patternIdx, p)
+					}
+				}
+				add(relation.NewAtom(name, args...))
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// permutations returns every ordering of args (duplicates included; the
+// caller deduplicates resulting atoms).
+func permutations(args []string) [][]string {
+	if len(args) == 0 {
+		return [][]string{nil}
+	}
+	var out [][]string
+	for i := range args {
+		rest := make([]string, 0, len(args)-1)
+		rest = append(rest, args[:i]...)
+		rest = append(rest, args[i+1:]...)
+		for _, p := range permutations(rest) {
+			out = append(out, append([]string{args[i]}, p...))
+		}
+	}
+	return out
+}
+
+// injections returns every injective map from {0..k-1} into {0..kp-1}.
+func injections(k, kp int) [][]int {
+	if k == 0 {
+		return [][]int{nil}
+	}
+	var out [][]int
+	var rec func(j int, used []bool, acc []int)
+	rec = func(j int, used []bool, acc []int) {
+		if j == k {
+			out = append(out, append([]int(nil), acc...))
+			return
+		}
+		for p := 0; p < kp; p++ {
+			if used[p] {
+				continue
+			}
+			used[p] = true
+			rec(j+1, used, append(acc, p))
+			used[p] = false
+		}
+	}
+	rec(0, make([]bool, kp), nil)
+	return out
+}
+
+// Answer is one rule in the oracle's answer set with its exact indices.
+type Answer struct {
+	Rule core.Rule
+	Sup  rat.Rat
+	Cnf  rat.Rat
+	Cvr  rat.Rat
+}
+
+// admits applies the strict threshold tests (index > bound) for the enabled
+// checks, re-reading the Thresholds fields directly.
+func admits(th core.Thresholds, sup, cnf, cvr rat.Rat) bool {
+	if th.CheckSup && !sup.Greater(th.Sup) {
+		return false
+	}
+	if th.CheckCnf && !cnf.Greater(th.Cnf) {
+		return false
+	}
+	if th.CheckCvr && !cvr.Greater(th.Cvr) {
+		return false
+	}
+	return true
+}
+
+// forEachRule enumerates every type-typ instantiated rule of mq over db:
+// assignments of the distinct relation patterns (head first) to candidate
+// atoms whose restriction to predicate variables is functional. The rules
+// are produced by plain substitution; f returns false to stop.
+func forEachRule(db *relation.Database, mq *core.Metaquery, typ core.InstType, f func(core.Rule) (bool, error)) error {
+	if typ != core.Type2 && !mq.IsPure() {
+		return fmt.Errorf("oracle: %s instantiations require a pure metaquery", typ)
+	}
+	patterns := mq.RelationPatterns()
+	cands := make([][]relation.Atom, len(patterns))
+	for i, l := range patterns {
+		cands[i] = candidates(db, l, typ, i)
+	}
+	assign := make(map[string]relation.Atom, len(patterns)) // pattern key -> atom
+	relOf := make(map[string]string, len(patterns))         // predicate var -> relation
+	apply := func(l core.LiteralScheme) relation.Atom {
+		if !l.PredVar {
+			return l.Atom()
+		}
+		return assign[l.Key()]
+	}
+	var rec func(i int) (bool, error)
+	rec = func(i int) (bool, error) {
+		if i == len(patterns) {
+			rule := core.Rule{Head: apply(mq.Head)}
+			for _, l := range mq.Body {
+				rule.Body = append(rule.Body, apply(l))
+			}
+			return f(rule)
+		}
+		l := patterns[i]
+		for _, a := range cands[i] {
+			if prev, ok := relOf[l.Pred]; ok && prev != a.Pred {
+				continue
+			}
+			_, had := relOf[l.Pred]
+			assign[l.Key()] = a
+			if !had {
+				relOf[l.Pred] = a.Pred
+			}
+			cont, err := rec(i + 1)
+			delete(assign, l.Key())
+			if !had {
+				delete(relOf, l.Pred)
+			}
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+	_, err := rec(0)
+	return err
+}
+
+// AllRules evaluates every type-typ instantiated rule of mq over db with no
+// threshold filtering, sorted by rule text: the complete ground truth of one
+// scenario in a single enumeration. The differential harness derives both
+// the admissible answer set and the per-index maxima from it.
+func AllRules(db *relation.Database, mq *core.Metaquery, typ core.InstType) ([]Answer, error) {
+	var out []Answer
+	err := forEachRule(db, mq, typ, func(r core.Rule) (bool, error) {
+		sup, cnf, cvr, err := Indices(db, r)
+		if err != nil {
+			return false, err
+		}
+		out = append(out, Answer{Rule: r, Sup: sup, Cnf: cnf, Cvr: cvr})
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rule.String() < out[j].Rule.String() })
+	return out, nil
+}
+
+// Answers computes the full answer set of mq over db under type typ and the
+// given thresholds, by exhaustive enumeration and first-principles index
+// evaluation, sorted by rule text.
+func Answers(db *relation.Database, mq *core.Metaquery, typ core.InstType, th core.Thresholds) ([]Answer, error) {
+	all, err := AllRules(db, mq, typ)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Answer, 0, len(all))
+	for _, a := range all {
+		if admits(th, a.Sup, a.Cnf, a.Cvr) {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// Decide answers the decision problem ⟨DB, MQ, I, k, T⟩: is there a type-T
+// instantiation σ with I(σ(MQ)) > k? Exhaustive, no early pruning beyond
+// stopping at the first witness.
+func Decide(db *relation.Database, mq *core.Metaquery, ix core.Index, k rat.Rat, typ core.InstType) (bool, error) {
+	found := false
+	err := forEachRule(db, mq, typ, func(r core.Rule) (bool, error) {
+		sup, cnf, cvr, err := Indices(db, r)
+		if err != nil {
+			return false, err
+		}
+		v := sup
+		switch ix {
+		case core.Cnf:
+			v = cnf
+		case core.Cvr:
+			v = cvr
+		}
+		if v.Greater(k) {
+			found = true
+			return false, nil
+		}
+		return true, nil
+	})
+	return found, err
+}
+
+// MaxIndex returns the maximum value of the given index over every type-typ
+// instantiation (rat.Zero when there are none). The harness derives
+// YES/NO-flipping decision bounds from it.
+func MaxIndex(db *relation.Database, mq *core.Metaquery, ix core.Index, typ core.InstType) (rat.Rat, error) {
+	best := rat.Zero
+	err := forEachRule(db, mq, typ, func(r core.Rule) (bool, error) {
+		sup, cnf, cvr, err := Indices(db, r)
+		if err != nil {
+			return false, err
+		}
+		v := sup
+		switch ix {
+		case core.Cnf:
+			v = cnf
+		case core.Cvr:
+			v = cvr
+		}
+		best = rat.Max(best, v)
+		return true, nil
+	})
+	return best, err
+}

@@ -1,0 +1,186 @@
+package oracle
+
+import (
+	"testing"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/gen"
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/relation"
+	"github.com/mqgo/metaquery/internal/workload"
+)
+
+// The oracle must reproduce the paper's hand-computed Figure 1 values for
+// the rule UsPT(X,Z) <- UsCa(X,Y), CaTe(Y,Z): cnf = 5/7, cvr = 1, sup = 1.
+// This anchors the oracle to the paper independently of every other
+// implementation in the repo.
+func TestIndicesOnFigure1(t *testing.T) {
+	db := workload.DB1()
+	r := core.Rule{
+		Head: relation.NewAtom("UsPT", "X", "Z"),
+		Body: []relation.Atom{
+			relation.NewAtom("UsCa", "X", "Y"),
+			relation.NewAtom("CaTe", "Y", "Z"),
+		},
+	}
+	sup, cnf, cvr, err := Indices(db, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cnf.Equal(rat.New(5, 7)) {
+		t.Errorf("cnf = %v, want 5/7", cnf)
+	}
+	if !cvr.Equal(rat.One) {
+		t.Errorf("cvr = %v, want 1", cvr)
+	}
+	if !sup.Equal(rat.One) {
+		t.Errorf("sup = %v, want 1", sup)
+	}
+}
+
+// Fractions over disjoint-variable atom sets are cartesian: the join keeps
+// every row of the left side as long as the right side is non-empty.
+func TestFractionCartesian(t *testing.T) {
+	db := relation.NewDatabase()
+	db.MustInsertNamed("p", "a")
+	db.MustInsertNamed("p", "b")
+	db.MustInsertNamed("q", "c")
+	f, err := Fraction(db,
+		[]relation.Atom{relation.NewAtom("p", "X")},
+		[]relation.Atom{relation.NewAtom("q", "Y")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(rat.One) {
+		t.Errorf("cartesian fraction = %v, want 1", f)
+	}
+	// Against an empty right side the numerator is 0.
+	db.MustAddRelation("empty", 1)
+	f, err = Fraction(db,
+		[]relation.Atom{relation.NewAtom("p", "X")},
+		[]relation.Atom{relation.NewAtom("empty", "Y")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.IsZero() {
+		t.Errorf("fraction vs empty = %v, want 0", f)
+	}
+}
+
+// Repeated variables inside an atom are equality selections: p(X,X) keeps
+// only the diagonal tuples.
+func TestFromAtomRepeatedVariable(t *testing.T) {
+	db := relation.NewDatabase()
+	db.MustInsertNamed("p", "a", "a")
+	db.MustInsertNamed("p", "a", "b")
+	db.MustInsertNamed("p", "b", "b")
+	tab, err := fromAtom(db, relation.NewAtom("p", "X", "X"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.rows) != 2 || len(tab.vars) != 1 {
+		t.Fatalf("p(X,X) = %v rows over %v, want 2 rows over [X]", tab.rows, tab.vars)
+	}
+}
+
+// The oracle's own candidate enumeration must agree with core.Candidates on
+// every shape and type: same atom sets, atom by atom.
+func TestCandidatesMatchCore(t *testing.T) {
+	for _, shape := range gen.Shapes() {
+		for seed := int64(0); seed < 5; seed++ {
+			s, err := gen.NewScenario(seed, shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, l := range s.MQ.RelationPatterns() {
+				for _, typ := range []core.InstType{core.Type0, core.Type1, core.Type2} {
+					want := core.Candidates(s.DB, l, typ, i)
+					got := candidates(s.DB, l, typ, i)
+					if len(got) != len(want) {
+						t.Fatalf("%s/%d %s %s: %d candidates, core has %d",
+							shape, seed, typ, l, len(got), len(want))
+					}
+					for j := range got {
+						if got[j].String() != want[j].String() {
+							t.Fatalf("%s/%d %s %s: candidate %d = %s, core has %s",
+								shape, seed, typ, l, j, got[j], want[j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Answers must enforce functionality of the predicate-variable mapping:
+// with P reused across two body literals, both must map to the same
+// relation.
+func TestFunctionalPredicateVariables(t *testing.T) {
+	db := relation.NewDatabase()
+	db.MustInsertNamed("p", "a", "b")
+	db.MustInsertNamed("q", "b", "c")
+	mq := core.MustParse("R(X,Z) <- P(X,Y), P(Y,Z)")
+	var rules []core.Rule
+	if err := forEachRule(db, mq, core.Type0, func(r core.Rule) (bool, error) {
+		rules = append(rules, r)
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		if len(r.Body) == 2 && r.Body[0].Pred != r.Body[1].Pred {
+			t.Errorf("rule %s maps one predicate variable to two relations", r)
+		}
+	}
+	// rep(MQ) = {R, P(X,Y), P(Y,Z)}: 2 choices for R, 2 for P = 4 rules.
+	if len(rules) != 4 {
+		t.Errorf("enumerated %d rules, want 4", len(rules))
+	}
+}
+
+// Decide and MaxIndex must be consistent: Decide(k) is YES iff MaxIndex > k.
+func TestDecideMatchesMaxIndex(t *testing.T) {
+	s, err := gen.NewScenario(3, "t0-chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ix := range core.AllIndices {
+		m, err := MaxIndex(s.DB, s.MQ, ix, s.Type)
+		if err != nil {
+			t.Fatal(err)
+		}
+		yes, err := Decide(s.DB, s.MQ, ix, rat.Zero, s.Type)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if yes != m.Greater(rat.Zero) {
+			t.Errorf("%s: Decide(0) = %v but max = %v", ix, yes, m)
+		}
+		no, err := Decide(s.DB, s.MQ, ix, m, s.Type)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if no {
+			t.Errorf("%s: Decide(max=%v) = YES, strict comparison violated", ix, m)
+		}
+	}
+}
+
+// Type-2 padding must use the engine's reserved fresh-variable names so that
+// instantiated rules print identically across implementations.
+func TestType2FreshNames(t *testing.T) {
+	db := relation.NewDatabase()
+	db.MustInsertNamed("p", "a", "b", "c")
+	l := core.Pattern("Q", "X")
+	for _, a := range candidates(db, l, core.Type2, 1) {
+		fresh := 0
+		for _, term := range a.Terms {
+			if term.IsVar() && len(term.Var) > 2 && term.Var[:2] == "_f" {
+				fresh++
+			}
+		}
+		if fresh != 2 {
+			t.Errorf("candidate %s: want 2 _f-padding variables, got %d", a, fresh)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -51,6 +52,16 @@ func loadCSVFile(db *Database, path, relName string) error {
 	var rel *Relation
 	for i, row := range rows {
 		if len(row) == 0 || (len(row) > 0 && strings.HasPrefix(row[0], "#")) {
+			// "# arity=N" (written by SaveCSVDir for empty relations) fixes
+			// the arity that an empty file could not otherwise convey.
+			if rel == nil && len(row) == 1 {
+				if n, ok := parseArityComment(row[0]); ok {
+					rel, err = db.AddRelation(relName, n)
+					if err != nil {
+						return err
+					}
+				}
+			}
 			continue
 		}
 		if rel == nil {
@@ -69,11 +80,25 @@ func loadCSVFile(db *Database, path, relName string) error {
 		rel.Insert(t)
 	}
 	if rel == nil {
-		// Empty file: create a zero-tuple relation of arity 1 so the
-		// relation name exists (arity cannot be inferred; 1 is the minimum).
+		// Empty file without an arity comment: create a zero-tuple relation
+		// of arity 1 so the relation name exists (arity cannot be inferred;
+		// 1 is the minimum).
 		_, err = db.AddRelation(relName, 1)
 	}
 	return err
+}
+
+// parseArityComment recognizes the "# arity=N" comment row.
+func parseArityComment(field string) (int, bool) {
+	rest, ok := strings.CutPrefix(field, "# arity=")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(rest))
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
 }
 
 // SaveCSVDir writes every relation of db as <name>.csv under dir, creating
@@ -89,6 +114,14 @@ func SaveCSVDir(db *Database, dir string) error {
 			return fmt.Errorf("relation: %w", err)
 		}
 		w := csv.NewWriter(f)
+		if rel.Len() == 0 {
+			// An empty relation's arity is not recoverable from its rows;
+			// record it in a comment the loader understands.
+			if err := w.Write([]string{fmt.Sprintf("# arity=%d", rel.Arity())}); err != nil {
+				f.Close()
+				return fmt.Errorf("relation: writing %s: %w", name, err)
+			}
+		}
 		tuples := rel.Tuples() // fresh header slice; safe to sort in place
 		sort.Slice(tuples, func(i, j int) bool {
 			a, b := tuples[i], tuples[j]

@@ -1,0 +1,167 @@
+package relation
+
+import (
+	"testing"
+)
+
+// FuzzJoin differentially tests the hash-join operators against a
+// quadratic nested-loop reference on fuzzer-shaped table pairs: arbitrary
+// arities (0..4), arbitrary column overlap (including none — the cartesian
+// cases — and full), repeated values, and asymmetric sizes that flip the
+// build/probe sides. NaturalJoin, Semijoin, AntiSemijoin and SemijoinCount
+// must all agree with the reference exactly.
+//
+// Run with: go test -fuzz=FuzzJoin ./internal/relation
+func FuzzJoin(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 2, 1, 0, 1, 2, 3, 0xFF, 1, 2, 3, 4})
+	f.Add([]byte{1, 1, 0, 5, 5, 0xFF, 5, 6})
+	f.Add([]byte{3, 2, 2, 1, 2, 3, 4, 5, 6, 0xFF, 9, 9, 1, 2})
+	f.Add([]byte{0, 0, 0, 0xFF})
+	f.Add([]byte{4, 4, 4, 1, 1, 1, 1, 0xFF, 1, 1, 1, 1, 2, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		left, right := decodeTablePair(data)
+		checkJoinAgainstReference(t, left, right)
+		checkJoinAgainstReference(t, right, left)
+	})
+}
+
+// columnPool names the columns tables draw from; overlap between the two
+// tables is decided by the decoded offset.
+var columnPool = []string{"A", "B", "C", "D", "E", "F", "G", "H"}
+
+// decodeTablePair deterministically shapes two tables from fuzz bytes:
+// byte 0 and 1 pick the arities (0..4), byte 2 the column offset of the
+// right table (overlap 0..arity), then value bytes fill rows — first the
+// left table, then, after a 0xFF separator, the right. Values are folded
+// into a tiny domain so joins actually match.
+func decodeTablePair(data []byte) (*Table, *Table) {
+	at := func(i int) byte {
+		if i < len(data) {
+			return data[i]
+		}
+		return 0
+	}
+	n1 := int(at(0)) % 5
+	n2 := int(at(1)) % 5
+	off := 0
+	if n1 > 0 {
+		off = int(at(2)) % (n1 + 1)
+	}
+	if off+n2 > len(columnPool) {
+		off = len(columnPool) - n2
+	}
+	left := NewTable(columnPool[:n1])
+	right := NewTable(columnPool[off : off+n2])
+
+	i := 3
+	fill := func(t *Table, cols int) {
+		row := make(Tuple, cols)
+		for i < len(data) && data[i] != 0xFF {
+			for c := 0; c < cols; c++ {
+				row[c] = Value(at(i) % 4)
+				i++
+			}
+			t.Add(row)
+			if cols == 0 {
+				break // a zero-column table holds at most the empty tuple
+			}
+		}
+	}
+	fill(left, n1)
+	if i < len(data) && data[i] == 0xFF {
+		i++
+	}
+	fill(right, n2)
+	return left, right
+}
+
+// checkJoinAgainstReference compares every join operator on (a, b) with the
+// nested-loop reference.
+func checkJoinAgainstReference(t *testing.T, a, b *Table) {
+	t.Helper()
+	wantJoin := refNaturalJoin(a, b)
+	gotJoin := a.NaturalJoin(b)
+	if !gotJoin.EqualSet(wantJoin) {
+		t.Fatalf("NaturalJoin mismatch:\n a=%v\n b=%v\n got=%v\n want=%v", a, b, gotJoin, wantJoin)
+	}
+	wantSemi := refSemijoin(a, b, true)
+	gotSemi := a.Semijoin(b)
+	if !gotSemi.EqualSet(wantSemi) {
+		t.Fatalf("Semijoin mismatch:\n a=%v\n b=%v\n got=%v\n want=%v", a, b, gotSemi, wantSemi)
+	}
+	if got, want := a.SemijoinCount(b), wantSemi.Len(); got != want {
+		t.Fatalf("SemijoinCount = %d, reference semijoin has %d rows (a=%v b=%v)", got, want, a, b)
+	}
+	wantAnti := refSemijoin(a, b, false)
+	gotAnti := a.AntiSemijoin(b)
+	if !gotAnti.EqualSet(wantAnti) {
+		t.Fatalf("AntiSemijoin mismatch:\n a=%v\n b=%v\n got=%v\n want=%v", a, b, gotAnti, wantAnti)
+	}
+	if gotSemi.Len()+gotAnti.Len() != a.Len() {
+		t.Fatalf("Semijoin (%d) + AntiSemijoin (%d) do not partition a (%d rows)", gotSemi.Len(), gotAnti.Len(), a.Len())
+	}
+}
+
+// refNaturalJoin is the O(n*m) nested-loop natural join: output columns are
+// a's followed by b's extras; row pairs must agree on every shared column.
+func refNaturalJoin(a, b *Table) *Table {
+	outVars := append([]string(nil), a.Vars()...)
+	var bExtra []int
+	for i, v := range b.Vars() {
+		if a.Pos(v) < 0 {
+			outVars = append(outVars, v)
+			bExtra = append(bExtra, i)
+		}
+	}
+	out := NewTable(outVars)
+	for i := 0; i < a.Len(); i++ {
+		ra := a.Row(i)
+		for j := 0; j < b.Len(); j++ {
+			rb := b.Row(j)
+			ok := true
+			for bi, v := range b.Vars() {
+				if p := a.Pos(v); p >= 0 && ra[p] != rb[bi] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			row := make(Tuple, 0, len(outVars))
+			row = append(row, ra...)
+			for _, p := range bExtra {
+				row = append(row, rb[p])
+			}
+			out.Add(row)
+		}
+	}
+	return out
+}
+
+// refSemijoin keeps (keep=true) or drops (keep=false) the rows of a that
+// match at least one row of b on the shared columns; with no shared columns
+// a row "matches" iff b is non-empty.
+func refSemijoin(a, b *Table, keep bool) *Table {
+	out := NewTable(a.Vars())
+	for i := 0; i < a.Len(); i++ {
+		ra := a.Row(i)
+		matched := false
+		for j := 0; j < b.Len() && !matched; j++ {
+			rb := b.Row(j)
+			ok := true
+			for bi, v := range b.Vars() {
+				if p := a.Pos(v); p >= 0 && ra[p] != rb[bi] {
+					ok = false
+					break
+				}
+			}
+			matched = ok
+		}
+		if matched == keep {
+			out.Add(ra)
+		}
+	}
+	return out
+}
