@@ -410,6 +410,64 @@ func BenchmarkStreamFirstAnswer(b *testing.B) {
 	})
 }
 
+// BenchmarkDecideFirst measures the dedicated first-witness decision path
+// against the deprecated FindRules-with-Limit-1 idiom, with YES and NO
+// verdicts benchmarked separately (the ROADMAP "decider asymmetry": a NO
+// answered through enumeration pays the full materialize-then-filter
+// cost). k = 0 is a YES on this workload for every index; k = 1 is a
+// certain NO under the strict comparison, forcing both paths to exhaust
+// the body space.
+func BenchmarkDecideFirst(b *testing.B) {
+	db := workload.Random{Relations: 5, Arity: 2, Tuples: 40, Domain: 12, Seed: 6}.Build()
+	mq := workload.MQ4()
+	ctx := context.Background()
+	eng := engine.NewEngine(db)
+	for _, c := range []struct {
+		name string
+		ix   core.Index
+		k    rat.Rat
+	}{
+		{"yes/sup", core.Sup, rat.Zero},
+		{"yes/cnf", core.Cnf, rat.Zero},
+		{"no/sup", core.Sup, rat.New(1, 1)},
+		{"no/cnf", core.Cnf, rat.New(1, 1)},
+		{"no/cvr", core.Cvr, rat.New(1, 1)},
+	} {
+		prep, err := eng.Prepare(mq, engine.Options{Type: core.Type0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		limPrep, err := eng.Prepare(mq, engine.Options{Type: core.Type0, Thresholds: core.SingleIndex(c.ix, c.k), Limit: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm both paths once so neither benchmark pays the shared
+		// engine-level cache fills (atom tables, join plans) for the other.
+		if _, _, err := prep.DecideFirst(ctx, c.ix, c.k); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := limPrep.FindRules(ctx); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.name+"/decide-first", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := prep.DecideFirst(ctx, c.ix, c.k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.name+"/limit-1", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := limPrep.FindRules(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Beyond-paper extensions ----------------------------------------------
 
 // BenchmarkParallelDecide measures the coarse-grained parallel decision

@@ -4,13 +4,22 @@
 //
 //	metaquery -db DIR -query "R(X,Z) <- P(X,Y), Q(Y,Z)" \
 //	    [-type 0|1|2] [-min-sup R] [-min-cnf R] [-min-cvr R] \
-//	    [-naive] [-limit N] [-stats] [-timeout D]
+//	    [-naive] [-limit N] [-stats] [-timeout D] \
+//	    [-decide sup|cnf|cvr] [-k R]
 //
 // The database directory holds one CSV file per relation (rows are tuples;
 // the file name without extension is the relation name). Thresholds are
 // exact rationals written as "1/2", "0.5" or "0"; every comparison is
 // strict (index > threshold), as in the paper. Omitted thresholds are
 // unconstrained.
+//
+// -decide switches from enumeration to decision answering: instead of
+// listing every admissible rule, the command reports whether ANY type-T
+// instantiation has the named index strictly above -k (default 0), using
+// the engine's first-witness path (only the queried index is evaluated and
+// the search stops at the first witness). On YES the witness rule is
+// printed; the exit status is 0 for YES and 3 for NO, so scripts can
+// branch on the verdict. -stats prints the per-verdict search counters.
 //
 // -timeout bounds the search wall-clock (e.g. "2s", "500ms"; 0 = none).
 // When the deadline passes mid-search, the answers found so far are still
@@ -40,6 +49,14 @@ import (
 // -timeout; partial results have already been printed in that case.
 const exitTimeout = 4
 
+// exitNo is the exit status for a -decide run whose verdict is NO, so
+// shell scripts can branch on the decision.
+const exitNo = 3
+
+// errNoVerdict marks a completed -decide run with a NO answer; main maps
+// it to exitNo after the verdict has been printed.
+var errNoVerdict = errors.New("decision verdict is NO")
+
 func main() {
 	var (
 		dbDir   = flag.String("db", "", "directory of CSV files, one per relation (required)")
@@ -52,16 +69,119 @@ func main() {
 		limit   = flag.Int("limit", 0, "stop after N answers (0 = all; findRules engine only)")
 		showSts = flag.Bool("stats", false, "print engine search statistics")
 		timeout = flag.Duration("timeout", 0, "bound the search wall-clock, e.g. 2s (0 = none)")
+		decide  = flag.String("decide", "", "decision mode: answer whether index sup|cnf|cvr exceeds -k instead of enumerating")
+		kBound  = flag.String("k", "", "decision bound for -decide (strict: index > k; default 0)")
 	)
 	flag.Parse()
-	if err := runTimed(*dbDir, *query, *typN, *minSup, *minCnf, *minCvr, *naive, *limit, *showSts, *timeout); err != nil {
+	var err error
+	if *decide != "" {
+		// The enumeration-only flags have no meaning in decision mode:
+		// reject them instead of silently dropping a constraint the user
+		// believes applied.
+		switch {
+		case *minSup != "" || *minCnf != "" || *minCvr != "":
+			err = fmt.Errorf("-min-sup/-min-cnf/-min-cvr do not apply with -decide; use -k for the decision bound")
+		case *naive:
+			err = fmt.Errorf("-naive does not apply with -decide (the decision path is engine-only)")
+		case *limit != 0:
+			err = fmt.Errorf("-limit does not apply with -decide")
+		default:
+			err = runDecide(*dbDir, *query, *typN, *decide, *kBound, *showSts, *timeout)
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "metaquery: decision timed out before reaching a verdict")
+			os.Exit(exitTimeout)
+		}
+	} else if *kBound != "" {
+		// The decision bound means nothing without -decide; reject it
+		// rather than silently running an unconstrained enumeration.
+		err = fmt.Errorf("-k requires -decide (use -min-sup/-min-cnf/-min-cvr for enumeration thresholds)")
+	} else {
+		err = runTimed(*dbDir, *query, *typN, *minSup, *minCnf, *minCvr, *naive, *limit, *showSts, *timeout)
 		if errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintln(os.Stderr, "metaquery: search timed out, results are partial")
 			os.Exit(exitTimeout)
 		}
+	}
+	if err != nil {
+		if errors.Is(err, errNoVerdict) {
+			os.Exit(exitNo)
+		}
 		fmt.Fprintln(os.Stderr, "metaquery:", err)
 		os.Exit(1)
 	}
+}
+
+// runDecide answers the decision problem ⟨DB, MQ, ix, k, T⟩ through the
+// engine's first-witness path and prints the verdict (plus the witness
+// rule on YES). It returns errNoVerdict on a completed NO so main can map
+// it to the dedicated exit status.
+func runDecide(dbDir, query string, typN int, index, kBound string, showStats bool, timeout time.Duration) error {
+	if dbDir == "" || query == "" {
+		return fmt.Errorf("both -db and -query are required (see -help)")
+	}
+	if typN < 0 || typN > 2 {
+		return fmt.Errorf("-type must be 0, 1 or 2")
+	}
+	var ix metaquery.Index
+	switch index {
+	case "sup":
+		ix = metaquery.Sup
+	case "cnf":
+		ix = metaquery.Cnf
+	case "cvr":
+		ix = metaquery.Cvr
+	default:
+		return fmt.Errorf("-decide must be sup, cnf or cvr (got %q)", index)
+	}
+	if kBound == "" {
+		kBound = "0"
+	}
+	k, err := metaquery.ParseRat(kBound)
+	if err != nil {
+		return fmt.Errorf("-k: %w", err)
+	}
+	db, err := metaquery.LoadCSVDir(dbDir)
+	if err != nil {
+		return err
+	}
+	mq, err := metaquery.Parse(query)
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	typ := metaquery.InstType(typN)
+	prep, err := metaquery.NewEngine(db).Prepare(mq, metaquery.Options{Type: typ})
+	if err != nil {
+		return err
+	}
+	yes, wit, stats, err := prep.DecideFirstStats(ctx, ix, k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# decision: is there a %s instantiation with %s > %s?\n", typ, ix, k)
+	if showStats {
+		fmt.Printf("# width=%d nodes=%d candidates=%d pruned_empty=%d pruned_support=%d bodies=%d heads=%d heads_skipped=%d\n",
+			stats.Width, stats.Nodes, stats.BodyCandidatesTried, stats.BodiesPrunedEmpty,
+			stats.BodiesPrunedSupport, stats.BodiesReachedRoot, stats.HeadsTried, stats.HeadsSkipped)
+	}
+	if !yes {
+		fmt.Println("NO")
+		return errNoVerdict
+	}
+	rule, err := wit.Apply(mq)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("YES  witness: %s\n", rule.String())
+	return nil
 }
 
 // run answers the query without a time bound. It is the historical entry

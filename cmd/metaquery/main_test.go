@@ -79,3 +79,35 @@ func TestRunImpureQueryType0Fails(t *testing.T) {
 		t.Error("impure metaquery accepted under type-0")
 	}
 }
+
+func TestRunDecideYes(t *testing.T) {
+	dir := writeTelecomCSV(t)
+	if err := runDecide(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "cnf", "1/2", true, 0); err != nil {
+		t.Fatalf("decide run failed: %v", err)
+	}
+}
+
+func TestRunDecideNo(t *testing.T) {
+	dir := writeTelecomCSV(t)
+	// No index can strictly exceed 1: a clean NO, reported as errNoVerdict
+	// so main can exit with the dedicated status.
+	err := runDecide(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "sup", "1", false, 0)
+	if err != errNoVerdict {
+		t.Fatalf("NO decision returned %v, want errNoVerdict", err)
+	}
+}
+
+func TestRunDecideValidation(t *testing.T) {
+	dir := writeTelecomCSV(t)
+	for name, fn := range map[string]func() error{
+		"bad index":  func() error { return runDecide(dir, "R(X) <- P(X)", 0, "bogus", "0", false, 0) },
+		"bad bound":  func() error { return runDecide(dir, "R(X) <- P(X)", 0, "sup", "x/y", false, 0) },
+		"bad type":   func() error { return runDecide(dir, "R(X) <- P(X)", 9, "sup", "0", false, 0) },
+		"missing db": func() error { return runDecide("", "R(X) <- P(X)", 0, "sup", "0", false, 0) },
+		"bad query":  func() error { return runDecide(dir, "not a query", 0, "sup", "0", false, 0) },
+	} {
+		if err := fn(); err == nil || err == errNoVerdict {
+			t.Errorf("%s: got %v, want a hard error", name, err)
+		}
+	}
+}

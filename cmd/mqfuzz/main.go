@@ -5,9 +5,10 @@
 // engine-backed deciders — and each is checked against the transparent
 // brute-force oracle, rat-exact and order-insensitive.
 //
-// On a mismatch, the failing scenario is greedily minimized (dropping body
-// literals, relations and tuples while the divergence persists) and printed
-// in the committable repro format; save it under
+// On a mismatch, the failing scenario is minimized — delta debugging
+// (ddmin) over the database's tuples, then a greedy polish dropping body
+// literals, relations and single tuples while the divergence persists —
+// and printed in the committable repro format; save it under
 // internal/diff/testdata/corpus/<name>.scenario and the TestCorpus
 // regression test replays it forever.
 //

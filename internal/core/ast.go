@@ -16,12 +16,28 @@ import (
 
 // LiteralScheme is one literal of a metaquery: Q(Y1, ..., Yn) where Q is
 // either a predicate (second-order) variable or a relation name, and each
-// Yi is an ordinary (first-order) variable. When PredVar is true the scheme
-// is a relation pattern; otherwise it is an atom.
+// Yi is an ordinary (first-order) variable or a constant. When PredVar is
+// true the scheme is a relation pattern; otherwise it is an atom.
+//
+// Arguments follow the Datalog naming convention: a name starting with an
+// upper-case letter or '_' is an ordinary variable, anything else is a
+// constant (see IsConstName). Constants are database-independent names,
+// resolved against the active domain when the scheme is materialized; a
+// constant absent from the domain matches no tuple.
 type LiteralScheme struct {
 	Pred    string
 	PredVar bool
 	Args    []string
+}
+
+// IsConstName reports whether a literal-scheme argument denotes a constant
+// under the metaquery naming convention: any non-empty name that does not
+// start with an upper-case letter or '_'.
+func IsConstName(s string) bool {
+	if s == "" {
+		return false
+	}
+	return !startsUpper(s) && s[0] != '_'
 }
 
 // Pattern builds a relation pattern Q(args...).
@@ -38,11 +54,14 @@ func SchemeAtom(r string, args ...string) LiteralScheme {
 func (l LiteralScheme) Arity() int { return len(l.Args) }
 
 // Vars returns varo(l): the distinct ordinary variables in first-occurrence
-// order.
+// order. Constant arguments are not variables and are excluded.
 func (l LiteralScheme) Vars() []string {
 	seen := make(map[string]bool, len(l.Args))
 	var out []string
 	for _, a := range l.Args {
+		if IsConstName(a) {
+			continue
+		}
 		if !seen[a] {
 			seen[a] = true
 			out = append(out, a)
@@ -78,7 +97,30 @@ func (l LiteralScheme) String() string {
 	if !l.PredVar && relNameNeedsQuotes(name) {
 		name = `"` + name + `"`
 	}
-	return fmt.Sprintf("%s(%s)", name, strings.Join(l.Args, ","))
+	args := make([]string, len(l.Args))
+	for i, a := range l.Args {
+		// Constants whose bare rendering would not reparse as a constant
+		// (non-identifier bytes) are double-quoted, exactly as the parser
+		// accepts them.
+		if IsConstName(a) && constArgNeedsQuotes(a) {
+			args[i] = `"` + a + `"`
+		} else {
+			args[i] = a
+		}
+	}
+	return fmt.Sprintf("%s(%s)", name, strings.Join(args, ","))
+}
+
+// constArgNeedsQuotes reports whether a constant argument must be quoted
+// to survive reparsing: any byte outside the identifier alphabet. (A
+// constant never starts upper-case or with '_', by IsConstName.)
+func constArgNeedsQuotes(arg string) bool {
+	for i := 0; i < len(arg); i++ {
+		if !isIdentRune(rune(arg[i])) {
+			return true
+		}
+	}
+	return false
 }
 
 // relNameNeedsQuotes reports whether a relation name must be quoted to
@@ -96,13 +138,31 @@ func relNameNeedsQuotes(name string) bool {
 	return false
 }
 
-// Atom converts an ordinary (non-pattern) literal scheme to a relation.Atom.
-// It panics if l is a relation pattern.
+// Atom converts an ordinary (non-pattern) literal scheme to a relation.Atom,
+// mapping constant arguments to named-constant terms (resolved against the
+// database dictionary at materialization). It panics if l is a relation
+// pattern.
 func (l LiteralScheme) Atom() relation.Atom {
 	if l.PredVar {
 		panic("core: Atom called on a relation pattern")
 	}
-	return relation.NewAtom(l.Pred, l.Args...)
+	return atomOver(l.Pred, l.Args)
+}
+
+// atomOver builds a relation.Atom over pred from metaquery argument names,
+// preserving the variable/constant classification of each argument. It is
+// the one place scheme arguments become relation terms, shared by ordinary
+// atoms and pattern candidate generation.
+func atomOver(pred string, args []string) relation.Atom {
+	terms := make([]relation.Term, len(args))
+	for i, a := range args {
+		if IsConstName(a) {
+			terms[i] = relation.CN(a)
+		} else {
+			terms[i] = relation.V(a)
+		}
+	}
+	return relation.Atom{Pred: pred, Terms: terms}
 }
 
 // Metaquery is a second-order Horn template T <- L1, ..., Lm (form (3) of
@@ -190,12 +250,16 @@ func (mq *Metaquery) PredicateVars() []string {
 }
 
 // OrdinaryVars returns varo(MQ): distinct ordinary variables across all
-// literal schemes, in first-occurrence order.
+// literal schemes, in first-occurrence order. Constant arguments are
+// excluded.
 func (mq *Metaquery) OrdinaryVars() []string {
 	seen := make(map[string]bool)
 	var out []string
 	for _, l := range mq.LiteralSchemes() {
 		for _, a := range l.Args {
+			if IsConstName(a) {
+				continue
+			}
 			if !seen[a] {
 				seen[a] = true
 				out = append(out, a)

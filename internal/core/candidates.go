@@ -77,12 +77,12 @@ func candidatesOver(db *relation.Database, l LiteralScheme, typ InstType, patter
 		switch typ {
 		case Type0:
 			if rel.Arity() == k {
-				add(relation.NewAtom(name, l.Args...))
+				add(atomOver(name, l.Args))
 			}
 		case Type1:
 			if rel.Arity() == k {
 				forEachPermutation(l.Args, func(perm []string) {
-					add(relation.NewAtom(name, perm...))
+					add(atomOver(name, perm))
 				})
 			}
 		case Type2:
@@ -103,7 +103,7 @@ func candidatesOver(db *relation.Database, l LiteralScheme, typ InstType, patter
 						args[p] = freshVar(patternIdx, p)
 					}
 				}
-				add(relation.NewAtom(name, args...))
+				add(atomOver(name, args))
 			})
 		}
 	}

@@ -137,6 +137,40 @@ func (ev *Evaluator) supportOf(body []relation.Atom, jb *relation.Table) (rat.Ra
 	return best, nil
 }
 
+// IndexExceeds reports whether ix(r) > k, the single-index check of the
+// Section 3.2 decision problems, computing only what the queried index
+// needs instead of all three indices: support never joins the head and
+// returns as soon as one body atom's fraction exceeds k (support is a
+// maximum), confidence and cover join only their two sides. It is the
+// evaluator hook behind the sequential and parallel deciders and the
+// engine's first-witness path.
+func (ev *Evaluator) IndexExceeds(ix Index, r Rule, k rat.Rat) (bool, error) {
+	switch ix {
+	case Sup:
+		body := r.BodyAtoms()
+		jb, err := ev.Join(body)
+		if err != nil {
+			return false, err
+		}
+		for _, a := range body {
+			ja, err := ev.TableFor(a)
+			if err != nil {
+				return false, err
+			}
+			if tableFraction(ja, jb).Greater(k) {
+				return true, nil
+			}
+		}
+		return false, nil
+	default:
+		v, err := ix.ComputeEval(ev, r)
+		if err != nil {
+			return false, err
+		}
+		return v.Greater(k), nil
+	}
+}
+
 // Confidence computes cnf(r) = b(r) ↑ h(r) (Definition 2.7).
 func (ev *Evaluator) Confidence(r Rule) (rat.Rat, error) {
 	return ev.Fraction(r.BodyAtoms(), r.HeadAtoms())

@@ -127,11 +127,11 @@ func DecideContext(ctx context.Context, db *relation.Database, mq *Metaquery, ix
 		if err != nil {
 			return false, err
 		}
-		v, err := ix.ComputeEval(ev, rule)
+		yes, err := ev.IndexExceeds(ix, rule, k)
 		if err != nil {
 			return false, err
 		}
-		if v.Greater(k) {
+		if yes {
 			witness = sigma.Clone()
 			return false, nil
 		}

@@ -108,11 +108,11 @@ func DecideParallelContext(ctx context.Context, db *relation.Database, mq *Metaq
 					if err != nil {
 						return false, err
 					}
-					v, err := ix.ComputeEval(ev, rule)
+					yes, err := ev.IndexExceeds(ix, rule, k)
 					if err != nil {
 						return false, err
 					}
-					if v.Greater(k) {
+					if yes {
 						mu.Lock()
 						if found == nil {
 							found = s.Clone()

@@ -17,8 +17,12 @@ import (
 //     it is a relation name;
 //   - a double-quoted predicate ("UsCa") is always a relation name, which is
 //     how upper-case relation names like those of Figure 1 are written;
-//   - arguments are ordinary variables (upper-case initial); the mute
-//     variable "_" denotes a fresh variable distinct at each occurrence;
+//   - an argument starting with an upper-case letter or '_' is an ordinary
+//     variable; starting with a lower-case letter or a digit it is a
+//     constant (john, 3); a double-quoted argument is a constant with an
+//     arbitrary name, provided the bare name would not read as a variable;
+//     the mute variable "_" denotes a fresh variable distinct at each
+//     occurrence;
 //   - "<-" and ":-" both separate head from body; body literals are
 //     comma-separated;
 //   - primes are allowed in identifiers (P', X'1).
@@ -101,17 +105,32 @@ func (p *parser) parseLiteral() (LiteralScheme, error) {
 	if !p.eat(")") {
 		for {
 			p.skipSpace()
-			arg, err := p.parseIdent()
-			if err != nil {
-				return LiteralScheme{}, err
-			}
-			if arg == "_" {
-				arg = p.freshMute()
-			} else if !startsUpper(arg) && arg[0] != '_' {
-				// '_'-initial identifiers are ordinary variables too: the
-				// String renderer emits materialized mute variables (_m1)
-				// verbatim, and they must parse back to themselves.
-				return LiteralScheme{}, fmt.Errorf("argument %q of %s must be an ordinary variable (upper-case initial or '_'-initial)", arg, pred)
+			var arg string
+			if p.peek() == '"' {
+				// Quoted constant: any name, as long as it still classifies
+				// as a constant (the in-memory representation distinguishes
+				// constants from variables by name alone).
+				s, err := p.parseQuoted()
+				if err != nil {
+					return LiteralScheme{}, err
+				}
+				if !IsConstName(s) {
+					return LiteralScheme{}, fmt.Errorf("quoted constant %q of %s would read as a variable (upper-case or '_' initial)", s, pred)
+				}
+				arg = s
+			} else {
+				id, err := p.parseIdent()
+				if err != nil {
+					return LiteralScheme{}, err
+				}
+				if id == "_" {
+					// The mute variable: fresh at each occurrence.
+					// ('_'-initial identifiers are ordinary variables too: the
+					// String renderer emits materialized mute variables (_m1)
+					// verbatim, and they must parse back to themselves.)
+					id = p.freshMute()
+				}
+				arg = id
 			}
 			args = append(args, arg)
 			p.skipSpace()

@@ -125,7 +125,7 @@ func TestParseErrors(t *testing.T) {
 		"R(X) <-",               // empty body
 		"R(X <- P(X)",           // missing paren
 		"R(X) <- P(X) Q(X)",     // missing comma
-		"R(X) <- P(x)",          // lower-case argument (constant not allowed)
+		`R(X) <- p(X,"Y")`,      // quoted constant that reads as a variable
 		"R(X) <- P(X),",         // trailing comma
 		"R(X) <- P(X) trailing", // trailing junk
 		`R(X) <- "p(X)`,         // unterminated quote
@@ -135,6 +135,40 @@ func TestParseErrors(t *testing.T) {
 		if _, err := Parse(s); err == nil {
 			t.Errorf("Parse(%q) succeeded, want error", s)
 		}
+	}
+}
+
+// Constants in argument positions: lower-case or digit-initial identifiers
+// and quoted names parse as constants, are excluded from varo, and
+// round-trip through String.
+func TestParseConstants(t *testing.T) {
+	mq, err := Parse(`R(X,Z) <- P(X,john), q(Y,3), s(Z,"two words")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mq.Body[0].Vars(); len(got) != 1 || got[0] != "X" {
+		t.Errorf("varo(P(X,john)) = %v, want [X]", got)
+	}
+	if !IsConstName("john") || !IsConstName("3") || !IsConstName("two words") {
+		t.Error("constant names misclassified")
+	}
+	if IsConstName("X") || IsConstName("_m1") || IsConstName("") {
+		t.Error("variable names classified as constants")
+	}
+	if got := mq.OrdinaryVars(); len(got) != 3 {
+		t.Errorf("OrdinaryVars = %v, want [X Z Y]", got)
+	}
+	back, err := Parse(mq.String())
+	if err != nil {
+		t.Fatalf("round-trip parse of %q: %v", mq.String(), err)
+	}
+	if back.String() != mq.String() {
+		t.Errorf("round-trip %q != %q", back.String(), mq.String())
+	}
+	// The constant becomes a named-constant term of the materialized atom.
+	atom := mq.Body[1].Atom()
+	if atom.Terms[1].IsVar() || atom.Terms[1].ConstName != "3" {
+		t.Errorf("constant term not preserved: %+v", atom.Terms[1])
 	}
 }
 

@@ -10,7 +10,8 @@
 // cmd/mqfuzz drives this package over seed ranges; TestDifferentialSweep
 // pins a few hundred seeded cases into `go test ./...`; the corpus under
 // testdata/corpus replays previously found (or representative) scenarios as
-// regression tests.
+// regression tests. Failing scenarios shrink to committable repros through
+// Minimize (ddmin over tuples, then a greedy structural polish).
 package diff
 
 import (
@@ -33,7 +34,7 @@ type Mismatch struct {
 	Scenario *gen.Scenario
 	// Path names the execution path that disagreed: "naive", "engine",
 	// "stream", "stream-rerun", "decide", "decide-parallel",
-	// "engine-decide", "witness".
+	// "engine-decide", "decide-first", "witness".
 	Path string
 	// Detail is a human-readable description of the divergence.
 	Detail string
@@ -232,6 +233,21 @@ func Run(s *gen.Scenario) (*Mismatch, error) {
 					Detail: fmt.Sprintf("%s > %s: got %v, oracle says %v", ix, k, gotEng, wantYes)}, nil
 			}
 			if m := checkWitness(s, ix, k, witEng, "engine-decide"); m != nil {
+				return m, nil
+			}
+
+			// First-witness path on the SAME Prepared the enumeration paths
+			// used: DecideFirst overrides thresholds per run, so this also
+			// exercises enumeration/decision coexistence on one Prepared.
+			gotFirst, witFirst, err := prep.DecideFirst(ctx, ix, k)
+			if err != nil {
+				return nil, fmt.Errorf("decide-first: %w", err)
+			}
+			if gotFirst != wantYes {
+				return &Mismatch{Scenario: s, Path: "decide-first",
+					Detail: fmt.Sprintf("%s > %s: got %v, oracle says %v", ix, k, gotFirst, wantYes)}, nil
+			}
+			if m := checkWitness(s, ix, k, witFirst, "decide-first"); m != nil {
 				return m, nil
 			}
 		}

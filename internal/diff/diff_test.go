@@ -184,6 +184,69 @@ func TestMinimizeShrinksToFailureCore(t *testing.T) {
 	}
 }
 
+// ddmin must find a minimal failing core that needs tuples from two
+// different relations simultaneously: the failure predicate requires BOTH
+// needles, so single-chunk reduction alone cannot isolate it and the
+// complement phase has to do the work. The polish pass then guarantees
+// 1-minimality: exactly the two needle tuples survive.
+func TestMinimizeDDMinTwoNeedles(t *testing.T) {
+	s, err := gen.NewScenario(7, "t0-chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := s.DB.RelationNames()
+	if len(names) < 2 {
+		t.Fatal("scenario needs two relations")
+	}
+	plant := func(rel string) {
+		arity := s.DB.Relation(rel).Arity()
+		row := make([]string, arity)
+		for i := range row {
+			row[i] = "needle"
+		}
+		s.DB.MustInsertNamed(rel, row...)
+	}
+	plant(names[0])
+	plant(names[1])
+
+	hasNeedle := func(c *gen.Scenario, rel string) bool {
+		r := c.DB.Relation(rel)
+		if r == nil {
+			return false
+		}
+		v, ok := c.DB.Dict().Lookup("needle")
+		if !ok {
+			return false
+		}
+		tup := make(relation.Tuple, r.Arity())
+		for i := range tup {
+			tup[i] = v
+		}
+		return r.Contains(tup)
+	}
+	orig := runCheck
+	defer func() { runCheck = orig }()
+	runCheck = func(c *gen.Scenario) (*Mismatch, error) {
+		if hasNeedle(c, names[0]) && hasNeedle(c, names[1]) {
+			return &Mismatch{Scenario: c, Path: "synthetic", Detail: "both needles present"}, nil
+		}
+		return nil, nil
+	}
+
+	min := Minimize(s)
+	if !stillFails(min) {
+		t.Fatal("minimized scenario no longer fails")
+	}
+	total := 0
+	for _, name := range min.DB.RelationNames() {
+		total += min.DB.Relation(name).Len()
+	}
+	if total != 2 {
+		repro, _ := MarshalScenario(min)
+		t.Fatalf("minimized database holds %d tuples, want exactly the 2 needles:\n%s", total, repro)
+	}
+}
+
 // Constants that collide with the block grammar — the literal "end"
 // terminator and the empty string — must still round-trip: the marshaller
 // force-quotes them.

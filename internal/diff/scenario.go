@@ -192,12 +192,20 @@ func UnmarshalScenario(text string) (*gen.Scenario, error) {
 	return s, nil
 }
 
-// Minimize greedily shrinks a mismatching scenario while Run still reports
-// a mismatch: it tries dropping body literals, whole relations, and
-// individual tuples, repeating until no single reduction keeps the failure
-// alive. The result is the committable repro cmd/mqfuzz prints.
+// Minimize shrinks a mismatching scenario while Run still reports a
+// mismatch, in two phases: first delta debugging (ddmin) over the
+// database's tuple set, which cuts large databases to a 1-minimal failing
+// tuple subset in O(log n) rounds on well-behaved failures instead of one
+// tuple per round; then the greedy one-step pass — dropping body literals,
+// whole relations, and individual tuples — as a final polish, which also
+// removes the structure ddmin does not touch. A scenario that does not
+// fail is returned unchanged. The result is the committable repro
+// cmd/mqfuzz prints.
 func Minimize(s *gen.Scenario) *gen.Scenario {
-	cur := s
+	if !stillFails(s) {
+		return s
+	}
+	cur := ddminTuples(s)
 	for {
 		next := shrinkOnce(cur)
 		if next == nil {
@@ -205,6 +213,100 @@ func Minimize(s *gen.Scenario) *gen.Scenario {
 		}
 		cur = next
 	}
+}
+
+// tupleRef is one database tuple by position: the relation it lives in and
+// its row, rendered back to constant names so subsets rebuild exactly.
+type tupleRef struct {
+	rel string
+	rec []string
+}
+
+// ddminTuples runs the ddmin algorithm (Zeller & Hildebrandt) over the
+// scenario's tuples: starting from the full set, it tries failing on ever
+// finer chunks and their complements, halving the candidate set whenever a
+// subset still fails, until the kept set is 1-minimal with respect to the
+// chunk granularity. Relation schemas are always kept (ordinary atoms must
+// keep validating); only tuples are dropped.
+func ddminTuples(s *gen.Scenario) *gen.Scenario {
+	dict := s.DB.Dict()
+	var all []tupleRef
+	for _, name := range s.DB.RelationNames() {
+		rel := s.DB.Relation(name)
+		for i := 0; i < rel.Len(); i++ {
+			row := rel.Row(i)
+			rec := make([]string, len(row))
+			for j, v := range row {
+				rec[j] = dict.Name(v)
+			}
+			all = append(all, tupleRef{rel: name, rec: rec})
+		}
+	}
+	if len(all) < 2 {
+		return s
+	}
+	build := func(keep []tupleRef) *gen.Scenario {
+		db := relation.NewDatabase()
+		for _, name := range s.DB.RelationNames() {
+			db.MustAddRelation(name, s.DB.Relation(name).Arity())
+		}
+		for _, t := range keep {
+			db.MustInsertNamed(t.rel, t.rec...)
+		}
+		return &gen.Scenario{Seed: s.Seed, Shape: s.Shape, DB: db, MQ: s.MQ, Type: s.Type, Th: s.Th}
+	}
+	fails := func(keep []tupleRef) bool { return stillFails(build(keep)) }
+
+	cur := all
+	n := 2
+	for len(cur) >= 2 {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		// Reduce to a failing chunk (finest first effect comes from the
+		// granularity loop), then to a failing complement.
+		for lo := 0; lo < len(cur); lo += chunk {
+			hi := lo + chunk
+			if hi > len(cur) {
+				hi = len(cur)
+			}
+			if fails(cur[lo:hi]) {
+				cur = append([]tupleRef(nil), cur[lo:hi]...)
+				n = 2
+				reduced = true
+				break
+			}
+		}
+		if !reduced && n > 2 {
+			for lo := 0; lo < len(cur); lo += chunk {
+				hi := lo + chunk
+				if hi > len(cur) {
+					hi = len(cur)
+				}
+				rest := make([]tupleRef, 0, len(cur)-(hi-lo))
+				rest = append(rest, cur[:lo]...)
+				rest = append(rest, cur[hi:]...)
+				if fails(rest) {
+					cur = rest
+					n--
+					reduced = true
+					break
+				}
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			n *= 2
+			if n > len(cur) {
+				n = len(cur)
+			}
+		}
+	}
+	if len(cur) == len(all) {
+		return s
+	}
+	return build(cur)
 }
 
 // runCheck is the failure predicate Minimize preserves; tests swap it to

@@ -1,0 +1,251 @@
+package engine
+
+import (
+	"context"
+	"sort"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/hypertree"
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// DecideFirst solves the decision problem ⟨DB, MQ, ix, k, T⟩ of Section
+// 3.2 on the prepared metaquery: is there a type-T instantiation σ with
+// ix(σ(MQ)) > k? It returns a witness instantiation on YES.
+//
+// Unlike answering through FindRules with Limit 1 (the previous decision
+// idiom), DecideFirst runs the shared body-search iterator in a dedicated
+// first-witness mode: only the queried index is evaluated (never all
+// three), the body search visits decomposition nodes smallest estimated
+// table first so hopeless branches die early, and on support decisions —
+// where the index does not depend on the head at all — head enumeration is
+// skipped entirely: the first body whose support exceeds k is completed
+// with any agreeing head assignment. The search stops at the first witness,
+// so a YES verdict pays for the explored prefix only; a NO verdict pays
+// for the (pruned) body space without ever materializing body joins the
+// queried index does not need.
+//
+// The thresholds and limit the Prepared was built with are ignored for the
+// decision run; its type, ablation switches, decomposition and caches are
+// shared. A Prepared can serve enumeration and decision runs concurrently.
+func (p *Prepared) DecideFirst(ctx context.Context, ix core.Index, k rat.Rat) (bool, *core.Instantiation, error) {
+	yes, wit, _, err := p.DecideFirstStats(ctx, ix, k)
+	return yes, wit, err
+}
+
+// DecideFirstStats is DecideFirst additionally returning the run's search
+// counters, so the cost of YES and NO verdicts can be observed (and
+// benchmarked) separately.
+func (p *Prepared) DecideFirstStats(ctx context.Context, ix core.Index, k rat.Rat) (bool, *core.Instantiation, *Stats, error) {
+	opt := p.opt
+	opt.Thresholds = core.SingleIndex(ix, k)
+	opt.Limit = 0 // unused here: the decision run terminates via errFound
+	r := p.newRunOpt(ctx, opt)
+	r.order = p.decideOrder()
+
+	d := &decider{run: r, ix: ix, k: k}
+	r.onBody = d.onBody
+	err := r.forEachBody()
+	if err != nil && err != errFound {
+		return false, nil, nil, err
+	}
+	if d.witness != nil {
+		r.stats.Answers = 1
+	}
+	return d.witness != nil, d.witness, r.stats, nil
+}
+
+// decider is the first-witness consumer of the body-search iterator.
+type decider struct {
+	run     *run
+	ix      core.Index
+	k       rat.Rat
+	witness *core.Instantiation
+}
+
+// onBody checks one complete body instantiation for a witness and unwinds
+// the search with errFound as soon as it finds one.
+func (d *decider) onBody(b *body) error {
+	r := d.run
+	switch d.ix {
+	case core.Sup:
+		// Support is head-independent: the body alone decides, and the
+		// reduced node tables answer the strict comparison without ever
+		// materializing the body join.
+		exceeds, err := r.supportExceeds(b.sigma, b.s, d.k)
+		if err != nil {
+			return err
+		}
+		if !exceeds {
+			r.stats.BodiesPrunedSupport++
+			return nil
+		}
+		wit, ok := r.completeHead(b.sigma)
+		if !ok {
+			// No head assignment agrees with this body (e.g. the head's
+			// predicate variable is pinned to a relation with no candidate
+			// atoms); keep searching.
+			return nil
+		}
+		r.stats.HeadsSkipped++
+		d.witness = wit
+		return errFound
+	case core.Cnf:
+		return d.headSearch(b, func(bj, h *relation.Table) rat.Rat {
+			// cnf = |b ⋉ h| / |b|; b ⋉ (h ⋉ b) = b ⋉ h, so the head table
+			// itself suffices and h' is never materialized.
+			if bj.Empty() {
+				return rat.Zero
+			}
+			num := bj.SemijoinCount(h)
+			if num == 0 {
+				return rat.Zero
+			}
+			return rat.New(int64(num), int64(bj.Len()))
+		})
+	default: // core.Cvr
+		return d.headSearch(b, func(bj, h *relation.Table) rat.Rat {
+			hPrime := h.Semijoin(bj)
+			if hPrime.Len() == 0 {
+				return rat.Zero
+			}
+			return rat.New(int64(hPrime.Len()), int64(h.Len()))
+		})
+	}
+}
+
+// headSearch materializes the body join once and walks the head candidates
+// agreeing with the body, evaluating only the queried index and stopping
+// at the first candidate exceeding k.
+func (d *decider) headSearch(b *body, value func(bj, h *relation.Table) rat.Rat) error {
+	r := d.run
+	bj, err := r.bodyJoin(b.sigma, b.s)
+	if err != nil {
+		return err
+	}
+	head := r.p.mq.Head
+	for _, ha := range r.p.eng.cands.Candidates(head, r.opt.Type, r.p.headPatternIdx) {
+		if err := r.ctx.Err(); err != nil {
+			return err
+		}
+		if !r.headAgrees(b.sigma, ha) {
+			continue
+		}
+		r.stats.HeadsTried++
+		h, err := r.p.eng.tableFor(ha)
+		if err != nil {
+			return err
+		}
+		if !value(bj, h).Greater(d.k) {
+			continue
+		}
+		full := b.sigma.Clone()
+		if head.PredVar {
+			if err := full.Assign(head, ha); err != nil {
+				continue // cannot agree (e.g. conflicting relation)
+			}
+		}
+		d.witness = full
+		return errFound
+	}
+	return nil
+}
+
+// completeHead extends a decided body instantiation with an agreeing head
+// assignment — any one will do, since the queried index does not depend on
+// the head. It reports false when no head candidate agrees.
+func (r *run) completeHead(sigma *core.Instantiation) (*core.Instantiation, bool) {
+	head := r.p.mq.Head
+	if !head.PredVar {
+		return sigma.Clone(), true
+	}
+	if _, ok := sigma.AtomFor(head); ok {
+		// The head scheme is also a body scheme and is already assigned.
+		return sigma.Clone(), true
+	}
+	for _, ha := range r.p.eng.cands.Candidates(head, r.opt.Type, r.p.headPatternIdx) {
+		if !r.headAgrees(sigma, ha) {
+			continue
+		}
+		full := sigma.Clone()
+		if err := full.Assign(head, ha); err != nil {
+			continue
+		}
+		return full, true
+	}
+	return nil, false
+}
+
+// decideOrder returns the node visit order used by decision runs: a valid
+// bottom-up (children before parents) order in which sibling subtrees are
+// visited smallest estimated node table first, so the branches most likely
+// to empty out — and prune the candidate space — are tried earliest. The
+// estimate for a node is the smallest base-relation cardinality over the
+// node's λ schemes (an ordinary atom contributes its relation's size, a
+// pattern the size of its smallest candidate relation); a subtree is
+// ranked by the smallest estimate it contains. The order depends only on
+// the database and the preparation, so it is computed once and shared.
+func (p *Prepared) decideOrder() []*hypertree.Node {
+	p.decideOrderOnce.Do(func() {
+		est := make(map[int]int, len(p.order))
+		for _, n := range p.order {
+			est[n.ID] = p.nodeEstimate(n)
+		}
+		// Subtree rank: the minimum estimate in the subtree.
+		var rank func(n *hypertree.Node) int
+		ranks := make(map[int]int, len(p.order))
+		rank = func(n *hypertree.Node) int {
+			best := est[n.ID]
+			for _, c := range n.Children {
+				if r := rank(c); r < best {
+					best = r
+				}
+			}
+			ranks[n.ID] = best
+			return best
+		}
+		rank(p.decomp.Root)
+
+		out := make([]*hypertree.Node, 0, len(p.order))
+		var walk func(n *hypertree.Node)
+		walk = func(n *hypertree.Node) {
+			kids := append([]*hypertree.Node(nil), n.Children...)
+			sort.Slice(kids, func(i, j int) bool {
+				if ranks[kids[i].ID] != ranks[kids[j].ID] {
+					return ranks[kids[i].ID] < ranks[kids[j].ID]
+				}
+				return kids[i].ID < kids[j].ID
+			})
+			for _, c := range kids {
+				walk(c)
+			}
+			out = append(out, n)
+		}
+		walk(p.decomp.Root)
+		p.decideOrderNodes = out
+	})
+	return p.decideOrderNodes
+}
+
+// nodeEstimate is the selectivity estimate of one decomposition node: the
+// smallest base-relation cardinality over its λ schemes.
+func (p *Prepared) nodeEstimate(n *hypertree.Node) int {
+	db := p.eng.db
+	best := int(^uint(0) >> 1)
+	for _, id := range p.nodeSchemes[n.ID] {
+		bs := p.schemes[id]
+		if !bs.scheme.PredVar {
+			if rel := db.Relation(bs.scheme.Pred); rel != nil && rel.Len() < best {
+				best = rel.Len()
+			}
+			continue
+		}
+		for _, a := range p.eng.cands.Candidates(bs.scheme, p.opt.Type, bs.patternIdx) {
+			if rel := db.Relation(a.Pred); rel != nil && rel.Len() < best {
+				best = rel.Len()
+			}
+		}
+	}
+	return best
+}

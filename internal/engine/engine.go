@@ -15,9 +15,20 @@
 //     bottom-up node order, and the node-join cache. A Prepared can be
 //     executed many times and from many goroutines concurrently.
 //
+// Every execution mode consumes the one incremental body-search iterator
+// of search.go, which yields complete body instantiations lazily:
+//
+//   - FindRules (prepare.go) enumerates heads for every body and returns
+//     the full sorted answer set;
+//   - Stream (stream.go) yields answers incrementally so consumers can
+//     abandon the search early;
+//   - DecideFirst (decide.go) is the dedicated first-witness decision path:
+//     it checks a single index, skips head enumeration when the index makes
+//     heads irrelevant, visits nodes smallest-estimated-table first, and
+//     stops at the first admissible witness.
+//
 // Executions take a context.Context and stop promptly with ctx.Err() on
-// cancellation; Prepared.Stream (stream.go) yields answers incrementally so
-// consumers can abandon the search early.
+// cancellation.
 //
 // The engine is differentially tested against the naive reference
 // implementation in internal/core; both compute the answer set
@@ -33,6 +44,7 @@ import (
 
 	"github.com/mqgo/metaquery/internal/core"
 	"github.com/mqgo/metaquery/internal/hypertree"
+	"github.com/mqgo/metaquery/internal/rat"
 	"github.com/mqgo/metaquery/internal/relation"
 )
 
@@ -43,8 +55,12 @@ type Options struct {
 	// Thresholds are the strict admissibility thresholds. Disabled checks
 	// are reported but not filtered (and disable the related pruning).
 	Thresholds core.Thresholds
-	// Limit, when positive, stops the search after this many answers; used
-	// to solve decision problems with early exit.
+	// Limit, when positive, stops the search after this many answers.
+	//
+	// Deprecated as the decision idiom: to answer a decision problem, use
+	// Prepared.DecideFirst (or Engine.Decide), which short-circuits on the
+	// first witness without paying the full enumeration machinery. Limit
+	// remains the right tool for top-k style enumeration cutoffs.
 	Limit int
 
 	// Ablation switches (all default off = full algorithm). They change
@@ -78,6 +94,11 @@ type Stats struct {
 	BodiesPrunedSupport int
 	// HeadsTried counts head instantiations examined.
 	HeadsTried int
+	// HeadsSkipped counts bodies accepted as decision witnesses without
+	// enumerating (or evaluating) any head candidate: on support decisions
+	// the index is head-independent, so DecideFirst only picks a compatible
+	// head assignment instead of searching one.
+	HeadsSkipped int
 	// Answers is the number of rules returned.
 	Answers int
 }
@@ -97,43 +118,21 @@ func FindRulesContext(ctx context.Context, db *relation.Database, mq *core.Metaq
 	return NewEngine(db).FindRulesStats(ctx, mq, opt)
 }
 
+// DecideFirst solves the decision problem ⟨DB, MQ, ix, k, T⟩ through a
+// one-shot Engine's first-witness path; callers deciding repeatedly over
+// one database should hold a NewEngine (and a Prepared) instead.
+func DecideFirst(ctx context.Context, db *relation.Database, mq *core.Metaquery, ix core.Index, k rat.Rat, typ core.InstType) (bool, *core.Instantiation, error) {
+	return NewEngine(db).Decide(ctx, mq, ix, k, typ)
+}
+
 // errLimit signals early termination once Options.Limit answers were found.
 var errLimit = fmt.Errorf("engine: answer limit reached")
 
 // errStop signals that a streaming consumer stopped iterating.
 var errStop = fmt.Errorf("engine: consumer stopped iteration")
 
-// bodyScheme couples a distinct body literal scheme with the data the
-// engine needs repeatedly.
-type bodyScheme struct {
-	scheme     core.LiteralScheme
-	patternIdx int // index in rep(MQ) for fresh-variable keying; -1 if atom
-	vars       []string
-}
-
-// run is the per-execution state of one search over a Prepared metaquery:
-// the context, the effort counters, the current node tables of Figure 4's
-// first half, and the answer sink. Everything shared across executions
-// (database caches, decomposition, join cache) lives on run.p and is only
-// read here, which is what makes concurrent executions of one Prepared
-// safe.
-type run struct {
-	p     *Prepared
-	ctx   context.Context
-	stats *Stats
-
-	// rTables[nodeID] is r[i] of Figure 4 for the current partial body.
-	rTables map[int]*relation.Table
-
-	// emit receives each discovered answer, in discovery order. Returning
-	// errLimit or errStop unwinds the search cleanly.
-	emit func(core.Answer) error
-}
-
-// search runs the body search of Figure 4 over the whole candidate space.
-func (r *run) search() error {
-	return r.findBodies(0, core.NewInstantiation())
-}
+// errFound signals that a decision run hit its first admissible witness.
+var errFound = fmt.Errorf("engine: decision witness found")
 
 // flatDecomposition builds the trivial one-node decomposition used by the
 // FlatDecomposition ablation.
@@ -162,147 +161,4 @@ func sortStrings(vs []string) []string {
 		}
 	}
 	return out
-}
-
-// anyThresholdChecked reports whether empty-join pruning is sound: with at
-// least one strict threshold enabled, an empty body join (all indices 0)
-// can never pass.
-func (r *run) anyThresholdChecked() bool {
-	t := r.p.opt.Thresholds
-	return t.CheckSup || t.CheckCnf || t.CheckCvr
-}
-
-// findBodies is the recursive body search of Figure 4 (first half). i
-// indexes the bottom-up node order.
-func (r *run) findBodies(i int, sigma *core.Instantiation) error {
-	if err := r.ctx.Err(); err != nil {
-		return err
-	}
-	if i == len(r.p.order) {
-		return r.afterBodies(sigma)
-	}
-	node := r.p.order[i]
-	return r.instantiateNode(node, r.p.nodeSchemes[node.ID], 0, sigma, func() error {
-		return r.findBodies(i+1, sigma)
-	})
-}
-
-// instantiateNode extends sigma over the schemes of one node, then computes
-// the node table and recurses via cont.
-func (r *run) instantiateNode(node *hypertree.Node, schemeIDs []int, j int, sigma *core.Instantiation, cont func() error) error {
-	if j == len(schemeIDs) {
-		return r.evalNode(node, schemeIDs, sigma, cont)
-	}
-	bs := r.p.schemes[schemeIDs[j]]
-	l := bs.scheme
-	if !l.PredVar {
-		// Ordinary atom: nothing to assign.
-		return r.instantiateNode(node, schemeIDs, j+1, sigma, cont)
-	}
-	if _, done := sigma.AtomFor(l); done {
-		// Assigned at an earlier node (λ sets may overlap).
-		return r.instantiateNode(node, schemeIDs, j+1, sigma, cont)
-	}
-	for _, a := range r.p.eng.cands.Candidates(l, r.p.opt.Type, bs.patternIdx) {
-		if err := r.ctx.Err(); err != nil {
-			return err
-		}
-		if rel, ok := sigma.RelationOf(l.Pred); ok && rel != a.Pred {
-			continue
-		}
-		r.stats.BodyCandidatesTried++
-		if err := sigma.Assign(l, a); err != nil {
-			return err
-		}
-		err := r.instantiateNode(node, schemeIDs, j+1, sigma, cont)
-		sigma.Unassign(l)
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// evalNode computes r[i] := π_χ(J(σ(λ))) semijoined with the children's
-// tables (the bottom-up first half), prunes empty branches, and continues.
-func (r *run) evalNode(node *hypertree.Node, schemeIDs []int, sigma *core.Instantiation, cont func() error) error {
-	tab, err := r.nodeJoin(node, schemeIDs, sigma)
-	if err != nil {
-		return err
-	}
-	if !r.p.opt.DisableFullReducer {
-		for _, c := range node.Children {
-			tab = tab.Semijoin(r.rTables[c.ID])
-		}
-	}
-	if tab.Empty() && r.anyThresholdChecked() {
-		r.stats.BodiesPrunedEmpty++
-		return nil
-	}
-	prev, had := r.rTables[node.ID]
-	r.rTables[node.ID] = tab
-	err = cont()
-	if had {
-		r.rTables[node.ID] = prev
-	} else {
-		delete(r.rTables, node.ID)
-	}
-	return err
-}
-
-// nodeJoin computes π_χ(J(σ(λ(p)))) for the node's current atom
-// assignment, served from the Prepared's cross-execution join cache. On a
-// miss, the join executes through the Engine evaluator: per-atom tables
-// from the shared materialization cache, join order and column bookkeeping
-// from a plan compiled once per atom-set shape.
-func (r *run) nodeJoin(node *hypertree.Node, schemeIDs []int, sigma *core.Instantiation) (*relation.Table, error) {
-	atoms := make([]relation.Atom, 0, len(schemeIDs))
-	key := fmt.Sprintf("n%d|", node.ID)
-	for _, id := range schemeIDs {
-		a, err := r.instAtom(r.p.schemes[id].scheme, sigma)
-		if err != nil {
-			return nil, err
-		}
-		atoms = append(atoms, a)
-		key += a.String() + ";"
-	}
-	if t, ok := r.p.cachedJoin(key); ok {
-		return t, nil
-	}
-	j, err := r.p.eng.ev.Join(atoms)
-	if err != nil {
-		return nil, err
-	}
-	t := j.Project(node.Chi)
-	return r.p.storeJoin(key, t), nil
-}
-
-// instAtom maps a body scheme through sigma (identity on ordinary atoms).
-func (r *run) instAtom(l core.LiteralScheme, sigma *core.Instantiation) (relation.Atom, error) {
-	if !l.PredVar {
-		return l.Atom(), nil
-	}
-	a, ok := sigma.AtomFor(l)
-	if !ok {
-		return relation.Atom{}, fmt.Errorf("engine: pattern %s unassigned at evaluation", l)
-	}
-	return a, nil
-}
-
-// afterBodies runs once per complete body instantiation: executes the
-// second (top-down) half of the full reducer and calls findHeads.
-func (r *run) afterBodies(sigma *core.Instantiation) error {
-	r.stats.BodiesReachedRoot++
-
-	// Second half: s[j] := r[j] ⋉ s[parent(j)], top-down.
-	s := make(map[int]*relation.Table, len(r.p.order))
-	for i := len(r.p.order) - 1; i >= 0; i-- {
-		n := r.p.order[i]
-		t := r.rTables[n.ID]
-		if !r.p.opt.DisableFullReducer && n.Parent != nil {
-			t = t.Semijoin(s[n.Parent.ID])
-		}
-		s[n.ID] = t
-	}
-	return r.findHeads(sigma, s)
 }

@@ -6,30 +6,24 @@ import (
 	"github.com/mqgo/metaquery/internal/relation"
 )
 
-// supportInfo carries the exact support value and whether the threshold
-// check passed.
-type supportInfo struct {
-	value  rat.Rat
-	passes bool
-}
-
-// computeSupport evaluates sup(σ(body)) exactly from the reduced node
-// tables: for each body atom a with cover node p,
+// forEachBodyFraction computes, for each distinct body scheme, the fraction
 //
 //	{a} ↑ b(r)  =  |r_a ⋉ π_varo(a)(s[p])| / |r_a|
 //
-// which is the enoughSupport computation of Figure 4, extended to return
-// the exact maximum rather than only the threshold bit.
-func (r *run) computeSupport(sigma *core.Instantiation, s map[int]*relation.Table) (supportInfo, error) {
-	best := rat.Zero
+// of tuples of the instantiated atom a participating in the reduced body
+// (p is a's cover node), calling f with each non-zero value. f returns
+// true to stop the iteration early. It is the single loop behind the exact
+// support computation, the enoughSupport pruning check, and the
+// first-witness support decision.
+func (r *run) forEachBodyFraction(sigma *core.Instantiation, s map[int]*relation.Table, f func(rat.Rat) bool) error {
 	for id, bs := range r.p.schemes {
 		atom, err := r.instAtom(bs.scheme, sigma)
 		if err != nil {
-			return supportInfo{}, err
+			return err
 		}
 		ra, err := r.p.eng.tableFor(atom)
 		if err != nil {
-			return supportInfo{}, err
+			return err
 		}
 		if ra.Len() == 0 {
 			continue
@@ -40,38 +34,36 @@ func (r *run) computeSupport(sigma *core.Instantiation, s map[int]*relation.Tabl
 		if num == 0 {
 			continue
 		}
-		best = rat.Max(best, rat.New(int64(num), int64(ra.Len())))
+		if f(rat.New(int64(num), int64(ra.Len()))) {
+			return nil
+		}
 	}
-	passes := !r.p.opt.Thresholds.CheckSup || best.Greater(r.p.opt.Thresholds.Sup)
-	return supportInfo{value: best, passes: passes}, nil
+	return nil
 }
 
-// enoughSupport is the early-exit variant used for pruning: it returns true
-// as soon as one body atom's fraction exceeds ksup (support is a maximum).
-func (r *run) enoughSupport(sigma *core.Instantiation, s map[int]*relation.Table) (bool, error) {
-	for id, bs := range r.p.schemes {
-		atom, err := r.instAtom(bs.scheme, sigma)
-		if err != nil {
-			return false, err
-		}
-		ra, err := r.p.eng.tableFor(atom)
-		if err != nil {
-			return false, err
-		}
-		if ra.Len() == 0 {
-			continue
-		}
-		node := r.p.decomp.CoverNode[id]
-		reduced := s[node.ID].Project(bs.vars)
-		num := ra.SemijoinCount(reduced)
-		if num == 0 {
-			continue
-		}
-		if rat.New(int64(num), int64(ra.Len())).Greater(r.p.opt.Thresholds.Sup) {
-			return true, nil
-		}
-	}
-	return false, nil
+// computeSupport evaluates sup(σ(body)) exactly from the reduced node
+// tables: the maximum body-atom fraction (the enoughSupport computation of
+// Figure 4, extended to return the exact maximum rather than only the
+// threshold bit).
+func (r *run) computeSupport(sigma *core.Instantiation, s map[int]*relation.Table) (rat.Rat, error) {
+	best := rat.Zero
+	err := r.forEachBodyFraction(sigma, s, func(v rat.Rat) bool {
+		best = rat.Max(best, v)
+		return false
+	})
+	return best, err
+}
+
+// supportExceeds is the early-exit variant used for pruning and for
+// support decisions: it reports true as soon as one body atom's fraction
+// exceeds k (support is a maximum).
+func (r *run) supportExceeds(sigma *core.Instantiation, s map[int]*relation.Table, k rat.Rat) (bool, error) {
+	exceeds := false
+	err := r.forEachBodyFraction(sigma, s, func(v rat.Rat) bool {
+		exceeds = v.Greater(k)
+		return exceeds
+	})
+	return exceeds, err
 }
 
 // bodyJoin materializes b = J(σ(body)) over att(body), including type-2
@@ -89,7 +81,7 @@ func (r *run) bodyJoin(sigma *core.Instantiation, s map[int]*relation.Table) (*r
 		if err != nil {
 			return nil, err
 		}
-		if !r.p.opt.DisableFullReducer {
+		if !r.opt.DisableFullReducer {
 			node := r.p.decomp.CoverNode[id]
 			ta = ta.Semijoin(s[node.ID])
 		}
@@ -103,14 +95,33 @@ func (r *run) bodyJoin(sigma *core.Instantiation, s map[int]*relation.Table) (*r
 	return relation.JoinTablesGreedy(tables), nil
 }
 
+// headAgrees reports whether head candidate ha agrees with σb in the sense
+// of Definition 4.13: same pattern -> same atom, same predicate variable ->
+// same relation. Ordinary-atom heads always agree.
+func (r *run) headAgrees(sigma *core.Instantiation, ha relation.Atom) bool {
+	head := r.p.mq.Head
+	if !head.PredVar {
+		return true
+	}
+	if prev, ok := sigma.AtomFor(head); ok && prev.String() != ha.String() {
+		return false
+	}
+	if rel, ok := sigma.RelationOf(head.Pred); ok && rel != ha.Pred {
+		return false
+	}
+	return true
+}
+
 // findHeads is Figure 4's findHeads: with the body σb fixed and reduced,
 // check support, materialize b = J(σb(body)), and search head
-// instantiations agreeing with σb, filtering on cover and confidence.
-func (r *run) findHeads(sigma *core.Instantiation, s map[int]*relation.Table) error {
-	th := r.p.opt.Thresholds
+// instantiations agreeing with σb, filtering on cover and confidence. It
+// is the enumeration consumer of the body-search iterator (search.go).
+func (r *run) findHeads(bd *body) error {
+	sigma, s := bd.sigma, bd.s
+	th := r.opt.Thresholds
 
-	if th.CheckSup && !r.p.opt.DisableSupportPruning {
-		ok, err := r.enoughSupport(sigma, s)
+	if th.CheckSup && !r.opt.DisableSupportPruning {
+		ok, err := r.supportExceeds(sigma, s, th.Sup)
 		if err != nil {
 			return err
 		}
@@ -123,7 +134,7 @@ func (r *run) findHeads(sigma *core.Instantiation, s map[int]*relation.Table) er
 	if err != nil {
 		return err
 	}
-	if !sup.passes {
+	if th.CheckSup && !sup.Greater(th.Sup) {
 		r.stats.BodiesPrunedSupport++
 		return nil
 	}
@@ -134,19 +145,12 @@ func (r *run) findHeads(sigma *core.Instantiation, s map[int]*relation.Table) er
 	}
 
 	head := r.p.mq.Head
-	for _, ha := range r.p.eng.cands.Candidates(head, r.p.opt.Type, r.p.headPatternIdx) {
+	for _, ha := range r.p.eng.cands.Candidates(head, r.opt.Type, r.p.headPatternIdx) {
 		if err := r.ctx.Err(); err != nil {
 			return err
 		}
-		if head.PredVar {
-			// Agreement with σb (Definition 4.13): same pattern -> same atom,
-			// same predicate variable -> same relation.
-			if prev, ok := sigma.AtomFor(head); ok && prev.String() != ha.String() {
-				continue
-			}
-			if rel, ok := sigma.RelationOf(head.Pred); ok && rel != ha.Pred {
-				continue
-			}
+		if !r.headAgrees(sigma, ha) {
+			continue
 		}
 		r.stats.HeadsTried++
 
@@ -188,7 +192,7 @@ func (r *run) findHeads(sigma *core.Instantiation, s map[int]*relation.Table) er
 		if err := r.emit(core.Answer{
 			Inst: full,
 			Rule: rule,
-			Sup:  sup.value,
+			Sup:  sup,
 			Cnf:  cnf,
 			Cvr:  cvr,
 		}); err != nil {

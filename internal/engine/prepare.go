@@ -42,6 +42,11 @@ type Prepared struct {
 	// and column analysis.
 	joinMu    sync.RWMutex
 	joinCache map[string]*relation.Table
+
+	// decideOrderNodes is the selectivity-sorted node visit order used by
+	// DecideFirst runs, computed lazily once (decide.go).
+	decideOrderOnce  sync.Once
+	decideOrderNodes []*hypertree.Node
 }
 
 // Prepare validates mq for opt.Type and computes the query-level analysis
@@ -127,13 +132,24 @@ func (p *Prepared) storeJoin(key string, t *relation.Table) *relation.Table {
 	return t
 }
 
-// newRun builds the per-execution search state. ctx may be nil.
+// newRun builds the per-execution search state for the prepared options.
+// ctx may be nil.
 func (p *Prepared) newRun(ctx context.Context) *run {
+	return p.newRunOpt(ctx, p.opt)
+}
+
+// newRunOpt is newRun with the effective options overridden for this
+// execution (DecideFirst swaps in single-index thresholds without
+// re-preparing). Everything option-independent — decomposition, node
+// order, caches — is shared with the Prepared.
+func (p *Prepared) newRunOpt(ctx context.Context, opt Options) *run {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	return &run{
 		p:       p,
+		opt:     opt,
+		order:   p.order,
 		ctx:     ctx,
 		stats:   &Stats{Width: p.decomp.Width, Nodes: len(p.order)},
 		rTables: make(map[int]*relation.Table, len(p.order)),
@@ -154,7 +170,7 @@ func (p *Prepared) FindRulesStats(ctx context.Context) ([]core.Answer, *Stats, e
 	var answers []core.Answer
 	r.emit = func(a core.Answer) error {
 		answers = append(answers, a)
-		if p.opt.Limit > 0 && len(answers) >= p.opt.Limit {
+		if r.opt.Limit > 0 && len(answers) >= r.opt.Limit {
 			return errLimit
 		}
 		return nil

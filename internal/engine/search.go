@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/hypertree"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// This file is the engine's single body-search core: a resumable
+// depth-first walk of the decomposition node order that yields each
+// complete body instantiation lazily, together with its fully reduced node
+// tables. Every execution mode — batch FindRules, incremental Stream, and
+// the first-witness DecideFirst — is a consumer of this one iterator; the
+// modes differ only in what they do with each yielded body (enumerate
+// heads, emit answers, or short-circuit on the first witness).
+
+// bodyScheme couples a distinct body literal scheme with the data the
+// engine needs repeatedly.
+type bodyScheme struct {
+	scheme     core.LiteralScheme
+	patternIdx int // index in rep(MQ) for fresh-variable keying; -1 if atom
+	vars       []string
+}
+
+// body is one complete body instantiation as delivered by the iterator
+// core: the (partial, head-less) instantiation σb and the node tables
+// after both semijoin full-reducer halves. Both fields are reused between
+// yields; consumers must clone what they keep.
+type body struct {
+	sigma *core.Instantiation
+	s     map[int]*relation.Table
+}
+
+// run is the per-execution state of one search over a Prepared metaquery:
+// the context, the effective options, the node visit order, the effort
+// counters, the current node tables of Figure 4's first half, and the
+// consumer hooks. Everything shared across executions (database caches,
+// decomposition, join cache) lives on run.p and is only read here, which
+// is what makes concurrent executions of one Prepared safe.
+//
+// opt starts as a copy of the Prepared's options; DecideFirst overrides
+// the thresholds (and the limit) per execution without re-preparing, so
+// one Prepared serves enumeration and decision runs concurrently.
+type run struct {
+	p     *Prepared
+	opt   Options
+	order []*hypertree.Node
+	ctx   context.Context
+	stats *Stats
+
+	// rTables[nodeID] is r[i] of Figure 4 for the current partial body.
+	rTables map[int]*relation.Table
+
+	// onBody receives each complete body instantiation. Returning a
+	// sentinel (errLimit, errStop, errFound) unwinds the search cleanly.
+	onBody func(*body) error
+
+	// emit receives each discovered answer, in discovery order; set by the
+	// enumeration consumers (FindRules, Stream), unused by DecideFirst.
+	emit func(core.Answer) error
+}
+
+// search runs the body search over the whole candidate space, enumerating
+// heads for every body (the Figure 4 findRules composition).
+func (r *run) search() error {
+	r.onBody = r.findHeads
+	return r.forEachBody()
+}
+
+// forEachBody drives the iterator core: it walks the node order depth
+// first and calls r.onBody once per complete body instantiation.
+func (r *run) forEachBody() error {
+	return r.findBodies(0, core.NewInstantiation())
+}
+
+// anyThresholdChecked reports whether empty-join pruning is sound: with at
+// least one strict threshold enabled, an empty body join (all indices 0)
+// can never pass.
+func (r *run) anyThresholdChecked() bool {
+	t := r.opt.Thresholds
+	return t.CheckSup || t.CheckCnf || t.CheckCvr
+}
+
+// findBodies is the recursive body search of Figure 4 (first half). i
+// indexes the run's bottom-up node order.
+func (r *run) findBodies(i int, sigma *core.Instantiation) error {
+	if err := r.ctx.Err(); err != nil {
+		return err
+	}
+	if i == len(r.order) {
+		return r.yieldBody(sigma)
+	}
+	node := r.order[i]
+	return r.instantiateNode(node, r.p.nodeSchemes[node.ID], 0, sigma, func() error {
+		return r.findBodies(i+1, sigma)
+	})
+}
+
+// instantiateNode extends sigma over the schemes of one node, then computes
+// the node table and recurses via cont.
+func (r *run) instantiateNode(node *hypertree.Node, schemeIDs []int, j int, sigma *core.Instantiation, cont func() error) error {
+	if j == len(schemeIDs) {
+		return r.evalNode(node, schemeIDs, sigma, cont)
+	}
+	bs := r.p.schemes[schemeIDs[j]]
+	l := bs.scheme
+	if !l.PredVar {
+		// Ordinary atom: nothing to assign.
+		return r.instantiateNode(node, schemeIDs, j+1, sigma, cont)
+	}
+	if _, done := sigma.AtomFor(l); done {
+		// Assigned at an earlier node (λ sets may overlap).
+		return r.instantiateNode(node, schemeIDs, j+1, sigma, cont)
+	}
+	for _, a := range r.p.eng.cands.Candidates(l, r.opt.Type, bs.patternIdx) {
+		if err := r.ctx.Err(); err != nil {
+			return err
+		}
+		if rel, ok := sigma.RelationOf(l.Pred); ok && rel != a.Pred {
+			continue
+		}
+		r.stats.BodyCandidatesTried++
+		if err := sigma.Assign(l, a); err != nil {
+			return err
+		}
+		err := r.instantiateNode(node, schemeIDs, j+1, sigma, cont)
+		sigma.Unassign(l)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalNode computes r[i] := π_χ(J(σ(λ))) semijoined with the children's
+// tables (the bottom-up first half), prunes empty branches, and continues.
+func (r *run) evalNode(node *hypertree.Node, schemeIDs []int, sigma *core.Instantiation, cont func() error) error {
+	tab, err := r.nodeJoin(node, schemeIDs, sigma)
+	if err != nil {
+		return err
+	}
+	if !r.opt.DisableFullReducer {
+		for _, c := range node.Children {
+			tab = tab.Semijoin(r.rTables[c.ID])
+		}
+	}
+	if tab.Empty() && r.anyThresholdChecked() {
+		r.stats.BodiesPrunedEmpty++
+		return nil
+	}
+	prev, had := r.rTables[node.ID]
+	r.rTables[node.ID] = tab
+	err = cont()
+	if had {
+		r.rTables[node.ID] = prev
+	} else {
+		delete(r.rTables, node.ID)
+	}
+	return err
+}
+
+// nodeJoin computes π_χ(J(σ(λ(p)))) for the node's current atom
+// assignment, served from the Prepared's cross-execution join cache. On a
+// miss, the join executes through the Engine evaluator: per-atom tables
+// from the shared materialization cache, join order and column bookkeeping
+// from a plan compiled once per atom-set shape.
+func (r *run) nodeJoin(node *hypertree.Node, schemeIDs []int, sigma *core.Instantiation) (*relation.Table, error) {
+	atoms := make([]relation.Atom, 0, len(schemeIDs))
+	key := fmt.Sprintf("n%d|", node.ID)
+	for _, id := range schemeIDs {
+		a, err := r.instAtom(r.p.schemes[id].scheme, sigma)
+		if err != nil {
+			return nil, err
+		}
+		atoms = append(atoms, a)
+		key += a.String() + ";"
+	}
+	if t, ok := r.p.cachedJoin(key); ok {
+		return t, nil
+	}
+	j, err := r.p.eng.ev.Join(atoms)
+	if err != nil {
+		return nil, err
+	}
+	t := j.Project(node.Chi)
+	return r.p.storeJoin(key, t), nil
+}
+
+// instAtom maps a body scheme through sigma (identity on ordinary atoms).
+func (r *run) instAtom(l core.LiteralScheme, sigma *core.Instantiation) (relation.Atom, error) {
+	if !l.PredVar {
+		return l.Atom(), nil
+	}
+	a, ok := sigma.AtomFor(l)
+	if !ok {
+		return relation.Atom{}, fmt.Errorf("engine: pattern %s unassigned at evaluation", l)
+	}
+	return a, nil
+}
+
+// yieldBody runs once per complete body instantiation: it executes the
+// second (top-down) half of the full reducer and hands the body to the
+// run's consumer.
+func (r *run) yieldBody(sigma *core.Instantiation) error {
+	r.stats.BodiesReachedRoot++
+
+	// Second half: s[j] := r[j] ⋉ s[parent(j)], top-down.
+	s := make(map[int]*relation.Table, len(r.order))
+	for i := len(r.order) - 1; i >= 0; i-- {
+		n := r.order[i]
+		t := r.rTables[n.ID]
+		if !r.opt.DisableFullReducer && n.Parent != nil {
+			t = t.Semijoin(s[n.Parent.ID])
+		}
+		s[n.ID] = t
+	}
+	return r.onBody(&body{sigma: sigma, s: s})
+}

@@ -62,21 +62,14 @@ func (e *Engine) FindRulesStats(ctx context.Context, mq *core.Metaquery, opt Opt
 }
 
 // Decide solves the decision problem ⟨DB, MQ, I, k, T⟩ on the engine's
-// database with the findRules machinery: the search runs with the single
-// index threshold and stops at the first admissible instantiation, which
-// is returned as the witness. The YES/NO answer matches core.Decide; the
-// witness may differ when several exist.
+// database through the dedicated first-witness path (Prepared.DecideFirst):
+// only the queried index is evaluated and the search stops at the first
+// admissible instantiation, which is returned as the witness. The YES/NO
+// answer matches core.Decide; the witness may differ when several exist.
 func (e *Engine) Decide(ctx context.Context, mq *core.Metaquery, ix core.Index, k rat.Rat, typ core.InstType) (bool, *core.Instantiation, error) {
-	p, err := e.Prepare(mq, Options{Type: typ, Thresholds: core.SingleIndex(ix, k), Limit: 1})
+	p, err := e.Prepare(mq, Options{Type: typ})
 	if err != nil {
 		return false, nil, err
 	}
-	answers, err := p.FindRules(ctx)
-	if err != nil {
-		return false, nil, err
-	}
-	if len(answers) == 0 {
-		return false, nil, nil
-	}
-	return true, answers[0].Inst, nil
+	return p.DecideFirst(ctx, ix, k)
 }

@@ -41,7 +41,7 @@ func (p *Prepared) StreamStats(ctx context.Context, st *Stats) iter.Seq2[core.An
 			if !yield(a, nil) {
 				return errStop
 			}
-			if p.opt.Limit > 0 && emitted >= p.opt.Limit {
+			if r.opt.Limit > 0 && emitted >= r.opt.Limit {
 				return errLimit
 			}
 			return nil

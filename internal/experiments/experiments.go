@@ -96,6 +96,7 @@ var registry = map[string]Runner{
 	"E18": runE18,
 	"E19": runE19,
 	"E20": runE20,
+	"E21": runE21,
 }
 
 // IDs returns the registered experiment IDs in order.

@@ -8,14 +8,18 @@
 // The generators cover the axes the paper's complexity map cares about:
 // instantiation type (0/1/2), acyclic vs. cyclic bodies, pattern count,
 // repeated predicate variables, repeated variables inside a literal, mixed
-// arities, ordinary atoms in the body, and head variables absent from the
-// body. Each named Shape fixes one point in that space; seeds vary the data.
+// arities (relation-level and across the body's predicate variables),
+// ordinary atoms in the body — with or without constant arguments — head
+// variables absent from the body, and databases containing empty
+// relations. Each named Shape fixes one point in that space; seeds vary
+// the data.
 package gen
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 
 	"github.com/mqgo/metaquery/internal/core"
 	"github.com/mqgo/metaquery/internal/rat"
@@ -41,6 +45,12 @@ type DBConfig struct {
 	// containing spaces, commas, quotes and non-ASCII runes, for
 	// serialization round-trip stress (CSV, repro files).
 	FancyConsts bool
+	// EmptyRelations empties the last N relations: the schema keeps the
+	// relation (and its arity), but it holds no tuples, exercising the
+	// empty-table paths of every engine (candidates over empty relations,
+	// zero denominators, empty-join pruning). The CSV layer round-trips
+	// such relations via its "# arity=N" comment.
+	EmptyRelations int
 }
 
 // fancyNames decorates constant index i with CSV-hostile characters. Names
@@ -88,6 +98,9 @@ func (c DBConfig) Generate(rng *rand.Rand) *relation.Database {
 		if c.MaxTuples > c.MinTuples {
 			n += rng.Intn(c.MaxTuples - c.MinTuples + 1)
 		}
+		if r >= c.Relations-c.EmptyRelations {
+			n = 0
+		}
 		row := make([]string, arity)
 		for i := 0; i < n; i++ {
 			for j := range row {
@@ -127,16 +140,34 @@ type MQConfig struct {
 	// HeadSharesPredVar names the head with the first body pattern's
 	// predicate variable instead of a fresh one.
 	HeadSharesPredVar bool
+	// MixedArities, when non-empty, overrides BodyPatterns and
+	// PatternArity: the body has len(MixedArities) patterns, pattern i of
+	// arity MixedArities[i], each under a distinct predicate variable.
+	// Purity constrains only patterns sharing a predicate variable, so
+	// such bodies stay valid for every instantiation type while mixing
+	// arities across the body.
+	MixedArities []int
+	// AtomConsts replaces arguments of the IncludeAtom ordinary atom with
+	// constants (probability 1/2 per position): mostly names drawn from
+	// the database's active domain, occasionally a fresh name outside it,
+	// which matches no tuple.
+	AtomConsts bool
 }
 
 // Generate builds a metaquery over db's schema from the config and rng.
 func (c MQConfig) Generate(rng *rand.Rand, db *relation.Database) (*core.Metaquery, error) {
-	if c.BodyPatterns < 1 {
-		return nil, fmt.Errorf("gen: BodyPatterns must be >= 1")
-	}
 	a := c.PatternArity
 	if a < 1 {
 		a = 2
+	}
+	m := c.BodyPatterns
+	arityOf := func(int) int { return a }
+	if len(c.MixedArities) > 0 {
+		m = len(c.MixedArities)
+		arityOf = func(i int) int { return c.MixedArities[i] }
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("gen: BodyPatterns must be >= 1")
 	}
 	v := func(i int) string { return fmt.Sprintf("X%d", i) }
 
@@ -144,18 +175,19 @@ func (c MQConfig) Generate(rng *rand.Rand, db *relation.Database) (*core.Metaque
 	// positions (arity > 2) draw from the same pool.
 	var body []core.LiteralScheme
 	pred := func(i int) string {
-		if c.RepeatPredVar && i == c.BodyPatterns-1 && c.BodyPatterns > 1 {
+		if c.RepeatPredVar && i == m-1 && m > 1 {
 			return "P1"
 		}
 		return fmt.Sprintf("P%d", i+1)
 	}
-	nVars := c.BodyPatterns + 1
+	nVars := m + 1
 	if c.Cyclic {
 		// A cycle closes back onto X0: only X0..X{m-1} occur in the body.
-		nVars = c.BodyPatterns
+		nVars = m
 	}
-	for i := 0; i < c.BodyPatterns; i++ {
-		args := make([]string, a)
+	for i := 0; i < m; i++ {
+		ai := arityOf(i)
+		args := make([]string, ai)
 		switch {
 		case c.RepeatArgs && i == 0:
 			for j := range args {
@@ -163,26 +195,26 @@ func (c MQConfig) Generate(rng *rand.Rand, db *relation.Database) (*core.Metaque
 			}
 		case c.Cyclic:
 			args[0] = v(i)
-			if a > 1 {
-				args[1] = v((i + 1) % c.BodyPatterns)
+			if ai > 1 {
+				args[1] = v((i + 1) % m)
 			}
-			for j := 2; j < a; j++ {
-				args[j] = v(rng.Intn(c.BodyPatterns))
+			for j := 2; j < ai; j++ {
+				args[j] = v(rng.Intn(m))
 			}
 		case c.Star:
 			args[0] = v(0)
-			if a > 1 {
+			if ai > 1 {
 				args[1] = v(i + 1)
 			}
-			for j := 2; j < a; j++ {
+			for j := 2; j < ai; j++ {
 				args[j] = v(rng.Intn(nVars))
 			}
 		default: // chain
 			args[0] = v(i)
-			if a > 1 {
+			if ai > 1 {
 				args[1] = v(i + 1)
 			}
-			for j := 2; j < a; j++ {
+			for j := 2; j < ai; j++ {
 				args[j] = v(rng.Intn(nVars))
 			}
 		}
@@ -197,6 +229,9 @@ func (c MQConfig) Generate(rng *rand.Rand, db *relation.Database) (*core.Metaque
 			args := make([]string, ar)
 			for j := range args {
 				args[j] = v(rng.Intn(nVars))
+			}
+			if c.AtomConsts {
+				c.placeConsts(rng, db, args)
 			}
 			body = append(body, core.SchemeAtom(name, args...))
 		}
@@ -215,6 +250,31 @@ func (c MQConfig) Generate(rng *rand.Rand, db *relation.Database) (*core.Metaque
 		headPred = "P1"
 	}
 	return core.NewMetaquery(core.Pattern(headPred, headArgs...), body...)
+}
+
+// placeConsts replaces atom arguments with constant names, each position
+// independently with probability 1/2. Constants come from the database's
+// active domain (only names that classify as metaquery constants and
+// survive the quoted round-trip, i.e. contain no '"'), with one extra slot
+// for a name outside the domain, which matches no tuple.
+func (c MQConfig) placeConsts(rng *rand.Rand, db *relation.Database, args []string) {
+	var pool []string
+	for _, name := range db.Dict().Names() {
+		if core.IsConstName(name) && !strings.ContainsRune(name, '"') {
+			pool = append(pool, name)
+		}
+	}
+	for j := range args {
+		if rng.Intn(2) != 0 {
+			continue
+		}
+		pick := rng.Intn(len(pool) + 1)
+		if pick == len(pool) {
+			args[j] = "ghost'const" // never interned: empty selection
+		} else {
+			args[j] = pool[pick]
+		}
+	}
 }
 
 // Scenario is one generated differential test case: a database, a
@@ -276,6 +336,15 @@ var shapes = []shapeSpec{
 	{"t2-atom-mix", core.Type2,
 		DBConfig{Relations: 2, MinArity: 2, MaxArity: 2, MinTuples: 2, MaxTuples: 5, Domain: 4},
 		MQConfig{BodyPatterns: 1, PatternArity: 2, IncludeAtom: true}},
+	{"t0-const-atom", core.Type0,
+		DBConfig{Relations: 3, MinArity: 2, MaxArity: 2, MinTuples: 3, MaxTuples: 6, Domain: 4},
+		MQConfig{BodyPatterns: 2, PatternArity: 2, IncludeAtom: true, AtomConsts: true}},
+	{"t1-arity-mix", core.Type1,
+		DBConfig{Relations: 4, MinArity: 1, MaxArity: 3, MinTuples: 2, MaxTuples: 5, Domain: 4},
+		MQConfig{MixedArities: []int{2, 1, 3}}},
+	{"t2-empty-rel", core.Type2,
+		DBConfig{Relations: 3, MinArity: 2, MaxArity: 2, MinTuples: 2, MaxTuples: 5, Domain: 4, EmptyRelations: 1},
+		MQConfig{BodyPatterns: 2, PatternArity: 2}},
 }
 
 // Shapes lists the registered scenario shape names in deterministic order.

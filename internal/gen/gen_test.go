@@ -110,6 +110,82 @@ func TestShapeAxes(t *testing.T) {
 	}
 }
 
+// The constant-emitting shape must actually produce metaquery atoms with
+// constant arguments (over enough seeds), and every emitted constant must
+// parse back (scenario repros round-trip metaqueries as text).
+func TestConstAtomShapeEmitsConstants(t *testing.T) {
+	sawConst := false
+	for seed := int64(0); seed < 30; seed++ {
+		s, err := NewScenario(seed, "t0-const-atom")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range s.MQ.Body {
+			if l.PredVar {
+				continue
+			}
+			for _, a := range l.Args {
+				if core.IsConstName(a) {
+					sawConst = true
+				}
+			}
+		}
+		back, err := core.Parse(s.MQ.String())
+		if err != nil {
+			t.Fatalf("t0-const-atom/%d: %q does not reparse: %v", seed, s.MQ, err)
+		}
+		if back.String() != s.MQ.String() {
+			t.Errorf("t0-const-atom/%d: round-trip %q != %q", seed, back, s.MQ)
+		}
+	}
+	if !sawConst {
+		t.Error("t0-const-atom never emitted a constant argument across 30 seeds")
+	}
+}
+
+// The arity-mix shape must emit one pattern per configured arity, under
+// distinct predicate variables, and stay pure.
+func TestArityMixShape(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		s, err := NewScenario(seed, "t1-arity-mix")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var arities []int
+		for _, l := range s.MQ.Body {
+			arities = append(arities, l.Arity())
+		}
+		if len(arities) != 3 || arities[0] != 2 || arities[1] != 1 || arities[2] != 3 {
+			t.Errorf("t1-arity-mix/%d: body arities %v, want [2 1 3] in %s", seed, arities, s.MQ)
+		}
+		if !s.MQ.IsPure() {
+			t.Errorf("t1-arity-mix/%d: impure metaquery %s", seed, s.MQ)
+		}
+	}
+}
+
+// The empty-relation shape must keep the emptied relation in the schema
+// with zero tuples, while the others stay populated.
+func TestEmptyRelationShape(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		s, err := NewScenario(seed, "t2-empty-rel")
+		if err != nil {
+			t.Fatal(err)
+		}
+		names := s.DB.RelationNames()
+		if len(names) != 3 {
+			t.Fatalf("t2-empty-rel/%d: %d relations, want 3", seed, len(names))
+		}
+		last := s.DB.Relation(names[len(names)-1])
+		if last.Len() != 0 {
+			t.Errorf("t2-empty-rel/%d: last relation holds %d tuples, want 0", seed, last.Len())
+		}
+		if s.DB.Size() == 0 {
+			t.Errorf("t2-empty-rel/%d: whole database empty", seed)
+		}
+	}
+}
+
 // Skewed draws must actually concentrate mass on low-numbered constants.
 func TestSkewConcentrates(t *testing.T) {
 	cfg := DBConfig{Domain: 10, Skew: 2}

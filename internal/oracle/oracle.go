@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"unicode"
 
 	"github.com/mqgo/metaquery/internal/core"
 	"github.com/mqgo/metaquery/internal/rat"
@@ -96,7 +97,7 @@ func fromAtom(db *relation.Database, a relation.Atom) (*table, error) {
 				} else {
 					bind[term.Var] = val
 				}
-			} else if dict.Name(term.Const) != val {
+			} else if constName(dict, term) != val {
 				ok = false
 				break
 			}
@@ -111,6 +112,17 @@ func fromAtom(db *relation.Database, a relation.Atom) (*table, error) {
 		out.add(row)
 	}
 	return out, nil
+}
+
+// constName resolves a constant term to its name: named constants carry
+// the name directly (the comparison against row values is by name, so a
+// constant outside the active domain matches nothing); interned constants
+// go through the dictionary.
+func constName(dict *relation.Dict, t relation.Term) string {
+	if t.ConstName != "" {
+		return t.ConstName
+	}
+	return dict.Name(t.Const)
 }
 
 // naturalJoin computes a ⋈ b by nested loops: every row pair agreeing on
@@ -272,12 +284,12 @@ func candidates(db *relation.Database, l core.LiteralScheme, typ core.InstType, 
 		switch typ {
 		case core.Type0:
 			if arity == k {
-				add(relation.NewAtom(name, l.Args...))
+				add(atomOf(name, l.Args))
 			}
 		case core.Type1:
 			if arity == k {
 				for _, perm := range permutations(l.Args) {
-					add(relation.NewAtom(name, perm...))
+					add(atomOf(name, perm))
 				}
 			}
 		case core.Type2:
@@ -297,12 +309,33 @@ func candidates(db *relation.Database, l core.LiteralScheme, typ core.InstType, 
 						args[p] = fmt.Sprintf("_f%d_%d", patternIdx, p)
 					}
 				}
-				add(relation.NewAtom(name, args...))
+				add(atomOf(name, args))
 			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
 	return out
+}
+
+// atomOf builds an atom from argument names with the oracle's own
+// variable/constant classification — upper-case- or '_'-initial names are
+// variables, everything else a named constant — mirroring the metaquery
+// naming convention without sharing the production helper.
+func atomOf(pred string, args []string) relation.Atom {
+	terms := make([]relation.Term, len(args))
+	for i, a := range args {
+		isVar := false
+		for _, r := range a {
+			isVar = unicode.IsUpper(r) || r == '_'
+			break
+		}
+		if isVar {
+			terms[i] = relation.V(a)
+		} else {
+			terms[i] = relation.CN(a)
+		}
+	}
+	return relation.Atom{Pred: pred, Terms: terms}
 }
 
 // permutations returns every ordering of args (duplicates included; the

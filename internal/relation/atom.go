@@ -3,21 +3,31 @@ package relation
 import (
 	"fmt"
 	"strings"
+	"unicode"
 )
 
 // Term is one argument of an atom: either an ordinary variable or a
-// constant. Exactly one of Var/Const is meaningful; Var == "" marks a
-// constant term.
+// constant. Var == "" marks a constant term, which comes in two flavors:
+// a pre-interned Value (cq-layer constants, bound to one database's
+// dictionary) or a database-independent name (metaquery-layer constants),
+// resolved against the dictionary when the atom is materialized. A named
+// constant absent from the active domain matches no tuple.
 type Term struct {
 	Var   string
 	Const Value
+	// ConstName, when non-empty, marks a named constant; Const is ignored.
+	ConstName string
 }
 
 // V returns a variable term.
 func V(name string) Term { return Term{Var: name} }
 
-// C returns a constant term.
+// C returns a pre-interned constant term.
 func C(v Value) Term { return Term{Const: v} }
+
+// CN returns a named constant term, resolved against the database
+// dictionary at materialization time.
+func CN(name string) Term { return Term{ConstName: name} }
 
 // IsVar reports whether the term is a variable.
 func (t Term) IsVar() bool { return t.Var != "" }
@@ -61,7 +71,10 @@ func (a Atom) Arity() int { return len(a.Terms) }
 // value indices for constants. For constant names use StringDict.
 func (a Atom) String() string { return a.StringDict(nil) }
 
-// StringDict formats the atom, resolving constants through d when non-nil.
+// StringDict formats the atom, resolving interned constants through d when
+// non-nil. Named constants render as their name, double-quoted when the
+// bare name could be read as a variable (the metaquery parser's argument
+// syntax), which keeps the rendering injective against variable terms.
 func (a Atom) StringDict(d *Dict) string {
 	var b strings.Builder
 	b.WriteString(a.Pred)
@@ -70,16 +83,42 @@ func (a Atom) StringDict(d *Dict) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		if t.IsVar() {
+		switch {
+		case t.IsVar():
 			b.WriteString(t.Var)
-		} else if d != nil {
+		case t.ConstName != "":
+			if constNameNeedsQuotes(t.ConstName) {
+				b.WriteByte('"')
+				b.WriteString(t.ConstName)
+				b.WriteByte('"')
+			} else {
+				b.WriteString(t.ConstName)
+			}
+		case d != nil:
 			b.WriteString(d.Name(t.Const))
-		} else {
+		default:
 			fmt.Fprintf(&b, "#%d", t.Const)
 		}
 	}
 	b.WriteByte(')')
 	return b.String()
+}
+
+// constNameNeedsQuotes reports whether a named constant must be quoted to
+// stay distinguishable from a variable or survive reparsing: names
+// starting with an upper-case letter or '_' (the variable alphabets) and
+// names containing bytes outside the identifier alphabet (letters, digits,
+// '_', '\”) are quoted. It mirrors the metaquery parser's conventions.
+func constNameNeedsQuotes(name string) bool {
+	for i, r := range name {
+		if i == 0 && (unicode.IsUpper(r) || r == '_') {
+			return true
+		}
+		if !(unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '\'') {
+			return true
+		}
+	}
+	return name == ""
 }
 
 // AtomsVars returns att(R): the distinct variables across the given atoms in

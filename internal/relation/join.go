@@ -32,8 +32,25 @@ func FromAtom(db *Database, a Atom) (*Table, error) {
 			}
 		}
 	}
+	// Resolve named constants against the active domain once; a name that
+	// was never interned matches no tuple, so the selection is empty.
+	resolved := make([]Value, len(a.Terms))
+	for i, t := range a.Terms {
+		if t.IsVar() {
+			continue
+		}
+		v := t.Const
+		if t.ConstName != "" {
+			var ok bool
+			v, ok = db.Dict().Lookup(t.ConstName)
+			if !ok {
+				return out, nil
+			}
+		}
+		resolved[i] = v
+	}
 	// Compile the per-row checks so the scan does no string-map lookups:
-	// eqPos[i] = -1 for a constant term (compare against Terms[i].Const),
+	// eqPos[i] = -1 for a constant term (compare against resolved[i]),
 	// i for a variable's first occurrence (no check), or the first-occurrence
 	// position of a repeated variable (equality selection).
 	eqPos := make([]int, len(a.Terms))
@@ -55,7 +72,7 @@ tuples:
 		tup := r.row(ri)
 		for i, p := range eqPos {
 			if p == -1 {
-				if tup[i] != a.Terms[i].Const {
+				if tup[i] != resolved[i] {
 					continue tuples // constant mismatch
 				}
 			} else if p != i && tup[p] != tup[i] {

@@ -20,9 +20,11 @@ type Engine = engine.Engine
 // Engine's database, analogous to database/sql's *Stmt. Safe for
 // concurrent use.
 //
-// Execute with FindRules / FindRulesStats (full sorted answer set) or
+// Execute with FindRules / FindRulesStats (full sorted answer set),
 // Stream / StreamStats (incremental answers in discovery order; breaking
-// out of the loop abandons the remaining search).
+// out of the loop abandons the remaining search), or DecideFirst /
+// DecideFirstStats (first-witness decision answering: only the queried
+// index is evaluated and the search stops at the first witness).
 type Prepared = engine.Prepared
 
 // NewEngine builds a reusable session over db. Use eng.Prepare(mq, opt) to
@@ -54,6 +56,20 @@ func NaiveFindRulesContext(ctx context.Context, db *Database, mq *Metaquery, typ
 // ctx.Err() when ctx is cancelled or its deadline passes.
 func DecideContext(ctx context.Context, db *Database, mq *Metaquery, ix Index, k Rat, typ InstType) (bool, *Instantiation, error) {
 	return core.DecideContext(ctx, db, mq, ix, k, typ)
+}
+
+// DecideFirstContext solves the decision problem ⟨DB, MQ, I, k, T⟩ with
+// the engine's dedicated first-witness path: the hypertree-guided body
+// search evaluates only the queried index, visits decomposition nodes
+// smallest-estimated-table first, skips head enumeration when the index
+// does not depend on the head (support), and stops at the first witness.
+//
+// It replaces the earlier idiom of running the full FindRules search with
+// Options.Limit = 1, which paid the entire materialize-then-filter cost on
+// a NO verdict. Callers deciding repeatedly over one database should hold
+// a NewEngine and use Prepared.DecideFirst directly.
+func DecideFirstContext(ctx context.Context, db *Database, mq *Metaquery, ix Index, k Rat, typ InstType) (bool, *Instantiation, error) {
+	return engine.DecideFirst(ctx, db, mq, ix, k, typ)
 }
 
 // DecideParallelContext is DecideParallel bounded by ctx: all workers stop

@@ -56,6 +56,41 @@ func TestPublicEngineFlow(t *testing.T) {
 	}
 }
 
+// TestPublicDecideFirst exercises the first-witness decision wrappers:
+// agreement with the naive decider and a valid witness on YES.
+func TestPublicDecideFirst(t *testing.T) {
+	db := speaksDB()
+	mq := MustParse("R(X,Z) <- P(X,Y), Q(Y,Z)")
+	for _, ix := range []Index{Sup, Cnf, Cvr} {
+		for _, k := range []Rat{MustRat("0"), MustRat("1")} {
+			wantYes, _, err := Decide(db, mq, ix, k, Type0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			yes, wit, err := DecideFirstContext(context.Background(), db, mq, ix, k, Type0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if yes != wantYes {
+				t.Errorf("%s > %s: DecideFirstContext %v, Decide %v", ix, k, yes, wantYes)
+			}
+			if yes {
+				rule, err := wit.Apply(mq)
+				if err != nil {
+					t.Fatalf("witness does not instantiate: %v", err)
+				}
+				v, err := ix.Compute(db, rule)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !v.Greater(k) {
+					t.Errorf("witness %s has %s = %s, not > %s", rule, ix, v, k)
+				}
+			}
+		}
+	}
+}
+
 func TestPublicContextVariantsCancelled(t *testing.T) {
 	db := speaksDB()
 	mq := MustParse("R(X,Z) <- P(X,Y), Q(Y,Z)")
