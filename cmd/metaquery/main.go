@@ -4,8 +4,8 @@
 //
 //	metaquery -db DIR -query "R(X,Z) <- P(X,Y), Q(Y,Z)" \
 //	    [-type 0|1|2] [-min-sup R] [-min-cnf R] [-min-cvr R] \
-//	    [-naive] [-limit N] [-stats] [-timeout D] \
-//	    [-decide sup|cnf|cvr] [-k R]
+//	    [-naive] [-limit N] [-stats] [-timeout D] [-explain] \
+//	    [-decide sup|cnf|cvr] [-k R] [-workers N]
 //
 // The database directory holds one CSV file per relation (rows are tuples;
 // the file name without extension is the relation name). Thresholds are
@@ -20,6 +20,16 @@
 // the search stops at the first witness). On YES the witness rule is
 // printed; the exit status is 0 for YES and 3 for NO, so scripts can
 // branch on the verdict. -stats prints the per-verdict search counters.
+//
+// -workers N (decision mode only) partitions the first decomposition
+// node's candidate atoms across N goroutines sharing a first-witness
+// cancellation; the verdict is identical to the sequential run.
+//
+// -explain (enumeration mode only) prints the chosen plan before the
+// answers: the decomposition node visit order with the cost planner's
+// per-node output estimates and the actually observed node-table row
+// counts side by side. Estimate-vs-actual is the debugging surface for
+// the cardinality-statistics subsystem behind cost-based join ordering.
 //
 // -timeout bounds the search wall-clock (e.g. "2s", "500ms"; 0 = none).
 // When the deadline passes mid-search, the answers found so far are still
@@ -40,6 +50,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"github.com/mqgo/metaquery"
@@ -71,6 +82,8 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "bound the search wall-clock, e.g. 2s (0 = none)")
 		decide  = flag.String("decide", "", "decision mode: answer whether index sup|cnf|cvr exceeds -k instead of enumerating")
 		kBound  = flag.String("k", "", "decision bound for -decide (strict: index > k; default 0)")
+		workers = flag.Int("workers", 0, "decision workers: partition the first node's candidates across N goroutines (-decide only; <=1 = sequential)")
+		explain = flag.Bool("explain", false, "print the chosen join order with per-node cost estimates vs. actual row counts (enumeration mode only)")
 	)
 	flag.Parse()
 	var err error
@@ -85,8 +98,10 @@ func main() {
 			err = fmt.Errorf("-naive does not apply with -decide (the decision path is engine-only)")
 		case *limit != 0:
 			err = fmt.Errorf("-limit does not apply with -decide")
+		case *explain:
+			err = fmt.Errorf("-explain does not apply with -decide (the report describes the enumeration plan)")
 		default:
-			err = runDecide(*dbDir, *query, *typN, *decide, *kBound, *showSts, *timeout)
+			err = runDecide(*dbDir, *query, *typN, *decide, *kBound, *workers, *showSts, *timeout)
 		}
 		if errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintln(os.Stderr, "metaquery: decision timed out before reaching a verdict")
@@ -96,8 +111,16 @@ func main() {
 		// The decision bound means nothing without -decide; reject it
 		// rather than silently running an unconstrained enumeration.
 		err = fmt.Errorf("-k requires -decide (use -min-sup/-min-cnf/-min-cvr for enumeration thresholds)")
+	} else if *workers != 0 {
+		err = fmt.Errorf("-workers requires -decide (enumeration runs are sequential)")
+	} else if *explain && *naive {
+		err = fmt.Errorf("-explain does not apply with -naive (the naive engine has no plan)")
 	} else {
-		err = runTimed(*dbDir, *query, *typN, *minSup, *minCnf, *minCvr, *naive, *limit, *showSts, *timeout)
+		if *explain {
+			err = runExplain(*dbDir, *query, *typN, *minSup, *minCnf, *minCvr, *limit, *showSts, *timeout)
+		} else {
+			err = runTimed(*dbDir, *query, *typN, *minSup, *minCnf, *minCvr, *naive, *limit, *showSts, *timeout)
+		}
 		if errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintln(os.Stderr, "metaquery: search timed out, results are partial")
 			os.Exit(exitTimeout)
@@ -114,15 +137,11 @@ func main() {
 
 // runDecide answers the decision problem ⟨DB, MQ, ix, k, T⟩ through the
 // engine's first-witness path and prints the verdict (plus the witness
-// rule on YES). It returns errNoVerdict on a completed NO so main can map
+// rule on YES). workers > 1 partitions the first decomposition node's
+// candidates across that many goroutines sharing a first-witness
+// cancellation. It returns errNoVerdict on a completed NO so main can map
 // it to the dedicated exit status.
-func runDecide(dbDir, query string, typN int, index, kBound string, showStats bool, timeout time.Duration) error {
-	if dbDir == "" || query == "" {
-		return fmt.Errorf("both -db and -query are required (see -help)")
-	}
-	if typN < 0 || typN > 2 {
-		return fmt.Errorf("-type must be 0, 1 or 2")
-	}
+func runDecide(dbDir, query string, typN int, index, kBound string, workers int, showStats bool, timeout time.Duration) error {
 	var ix metaquery.Index
 	switch index {
 	case "sup":
@@ -141,24 +160,15 @@ func runDecide(dbDir, query string, typN int, index, kBound string, showStats bo
 	if err != nil {
 		return fmt.Errorf("-k: %w", err)
 	}
-	db, err := metaquery.LoadCSVDir(dbDir)
-	if err != nil {
-		return err
-	}
-	mq, err := metaquery.Parse(query)
+	db, mq, typ, err := loadQuery(dbDir, query, typN)
 	if err != nil {
 		return err
 	}
 
-	ctx := context.Background()
-	if timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
-	}
+	ctx, cancel := searchContext(timeout)
+	defer cancel()
 
-	typ := metaquery.InstType(typN)
-	prep, err := metaquery.NewEngine(db).Prepare(mq, metaquery.Options{Type: typ})
+	prep, err := metaquery.NewEngine(db).Prepare(mq, metaquery.Options{Type: typ, Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -184,28 +194,100 @@ func runDecide(dbDir, query string, typN int, index, kBound string, showStats bo
 	return nil
 }
 
-// run answers the query without a time bound. It is the historical entry
-// point, kept for compatibility; runTimed is the full CLI.
-func run(dbDir, query string, typN int, minSup, minCnf, minCvr string, naive bool, limit int, showStats bool) error {
-	return runTimed(dbDir, query, typN, minSup, minCnf, minCvr, naive, limit, showStats, 0)
+// runExplain answers the query through Prepared.ExplainRun and prints the
+// plan report — the chosen node visit order with the cost planner's
+// per-node estimates and the observed node-table row counts side by side —
+// before the answers. The estimate-vs-actual columns are the debugging
+// surface of the cardinality-statistics subsystem: a node whose actual
+// rows dwarf its estimate is where the planner's model diverges from the
+// data.
+func runExplain(dbDir, query string, typN int, minSup, minCnf, minCvr string, limit int, showStats bool, timeout time.Duration) error {
+	db, mq, typ, err := loadQuery(dbDir, query, typN)
+	if err != nil {
+		return err
+	}
+	th, err := parseThresholds(minSup, minCnf, minCvr)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := searchContext(timeout)
+	defer cancel()
+
+	prep, err := metaquery.NewEngine(db).Prepare(mq, metaquery.Options{Type: typ, Thresholds: th, Limit: limit})
+	if err != nil {
+		return err
+	}
+	// ExplainRun still returns the report and the answers found so far on
+	// a deadline, so a timed-out explain keeps its partial output (and
+	// main maps the error to the dedicated timeout exit status).
+	ex, answers, searchErr := prep.ExplainRun(ctx)
+	if searchErr != nil && !errors.Is(searchErr, context.DeadlineExceeded) {
+		return searchErr
+	}
+	for _, line := range strings.Split(strings.TrimRight(ex.String(), "\n"), "\n") {
+		fmt.Printf("# %s\n", line)
+	}
+	if showStats {
+		printEngineStats(ex.Stats)
+	}
+	printAnswers(db, typ, answers)
+	if searchErr != nil {
+		fmt.Printf("# search timed out after %v; the answers above are partial\n", timeout)
+	}
+	return searchErr
 }
 
-func runTimed(dbDir, query string, typN int, minSup, minCnf, minCvr string, naive bool, limit int, showStats bool, timeout time.Duration) error {
+// loadQuery validates the shared -db/-query/-type arguments and loads the
+// database and metaquery, the prologue of every CLI mode.
+func loadQuery(dbDir, query string, typN int) (*metaquery.Database, *metaquery.Metaquery, metaquery.InstType, error) {
 	if dbDir == "" || query == "" {
-		return fmt.Errorf("both -db and -query are required (see -help)")
+		return nil, nil, 0, fmt.Errorf("both -db and -query are required (see -help)")
 	}
 	if typN < 0 || typN > 2 {
-		return fmt.Errorf("-type must be 0, 1 or 2")
+		return nil, nil, 0, fmt.Errorf("-type must be 0, 1 or 2")
 	}
 	db, err := metaquery.LoadCSVDir(dbDir)
 	if err != nil {
-		return err
+		return nil, nil, 0, err
 	}
 	mq, err := metaquery.Parse(query)
 	if err != nil {
-		return err
+		return nil, nil, 0, err
 	}
+	return db, mq, metaquery.InstType(typN), nil
+}
 
+// searchContext bounds the search wall-clock when timeout is positive.
+func searchContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.Background(), func() {}
+}
+
+// printEngineStats prints the enumeration search counters comment line.
+func printEngineStats(st *metaquery.Stats) {
+	fmt.Printf("# width=%d nodes=%d candidates=%d pruned_empty=%d pruned_support=%d bodies=%d heads=%d\n",
+		st.Width, st.Nodes, st.BodyCandidatesTried, st.BodiesPrunedEmpty,
+		st.BodiesPrunedSupport, st.BodiesReachedRoot, st.HeadsTried)
+}
+
+// printAnswers prints the database summary, the answer count and one line
+// per answer.
+func printAnswers(db *metaquery.Database, typ metaquery.InstType, answers []metaquery.Answer) {
+	fmt.Printf("# database: %d relations, %d tuples; %s instantiations\n",
+		db.NumRelations(), db.Size(), typ)
+	fmt.Printf("# %d answers\n", len(answers))
+	for _, a := range answers {
+		fmt.Printf("%-60s sup=%-8s cnf=%-8s cvr=%-8s\n", a.Rule.String(),
+			a.Sup.String(), a.Cnf.String(), a.Cvr.String())
+	}
+}
+
+// parseThresholds builds the strict admissibility thresholds from the
+// CLI's rational strings (empty = unconstrained).
+func parseThresholds(minSup, minCnf, minCvr string) (metaquery.Thresholds, error) {
 	var th metaquery.Thresholds
 	set := func(s string, k *metaquery.Rat, check *bool) error {
 		if s == "" {
@@ -219,23 +301,36 @@ func runTimed(dbDir, query string, typN int, minSup, minCnf, minCvr string, naiv
 		return nil
 	}
 	if err := set(minSup, &th.Sup, &th.CheckSup); err != nil {
-		return err
+		return th, err
 	}
 	if err := set(minCnf, &th.Cnf, &th.CheckCnf); err != nil {
-		return err
+		return th, err
 	}
 	if err := set(minCvr, &th.Cvr, &th.CheckCvr); err != nil {
+		return th, err
+	}
+	return th, nil
+}
+
+// run answers the query without a time bound. It is the historical entry
+// point, kept for compatibility; runTimed is the full CLI.
+func run(dbDir, query string, typN int, minSup, minCnf, minCvr string, naive bool, limit int, showStats bool) error {
+	return runTimed(dbDir, query, typN, minSup, minCnf, minCvr, naive, limit, showStats, 0)
+}
+
+func runTimed(dbDir, query string, typN int, minSup, minCnf, minCvr string, naive bool, limit int, showStats bool, timeout time.Duration) error {
+	db, mq, typ, err := loadQuery(dbDir, query, typN)
+	if err != nil {
+		return err
+	}
+	th, err := parseThresholds(minSup, minCnf, minCvr)
+	if err != nil {
 		return err
 	}
 
-	ctx := context.Background()
-	if timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
-	}
+	ctx, cancel := searchContext(timeout)
+	defer cancel()
 
-	typ := metaquery.InstType(typN)
 	var answers []metaquery.Answer
 	var searchErr error
 	if naive {
@@ -265,19 +360,11 @@ func runTimed(dbDir, query string, typN int, minSup, minCnf, minCvr string, naiv
 			return answers[i].Rule.String() < answers[j].Rule.String()
 		})
 		if showStats {
-			fmt.Printf("# width=%d nodes=%d candidates=%d pruned_empty=%d pruned_support=%d bodies=%d heads=%d\n",
-				stats.Width, stats.Nodes, stats.BodyCandidatesTried, stats.BodiesPrunedEmpty,
-				stats.BodiesPrunedSupport, stats.BodiesReachedRoot, stats.HeadsTried)
+			printEngineStats(&stats)
 		}
 	}
 
-	fmt.Printf("# database: %d relations, %d tuples; %s instantiations\n",
-		db.NumRelations(), db.Size(), typ)
-	fmt.Printf("# %d answers\n", len(answers))
-	for _, a := range answers {
-		fmt.Printf("%-60s sup=%-8s cnf=%-8s cvr=%-8s\n", a.Rule.String(),
-			a.Sup.String(), a.Cnf.String(), a.Cvr.String())
-	}
+	printAnswers(db, typ, answers)
 	if searchErr != nil {
 		if naive {
 			fmt.Printf("# search timed out after %v; the naive engine keeps no partial results\n", timeout)

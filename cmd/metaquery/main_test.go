@@ -82,7 +82,7 @@ func TestRunImpureQueryType0Fails(t *testing.T) {
 
 func TestRunDecideYes(t *testing.T) {
 	dir := writeTelecomCSV(t)
-	if err := runDecide(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "cnf", "1/2", true, 0); err != nil {
+	if err := runDecide(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "cnf", "1/2", 0, true, 0); err != nil {
 		t.Fatalf("decide run failed: %v", err)
 	}
 }
@@ -91,20 +91,48 @@ func TestRunDecideNo(t *testing.T) {
 	dir := writeTelecomCSV(t)
 	// No index can strictly exceed 1: a clean NO, reported as errNoVerdict
 	// so main can exit with the dedicated status.
-	err := runDecide(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "sup", "1", false, 0)
+	err := runDecide(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "sup", "1", 0, false, 0)
 	if err != errNoVerdict {
 		t.Fatalf("NO decision returned %v, want errNoVerdict", err)
+	}
+}
+
+func TestRunDecideWorkers(t *testing.T) {
+	dir := writeTelecomCSV(t)
+	// The parallel path must reach the same verdicts as the sequential one.
+	if err := runDecide(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "cnf", "1/2", 3, false, 0); err != nil {
+		t.Fatalf("parallel decide YES failed: %v", err)
+	}
+	if err := runDecide(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "sup", "1", 3, false, 0); err != errNoVerdict {
+		t.Fatalf("parallel decide NO returned %v, want errNoVerdict", err)
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	dir := writeTelecomCSV(t)
+	if err := runExplain(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "0", "", "", 0, true, 0); err != nil {
+		t.Fatalf("explain run failed: %v", err)
+	}
+	// Validation errors still surface through the explain path.
+	if err := runExplain("", "R(X) <- P(X)", 0, "", "", "", 0, false, 0); err == nil {
+		t.Error("explain with missing -db accepted")
+	}
+	if err := runExplain(dir, "R(X) <- P(X)", 5, "", "", "", 0, false, 0); err == nil {
+		t.Error("explain with bad -type accepted")
+	}
+	if err := runExplain(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "x/y", "", "", 0, false, 0); err == nil {
+		t.Error("explain with bad threshold accepted")
 	}
 }
 
 func TestRunDecideValidation(t *testing.T) {
 	dir := writeTelecomCSV(t)
 	for name, fn := range map[string]func() error{
-		"bad index":  func() error { return runDecide(dir, "R(X) <- P(X)", 0, "bogus", "0", false, 0) },
-		"bad bound":  func() error { return runDecide(dir, "R(X) <- P(X)", 0, "sup", "x/y", false, 0) },
-		"bad type":   func() error { return runDecide(dir, "R(X) <- P(X)", 9, "sup", "0", false, 0) },
-		"missing db": func() error { return runDecide("", "R(X) <- P(X)", 0, "sup", "0", false, 0) },
-		"bad query":  func() error { return runDecide(dir, "not a query", 0, "sup", "0", false, 0) },
+		"bad index":  func() error { return runDecide(dir, "R(X) <- P(X)", 0, "bogus", "0", 0, false, 0) },
+		"bad bound":  func() error { return runDecide(dir, "R(X) <- P(X)", 0, "sup", "x/y", 0, false, 0) },
+		"bad type":   func() error { return runDecide(dir, "R(X) <- P(X)", 9, "sup", "0", 0, false, 0) },
+		"missing db": func() error { return runDecide("", "R(X) <- P(X)", 0, "sup", "0", 0, false, 0) },
+		"bad query":  func() error { return runDecide(dir, "not a query", 0, "sup", "0", 0, false, 0) },
 	} {
 		if err := fn(); err == nil || err == errNoVerdict {
 			t.Errorf("%s: got %v, want a hard error", name, err)

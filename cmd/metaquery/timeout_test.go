@@ -43,6 +43,17 @@ func TestRunTimedGenerousDeadlineSucceeds(t *testing.T) {
 	}
 }
 
+// An -explain run cut off by its deadline must surface the deadline error
+// (so main maps it to the timeout exit status) after printing the plan
+// report and partial answers, exactly like the plain enumeration path.
+func TestRunExplainDeadline(t *testing.T) {
+	dir := writeBigCSV(t)
+	err := runExplain(dir, "R(X,W) <- P(X,Y), Q(Y,Z), S(Z,W)", 2, "", "", "", 0, false, 20*time.Millisecond)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("explain: err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
 func TestRunTimedNaiveDeadline(t *testing.T) {
 	dir := writeBigCSV(t)
 	err := runTimed(dir, "R(X,W) <- P(X,Y), Q(Y,Z), S(Z,W)", 2, "", "", "", true, 0, false, 20*time.Millisecond)

@@ -5,32 +5,62 @@ import (
 
 	"github.com/mqgo/metaquery/internal/rat"
 	"github.com/mqgo/metaquery/internal/relation"
+	"github.com/mqgo/metaquery/internal/stats"
 )
 
-// Evaluator computes plausibility indices over one database through two
-// caches shared across rule evaluations: the FromAtom materializations
-// (keyed by atom text) and the compiled join plans (keyed by atom-set
-// shape). The instantiation searches (NaiveAnswers, Decide, DecideParallel)
-// evaluate thousands of rules whose atoms and join shapes repeat constantly;
-// holding one Evaluator per search turns those repeats into cache hits
-// instead of fresh relation scans and join-order analyses.
+// Evaluator computes plausibility indices over one database through caches
+// shared across rule evaluations: the FromAtom materializations (keyed by
+// atom text), the compiled join plans (keyed by atom-set shape and, for
+// cost-ordered plans, join order), and — when the evaluator carries
+// cardinality statistics — the per-atom cost estimates. The instantiation
+// searches (NaiveAnswers, Decide, DecideParallel) evaluate thousands of
+// rules whose atoms and join shapes repeat constantly; holding one
+// Evaluator per search turns those repeats into cache hits instead of
+// fresh relation scans and join-order analyses.
+//
+// With statistics attached (NewEvaluatorStats), Join orders multi-atom
+// joins cost-based: the actual input cardinalities and the estimated
+// per-column distinct counts drive a dynamic-programming order search
+// (stats.Order) instead of the size-blind shape-greedy compiled order.
+// JoinGreedy keeps the legacy order reachable for ablations and baselines.
 //
 // An Evaluator snapshots nothing: it reads the database lazily, so the
 // database must not be modified while the Evaluator is in use. All methods
 // are safe for concurrent use.
 type Evaluator struct {
 	db *relation.Database
+	st *stats.Stats // nil = no statistics; Join degrades to JoinGreedy
 
 	mu    sync.RWMutex
 	atoms map[string]*relation.Table
+	ests  map[string]stats.Est
 	plans *relation.PlanCache
 }
 
-// NewEvaluator returns an empty-cached evaluator over db.
+// orderBuf is the pooled scratch of one cost-ordered join: the estimator
+// inputs and the order permutation, sized for the DP planning width.
+type orderBuf struct {
+	in  [stats.OrderDPMax]stats.Est
+	ord [stats.OrderDPMax]int
+}
+
+var orderScratch = sync.Pool{New: func() any { return new(orderBuf) }}
+
+// NewEvaluator returns an empty-cached evaluator over db, without
+// cardinality statistics (joins use the shape-greedy compiled order).
 func NewEvaluator(db *relation.Database) *Evaluator {
+	return NewEvaluatorStats(db, nil)
+}
+
+// NewEvaluatorStats returns an evaluator whose multi-atom joins are
+// cost-ordered through st (collected once per database snapshot, usually
+// by the engine). st may be nil, degrading to NewEvaluator behavior.
+func NewEvaluatorStats(db *relation.Database, st *stats.Stats) *Evaluator {
 	return &Evaluator{
 		db:    db,
+		st:    st,
 		atoms: make(map[string]*relation.Table),
+		ests:  make(map[string]stats.Est),
 		plans: relation.NewPlanCache(),
 	}
 }
@@ -38,10 +68,42 @@ func NewEvaluator(db *relation.Database) *Evaluator {
 // Database returns the database the evaluator is bound to.
 func (ev *Evaluator) Database() *relation.Database { return ev.db }
 
+// Stats returns the cardinality statistics the evaluator plans with, or
+// nil when it carries none.
+func (ev *Evaluator) Stats() *stats.Stats { return ev.st }
+
+// AtomEst returns the cost estimate of atom a (stats.AtomEst), cached
+// across evaluations. It must only be called on evaluators carrying
+// statistics.
+func (ev *Evaluator) AtomEst(a relation.Atom) stats.Est {
+	return ev.atomEstKey(a.String(), a)
+}
+
+// atomEstKey is AtomEst with the cache key precomputed, so callers that
+// already built the atom's string (the join path shares it with the table
+// cache) do not pay for it twice.
+func (ev *Evaluator) atomEstKey(k string, a relation.Atom) stats.Est {
+	ev.mu.RLock()
+	e, ok := ev.ests[k]
+	ev.mu.RUnlock()
+	if ok {
+		return e
+	}
+	e = ev.st.AtomEst(a)
+	ev.mu.Lock()
+	ev.ests[k] = e
+	ev.mu.Unlock()
+	return e
+}
+
 // TableFor returns the materialization of atom a (relation.FromAtom), cached
 // across evaluations. The result is shared: callers must not modify it.
 func (ev *Evaluator) TableFor(a relation.Atom) (*relation.Table, error) {
-	k := a.String()
+	return ev.tableForKey(a.String(), a)
+}
+
+// tableForKey is TableFor with the cache key precomputed.
+func (ev *Evaluator) tableForKey(k string, a relation.Atom) (*relation.Table, error) {
 	ev.mu.RLock()
 	t, ok := ev.atoms[k]
 	ev.mu.RUnlock()
@@ -66,23 +128,68 @@ func (ev *Evaluator) TableFor(a relation.Atom) (*relation.Table, error) {
 // Join computes J(R) for the atom set R through a compiled join plan: the
 // per-atom tables come from the TableFor cache and the join order and column
 // bookkeeping from the plan cache, so repeated shapes pay only the
-// build/probe passes. The result must be treated as immutable (single-atom
-// joins return the cached atom table itself).
+// build/probe passes. With statistics attached, the join order is chosen
+// cost-based per atom set (see JoinOrdered); otherwise the shape-greedy
+// compiled order applies. The result must be treated as immutable
+// (single-atom joins return the cached atom table itself).
 func (ev *Evaluator) Join(atoms []relation.Atom) (*relation.Table, error) {
+	return ev.JoinOrdered(atoms, ev.st != nil)
+}
+
+// JoinGreedy is Join pinned to the legacy shape-greedy compiled order,
+// ignoring any attached statistics. It is the baseline the cost-based
+// planner is benchmarked (E22) and differentially tested against.
+func (ev *Evaluator) JoinGreedy(atoms []relation.Atom) (*relation.Table, error) {
+	return ev.JoinOrdered(atoms, false)
+}
+
+// JoinOrdered is the shared implementation of Join and JoinGreedy:
+// costBased selects between the statistics-driven order search and the
+// shape-greedy compiled order. Both run through the same plan cache
+// (order-pinned plans cache per (shape, order) pair), so the two planners
+// coexist on one evaluator.
+func (ev *Evaluator) JoinOrdered(atoms []relation.Atom, costBased bool) (*relation.Table, error) {
 	if len(atoms) == 0 {
 		return relation.Unit(), nil
 	}
+	costBased = costBased && ev.st != nil && len(atoms) > 2
 	tables := make([]*relation.Table, len(atoms))
 	schemas := make([][]string, len(atoms))
+
+	// Pooled planning scratch: order planning itself must not allocate on
+	// this per-join path (the DP tables are already stack-allocated inside
+	// stats.OrderInto).
+	var in []stats.Est
+	var ord []int
+	if costBased {
+		scratch := orderScratch.Get().(*orderBuf)
+		defer orderScratch.Put(scratch)
+		if len(atoms) <= stats.OrderDPMax {
+			in, ord = scratch.in[:len(atoms)], scratch.ord[:len(atoms)]
+		} else {
+			in, ord = make([]stats.Est, len(atoms)), make([]int, len(atoms))
+		}
+	}
 	for i, a := range atoms {
-		t, err := ev.TableFor(a)
+		k := a.String()
+		t, err := ev.tableForKey(k, a)
 		if err != nil {
 			return nil, err
 		}
 		tables[i] = t
 		schemas[i] = t.Vars()
+		if costBased {
+			// One key build serves both the table and the estimate cache.
+			in[i] = ev.atomEstKey(k, a).WithRows(float64(t.Len()))
+		}
 	}
-	return ev.plans.For(schemas).Run(tables)
+	if !costBased {
+		// With two inputs the order is irrelevant (the join hashes the
+		// smaller side), so the shape plan is already optimal.
+		return ev.plans.For(schemas).Run(tables)
+	}
+	order := stats.OrderInto(in, ord)
+	return ev.plans.ForOrder(schemas, order).Run(tables)
 }
 
 // Fraction computes R ↑ S of Definition 2.6 (see the package-level Fraction)

@@ -1,9 +1,10 @@
 // Package diff is the differential oracle harness: it runs one generated
 // scenario (internal/gen) through every execution path of the repo — the
-// naive enumerator, the findRules engine, the Prepared/Stream session API,
-// and the sequential and parallel deciders — and checks each against the
-// transparent brute-force oracle (internal/oracle), rat-exact and
-// order-insensitive. A disagreement anywhere is a bug in one of the
+// naive enumerator, the findRules engine under both the cost-based and
+// the greedy join planner, the Prepared/Stream session API, and the
+// sequential, parallel and first-witness (sequential and partitioned)
+// deciders — and checks each against the transparent brute-force oracle
+// (internal/oracle), rat-exact and order-insensitive. A disagreement anywhere is a bug in one of the
 // production paths (or, symmetrically, in the oracle), and is reported as a
 // Mismatch naming the path and the divergence.
 //
@@ -33,8 +34,9 @@ import (
 type Mismatch struct {
 	Scenario *gen.Scenario
 	// Path names the execution path that disagreed: "naive", "engine",
-	// "stream", "stream-rerun", "decide", "decide-parallel",
-	// "engine-decide", "decide-first", "witness".
+	// "engine-greedy", "stream", "stream-rerun", "decide",
+	// "decide-parallel", "engine-decide", "decide-first",
+	// "decide-first-parallel", "witness".
 	Path string
 	// Detail is a human-readable description of the divergence.
 	Detail string
@@ -152,7 +154,8 @@ func Run(s *gen.Scenario) (*Mismatch, error) {
 		return &Mismatch{Scenario: s, Path: "naive", Detail: d}, nil
 	}
 
-	// Path 2: findRules engine (one-shot).
+	// Path 2: findRules engine (one-shot), running the cost-based planner
+	// (the default: the engine carries cardinality statistics).
 	opt := engine.Options{Type: s.Type, Thresholds: s.Th}
 	eng := engine.NewEngine(s.DB)
 	prep, err := eng.Prepare(s.MQ, opt)
@@ -165,6 +168,24 @@ func Run(s *gen.Scenario) (*Mismatch, error) {
 	}
 	if d := diffSets(answerSet(coreKeys(full)), wantSet); d != "" {
 		return &Mismatch{Scenario: s, Path: "engine", Detail: d}, nil
+	}
+
+	// Path 2b: the same search with the cost-based planner disabled (the
+	// legacy size-greedy join orders). Cost-based plans must be
+	// row-identical to greedy plans on every scenario — join order is a
+	// performance choice, never a semantic one.
+	greedyOpt := opt
+	greedyOpt.DisableCostPlanner = true
+	prepGreedy, err := eng.Prepare(s.MQ, greedyOpt)
+	if err != nil {
+		return nil, fmt.Errorf("prepare-greedy: %w", err)
+	}
+	greedy, err := prepGreedy.FindRules(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("engine-greedy: %w", err)
+	}
+	if d := diffSets(answerSet(coreKeys(greedy)), wantSet); d != "" {
+		return &Mismatch{Scenario: s, Path: "engine-greedy", Detail: d}, nil
 	}
 
 	// Path 3: Prepared.Stream, twice — the second execution rides the
@@ -189,6 +210,11 @@ func Run(s *gen.Scenario) (*Mismatch, error) {
 	// engine-backed decider against the oracle's verdict, plus every
 	// returned witness against the oracle's index values.
 	rng := rand.New(rand.NewSource(s.Seed ^ 0x5eed))
+	parWorkers := 2 + rng.Intn(4)
+	prepPar, err := eng.Prepare(s.MQ, engine.Options{Type: s.Type, Workers: parWorkers})
+	if err != nil {
+		return nil, fmt.Errorf("prepare-parallel: %w", err)
+	}
 	for _, ix := range core.AllIndices {
 		maxV := maxes[ix]
 		bounds := []rat.Rat{rat.Zero, maxV}
@@ -248,6 +274,21 @@ func Run(s *gen.Scenario) (*Mismatch, error) {
 					Detail: fmt.Sprintf("%s > %s: got %v, oracle says %v", ix, k, gotFirst, wantYes)}, nil
 			}
 			if m := checkWitness(s, ix, k, witFirst, "decide-first"); m != nil {
+				return m, nil
+			}
+
+			// Parallel first-witness path: the first decision node's
+			// candidates partitioned across a seeded worker count. The
+			// verdict must match; the witness only needs to be valid.
+			gotPFirst, witPFirst, err := prepPar.DecideFirst(ctx, ix, k)
+			if err != nil {
+				return nil, fmt.Errorf("decide-first-parallel: %w", err)
+			}
+			if gotPFirst != wantYes {
+				return &Mismatch{Scenario: s, Path: "decide-first-parallel",
+					Detail: fmt.Sprintf("%s > %s (workers=%d): got %v, oracle says %v", ix, k, parWorkers, gotPFirst, wantYes)}, nil
+			}
+			if m := checkWitness(s, ix, k, witPFirst, "decide-first-parallel"); m != nil {
 				return m, nil
 			}
 		}

@@ -1,0 +1,299 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/gen"
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/workload"
+)
+
+// TestCostPlannerMatchesGreedy checks the central planning invariant on
+// generated scenarios: the cost-based planner and the greedy baseline
+// produce identical answer sets (rules and exact index values) — join
+// order is a performance decision, never a semantic one.
+func TestCostPlannerMatchesGreedy(t *testing.T) {
+	ctx := context.Background()
+	for _, shape := range gen.Shapes() {
+		for seed := int64(0); seed < 4; seed++ {
+			s, err := gen.NewScenario(seed, shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := NewEngine(s.DB)
+			cost, _, err := eng.FindRulesStats(ctx, s.MQ, Options{Type: s.Type, Thresholds: s.Th})
+			if err != nil {
+				t.Fatalf("%s/%d: cost planner: %v", shape, seed, err)
+			}
+			greedy, _, err := eng.FindRulesStats(ctx, s.MQ, Options{Type: s.Type, Thresholds: s.Th, DisableCostPlanner: true})
+			if err != nil {
+				t.Fatalf("%s/%d: greedy planner: %v", shape, seed, err)
+			}
+			if len(cost) != len(greedy) {
+				t.Fatalf("%s/%d: cost planner found %d answers, greedy %d", shape, seed, len(cost), len(greedy))
+			}
+			for i := range cost {
+				if cost[i].Rule.String() != greedy[i].Rule.String() ||
+					cost[i].Sup != greedy[i].Sup || cost[i].Cnf != greedy[i].Cnf || cost[i].Cvr != greedy[i].Cvr {
+					t.Fatalf("%s/%d: answer %d differs: %v vs %v", shape, seed, i, cost[i], greedy[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDecideFirstParallelMatchesSequential compares verdicts of the
+// partitioned first-witness search against the sequential one across
+// worker counts, indices and bounds (including a bound that flips the
+// verdict to NO).
+func TestDecideFirstParallelMatchesSequential(t *testing.T) {
+	ctx := context.Background()
+	db := workload.ChainDB(3, 12, 40, 3)
+	mq := workload.ChainMQ(3)
+	eng := NewEngine(db)
+	seq, err := eng.Prepare(mq, Options{Type: core.Type0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 64} {
+		par, err := eng.Prepare(mq, Options{Type: core.Type0, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ix := range core.AllIndices {
+			for _, k := range []rat.Rat{rat.Zero, rat.New(1, 100), rat.New(1, 1)} {
+				wantYes, _, err := seq.DecideFirst(ctx, ix, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotYes, wit, st, err := par.DecideFirstStats(ctx, ix, k)
+				if err != nil {
+					t.Fatalf("workers=%d %s>%s: %v", workers, ix, k, err)
+				}
+				if gotYes != wantYes {
+					t.Fatalf("workers=%d %s>%s: parallel %v, sequential %v", workers, ix, k, gotYes, wantYes)
+				}
+				if gotYes {
+					if wit == nil {
+						t.Fatalf("workers=%d %s>%s: YES without witness", workers, ix, k)
+					}
+					rule, err := wit.Apply(mq)
+					if err != nil {
+						t.Fatalf("workers=%d: witness does not instantiate: %v", workers, err)
+					}
+					v, err := ix.ComputeEval(core.NewEvaluator(db), rule)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !v.Greater(k) {
+						t.Fatalf("workers=%d: witness %s has %s=%s, not > %s", workers, rule, ix, v, k)
+					}
+				}
+				if st == nil {
+					t.Fatalf("workers=%d: nil stats", workers)
+				}
+			}
+		}
+	}
+}
+
+// TestDecideFirstParallelCancel cancels the surrounding context mid-search
+// on a NO-bound run: the parallel path must surface the context error
+// rather than report a definitive NO.
+func TestDecideFirstParallelCancel(t *testing.T) {
+	db := workload.ChainDB(3, 25, 150, 9)
+	mq := workload.ChainMQ(3)
+	par, err := NewEngine(db).Prepare(mq, Options{Type: core.Type0, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	yes, _, err := par.DecideFirst(ctx, core.Cnf, rat.New(1, 1))
+	if yes {
+		t.Fatal("cancelled parallel decision returned YES")
+	}
+	if err == nil {
+		t.Fatal("cancelled parallel decision reported a definitive NO")
+	}
+}
+
+// TestDecideFirstParallelConcurrent exercises parallel decisions racing
+// with enumeration on one engine (run under -race in CI).
+func TestDecideFirstParallelConcurrent(t *testing.T) {
+	db := workload.ChainDB(3, 10, 30, 5)
+	mq := workload.ChainMQ(3)
+	eng := NewEngine(db)
+	par, err := eng.Prepare(mq, Options{Type: core.Type0, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := par.DecideFirst(ctx, core.Sup, rat.Zero); err != nil {
+				t.Error(err)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := par.FindRules(ctx); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestExplainRun checks the plan report: one record per decomposition
+// node in visit order, positive estimates on a populated database, actual
+// row counts recorded, and the answer set identical to FindRules.
+func TestExplainRun(t *testing.T) {
+	ctx := context.Background()
+	db := workload.ChainDB(3, 10, 40, 7)
+	mq := workload.ChainMQ(3)
+	prep, err := NewEngine(db).Prepare(mq, Options{Type: core.Type0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, answers, err := prep.ExplainRun(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.CostPlanner {
+		t.Error("cost planner not reported active on a statistics-backed engine")
+	}
+	if len(ex.Nodes) != len(prep.order) {
+		t.Fatalf("explain has %d nodes, decomposition %d", len(ex.Nodes), len(prep.order))
+	}
+	visited := 0
+	for _, n := range ex.Nodes {
+		if n.EstRows <= 0 {
+			t.Errorf("node %d estimate %v, want > 0 on a populated database", n.NodeID, n.EstRows)
+		}
+		if n.Visits > 0 {
+			visited++
+			if n.MaxRows < n.MinRows || n.TotalRows < n.MaxRows {
+				t.Errorf("node %d actuals inconsistent: min=%d max=%d total=%d", n.NodeID, n.MinRows, n.MaxRows, n.TotalRows)
+			}
+		}
+	}
+	if visited == 0 {
+		t.Error("no node recorded any actual row counts")
+	}
+	if ex.String() == "" {
+		t.Error("empty explain rendering")
+	}
+
+	want, err := prep.FindRules(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != len(want) {
+		t.Fatalf("explained run found %d answers, FindRules %d", len(answers), len(want))
+	}
+	for i := range want {
+		if answers[i].Rule.String() != want[i].Rule.String() {
+			t.Fatalf("answer %d differs: %v vs %v", i, answers[i], want[i])
+		}
+	}
+}
+
+// TestNodeEstimateLegacyFallback pins the statistics-free estimate path:
+// with the engine's statistics removed, decideOrder still produces a valid
+// bottom-up order ranked by smallest base-relation cardinality, and the
+// candidate ordering cache stays empty (raw index order applies).
+func TestNodeEstimateLegacyFallback(t *testing.T) {
+	db := workload.ChainDB(3, 10, 30, 2)
+	mq := workload.ChainMQ(3)
+	eng := NewEngine(db)
+	eng.st = nil // simulate a statistics-free engine
+	prep, err := eng.Prepare(mq, Options{Type: core.Type0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := prep.decideOrder()
+	if len(order) != len(prep.order) {
+		t.Fatalf("legacy decide order has %d nodes, want %d", len(order), len(prep.order))
+	}
+	for _, n := range prep.order {
+		if est := prep.nodeEstimate(n); est <= 0 {
+			t.Errorf("legacy node estimate %v for node %d, want > 0", est, n.ID)
+		}
+	}
+	if oc := prep.orderedCandidates(); oc != nil {
+		t.Errorf("candidate ordering built without statistics: %v", oc)
+	}
+	// The search still runs (and DecideFirst still answers) without stats.
+	yes, _, err := prep.DecideFirst(context.Background(), core.Sup, rat.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !yes {
+		t.Error("stat-free DecideFirst missed the witness")
+	}
+}
+
+// TestDisableCostPlannerUsesLegacyEstimates pins the ablation contract:
+// with DisableCostPlanner set, the decision order ranks nodes by the
+// legacy smallest-base-relation estimate even though the engine carries
+// statistics, so the flag really compares against the full pre-statistics
+// behavior.
+func TestDisableCostPlannerUsesLegacyEstimates(t *testing.T) {
+	db := workload.ChainDB(3, 10, 30, 2)
+	mq := workload.ChainMQ(3)
+	eng := NewEngine(db)
+	prep, err := eng.Prepare(mq, Options{Type: core.Type0, DisableCostPlanner: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range prep.order {
+		got := prep.nodeEstimate(n)
+		if want := prep.nodeEstimateLegacy(n); got != want {
+			t.Errorf("node %d: estimate %v with cost planner disabled, want legacy %v", n.ID, got, want)
+		}
+	}
+	ex, _, err := prep.ExplainRun(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.CostPlanner {
+		t.Error("explain reports the cost planner active under DisableCostPlanner")
+	}
+}
+
+// TestOrderedCandidatesAscending checks the selectivity ordering cache:
+// for every pattern scheme the candidate list is sorted by estimated
+// materialization size, ascending.
+func TestOrderedCandidatesAscending(t *testing.T) {
+	db := workload.Random{Relations: 5, Arity: 2, Tuples: 30, Domain: 8, Seed: 11}.Build()
+	// Unbalance the relation sizes so the ordering is non-trivial.
+	db.MustInsertNamed("r0", "extra", "extra")
+	mq := workload.MQ4()
+	eng := NewEngine(db)
+	prep, err := eng.Prepare(mq, Options{Type: core.Type0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered := prep.orderedCandidates()
+	if len(ordered) == 0 {
+		t.Fatal("no ordered candidate lists on a statistics-backed engine")
+	}
+	for id, cands := range ordered {
+		prev := -1.0
+		for _, a := range cands {
+			rows := eng.ev.AtomEst(a).Rows
+			if rows < prev {
+				t.Fatalf("scheme %d: candidate %s (est %v) after a larger estimate %v", id, a, rows, prev)
+			}
+			prev = rows
+		}
+	}
+}

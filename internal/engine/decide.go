@@ -3,11 +3,13 @@ package engine
 import (
 	"context"
 	"sort"
+	"sync"
 
 	"github.com/mqgo/metaquery/internal/core"
 	"github.com/mqgo/metaquery/internal/hypertree"
 	"github.com/mqgo/metaquery/internal/rat"
 	"github.com/mqgo/metaquery/internal/relation"
+	"github.com/mqgo/metaquery/internal/stats"
 )
 
 // DecideFirst solves the decision problem ⟨DB, MQ, ix, k, T⟩ of Section
@@ -37,23 +39,146 @@ func (p *Prepared) DecideFirst(ctx context.Context, ix core.Index, k rat.Rat) (b
 // DecideFirstStats is DecideFirst additionally returning the run's search
 // counters, so the cost of YES and NO verdicts can be observed (and
 // benchmarked) separately.
+//
+// With Options.Workers > 1 the first decomposition node's candidate atoms
+// are partitioned into contiguous blocks of the selectivity-ordered list,
+// one worker per block, sharing a first-witness cancellation: the first
+// worker to find a witness stops the others. The verdict is identical to
+// the sequential run (the blocks cover the candidate space exactly); the
+// witness may differ when several exist, and the returned counters are the
+// sums over all workers.
 func (p *Prepared) DecideFirstStats(ctx context.Context, ix core.Index, k rat.Rat) (bool, *core.Instantiation, *Stats, error) {
+	if p.opt.Workers > 1 {
+		if yes, wit, st, ok, err := p.decideFirstParallel(ctx, ix, k); ok {
+			return yes, wit, st, err
+		}
+		// No partitionable scheme (or too few candidates): run sequential.
+	}
+	return p.decideFirstSeq(ctx, ix, k, nil)
+}
+
+// decideFirstSeq is one sequential first-witness run, optionally with a
+// candidate restriction for a parallel worker's block.
+func (p *Prepared) decideFirstSeq(ctx context.Context, ix core.Index, k rat.Rat, restrict map[int][]relation.Atom) (bool, *core.Instantiation, *Stats, error) {
 	opt := p.opt
 	opt.Thresholds = core.SingleIndex(ix, k)
 	opt.Limit = 0 // unused here: the decision run terminates via errFound
 	r := p.newRunOpt(ctx, opt)
 	r.order = p.decideOrder()
+	r.restrict = restrict
 
 	d := &decider{run: r, ix: ix, k: k}
 	r.onBody = d.onBody
 	err := r.forEachBody()
 	if err != nil && err != errFound {
-		return false, nil, nil, err
+		// The counters are fully populated up to the abort point; return
+		// them so cancelled parallel workers still contribute their work
+		// to the merged totals.
+		return false, nil, r.stats, err
 	}
 	if d.witness != nil {
 		r.stats.Answers = 1
 	}
 	return d.witness != nil, d.witness, r.stats, nil
+}
+
+// decideFirstParallel partitions the first decision node's candidates
+// across p.opt.Workers goroutines. It reports ok=false when the search has
+// no scheme worth partitioning (no pattern in the first node, or fewer
+// candidates than two blocks), in which case the caller runs sequentially.
+func (p *Prepared) decideFirstParallel(ctx context.Context, ix core.Index, k rat.Rat) (bool, *core.Instantiation, *Stats, bool, error) {
+	order := p.decideOrder()
+	schemeID, cands := p.partitionScheme(order)
+	if schemeID < 0 || len(cands) < 2 {
+		return false, nil, nil, false, nil
+	}
+	workers := p.opt.Workers
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		witness  *core.Instantiation
+		firstErr error
+		merged   Stats
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		// Contiguous blocks of the selectivity-ordered list: every worker
+		// starts with its cheapest candidates.
+		lo, hi := w*len(cands)/workers, (w+1)*len(cands)/workers
+		wg.Add(1)
+		go func(block []relation.Atom) {
+			defer wg.Done()
+			yes, wit, st, err := p.decideFirstSeq(wctx, ix, k, map[int][]relation.Atom{schemeID: block})
+			mu.Lock()
+			defer mu.Unlock()
+			if st != nil {
+				merged.BodyCandidatesTried += st.BodyCandidatesTried
+				merged.BodiesPrunedEmpty += st.BodiesPrunedEmpty
+				merged.BodiesReachedRoot += st.BodiesReachedRoot
+				merged.BodiesPrunedSupport += st.BodiesPrunedSupport
+				merged.HeadsTried += st.HeadsTried
+				merged.HeadsSkipped += st.HeadsSkipped
+			}
+			if err != nil {
+				if firstErr == nil && wctx.Err() == nil {
+					firstErr = err
+				}
+				return
+			}
+			if yes && witness == nil {
+				witness = wit
+				cancel() // first witness wins; stop the other blocks
+			}
+		}(cands[lo:hi])
+	}
+	wg.Wait()
+	merged.Width = p.decomp.Width
+	merged.Nodes = len(p.order)
+	if witness != nil {
+		merged.Answers = 1
+		return true, witness, &merged, true, nil
+	}
+	if firstErr != nil {
+		return false, nil, &merged, true, firstErr
+	}
+	// No worker found a witness: if the surrounding context was cancelled
+	// the exhaustion is not definitive, so surface its error — with the
+	// merged counters, matching the sequential path's stats-on-abort
+	// behavior.
+	if err := ctx.Err(); err != nil {
+		return false, nil, &merged, true, err
+	}
+	return false, nil, &merged, true, nil
+}
+
+// partitionScheme picks the scheme the parallel decision run partitions:
+// the first pattern scheme of the first node in the decision visit order,
+// with its (selectivity-ordered) candidate atoms. It returns -1 when the
+// first node holds no pattern scheme.
+func (p *Prepared) partitionScheme(order []*hypertree.Node) (int, []relation.Atom) {
+	if len(order) == 0 {
+		return -1, nil
+	}
+	for _, id := range p.nodeSchemes[order[0].ID] {
+		bs := p.schemes[id]
+		if !bs.scheme.PredVar {
+			continue
+		}
+		if c, ok := p.orderedCandidates()[id]; ok {
+			return id, c
+		}
+		return id, p.eng.cands.Candidates(bs.scheme, p.opt.Type, bs.patternIdx)
+	}
+	return -1, nil
 }
 
 // decider is the first-witness consumer of the body-search iterator.
@@ -179,23 +304,23 @@ func (r *run) completeHead(sigma *core.Instantiation) (*core.Instantiation, bool
 
 // decideOrder returns the node visit order used by decision runs: a valid
 // bottom-up (children before parents) order in which sibling subtrees are
-// visited smallest estimated node table first, so the branches most likely
-// to empty out — and prune the candidate space — are tried earliest. The
-// estimate for a node is the smallest base-relation cardinality over the
-// node's λ schemes (an ordinary atom contributes its relation's size, a
-// pattern the size of its smallest candidate relation); a subtree is
-// ranked by the smallest estimate it contains. The order depends only on
-// the database and the preparation, so it is computed once and shared.
+// visited smallest estimated node output first, so the branches most
+// likely to empty out — and prune the candidate space — are tried
+// earliest. The estimate for a node is the estimated output size of its
+// λ-join under each scheme's cheapest candidate (nodeEstimate), derived
+// from the engine's cardinality statistics; a subtree is ranked by the
+// smallest estimate it contains. The order depends only on the database
+// and the preparation, so it is computed once and shared.
 func (p *Prepared) decideOrder() []*hypertree.Node {
 	p.decideOrderOnce.Do(func() {
-		est := make(map[int]int, len(p.order))
+		est := make(map[int]float64, len(p.order))
 		for _, n := range p.order {
 			est[n.ID] = p.nodeEstimate(n)
 		}
 		// Subtree rank: the minimum estimate in the subtree.
-		var rank func(n *hypertree.Node) int
-		ranks := make(map[int]int, len(p.order))
-		rank = func(n *hypertree.Node) int {
+		var rank func(n *hypertree.Node) float64
+		ranks := make(map[int]float64, len(p.order))
+		rank = func(n *hypertree.Node) float64 {
 			best := est[n.ID]
 			for _, c := range n.Children {
 				if r := rank(c); r < best {
@@ -228,9 +353,52 @@ func (p *Prepared) decideOrder() []*hypertree.Node {
 	return p.decideOrderNodes
 }
 
-// nodeEstimate is the selectivity estimate of one decomposition node: the
-// smallest base-relation cardinality over its λ schemes.
-func (p *Prepared) nodeEstimate(n *hypertree.Node) int {
+// nodeEstimate estimates the output size of one decomposition node's
+// λ-join: each scheme contributes the estimate of its cheapest candidate
+// atom (an ordinary atom contributes its own estimate), and the per-scheme
+// estimates compose through the join-size formula. Without engine
+// statistics — or with the cost planner disabled for this Prepared — it
+// degrades to the smallest base-relation cardinality over the node's
+// schemes, the pre-statistics heuristic, so the DisableCostPlanner
+// ablation really does compare against the full legacy behavior.
+func (p *Prepared) nodeEstimate(n *hypertree.Node) float64 {
+	if p.eng.st == nil || p.opt.DisableCostPlanner {
+		return p.nodeEstimateLegacy(n)
+	}
+	acc := stats.Est{}
+	first := true
+	for _, id := range p.nodeSchemes[n.ID] {
+		bs := p.schemes[id]
+		var best stats.Est
+		if !bs.scheme.PredVar {
+			best = p.eng.ev.AtomEst(bs.scheme.Atom())
+		} else {
+			found := false
+			for _, a := range p.eng.cands.Candidates(bs.scheme, p.opt.Type, bs.patternIdx) {
+				e := p.eng.ev.AtomEst(a)
+				if !found || e.Rows < best.Rows {
+					best, found = e, true
+				}
+			}
+			if !found {
+				return 0 // no candidates: the node can never instantiate
+			}
+		}
+		if first {
+			acc, first = best, false
+		} else {
+			acc = stats.JoinEst(acc, best)
+		}
+	}
+	if first {
+		return 0
+	}
+	return acc.Rows
+}
+
+// nodeEstimateLegacy is the statistics-free estimate: the smallest
+// base-relation cardinality over the node's λ schemes.
+func (p *Prepared) nodeEstimateLegacy(n *hypertree.Node) float64 {
 	db := p.eng.db
 	best := int(^uint(0) >> 1)
 	for _, id := range p.nodeSchemes[n.ID] {
@@ -247,5 +415,5 @@ func (p *Prepared) nodeEstimate(n *hypertree.Node) int {
 			}
 		}
 	}
-	return best
+	return float64(best)
 }

@@ -63,8 +63,22 @@ type Options struct {
 	// remains the right tool for top-k style enumeration cutoffs.
 	Limit int
 
+	// Workers, when greater than 1, makes DecideFirst partition the first
+	// decomposition node's candidate atoms across this many goroutines
+	// sharing a first-witness cancellation. Enumeration paths (FindRules,
+	// Stream) ignore it. 0 and 1 both mean sequential decision runs.
+	Workers int
+
 	// Ablation switches (all default off = full algorithm). They change
 	// performance only, never results; see the ablation benchmarks.
+
+	// DisableCostPlanner pins every multi-atom join to the legacy
+	// size-greedy ordering, ignoring the engine's cardinality statistics:
+	// node joins run through the shape-greedy compiled plans and body joins
+	// through the size-sorted dynamic order. It is the baseline the
+	// cost-based planner is benchmarked (experiment E22) and differentially
+	// tested against.
+	DisableCostPlanner bool
 
 	// DisableSupportPruning skips the enoughSupport early check; support is
 	// still computed exactly for reporting and final filtering.

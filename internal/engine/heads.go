@@ -4,6 +4,7 @@ import (
 	"github.com/mqgo/metaquery/internal/core"
 	"github.com/mqgo/metaquery/internal/rat"
 	"github.com/mqgo/metaquery/internal/relation"
+	"github.com/mqgo/metaquery/internal/stats"
 )
 
 // forEachBodyFraction computes, for each distinct body scheme, the fraction
@@ -70,8 +71,21 @@ func (r *run) supportExceeds(sigma *core.Instantiation, s map[int]*relation.Tabl
 // padding variables (they contribute to the confidence denominator).
 // Atom tables are semijoin-reduced against their cover nodes first, which
 // is what makes the final join cheap after the full-reducer passes.
+//
+// The join order is cost-based when the engine carries statistics: the
+// reduced tables' actual cardinalities combine with the atoms' estimated
+// per-column distinct counts (clamped to the reduced sizes by the order
+// search) in stats.Order, so skewed instantiations join low-fanout tables
+// first. DisableCostPlanner (and engines without statistics) fall back to
+// the size-sorted greedy order, which sees cardinalities but not value
+// distributions.
 func (r *run) bodyJoin(sigma *core.Instantiation, s map[int]*relation.Table) (*relation.Table, error) {
+	costBased := r.p.eng.st != nil && !r.opt.DisableCostPlanner && len(r.p.schemes) > 2
 	tables := make([]*relation.Table, 0, len(r.p.schemes))
+	var atoms []relation.Atom
+	if costBased {
+		atoms = make([]relation.Atom, 0, len(r.p.schemes))
+	}
 	for id, bs := range r.p.schemes {
 		atom, err := r.instAtom(bs.scheme, sigma)
 		if err != nil {
@@ -86,9 +100,19 @@ func (r *run) bodyJoin(sigma *core.Instantiation, s map[int]*relation.Table) (*r
 			ta = ta.Semijoin(s[node.ID])
 		}
 		tables = append(tables, ta)
+		if costBased {
+			atoms = append(atoms, atom)
+		}
 	}
 	if len(tables) == 0 {
 		return relation.Unit(), nil
+	}
+	if costBased {
+		in := make([]stats.Est, len(tables))
+		for i, ta := range tables {
+			in[i] = r.p.eng.ev.AtomEst(atoms[i]).WithRows(float64(ta.Len()))
+		}
+		return relation.JoinTablesOrdered(tables, stats.Order(in)), nil
 	}
 	// Size-aware greedy ordering, shared with JoinAtoms and the JoinPlan
 	// skew fallback.

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"github.com/mqgo/metaquery/internal/core"
@@ -47,6 +48,14 @@ type Prepared struct {
 	// DecideFirst runs, computed lazily once (decide.go).
 	decideOrderOnce  sync.Once
 	decideOrderNodes []*hypertree.Node
+
+	// candOrder maps scheme IDs to their candidate atoms re-sorted by
+	// estimated materialization size ascending (most selective first), so
+	// every execution enumerates the candidates cheapest-to-check first.
+	// Computed lazily once from the engine's cardinality statistics; nil
+	// entries (and a nil map) fall back to the candidate index order.
+	candOrderOnce sync.Once
+	candOrder     map[int][]relation.Atom
 }
 
 // Prepare validates mq for opt.Type and computes the query-level analysis
@@ -130,6 +139,47 @@ func (p *Prepared) storeJoin(key string, t *relation.Table) *relation.Table {
 	}
 	p.joinMu.Unlock()
 	return t
+}
+
+// orderedCandidates returns the selectivity-ordered candidate lists,
+// computing them on first use: per pattern scheme, the candidate atoms
+// sorted by estimated materialization size ascending (stable, so equal
+// estimates keep the candidate index order). Ordering depends only on the
+// engine statistics and the preparation, so it is shared by all
+// executions.
+func (p *Prepared) orderedCandidates() map[int][]relation.Atom {
+	p.candOrderOnce.Do(func() {
+		st := p.eng.st
+		if st == nil {
+			return
+		}
+		m := make(map[int][]relation.Atom, len(p.schemes))
+		for id, bs := range p.schemes {
+			if !bs.scheme.PredVar {
+				continue
+			}
+			cands := p.eng.cands.Candidates(bs.scheme, p.opt.Type, bs.patternIdx)
+			if len(cands) < 2 {
+				continue
+			}
+			rows := make([]float64, len(cands))
+			for i, a := range cands {
+				rows[i] = p.eng.ev.AtomEst(a).Rows
+			}
+			perm := make([]int, len(cands))
+			for i := range perm {
+				perm[i] = i
+			}
+			sort.SliceStable(perm, func(i, j int) bool { return rows[perm[i]] < rows[perm[j]] })
+			sorted := make([]relation.Atom, len(cands))
+			for k, i := range perm {
+				sorted[k] = cands[i]
+			}
+			m[id] = sorted
+		}
+		p.candOrder = m
+	})
+	return p.candOrder
 }
 
 // newRun builds the per-execution search state for the prepared options.

@@ -54,6 +54,15 @@ type run struct {
 	// rTables[nodeID] is r[i] of Figure 4 for the current partial body.
 	rTables map[int]*relation.Table
 
+	// restrict, when non-nil, overrides the candidate atoms of individual
+	// schemes: the parallel DecideFirst workers each search one block of
+	// the partitioned candidate list through this hook.
+	restrict map[int][]relation.Atom
+
+	// explain, when non-nil, accumulates per-node estimate-vs-actual
+	// observations as node tables are computed (explain.go).
+	explain *Explain
+
 	// onBody receives each complete body instantiation. Returning a
 	// sentinel (errLimit, errStop, errFound) unwinds the search cleanly.
 	onBody func(*body) error
@@ -115,7 +124,7 @@ func (r *run) instantiateNode(node *hypertree.Node, schemeIDs []int, j int, sigm
 		// Assigned at an earlier node (λ sets may overlap).
 		return r.instantiateNode(node, schemeIDs, j+1, sigma, cont)
 	}
-	for _, a := range r.p.eng.cands.Candidates(l, r.opt.Type, bs.patternIdx) {
+	for _, a := range r.candidatesFor(schemeIDs[j], bs) {
 		if err := r.ctx.Err(); err != nil {
 			return err
 		}
@@ -135,12 +144,34 @@ func (r *run) instantiateNode(node *hypertree.Node, schemeIDs []int, j int, sigm
 	return nil
 }
 
+// candidatesFor resolves the candidate atoms the search enumerates for one
+// scheme: a parallel-worker restriction wins outright; otherwise the
+// selectivity-ordered list (estimated-smallest candidate first, from the
+// engine statistics) when the cost planner is active, falling back to the
+// raw candidate index order.
+func (r *run) candidatesFor(schemeID int, bs bodyScheme) []relation.Atom {
+	if r.restrict != nil {
+		if c, ok := r.restrict[schemeID]; ok {
+			return c
+		}
+	}
+	if !r.opt.DisableCostPlanner {
+		if c, ok := r.p.orderedCandidates()[schemeID]; ok {
+			return c
+		}
+	}
+	return r.p.eng.cands.Candidates(bs.scheme, r.opt.Type, bs.patternIdx)
+}
+
 // evalNode computes r[i] := π_χ(J(σ(λ))) semijoined with the children's
 // tables (the bottom-up first half), prunes empty branches, and continues.
 func (r *run) evalNode(node *hypertree.Node, schemeIDs []int, sigma *core.Instantiation, cont func() error) error {
 	tab, err := r.nodeJoin(node, schemeIDs, sigma)
 	if err != nil {
 		return err
+	}
+	if r.explain != nil {
+		r.explain.observe(node.ID, tab.Len())
 	}
 	if !r.opt.DisableFullReducer {
 		for _, c := range node.Children {
@@ -181,7 +212,7 @@ func (r *run) nodeJoin(node *hypertree.Node, schemeIDs []int, sigma *core.Instan
 	if t, ok := r.p.cachedJoin(key); ok {
 		return t, nil
 	}
-	j, err := r.p.eng.ev.Join(atoms)
+	j, err := r.p.eng.ev.JoinOrdered(atoms, !r.opt.DisableCostPlanner)
 	if err != nil {
 		return nil, err
 	}

@@ -6,14 +6,20 @@ import (
 	"github.com/mqgo/metaquery/internal/core"
 	"github.com/mqgo/metaquery/internal/rat"
 	"github.com/mqgo/metaquery/internal/relation"
+	"github.com/mqgo/metaquery/internal/stats"
 )
 
 // Engine is a reusable metaquerying session bound to one database,
 // analogous to database/sql's *DB. It builds the per-database structures
 // every search consults — the candidate index (relations bucketed by
-// arity, memoized pattern candidates) and the evaluator caches (FromAtom
-// materializations, compiled join plans per atom-set shape) — once, and
-// shares them across all queries prepared on it.
+// arity, memoized pattern candidates), the cardinality statistics
+// (per-relation row counts, per-column distinct counts and MCV sketches,
+// collected in one pass at construction), and the evaluator caches
+// (FromAtom materializations, compiled join plans per atom-set shape and
+// order) — once, and shares them across all queries prepared on it. The
+// statistics drive the cost-based join planner; they live and die with
+// the engine's evaluator (both snapshot the database and are invalidated
+// together by constructing a new Engine).
 //
 // An Engine is safe for concurrent use by multiple goroutines. It
 // snapshots the database at construction: the database must not be
@@ -21,21 +27,28 @@ import (
 type Engine struct {
 	db    *relation.Database
 	cands *core.CandidateIndex
+	st    *stats.Stats
 	ev    *core.Evaluator
 }
 
 // NewEngine builds a session over db, constructing the relation and
-// candidate indices the searches share.
+// candidate indices and collecting the cardinality statistics the
+// searches share.
 func NewEngine(db *relation.Database) *Engine {
+	st := stats.Collect(db)
 	return &Engine{
 		db:    db,
 		cands: core.NewCandidateIndex(db),
-		ev:    core.NewEvaluator(db),
+		st:    st,
+		ev:    core.NewEvaluatorStats(db, st),
 	}
 }
 
 // Database returns the database the engine is bound to.
 func (e *Engine) Database() *relation.Database { return e.db }
+
+// Statistics returns the cardinality statistics collected at construction.
+func (e *Engine) Statistics() *stats.Stats { return e.st }
 
 // tableFor returns the materialization of atom a over the engine's
 // database, cached across all queries and executions. Tables are immutable

@@ -97,6 +97,7 @@ var registry = map[string]Runner{
 	"E19": runE19,
 	"E20": runE20,
 	"E21": runE21,
+	"E22": runE22,
 }
 
 // IDs returns the registered experiment IDs in order.

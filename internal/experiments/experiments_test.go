@@ -44,10 +44,10 @@ func TestResultRendering(t *testing.T) {
 
 func TestIDsOrdered(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 21 {
-		t.Fatalf("%d experiments registered, want 21", len(ids))
+	if len(ids) != 22 {
+		t.Fatalf("%d experiments registered, want 22", len(ids))
 	}
-	if ids[0] != "E1" || ids[len(ids)-1] != "E21" {
+	if ids[0] != "E1" || ids[len(ids)-1] != "E22" {
 		t.Errorf("order: %v", ids)
 	}
 }

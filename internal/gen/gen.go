@@ -41,6 +41,22 @@ type DBConfig struct {
 	// uniform; larger values concentrate probability mass, producing the
 	// heavy-hitter value distributions that stress join selectivity.
 	Skew float64
+	// SkewRamp scales each relation's effective skew by its index:
+	// relation i draws with skew Skew·i/(Relations-1), so one database
+	// mixes uniform and heavy-hitter relations (set semantics shrink the
+	// heavily-skewed relations, decorrelating size from selectivity).
+	SkewRamp bool
+	// SkewCols, when non-empty, restricts skew to one column per relation:
+	// relation i draws only column SkewCols[i mod len(SkewCols)] with the
+	// effective skew and the remaining columns uniformly (a negative entry
+	// skews every column of that relation, the default behavior; an entry
+	// past the relation's last column is clamped to it). Skewing
+	// a single column decouples value skew from relation cardinality — set
+	// semantics barely collapse such a relation — so equal-sized relations
+	// can still differ arbitrarily in per-column selectivity, which is
+	// invisible to size-only join ordering. The cost-based planner
+	// experiment (E22) is built on this knob.
+	SkewCols []int
 	// FancyConsts replaces the plain d<i> constant names with names
 	// containing spaces, commas, quotes and non-ASCII runes, for
 	// serialization round-trip stress (CSV, repro files).
@@ -66,20 +82,31 @@ func (c DBConfig) constName(i int) string {
 	return fmt.Sprintf(fancyDecor[i%len(fancyDecor)], i)
 }
 
-// drawConst picks a constant index with the configured skew.
-func (c DBConfig) drawConst(rng *rand.Rand) int {
+// drawConst picks a constant index with the given skew.
+func (c DBConfig) drawConst(rng *rand.Rand, skew float64) int {
 	if c.Domain <= 1 {
 		return 0
 	}
 	u := rng.Float64()
-	if c.Skew > 0 {
-		u = math.Pow(u, 1+c.Skew)
+	if skew > 0 {
+		u = math.Pow(u, 1+skew)
 	}
 	i := int(u * float64(c.Domain))
 	if i >= c.Domain {
 		i = c.Domain - 1
 	}
 	return i
+}
+
+// relSkew is the effective skew of relation r under the config.
+func (c DBConfig) relSkew(r int) float64 {
+	if !c.SkewRamp {
+		return c.Skew
+	}
+	if c.Relations <= 1 {
+		return c.Skew
+	}
+	return c.Skew * float64(r) / float64(c.Relations-1)
 }
 
 // Generate materializes a database from the config and rng. Arity draws are
@@ -101,10 +128,24 @@ func (c DBConfig) Generate(rng *rand.Rand) *relation.Database {
 		if r >= c.Relations-c.EmptyRelations {
 			n = 0
 		}
+		skew := c.relSkew(r)
+		skewCol := -1
+		if len(c.SkewCols) > 0 {
+			skewCol = c.SkewCols[r%len(c.SkewCols)]
+			if skewCol >= arity {
+				// Clamp into range so mixed-arity configs keep their skew
+				// instead of silently going uniform.
+				skewCol = arity - 1
+			}
+		}
 		row := make([]string, arity)
 		for i := 0; i < n; i++ {
 			for j := range row {
-				row[j] = c.constName(c.drawConst(rng))
+				s := skew
+				if skewCol >= 0 && j != skewCol {
+					s = 0
+				}
+				row[j] = c.constName(c.drawConst(rng, s))
 			}
 			db.MustInsertNamed(name, row...)
 		}

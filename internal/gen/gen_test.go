@@ -193,13 +193,29 @@ func TestSkewConcentrates(t *testing.T) {
 	low := 0
 	const n = 2000
 	for i := 0; i < n; i++ {
-		if cfg.drawConst(rng) < 3 {
+		if cfg.drawConst(rng, cfg.Skew) < 3 {
 			low++
 		}
 	}
 	// Uniform would put ~30% below 3; skew 2 concentrates well past half.
 	if low < n/2 {
 		t.Errorf("skewed draw put only %d/%d mass on the low constants", low, n)
+	}
+}
+
+// A skew ramp must leave the first relation uniform and skew the last:
+// under set semantics the heavy-hitter relation collapses to far fewer
+// tuples than the uniform one.
+func TestSkewRamp(t *testing.T) {
+	cfg := DBConfig{Relations: 3, MinArity: 2, MaxArity: 2, MinTuples: 200, MaxTuples: 200,
+		Domain: 50, Skew: 6, SkewRamp: true}
+	db := cfg.Generate(rand.New(rand.NewSource(5)))
+	first, last := db.Relation("r0").Len(), db.Relation("r2").Len()
+	if last >= first {
+		t.Errorf("skew ramp: r2 (full skew) has %d tuples, r0 (uniform) %d; want r2 far smaller", last, first)
+	}
+	if cfg.relSkew(0) != 0 || cfg.relSkew(2) != cfg.Skew {
+		t.Errorf("relSkew endpoints: got %v and %v, want 0 and %v", cfg.relSkew(0), cfg.relSkew(2), cfg.Skew)
 	}
 }
 

@@ -114,6 +114,32 @@ func JoinAtoms(db *Database, atoms []Atom) (*Table, error) {
 	return JoinTablesGreedy(tables), nil
 }
 
+// JoinTablesOrdered joins tables in exactly the given order (a permutation
+// of table indices), the execution half of cost-based dynamic join
+// ordering: the order comes from the statistics layer's estimator over the
+// actual cardinalities and per-column distinct counts, so unlike
+// JoinTablesGreedy no size-only heuristics are applied here. As soon as an
+// intermediate is empty, the empty result is built directly over the
+// unioned schema without joining the remaining tables.
+func JoinTablesOrdered(tables []*Table, order []int) *Table {
+	acc := tables[order[0]]
+	for k := 1; k < len(order); k++ {
+		if acc.Empty() {
+			outVars := append([]string(nil), acc.Vars()...)
+			for _, j := range order[k:] {
+				for _, v := range tables[j].Vars() {
+					if indexOf(outVars, v) < 0 {
+						outVars = append(outVars, v)
+					}
+				}
+			}
+			return NewTable(outVars)
+		}
+		acc = acc.NaturalJoin(tables[order[k]])
+	}
+	return acc
+}
+
 // JoinTablesGreedy joins tables in the size-aware greedy order: start with
 // the smallest table; repeatedly pick the smallest remaining table that
 // shares a variable with the accumulated result, falling back to the

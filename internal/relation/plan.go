@@ -2,6 +2,7 @@ package relation
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -19,6 +20,11 @@ type JoinPlan struct {
 	start   int
 	steps   []joinStep
 	outVars []string
+
+	// costBased marks plans whose join order was chosen from cardinality
+	// statistics (CompileJoinPlanOrder): Run trusts the order and skips the
+	// dynamic skew fallback, which exists only for size-blind plans.
+	costBased bool
 }
 
 // joinStep joins input table `input` into the accumulated result. accPos and
@@ -117,6 +123,81 @@ func CompileJoinPlan(schemas [][]string) *JoinPlan {
 	return p
 }
 
+// CompileJoinPlanOrder builds the plan joining the schemas in exactly the
+// given order (a permutation of schema indices): the accumulated result
+// starts at schemas[order[0]] and each following index is one build/probe
+// step. It is the compilation half of cost-based planning — the order
+// itself comes from the statistics layer (stats.Order), computed from the
+// actual input cardinalities and per-column distinct counts, so the
+// resulting plan is cached per (shape, order) pair and Run executes it
+// without the dynamic skew fallback size-blind plans need.
+func CompileJoinPlanOrder(schemas [][]string, order []int) *JoinPlan {
+	if len(order) != len(schemas) {
+		panic("relation: join order length does not match schema count")
+	}
+	p := &JoinPlan{key: orderKey(schemas, order), widths: make([]int, len(schemas)), costBased: true}
+	for i, s := range schemas {
+		p.widths[i] = len(s)
+	}
+	if len(schemas) == 0 {
+		p.start = -1
+		return p
+	}
+	p.start = order[0]
+	acc := append([]string(nil), schemas[order[0]]...)
+	for _, pick := range order[1:] {
+		in := schemas[pick]
+		step := joinStep{input: pick}
+		for ip, v := range in {
+			if ap := indexOf(acc, v); ap >= 0 {
+				step.accPos = append(step.accPos, ap)
+				step.inPos = append(step.inPos, ip)
+			} else {
+				step.inExtra = append(step.inExtra, ip)
+				acc = append(acc, v)
+			}
+		}
+		step.vars = append([]string(nil), acc...)
+		p.steps = append(p.steps, step)
+	}
+	p.outVars = acc
+	return p
+}
+
+// orderKey is PlanKey extended with the join order, the cache identity of
+// an order-pinned plan. It builds the key in one pass with the size
+// pre-grown — this runs per cost-ordered join, so it should cost one
+// allocation, not a builder-growth cascade.
+func orderKey(schemas [][]string, order []int) string {
+	n := 1 + 4*len(order)
+	for _, s := range schemas {
+		for _, v := range s {
+			n += len(v) + 1
+		}
+	}
+	var b strings.Builder
+	b.Grow(n)
+	for i, s := range schemas {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		for j, v := range s {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(v)
+		}
+	}
+	b.WriteByte('#')
+	for i, o := range order {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(o))
+	}
+	return b.String()
+}
+
 func indexOf(vs []string, v string) int {
 	for i, x := range vs {
 		if x == v {
@@ -156,7 +237,7 @@ func (p *JoinPlan) Run(tables []*Table) (*Table, error) {
 	if p.start < 0 {
 		return Unit(), nil
 	}
-	if len(tables) > 2 && skewed(tables) {
+	if !p.costBased && len(tables) > 2 && skewed(tables) {
 		j := JoinTablesGreedy(tables)
 		if !sameVars(j.vars, p.outVars) {
 			j = j.Project(p.outVars) // same column set, plan-schema order
@@ -211,14 +292,26 @@ func NewPlanCache() *PlanCache {
 // For returns the compiled plan for schemas, compiling and caching it on
 // first use.
 func (pc *PlanCache) For(schemas [][]string) *JoinPlan {
-	key := PlanKey(schemas)
+	return pc.cached(PlanKey(schemas), func() *JoinPlan { return CompileJoinPlan(schemas) })
+}
+
+// ForOrder returns the compiled plan joining schemas in the given
+// cost-chosen order, caching per (shape, order) pair: different
+// instantiations of one shape may warrant different orders (the statistics
+// differ per relation), and each distinct order compiles exactly once.
+func (pc *PlanCache) ForOrder(schemas [][]string, order []int) *JoinPlan {
+	return pc.cached(orderKey(schemas, order), func() *JoinPlan { return CompileJoinPlanOrder(schemas, order) })
+}
+
+// cached memoizes compile() under key.
+func (pc *PlanCache) cached(key string, compile func() *JoinPlan) *JoinPlan {
 	pc.mu.RLock()
 	p, ok := pc.m[key]
 	pc.mu.RUnlock()
 	if ok {
 		return p
 	}
-	p = CompileJoinPlan(schemas)
+	p = compile()
 	pc.mu.Lock()
 	if prev, ok := pc.m[key]; ok {
 		p = prev // another goroutine won the race; keep one canonical plan

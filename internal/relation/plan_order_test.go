@@ -1,0 +1,151 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// orderedTables builds a deterministic random table set over a small
+// variable pool.
+func orderedTables(t *testing.T, seed int64, n int) ([]*Table, [][]string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pool := []string{"A", "B", "C", "D", "E"}
+	tables := make([]*Table, n)
+	schemas := make([][]string, n)
+	for i := range tables {
+		w := 1 + rng.Intn(3)
+		perm := rng.Perm(len(pool))[:w]
+		cols := make([]string, w)
+		for k, p := range perm {
+			cols[k] = pool[p]
+		}
+		tab := NewTable(cols)
+		tup := make(Tuple, w)
+		for r := 0; r < rng.Intn(14); r++ {
+			for c := range tup {
+				tup[c] = Value(rng.Intn(4))
+			}
+			tab.Add(tup)
+		}
+		tables[i] = tab
+		schemas[i] = cols
+	}
+	return tables, schemas
+}
+
+// Every order-pinned plan must produce the same tuple set as the
+// shape-greedy compiled plan, over every permutation of small inputs.
+func TestCompileJoinPlanOrderMatchesShapePlan(t *testing.T) {
+	perms3 := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for seed := int64(0); seed < 30; seed++ {
+		tables, schemas := orderedTables(t, seed, 3)
+		want, err := CompileJoinPlan(schemas).Run(tables)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, order := range perms3 {
+			p := CompileJoinPlanOrder(schemas, order)
+			got, err := p.Run(tables)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.EqualSet(want) {
+				t.Fatalf("seed %d order %v: %v != %v", seed, order, got, want)
+			}
+			if !sameVars(p.OutVars(), got.Vars()) {
+				t.Fatalf("seed %d order %v: result schema %v, plan promises %v", seed, order, got.Vars(), p.OutVars())
+			}
+		}
+	}
+}
+
+// ForOrder must cache per (shape, order): same order returns the
+// identical plan, different orders distinct plans, and both coexist with
+// the shape plan under the same cache.
+func TestPlanCacheForOrder(t *testing.T) {
+	schemas := [][]string{{"A", "B"}, {"B", "C"}, {"C", "D"}}
+	pc := NewPlanCache()
+	p1 := pc.ForOrder(schemas, []int{2, 1, 0})
+	p2 := pc.ForOrder(schemas, []int{2, 1, 0})
+	if p1 != p2 {
+		t.Error("same (shape, order) compiled twice")
+	}
+	p3 := pc.ForOrder(schemas, []int{0, 1, 2})
+	if p3 == p1 {
+		t.Error("distinct orders share one plan")
+	}
+	if ps := pc.For(schemas); ps == p1 || ps == p3 {
+		t.Error("shape plan aliases an order-pinned plan")
+	}
+	if p1.Key() == p3.Key() {
+		t.Errorf("distinct orders share key %q", p1.Key())
+	}
+}
+
+// An order-pinned plan trusts its order: the dynamic skew fallback must
+// not rewrite it. The compiled order (empty-first) is observable through
+// the early-exit: with the empty table joined first, the plan runs no
+// probe passes and returns the empty result over the full schema.
+func TestOrderedPlanSkipsSkewFallback(t *testing.T) {
+	big := NewTable([]string{"A", "B"})
+	tup := make(Tuple, 2)
+	for i := 0; i < 200; i++ {
+		tup[0], tup[1] = Value(i), Value(i%7)
+		big.Add(tup)
+	}
+	empty := NewTable([]string{"B", "C"})
+	small := NewTable([]string{"C", "D"})
+	tup[0], tup[1] = 1, 2
+	small.Add(tup)
+
+	p := CompileJoinPlanOrder([][]string{{"A", "B"}, {"B", "C"}, {"C", "D"}}, []int{1, 2, 0})
+	got, err := p.Run([]*Table{big, empty, small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Empty() {
+		t.Fatalf("join with empty input yielded %d rows", got.Len())
+	}
+	if len(got.Vars()) != 4 {
+		t.Fatalf("empty result schema %v, want all four columns", got.Vars())
+	}
+}
+
+// Mismatched inputs must error, and the empty plan yields Unit.
+func TestOrderedPlanValidation(t *testing.T) {
+	p := CompileJoinPlanOrder([][]string{{"A"}, {"B"}}, []int{1, 0})
+	if _, err := p.Run([]*Table{NewTable([]string{"A"})}); err == nil {
+		t.Error("wrong table count accepted")
+	}
+	if _, err := p.Run([]*Table{NewTable([]string{"A"}), NewTable([]string{"B", "C"})}); err == nil {
+		t.Error("wrong table width accepted")
+	}
+	unit := CompileJoinPlanOrder(nil, nil)
+	got, err := unit.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || len(got.Vars()) != 0 {
+		t.Errorf("empty plan returned %v, want Unit", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("order/schema length mismatch did not panic")
+		}
+	}()
+	CompileJoinPlanOrder([][]string{{"A"}}, []int{0, 1})
+}
+
+// JoinTablesOrdered follows the given order and early-exits on empty
+// intermediates with the full unioned schema.
+func TestJoinTablesOrdered(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		tables, _ := orderedTables(t, 100+seed, 3)
+		got := JoinTablesOrdered(tables, []int{2, 0, 1})
+		want := JoinTablesGreedy(tables)
+		if !got.EqualSet(want) {
+			t.Fatalf("seed %d: ordered %v != greedy %v", seed, got, want)
+		}
+	}
+}

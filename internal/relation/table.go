@@ -245,10 +245,10 @@ func (t *Table) AntiSemijoin(u *Table) *Table {
 }
 
 // SemijoinCount returns |t ⋉ u| without materializing the semijoin: the
-// same chain-index probe as Semijoin, but only a counter on the probe side.
-// The index-computation hot paths (Definition 2.6 fractions) consume only
-// the cardinality of their semijoins, so this saves the output arena, row
-// set, and per-row rehash entirely.
+// same chain-index kernel as Semijoin, but only a counter on the outer
+// side. The index-computation hot paths (Definition 2.6 fractions) consume
+// only the cardinality of their semijoins, so this saves the output arena,
+// row set, and per-row rehash entirely.
 func (t *Table) SemijoinCount(u *Table) int {
 	shared, tPos, uPos := sharedPos(t, u)
 	if len(shared) == 0 {
@@ -256,6 +256,15 @@ func (t *Table) SemijoinCount(u *Table) int {
 			return t.nrows
 		}
 		return 0
+	}
+	if semiScanBetter(t.nrows, u.nrows) {
+		n := 0
+		for _, m := range t.matchedScan(u, tPos, uPos) {
+			if m {
+				n++
+			}
+		}
+		return n
 	}
 	idx := buildChainIndex(&u.colStore, uPos)
 	n := 0
@@ -272,8 +281,47 @@ func (t *Table) SemijoinCount(u *Table) int {
 	return n
 }
 
+// semiScanBetter decides the semijoin kernel direction: true selects the
+// matchedScan direction (index t, scan u), worthwhile only when u is much
+// larger than t — the scan pays a chain probe per u row, so near-balanced
+// sides are cheaper in the classic direction (index u, probe t), while a
+// heavily larger u makes the t-sized index (and its allocation) the
+// clear win and enables the all-matched early exit.
+func semiScanBetter(tRows, uRows int) bool {
+	return uRows > 16*tRows+64
+}
+
+// matchedScan computes, for every row of t, whether its projection on the
+// shared columns appears in u — with the hash index built over t, the
+// smaller side, and u merely scanned. Building the index (and its slot
+// array) on the low-cardinality side is the table-level counterpart of the
+// estimator's build/probe-side selection; the scan early-exits once every
+// t row has matched.
+func (t *Table) matchedScan(u *Table, tPos, uPos []int) []bool {
+	matched := make([]bool, t.nrows)
+	if t.nrows == 0 {
+		return matched
+	}
+	idx := buildChainIndex(&t.colStore, tPos)
+	left := t.nrows
+	for r := 0; r < u.nrows && left > 0; r++ {
+		row := u.row(r)
+		h := hashAt(row, uPos)
+		for s := idx.first(h); s != 0; s = idx.next[s-1] {
+			tr := int(s - 1)
+			if !matched[tr] && equalAt(row, uPos, t.row(tr), tPos) {
+				matched[tr] = true
+				left--
+			}
+		}
+	}
+	return matched
+}
+
 // semi implements Semijoin (keep=true) and AntiSemijoin (keep=false) as one
-// probe loop over u's chain index.
+// chain-index kernel, picking the direction with semiScanBetter: the
+// classic direction (index u, probe t) by default, the matchedScan
+// direction (index t, scan u) when u dwarfs t.
 func (t *Table) semi(u *Table, keep bool) *Table {
 	shared, tPos, uPos := sharedPos(t, u)
 	if len(shared) == 0 {
@@ -284,6 +332,14 @@ func (t *Table) semi(u *Table, keep bool) *Table {
 		return out
 	}
 	out := NewTableCap(t.vars, t.nrows)
+	if semiScanBetter(t.nrows, u.nrows) {
+		for r, m := range t.matchedScan(u, tPos, uPos) {
+			if m == keep {
+				out.addUnique(t.row(r))
+			}
+		}
+		return out
+	}
 	idx := buildChainIndex(&u.colStore, uPos)
 	for r := 0; r < t.nrows; r++ {
 		row := t.row(r)

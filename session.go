@@ -27,10 +27,26 @@ type Engine = engine.Engine
 // index is evaluated and the search stops at the first witness).
 type Prepared = engine.Prepared
 
+// Explain is the plan report of one prepared execution: the decomposition
+// node visit order with the cost planner's per-node output estimates and
+// the actually observed node-table row counts side by side. Collect one
+// with Prepared.ExplainRun; it is the estimate-vs-actual debugging surface
+// of the cardinality-statistics subsystem (cmd/metaquery -explain prints
+// it).
+type Explain = engine.Explain
+
+// ExplainNode is one node's record in an Explain report.
+type ExplainNode = engine.ExplainNode
+
 // NewEngine builds a reusable session over db. Use eng.Prepare(mq, opt) to
 // analyze a metaquery once and execute it many times, eng.FindRules for
 // one-shot queries that still share the database caches, and eng.Decide
 // for engine-accelerated decision problems.
+//
+// Construction also collects the cardinality statistics (per-relation row
+// counts, per-column distinct counts, most-common-value sketches) behind
+// the engine's cost-based join planner; they are cached on the engine and
+// invalidated with it.
 func NewEngine(db *Database) *Engine { return engine.NewEngine(db) }
 
 // FindRulesContext is FindRules bounded by ctx: the search stops promptly
