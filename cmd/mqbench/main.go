@@ -12,6 +12,13 @@
 //	mqbench -timeout 30s       # bound the whole suite's wall-clock
 //	mqbench -json              # machine-readable per-experiment records on stdout
 //	mqbench -bench-out FILE    # additionally write the JSON records to FILE
+//
+// Server replay mode: -serve runs only the mqserve replay benchmark
+// (experiment E23), optionally against a live server:
+//
+//	mqbench -serve                          # in-process server, default QPS
+//	mqbench -serve -serve-url URL -qps 500  # replay against a live mqserve
+//	mqbench -serve -requests 1000           # longer workload
 package main
 
 import (
@@ -33,6 +40,10 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "bound the suite wall-clock, e.g. 30s (0 = none)")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON records instead of tables")
 		benchOut = flag.String("bench-out", "", "write the JSON records to FILE (independent of -json)")
+		serve    = flag.Bool("serve", false, "run only the mqserve replay benchmark (E23)")
+		serveURL = flag.String("serve-url", "", "with -serve: replay against this live server instead of in-process")
+		qps      = flag.Float64("qps", 0, "with -serve: paced request rate (0 = default)")
+		requests = flag.Int("requests", 0, "with -serve: total request count (0 = default)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -41,10 +52,63 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := runCtx(ctx, *exp, *quick, *jsonOut, *benchOut); err != nil {
+	var err error
+	if *serve {
+		err = runServe(ctx, *quick, *jsonOut, *benchOut, experiments.ServeOptions{
+			URL: *serveURL, QPS: *qps, Requests: *requests,
+		})
+	} else {
+		err = runCtx(ctx, *exp, *quick, *jsonOut, *benchOut)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mqbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runServe is the -serve entry point: one replay benchmark, recorded in
+// the same benchRecord format the experiment suite emits so serve runs
+// land in BENCH_*.json files unchanged.
+func runServe(ctx context.Context, quick, jsonOut bool, benchOut string, opts experiments.ServeOptions) error {
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := experiments.RunServe(ctx, quick, opts)
+	wall := time.Since(start)
+	if err != nil {
+		return err
+	}
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	rec := benchRecord{
+		Name:       res.ID,
+		Title:      res.Title,
+		Pass:       res.Pass,
+		WallMS:     float64(wall.Microseconds()) / 1e3,
+		Allocs:     after.Mallocs - before.Mallocs,
+		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+		Header:     res.Header,
+		Rows:       res.Rows,
+		Notes:      res.Notes,
+	}
+	blob, err := json.MarshalIndent([]benchRecord{rec}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		fmt.Println(string(blob))
+	} else {
+		fmt.Println(res)
+	}
+	if benchOut != "" {
+		if err := os.WriteFile(benchOut, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if !res.Pass {
+		return fmt.Errorf("serve replay failed")
+	}
+	return nil
 }
 
 // benchRecord is the machine-readable per-experiment record emitted by

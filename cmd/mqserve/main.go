@@ -1,0 +1,127 @@
+// Command mqserve is the metaquery server daemon: it serves one or more
+// named CSV databases over the HTTP/JSON surface of internal/server —
+// full answers (POST /v1/query), first-witness decisions (POST
+// /v1/decide), streamed NDJSON answers (POST /v1/stream), database loads
+// (POST /v1/db/{name}) and observability (GET /v1/stats, GET /debug).
+//
+// Usage:
+//
+//	mqserve -addr :8080 -db telecom=./csv/telecom -db hr=./csv/hr \
+//	    [-max-inflight N] [-timeout D] [-max-timeout D] \
+//	    [-cache-size N] [-drain-timeout D]
+//
+// Admission control: at most -max-inflight searches execute concurrently;
+// requests beyond that are shed with 429 + Retry-After instead of queued.
+// Every search runs under a deadline (-timeout unless the request carries
+// timeout_ms, clamped to -max-timeout) riding the engine's context
+// plumbing, so a deadline or client disconnect stops the search promptly.
+//
+// On SIGTERM or SIGINT the server drains gracefully: the listener closes,
+// in-flight searches run to completion (bounded by -drain-timeout), then
+// the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/mqgo/metaquery/internal/server"
+)
+
+func main() {
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// dbFlags collects repeated -db name=dir mounts.
+type dbFlags []string
+
+func (d *dbFlags) String() string { return strings.Join(*d, ",") }
+func (d *dbFlags) Set(s string) error {
+	if !strings.Contains(s, "=") {
+		return fmt.Errorf("-db wants name=dir (got %q)", s)
+	}
+	*d = append(*d, s)
+	return nil
+}
+
+// run is the daemon body, factored from main so tests can drive it with a
+// cancellable context (the same path the signal handler uses) and capture
+// its output. It returns the process exit status.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mqserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var dbs dbFlags
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		maxInFlight  = fs.Int("max-inflight", 64, "max concurrently executing searches; beyond this requests get 429")
+		timeout      = fs.Duration("timeout", 10*time.Second, "default per-request search deadline")
+		maxTimeout   = fs.Duration("max-timeout", 2*time.Minute, "upper clamp on client-requested deadlines")
+		cacheSize    = fs.Int("cache-size", 256, "per-database prepared-metaquery LRU capacity")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight searches on shutdown")
+	)
+	fs.Var(&dbs, "db", "mount a database: name=csv-dir (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	srv := server.New(server.Config{
+		MaxInFlight:    *maxInFlight,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		PrepCacheSize:  *cacheSize,
+	})
+	for _, mount := range dbs {
+		name, dir, _ := strings.Cut(mount, "=")
+		if err := srv.LoadDir(name, dir); err != nil {
+			fmt.Fprintf(stderr, "mqserve: loading %s: %v\n", mount, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "mqserve: loaded database %q from %s\n", name, dir)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "mqserve: %v\n", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	// The daemon drains on SIGTERM/SIGINT (or the caller's ctx): stop
+	// accepting, let in-flight searches finish, then exit cleanly.
+	ctx, stop := signal.NotifyContext(ctx, syscall.SIGTERM, os.Interrupt)
+	defer stop()
+
+	fmt.Fprintf(stdout, "mqserve: listening on %s (%d databases, max %d in-flight)\n",
+		ln.Addr(), len(dbs), *maxInFlight)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "mqserve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behavior: a second signal kills hard
+	fmt.Fprintf(stdout, "mqserve: shutting down, draining in-flight searches\n")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintf(stderr, "mqserve: drain: %v\n", err)
+		return 1
+	}
+	st := srv.Stats()
+	fmt.Fprintf(stdout, "mqserve: drained (%d queries, %d decisions, %d streams, %d rejected)\n",
+		st.Queries, st.Decisions, st.Streams, st.Rejected)
+	return 0
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a Write-synchronized buffer: run writes from its own
+// goroutine while the test polls the output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// writeFigure1CSV lays out the paper's Figure 1 database as a CSV
+// directory for the -db flag.
+func writeFigure1CSV(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"citizen.csv":  "john,italy\nbob,england\n",
+		"language.csv": "italy,italian\nengland,english\n",
+		"speaks.csv":   "john,italian\nbob,english\n# comment rows are skipped\n",
+	}
+	for name, body := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+) `)
+
+// TestServeQueryAndDrain boots the real daemon on an ephemeral port,
+// serves one query and one decision over HTTP, then delivers SIGTERM and
+// checks the drain path exits 0 with the final stats line.
+func TestServeQueryAndDrain(t *testing.T) {
+	dir := writeFigure1CSV(t)
+	var stdout, stderr syncBuffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run(context.Background(),
+			[]string{"-addr", "127.0.0.1:0", "-db", "fig1=" + dir, "-drain-timeout", "5s"},
+			&stdout, &stderr)
+	}()
+
+	// Wait for the listener line and extract the bound address.
+	var addr string
+	for i := 0; i < 200 && addr == ""; i++ {
+		if m := listenRE.FindStringSubmatch(stdout.String()); m != nil {
+			addr = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no listening line; stdout=%q stderr=%q", stdout.String(), stderr.String())
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/v1/query", "application/json",
+		strings.NewReader(`{"db":"fig1","query":"R(X,Z) <- P(X,Y), Q(Y,Z)","min_cnf":"1/2"}`))
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	var qr struct {
+		Answers []struct{ Rule string } `json:"answers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(qr.Answers) == 0 {
+		t.Fatalf("query: status %d, %d answers", resp.StatusCode, len(qr.Answers))
+	}
+	found := false
+	for _, a := range qr.Answers {
+		if a.Rule == "speaks(X,Z) <- citizen(X,Y), language(Y,Z)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected the Figure 1 rule among %+v", qr.Answers)
+	}
+
+	resp, err = http.Post(base+"/v1/decide", "application/json",
+		strings.NewReader(`{"db":"fig1","query":"R(X,Z) <- P(X,Y), Q(Y,Z)","index":"cnf","k":"1/2"}`))
+	if err != nil {
+		t.Fatalf("decide: %v", err)
+	}
+	var dr struct {
+		Yes bool `json:"yes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		t.Fatalf("decode decide: %v", err)
+	}
+	resp.Body.Close()
+	if !dr.Yes {
+		t.Fatal("decide cnf > 1/2 should be YES on Figure 1")
+	}
+
+	// SIGTERM → graceful drain → exit 0.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit %d; stderr=%q", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not drain; stdout=%q", stdout.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "shutting down") || !strings.Contains(out, "drained (1 queries, 1 decisions") {
+		t.Fatalf("drain lines missing from stdout: %q", out)
+	}
+}
+
+func TestRunBadFlagsAndDirs(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if code := run(context.Background(), []string{"-db", "nodir"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("malformed -db: exit %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"-db", "x=/no/such/dir"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("missing dir: exit %d, want 1", code)
+	}
+	if code := run(context.Background(), []string{"-addr", "256.256.256.256:99999"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("bad addr: exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CanonicalKey returns a variable-renaming-invariant identity for the
+// metaquery: two metaqueries are α-equivalent — identical up to an
+// injective renaming of their predicate variables and of their ordinary
+// variables — if and only if their canonical keys are equal. Relation
+// names, constants, literal order and argument positions are preserved
+// (body order matters: answers render body atoms in metaquery order, so
+// reordered bodies are genuinely different queries).
+//
+// The key is the cache identity of a prepared metaquery: preparation and
+// execution depend on variable names only through their equality pattern,
+// so α-equivalent metaqueries can share one Prepared. internal/server's
+// prepared-query cache is keyed on it. Note that answers produced through
+// a shared Prepared use the variable names of the representative the
+// cache prepared first.
+func (mq *Metaquery) CanonicalKey() string {
+	predIdx := make(map[string]int)
+	varIdx := make(map[string]int)
+	var b strings.Builder
+	writeScheme := func(l LiteralScheme) {
+		if l.PredVar {
+			i, ok := predIdx[l.Pred]
+			if !ok {
+				i = len(predIdx)
+				predIdx[l.Pred] = i
+			}
+			fmt.Fprintf(&b, "?%d(", i)
+		} else {
+			// Relation names and constants are quoted so they can never
+			// collide with the ?N / vN renamings or each other.
+			fmt.Fprintf(&b, "%q(", l.Pred)
+		}
+		for j, a := range l.Args {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			if IsConstName(a) {
+				fmt.Fprintf(&b, "%q", a)
+			} else {
+				i, ok := varIdx[a]
+				if !ok {
+					i = len(varIdx)
+					varIdx[a] = i
+				}
+				fmt.Fprintf(&b, "v%d", i)
+			}
+		}
+		b.WriteByte(')')
+	}
+	writeScheme(mq.Head)
+	b.WriteString("<-")
+	for i, l := range mq.Body {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		writeScheme(l)
+	}
+	return b.String()
+}

@@ -1,0 +1,84 @@
+package core
+
+import "testing"
+
+func TestCanonicalKeyAlphaEquivalence(t *testing.T) {
+	// Pairs that are α-equivalent: identical up to injective renaming of
+	// predicate variables and ordinary variables.
+	equivalent := [][2]string{
+		{"R(X,Z) <- P(X,Y), Q(Y,Z)", "R(A,C) <- P(A,B), Q(B,C)"},
+		{"R(X,Z) <- P(X,Y), Q(Y,Z)", "S(U,W) <- T(U,V), M(V,W)"},
+		{"R(X,X) <- P(X,Y)", "Q(A,A) <- Z0(A,B)"},
+		{"R(X) <- p(X,Y), P(Y)", "T(B) <- p(B,C), W(C)"},
+		{"R(X) <- P(X,c), Q(X)", "S(Y) <- T(Y,c), U(Y)"},
+	}
+	for _, pair := range equivalent {
+		a, b := MustParse(pair[0]), MustParse(pair[1])
+		ka, kb := a.CanonicalKey(), b.CanonicalKey()
+		if ka != kb {
+			t.Errorf("expected α-equivalent keys:\n  %s -> %s\n  %s -> %s",
+				pair[0], ka, pair[1], kb)
+		}
+	}
+}
+
+func TestCanonicalKeyDistinguishes(t *testing.T) {
+	// Pairs that must NOT collapse to one key.
+	distinct := [][2]string{
+		// Different equality pattern: head repeats a variable vs not.
+		{"R(X,X) <- P(X,Y)", "R(X,Y) <- P(X,Y)"},
+		// Renaming must be injective: X,Y -> A,A is not a renaming.
+		{"R(X,Y) <- P(X,Y)", "R(A,A) <- P(A,A)"},
+		// Repeated predicate variable vs two distinct ones.
+		{"R(X,Z) <- P(X,Y), P(Y,Z)", "R(X,Z) <- P(X,Y), Q(Y,Z)"},
+		// Relation names are not renameable.
+		{"R(X) <- p(X)", "R(X) <- q(X)"},
+		// Constants are not renameable.
+		{"R(X) <- P(X,c)", "R(X) <- P(X,d)"},
+		// A constant is not a variable.
+		{"R(X) <- P(X,c)", "R(X) <- P(X,Y)"},
+		// Body order is part of the identity (answers render in body order).
+		{"R(X) <- p(X), q(X)", "R(X) <- q(X), p(X)"},
+		// A relation name is not a predicate variable, even α-renamed.
+		{"R(X) <- p(X)", "R(X) <- P(X)"},
+		// Arity differs.
+		{"R(X) <- P(X)", "R(X) <- P(X,X)"},
+	}
+	for _, pair := range distinct {
+		a, b := MustParse(pair[0]), MustParse(pair[1])
+		ka, kb := a.CanonicalKey(), b.CanonicalKey()
+		if ka == kb {
+			t.Errorf("distinct metaqueries share key %q:\n  %s\n  %s", ka, pair[0], pair[1])
+		}
+	}
+}
+
+func TestCanonicalKeyQuotingCannotCollide(t *testing.T) {
+	// A relation literally named like a canonical pattern rendering must
+	// not collide with an actual pattern's rendering.
+	a := MustParse(`R(X) <- "?0"(X)`)
+	b := MustParse(`R(X) <- P(X)`)
+	if a.CanonicalKey() == b.CanonicalKey() {
+		t.Fatalf("relation %q collides with pattern rendering: %s", "?0", a.CanonicalKey())
+	}
+	// Constants named like variable renderings stay distinct too.
+	c := MustParse(`R(X) <- p(X,"v0")`)
+	d := MustParse(`R(X) <- p(X,Y)`)
+	if c.CanonicalKey() == d.CanonicalKey() {
+		t.Fatalf("constant %q collides with variable rendering: %s", "v0", c.CanonicalKey())
+	}
+}
+
+func TestCanonicalKeyStableUnderMuteVariables(t *testing.T) {
+	// Each "_" parses to a fresh variable; two parses of the same text must
+	// agree, and the key must match the explicitly named spelling.
+	a := MustParse("R(X) <- P(X,_), Q(X,_)")
+	b := MustParse("R(X) <- P(X,_), Q(X,_)")
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Fatalf("same text, different keys: %s vs %s", a.CanonicalKey(), b.CanonicalKey())
+	}
+	named := MustParse("R(X) <- P(X,M1), Q(X,M2)")
+	if a.CanonicalKey() != named.CanonicalKey() {
+		t.Fatalf("mute form %s != named form %s", a.CanonicalKey(), named.CanonicalKey())
+	}
+}

@@ -98,6 +98,7 @@ var registry = map[string]Runner{
 	"E20": runE20,
 	"E21": runE21,
 	"E22": runE22,
+	"E23": runE23,
 }
 
 // IDs returns the registered experiment IDs in order.

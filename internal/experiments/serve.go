@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/mqgo/metaquery/internal/gen"
+	"github.com/mqgo/metaquery/internal/relation"
+	"github.com/mqgo/metaquery/internal/server"
+)
+
+// ServeOptions parameterizes the server replay benchmark (E23 and
+// mqbench -serve).
+type ServeOptions struct {
+	// URL targets a live mqserve instance. Empty boots an in-process
+	// server on a loopback listener for the duration of the run.
+	URL string
+	// QPS is the paced request rate. <= 0 means 200.
+	QPS float64
+	// Requests is the total request count. 0 means 120 (quick) / 360.
+	Requests int
+}
+
+// replayReq is one pre-generated workload request: everything random is
+// drawn up front from the seeded rng so the replay itself is
+// deterministic apart from timing.
+type replayReq struct {
+	class string // "query", "decide" or "stream"
+	path  string
+	body  []byte
+}
+
+// runE23 is the registry entry: in-process server, default pacing.
+func runE23(ctx context.Context, quick bool) (*Result, error) {
+	return RunServe(ctx, quick, ServeOptions{})
+}
+
+// RunServe replays a seeded internal/gen workload against a metaquery
+// server at a controlled QPS and reports per-endpoint latency
+// percentiles. The workload mixes /v1/query, /v1/decide and /v1/stream
+// over three scenario databases loaded through POST /v1/db (inline
+// JSON), so the run exercises the load path, the prepared cache (each
+// metaquery repeats) and all three search endpoints.
+func RunServe(ctx context.Context, quick bool, opts ServeOptions) (*Result, error) {
+	qps := opts.QPS
+	if qps <= 0 {
+		qps = 200
+	}
+	n := opts.Requests
+	if n == 0 {
+		if quick {
+			n = 120
+		} else {
+			n = 360
+		}
+	}
+
+	base := opts.URL
+	if base == "" {
+		srv := server.New(server.Config{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("serve replay: %w", err)
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+		base = "http://" + ln.Addr().String()
+	}
+
+	// Load three shape-diverse scenario databases through the wire.
+	shapes := []string{"t0-chain", "t1-cycle", "t2-pad"}
+	scenarios := make([]*gen.Scenario, len(shapes))
+	for i, shape := range shapes {
+		sc, err := gen.NewScenario(int64(i+1), shape)
+		if err != nil {
+			return nil, fmt.Errorf("serve replay: %w", err)
+		}
+		scenarios[i] = sc
+		blob, err := json.Marshal(inlineDB(sc.DB))
+		if err != nil {
+			return nil, err
+		}
+		if err := postOK(ctx, base+"/v1/db/"+shape, blob); err != nil {
+			return nil, fmt.Errorf("serve replay: loading %s: %w", shape, err)
+		}
+	}
+
+	reqs, err := buildWorkload(scenarios, shapes, n)
+	if err != nil {
+		return nil, err
+	}
+
+	// Paced replay: one request per tick, each measured in its own
+	// goroutine so a slow search does not stall the arrival process.
+	var mu sync.Mutex
+	lat := map[string][]time.Duration{}
+	okCount := map[string]int{}
+	shed, errCount := 0, 0
+	var firstErr error
+	interval := time.Duration(float64(time.Second) / qps)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var wg sync.WaitGroup
+	start := time.Now()
+replay:
+	for _, rq := range reqs {
+		select {
+		case <-ctx.Done():
+			break replay
+		case <-ticker.C:
+		}
+		wg.Add(1)
+		go func(rq replayReq) {
+			defer wg.Done()
+			t0 := time.Now()
+			resp, err := http.Post(base+rq.path, "application/json", bytes.NewReader(rq.body))
+			d := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errCount++
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				okCount[rq.class]++
+				lat[rq.class] = append(lat[rq.class], d)
+				lat["all"] = append(lat["all"], d)
+			case http.StatusTooManyRequests:
+				shed++ // legitimate under admission control, not an error
+			default:
+				errCount++
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s: status %d", rq.path, resp.StatusCode)
+				}
+			}
+		}(rq)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := &Result{
+		ID:     "E23",
+		Title:  "mqserve replay: seeded workload latency at paced QPS",
+		Header: []string{"endpoint", "requests", "ok", "p50_ms", "p95_ms", "p99_ms"},
+	}
+	attempts := map[string]int{"all": len(reqs)}
+	for _, rq := range reqs {
+		attempts[rq.class]++
+	}
+	classes := []string{"query", "decide", "stream", "all"}
+	for _, c := range classes {
+		ds := lat[c]
+		reqN := attempts[c]
+		res.AddRow(c, fmt.Sprintf("%d", reqN), fmt.Sprintf("%d", len(ds)),
+			ms(percentile(ds, 0.50)), ms(percentile(ds, 0.95)), ms(percentile(ds, 0.99)))
+	}
+	res.Notef("target %.0f qps, effective %.0f qps over %s", qps,
+		float64(len(reqs))/wall.Seconds(), wall.Round(time.Millisecond))
+	if shed > 0 {
+		res.Notef("%d requests shed with 429 under admission control", shed)
+	}
+	if firstErr != nil {
+		res.Notef("first error: %v", firstErr)
+	}
+	if hits, misses, ok := cacheCounters(ctx, base); ok {
+		res.Notef("prepared cache: %d hits / %d misses", hits, misses)
+	}
+	// The run reproduces iff every request was answered (200 or a shed
+	// 429) and each endpoint class saw at least one successful search.
+	res.Pass = errCount == 0 &&
+		okCount["query"] > 0 && okCount["decide"] > 0 && okCount["stream"] > 0
+	return res, nil
+}
+
+// buildWorkload pre-draws the whole request sequence from a fixed seed:
+// scenario and endpoint choices repeat, so the prepared cache sees
+// realistic re-use.
+func buildWorkload(scenarios []*gen.Scenario, names []string, n int) ([]replayReq, error) {
+	rng := rand.New(rand.NewSource(23))
+	reqs := make([]replayReq, 0, n)
+	for i := 0; i < n; i++ {
+		k := rng.Intn(len(scenarios))
+		sc, db := scenarios[k], names[k]
+		search := map[string]any{
+			"db": db, "query": sc.MQ.String(), "type": int(sc.Type),
+		}
+		if sc.Th.CheckSup {
+			search["min_sup"] = sc.Th.Sup.String()
+		}
+		if sc.Th.CheckCnf {
+			search["min_cnf"] = sc.Th.Cnf.String()
+		}
+		if sc.Th.CheckCvr {
+			search["min_cvr"] = sc.Th.Cvr.String()
+		}
+		var rq replayReq
+		switch rng.Intn(3) {
+		case 0:
+			rq.class, rq.path = "query", "/v1/query"
+		case 1:
+			rq.class, rq.path = "stream", "/v1/stream"
+		default:
+			rq.class, rq.path = "decide", "/v1/decide"
+			ix, bound := "sup", "0"
+			switch {
+			case sc.Th.CheckCnf:
+				ix, bound = "cnf", sc.Th.Cnf.String()
+			case sc.Th.CheckCvr:
+				ix, bound = "cvr", sc.Th.Cvr.String()
+			case sc.Th.CheckSup:
+				bound = sc.Th.Sup.String()
+			}
+			search = map[string]any{
+				"db": db, "query": sc.MQ.String(), "type": int(sc.Type),
+				"index": ix, "k": bound,
+			}
+		}
+		blob, err := json.Marshal(search)
+		if err != nil {
+			return nil, err
+		}
+		rq.body = blob
+		reqs = append(reqs, rq)
+	}
+	return reqs, nil
+}
+
+// inlineDB renders a relation.Database as the /v1/db inline-JSON load
+// document.
+func inlineDB(db *relation.Database) map[string]any {
+	rels := make([]map[string]any, 0, db.NumRelations())
+	for _, name := range db.RelationNames() {
+		r := db.Relation(name)
+		tuples := make([][]string, 0, r.Len())
+		for _, t := range r.Tuples() {
+			row := make([]string, len(t))
+			for i, v := range t {
+				row[i] = db.Dict().Name(v)
+			}
+			tuples = append(tuples, row)
+		}
+		rels = append(rels, map[string]any{"name": name, "arity": r.Arity(), "tuples": tuples})
+	}
+	return map[string]any{"relations": rels}
+}
+
+func postOK(ctx context.Context, url string, body []byte) error {
+	req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(out))
+	}
+	return nil
+}
+
+// cacheCounters reads the server's prepared-cache hit/miss counters from
+// /v1/stats (best-effort: a live server without the endpoint just drops
+// the note).
+func cacheCounters(ctx context.Context, base string) (hits, misses uint64, ok bool) {
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/v1/stats", nil)
+	if err != nil {
+		return 0, 0, false
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, 0, false
+	}
+	defer resp.Body.Close()
+	var st struct {
+		CacheHits   uint64 `json:"cache_hits"`
+		CacheMisses uint64 `json:"cache_misses"`
+	}
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return 0, 0, false
+	}
+	return st.CacheHits, st.CacheMisses, true
+}
+
+func percentile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1e3)
+}

@@ -1,0 +1,277 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/engine"
+	"github.com/mqgo/metaquery/internal/gen"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// slowScenario builds a database and cyclic type-1 metaquery big enough
+// that the full search takes many milliseconds: the deadline and
+// disconnect tests need a search that cannot finish instantly.
+func slowScenario(t *testing.T) (*relation.Database, *core.Metaquery) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	db := gen.DBConfig{Relations: 3, MinArity: 2, MaxArity: 2, MinTuples: 90, MaxTuples: 90, Domain: 9}.Generate(rng)
+	mq, err := gen.MQConfig{BodyPatterns: 3, PatternArity: 2, Cyclic: true}.Generate(rng, db)
+	if err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	return db, mq
+}
+
+func TestMalformedJSONIs400(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.LoadDatabase("fig1", figure1DB())
+
+	for _, path := range []string{"/v1/query", "/v1/decide", "/v1/stream", "/v1/db/x"} {
+		for _, body := range []string{"{not json", `"a string"`, `{"db": 7}`, `{"unknown_knob": true}`} {
+			resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatalf("POST %s: %v", path, err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("POST %s with %q: status %d, want 400", path, body, resp.StatusCode)
+			}
+		}
+	}
+}
+
+func TestUnknownDatabaseIs404(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, path := range []string{"/v1/query", "/v1/stream"} {
+		code, body := postJSON(t, ts.URL+path, searchRequest{DB: "nope", Query: "R(X) <- P(X)", Type: 0})
+		if code != http.StatusNotFound {
+			t.Errorf("%s: status %d (%s), want 404", path, code, body)
+		}
+	}
+	code, body := postJSON(t, ts.URL+"/v1/decide", decideRequest{DB: "nope", Query: "R(X) <- P(X)", Index: "sup"})
+	if code != http.StatusNotFound {
+		t.Errorf("/v1/decide: status %d (%s), want 404", code, body)
+	}
+}
+
+func TestInvalidParametersAre400(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.LoadDatabase("fig1", figure1DB())
+
+	cases := []struct {
+		path string
+		body any
+	}{
+		{"/v1/query", searchRequest{DB: "fig1", Query: "", Type: 0}},
+		{"/v1/query", searchRequest{DB: "fig1", Query: "R(X) <- P(X)", Type: 9}},
+		{"/v1/query", searchRequest{DB: "fig1", Query: "not a metaquery"}},
+		{"/v1/query", searchRequest{DB: "fig1", Query: "R(X) <- P(X)", MinSup: "bogus"}},
+		{"/v1/query", searchRequest{DB: "fig1", Query: "R(X) <- P(X)", Limit: -1}},
+		{"/v1/decide", decideRequest{DB: "fig1", Query: "R(X) <- P(X)", Index: "nope"}},
+		{"/v1/decide", decideRequest{DB: "fig1", Query: "R(X) <- P(X)", Index: "sup", K: "x/y"}},
+		{"/v1/decide", decideRequest{DB: "fig1", Query: "R(X) <- P(X)", Index: "sup", Workers: -2}},
+		{"/v1/db/x", jsonDatabase{}},
+		{"/v1/db/x", jsonDatabase{Dir: "/no/such/dir", Relations: []jsonRelation{{Name: "r", Arity: 1}}}},
+		{"/v1/db/x", jsonDatabase{Relations: []jsonRelation{{Name: "r", Arity: 2, Tuples: [][]string{{"one"}}}}}},
+	}
+	for _, c := range cases {
+		code, body := postJSON(t, ts.URL+c.path, c.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s %+v: status %d (%s), want 400", c.path, c.body, code, body)
+		}
+	}
+}
+
+func TestQueryDeadlineIs504(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	db, mq := slowScenario(t)
+	s.LoadDatabase("slow", db)
+
+	code, body := postJSON(t, ts.URL+"/v1/query", searchRequest{
+		DB: "slow", Query: mq.String(), Type: 1, TimeoutMS: 1,
+	})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (%s), want 504", code, body)
+	}
+	if st := s.Stats(); st.DeadlineHits != 1 {
+		t.Fatalf("deadline metric: %+v", st)
+	}
+}
+
+// TestStreamDeadlineTruncates exercises a deadline firing mid-stream: the
+// NDJSON output is truncated but still ends with a parseable trailer line
+// reporting deadline_exceeded and the row count actually delivered.
+func TestStreamDeadlineTruncates(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	db, mq := slowScenario(t)
+	s.LoadDatabase("slow", db)
+
+	code, body := postJSON(t, ts.URL+"/v1/stream", searchRequest{
+		DB: "slow", Query: mq.String(), Type: 1, TimeoutMS: 5,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	rows, trailer := parseNDJSON(t, body)
+	if trailer.Status != "deadline_exceeded" {
+		t.Fatalf("trailer status %q, want deadline_exceeded (%d rows)", trailer.Status, len(rows))
+	}
+	if trailer.Answers != len(rows) {
+		t.Fatalf("trailer answers %d != %d delivered rows", trailer.Answers, len(rows))
+	}
+	st := s.Stats()
+	if st.StreamsCut != 1 || st.DeadlineHits != 1 {
+		t.Fatalf("metrics after cut stream: %+v", st)
+	}
+}
+
+// TestSaturationSheds429 covers admission control: with zero slots every
+// search is shed with 429 + Retry-After; with one slot a holding request
+// saturates the server for exactly as long as it runs.
+func TestSaturationSheds429(t *testing.T) {
+	t.Run("zero-slots", func(t *testing.T) {
+		s, ts := newTestServer(t, Config{MaxInFlight: -1})
+		s.LoadDatabase("fig1", figure1DB())
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+			strings.NewReader(`{"db":"fig1","query":"R(X) <- P(X)"}`))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("status %d, want 429", resp.StatusCode)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "1" {
+			t.Fatalf("Retry-After %q, want \"1\"", ra)
+		}
+		var e errorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+			t.Fatalf("429 body not a JSON error: %v %+v", err, e)
+		}
+		if st := s.Stats(); st.Rejected != 1 {
+			t.Fatalf("rejected metric: %+v", st)
+		}
+	})
+
+	t.Run("one-slot-held", func(t *testing.T) {
+		s, ts := newTestServer(t, Config{MaxInFlight: 1})
+		s.LoadDatabase("fig1", figure1DB())
+		release := make(chan struct{})
+		holding := make(chan struct{})
+		var once bool
+		s.holdSearch = func() {
+			if !once {
+				once = true
+				close(holding)
+				<-release
+			}
+		}
+		firstDone := make(chan int, 1)
+		go func() {
+			code, _, _ := postJSONErr(ts.URL+"/v1/query", searchRequest{DB: "fig1", Query: "R(X,Y) <- P(X,Y)"})
+			firstDone <- code
+		}()
+		<-holding // the only slot is now held
+
+		code, _ := postJSON(t, ts.URL+"/v1/query", searchRequest{DB: "fig1", Query: "R(X,Y) <- P(X,Y)"})
+		if code != http.StatusTooManyRequests {
+			t.Fatalf("second request: status %d, want 429", code)
+		}
+		close(release)
+		if code := <-firstDone; code != http.StatusOK {
+			t.Fatalf("held request: status %d, want 200", code)
+		}
+		// The slot is free again: a third request is admitted.
+		code, _ = postJSON(t, ts.URL+"/v1/query", searchRequest{DB: "fig1", Query: "R(X,Y) <- P(X,Y)"})
+		if code != http.StatusOK {
+			t.Fatalf("post-release request: status %d, want 200", code)
+		}
+	})
+}
+
+// TestStreamClientDisconnectCancelsSearch proves a mid-stream client
+// disconnect aborts the server-side search: the stream's StreamStats show
+// a context.Canceled search that explored strictly less than the full
+// space.
+func TestStreamClientDisconnectCancelsSearch(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	db, mq := slowScenario(t)
+	s.LoadDatabase("slow", db)
+
+	// Ground truth: the full answer count, from the library path.
+	prep, err := engine.NewEngine(db).Prepare(mq, engine.Options{Type: core.Type1})
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	full, err := prep.FindRules(context.Background())
+	if err != nil {
+		t.Fatalf("find: %v", err)
+	}
+	if len(full) < 10 {
+		t.Fatalf("scenario too small to interrupt: %d answers", len(full))
+	}
+
+	firstRow := make(chan struct{})
+	proceed := make(chan struct{})
+	type doneInfo struct {
+		st  engine.Stats
+		err error
+	}
+	done := make(chan doneInfo, 1)
+	s.streamSent = func(n int) {
+		if n == 1 {
+			close(firstRow)
+			<-proceed
+		}
+	}
+	s.streamDone = func(st *engine.Stats, err error) {
+		done <- doneInfo{*st, err}
+	}
+
+	blob, _ := json.Marshal(searchRequest{DB: "slow", Query: mq.String(), Type: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/stream", bytes.NewReader(blob))
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+
+	// Read the first streamed row, then vanish: cancel closes the
+	// connection, and only then is the handler allowed to continue.
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatalf("reading first row: %v", err)
+	}
+	<-firstRow
+	cancel()
+	close(proceed)
+
+	info := <-done
+	if !errors.Is(info.err, context.Canceled) {
+		t.Fatalf("stream error = %v, want context.Canceled", info.err)
+	}
+	if info.st.Answers >= len(full) {
+		t.Fatalf("search ran to completion despite disconnect: %d answers (full set %d)", info.st.Answers, len(full))
+	}
+	deadlineOrCut := func() bool {
+		return s.Stats().StreamsCut == 1
+	}
+	for i := 0; i < 100 && !deadlineOrCut(); i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if st := s.Stats(); st.StreamsCut != 1 {
+		t.Fatalf("streamsCut metric: %+v", st)
+	}
+}

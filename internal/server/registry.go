@@ -1,0 +1,137 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/engine"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// database is one named registry entry: a shared Engine over an immutable
+// database snapshot plus the prepared-metaquery cache riding on it. All
+// requests naming the database share both.
+type database struct {
+	name string
+	eng  *engine.Engine
+	prep *prepCache
+}
+
+// registry maps database names to their engines. Loading a name that
+// already exists atomically replaces the engine and discards the prepared
+// cache (the old engine stays valid for requests already holding it — an
+// Engine snapshots its database — so replacement never disturbs in-flight
+// searches).
+type registry struct {
+	mu  sync.RWMutex
+	dbs map[string]*database
+}
+
+func newRegistry() *registry {
+	return &registry{dbs: make(map[string]*database)}
+}
+
+func (r *registry) get(name string) (*database, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.dbs[name]
+	return d, ok
+}
+
+func (r *registry) put(name string, eng *engine.Engine, cacheSize int) *database {
+	d := &database{name: name, eng: eng, prep: newPrepCache(cacheSize)}
+	r.mu.Lock()
+	r.dbs[name] = d
+	r.mu.Unlock()
+	return d
+}
+
+func (r *registry) names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.dbs))
+	for name := range r.dbs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadDir loads every *.csv file under dir as a relation and registers the
+// resulting database (and a fresh Engine over it) under name.
+func (s *Server) LoadDir(name, dir string) error {
+	db, err := relation.LoadCSVDir(dir)
+	if err != nil {
+		return err
+	}
+	s.LoadDatabase(name, db)
+	return nil
+}
+
+// LoadDatabase registers db under name, replacing any previous engine of
+// that name. The server takes ownership of db: it must not be modified
+// afterwards (the Engine snapshots it at construction).
+func (s *Server) LoadDatabase(name string, db *relation.Database) {
+	s.reg.put(name, engine.NewEngine(db), s.cfg.PrepCacheSize)
+	s.metrics.dbLoads.Add(1)
+}
+
+// prepared resolves the Prepared for (db, mq, opt) through the database's
+// LRU cache: a hit skips validation and decomposition and reuses the
+// warm node-join cache; a miss prepares and inserts. The bool reports
+// whether it was a hit.
+func (s *Server) prepared(d *database, mq *core.Metaquery, opt engine.Options) (*engine.Prepared, bool, error) {
+	key := prepKey(mq, opt)
+	if p, ok := d.prep.get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		return p, true, nil
+	}
+	p, err := d.eng.Prepare(mq, opt)
+	if err != nil {
+		return nil, false, err
+	}
+	s.metrics.cacheMisses.Add(1)
+	return d.prep.add(key, p), false, nil
+}
+
+// jsonDatabase is the wire form of an inline database load: either a
+// server-side CSV directory or the relations spelled out.
+type jsonDatabase struct {
+	// Dir, when set, loads every *.csv under the server-side directory.
+	Dir string `json:"dir,omitempty"`
+	// Relations, when Dir is empty, define the database inline.
+	Relations []jsonRelation `json:"relations,omitempty"`
+}
+
+type jsonRelation struct {
+	Name   string     `json:"name"`
+	Arity  int        `json:"arity"`
+	Tuples [][]string `json:"tuples"`
+}
+
+// build materializes the wire form into a relation.Database.
+func (j *jsonDatabase) build() (*relation.Database, error) {
+	if j.Dir != "" {
+		if len(j.Relations) > 0 {
+			return nil, fmt.Errorf("specify dir or relations, not both")
+		}
+		return relation.LoadCSVDir(j.Dir)
+	}
+	if len(j.Relations) == 0 {
+		return nil, fmt.Errorf("database needs a dir or at least one relation")
+	}
+	db := relation.NewDatabase()
+	for _, rel := range j.Relations {
+		if _, err := db.AddRelation(rel.Name, rel.Arity); err != nil {
+			return nil, err
+		}
+		for _, row := range rel.Tuples {
+			if err := db.InsertNamed(rel.Name, row...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}

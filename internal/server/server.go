@@ -1,0 +1,210 @@
+// Package server is the metaquery server behind cmd/mqserve: it exposes a
+// registry of named databases — each backed by one shared, concurrency-safe
+// Engine — over HTTP/JSON, with a prepared-metaquery LRU cache keyed by
+// variable-renaming-invariant query shape, per-request deadlines riding the
+// engine's context plumbing, bounded-concurrency admission control (429 +
+// Retry-After on saturation), and streamed NDJSON answers backed by
+// Prepared.Stream with flush-per-row and client-disconnect cancellation.
+//
+// Endpoints:
+//
+//	POST /v1/query     full sorted answers as one JSON document
+//	POST /v1/decide    first-witness YES/NO for one index bound
+//	POST /v1/stream    answers as NDJSON rows + a trailer status line
+//	POST /v1/db/{name} load or replace a named database (CSV dir or inline)
+//	GET  /v1/db        list the registered databases
+//	GET  /v1/stats     machine-readable server/cache/engine statistics
+//	GET  /debug        the same statistics as human-readable text
+//
+// The decision and enumeration handlers run the exact same Prepared paths
+// internal/diff verifies against the brute-force oracle; the server adds
+// transport, admission and caching but no query semantics of its own.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"github.com/mqgo/metaquery/internal/engine"
+)
+
+// Config carries the admission-control and caching knobs of a Server.
+// The zero value is usable: every field has a default.
+type Config struct {
+	// MaxInFlight bounds the number of concurrently executing search
+	// requests (query, decide and stream combined). Requests beyond the
+	// bound are rejected with 429 and a Retry-After header rather than
+	// queued, so saturation sheds load instead of growing latency.
+	// Default 64. Negative means 0 (reject everything; useful in tests).
+	MaxInFlight int
+	// DefaultTimeout is the per-request search deadline applied when the
+	// request names none. Default 10s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested deadlines. Default 2m.
+	MaxTimeout time.Duration
+	// MaxRequestBytes caps request body sizes. Default 16 MiB (inline
+	// database loads are the big ones).
+	MaxRequestBytes int64
+	// PrepCacheSize is the per-database prepared-metaquery LRU capacity.
+	// Default 256.
+	PrepCacheSize int
+	// RetryAfter is the value of the Retry-After header on 429 responses,
+	// in seconds. Default 1.
+	RetryAfter int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 64
+	}
+	if c.MaxInFlight < 0 {
+		c.MaxInFlight = 0
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 16 << 20
+	}
+	if c.PrepCacheSize <= 0 {
+		c.PrepCacheSize = 256
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 1
+	}
+	return c
+}
+
+// metrics are the server's cumulative counters, all updated atomically and
+// reported by /v1/stats and /debug.
+type metrics struct {
+	queries     atomic.Uint64 // /v1/query requests admitted
+	decisions   atomic.Uint64 // /v1/decide requests admitted
+	streams     atomic.Uint64 // /v1/stream requests admitted
+	rejected    atomic.Uint64 // 429 responses (semaphore saturated)
+	inFlight    atomic.Int64  // currently executing search requests
+	dbLoads     atomic.Uint64 // databases loaded or replaced
+	cacheHits   atomic.Uint64 // prepared-cache hits across all databases
+	cacheMisses atomic.Uint64 // prepared-cache misses across all databases
+
+	streamRows    atomic.Uint64 // NDJSON answer rows written
+	streamsCut    atomic.Uint64 // streams ended early by disconnect/deadline
+	deadlineHits  atomic.Uint64 // requests ended by their deadline
+	answersServed atomic.Uint64 // answers returned by /v1/query
+}
+
+// Server is the metaquery HTTP server state: the named-database registry,
+// the admission semaphore and the metrics. Construct with New, register
+// databases with LoadDir/LoadDatabase, and mount Handler on an
+// http.Server.
+type Server struct {
+	cfg     Config
+	reg     *registry
+	sem     chan struct{}
+	mux     *http.ServeMux
+	metrics metrics
+
+	// Test hooks (nil outside tests): holdSearch blocks while a semaphore
+	// slot is held, making saturation deterministic; streamSent observes
+	// (and may block after) each written NDJSON row, making mid-stream
+	// disconnects deterministic; streamDone observes each stream's final
+	// search counters and error.
+	holdSearch func()
+	streamSent func(n int)
+	streamDone func(st *engine.Stats, err error)
+}
+
+// New builds a Server with no databases registered.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		reg: newRegistry(),
+		sem: make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/query", s.admitted(s.handleQuery, &s.metrics.queries))
+	s.mux.HandleFunc("POST /v1/decide", s.admitted(s.handleDecide, &s.metrics.decisions))
+	s.mux.HandleFunc("POST /v1/stream", s.admitted(s.handleStream, &s.metrics.streams))
+	s.mux.HandleFunc("POST /v1/db/{name}", s.handleLoadDB)
+	s.mux.HandleFunc("GET /v1/db", s.handleListDB)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /debug", s.handleDebug)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Config returns the effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// admitted wraps a search handler with the bounded-concurrency semaphore:
+// a free slot admits the request (counted in reqs and inFlight for the
+// duration), a full semaphore answers 429 with Retry-After immediately.
+func (s *Server) admitted(h http.HandlerFunc, reqs *atomic.Uint64) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.metrics.rejected.Add(1)
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", s.cfg.RetryAfter))
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("server saturated (%d searches in flight); retry later", s.cfg.MaxInFlight))
+			return
+		}
+		reqs.Add(1)
+		s.metrics.inFlight.Add(1)
+		defer func() {
+			s.metrics.inFlight.Add(-1)
+			<-s.sem
+		}()
+		if s.holdSearch != nil {
+			s.holdSearch()
+		}
+		h(w, r)
+	}
+}
+
+// errorResponse is the JSON body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	encode(w, errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	encode(w, v)
+}
+
+// encode writes v as JSON without HTML escaping: rule strings contain
+// "<-" and must stay readable in responses and NDJSON rows.
+func encode(w io.Writer, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+// decodeBody decodes the request body as JSON into v, bounded by the
+// configured body cap. Malformed JSON (and unknown fields, which are
+// almost always client typos of an admission knob) is a client error.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}

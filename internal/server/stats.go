@@ -1,0 +1,105 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Stats is a point-in-time snapshot of the server's cumulative counters
+// and the per-database registry state: the observability surface behind
+// GET /v1/stats (JSON) and GET /debug (text).
+type Stats struct {
+	InFlight    int64 `json:"in_flight"`
+	MaxInFlight int   `json:"max_in_flight"`
+
+	Queries   uint64 `json:"queries"`
+	Decisions uint64 `json:"decisions"`
+	Streams   uint64 `json:"streams"`
+	Rejected  uint64 `json:"rejected"`
+	DBLoads   uint64 `json:"db_loads"`
+
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	StreamRows    uint64 `json:"stream_rows"`
+	StreamsCut    uint64 `json:"streams_cut"`
+	DeadlineHits  uint64 `json:"deadline_hits"`
+	AnswersServed uint64 `json:"answers_served"`
+
+	Databases []DBStats `json:"databases"`
+}
+
+// DBStats reports one registered database and its prepared-cache counters.
+type DBStats struct {
+	Name      string     `json:"name"`
+	Relations int        `json:"relations"`
+	Tuples    int        `json:"tuples"`
+	PrepCache cacheStats `json:"prep_cache"`
+}
+
+// Stats snapshots the server counters and registry.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		InFlight:      s.metrics.inFlight.Load(),
+		MaxInFlight:   s.cfg.MaxInFlight,
+		Queries:       s.metrics.queries.Load(),
+		Decisions:     s.metrics.decisions.Load(),
+		Streams:       s.metrics.streams.Load(),
+		Rejected:      s.metrics.rejected.Load(),
+		DBLoads:       s.metrics.dbLoads.Load(),
+		CacheHits:     s.metrics.cacheHits.Load(),
+		CacheMisses:   s.metrics.cacheMisses.Load(),
+		StreamRows:    s.metrics.streamRows.Load(),
+		StreamsCut:    s.metrics.streamsCut.Load(),
+		DeadlineHits:  s.metrics.deadlineHits.Load(),
+		AnswersServed: s.metrics.answersServed.Load(),
+	}
+	if total := st.CacheHits + st.CacheMisses; total > 0 {
+		st.CacheHitRate = float64(st.CacheHits) / float64(total)
+	}
+	for _, name := range s.reg.names() {
+		d, ok := s.reg.get(name)
+		if !ok {
+			continue
+		}
+		db := d.eng.Database()
+		st.Databases = append(st.Databases, DBStats{
+			Name:      name,
+			Relations: db.NumRelations(),
+			Tuples:    db.Size(),
+			PrepCache: d.prep.stats(),
+		})
+	}
+	return st
+}
+
+// handleStats answers GET /v1/stats with the JSON snapshot.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+// handleDebug answers GET /debug with the same snapshot as aligned text,
+// for eyeballing a live server with curl.
+func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "mqserve status\n")
+	fmt.Fprintf(&b, "  in_flight       %d / %d\n", st.InFlight, st.MaxInFlight)
+	fmt.Fprintf(&b, "  queries         %d\n", st.Queries)
+	fmt.Fprintf(&b, "  decisions       %d\n", st.Decisions)
+	fmt.Fprintf(&b, "  streams         %d (rows %d, cut %d)\n", st.Streams, st.StreamRows, st.StreamsCut)
+	fmt.Fprintf(&b, "  rejected (429)  %d\n", st.Rejected)
+	fmt.Fprintf(&b, "  deadline hits   %d\n", st.DeadlineHits)
+	fmt.Fprintf(&b, "  answers served  %d\n", st.AnswersServed)
+	fmt.Fprintf(&b, "  prep cache      %d hits / %d misses (rate %.3f)\n", st.CacheHits, st.CacheMisses, st.CacheHitRate)
+	fmt.Fprintf(&b, "  databases       %d (loads %d)\n", len(st.Databases), st.DBLoads)
+	for _, d := range st.Databases {
+		fmt.Fprintf(&b, "    %-16s %d relations, %d tuples; cache %d/%d (h%d m%d e%d)\n",
+			d.Name, d.Relations, d.Tuples,
+			d.PrepCache.Size, d.PrepCache.Capacity, d.PrepCache.Hits, d.PrepCache.Misses, d.PrepCache.Evictions)
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}
