@@ -46,6 +46,30 @@ type orderBuf struct {
 
 var orderScratch = sync.Pool{New: func() any { return new(orderBuf) }}
 
+// joinBuf is the pooled input staging of one JoinOrdered call: the per-atom
+// tables and schemas handed to the compiled plan. Neither slice is retained
+// by the plan cache or by Run (plans copy what they keep), so the buffers
+// are safe to recycle the moment the join returns.
+type joinBuf struct {
+	tables  []*relation.Table
+	schemas [][]string
+}
+
+var joinScratch = sync.Pool{New: func() any { return new(joinBuf) }}
+
+// put returns the buffer to the pool with its table references scrubbed, so
+// pooled buffers never pin arenas.
+func (b *joinBuf) put(tables []*relation.Table, schemas [][]string) {
+	for i := range tables {
+		tables[i] = nil
+	}
+	for i := range schemas {
+		schemas[i] = nil
+	}
+	b.tables, b.schemas = tables[:0], schemas[:0]
+	joinScratch.Put(b)
+}
+
 // NewEvaluator returns an empty-cached evaluator over db, without
 // cardinality statistics (joins use the shape-greedy compiled order).
 func NewEvaluator(db *relation.Database) *Evaluator {
@@ -153,8 +177,13 @@ func (ev *Evaluator) JoinOrdered(atoms []relation.Atom, costBased bool) (*relati
 		return relation.Unit(), nil
 	}
 	costBased = costBased && ev.st != nil && len(atoms) > 2
-	tables := make([]*relation.Table, len(atoms))
-	schemas := make([][]string, len(atoms))
+
+	// Pooled input staging: the table and schema slices live only for this
+	// call (plans copy what they keep), so they come from a pool instead of
+	// two fresh allocations per join.
+	buf := joinScratch.Get().(*joinBuf)
+	tables := buf.tables[:0]
+	schemas := buf.schemas[:0]
 
 	// Pooled planning scratch: order planning itself must not allocate on
 	// this per-join path (the DP tables are already stack-allocated inside
@@ -174,10 +203,11 @@ func (ev *Evaluator) JoinOrdered(atoms []relation.Atom, costBased bool) (*relati
 		k := a.String()
 		t, err := ev.tableForKey(k, a)
 		if err != nil {
+			buf.put(tables, schemas)
 			return nil, err
 		}
-		tables[i] = t
-		schemas[i] = t.Vars()
+		tables = append(tables, t)
+		schemas = append(schemas, t.Vars())
 		if costBased {
 			// One key build serves both the table and the estimate cache.
 			in[i] = ev.atomEstKey(k, a).WithRows(float64(t.Len()))
@@ -186,10 +216,14 @@ func (ev *Evaluator) JoinOrdered(atoms []relation.Atom, costBased bool) (*relati
 	if !costBased {
 		// With two inputs the order is irrelevant (the join hashes the
 		// smaller side), so the shape plan is already optimal.
-		return ev.plans.For(schemas).Run(tables)
+		t, err := ev.plans.For(schemas).Run(tables)
+		buf.put(tables, schemas)
+		return t, err
 	}
 	order := stats.OrderInto(in, ord)
-	return ev.plans.ForOrder(schemas, order).Run(tables)
+	t, err := ev.plans.ForOrder(schemas, order).Run(tables)
+	buf.put(tables, schemas)
+	return t, err
 }
 
 // Fraction computes R ↑ S of Definition 2.6 (see the package-level Fraction)

@@ -1,8 +1,9 @@
 // Package diff is the differential oracle harness: it runs one generated
 // scenario (internal/gen) through every execution path of the repo — the
 // naive enumerator, the findRules engine under both the cost-based and
-// the greedy join planner, the Prepared/Stream session API, and the
-// sequential, parallel and first-witness (sequential and partitioned)
+// the greedy join planner, the Prepared/Stream session API (sequential
+// and worker-pool parallel), and the sequential, parallel and
+// first-witness (sequential and partitioned)
 // deciders — and checks each against the transparent brute-force oracle
 // (internal/oracle), rat-exact and order-insensitive. A disagreement anywhere is a bug in one of the
 // production paths (or, symmetrically, in the oracle), and is reported as a
@@ -34,9 +35,9 @@ import (
 type Mismatch struct {
 	Scenario *gen.Scenario
 	// Path names the execution path that disagreed: "naive", "engine",
-	// "engine-greedy", "stream", "stream-rerun", "decide",
-	// "decide-parallel", "engine-decide", "decide-first",
-	// "decide-first-parallel", "witness".
+	// "engine-greedy", "stream", "stream-rerun", "stream-parallel",
+	// "findrules-parallel", "decide", "decide-parallel", "engine-decide",
+	// "decide-first", "decide-first-parallel", "witness".
 	Path string
 	// Detail is a human-readable description of the divergence.
 	Detail string
@@ -203,18 +204,42 @@ func Run(s *gen.Scenario) (*Mismatch, error) {
 		}
 	}
 
+	// Path 4: parallel enumeration — Stream and FindRules on a Prepared
+	// with a seeded worker count (2–5). The merged stream's order is
+	// nondeterministic, so the comparison is the same order-insensitive
+	// multiset every other path uses; FindRules sorts, and must agree too.
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x5eed))
+	parWorkers := 2 + rng.Intn(4)
+	prepPar, err := eng.Prepare(s.MQ, engine.Options{Type: s.Type, Thresholds: s.Th, Workers: parWorkers})
+	if err != nil {
+		return nil, fmt.Errorf("prepare-parallel: %w", err)
+	}
+	var parStreamed []core.Answer
+	for a, serr := range prepPar.Stream(ctx) {
+		if serr != nil {
+			return nil, fmt.Errorf("stream-parallel: %w", serr)
+		}
+		parStreamed = append(parStreamed, a)
+	}
+	if d := diffSets(answerSet(coreKeys(parStreamed)), wantSet); d != "" {
+		return &Mismatch{Scenario: s, Path: "stream-parallel",
+			Detail: fmt.Sprintf("workers=%d: %s", parWorkers, d)}, nil
+	}
+	parFull, err := prepPar.FindRules(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("findrules-parallel: %w", err)
+	}
+	if d := diffSets(answerSet(coreKeys(parFull)), wantSet); d != "" {
+		return &Mismatch{Scenario: s, Path: "findrules-parallel",
+			Detail: fmt.Sprintf("workers=%d: %s", parWorkers, d)}, nil
+	}
+
 	// Decision problems: for every index, derive bounds that flip the
 	// verdict — 0 (YES iff the max index is positive) and the exact max
 	// (always NO under the strict comparison) — and check the sequential
 	// decider, the parallel decider (seeded worker count) and the
 	// engine-backed decider against the oracle's verdict, plus every
 	// returned witness against the oracle's index values.
-	rng := rand.New(rand.NewSource(s.Seed ^ 0x5eed))
-	parWorkers := 2 + rng.Intn(4)
-	prepPar, err := eng.Prepare(s.MQ, engine.Options{Type: s.Type, Workers: parWorkers})
-	if err != nil {
-		return nil, fmt.Errorf("prepare-parallel: %w", err)
-	}
 	for _, ix := range core.AllIndices {
 		maxV := maxes[ix]
 		bounds := []rat.Rat{rat.Zero, maxV}

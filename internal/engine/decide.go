@@ -64,6 +64,7 @@ func (p *Prepared) decideFirstSeq(ctx context.Context, ix core.Index, k rat.Rat,
 	opt.Thresholds = core.SingleIndex(ix, k)
 	opt.Limit = 0 // unused here: the decision run terminates via errFound
 	r := p.newRunOpt(ctx, opt)
+	defer r.release()
 	r.order = p.decideOrder()
 	r.restrict = restrict
 
@@ -223,7 +224,7 @@ func (d *decider) onBody(b *body) error {
 			if bj.Empty() {
 				return rat.Zero
 			}
-			num := bj.SemijoinCount(h)
+			num := bj.SemijoinCountS(h, r.sc)
 			if num == 0 {
 				return rat.Zero
 			}
@@ -231,11 +232,13 @@ func (d *decider) onBody(b *body) error {
 		})
 	default: // core.Cvr
 		return d.headSearch(b, func(bj, h *relation.Table) rat.Rat {
-			hPrime := h.Semijoin(bj)
-			if hPrime.Len() == 0 {
+			hPrime := h.SemijoinS(bj, r.sc)
+			n := hPrime.Len()
+			r.sc.Release(hPrime)
+			if n == 0 {
 				return rat.Zero
 			}
-			return rat.New(int64(hPrime.Len()), int64(h.Len()))
+			return rat.New(int64(n), int64(h.Len()))
 		})
 	}
 }
@@ -245,12 +248,11 @@ func (d *decider) onBody(b *body) error {
 // at the first candidate exceeding k.
 func (d *decider) headSearch(b *body, value func(bj, h *relation.Table) rat.Rat) error {
 	r := d.run
-	bj, err := r.bodyJoin(b.sigma, b.s)
+	bj, bjOwned, err := r.bodyJoin(b.sigma, b.s)
 	if err != nil {
 		return err
 	}
-	head := r.p.mq.Head
-	for _, ha := range r.p.eng.cands.Candidates(head, r.opt.Type, r.p.headPatternIdx) {
+	for _, ha := range r.p.eng.cands.Candidates(r.p.mq.Head, r.opt.Type, r.p.headPatternIdx) {
 		if err := r.ctx.Err(); err != nil {
 			return err
 		}
@@ -266,13 +268,19 @@ func (d *decider) headSearch(b *body, value func(bj, h *relation.Table) rat.Rat)
 			continue
 		}
 		full := b.sigma.Clone()
-		if head.PredVar {
-			if err := full.Assign(head, ha); err != nil {
+		if r.p.mq.Head.PredVar {
+			if err := full.Assign(r.p.mq.Head, ha); err != nil {
 				continue // cannot agree (e.g. conflicting relation)
 			}
 		}
 		d.witness = full
+		if bjOwned {
+			r.sc.Release(bj)
+		}
 		return errFound
+	}
+	if bjOwned {
+		r.sc.Release(bj)
 	}
 	return nil
 }

@@ -63,10 +63,15 @@ type Options struct {
 	// remains the right tool for top-k style enumeration cutoffs.
 	Limit int
 
-	// Workers, when greater than 1, makes DecideFirst partition the first
-	// decomposition node's candidate atoms across this many goroutines
-	// sharing a first-witness cancellation. Enumeration paths (FindRules,
-	// Stream) ignore it. 0 and 1 both mean sequential decision runs.
+	// Workers, when greater than 1, shards the first decomposition node's
+	// candidate atoms across this many goroutines — on every execution
+	// path. DecideFirst workers share a first-witness cancellation;
+	// FindRules and Stream workers each run the body search over one
+	// candidate block and feed a merged result stream (parallel.go), which
+	// makes Stream's answer order nondeterministic (FindRules sorts, so its
+	// result is unchanged). 0 and 1 both mean sequential runs. Queries
+	// whose first node has no pattern scheme (or fewer than two candidate
+	// atoms) always run sequentially.
 	Workers int
 
 	// Ablation switches (all default off = full algorithm). They change

@@ -93,6 +93,7 @@ func (e *Explain) String() string {
 // when the estimate-vs-actual surface is most interesting.
 func (p *Prepared) ExplainRun(ctx context.Context) (*Explain, []core.Answer, error) {
 	r := p.newRun(ctx)
+	defer r.release()
 	ex := p.newExplain(r)
 	r.explain = ex
 

@@ -30,8 +30,9 @@ func (r *run) forEachBodyFraction(sigma *core.Instantiation, s map[int]*relation
 			continue
 		}
 		node := r.p.decomp.CoverNode[id]
-		reduced := s[node.ID].Project(bs.vars)
-		num := ra.SemijoinCount(reduced)
+		reduced := s[node.ID].ProjectS(bs.vars, r.sc)
+		num := ra.SemijoinCountS(reduced, r.sc)
+		r.sc.Release(reduced)
 		if num == 0 {
 			continue
 		}
@@ -79,25 +80,31 @@ func (r *run) supportExceeds(sigma *core.Instantiation, s map[int]*relation.Tabl
 // first. DisableCostPlanner (and engines without statistics) fall back to
 // the size-sorted greedy order, which sees cardinalities but not value
 // distributions.
-func (r *run) bodyJoin(sigma *core.Instantiation, s map[int]*relation.Table) (*relation.Table, error) {
+// The returned owned flag reports whether the result is a run-owned
+// intermediate the caller must hand back through r.sc.Release when done —
+// false exactly when the join degenerated to a shared cached table.
+func (r *run) bodyJoin(sigma *core.Instantiation, s map[int]*relation.Table) (*relation.Table, bool, error) {
 	costBased := r.p.eng.st != nil && !r.opt.DisableCostPlanner && len(r.p.schemes) > 2
-	tables := make([]*relation.Table, 0, len(r.p.schemes))
-	var atoms []relation.Atom
-	if costBased {
-		atoms = make([]relation.Atom, 0, len(r.p.schemes))
-	}
+	tables := r.bjTables[:0]
+	atoms := r.bjAtoms[:0]
+	defer func() {
+		for i := range tables {
+			tables[i] = nil
+		}
+		r.bjTables, r.bjAtoms = tables[:0], atoms[:0]
+	}()
 	for id, bs := range r.p.schemes {
 		atom, err := r.instAtom(bs.scheme, sigma)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		ta, err := r.p.eng.tableFor(atom)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if !r.opt.DisableFullReducer {
 			node := r.p.decomp.CoverNode[id]
-			ta = ta.Semijoin(s[node.ID])
+			ta = ta.SemijoinS(s[node.ID], r.sc)
 		}
 		tables = append(tables, ta)
 		if costBased {
@@ -105,18 +112,34 @@ func (r *run) bodyJoin(sigma *core.Instantiation, s map[int]*relation.Table) (*r
 		}
 	}
 	if len(tables) == 0 {
-		return relation.Unit(), nil
+		return relation.Unit(), false, nil
 	}
+	var b *relation.Table
 	if costBased {
-		in := make([]stats.Est, len(tables))
+		in := r.bjEsts[:0]
 		for i, ta := range tables {
-			in[i] = r.p.eng.ev.AtomEst(atoms[i]).WithRows(float64(ta.Len()))
+			in = append(in, r.p.eng.ev.AtomEst(atoms[i]).WithRows(float64(ta.Len())))
 		}
-		return relation.JoinTablesOrdered(tables, stats.Order(in)), nil
+		r.bjEsts = in[:0]
+		b = relation.JoinTablesOrdered(tables, stats.Order(in))
+	} else {
+		// Size-aware greedy ordering, shared with JoinAtoms and the JoinPlan
+		// skew fallback.
+		b = relation.JoinTablesGreedy(tables)
 	}
-	// Size-aware greedy ordering, shared with JoinAtoms and the JoinPlan
-	// skew fallback.
-	return relation.JoinTablesGreedy(tables), nil
+	if r.opt.DisableFullReducer {
+		// Inputs are shared cached atom tables; with a single input the join
+		// returns the input itself, which the caller must not release.
+		return b, len(tables) > 1, nil
+	}
+	// The semijoined inputs are run-owned; recycle them now — except when
+	// the join returned one of them directly (single-input case).
+	for _, ta := range tables {
+		if ta != b {
+			r.sc.Release(ta)
+		}
+	}
+	return b, true, nil
 }
 
 // headAgrees reports whether head candidate ha agrees with σb in the sense
@@ -163,7 +186,7 @@ func (r *run) findHeads(bd *body) error {
 		return nil
 	}
 
-	b, err := r.bodyJoin(sigma, s)
+	b, bOwned, err := r.bodyJoin(sigma, s)
 	if err != nil {
 		return err
 	}
@@ -183,22 +206,24 @@ func (r *run) findHeads(bd *body) error {
 			return err
 		}
 		// h' := h ⋉ b ; cvr = |h'| / |h|.
-		hPrime := h.Semijoin(b)
+		hPrime := h.SemijoinS(b, r.sc)
 		cvr := rat.Zero
 		if hPrime.Len() > 0 {
 			cvr = rat.New(int64(hPrime.Len()), int64(h.Len()))
 		}
 		if th.CheckCvr && !cvr.Greater(th.Cvr) {
+			r.sc.Release(hPrime)
 			continue
 		}
 		// cnf = |b ⋉ h'| / |b|.
 		cnf := rat.Zero
 		if b.Len() > 0 {
-			num := b.SemijoinCount(hPrime)
+			num := b.SemijoinCountS(hPrime, r.sc)
 			if num > 0 {
 				cnf = rat.New(int64(num), int64(b.Len()))
 			}
 		}
+		r.sc.Release(hPrime)
 		if th.CheckCnf && !cnf.Greater(th.Cnf) {
 			continue
 		}
@@ -220,8 +245,14 @@ func (r *run) findHeads(bd *body) error {
 			Cnf:  cnf,
 			Cvr:  cvr,
 		}); err != nil {
+			if bOwned {
+				r.sc.Release(b)
+			}
 			return err
 		}
+	}
+	if bOwned {
+		r.sc.Release(b)
 	}
 	return nil
 }

@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"context"
+	"sync"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// This file implements parallel enumeration: Options.Workers > 1 shards the
+// first enumeration node's candidate atoms — contiguous blocks of the
+// selectivity-ordered list, the same partition DecideFirst uses — across a
+// worker pool. Each worker drives an independent body search (run.search)
+// over its block through the run.restrict hook and feeds one merged result
+// channel behind Stream/StreamStats/FindRules.
+//
+// Correctness of the partition: the sharded scheme is a pattern scheme of
+// the first node in the visit order, so every complete body assigns it
+// exactly one candidate atom, and it is assigned before any other scheme
+// can pin its predicate variable. Restricting it to a block therefore
+// selects exactly the bodies whose assignment lies in that block: the
+// workers' answer multisets are disjoint by construction and union to the
+// sequential answer multiset. Only the merge order differs.
+
+// streamParallel runs the sharded enumeration, yielding merged answers. It
+// reports false — without yielding anything — when the query has no
+// partitionable scheme (no pattern in the first node, or fewer than two
+// candidates), in which case the caller falls back to the sequential path.
+//
+// The global Limit is enforced by the merge loop; a consumer break, the
+// limit, and outer-context cancellation all cancel the shared worker
+// context, and the loop drains the channel until every worker has exited —
+// no goroutine outlives the iteration.
+func (p *Prepared) streamParallel(ctx context.Context, st *Stats, yield func(core.Answer, error) bool) bool {
+	schemeID, cands := p.partitionScheme(p.order)
+	if schemeID < 0 || len(cands) < 2 {
+		return false
+	}
+	workers := p.opt.Workers
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var local Stats
+	if st == nil {
+		st = &local
+	}
+	*st = Stats{Width: p.decomp.Width, Nodes: len(p.order)}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan core.Answer, 4*workers)
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		// Contiguous blocks of the selectivity-ordered list: every worker
+		// starts with its cheapest candidates.
+		lo, hi := w*len(cands)/workers, (w+1)*len(cands)/workers
+		wg.Add(1)
+		go func(block []relation.Atom) {
+			defer wg.Done()
+			opt := p.opt
+			opt.Limit = 0 // the merge loop enforces the global limit
+			r := p.newRunOpt(wctx, opt)
+			defer r.release()
+			r.restrict = map[int][]relation.Atom{schemeID: block}
+			r.emit = func(a core.Answer) error {
+				select {
+				case results <- a:
+					return nil
+				case <-wctx.Done():
+					return wctx.Err()
+				}
+			}
+			err := r.search()
+			mu.Lock()
+			defer mu.Unlock()
+			st.merge(r.stats)
+			// A worker stopped by our own cancel (consumer break or limit)
+			// is a normal early exit; an outer-context error is real and is
+			// surfaced in-band after the merge loop.
+			if err != nil && firstErr == nil && (ctx.Err() != nil || wctx.Err() == nil) {
+				firstErr = err
+			}
+		}(cands[lo:hi])
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	emitted, stopped := 0, false
+	for a := range results {
+		if stopped {
+			continue // draining until every worker exits
+		}
+		// Count before yielding: an answer the consumer breaks on was still
+		// delivered, and must show in st.Answers.
+		emitted++
+		mu.Lock()
+		st.Answers = emitted
+		mu.Unlock()
+		if !yield(a, nil) {
+			stopped = true
+			cancel()
+			continue
+		}
+		if p.opt.Limit > 0 && emitted >= p.opt.Limit {
+			stopped = true
+			cancel()
+		}
+	}
+	// The channel is closed: all workers have merged their counters and
+	// exited. Surface the first real failure in-band, sequential-style —
+	// unless the consumer already stopped the iteration itself.
+	if !stopped && firstErr != nil {
+		yield(core.Answer{}, firstErr)
+	}
+	return true
+}
+
+// findRulesParallel is the FindRules adapter over the sharded stream: it
+// collects the merged answers and sorts them, so the result is identical to
+// the sequential run. It reports ok=false when the query has no
+// partitionable scheme.
+func (p *Prepared) findRulesParallel(ctx context.Context) ([]core.Answer, *Stats, bool, error) {
+	st := &Stats{}
+	var answers []core.Answer
+	var streamErr error
+	ran := p.streamParallel(ctx, st, func(a core.Answer, err error) bool {
+		if err != nil {
+			streamErr = err
+			return false
+		}
+		answers = append(answers, a)
+		return true
+	})
+	if !ran {
+		return nil, nil, false, nil
+	}
+	if streamErr != nil {
+		return nil, nil, true, streamErr
+	}
+	core.SortAnswers(answers)
+	st.Answers = len(answers)
+	return answers, st, true, nil
+}
+
+// merge adds o's effort counters into st. Width/Nodes/Answers describe the
+// whole merged execution and are managed by the caller.
+func (st *Stats) merge(o *Stats) {
+	st.BodyCandidatesTried += o.BodyCandidatesTried
+	st.BodiesPrunedEmpty += o.BodiesPrunedEmpty
+	st.BodiesReachedRoot += o.BodiesReachedRoot
+	st.BodiesPrunedSupport += o.BodiesPrunedSupport
+	st.HeadsTried += o.HeadsTried
+	st.HeadsSkipped += o.HeadsSkipped
+}

@@ -120,22 +120,25 @@ func (p *Prepared) Options() Options { return p.opt }
 // Width returns the hypertree width of the decomposition in use.
 func (p *Prepared) Width() int { return p.decomp.Width }
 
-func (p *Prepared) cachedJoin(key string) (*relation.Table, bool) {
+// cachedJoin looks up a node join by its binary key. The string(key)
+// conversion in a map index expression does not allocate, so hits are free.
+func (p *Prepared) cachedJoin(key []byte) (*relation.Table, bool) {
 	p.joinMu.RLock()
-	t, ok := p.joinCache[key]
+	t, ok := p.joinCache[string(key)]
 	p.joinMu.RUnlock()
 	return t, ok
 }
 
 // storeJoin records t under key and returns the canonical cached table
-// (an earlier concurrent writer's, if it lost the race).
-func (p *Prepared) storeJoin(key string, t *relation.Table) *relation.Table {
+// (an earlier concurrent writer's, if it lost the race). The key string is
+// materialized here, on the miss path only.
+func (p *Prepared) storeJoin(key []byte, t *relation.Table) *relation.Table {
 	t = t.Compact() // cached across executions; don't pin the input-sized arena
 	p.joinMu.Lock()
-	if prev, ok := p.joinCache[key]; ok {
+	if prev, ok := p.joinCache[string(key)]; ok {
 		t = prev
 	} else {
-		p.joinCache[key] = t
+		p.joinCache[string(key)] = t
 	}
 	p.joinMu.Unlock()
 	return t
@@ -188,22 +191,33 @@ func (p *Prepared) newRun(ctx context.Context) *run {
 	return p.newRunOpt(ctx, p.opt)
 }
 
+// runPool recycles run values — with their operator scratch (and its
+// recycled table arenas), node-table maps, and staging buffers — across
+// executions of every Prepared, so a warmed-up process runs steady-state
+// searches without allocating per-run state. Runs are returned by
+// run.release, which clears all table and query references first.
+var runPool = sync.Pool{New: func() any { return new(run) }}
+
 // newRunOpt is newRun with the effective options overridden for this
 // execution (DecideFirst swaps in single-index thresholds without
 // re-preparing). Everything option-independent — decomposition, node
-// order, caches — is shared with the Prepared.
+// order, caches — is shared with the Prepared. The returned run must be
+// handed back via run.release when the execution finishes; its Stats are
+// caller-owned and survive the release.
 func (p *Prepared) newRunOpt(ctx context.Context, opt Options) *run {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &run{
-		p:       p,
-		opt:     opt,
-		order:   p.order,
-		ctx:     ctx,
-		stats:   &Stats{Width: p.decomp.Width, Nodes: len(p.order)},
-		rTables: make(map[int]*relation.Table, len(p.order)),
+	r := runPool.Get().(*run)
+	r.p, r.opt, r.order, r.ctx = p, opt, p.order, ctx
+	r.stats = &Stats{Width: p.decomp.Width, Nodes: len(p.order)}
+	if r.rTables == nil {
+		r.rTables = make(map[int]*relation.Table, len(p.order))
 	}
+	if r.sc == nil {
+		r.sc = relation.NewScratch()
+	}
+	return r
 }
 
 // FindRules executes the prepared metaquery, returning every admissible
@@ -215,8 +229,19 @@ func (p *Prepared) FindRules(ctx context.Context) ([]core.Answer, error) {
 }
 
 // FindRulesStats is FindRules returning the execution's search counters.
+//
+// With Options.Workers > 1 the enumeration itself is parallel: the body
+// search is sharded across workers (see Stream) and the merged answers are
+// sorted afterwards, so the result is identical to the sequential run.
 func (p *Prepared) FindRulesStats(ctx context.Context) ([]core.Answer, *Stats, error) {
+	if p.opt.Workers > 1 {
+		if answers, st, ok, err := p.findRulesParallel(ctx); ok {
+			return answers, st, err
+		}
+		// No partitionable scheme: fall through to the sequential run.
+	}
 	r := p.newRun(ctx)
+	defer r.release()
 	var answers []core.Answer
 	r.emit = func(a core.Answer) error {
 		answers = append(answers, a)

@@ -7,6 +7,7 @@ import (
 	"github.com/mqgo/metaquery/internal/core"
 	"github.com/mqgo/metaquery/internal/hypertree"
 	"github.com/mqgo/metaquery/internal/relation"
+	"github.com/mqgo/metaquery/internal/stats"
 )
 
 // This file is the engine's single body-search core: a resumable
@@ -70,6 +71,49 @@ type run struct {
 	// emit receives each discovered answer, in discovery order; set by the
 	// enumeration consumers (FindRules, Stream), unused by DecideFirst.
 	emit func(core.Answer) error
+
+	// sc is the run's operator scratch: the search's semijoins and
+	// projections draw their buffers and output storage from it and hand
+	// run-owned intermediates back through Release, so steady-state
+	// executions approach zero allocations. Scratch-owned tables must never
+	// escape the run (consumers of body clone what they keep).
+	sc *relation.Scratch
+
+	// Reused staging buffers, retained across pooled executions: key and
+	// atoms serve nodeJoin (the cache key is built once into key, so cache
+	// hits allocate nothing); sTables, sOwned and bodyBuf serve yieldBody's
+	// second reducer half; the bj* slices serve bodyJoin's input collection.
+	key      []byte
+	atoms    []relation.Atom
+	sTables  map[int]*relation.Table
+	sOwned   []*relation.Table
+	bodyBuf  body
+	bjTables []*relation.Table
+	bjAtoms  []relation.Atom
+	bjEsts   []stats.Est
+}
+
+// release clears everything table- or query-referencing from the run and
+// returns it to the pool. The Stats escape to callers and are never pooled;
+// the scratch (with its recycled arenas) and the staging buffers are
+// retained, which is what makes repeated executions allocation-free.
+func (r *run) release() {
+	clear(r.rTables)
+	clear(r.sTables)
+	for i := range r.sOwned {
+		r.sOwned[i] = nil
+	}
+	r.sOwned = r.sOwned[:0]
+	for i := range r.bjTables {
+		r.bjTables[i] = nil
+	}
+	r.bjTables = r.bjTables[:0]
+	r.atoms = r.atoms[:0]
+	r.bjAtoms = r.bjAtoms[:0]
+	r.bodyBuf = body{}
+	r.p, r.ctx, r.order, r.stats = nil, nil, nil, nil
+	r.restrict, r.explain, r.onBody, r.emit = nil, nil, nil, nil
+	runPool.Put(r)
 }
 
 // search runs the body search over the whole candidate space, enumerating
@@ -173,12 +217,22 @@ func (r *run) evalNode(node *hypertree.Node, schemeIDs []int, sigma *core.Instan
 	if r.explain != nil {
 		r.explain.observe(node.ID, tab.Len())
 	}
+	// The cached node join is shared across executions; every semijoin below
+	// produces a run-owned intermediate, recycled once the subtree returns.
+	owned := false
 	if !r.opt.DisableFullReducer {
 		for _, c := range node.Children {
-			tab = tab.Semijoin(r.rTables[c.ID])
+			nt := tab.SemijoinS(r.rTables[c.ID], r.sc)
+			if owned {
+				r.sc.Release(tab)
+			}
+			tab, owned = nt, true
 		}
 	}
 	if tab.Empty() && r.anyThresholdChecked() {
+		if owned {
+			r.sc.Release(tab)
+		}
 		r.stats.BodiesPrunedEmpty++
 		return nil
 	}
@@ -190,6 +244,9 @@ func (r *run) evalNode(node *hypertree.Node, schemeIDs []int, sigma *core.Instan
 	} else {
 		delete(r.rTables, node.ID)
 	}
+	if owned {
+		r.sc.Release(tab)
+	}
 	return err
 }
 
@@ -199,16 +256,24 @@ func (r *run) evalNode(node *hypertree.Node, schemeIDs []int, sigma *core.Instan
 // from the shared materialization cache, join order and column bookkeeping
 // from a plan compiled once per atom-set shape.
 func (r *run) nodeJoin(node *hypertree.Node, schemeIDs []int, sigma *core.Instantiation) (*relation.Table, error) {
-	atoms := make([]relation.Atom, 0, len(schemeIDs))
-	key := fmt.Sprintf("n%d|", node.ID)
+	// The cache key is a binary encoding of (node, atom assignment) built
+	// into the run's reused buffer; the map lookup converts it with
+	// string(key), which Go compiles without an allocation, so cache hits —
+	// the steady state — cost no allocation at all. Only a miss materializes
+	// the key string (inside storeJoin's map insert).
+	key := append(r.key[:0], 'n')
+	key = appendKeyUint(key, uint32(node.ID))
+	atoms := r.atoms[:0]
 	for _, id := range schemeIDs {
 		a, err := r.instAtom(r.p.schemes[id].scheme, sigma)
 		if err != nil {
+			r.key, r.atoms = key, atoms
 			return nil, err
 		}
 		atoms = append(atoms, a)
-		key += a.String() + ";"
+		key = appendAtomKey(key, a)
 	}
+	r.key, r.atoms = key, atoms
 	if t, ok := r.p.cachedJoin(key); ok {
 		return t, nil
 	}
@@ -218,6 +283,36 @@ func (r *run) nodeJoin(node *hypertree.Node, schemeIDs []int, sigma *core.Instan
 	}
 	t := j.Project(node.Chi)
 	return r.p.storeJoin(key, t), nil
+}
+
+// appendAtomKey appends an injective binary encoding of a: length-prefixed
+// predicate, term count, then tagged self-delimiting terms. Together with
+// the node-ID prefix (which fixes the atom count) the whole key is uniquely
+// decodable, so distinct assignments never collide.
+func appendAtomKey(key []byte, a relation.Atom) []byte {
+	key = appendKeyUint(key, uint32(len(a.Pred)))
+	key = append(key, a.Pred...)
+	key = appendKeyUint(key, uint32(len(a.Terms)))
+	for _, t := range a.Terms {
+		switch {
+		case t.Var != "":
+			key = append(key, 'v')
+			key = appendKeyUint(key, uint32(len(t.Var)))
+			key = append(key, t.Var...)
+		case t.ConstName != "":
+			key = append(key, 'd')
+			key = appendKeyUint(key, uint32(len(t.ConstName)))
+			key = append(key, t.ConstName...)
+		default:
+			key = append(key, 'c')
+			key = appendKeyUint(key, uint32(t.Const))
+		}
+	}
+	return key
+}
+
+func appendKeyUint(key []byte, v uint32) []byte {
+	return append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 }
 
 // instAtom maps a body scheme through sigma (identity on ordinary atoms).
@@ -238,15 +333,30 @@ func (r *run) instAtom(l core.LiteralScheme, sigma *core.Instantiation) (relatio
 func (r *run) yieldBody(sigma *core.Instantiation) error {
 	r.stats.BodiesReachedRoot++
 
-	// Second half: s[j] := r[j] ⋉ s[parent(j)], top-down.
-	s := make(map[int]*relation.Table, len(r.order))
+	// Second half: s[j] := r[j] ⋉ s[parent(j)], top-down. The map, the
+	// owned-intermediate list and the body value are reused across yields
+	// (the consumer contract already requires cloning anything kept).
+	s := r.sTables
+	if s == nil {
+		s = make(map[int]*relation.Table, len(r.order))
+		r.sTables = s
+	}
+	owned := r.sOwned[:0]
 	for i := len(r.order) - 1; i >= 0; i-- {
 		n := r.order[i]
 		t := r.rTables[n.ID]
 		if !r.opt.DisableFullReducer && n.Parent != nil {
-			t = t.Semijoin(s[n.Parent.ID])
+			t = t.SemijoinS(s[n.Parent.ID], r.sc)
+			owned = append(owned, t)
 		}
 		s[n.ID] = t
 	}
-	return r.onBody(&body{sigma: sigma, s: s})
+	r.bodyBuf.sigma, r.bodyBuf.s = sigma, s
+	err := r.onBody(&r.bodyBuf)
+	for i, t := range owned {
+		r.sc.Release(t)
+		owned[i] = nil
+	}
+	r.sOwned = owned[:0]
+	return err
 }

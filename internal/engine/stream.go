@@ -17,6 +17,13 @@ import (
 // ctx is cancelled, the final pair yielded is (zero Answer, err). A
 // non-positive Options.Limit streams every answer; a positive one ends the
 // stream after Limit answers.
+//
+// With Options.Workers > 1 the candidate space is sharded across that many
+// goroutines feeding one merged stream (see parallel.go). The answer
+// multiset is exactly the sequential one, but the merge order is
+// nondeterministic; consumers needing a stable order sort (as FindRules
+// does) or run with one worker. Breaking out of the loop, hitting Limit,
+// or cancelling ctx stops every worker before the iteration returns.
 func (p *Prepared) Stream(ctx context.Context) iter.Seq2[core.Answer, error] {
 	return p.StreamStats(ctx, nil)
 }
@@ -24,10 +31,15 @@ func (p *Prepared) Stream(ctx context.Context) iter.Seq2[core.Answer, error] {
 // StreamStats is Stream additionally recording the search-effort counters
 // into st (when non-nil) as the search progresses, so an early-exiting
 // consumer can observe how much of the candidate space was actually
-// explored.
+// explored. For workers > 1 the counters are the sums over all workers,
+// merged as each worker finishes.
 func (p *Prepared) StreamStats(ctx context.Context, st *Stats) iter.Seq2[core.Answer, error] {
 	return func(yield func(core.Answer, error) bool) {
+		if p.opt.Workers > 1 && p.streamParallel(ctx, st, yield) {
+			return
+		}
 		r := p.newRun(ctx)
+		defer r.release()
 		if st != nil {
 			*st = *r.stats
 			r.stats = st

@@ -99,6 +99,7 @@ var registry = map[string]Runner{
 	"E21": runE21,
 	"E22": runE22,
 	"E23": runE23,
+	"E24": runE24,
 }
 
 // IDs returns the registered experiment IDs in order.

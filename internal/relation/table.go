@@ -126,16 +126,30 @@ func (t *Table) Clone() *Table {
 // Project returns π_vars(t) with set semantics. Requested variables must be
 // columns of t. The projection preserves the requested column order.
 func (t *Table) Project(vars []string) *Table {
-	pos := make([]int, len(vars))
-	for i, v := range vars {
+	return t.ProjectS(vars, nil)
+}
+
+// ProjectS is Project drawing its position buffer, tuple staging, and
+// output-table storage from sc (see Scratch); nil sc allocates as Project
+// does. The result is owned by the caller and may be handed back through
+// sc.Release once it is no longer referenced.
+func (t *Table) ProjectS(vars []string, sc *Scratch) *Table {
+	var pos []int
+	if sc != nil {
+		pos = sc.posA[:0]
+	}
+	for _, v := range vars {
 		p := t.Pos(v)
 		if p < 0 {
 			panic(fmt.Sprintf("relation: projecting on missing column %q", v))
 		}
-		pos[i] = p
+		pos = append(pos, p)
 	}
-	out := NewTableCap(vars, t.nrows)
-	buf := make(Tuple, len(vars))
+	if sc != nil {
+		sc.posA = pos
+	}
+	out := sc.outTable(vars, t.nrows)
+	buf := sc.tupleBuf(len(vars))
 	for r := 0; r < t.nrows; r++ {
 		row := t.row(r)
 		for i, p := range pos {
@@ -233,7 +247,16 @@ func hashJoin(left, right *Table, leftPos, rightPos, rightExtra []int, outVars [
 // columns appears in u. With no shared columns, the result is t itself if u
 // is non-empty and the empty table otherwise (cartesian semantics).
 func (t *Table) Semijoin(u *Table) *Table {
-	return t.semi(u, true)
+	return t.semi(u, true, nil)
+}
+
+// SemijoinS is Semijoin drawing every transient buffer — shared-column
+// positions, the chain index, block hash buffers, and the output table's
+// storage — from sc (see Scratch); nil sc allocates as Semijoin does. The
+// result is owned by the caller and may be handed back through sc.Release
+// once it is no longer referenced.
+func (t *Table) SemijoinS(u *Table, sc *Scratch) *Table {
+	return t.semi(u, true, sc)
 }
 
 // AntiSemijoin returns t ▷ u: the tuples of t whose projection on the
@@ -241,7 +264,7 @@ func (t *Table) Semijoin(u *Table) *Table {
 // is t itself if u is empty and the empty table otherwise (the complement
 // of Semijoin's cartesian semantics). Used by the negation extension.
 func (t *Table) AntiSemijoin(u *Table) *Table {
-	return t.semi(u, false)
+	return t.semi(u, false, nil)
 }
 
 // SemijoinCount returns |t ⋉ u| without materializing the semijoin: the
@@ -250,8 +273,14 @@ func (t *Table) AntiSemijoin(u *Table) *Table {
 // only the cardinality of their semijoins, so this saves the output arena,
 // row set, and per-row rehash entirely.
 func (t *Table) SemijoinCount(u *Table) int {
-	shared, tPos, uPos := sharedPos(t, u)
-	if len(shared) == 0 {
+	return t.SemijoinCountS(u, nil)
+}
+
+// SemijoinCountS is SemijoinCount drawing its transient buffers from sc
+// (see Scratch); nil sc allocates as SemijoinCount does.
+func (t *Table) SemijoinCountS(u *Table, sc *Scratch) int {
+	tPos, uPos := sharedPosS(t, u, sc)
+	if len(tPos) == 0 {
 		if u.nrows > 0 {
 			return t.nrows
 		}
@@ -259,22 +288,26 @@ func (t *Table) SemijoinCount(u *Table) int {
 	}
 	if semiScanBetter(t.nrows, u.nrows) {
 		n := 0
-		for _, m := range t.matchedScan(u, tPos, uPos) {
+		for _, m := range t.matchedScan(u, tPos, uPos, sc) {
 			if m {
 				n++
 			}
 		}
 		return n
 	}
-	idx := buildChainIndex(&u.colStore, uPos)
+	idx := buildChainIndexS(&u.colStore, uPos, sc)
 	n := 0
-	for r := 0; r < t.nrows; r++ {
-		row := t.row(r)
-		h := hashAt(row, tPos)
-		for s := idx.first(h); s != 0; s = idx.next[s-1] {
-			if equalAt(row, tPos, u.row(int(s-1)), uPos) {
-				n++
-				break
+	hbuf := sc.hashBuf()
+	for lo := 0; lo < t.nrows; lo += probeBlock {
+		hi := min(lo+probeBlock, t.nrows)
+		hashBlockAt(&t.colStore, tPos, lo, hi, hbuf)
+		for r := lo; r < hi; r++ {
+			row := t.row(r)
+			for s := idx.first(hbuf[r-lo]); s != 0; s = idx.next[s-1] {
+				if equalAt(row, tPos, u.row(int(s-1)), uPos) {
+					n++
+					break
+				}
 			}
 		}
 	}
@@ -297,21 +330,25 @@ func semiScanBetter(tRows, uRows int) bool {
 // array) on the low-cardinality side is the table-level counterpart of the
 // estimator's build/probe-side selection; the scan early-exits once every
 // t row has matched.
-func (t *Table) matchedScan(u *Table, tPos, uPos []int) []bool {
-	matched := make([]bool, t.nrows)
+func (t *Table) matchedScan(u *Table, tPos, uPos []int, sc *Scratch) []bool {
+	matched := sc.matchedBuf(t.nrows)
 	if t.nrows == 0 {
 		return matched
 	}
-	idx := buildChainIndex(&t.colStore, tPos)
+	idx := buildChainIndexS(&t.colStore, tPos, sc)
+	hbuf := sc.hashBuf()
 	left := t.nrows
-	for r := 0; r < u.nrows && left > 0; r++ {
-		row := u.row(r)
-		h := hashAt(row, uPos)
-		for s := idx.first(h); s != 0; s = idx.next[s-1] {
-			tr := int(s - 1)
-			if !matched[tr] && equalAt(row, uPos, t.row(tr), tPos) {
-				matched[tr] = true
-				left--
+	for lo := 0; lo < u.nrows && left > 0; lo += probeBlock {
+		hi := min(lo+probeBlock, u.nrows)
+		hashBlockAt(&u.colStore, uPos, lo, hi, hbuf)
+		for r := lo; r < hi && left > 0; r++ {
+			row := u.row(r)
+			for s := idx.first(hbuf[r-lo]); s != 0; s = idx.next[s-1] {
+				tr := int(s - 1)
+				if !matched[tr] && equalAt(row, uPos, t.row(tr), tPos) {
+					matched[tr] = true
+					left--
+				}
 			}
 		}
 	}
@@ -322,37 +359,41 @@ func (t *Table) matchedScan(u *Table, tPos, uPos []int) []bool {
 // chain-index kernel, picking the direction with semiScanBetter: the
 // classic direction (index u, probe t) by default, the matchedScan
 // direction (index t, scan u) when u dwarfs t.
-func (t *Table) semi(u *Table, keep bool) *Table {
-	shared, tPos, uPos := sharedPos(t, u)
-	if len(shared) == 0 {
-		out := NewTable(t.vars)
+func (t *Table) semi(u *Table, keep bool, sc *Scratch) *Table {
+	tPos, uPos := sharedPosS(t, u, sc)
+	if len(tPos) == 0 {
+		out := sc.outTable(t.vars, 0)
 		if (u.nrows > 0) == keep {
 			out.cloneFrom(&t.colStore)
 		}
 		return out
 	}
-	out := NewTableCap(t.vars, t.nrows)
+	out := sc.outTable(t.vars, t.nrows)
 	if semiScanBetter(t.nrows, u.nrows) {
-		for r, m := range t.matchedScan(u, tPos, uPos) {
+		for r, m := range t.matchedScan(u, tPos, uPos, sc) {
 			if m == keep {
 				out.addUnique(t.row(r))
 			}
 		}
 		return out
 	}
-	idx := buildChainIndex(&u.colStore, uPos)
-	for r := 0; r < t.nrows; r++ {
-		row := t.row(r)
-		h := hashAt(row, tPos)
-		found := false
-		for s := idx.first(h); s != 0; s = idx.next[s-1] {
-			if equalAt(row, tPos, u.row(int(s-1)), uPos) {
-				found = true
-				break
+	idx := buildChainIndexS(&u.colStore, uPos, sc)
+	hbuf := sc.hashBuf()
+	for lo := 0; lo < t.nrows; lo += probeBlock {
+		hi := min(lo+probeBlock, t.nrows)
+		hashBlockAt(&t.colStore, tPos, lo, hi, hbuf)
+		for r := lo; r < hi; r++ {
+			row := t.row(r)
+			found := false
+			for s := idx.first(hbuf[r-lo]); s != 0; s = idx.next[s-1] {
+				if equalAt(row, tPos, u.row(int(s-1)), uPos) {
+					found = true
+					break
+				}
 			}
-		}
-		if found == keep {
-			out.addUnique(row)
+			if found == keep {
+				out.addUnique(row)
+			}
 		}
 	}
 	return out

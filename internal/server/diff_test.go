@@ -127,6 +127,54 @@ func TestServerDifferentialAgainstEngine(t *testing.T) {
 					}
 				}
 
+				// The same two endpoints with workers > 1 must produce the
+				// same answer multiset: sharded enumeration is a scheduling
+				// choice, never a semantic one. The stream's row order is
+				// nondeterministic, so only the sorted rendering is compared.
+				workers := 2 + int(seed%3)
+				code, body = postJSON(t, ts.URL+"/v1/query", searchRequest{
+					DB: name, Query: sc.MQ.String(), Type: int(sc.Type),
+					MinSup: minSup, MinCnf: minCnf, MinCvr: minCvr,
+					Workers: workers,
+				})
+				if code != http.StatusOK {
+					t.Fatalf("parallel query status %d: %s", code, body)
+				}
+				var pqr queryResponse
+				if err := json.Unmarshal(body, &pqr); err != nil {
+					t.Fatalf("unmarshal parallel query: %v", err)
+				}
+				if pr := renderedJSON(pqr.Answers); len(pr) != len(wantR) {
+					t.Fatalf("parallel query (workers=%d) %d answers, engine %d", workers, len(pr), len(wantR))
+				} else {
+					for i := range pr {
+						if pr[i] != wantR[i] {
+							t.Fatalf("parallel query answer %d (workers=%d):\n  server %s\n  engine %s", i, workers, pr[i], wantR[i])
+						}
+					}
+				}
+				code, body = postJSON(t, ts.URL+"/v1/stream", searchRequest{
+					DB: name, Query: sc.MQ.String(), Type: int(sc.Type),
+					MinSup: minSup, MinCnf: minCnf, MinCvr: minCvr,
+					Workers: workers,
+				})
+				if code != http.StatusOK {
+					t.Fatalf("parallel stream status %d: %s", code, body)
+				}
+				prows, ptrailer := parseNDJSON(t, body)
+				if ptrailer.Status != "ok" || ptrailer.Answers != len(prows) {
+					t.Fatalf("parallel stream trailer %+v with %d rows", ptrailer, len(prows))
+				}
+				if sr := renderedJSON(prows); len(sr) != len(wantR) {
+					t.Fatalf("parallel stream (workers=%d) %d rows, engine %d answers", workers, len(sr), len(wantR))
+				} else {
+					for i := range sr {
+						if sr[i] != wantR[i] {
+							t.Fatalf("parallel stream row %d (workers=%d):\n  server %s\n  engine %s", i, workers, sr[i], wantR[i])
+						}
+					}
+				}
+
 				// /v1/decide verdicts must match DecideFirst per index.
 				for _, c := range []struct {
 					ix      core.Index

@@ -77,6 +77,8 @@ func TestInvalidParametersAre400(t *testing.T) {
 		{"/v1/query", searchRequest{DB: "fig1", Query: "not a metaquery"}},
 		{"/v1/query", searchRequest{DB: "fig1", Query: "R(X) <- P(X)", MinSup: "bogus"}},
 		{"/v1/query", searchRequest{DB: "fig1", Query: "R(X) <- P(X)", Limit: -1}},
+		{"/v1/query", searchRequest{DB: "fig1", Query: "R(X) <- P(X)", Workers: -1}},
+		{"/v1/stream", searchRequest{DB: "fig1", Query: "R(X) <- P(X)", Workers: -3}},
 		{"/v1/decide", decideRequest{DB: "fig1", Query: "R(X) <- P(X)", Index: "nope"}},
 		{"/v1/decide", decideRequest{DB: "fig1", Query: "R(X) <- P(X)", Index: "sup", K: "x/y"}},
 		{"/v1/decide", decideRequest{DB: "fig1", Query: "R(X) <- P(X)", Index: "sup", Workers: -2}},

@@ -26,6 +26,11 @@ type searchRequest struct {
 	MinCvr string `json:"min_cvr,omitempty"`
 	// Limit stops the search after N answers (0 = all).
 	Limit int `json:"limit,omitempty"`
+	// Workers shards the enumeration's first-node candidates across this
+	// many goroutines feeding one merged answer stream (<=1 = sequential).
+	// /v1/stream row order is nondeterministic for workers > 1; /v1/query
+	// sorts either way.
+	Workers int `json:"workers,omitempty"`
 	// TimeoutMS bounds the search wall-clock; 0 uses the server default.
 	// Values above the server maximum are clamped.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -134,7 +139,10 @@ func (s *Server) resolveSearch(req *searchRequest) (*database, *core.Metaquery, 
 	if req.Limit < 0 {
 		return nil, nil, opt, http.StatusBadRequest, fmt.Errorf("limit must be >= 0")
 	}
-	opt = engine.Options{Type: typ, Thresholds: th, Limit: req.Limit}
+	if req.Workers < 0 {
+		return nil, nil, opt, http.StatusBadRequest, fmt.Errorf("workers must be >= 0")
+	}
+	opt = engine.Options{Type: typ, Thresholds: th, Limit: req.Limit, Workers: req.Workers}
 	return d, mq, opt, http.StatusOK, nil
 }
 
