@@ -17,8 +17,14 @@
 //	mqfuzz -n 1000                 # 1000 cases across all shapes
 //	mqfuzz -seed 42 -n 200         # different seed range
 //	mqfuzz -shape t2-pad -n 500    # one shape only
+//	mqfuzz -deltas -n 300          # incremental-engine mode: Apply deltas
 //	mqfuzz -shapes                 # list the registered shapes
 //	mqfuzz -write-repro DIR        # also write any repro into DIR
+//
+// With -deltas each case instead drives a scripted Engine.Apply sequence
+// (diff.RunDeltas): the long-lived Prepared values are checked against
+// from-scratch rebuilds after every delta batch, differential-testing the
+// incremental maintenance of relations, statistics and caches.
 package main
 
 import (
@@ -40,6 +46,7 @@ func main() {
 		listShapes = flag.Bool("shapes", false, "list the registered scenario shapes and exit")
 		verbose    = flag.Bool("v", false, "log every case")
 		writeRepro = flag.String("write-repro", "", "directory to write a minimized repro file into on failure")
+		deltas     = flag.Bool("deltas", false, "incremental-engine mode: drive scripted Engine.Apply deltas and compare every path against from-scratch rebuilds")
 	)
 	flag.Parse()
 	if *listShapes {
@@ -48,14 +55,16 @@ func main() {
 		}
 		return
 	}
-	if err := run(os.Stdout, *seed, *n, *shape, *verbose, *writeRepro); err != nil {
+	if err := run(os.Stdout, *seed, *n, *shape, *verbose, *writeRepro, *deltas); err != nil {
 		fmt.Fprintln(os.Stderr, "mqfuzz:", err)
 		os.Exit(1)
 	}
 }
 
-// run executes the fuzz loop, writing progress and any repro to w.
-func run(w *os.File, seed int64, n int, shape string, verbose bool, writeRepro string) error {
+// run executes the fuzz loop, writing progress and any repro to w. With
+// deltas set, each case runs the incremental-engine differential instead of
+// the static one.
+func run(w *os.File, seed int64, n int, shape string, verbose bool, writeRepro string, deltas bool) error {
 	shapes := gen.Shapes()
 	if shape != "" {
 		found := false
@@ -81,7 +90,12 @@ func run(w *os.File, seed int64, n int, shape string, verbose bool, writeRepro s
 		if err != nil {
 			return err
 		}
-		m, err := diff.Run(s)
+		var m *diff.Mismatch
+		if deltas {
+			m, err = diff.RunDeltas(s)
+		} else {
+			m, err = diff.Run(s)
+		}
 		if err != nil {
 			return fmt.Errorf("%s/%d: %w", sh, caseSeed, err)
 		}
@@ -92,8 +106,14 @@ func run(w *os.File, seed int64, n int, shape string, verbose bool, writeRepro s
 		if m == nil {
 			continue
 		}
-		// Divergence: minimize and print a committable repro.
-		min := diff.Minimize(s)
+		// Divergence: minimize and print a committable repro. The minimizer's
+		// failure predicate is the static differential, so delta-mode repros
+		// are reported unminimized (the scenario still reproduces via
+		// RunDeltas — the script is derived from its seed and shape).
+		min := s
+		if !deltas {
+			min = diff.Minimize(s)
+		}
 		repro, merr := diff.MarshalScenario(min)
 		if merr != nil {
 			return fmt.Errorf("%v (marshal of minimized repro failed: %v)", m, merr)
@@ -113,6 +133,10 @@ func run(w *os.File, seed int64, n int, shape string, verbose bool, writeRepro s
 		}
 		return fmt.Errorf("differential mismatch on %s seed=%d", sh, caseSeed)
 	}
-	fmt.Fprintf(w, "mqfuzz: %d case(s) across %d shape(s), all paths agree with the oracle\n", ran, len(shapes))
+	verdict := "all paths agree with the oracle"
+	if deltas {
+		verdict = "all incremental paths match from-scratch rebuilds"
+	}
+	fmt.Fprintf(w, "mqfuzz: %d case(s) across %d shape(s), %s\n", ran, len(shapes), verdict)
 	return nil
 }

@@ -10,7 +10,7 @@ import (
 // A short fuzz run across every shape must pass and report its case count.
 func TestRunSmoke(t *testing.T) {
 	out := tempFile(t)
-	if err := run(out, 1, 24, "", false, ""); err != nil {
+	if err := run(out, 1, 24, "", false, "", false); err != nil {
 		t.Fatal(err)
 	}
 	text := readBack(t, out)
@@ -22,21 +22,34 @@ func TestRunSmoke(t *testing.T) {
 // The -shape filter restricts generation and rejects unknown names.
 func TestRunShapeFilter(t *testing.T) {
 	out := tempFile(t)
-	if err := run(out, 3, 4, "t0-chain", true, ""); err != nil {
+	if err := run(out, 3, 4, "t0-chain", true, "", false); err != nil {
 		t.Fatal(err)
 	}
 	text := readBack(t, out)
 	if !strings.Contains(text, "ok t0-chain seed=3") || !strings.Contains(text, "ok t0-chain seed=6") {
 		t.Errorf("verbose output missing per-case lines:\n%s", text)
 	}
-	if err := run(out, 1, 1, "no-such-shape", false, ""); err == nil {
+	if err := run(out, 1, 1, "no-such-shape", false, "", false); err == nil {
 		t.Fatal("expected an error for an unknown shape")
+	}
+}
+
+// Delta mode drives the incremental-engine differential; a short sweep
+// across shapes must pass and report its distinct verdict line.
+func TestRunDeltasSmoke(t *testing.T) {
+	out := tempFile(t)
+	if err := run(out, 1, 16, "", false, "", true); err != nil {
+		t.Fatal(err)
+	}
+	text := readBack(t, out)
+	if !strings.Contains(text, "match from-scratch rebuilds") {
+		t.Errorf("output %q does not report the delta-mode verdict", text)
 	}
 }
 
 func TestRunRejectsBadN(t *testing.T) {
 	out := tempFile(t)
-	if err := run(out, 1, 0, "", false, ""); err == nil {
+	if err := run(out, 1, 0, "", false, "", false); err == nil {
 		t.Fatal("expected an error for -n 0")
 	}
 }

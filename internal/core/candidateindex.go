@@ -18,8 +18,9 @@ import (
 //
 // A CandidateIndex snapshots the database schema at construction time: the
 // database must not gain or lose relations (or change relation arities)
-// while the index is in use. Tuple-level updates are harmless because
-// candidate atoms depend only on relation names and arities.
+// while the index is in use; Extend derives the index of a changed schema.
+// Tuple-level updates are harmless because candidate atoms depend only on
+// relation names and arities.
 //
 // All methods are safe for concurrent use.
 type CandidateIndex struct {
@@ -30,7 +31,16 @@ type CandidateIndex struct {
 	maxArity int
 
 	mu   sync.RWMutex
-	memo map[string][]relation.Atom
+	memo map[string]memoEntry
+}
+
+// memoEntry is one memoized candidate list together with the scheme shape
+// it was computed for, which is what Extend needs to decide whether a
+// schema change invalidates it.
+type memoEntry struct {
+	atoms []relation.Atom
+	typ   InstType
+	k     int // scheme arity, len(l.Args)
 }
 
 // NewCandidateIndex builds the arity buckets for db.
@@ -38,7 +48,7 @@ func NewCandidateIndex(db *relation.Database) *CandidateIndex {
 	ix := &CandidateIndex{
 		db:      db,
 		byArity: make(map[int][]string),
-		memo:    make(map[string][]relation.Atom),
+		memo:    make(map[string]memoEntry),
 	}
 	for _, name := range db.RelationNames() {
 		a := db.Relation(name).Arity()
@@ -48,6 +58,76 @@ func NewCandidateIndex(db *relation.Database) *CandidateIndex {
 		}
 	}
 	return ix
+}
+
+// Extend returns the candidate index of db, a newer version of the indexed
+// database, reusing as much of ix as the schema difference allows: the
+// arity buckets are rebuilt (cheap, one pass over relation names), and
+// every memoized candidate list whose arity reach no changed bucket touches
+// is carried over — in the common delta case of tuple-only changes, that is
+// all of them. ix itself is untouched; old-epoch readers keep using it.
+func (ix *CandidateIndex) Extend(db *relation.Database) *CandidateIndex {
+	nix := &CandidateIndex{
+		db:      db,
+		byArity: make(map[int][]string, len(ix.byArity)),
+		memo:    make(map[string]memoEntry),
+	}
+	for _, name := range db.RelationNames() {
+		a := db.Relation(name).Arity()
+		nix.byArity[a] = append(nix.byArity[a], name)
+		if a > nix.maxArity {
+			nix.maxArity = a
+		}
+	}
+	changed := make(map[int]bool)
+	for a, names := range nix.byArity {
+		if !equalNames(names, ix.byArity[a]) {
+			changed[a] = true
+		}
+	}
+	for a := range ix.byArity {
+		if _, ok := nix.byArity[a]; !ok {
+			changed[a] = true
+		}
+	}
+	ix.mu.RLock()
+	for key, e := range ix.memo {
+		if memoAffected(e, changed, nix.maxArity) {
+			continue
+		}
+		nix.memo[key] = e
+	}
+	ix.mu.RUnlock()
+	return nix
+}
+
+// memoAffected reports whether a memoized candidate list is invalidated by
+// the changed arity buckets: Type0/Type1 schemes draw from exactly their
+// own arity, Type2 schemes from every arity at or above it.
+func memoAffected(e memoEntry, changed map[int]bool, maxArity int) bool {
+	switch e.typ {
+	case Type0, Type1:
+		return changed[e.k]
+	default:
+		for a := e.k; a <= maxArity; a++ {
+			if changed[a] {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func equalNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Database returns the database the index was built over.
@@ -67,10 +147,10 @@ func (ix *CandidateIndex) Candidates(l LiteralScheme, typ InstType, patternIdx i
 	}
 	key := fmt.Sprintf("%d|%d|%s", typ, patternIdx, l.Key())
 	ix.mu.RLock()
-	out, ok := ix.memo[key]
+	e, ok := ix.memo[key]
 	ix.mu.RUnlock()
 	if ok {
-		return out
+		return e.atoms
 	}
 
 	k := len(l.Args)
@@ -84,13 +164,13 @@ func (ix *CandidateIndex) Candidates(l LiteralScheme, typ InstType, patternIdx i
 		}
 		sort.Strings(names)
 	}
-	out = candidatesOver(ix.db, l, typ, patternIdx, names)
+	out := candidatesOver(ix.db, l, typ, patternIdx, names)
 
 	ix.mu.Lock()
 	if prev, ok := ix.memo[key]; ok {
-		out = prev // another goroutine won the race; keep one canonical slice
+		out = prev.atoms // another goroutine won the race; keep one canonical slice
 	} else {
-		ix.memo[key] = out
+		ix.memo[key] = memoEntry{atoms: out, typ: typ, k: k}
 	}
 	ix.mu.Unlock()
 	return out

@@ -25,16 +25,31 @@ import (
 // JoinGreedy keeps the legacy order reachable for ablations and baselines.
 //
 // An Evaluator snapshots nothing: it reads the database lazily, so the
-// database must not be modified while the Evaluator is in use. All methods
-// are safe for concurrent use.
+// database must not be modified while the Evaluator is in use; Fork derives
+// the evaluator of a changed database version. All methods are safe for
+// concurrent use.
 type Evaluator struct {
 	db *relation.Database
 	st *stats.Stats // nil = no statistics; Join degrades to JoinGreedy
 
 	mu    sync.RWMutex
-	atoms map[string]*relation.Table
-	ests  map[string]stats.Est
+	atoms map[string]atomEntry
+	ests  map[string]estEntry
 	plans *relation.PlanCache
+}
+
+// atomEntry is one cached atom materialization together with its predicate,
+// which is what Fork needs to decide whether a database delta invalidates
+// it (the table depends only on that one relation's rows).
+type atomEntry struct {
+	t    *relation.Table
+	pred string
+}
+
+// estEntry is the estimate-cache counterpart of atomEntry.
+type estEntry struct {
+	e    stats.Est
+	pred string
 }
 
 // orderBuf is the pooled scratch of one cost-ordered join: the estimator
@@ -83,10 +98,40 @@ func NewEvaluatorStats(db *relation.Database, st *stats.Stats) *Evaluator {
 	return &Evaluator{
 		db:    db,
 		st:    st,
-		atoms: make(map[string]*relation.Table),
-		ests:  make(map[string]stats.Est),
+		atoms: make(map[string]atomEntry),
+		ests:  make(map[string]estEntry),
 		plans: relation.NewPlanCache(),
 	}
+}
+
+// Fork returns an evaluator over db — a newer version of the evaluated
+// database — and its statistics, carrying over every cached atom table and
+// estimate whose relation is pointer-identical between the two versions
+// (copy-on-write deltas share unchanged relations, so pointer equality is
+// exactly "this atom's data did not change"). The compiled-plan cache is
+// shared outright: plans depend on atom-set shapes, not data. ev itself is
+// untouched; old-epoch readers keep using it.
+func (ev *Evaluator) Fork(db *relation.Database, st *stats.Stats) *Evaluator {
+	nev := &Evaluator{
+		db:    db,
+		st:    st,
+		atoms: make(map[string]atomEntry),
+		ests:  make(map[string]estEntry),
+		plans: ev.plans,
+	}
+	ev.mu.RLock()
+	defer ev.mu.RUnlock()
+	for k, e := range ev.atoms {
+		if r := db.Relation(e.pred); r != nil && r == ev.db.Relation(e.pred) {
+			nev.atoms[k] = e
+		}
+	}
+	for k, e := range ev.ests {
+		if r := db.Relation(e.pred); r != nil && r == ev.db.Relation(e.pred) {
+			nev.ests[k] = e
+		}
+	}
+	return nev
 }
 
 // Database returns the database the evaluator is bound to.
@@ -111,13 +156,13 @@ func (ev *Evaluator) atomEstKey(k string, a relation.Atom) stats.Est {
 	e, ok := ev.ests[k]
 	ev.mu.RUnlock()
 	if ok {
-		return e
+		return e.e
 	}
-	e = ev.st.AtomEst(a)
+	est := ev.st.AtomEst(a)
 	ev.mu.Lock()
-	ev.ests[k] = e
+	ev.ests[k] = estEntry{e: est, pred: a.Pred}
 	ev.mu.Unlock()
-	return e
+	return est
 }
 
 // TableFor returns the materialization of atom a (relation.FromAtom), cached
@@ -129,10 +174,10 @@ func (ev *Evaluator) TableFor(a relation.Atom) (*relation.Table, error) {
 // tableForKey is TableFor with the cache key precomputed.
 func (ev *Evaluator) tableForKey(k string, a relation.Atom) (*relation.Table, error) {
 	ev.mu.RLock()
-	t, ok := ev.atoms[k]
+	e, ok := ev.atoms[k]
 	ev.mu.RUnlock()
 	if ok {
-		return t, nil
+		return e.t, nil
 	}
 	t, err := relation.FromAtom(ev.db, a)
 	if err != nil {
@@ -141,9 +186,9 @@ func (ev *Evaluator) tableForKey(k string, a relation.Atom) (*relation.Table, er
 	t = t.Compact() // cached for the evaluator's lifetime; don't pin the scan-sized arena
 	ev.mu.Lock()
 	if prev, ok := ev.atoms[k]; ok {
-		t = prev // another goroutine won the race; keep one canonical table
+		t = prev.t // another goroutine won the race; keep one canonical table
 	} else {
-		ev.atoms[k] = t
+		ev.atoms[k] = atomEntry{t: t, pred: a.Pred}
 	}
 	ev.mu.Unlock()
 	return t, nil

@@ -352,3 +352,35 @@ func TestInstantiationSubsumptionAcrossTypes(t *testing.T) {
 		}
 	}
 }
+
+func TestUnassignRelationOfString(t *testing.T) {
+	s := NewInstantiation()
+	p := Pattern("P", "X", "Y")
+	q := Pattern("P", "Y", "Z")
+	if err := s.Assign(p, relation.NewAtom("a", "X", "Y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Assign(q, relation.NewAtom("a", "Y", "Z")); err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := s.RelationOf("P"); !ok || r != "a" {
+		t.Fatalf("RelationOf = %q, %v", r, ok)
+	}
+	if str := s.String(); !strings.Contains(str, "a(") {
+		t.Errorf("String() = %q", str)
+	}
+	// Unassigning one of two patterns sharing the predicate variable must
+	// keep the relation binding alive.
+	s.Unassign(q)
+	if r, ok := s.RelationOf("P"); !ok || r != "a" {
+		t.Fatal("predicate-variable binding dropped while still in use")
+	}
+	s.Unassign(p)
+	if _, ok := s.RelationOf("P"); ok {
+		t.Fatal("predicate-variable binding survived its last pattern")
+	}
+	s.Unassign(p) // idempotent on an absent assignment
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after full unassign", s.Len())
+	}
+}

@@ -127,3 +127,17 @@ func TestSatisfiableAcyclicAgrees(t *testing.T) {
 		}
 	}
 }
+
+func TestVars(t *testing.T) {
+	q := Query{relation.NewAtom("p", "X", "Y"), relation.NewAtom("q", "Y", "Z")}
+	vs := q.Vars()
+	want := []string{"X", "Y", "Z"}
+	if len(vs) != len(want) {
+		t.Fatalf("Vars = %v", vs)
+	}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", vs, want)
+		}
+	}
+}

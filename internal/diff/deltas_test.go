@@ -1,0 +1,79 @@
+package diff
+
+import (
+	"testing"
+
+	"github.com/mqgo/metaquery/internal/gen"
+)
+
+// deltaSeedsPerShape × len(gen.Shapes()) delta differentials: every
+// registered shape rides a 3-batch Apply script with all long-lived
+// execution paths checked against from-scratch rebuilds after each batch.
+const deltaSeedsPerShape = 3
+
+// TestDeltaSweep is the incremental-engine counterpart of
+// TestDifferentialSweep: for every shape and seed it drives the scripted
+// delta sequence through Engine.Apply and requires each path — prepared
+// sequential and parallel enumeration, streaming, statistics, and the
+// first-witness deciders — to match a fresh NewEngine on the final (and
+// every intermediate) database.
+func TestDeltaSweep(t *testing.T) {
+	for _, shape := range gen.Shapes() {
+		shape := shape
+		t.Run(shape, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < deltaSeedsPerShape; seed++ {
+				s, err := gen.NewScenario(seed, shape)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err := RunDeltas(s)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if m != nil {
+					t.Fatalf("seed %d: %v", seed, m)
+				}
+			}
+		})
+	}
+}
+
+// The delta script must be deterministic in (seed, shape) and must never
+// mutate the scenario it was derived from.
+func TestDeltaScriptDeterministic(t *testing.T) {
+	s, err := gen.NewScenario(4, "t1-cycle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore := s.DB.Size()
+	a := gen.DeltaScript(s, 3)
+	b := gen.DeltaScript(s, 3)
+	if s.DB.Size() != sizeBefore {
+		t.Fatal("DeltaScript mutated the scenario database")
+	}
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("script lengths %d/%d, want 3", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("batch %d: %d vs %d relation deltas", i, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			if a[i][j].Rel != b[i][j].Rel ||
+				len(a[i][j].Insert) != len(b[i][j].Insert) ||
+				len(a[i][j].Delete) != len(b[i][j].Delete) {
+				t.Fatalf("batch %d delta %d differs between runs", i, j)
+			}
+		}
+	}
+	total := 0
+	for _, batch := range a {
+		for _, td := range batch {
+			total += len(td.Insert) + len(td.Delete)
+		}
+	}
+	if total == 0 {
+		t.Fatal("delta script is empty; the sweep would exercise nothing")
+	}
+}

@@ -1,0 +1,49 @@
+package diff
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mqgo/metaquery/internal/gen"
+)
+
+// TestMismatchError pins the one-line mismatch rendering the fuzz driver
+// prints before the repro.
+func TestMismatchError(t *testing.T) {
+	s, err := gen.NewScenario(7, "t0-chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Mismatch{Scenario: s, Path: "delta-stream", Detail: "missing 1 answer(s)"}
+	got := m.Error()
+	for _, want := range []string{"t0-chain", "7", "delta-stream", "missing 1 answer(s)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Error() = %q, missing %q", got, want)
+		}
+	}
+}
+
+// TestDiffSets covers the divergence renderer on every branch: equality,
+// missing answers, extra answers, both at once, and multiset (count)
+// sensitivity.
+func TestDiffSets(t *testing.T) {
+	if d := diffSets(answerSet([]string{"a", "b"}), answerSet([]string{"b", "a"})); d != "" {
+		t.Errorf("equal multisets reported %q", d)
+	}
+	d := diffSets(answerSet([]string{"a"}), answerSet([]string{"a", "b"}))
+	if !strings.Contains(d, "missing 1 answer(s)") || !strings.Contains(d, "b") {
+		t.Errorf("missing-only diff %q", d)
+	}
+	d = diffSets(answerSet([]string{"a", "x"}), answerSet([]string{"a"}))
+	if !strings.Contains(d, "extra 1 answer(s)") || !strings.Contains(d, "x") {
+		t.Errorf("extra-only diff %q", d)
+	}
+	d = diffSets(answerSet([]string{"x"}), answerSet([]string{"b"}))
+	if !strings.Contains(d, "missing") || !strings.Contains(d, "extra") {
+		t.Errorf("two-sided diff %q", d)
+	}
+	// Duplicate counts matter: {a, a} vs {a} diverges.
+	if d := diffSets(answerSet([]string{"a", "a"}), answerSet([]string{"a"})); !strings.Contains(d, "extra") {
+		t.Errorf("multiset count diff %q", d)
+	}
+}

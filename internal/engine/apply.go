@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/mqgo/metaquery/internal/relation"
+	"github.com/mqgo/metaquery/internal/stats"
+)
+
+// Delta is one batched database change: per-relation tuple inserts and
+// deletes, applied atomically by Engine.Apply. Tuples are given as constant
+// names (the server's wire format); Apply interns inserted constants and
+// resolves deleted ones against the dictionary — a delete naming a
+// never-interned constant simply matches nothing.
+type Delta struct {
+	Relations []RelationDelta
+}
+
+// RelationDelta is the change to one relation. Within one RelationDelta
+// the deletes apply before the inserts, so a delete+insert pair of the
+// same tuple leaves it present (the insert resurrects the tombstoned row).
+//
+// Arity is required only when the delta creates a relation without
+// inserting into it; otherwise it is inferred from the existing relation
+// (or the first inserted tuple) and, when given, cross-checked.
+type RelationDelta struct {
+	Name   string
+	Arity  int
+	Insert [][]string
+	Delete [][]string
+}
+
+// ApplyResult reports what an Apply did: the epoch now current, the number
+// of tuples that actually changed membership (inserting a present tuple or
+// deleting an absent one is a no-op and does not count), and how many
+// relations were compacted on publication.
+type ApplyResult struct {
+	Epoch     uint64
+	Inserted  int
+	Deleted   int
+	Compacted int
+}
+
+// Apply applies d atomically and installs a new epoch snapshot: changed
+// relations are copy-on-write extensions of the current version (appends +
+// tombstones into a fresh arena view, compacted when tombstones pile up),
+// the candidate index, cardinality statistics and evaluator caches are
+// maintained incrementally, and unchanged relations — with their cached
+// atom tables and node joins — are shared with the previous epoch.
+// Executions already in flight finish on the snapshot they started with;
+// executions starting after Apply returns see the new data.
+//
+// Apply validates the whole delta before touching anything: on error the
+// engine is unchanged. A delta with no effect (every insert already
+// present, every delete already absent) does not advance the epoch.
+// Concurrent Apply calls serialize; the snapshot chain is linear.
+func (e *Engine) Apply(ctx context.Context, d Delta) (ApplyResult, error) {
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return ApplyResult{}, err
+	}
+	snap := e.snap.Load()
+	db := snap.db
+
+	// Validation pass: resolve every relation's arity (existing relation,
+	// explicit Arity, or first inserted tuple — in that order, cross-checked)
+	// and length-check every tuple, before any mutation.
+	arities := make(map[string]int, len(d.Relations))
+	for _, rd := range d.Relations {
+		arity, known := arities[rd.Name]
+		if !known {
+			if r := db.Relation(rd.Name); r != nil {
+				arity, known = r.Arity(), true
+			}
+		}
+		if !known && rd.Arity > 0 {
+			arity, known = rd.Arity, true
+		}
+		if !known && len(rd.Insert) > 0 {
+			arity, known = len(rd.Insert[0]), true
+		}
+		if !known {
+			return ApplyResult{}, fmt.Errorf("engine: delta for unknown relation %s needs an arity or inserts", rd.Name)
+		}
+		if rd.Arity > 0 && rd.Arity != arity {
+			return ApplyResult{}, fmt.Errorf("engine: delta for %s declares arity %d but relation has arity %d", rd.Name, rd.Arity, arity)
+		}
+		if arity <= 0 {
+			return ApplyResult{}, fmt.Errorf("engine: delta for %s: arity must be positive", rd.Name)
+		}
+		for _, row := range rd.Insert {
+			if len(row) != arity {
+				return ApplyResult{}, fmt.Errorf("engine: delta for %s: insert tuple %v has %d terms, want %d", rd.Name, row, len(row), arity)
+			}
+		}
+		for _, row := range rd.Delete {
+			if len(row) != arity {
+				return ApplyResult{}, fmt.Errorf("engine: delta for %s: delete tuple %v has %d terms, want %d", rd.Name, row, len(row), arity)
+			}
+		}
+		arities[rd.Name] = arity
+	}
+
+	// Mutation pass over private extensions: the published relations are
+	// never touched. Constants in deletes are only looked up, never interned
+	// — a miss means the tuple cannot be present.
+	var res ApplyResult
+	dict := db.Dict()
+	work := make(map[string]*relation.Relation, len(d.Relations))
+	created := make(map[string]bool)
+	changeFor := make(map[string]*stats.RelationChange, len(d.Relations))
+	for _, rd := range d.Relations {
+		r := work[rd.Name]
+		if r == nil {
+			if old := db.Relation(rd.Name); old != nil {
+				r = old.Extend()
+			} else {
+				r = relation.NewRelation(rd.Name, arities[rd.Name])
+				created[rd.Name] = true
+			}
+			work[rd.Name] = r
+		}
+		ch := changeFor[rd.Name]
+		if ch == nil {
+			ch = &stats.RelationChange{Name: rd.Name}
+			changeFor[rd.Name] = ch
+		}
+		for _, row := range rd.Delete {
+			t, ok := lookupTuple(dict, row)
+			if !ok {
+				continue
+			}
+			if r.Delete(t) {
+				ch.Removed = append(ch.Removed, t)
+				res.Deleted++
+			}
+		}
+		for _, row := range rd.Insert {
+			t := make(relation.Tuple, len(row))
+			for i, c := range row {
+				t[i] = dict.Intern(c)
+			}
+			if r.Insert(t) {
+				ch.Added = append(ch.Added, t)
+				res.Inserted++
+			}
+		}
+	}
+
+	// Drop relations the delta did not actually change (created relations
+	// stay: an empty new relation still changes the schema).
+	changes := make([]stats.RelationChange, 0, len(work))
+	for name := range work {
+		ch := changeFor[name]
+		if !created[name] && len(ch.Added) == 0 && len(ch.Removed) == 0 {
+			delete(work, name)
+			continue
+		}
+		changes = append(changes, *ch)
+	}
+	if len(work) == 0 {
+		res.Epoch = snap.epoch
+		return res, nil
+	}
+
+	// Seal each new version before publication: the lazy live-row index is
+	// rebuilt eagerly (so concurrent readers never mutate it) and arenas
+	// with too many tombstones are compacted.
+	for _, r := range work {
+		if r.Seal() {
+			res.Compacted++
+		}
+	}
+
+	ndb := db.Extend(work)
+	nst := snap.st.WithDelta(ndb, changes)
+	ns := newSnapshot(snap.epoch+1, ndb, snap.cands.Extend(ndb), nst, snap.ev.Fork(ndb, nst))
+	e.snap.Store(ns)
+	res.Epoch = ns.epoch
+	return res, nil
+}
+
+// lookupTuple resolves constant names without interning; ok is false when
+// any name was never interned (the tuple cannot be in any relation).
+func lookupTuple(dict *relation.Dict, row []string) (relation.Tuple, bool) {
+	t := make(relation.Tuple, len(row))
+	for i, c := range row {
+		v, ok := dict.Lookup(c)
+		if !ok {
+			return nil, false
+		}
+		t[i] = v
+	}
+	return t, true
+}

@@ -214,21 +214,23 @@ func TestNodeEstimateLegacyFallback(t *testing.T) {
 	db := workload.ChainDB(3, 10, 30, 2)
 	mq := workload.ChainMQ(3)
 	eng := NewEngine(db)
-	eng.st = nil // simulate a statistics-free engine
+	// Simulate a statistics-free engine by installing a stats-less snapshot.
+	eng.snap.Store(newSnapshot(0, db, core.NewCandidateIndex(db), nil, core.NewEvaluator(db)))
 	prep, err := eng.Prepare(mq, Options{Type: core.Type0})
 	if err != nil {
 		t.Fatal(err)
 	}
-	order := prep.decideOrder()
+	ep := prep.epoch()
+	order := prep.decideOrder(ep)
 	if len(order) != len(prep.order) {
 		t.Fatalf("legacy decide order has %d nodes, want %d", len(order), len(prep.order))
 	}
 	for _, n := range prep.order {
-		if est := prep.nodeEstimate(n); est <= 0 {
+		if est := prep.nodeEstimate(ep, n); est <= 0 {
 			t.Errorf("legacy node estimate %v for node %d, want > 0", est, n.ID)
 		}
 	}
-	if oc := prep.orderedCandidates(); oc != nil {
+	if oc := prep.orderedCandidates(ep); oc != nil {
 		t.Errorf("candidate ordering built without statistics: %v", oc)
 	}
 	// The search still runs (and DecideFirst still answers) without stats.
@@ -254,9 +256,10 @@ func TestDisableCostPlannerUsesLegacyEstimates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ep := prep.epoch()
 	for _, n := range prep.order {
-		got := prep.nodeEstimate(n)
-		if want := prep.nodeEstimateLegacy(n); got != want {
+		got := prep.nodeEstimate(ep, n)
+		if want := prep.nodeEstimateLegacy(ep, n); got != want {
 			t.Errorf("node %d: estimate %v with cost planner disabled, want legacy %v", n.ID, got, want)
 		}
 	}
@@ -282,14 +285,14 @@ func TestOrderedCandidatesAscending(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ordered := prep.orderedCandidates()
+	ordered := prep.orderedCandidates(prep.epoch())
 	if len(ordered) == 0 {
 		t.Fatal("no ordered candidate lists on a statistics-backed engine")
 	}
 	for id, cands := range ordered {
 		prev := -1.0
 		for _, a := range cands {
-			rows := eng.ev.AtomEst(a).Rows
+			rows := eng.snap.Load().ev.AtomEst(a).Rows
 			if rows < prev {
 				t.Fatalf("scheme %d: candidate %s (est %v) after a larger estimate %v", id, a, rows, prev)
 			}

@@ -54,18 +54,23 @@ func (p *Prepared) DecideFirstStats(ctx context.Context, ix core.Index, k rat.Ra
 		}
 		// No partitionable scheme (or too few candidates): run sequential.
 	}
-	return p.decideFirstSeq(ctx, ix, k, nil)
+	return p.decideFirstSeq(ctx, ix, k, nil, nil)
 }
 
 // decideFirstSeq is one sequential first-witness run, optionally with a
-// candidate restriction for a parallel worker's block.
-func (p *Prepared) decideFirstSeq(ctx context.Context, ix core.Index, k rat.Rat, restrict map[int][]relation.Atom) (bool, *core.Instantiation, *Stats, error) {
+// candidate restriction for a parallel worker's block. A non-nil ep pins
+// the epoch (the parallel coordinator resolves one for all workers); nil
+// resolves the current one.
+func (p *Prepared) decideFirstSeq(ctx context.Context, ix core.Index, k rat.Rat, restrict map[int][]relation.Atom, ep *prepEpoch) (bool, *core.Instantiation, *Stats, error) {
 	opt := p.opt
 	opt.Thresholds = core.SingleIndex(ix, k)
 	opt.Limit = 0 // unused here: the decision run terminates via errFound
-	r := p.newRunOpt(ctx, opt)
+	if ep == nil {
+		ep = p.epoch()
+	}
+	r := p.newRunEp(ctx, opt, ep)
 	defer r.release()
-	r.order = p.decideOrder()
+	r.order = p.decideOrder(ep)
 	r.restrict = restrict
 
 	d := &decider{run: r, ix: ix, k: k}
@@ -88,8 +93,11 @@ func (p *Prepared) decideFirstSeq(ctx context.Context, ix core.Index, k rat.Rat,
 // no scheme worth partitioning (no pattern in the first node, or fewer
 // candidates than two blocks), in which case the caller runs sequentially.
 func (p *Prepared) decideFirstParallel(ctx context.Context, ix core.Index, k rat.Rat) (bool, *core.Instantiation, *Stats, bool, error) {
-	order := p.decideOrder()
-	schemeID, cands := p.partitionScheme(order)
+	// One epoch for the whole sharded execution: the block partition and
+	// every worker must see the same candidate lists and database version.
+	ep := p.epoch()
+	order := p.decideOrder(ep)
+	schemeID, cands := p.partitionScheme(ep, order)
 	if schemeID < 0 || len(cands) < 2 {
 		return false, nil, nil, false, nil
 	}
@@ -118,7 +126,7 @@ func (p *Prepared) decideFirstParallel(ctx context.Context, ix core.Index, k rat
 		wg.Add(1)
 		go func(block []relation.Atom) {
 			defer wg.Done()
-			yes, wit, st, err := p.decideFirstSeq(wctx, ix, k, map[int][]relation.Atom{schemeID: block})
+			yes, wit, st, err := p.decideFirstSeq(wctx, ix, k, map[int][]relation.Atom{schemeID: block}, ep)
 			mu.Lock()
 			defer mu.Unlock()
 			if st != nil {
@@ -165,7 +173,7 @@ func (p *Prepared) decideFirstParallel(ctx context.Context, ix core.Index, k rat
 // the first pattern scheme of the first node in the decision visit order,
 // with its (selectivity-ordered) candidate atoms. It returns -1 when the
 // first node holds no pattern scheme.
-func (p *Prepared) partitionScheme(order []*hypertree.Node) (int, []relation.Atom) {
+func (p *Prepared) partitionScheme(ep *prepEpoch, order []*hypertree.Node) (int, []relation.Atom) {
 	if len(order) == 0 {
 		return -1, nil
 	}
@@ -174,10 +182,10 @@ func (p *Prepared) partitionScheme(order []*hypertree.Node) (int, []relation.Ato
 		if !bs.scheme.PredVar {
 			continue
 		}
-		if c, ok := p.orderedCandidates()[id]; ok {
+		if c, ok := p.orderedCandidates(ep)[id]; ok {
 			return id, c
 		}
-		return id, p.eng.cands.Candidates(bs.scheme, p.opt.Type, bs.patternIdx)
+		return id, ep.snap.cands.Candidates(bs.scheme, p.opt.Type, bs.patternIdx)
 	}
 	return -1, nil
 }
@@ -252,7 +260,7 @@ func (d *decider) headSearch(b *body, value func(bj, h *relation.Table) rat.Rat)
 	if err != nil {
 		return err
 	}
-	for _, ha := range r.p.eng.cands.Candidates(r.p.mq.Head, r.opt.Type, r.p.headPatternIdx) {
+	for _, ha := range r.ep.snap.cands.Candidates(r.p.mq.Head, r.opt.Type, r.p.headPatternIdx) {
 		if err := r.ctx.Err(); err != nil {
 			return err
 		}
@@ -260,7 +268,7 @@ func (d *decider) headSearch(b *body, value func(bj, h *relation.Table) rat.Rat)
 			continue
 		}
 		r.stats.HeadsTried++
-		h, err := r.p.eng.tableFor(ha)
+		h, err := r.ep.snap.ev.TableFor(ha)
 		if err != nil {
 			return err
 		}
@@ -297,7 +305,7 @@ func (r *run) completeHead(sigma *core.Instantiation) (*core.Instantiation, bool
 		// The head scheme is also a body scheme and is already assigned.
 		return sigma.Clone(), true
 	}
-	for _, ha := range r.p.eng.cands.Candidates(head, r.opt.Type, r.p.headPatternIdx) {
+	for _, ha := range r.ep.snap.cands.Candidates(head, r.opt.Type, r.p.headPatternIdx) {
 		if !r.headAgrees(sigma, ha) {
 			continue
 		}
@@ -318,12 +326,13 @@ func (r *run) completeHead(sigma *core.Instantiation) (*core.Instantiation, bool
 // λ-join under each scheme's cheapest candidate (nodeEstimate), derived
 // from the engine's cardinality statistics; a subtree is ranked by the
 // smallest estimate it contains. The order depends only on the database
-// and the preparation, so it is computed once and shared.
-func (p *Prepared) decideOrder() []*hypertree.Node {
-	p.decideOrderOnce.Do(func() {
+// version and the preparation, so it is computed once per epoch and
+// shared.
+func (p *Prepared) decideOrder(ep *prepEpoch) []*hypertree.Node {
+	ep.decideOrderOnce.Do(func() {
 		est := make(map[int]float64, len(p.order))
 		for _, n := range p.order {
-			est[n.ID] = p.nodeEstimate(n)
+			est[n.ID] = p.nodeEstimate(ep, n)
 		}
 		// Subtree rank: the minimum estimate in the subtree.
 		var rank func(n *hypertree.Node) float64
@@ -356,22 +365,22 @@ func (p *Prepared) decideOrder() []*hypertree.Node {
 			out = append(out, n)
 		}
 		walk(p.decomp.Root)
-		p.decideOrderNodes = out
+		ep.decideOrderNodes = out
 	})
-	return p.decideOrderNodes
+	return ep.decideOrderNodes
 }
 
 // nodeEstimate estimates the output size of one decomposition node's
 // λ-join: each scheme contributes the estimate of its cheapest candidate
 // atom (an ordinary atom contributes its own estimate), and the per-scheme
-// estimates compose through the join-size formula. Without engine
+// estimates compose through the join-size formula. Without snapshot
 // statistics — or with the cost planner disabled for this Prepared — it
 // degrades to the smallest base-relation cardinality over the node's
 // schemes, the pre-statistics heuristic, so the DisableCostPlanner
 // ablation really does compare against the full legacy behavior.
-func (p *Prepared) nodeEstimate(n *hypertree.Node) float64 {
-	if p.eng.st == nil || p.opt.DisableCostPlanner {
-		return p.nodeEstimateLegacy(n)
+func (p *Prepared) nodeEstimate(ep *prepEpoch, n *hypertree.Node) float64 {
+	if ep.snap.st == nil || p.opt.DisableCostPlanner {
+		return p.nodeEstimateLegacy(ep, n)
 	}
 	acc := stats.Est{}
 	first := true
@@ -379,11 +388,11 @@ func (p *Prepared) nodeEstimate(n *hypertree.Node) float64 {
 		bs := p.schemes[id]
 		var best stats.Est
 		if !bs.scheme.PredVar {
-			best = p.eng.ev.AtomEst(bs.scheme.Atom())
+			best = ep.snap.ev.AtomEst(bs.scheme.Atom())
 		} else {
 			found := false
-			for _, a := range p.eng.cands.Candidates(bs.scheme, p.opt.Type, bs.patternIdx) {
-				e := p.eng.ev.AtomEst(a)
+			for _, a := range ep.snap.cands.Candidates(bs.scheme, p.opt.Type, bs.patternIdx) {
+				e := ep.snap.ev.AtomEst(a)
 				if !found || e.Rows < best.Rows {
 					best, found = e, true
 				}
@@ -406,8 +415,8 @@ func (p *Prepared) nodeEstimate(n *hypertree.Node) float64 {
 
 // nodeEstimateLegacy is the statistics-free estimate: the smallest
 // base-relation cardinality over the node's λ schemes.
-func (p *Prepared) nodeEstimateLegacy(n *hypertree.Node) float64 {
-	db := p.eng.db
+func (p *Prepared) nodeEstimateLegacy(ep *prepEpoch, n *hypertree.Node) float64 {
+	db := ep.snap.db
 	best := int(^uint(0) >> 1)
 	for _, id := range p.nodeSchemes[n.ID] {
 		bs := p.schemes[id]
@@ -417,7 +426,7 @@ func (p *Prepared) nodeEstimateLegacy(n *hypertree.Node) float64 {
 			}
 			continue
 		}
-		for _, a := range p.eng.cands.Candidates(bs.scheme, p.opt.Type, bs.patternIdx) {
+		for _, a := range ep.snap.cands.Candidates(bs.scheme, p.opt.Type, bs.patternIdx) {
 			if rel := db.Relation(a.Pred); rel != nil && rel.Len() < best {
 				best = rel.Len()
 			}

@@ -118,7 +118,7 @@ func (p *Prepared) ExplainRun(ctx context.Context) (*Explain, []core.Answer, err
 // newExplain seeds the report skeleton for the run's visit order.
 func (p *Prepared) newExplain(r *run) *Explain {
 	ex := &Explain{
-		CostPlanner: p.eng.st != nil && !r.opt.DisableCostPlanner,
+		CostPlanner: r.ep.snap.st != nil && !r.opt.DisableCostPlanner,
 		pos:         make(map[int]int, len(r.order)),
 	}
 	for i, n := range r.order {
@@ -130,7 +130,7 @@ func (p *Prepared) newExplain(r *run) *Explain {
 			NodeID:  n.ID,
 			Chi:     append([]string(nil), n.Chi...),
 			Schemes: schemes,
-			EstRows: p.nodeEstimate(n),
+			EstRows: p.nodeEstimate(r.ep, n),
 		})
 		ex.pos[n.ID] = i
 	}

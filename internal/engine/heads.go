@@ -22,7 +22,7 @@ func (r *run) forEachBodyFraction(sigma *core.Instantiation, s map[int]*relation
 		if err != nil {
 			return err
 		}
-		ra, err := r.p.eng.tableFor(atom)
+		ra, err := r.ep.snap.ev.TableFor(atom)
 		if err != nil {
 			return err
 		}
@@ -84,7 +84,7 @@ func (r *run) supportExceeds(sigma *core.Instantiation, s map[int]*relation.Tabl
 // intermediate the caller must hand back through r.sc.Release when done —
 // false exactly when the join degenerated to a shared cached table.
 func (r *run) bodyJoin(sigma *core.Instantiation, s map[int]*relation.Table) (*relation.Table, bool, error) {
-	costBased := r.p.eng.st != nil && !r.opt.DisableCostPlanner && len(r.p.schemes) > 2
+	costBased := r.ep.snap.st != nil && !r.opt.DisableCostPlanner && len(r.p.schemes) > 2
 	tables := r.bjTables[:0]
 	atoms := r.bjAtoms[:0]
 	defer func() {
@@ -98,7 +98,7 @@ func (r *run) bodyJoin(sigma *core.Instantiation, s map[int]*relation.Table) (*r
 		if err != nil {
 			return nil, false, err
 		}
-		ta, err := r.p.eng.tableFor(atom)
+		ta, err := r.ep.snap.ev.TableFor(atom)
 		if err != nil {
 			return nil, false, err
 		}
@@ -118,7 +118,7 @@ func (r *run) bodyJoin(sigma *core.Instantiation, s map[int]*relation.Table) (*r
 	if costBased {
 		in := r.bjEsts[:0]
 		for i, ta := range tables {
-			in = append(in, r.p.eng.ev.AtomEst(atoms[i]).WithRows(float64(ta.Len())))
+			in = append(in, r.ep.snap.ev.AtomEst(atoms[i]).WithRows(float64(ta.Len())))
 		}
 		r.bjEsts = in[:0]
 		b = relation.JoinTablesOrdered(tables, stats.Order(in))
@@ -192,7 +192,7 @@ func (r *run) findHeads(bd *body) error {
 	}
 
 	head := r.p.mq.Head
-	for _, ha := range r.p.eng.cands.Candidates(head, r.opt.Type, r.p.headPatternIdx) {
+	for _, ha := range r.ep.snap.cands.Candidates(head, r.opt.Type, r.p.headPatternIdx) {
 		if err := r.ctx.Err(); err != nil {
 			return err
 		}
@@ -201,7 +201,7 @@ func (r *run) findHeads(bd *body) error {
 		}
 		r.stats.HeadsTried++
 
-		h, err := r.p.eng.tableFor(ha)
+		h, err := r.ep.snap.ev.TableFor(ha)
 		if err != nil {
 			return err
 		}

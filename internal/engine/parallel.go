@@ -33,7 +33,10 @@ import (
 // context, and the loop drains the channel until every worker has exited —
 // no goroutine outlives the iteration.
 func (p *Prepared) streamParallel(ctx context.Context, st *Stats, yield func(core.Answer, error) bool) bool {
-	schemeID, cands := p.partitionScheme(p.order)
+	// One epoch for the whole sharded execution: the block partition and
+	// every worker must see the same candidate lists and database version.
+	ep := p.epoch()
+	schemeID, cands := p.partitionScheme(ep, p.order)
 	if schemeID < 0 || len(cands) < 2 {
 		return false
 	}
@@ -67,7 +70,7 @@ func (p *Prepared) streamParallel(ctx context.Context, st *Stats, yield func(cor
 			defer wg.Done()
 			opt := p.opt
 			opt.Limit = 0 // the merge loop enforces the global limit
-			r := p.newRunOpt(wctx, opt)
+			r := p.newRunEp(wctx, opt, ep)
 			defer r.release()
 			r.restrict = map[int][]relation.Atom{schemeID: block}
 			r.emit = func(a core.Answer) error {
@@ -95,17 +98,18 @@ func (p *Prepared) streamParallel(ctx context.Context, st *Stats, yield func(cor
 		close(results)
 	}()
 
+	// The merge loop counts locally and publishes st.Answers once after the
+	// channel closes: taking the workers' merge mutex per delivered answer
+	// serialized the hot loop against worker merge(), and a caller reading
+	// Stats mid-stream raced the write anyway. Post-iteration consumers see
+	// the exact delivered count (an answer the consumer breaks on was still
+	// delivered, and counts).
 	emitted, stopped := 0, false
 	for a := range results {
 		if stopped {
 			continue // draining until every worker exits
 		}
-		// Count before yielding: an answer the consumer breaks on was still
-		// delivered, and must show in st.Answers.
 		emitted++
-		mu.Lock()
-		st.Answers = emitted
-		mu.Unlock()
 		if !yield(a, nil) {
 			stopped = true
 			cancel()
@@ -117,8 +121,10 @@ func (p *Prepared) streamParallel(ctx context.Context, st *Stats, yield func(cor
 		}
 	}
 	// The channel is closed: all workers have merged their counters and
-	// exited. Surface the first real failure in-band, sequential-style —
-	// unless the consumer already stopped the iteration itself.
+	// exited, so st is ours alone now.
+	st.Answers = emitted
+	// Surface the first real failure in-band, sequential-style — unless the
+	// consumer already stopped the iteration itself.
 	if !stopped && firstErr != nil {
 		yield(core.Answer{}, firstErr)
 	}

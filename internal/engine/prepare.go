@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/mqgo/metaquery/internal/core"
 	"github.com/mqgo/metaquery/internal/hypertree"
@@ -19,6 +20,14 @@ import (
 // pay only for the search itself. The node-join cache (π_χ(J(σ(λ))) per
 // atom assignment) is also shared across executions, so later runs reuse
 // the joins earlier runs materialized.
+//
+// All data-dependent execution state lives in a per-epoch layer
+// (prepEpoch): when the engine's database advances through Apply, the next
+// execution transparently re-derives that layer against the new snapshot —
+// carrying over every cached node join whose relations the delta did not
+// touch — while executions already in flight finish on the epoch they
+// started with. The query analysis itself (schemes, decomposition, order)
+// depends only on the metaquery and survives every delta.
 //
 // A Prepared is safe for concurrent use by multiple goroutines; each
 // execution carries its own mutable search state.
@@ -36,9 +45,23 @@ type Prepared struct {
 
 	headPatternIdx int
 
+	// ep is the current per-epoch execution state; epMu serializes its
+	// re-derivation when the engine's snapshot has advanced.
+	epMu sync.Mutex
+	ep   atomic.Pointer[prepEpoch]
+}
+
+// prepEpoch is the data-dependent half of a Prepared, bound to exactly one
+// engine snapshot: the node-join cache, the decision visit order, and the
+// selectivity-ordered candidate lists. A run resolves its prepEpoch once at
+// start and dereferences only it thereafter, so a single execution can
+// never observe two different epochs.
+type prepEpoch struct {
+	snap *snapshot
+
 	// joinCache caches π_χ(J(σ(λ))) keyed by node and atom assignment,
-	// shared by all executions of this Prepared. Misses execute through the
-	// Engine evaluator's compiled-plan cache (one plan per node atom-set
+	// shared by all executions on this epoch. Misses execute through the
+	// snapshot evaluator's compiled-plan cache (one plan per node atom-set
 	// shape), so they pay only the build/probe passes, not the join-order
 	// and column analysis.
 	joinMu    sync.RWMutex
@@ -52,8 +75,8 @@ type Prepared struct {
 	// candOrder maps scheme IDs to their candidate atoms re-sorted by
 	// estimated materialization size ascending (most selective first), so
 	// every execution enumerates the candidates cheapest-to-check first.
-	// Computed lazily once from the engine's cardinality statistics; nil
-	// entries (and a nil map) fall back to the candidate index order.
+	// Computed lazily once from the snapshot statistics; nil entries (and a
+	// nil map) fall back to the candidate index order.
 	candOrderOnce sync.Once
 	candOrder     map[int][]relation.Atom
 }
@@ -62,15 +85,16 @@ type Prepared struct {
 // (body scheme deduplication, hypertree decomposition, node order) the
 // executions share.
 func (e *Engine) Prepare(mq *core.Metaquery, opt Options) (*Prepared, error) {
-	if err := core.ValidateForType(e.db, mq, opt.Type); err != nil {
+	snap := e.snap.Load()
+	if err := core.ValidateForType(snap.db, mq, opt.Type); err != nil {
 		return nil, err
 	}
 	p := &Prepared{
-		eng:       e,
-		mq:        mq,
-		opt:       opt,
-		joinCache: make(map[string]*relation.Table),
+		eng: e,
+		mq:  mq,
+		opt: opt,
 	}
+	p.ep.Store(&prepEpoch{snap: snap, joinCache: make(map[string]*relation.Table)})
 
 	// Distinct body schemes (the paper treats ls(MQ) as a set).
 	seen := map[string]int{}
@@ -120,39 +144,122 @@ func (p *Prepared) Options() Options { return p.opt }
 // Width returns the hypertree width of the decomposition in use.
 func (p *Prepared) Width() int { return p.decomp.Width }
 
+// epoch returns the per-epoch execution state for the engine's current
+// snapshot, re-deriving it when an Apply has advanced the engine since the
+// last execution. The fast path is one atomic load and one pointer
+// comparison. On re-derivation, every cached node join whose relations are
+// pointer-identical across the two database versions is carried over — a
+// delta invalidates exactly the joins that touch a changed relation.
+func (p *Prepared) epoch() *prepEpoch {
+	snap := p.eng.snap.Load()
+	ep := p.ep.Load()
+	if ep.snap == snap {
+		return ep
+	}
+	p.epMu.Lock()
+	defer p.epMu.Unlock()
+	// Re-read both under the lock: another re-derivation may have won, and
+	// the engine may have advanced again meanwhile.
+	snap = p.eng.snap.Load()
+	ep = p.ep.Load()
+	if ep.snap == snap {
+		return ep
+	}
+	nep := &prepEpoch{snap: snap, joinCache: make(map[string]*relation.Table)}
+	ep.joinMu.RLock()
+	for key, t := range ep.joinCache {
+		if joinKeyUnchanged(key, ep.snap.db, snap.db) {
+			nep.joinCache[key] = t
+		}
+	}
+	ep.joinMu.RUnlock()
+	p.ep.Store(nep)
+	return nep
+}
+
+// joinKeyUnchanged decodes the predicates out of a binary node-join cache
+// key (see nodeJoin/appendAtomKey for the encoding) and reports whether
+// every one resolves to the same *Relation in both database versions —
+// copy-on-write deltas share unchanged relations, so pointer equality is
+// exactly "this join's inputs did not change".
+func joinKeyUnchanged(key string, old, new *relation.Database) bool {
+	// Layout: 'n' u32(nodeID) then per atom: u32(len) pred u32(nterms)
+	// followed by nterms tagged terms ('v'/'d': u32(len) bytes, 'c': u32).
+	i := 1 + 4
+	for i < len(key) {
+		if i+4 > len(key) {
+			return false // malformed; treat as changed
+		}
+		plen := int(keyU32(key, i))
+		i += 4
+		if i+plen+4 > len(key) {
+			return false
+		}
+		pred := key[i : i+plen]
+		i += plen
+		if r := new.Relation(pred); r == nil || r != old.Relation(pred) {
+			return false
+		}
+		nterms := int(keyU32(key, i))
+		i += 4
+		for t := 0; t < nterms; t++ {
+			if i >= len(key) {
+				return false
+			}
+			switch key[i] {
+			case 'v', 'd':
+				if i+5 > len(key) {
+					return false
+				}
+				i += 5 + int(keyU32(key, i+1))
+			case 'c':
+				i += 5
+			default:
+				return false
+			}
+		}
+	}
+	return i == len(key)
+}
+
+// keyU32 reads the little-endian uint32 appendKeyUint wrote at offset i.
+func keyU32(key string, i int) uint32 {
+	return uint32(key[i]) | uint32(key[i+1])<<8 | uint32(key[i+2])<<16 | uint32(key[i+3])<<24
+}
+
 // cachedJoin looks up a node join by its binary key. The string(key)
 // conversion in a map index expression does not allocate, so hits are free.
-func (p *Prepared) cachedJoin(key []byte) (*relation.Table, bool) {
-	p.joinMu.RLock()
-	t, ok := p.joinCache[string(key)]
-	p.joinMu.RUnlock()
+func (ep *prepEpoch) cachedJoin(key []byte) (*relation.Table, bool) {
+	ep.joinMu.RLock()
+	t, ok := ep.joinCache[string(key)]
+	ep.joinMu.RUnlock()
 	return t, ok
 }
 
 // storeJoin records t under key and returns the canonical cached table
 // (an earlier concurrent writer's, if it lost the race). The key string is
 // materialized here, on the miss path only.
-func (p *Prepared) storeJoin(key []byte, t *relation.Table) *relation.Table {
+func (ep *prepEpoch) storeJoin(key []byte, t *relation.Table) *relation.Table {
 	t = t.Compact() // cached across executions; don't pin the input-sized arena
-	p.joinMu.Lock()
-	if prev, ok := p.joinCache[string(key)]; ok {
+	ep.joinMu.Lock()
+	if prev, ok := ep.joinCache[string(key)]; ok {
 		t = prev
 	} else {
-		p.joinCache[string(key)] = t
+		ep.joinCache[string(key)] = t
 	}
-	p.joinMu.Unlock()
+	ep.joinMu.Unlock()
 	return t
 }
 
-// orderedCandidates returns the selectivity-ordered candidate lists,
-// computing them on first use: per pattern scheme, the candidate atoms
-// sorted by estimated materialization size ascending (stable, so equal
-// estimates keep the candidate index order). Ordering depends only on the
-// engine statistics and the preparation, so it is shared by all
-// executions.
-func (p *Prepared) orderedCandidates() map[int][]relation.Atom {
-	p.candOrderOnce.Do(func() {
-		st := p.eng.st
+// orderedCandidates returns the epoch's selectivity-ordered candidate
+// lists, computing them on first use: per pattern scheme, the candidate
+// atoms sorted by estimated materialization size ascending (stable, so
+// equal estimates keep the candidate index order). Ordering depends only on
+// the snapshot statistics and the preparation, so it is shared by all
+// executions on the epoch.
+func (p *Prepared) orderedCandidates(ep *prepEpoch) map[int][]relation.Atom {
+	ep.candOrderOnce.Do(func() {
+		st := ep.snap.st
 		if st == nil {
 			return
 		}
@@ -161,13 +268,13 @@ func (p *Prepared) orderedCandidates() map[int][]relation.Atom {
 			if !bs.scheme.PredVar {
 				continue
 			}
-			cands := p.eng.cands.Candidates(bs.scheme, p.opt.Type, bs.patternIdx)
+			cands := ep.snap.cands.Candidates(bs.scheme, p.opt.Type, bs.patternIdx)
 			if len(cands) < 2 {
 				continue
 			}
 			rows := make([]float64, len(cands))
 			for i, a := range cands {
-				rows[i] = p.eng.ev.AtomEst(a).Rows
+				rows[i] = ep.snap.ev.AtomEst(a).Rows
 			}
 			perm := make([]int, len(cands))
 			for i := range perm {
@@ -180,9 +287,9 @@ func (p *Prepared) orderedCandidates() map[int][]relation.Atom {
 			}
 			m[id] = sorted
 		}
-		p.candOrder = m
+		ep.candOrder = m
 	})
-	return p.candOrder
+	return ep.candOrder
 }
 
 // newRun builds the per-execution search state for the prepared options.
@@ -205,11 +312,19 @@ var runPool = sync.Pool{New: func() any { return new(run) }}
 // handed back via run.release when the execution finishes; its Stats are
 // caller-owned and survive the release.
 func (p *Prepared) newRunOpt(ctx context.Context, opt Options) *run {
+	return p.newRunEp(ctx, opt, p.epoch())
+}
+
+// newRunEp is newRunOpt with the epoch pinned by the caller: the parallel
+// paths resolve one epoch up front and hand it to every worker run, so all
+// blocks of one sharded execution search the same database version even if
+// an Apply lands mid-flight.
+func (p *Prepared) newRunEp(ctx context.Context, opt Options, ep *prepEpoch) *run {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	r := runPool.Get().(*run)
-	r.p, r.opt, r.order, r.ctx = p, opt, p.order, ctx
+	r.p, r.ep, r.opt, r.order, r.ctx = p, ep, opt, p.order, ctx
 	r.stats = &Stats{Width: p.decomp.Width, Nodes: len(p.order)}
 	if r.rTables == nil {
 		r.rTables = make(map[int]*relation.Table, len(p.order))

@@ -38,15 +38,23 @@ type body struct {
 // run is the per-execution state of one search over a Prepared metaquery:
 // the context, the effective options, the node visit order, the effort
 // counters, the current node tables of Figure 4's first half, and the
-// consumer hooks. Everything shared across executions (database caches,
-// decomposition, join cache) lives on run.p and is only read here, which
-// is what makes concurrent executions of one Prepared safe.
+// consumer hooks. Everything shared across executions lives on run.p
+// (query analysis) and run.ep (the epoch's caches and snapshot) and is
+// only read here, which is what makes concurrent executions of one
+// Prepared safe.
+//
+// Every database-derived structure the run consults — candidate index,
+// statistics, evaluator, node-join cache — is reached exclusively through
+// r.ep, which pins exactly one engine snapshot for the run's lifetime;
+// a run can therefore never observe two epochs, regardless of concurrent
+// Apply calls.
 //
 // opt starts as a copy of the Prepared's options; DecideFirst overrides
 // the thresholds (and the limit) per execution without re-preparing, so
 // one Prepared serves enumeration and decision runs concurrently.
 type run struct {
 	p     *Prepared
+	ep    *prepEpoch
 	opt   Options
 	order []*hypertree.Node
 	ctx   context.Context
@@ -111,7 +119,7 @@ func (r *run) release() {
 	r.atoms = r.atoms[:0]
 	r.bjAtoms = r.bjAtoms[:0]
 	r.bodyBuf = body{}
-	r.p, r.ctx, r.order, r.stats = nil, nil, nil, nil
+	r.p, r.ep, r.ctx, r.order, r.stats = nil, nil, nil, nil, nil
 	r.restrict, r.explain, r.onBody, r.emit = nil, nil, nil, nil
 	runPool.Put(r)
 }
@@ -200,11 +208,11 @@ func (r *run) candidatesFor(schemeID int, bs bodyScheme) []relation.Atom {
 		}
 	}
 	if !r.opt.DisableCostPlanner {
-		if c, ok := r.p.orderedCandidates()[schemeID]; ok {
+		if c, ok := r.p.orderedCandidates(r.ep)[schemeID]; ok {
 			return c
 		}
 	}
-	return r.p.eng.cands.Candidates(bs.scheme, r.opt.Type, bs.patternIdx)
+	return r.ep.snap.cands.Candidates(bs.scheme, r.opt.Type, bs.patternIdx)
 }
 
 // evalNode computes r[i] := π_χ(J(σ(λ))) semijoined with the children's
@@ -274,15 +282,15 @@ func (r *run) nodeJoin(node *hypertree.Node, schemeIDs []int, sigma *core.Instan
 		key = appendAtomKey(key, a)
 	}
 	r.key, r.atoms = key, atoms
-	if t, ok := r.p.cachedJoin(key); ok {
+	if t, ok := r.ep.cachedJoin(key); ok {
 		return t, nil
 	}
-	j, err := r.p.eng.ev.JoinOrdered(atoms, !r.opt.DisableCostPlanner)
+	j, err := r.ep.snap.ev.JoinOrdered(atoms, !r.opt.DisableCostPlanner)
 	if err != nil {
 		return nil, err
 	}
 	t := j.Project(node.Chi)
-	return r.p.storeJoin(key, t), nil
+	return r.ep.storeJoin(key, t), nil
 }
 
 // appendAtomKey appends an injective binary encoding of a: length-prefixed

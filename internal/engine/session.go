@@ -2,12 +2,42 @@ package engine
 
 import (
 	"context"
+	"sync"
+	"sync/atomic"
 
 	"github.com/mqgo/metaquery/internal/core"
 	"github.com/mqgo/metaquery/internal/rat"
 	"github.com/mqgo/metaquery/internal/relation"
 	"github.com/mqgo/metaquery/internal/stats"
 )
+
+// snapshot is one immutable epoch of an Engine: a database version together
+// with every per-database structure derived from it — the candidate index,
+// the cardinality statistics, and the evaluator caches. A search run binds
+// to exactly one snapshot for its whole lifetime (via its prepEpoch), which
+// is what makes Apply safe under concurrent executions: readers of an old
+// epoch keep a consistent world, new executions pick up the latest one.
+type snapshot struct {
+	epoch uint64
+	db    *relation.Database
+	cands *core.CandidateIndex
+	st    *stats.Stats
+	ev    *core.Evaluator
+}
+
+// newSnapshot asserts the epoch-coherence invariant before publication:
+// every derived structure must be bound to the exact database version the
+// snapshot carries. Apply constructs all four together, so a mismatch here
+// is a bug in the delta machinery — better a panic at the publication point
+// than searches silently mixing stats from one epoch with tables from
+// another.
+func newSnapshot(epoch uint64, db *relation.Database, cands *core.CandidateIndex, st *stats.Stats, ev *core.Evaluator) *snapshot {
+	if cands.Database() != db || (st != nil && st.Database() != db) || ev.Database() != db {
+		panic("engine: snapshot components disagree on the database version")
+	}
+	s := &snapshot{epoch: epoch, db: db, cands: cands, st: st, ev: ev}
+	return s
+}
 
 // Engine is a reusable metaquerying session bound to one database,
 // analogous to database/sql's *DB. It builds the per-database structures
@@ -16,46 +46,41 @@ import (
 // (per-relation row counts, per-column distinct counts and MCV sketches,
 // collected in one pass at construction), and the evaluator caches
 // (FromAtom materializations, compiled join plans per atom-set shape and
-// order) — once, and shares them across all queries prepared on it. The
-// statistics drive the cost-based join planner; they live and die with
-// the engine's evaluator (both snapshot the database and are invalidated
-// together by constructing a new Engine).
+// order) — once, and shares them across all queries prepared on it.
 //
-// An Engine is safe for concurrent use by multiple goroutines. It
-// snapshots the database at construction: the database must not be
-// modified while the Engine is in use.
+// The engine's database is mutable through Apply, which installs a new
+// epoch snapshot (copy-on-write relations, incrementally maintained
+// statistics and caches) without disturbing in-flight executions: every
+// run pins the snapshot it started on. Direct mutation of the underlying
+// *relation.Database is not allowed while the Engine is in use — all
+// changes go through Apply.
+//
+// An Engine is safe for concurrent use by multiple goroutines.
 type Engine struct {
-	db    *relation.Database
-	cands *core.CandidateIndex
-	st    *stats.Stats
-	ev    *core.Evaluator
+	snap    atomic.Pointer[snapshot]
+	applyMu sync.Mutex // serializes Apply; the snapshot chain is linear
 }
 
 // NewEngine builds a session over db, constructing the relation and
 // candidate indices and collecting the cardinality statistics the
-// searches share.
+// searches share. The engine takes ownership of db: later changes must go
+// through Apply.
 func NewEngine(db *relation.Database) *Engine {
-	st := stats.Collect(db)
-	return &Engine{
-		db:    db,
-		cands: core.NewCandidateIndex(db),
-		st:    st,
-		ev:    core.NewEvaluatorStats(db, st),
-	}
+	st := stats.CollectCounting(db)
+	e := &Engine{}
+	e.snap.Store(newSnapshot(0, db, core.NewCandidateIndex(db), st, core.NewEvaluatorStats(db, st)))
+	return e
 }
 
-// Database returns the database the engine is bound to.
-func (e *Engine) Database() *relation.Database { return e.db }
+// Database returns the current epoch's database version.
+func (e *Engine) Database() *relation.Database { return e.snap.Load().db }
 
-// Statistics returns the cardinality statistics collected at construction.
-func (e *Engine) Statistics() *stats.Stats { return e.st }
+// Statistics returns the current epoch's cardinality statistics.
+func (e *Engine) Statistics() *stats.Stats { return e.snap.Load().st }
 
-// tableFor returns the materialization of atom a over the engine's
-// database, cached across all queries and executions. Tables are immutable
-// after construction, so one instance is shared freely.
-func (e *Engine) tableFor(a relation.Atom) (*relation.Table, error) {
-	return e.ev.TableFor(a)
-}
+// Epoch returns the current epoch number: 0 at construction, incremented
+// by every effective Apply.
+func (e *Engine) Epoch() uint64 { return e.snap.Load().epoch }
 
 // FindRules is the one-shot convenience over Prepare: it answers mq with
 // the findRules algorithm, bounded by ctx. Callers executing the same

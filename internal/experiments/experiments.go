@@ -100,6 +100,7 @@ var registry = map[string]Runner{
 	"E22": runE22,
 	"E23": runE23,
 	"E24": runE24,
+	"E25": runE25,
 }
 
 // IDs returns the registered experiment IDs in order.

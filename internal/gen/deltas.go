@@ -1,0 +1,121 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// TupleDelta is one relation's scripted change: the seed-deterministic,
+// engine-free mirror of engine.RelationDelta (internal/gen must not import
+// the engine it is used to test). Deletes apply before inserts.
+type TupleDelta struct {
+	Rel    string
+	Arity  int
+	Insert [][]string
+	Delete [][]string
+}
+
+// DeltaScript derives a deterministic sequence of delta batches for s: the
+// same (seed, shape) pair always yields the same script. Each batch touches
+// one or two relations with a mix of deletes of currently-live tuples,
+// re-inserts of just-deleted tuples (exercising tombstone resurrection),
+// inserts recombining domain constants, and inserts of fresh constants;
+// occasionally a batch creates a new relation. The script is generated
+// against a private simulation of s.DB — s itself is never mutated — so
+// deletes in later batches target tuples that are genuinely present by then.
+func DeltaScript(s *Scenario, batches int) [][]TupleDelta {
+	rng := rand.New(rand.NewSource(s.Seed*1_000_003 + int64(hashName(s.Shape+"/deltas"))))
+	sim := s.DB.Clone()
+	script := make([][]TupleDelta, 0, batches)
+	freshID := 0
+	for b := 0; b < batches; b++ {
+		names := sim.RelationNames()
+		var batch []TupleDelta
+		for picks := 1 + rng.Intn(2); picks > 0 && len(names) > 0; picks-- {
+			name := names[rng.Intn(len(names))]
+			r := sim.Relation(name)
+			td := TupleDelta{Rel: name, Arity: r.Arity()}
+			tuples := r.Tuples()
+
+			for i := 0; i < rng.Intn(3) && len(tuples) > 0; i++ {
+				row := tupleToStrings(sim, tuples[rng.Intn(len(tuples))])
+				td.Delete = append(td.Delete, row)
+				if rng.Intn(3) == 0 {
+					// Same-batch resurrect: deletes apply first, so the
+					// tuple survives through a tombstone round-trip.
+					td.Insert = append(td.Insert, row)
+				}
+			}
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				row := make([]string, td.Arity)
+				for j := range row {
+					if rng.Intn(3) > 0 && len(tuples) > 0 {
+						src := tupleToStrings(sim, tuples[rng.Intn(len(tuples))])
+						row[j] = src[rng.Intn(len(src))]
+					} else {
+						row[j] = fmt.Sprintf("dnew%d", freshID)
+						freshID++
+					}
+				}
+				td.Insert = append(td.Insert, row)
+			}
+			batch = append(batch, td)
+		}
+		if rng.Intn(4) == 0 {
+			// Schema growth: a new relation the metaquery has never seen.
+			td := TupleDelta{Rel: fmt.Sprintf("xnew%d", b), Arity: 1 + rng.Intn(3)}
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				row := make([]string, td.Arity)
+				for j := range row {
+					row[j] = fmt.Sprintf("dnew%d", freshID)
+					freshID++
+				}
+				td.Insert = append(td.Insert, row)
+			}
+			batch = append(batch, td)
+		}
+		applyToSim(sim, batch)
+		script = append(script, batch)
+	}
+	return script
+}
+
+// tupleToStrings resolves a stored tuple back to constant names.
+func tupleToStrings(db *relation.Database, t relation.Tuple) []string {
+	row := make([]string, len(t))
+	for i, v := range t {
+		row[i] = db.Dict().Name(v)
+	}
+	return row
+}
+
+// applyToSim mirrors one batch onto the simulation database with plain
+// relation operations (deletes before inserts, per TupleDelta).
+func applyToSim(db *relation.Database, batch []TupleDelta) {
+	for _, td := range batch {
+		r := db.Relation(td.Rel)
+		if r == nil {
+			r = db.MustAddRelation(td.Rel, td.Arity)
+		}
+		for _, row := range td.Delete {
+			tup := make(relation.Tuple, len(row))
+			ok := true
+			for i, c := range row {
+				v, found := db.Dict().Lookup(c)
+				if !found {
+					ok = false
+					break
+				}
+				tup[i] = v
+			}
+			if ok {
+				r.Delete(tup)
+			}
+		}
+		for _, row := range td.Insert {
+			db.MustInsertNamed(td.Rel, row...)
+		}
+	}
+}

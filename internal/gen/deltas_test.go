@@ -1,0 +1,95 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDeltaScriptProperties checks the script generator across shapes and
+// seeds: determinism (same scenario, same script), non-mutation of the
+// scenario database, well-formed batches (declared arities match every
+// tuple, requested batch count honored), and — by replaying the script on
+// a private copy — that scripted deletes overwhelmingly name live tuples
+// (the generator scripts them against its own simulation; only intra-batch
+// duplicate picks may miss) and the replayed database stays consistent.
+func TestDeltaScriptProperties(t *testing.T) {
+	totalDeletes, landedDeletes, totalInserts := 0, 0, 0
+	for _, shape := range []string{"t0-chain", "t1-cycle", "t2-pad"} {
+		for seed := int64(0); seed < 4; seed++ {
+			s, err := NewScenario(seed, shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sizeBefore := s.DB.Size()
+			script := DeltaScript(s, 5)
+			again := DeltaScript(s, 5)
+			if !reflect.DeepEqual(script, again) {
+				t.Fatalf("%s/%d: DeltaScript is not deterministic", shape, seed)
+			}
+			if s.DB.Size() != sizeBefore {
+				t.Fatalf("%s/%d: DeltaScript mutated the scenario database", shape, seed)
+			}
+			if len(script) != 5 {
+				t.Fatalf("%s/%d: %d batches, want 5", shape, seed, len(script))
+			}
+
+			sim := s.DB.Clone()
+			for bi, batch := range script {
+				if len(batch) == 0 {
+					t.Fatalf("%s/%d: batch %d is empty", shape, seed, bi)
+				}
+				for _, td := range batch {
+					if td.Arity <= 0 {
+						t.Fatalf("%s/%d: batch %d relation %s: arity %d", shape, seed, bi, td.Rel, td.Arity)
+					}
+					for _, row := range append(append([][]string{}, td.Insert...), td.Delete...) {
+						if len(row) != td.Arity {
+							t.Fatalf("%s/%d: batch %d relation %s: row %v vs arity %d",
+								shape, seed, bi, td.Rel, row, td.Arity)
+						}
+					}
+					if r := sim.Relation(td.Rel); r != nil && r.Arity() != td.Arity {
+						t.Fatalf("%s/%d: batch %d: arity %d declared for existing arity-%d relation %s",
+							shape, seed, bi, td.Arity, r.Arity(), td.Rel)
+					}
+					totalInserts += len(td.Insert)
+					totalDeletes += len(td.Delete)
+					// Count deletes landing on live tuples before replaying
+					// this TupleDelta (deletes apply before inserts).
+					if r := sim.Relation(td.Rel); r != nil {
+						before := r.Len()
+						applyToSim(sim, []TupleDelta{{Rel: td.Rel, Arity: td.Arity, Delete: td.Delete}})
+						landedDeletes += before - r.Len()
+						applyToSim(sim, []TupleDelta{{Rel: td.Rel, Arity: td.Arity, Insert: td.Insert}})
+					} else {
+						applyToSim(sim, []TupleDelta{td})
+					}
+				}
+			}
+			// The replayed database must be internally consistent: every
+			// relation's live view contains no tombstoned duplicates.
+			for _, name := range sim.RelationNames() {
+				r := sim.Relation(name)
+				seen := map[string]bool{}
+				for i := 0; i < r.Len(); i++ {
+					k := ""
+					for _, v := range r.Row(i) {
+						k += sim.Dict().Name(v) + "\x00"
+					}
+					if seen[k] {
+						t.Fatalf("%s/%d: replayed %s holds duplicate live tuple %q", shape, seed, name, k)
+					}
+					seen[k] = true
+				}
+			}
+		}
+	}
+	if totalInserts == 0 || totalDeletes == 0 {
+		t.Fatalf("script mix degenerate: %d inserts, %d deletes", totalInserts, totalDeletes)
+	}
+	// Intra-batch duplicate picks are the only legitimate misses; they are
+	// rare, so the vast majority of scripted deletes must land.
+	if landedDeletes*2 < totalDeletes {
+		t.Fatalf("only %d of %d scripted deletes landed on live tuples", landedDeletes, totalDeletes)
+	}
+}

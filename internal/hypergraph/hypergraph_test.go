@@ -238,3 +238,32 @@ func itoa(n int) string {
 	}
 	return string(b)
 }
+
+func TestVerticesAndString(t *testing.T) {
+	h := New([]string{"Y", "X"}, []string{"Y", "Z"})
+	vs := h.Vertices()
+	want := []string{"X", "Y", "Z"}
+	if len(vs) != len(want) {
+		t.Fatalf("Vertices = %v", vs)
+	}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Fatalf("Vertices = %v, want %v", vs, want)
+		}
+	}
+	s := h.String()
+	for _, frag := range []string{"e0{X,Y}", "e1{Y,Z}"} {
+		if !contains(s, frag) {
+			t.Errorf("String() = %q, missing %q", s, frag)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -2,6 +2,7 @@ package hypertree
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -201,5 +202,35 @@ func TestCoverNode(t *testing.T) {
 		if !containsAll(n.Chi, a.Vars) || !containsInt(n.Lambda, a.ID) {
 			t.Errorf("cover node for atom %d does not cover it", a.ID)
 		}
+	}
+}
+
+func TestWidthAndString(t *testing.T) {
+	atoms := schemas([]string{"A", "B"}, []string{"B", "C"})
+	if w := Width(atoms); w != 1 {
+		t.Fatalf("Width = %d, want 1", w)
+	}
+	d := Decompose(atoms)
+	s := d.String()
+	if !strings.Contains(s, "p0") || !strings.Contains(s, "chi=") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// TestFinishHandBuilt drives the exported Finish on a hand-built tree that
+// covers only the first atom; Finish must attach a leaf for the second and
+// the result must validate.
+func TestFinishHandBuilt(t *testing.T) {
+	atoms := schemas([]string{"X", "Y"}, []string{"X", "Y"})
+	root := &Node{Chi: []string{"X", "Y"}, Lambda: []int{0}}
+	d := Finish(root, atoms)
+	if err := Validate(atoms, d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Nodes()) < 2 {
+		t.Fatalf("Finish attached no leaf for the uncovered atom: %v", d.Nodes())
+	}
+	if d.Width != 1 {
+		t.Errorf("hand-built width = %d", d.Width)
 	}
 }

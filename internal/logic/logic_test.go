@@ -204,3 +204,20 @@ func TestUsedVars(t *testing.T) {
 		t.Errorf("UsedVars = %v", uv)
 	}
 }
+
+func TestLiteralAndCNFString(t *testing.T) {
+	f := &CNF{NumVars: 3, Clauses: []Clause{cl(pos(0), neg(1)), cl(pos(2))}}
+	s := f.String()
+	for _, frag := range []string{"x0", "~x1", "x2"} {
+		found := false
+		for i := 0; i+len(frag) <= len(s); i++ {
+			if s[i:i+len(frag)] == frag {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("CNF String() = %q, missing %q", s, frag)
+		}
+	}
+}

@@ -291,3 +291,18 @@ func TestParseDecimalLimits(t *testing.T) {
 		t.Errorf("tiny decimal = %v, %v", got, err)
 	}
 }
+
+func TestMustParseAndLess(t *testing.T) {
+	if got := MustParse("3/4"); !got.Equal(New(3, 4)) {
+		t.Errorf("MustParse = %v", got)
+	}
+	if !New(1, 3).Less(New(1, 2)) || New(1, 2).Less(New(1, 3)) {
+		t.Error("Less disagrees with Cmp")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on garbage did not panic")
+		}
+	}()
+	MustParse("not-a-number")
+}

@@ -157,18 +157,25 @@ func (c *colStore) checkRef() {
 
 // contains reports whether tup is a row of the store.
 func (c *colStore) contains(tup Tuple) bool {
+	return c.find(tup) >= 0
+}
+
+// find returns the physical row id holding tup, or -1 when absent. Rows a
+// Relation has tombstoned are still found (their slot entries remain), so
+// callers distinguishing live membership check the tombstone state.
+func (c *colStore) find(tup Tuple) int {
 	if c.nrows == 0 {
-		return false
+		return -1
 	}
 	h := hashValues(tup)
 	i := h & c.mask
 	for {
 		s := c.slots[i]
 		if s == 0 {
-			return false
+			return -1
 		}
 		if c.rowEqual(int(s-1), tup) {
-			return true
+			return int(s - 1)
 		}
 		i = (i + 1) & c.mask
 	}

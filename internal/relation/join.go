@@ -69,7 +69,7 @@ func FromAtom(db *Database, a Atom) (*Table, error) {
 	buf := make(Tuple, len(vars))
 tuples:
 	for ri := 0; ri < r.Len(); ri++ {
-		tup := r.row(ri)
+		tup := r.Row(ri)
 		for i, p := range eqPos {
 			if p == -1 {
 				if tup[i] != resolved[i] {

@@ -1,0 +1,161 @@
+package relation
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDeleteTombstonesAndResurrect covers the tombstone lifecycle: Delete
+// marks rows dead without touching the arena, the live views (Len, Row,
+// Tuples, Contains) skip them, and a later Insert of the same tuple
+// resurrects the row in place.
+func TestDeleteTombstonesAndResurrect(t *testing.T) {
+	r := NewRelation("p", 2)
+	for i := 0; i < 6; i++ {
+		r.Insert(Tuple{Value(i), Value(i + 10)})
+	}
+	if r.Delete(Tuple{1}) {
+		t.Error("delete with wrong arity reported present")
+	}
+	if r.Delete(Tuple{9, 9}) {
+		t.Error("delete of absent tuple reported present")
+	}
+	if !r.Delete(Tuple{2, 12}) {
+		t.Error("delete of present tuple reported absent")
+	}
+	if r.Delete(Tuple{2, 12}) {
+		t.Error("double delete reported present")
+	}
+	if r.Len() != 5 || r.Tombstones() != 1 {
+		t.Fatalf("Len=%d Tombstones=%d, want 5 and 1", r.Len(), r.Tombstones())
+	}
+	if r.Contains(Tuple{2, 12}) {
+		t.Error("Contains sees a tombstoned tuple")
+	}
+	tuples := r.Tuples()
+	if len(tuples) != 5 {
+		t.Fatalf("Tuples returned %d rows, want 5", len(tuples))
+	}
+	for i, tup := range tuples {
+		if tup[0] == 2 {
+			t.Error("Tuples includes the deleted row")
+		}
+		if got := r.Row(i); !reflect.DeepEqual(got, tup) {
+			t.Errorf("Row(%d) = %v, Tuples[%d] = %v", i, got, i, tup)
+		}
+	}
+	// Resurrect: the insert reuses the tombstoned physical row.
+	if !r.Insert(Tuple{2, 12}) {
+		t.Error("resurrecting insert reported duplicate")
+	}
+	if r.Len() != 6 || r.Tombstones() != 0 || !r.Contains(Tuple{2, 12}) {
+		t.Fatalf("after resurrect: Len=%d Tombstones=%d", r.Len(), r.Tombstones())
+	}
+}
+
+// TestCloneDropsTombstones: Clone of a relation with dead rows starts from
+// a compact arena holding exactly the live tuples.
+func TestCloneDropsTombstones(t *testing.T) {
+	r := NewRelation("p", 1)
+	for i := 0; i < 4; i++ {
+		r.Insert(Tuple{Value(i)})
+	}
+	r.Delete(Tuple{0})
+	c := r.Clone()
+	if c.Len() != 3 || c.Tombstones() != 0 {
+		t.Fatalf("clone Len=%d Tombstones=%d, want 3 and 0", c.Len(), c.Tombstones())
+	}
+	if c.Contains(Tuple{0}) || !c.Contains(Tuple{3}) {
+		t.Error("clone membership differs from the live view")
+	}
+	// The clone is independent.
+	c.Delete(Tuple{1})
+	if !r.Contains(Tuple{1}) {
+		t.Error("mutating the clone reached the original")
+	}
+}
+
+// TestExtendSharesArena: an extension sees the parent's rows without
+// copying tuple data, and its mutations never reach the parent.
+func TestExtendSharesArena(t *testing.T) {
+	r := NewRelation("p", 2)
+	for i := 0; i < 8; i++ {
+		r.Insert(Tuple{Value(i), Value(i)})
+	}
+	r.Delete(Tuple{7, 7})
+	e := r.Extend()
+	if e.Name() != "p" || e.Arity() != 2 {
+		t.Fatalf("extension identity %s/%d", e.Name(), e.Arity())
+	}
+	if e.Len() != r.Len() || e.Tombstones() != r.Tombstones() {
+		t.Fatalf("extension Len=%d Tombstones=%d, want parent's %d and %d",
+			e.Len(), e.Tombstones(), r.Len(), r.Tombstones())
+	}
+	if !e.Insert(Tuple{100, 100}) || !e.Delete(Tuple{0, 0}) || !e.Insert(Tuple{7, 7}) {
+		t.Fatal("extension mutations misreported")
+	}
+	if r.Contains(Tuple{100, 100}) || !r.Contains(Tuple{0, 0}) || r.Contains(Tuple{7, 7}) {
+		t.Error("extension mutations visible through the parent")
+	}
+	if !e.Contains(Tuple{100, 100}) || e.Contains(Tuple{0, 0}) || !e.Contains(Tuple{7, 7}) {
+		t.Error("extension lost its own mutations")
+	}
+}
+
+// TestSealCompaction: Seal compacts once tombstones reach a quarter of the
+// physical rows and leaves smaller tombstone loads in place (with the live
+// index built for readers).
+func TestSealCompaction(t *testing.T) {
+	r := NewRelation("p", 1)
+	for i := 0; i < 8; i++ {
+		r.Insert(Tuple{Value(i)})
+	}
+	r.Delete(Tuple{0})
+	if r.Seal() {
+		t.Error("Seal compacted at 1/8 tombstones")
+	}
+	if got := r.Row(0); got[0] != 1 {
+		t.Errorf("Row(0) after Seal = %v, want value 1", got)
+	}
+	r.Delete(Tuple{1})
+	if !r.Seal() {
+		t.Error("Seal did not compact at 2/8 tombstones")
+	}
+	if r.Len() != 6 || r.Tombstones() != 0 {
+		t.Fatalf("after compaction Len=%d Tombstones=%d, want 6 and 0", r.Len(), r.Tombstones())
+	}
+	for i := 2; i < 8; i++ {
+		if !r.Contains(Tuple{Value(i)}) {
+			t.Errorf("compaction lost tuple %d", i)
+		}
+	}
+	if r.Contains(Tuple{0}) || r.Contains(Tuple{1}) {
+		t.Error("compaction kept a deleted tuple")
+	}
+}
+
+// TestTableCompact: Compact returns the table itself when storage is
+// tight, and an exactly-sized copy when the arena was preallocated far
+// beyond the rows kept.
+func TestTableCompact(t *testing.T) {
+	tight := NewTable([]string{"x"})
+	tight.Add(Tuple{1})
+	if tight.Compact() != tight {
+		t.Error("Compact copied a tight table")
+	}
+
+	big := NewTableCap([]string{"x", "y"}, 4096)
+	big.Add(Tuple{1, 2})
+	big.Add(Tuple{3, 4})
+	big.Add(Tuple{1, 2}) // duplicate, ignored
+	c := big.Compact()
+	if c == big {
+		t.Fatal("Compact kept an oversized arena")
+	}
+	if c.Len() != 2 || !c.Contains(Tuple{1, 2}) || !c.Contains(Tuple{3, 4}) {
+		t.Fatalf("compacted table lost rows: len %d", c.Len())
+	}
+	if !reflect.DeepEqual(c.Vars(), big.Vars()) {
+		t.Errorf("compacted vars %v != %v", c.Vars(), big.Vars())
+	}
+}

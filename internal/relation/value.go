@@ -12,6 +12,7 @@ package relation
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Value is an interned database constant. Values are indices into the
@@ -31,7 +32,13 @@ func (t Tuple) Clone() Tuple {
 
 // Dict interns constant names to Values. The zero value is not usable;
 // create dictionaries with newDict (Databases own their dictionary).
+//
+// A Dict is safe for concurrent use. Interning is append-only: a Value once
+// issued never changes meaning, which lets epoch-versioned Databases share
+// one dictionary — readers of an old epoch and an Apply interning new
+// constants for the next epoch only contend on the RWMutex.
 type Dict struct {
+	mu     sync.RWMutex
 	byName map[string]Value
 	names  []string
 }
@@ -42,10 +49,18 @@ func newDict() *Dict {
 
 // Intern returns the Value for name, creating it if necessary.
 func (d *Dict) Intern(name string) Value {
+	d.mu.RLock()
+	v, ok := d.byName[name]
+	d.mu.RUnlock()
+	if ok {
+		return v
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if v, ok := d.byName[name]; ok {
 		return v
 	}
-	v := Value(len(d.names))
+	v = Value(len(d.names))
 	d.byName[name] = v
 	d.names = append(d.names, name)
 	return v
@@ -53,13 +68,17 @@ func (d *Dict) Intern(name string) Value {
 
 // Lookup returns the Value for name and whether it is interned.
 func (d *Dict) Lookup(name string) (Value, bool) {
+	d.mu.RLock()
 	v, ok := d.byName[name]
+	d.mu.RUnlock()
 	return v, ok
 }
 
 // Name returns the constant name for v. It panics if v was not produced by
 // this dictionary.
 func (d *Dict) Name(v Value) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if int(v) < 0 || int(v) >= len(d.names) {
 		panic(fmt.Sprintf("relation: value %d not in dictionary", v))
 	}
@@ -68,12 +87,24 @@ func (d *Dict) Name(v Value) string {
 
 // Size returns the number of interned constants, i.e. |D|, the size of the
 // active domain.
-func (d *Dict) Size() int { return len(d.names) }
+func (d *Dict) Size() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.names)
+}
 
 // Names returns the interned constant names in sorted order.
 func (d *Dict) Names() []string {
+	out := d.interned()
+	sort.Strings(out)
+	return out
+}
+
+// interned returns a copy of the interned names in interning (Value) order.
+func (d *Dict) interned() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	out := make([]string, len(d.names))
 	copy(out, d.names)
-	sort.Strings(out)
 	return out
 }

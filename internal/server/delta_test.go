@@ -1,0 +1,202 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// patchJSON sends body as a JSON PATCH and returns status code and answer.
+func patchJSON(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPatch, url, bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("PATCH %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestApplyEndpoint drives PATCH /v1/db/{name}: the delta lands in the
+// engine (epoch advances, query answers change), and — unlike a POST
+// replacement — the prepared-metaquery cache stays warm across it.
+func TestApplyEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.LoadDatabase("fig1", figure1DB())
+
+	ask := func() queryResponse {
+		code, body := postJSON(t, ts.URL+"/v1/query", searchRequest{
+			DB: "fig1", Query: "R(X,Z) <- P(X,Y), Q(Y,Z)", Type: 0, MinSup: "0",
+		})
+		if code != http.StatusOK {
+			t.Fatalf("query status %d: %s", code, body)
+		}
+		var resp queryResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	before := ask()
+	if before.CacheHit {
+		t.Fatal("first query must be a cache miss")
+	}
+
+	code, body := patchJSON(t, ts.URL+"/v1/db/fig1", jsonDelta{Relations: []jsonRelationDelta{{
+		Name:   "citizen",
+		Insert: [][]string{{"anna", "italy"}, {"pierre", "france"}},
+		Delete: [][]string{{"maria", "italy"}},
+	}}})
+	if code != http.StatusOK {
+		t.Fatalf("patch status %d: %s", code, body)
+	}
+	var dr deltaResponse
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Epoch != 1 || dr.Inserted != 2 || dr.Deleted != 1 {
+		t.Fatalf("delta response %+v, want epoch 1, 2 inserts, 1 delete", dr)
+	}
+
+	after := ask()
+	if !after.CacheHit {
+		t.Fatal("PATCH discarded the prepared cache; the repeat query missed")
+	}
+	sameAnswers := len(after.Answers) == len(before.Answers)
+	if sameAnswers {
+		for i := range after.Answers {
+			if after.Answers[i] != before.Answers[i] {
+				sameAnswers = false
+				break
+			}
+		}
+	}
+	if sameAnswers {
+		t.Fatal("query answers unchanged by the delta")
+	}
+
+	infos := getJSON[[]dbInfo](t, ts.URL+"/v1/db")
+	if len(infos) != 1 || infos[0].Tuples != 6 {
+		t.Fatalf("db listing %+v, want 1 database with 6 tuples", infos)
+	}
+	st := getJSON[Stats](t, ts.URL+"/v1/stats")
+	if st.DBDeltas != 1 {
+		t.Fatalf("stats report %d deltas, want 1", st.DBDeltas)
+	}
+}
+
+// PATCH errors: unknown database, empty delta, invalid delta — each leaves
+// the engine untouched.
+func TestApplyEndpointErrors(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.LoadDatabase("fig1", figure1DB())
+
+	if code, _ := patchJSON(t, ts.URL+"/v1/db/nope", jsonDelta{Relations: []jsonRelationDelta{{Name: "r", Arity: 1}}}); code != http.StatusNotFound {
+		t.Fatalf("unknown db: status %d, want 404", code)
+	}
+	if code, _ := patchJSON(t, ts.URL+"/v1/db/fig1", jsonDelta{}); code != http.StatusBadRequest {
+		t.Fatalf("empty delta: status %d, want 400", code)
+	}
+	if code, body := patchJSON(t, ts.URL+"/v1/db/fig1", jsonDelta{Relations: []jsonRelationDelta{{
+		Name: "citizen", Insert: [][]string{{"only-one-term"}},
+	}}}); code != http.StatusBadRequest {
+		t.Fatalf("arity mismatch: status %d (%s), want 400", code, body)
+	}
+	d, _ := s.reg.get("fig1")
+	if d.eng.Epoch() != 0 {
+		t.Fatalf("failed PATCHes advanced the epoch to %d", d.eng.Epoch())
+	}
+}
+
+// TestReplaceDatabaseMidStream is the replacement-path regression test: a
+// POST to /v1/db/{name} swaps the registry entry with zero coordination
+// against searches already streaming from the old engine. The in-flight
+// stream must complete on the snapshot it started with — full answer count,
+// clean trailer — while requests arriving after the swap see the new data.
+// The swap happens deterministically after the first streamed row, inside
+// the streamSent hook.
+func TestReplaceDatabaseMidStream(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	sc := loadScenario(t, s, "live", "t1-cycle", 1)
+	req := searchRequest{DB: "live", Query: sc.MQ.String(), Type: int(sc.Type)}
+
+	// Baseline: the full answer count on the original database.
+	code, body := postJSON(t, ts.URL+"/v1/query", req)
+	if code != http.StatusOK {
+		t.Fatalf("baseline query status %d: %s", code, body)
+	}
+	var baseline queryResponse
+	if err := json.Unmarshal(body, &baseline); err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline.Answers) < 2 {
+		t.Fatalf("scenario yields %d answers; need >= 2 to observe a mid-stream swap", len(baseline.Answers))
+	}
+
+	var once sync.Once
+	s.streamSent = func(n int) {
+		once.Do(func() {
+			// Replace the database out from under the running stream.
+			s.LoadDatabase("live", figure1DB())
+		})
+	}
+	defer func() { s.streamSent = nil }()
+
+	code, body = postJSON(t, ts.URL+"/v1/stream", req)
+	if code != http.StatusOK {
+		t.Fatalf("stream status %d: %s", code, body)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	var trailer streamTrailer
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &trailer); err != nil {
+		t.Fatalf("trailer line %q: %v", lines[len(lines)-1], err)
+	}
+	if trailer.Status != "ok" {
+		t.Fatalf("stream trailer %+v; the swap must not disturb the in-flight search", trailer)
+	}
+	if rows := len(lines) - 1; rows != len(baseline.Answers) {
+		t.Fatalf("in-flight stream delivered %d rows across the swap, want the old snapshot's %d", rows, len(baseline.Answers))
+	}
+
+	// Requests after the swap run against the replacement database.
+	infos := getJSON[[]dbInfo](t, ts.URL+"/v1/db")
+	if len(infos) != 1 || infos[0].Tuples != figure1DB().Size() {
+		t.Fatalf("post-swap listing %+v, want the replacement database's %d tuples", infos, figure1DB().Size())
+	}
+	code, body = postJSON(t, ts.URL+"/v1/query", searchRequest{
+		DB: "live", Query: "R(X,Z) <- P(X,Y), Q(Y,Z)", Type: 0, MinCnf: "1/2",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("post-swap query status %d: %s", code, body)
+	}
+	var after queryResponse
+	if err := json.Unmarshal(body, &after); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range after.Answers {
+		if a.Rule == "speaks(X,Z) <- citizen(X,Y), language(Y,Z)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("post-swap query does not see the replacement data: %s", body)
+	}
+}

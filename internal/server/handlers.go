@@ -421,6 +421,72 @@ func (s *Server) handleLoadDB(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, dbInfo{Name: name, Relations: db.NumRelations(), Tuples: db.Size()})
 }
 
+// jsonDelta is the wire form of PATCH /v1/db/{name}: batched per-relation
+// tuple inserts and deletes, applied atomically through Engine.Apply.
+type jsonDelta struct {
+	Relations []jsonRelationDelta `json:"relations"`
+}
+
+// jsonRelationDelta is one relation's change. Deletes apply before inserts;
+// arity is only needed when creating a relation without inserting into it.
+type jsonRelationDelta struct {
+	Name   string     `json:"name"`
+	Arity  int        `json:"arity,omitempty"`
+	Insert [][]string `json:"insert,omitempty"`
+	Delete [][]string `json:"delete,omitempty"`
+}
+
+// deltaResponse reports what a PATCH did: the database's epoch after the
+// delta and the effective change counts.
+type deltaResponse struct {
+	Name      string `json:"name"`
+	Epoch     uint64 `json:"epoch"`
+	Inserted  int    `json:"inserted"`
+	Deleted   int    `json:"deleted"`
+	Compacted int    `json:"compacted,omitempty"`
+}
+
+// handleApplyDB answers PATCH /v1/db/{name}: an incremental delta into the
+// registered engine via Engine.Apply. Unlike POST (full replacement, which
+// discards the prepared-metaquery cache), PATCH keeps the registry entry —
+// and with it the warm prepared LRU: cached Prepared values re-bind to the
+// new epoch on their next execution, carrying over whatever node-join cache
+// entries the delta left valid. In-flight searches finish on the snapshot
+// they started with.
+func (s *Server) handleApplyDB(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	d, ok := s.reg.get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown database %q (have %v)", name, s.reg.names()))
+		return
+	}
+	var req jsonDelta
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Relations) == 0 {
+		writeError(w, http.StatusBadRequest, "delta needs at least one relation")
+		return
+	}
+	var delta engine.Delta
+	for _, rd := range req.Relations {
+		delta.Relations = append(delta.Relations, engine.RelationDelta{
+			Name: rd.Name, Arity: rd.Arity, Insert: rd.Insert, Delete: rd.Delete,
+		})
+	}
+	res, err := d.eng.Apply(r.Context(), delta)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.metrics.dbDeltas.Add(1)
+	writeJSON(w, deltaResponse{
+		Name: name, Epoch: res.Epoch,
+		Inserted: res.Inserted, Deleted: res.Deleted, Compacted: res.Compacted,
+	})
+}
+
 // dbInfo summarizes one registered database.
 type dbInfo struct {
 	Name      string `json:"name"`

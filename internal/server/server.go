@@ -12,6 +12,8 @@
 //	POST /v1/decide    first-witness YES/NO for one index bound
 //	POST /v1/stream    answers as NDJSON rows + a trailer status line
 //	POST /v1/db/{name} load or replace a named database (CSV dir or inline)
+//	PATCH /v1/db/{name} apply a tuple delta incrementally (Engine.Apply),
+//	                   keeping the prepared-metaquery cache warm
 //	GET  /v1/db        list the registered databases
 //	GET  /v1/stats     machine-readable server/cache/engine statistics
 //	GET  /debug        the same statistics as human-readable text
@@ -91,6 +93,7 @@ type metrics struct {
 	rejected    atomic.Uint64 // 429 responses (semaphore saturated)
 	inFlight    atomic.Int64  // currently executing search requests
 	dbLoads     atomic.Uint64 // databases loaded or replaced
+	dbDeltas    atomic.Uint64 // PATCH deltas applied (Engine.Apply)
 	cacheHits   atomic.Uint64 // prepared-cache hits across all databases
 	cacheMisses atomic.Uint64 // prepared-cache misses across all databases
 
@@ -134,6 +137,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/decide", s.admitted(s.handleDecide, &s.metrics.decisions))
 	s.mux.HandleFunc("POST /v1/stream", s.admitted(s.handleStream, &s.metrics.streams))
 	s.mux.HandleFunc("POST /v1/db/{name}", s.handleLoadDB)
+	s.mux.HandleFunc("PATCH /v1/db/{name}", s.handleApplyDB)
 	s.mux.HandleFunc("GET /v1/db", s.handleListDB)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /debug", s.handleDebug)

@@ -18,6 +18,7 @@ type Stats struct {
 	Streams   uint64 `json:"streams"`
 	Rejected  uint64 `json:"rejected"`
 	DBLoads   uint64 `json:"db_loads"`
+	DBDeltas  uint64 `json:"db_deltas"`
 
 	CacheHits    uint64  `json:"cache_hits"`
 	CacheMisses  uint64  `json:"cache_misses"`
@@ -49,6 +50,7 @@ func (s *Server) Stats() Stats {
 		Streams:       s.metrics.streams.Load(),
 		Rejected:      s.metrics.rejected.Load(),
 		DBLoads:       s.metrics.dbLoads.Load(),
+		DBDeltas:      s.metrics.dbDeltas.Load(),
 		CacheHits:     s.metrics.cacheHits.Load(),
 		CacheMisses:   s.metrics.cacheMisses.Load(),
 		StreamRows:    s.metrics.streamRows.Load(),
@@ -94,7 +96,7 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "  deadline hits   %d\n", st.DeadlineHits)
 	fmt.Fprintf(&b, "  answers served  %d\n", st.AnswersServed)
 	fmt.Fprintf(&b, "  prep cache      %d hits / %d misses (rate %.3f)\n", st.CacheHits, st.CacheMisses, st.CacheHitRate)
-	fmt.Fprintf(&b, "  databases       %d (loads %d)\n", len(st.Databases), st.DBLoads)
+	fmt.Fprintf(&b, "  databases       %d (loads %d, deltas %d)\n", len(st.Databases), st.DBLoads, st.DBDeltas)
 	for _, d := range st.Databases {
 		fmt.Fprintf(&b, "    %-16s %d relations, %d tuples; cache %d/%d (h%d m%d e%d)\n",
 			d.Name, d.Relations, d.Tuples,

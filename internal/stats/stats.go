@@ -15,12 +15,20 @@
 //     greedy minimum-growth order above.
 //
 // Statistics are collected once per database (the engine caches them
-// alongside its evaluator; both snapshot the database and are invalidated
-// together by building a new Engine) and every estimate is derived
-// arithmetic — nothing here rescans data at planning time.
+// alongside its evaluator; both snapshot the database and belong to one
+// epoch snapshot, replaced together by Engine.Apply) and every estimate is
+// derived arithmetic — nothing here rescans data at planning time.
+//
+// For mutable databases, CollectCounting retains the per-column value
+// counts the sketch is derived from; WithDelta then absorbs a batch of
+// inserted/removed tuples by adjusting those counts and re-deriving
+// Distinct/MCV — O(delta) instead of a rescan — falling back to an exact
+// recollection every StalenessRebuild deltas (and whenever counts are
+// unavailable) so the maps cannot accumulate drift or garbage.
 package stats
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -77,6 +85,13 @@ func (c *ColumnStats) freq(v relation.Value, rows int) float64 {
 type RelationStats struct {
 	Rows int
 	Cols []ColumnStats
+
+	// counts, when retained (CollectCounting), holds the exact per-column
+	// value counts the ColumnStats are derived from, enabling O(delta)
+	// maintenance in WithDelta. deltas counts the WithDelta applications
+	// since the last exact collection.
+	counts []map[relation.Value]int
+	deltas int
 }
 
 // Stats holds the collected statistics of one database snapshot. All
@@ -90,15 +105,27 @@ type Stats struct {
 // Collect computes the statistics for every relation of db in one pass
 // over each relation's rows.
 func Collect(db *relation.Database) *Stats {
+	return collect(db, false)
+}
+
+// CollectCounting is Collect retaining the per-column value counts, the
+// counting form WithDelta maintains incrementally. It costs the same scan
+// as Collect plus the memory of one count entry per (column, distinct
+// value).
+func CollectCounting(db *relation.Database) *Stats {
+	return collect(db, true)
+}
+
+func collect(db *relation.Database, counting bool) *Stats {
 	st := &Stats{db: db, rels: make(map[string]*RelationStats, db.NumRelations())}
 	for _, name := range db.RelationNames() {
-		st.rels[name] = collectRelation(db.Relation(name))
+		st.rels[name] = collectRelation(db.Relation(name), counting)
 	}
 	return st
 }
 
 // collectRelation scans r once, counting every column's values.
-func collectRelation(r *relation.Relation) *RelationStats {
+func collectRelation(r *relation.Relation, counting bool) *RelationStats {
 	rs := &RelationStats{Rows: r.Len(), Cols: make([]ColumnStats, r.Arity())}
 	counts := make([]map[relation.Value]int, r.Arity())
 	for c := range counts {
@@ -111,14 +138,22 @@ func collectRelation(r *relation.Relation) *RelationStats {
 		}
 	}
 	for c, m := range counts {
-		col := &rs.Cols[c]
-		col.Distinct = len(m)
-		col.MCV = topK(m, MCVEntries)
-		for _, e := range col.MCV {
-			col.mcvRows += e.Count
-		}
+		deriveColumn(&rs.Cols[c], m)
+	}
+	if counting {
+		rs.counts = counts
 	}
 	return rs
+}
+
+// deriveColumn recomputes col's Distinct/MCV/mcvRows from the value counts.
+func deriveColumn(col *ColumnStats, m map[relation.Value]int) {
+	col.Distinct = len(m)
+	col.MCV = topK(m, MCVEntries)
+	col.mcvRows = 0
+	for _, e := range col.MCV {
+		col.mcvRows += e.Count
+	}
 }
 
 // topK extracts the k highest-count entries, descending by count with ties
@@ -148,6 +183,112 @@ func (st *Stats) Database() *relation.Database { return st.db }
 
 // Relation returns the statistics of the named relation, or nil.
 func (st *Stats) Relation(name string) *RelationStats { return st.rels[name] }
+
+// StalenessRebuild is the number of WithDelta applications a relation's
+// counting form absorbs before the next delta triggers an exact
+// recollection instead. The counts are exact, so this is defensive: it
+// bounds the lifetime of any drift and periodically reclaims map garbage
+// from churned values.
+const StalenessRebuild = 64
+
+// RelationChange is one relation's net tuple delta, as WithDelta consumes
+// it: Added and Removed list actual membership changes (an insert of a
+// present tuple or delete of an absent one must not appear).
+type RelationChange struct {
+	Name    string
+	Added   []relation.Tuple
+	Removed []relation.Tuple
+}
+
+// WithDelta derives the statistics of db — the changed database version —
+// from st by absorbing the given per-relation changes; st itself is left
+// untouched (old-epoch readers keep using it). Relations with retained
+// value counts are maintained in O(|delta|); relations without counts,
+// unknown relations, and relations past StalenessRebuild deltas are
+// recollected exactly (counting) from db.
+func (st *Stats) WithDelta(db *relation.Database, changes []RelationChange) *Stats {
+	out := &Stats{db: db, rels: make(map[string]*RelationStats, len(st.rels)+len(changes))}
+	for name, rs := range st.rels {
+		out.rels[name] = rs
+	}
+	for _, ch := range changes {
+		r := db.Relation(ch.Name)
+		if r == nil {
+			delete(out.rels, ch.Name)
+			continue
+		}
+		rs := st.rels[ch.Name]
+		if rs == nil || rs.counts == nil || rs.deltas >= StalenessRebuild {
+			out.rels[ch.Name] = collectRelation(r, true)
+			continue
+		}
+		nrs := &RelationStats{
+			Rows:   rs.Rows + len(ch.Added) - len(ch.Removed),
+			Cols:   make([]ColumnStats, len(rs.Cols)),
+			counts: make([]map[relation.Value]int, len(rs.counts)),
+			deltas: rs.deltas + 1,
+		}
+		for c, m := range rs.counts {
+			nm := make(map[relation.Value]int, len(m))
+			for v, n := range m {
+				nm[v] = n
+			}
+			for _, t := range ch.Added {
+				nm[t[c]]++
+			}
+			for _, t := range ch.Removed {
+				if nm[t[c]]--; nm[t[c]] <= 0 {
+					delete(nm, t[c])
+				}
+			}
+			nrs.counts[c] = nm
+			deriveColumn(&nrs.Cols[c], nm)
+		}
+		out.rels[ch.Name] = nrs
+	}
+	return out
+}
+
+// DiffFrom compares st against independently collected statistics over the
+// same data, returning "" when every relation's row count, per-column
+// distinct count and MCV sketch agree, or a description of the first
+// divergence. The counting form is exact, so incremental maintenance must
+// match a from-scratch collection bit for bit; the differential harness
+// uses this to catch stats drift that answer comparison cannot see.
+func (st *Stats) DiffFrom(other *Stats) string {
+	for name, rs := range st.rels {
+		ors := other.rels[name]
+		if ors == nil {
+			return fmt.Sprintf("relation %s: present here, absent there", name)
+		}
+		if rs.Rows != ors.Rows {
+			return fmt.Sprintf("relation %s: rows %d vs %d", name, rs.Rows, ors.Rows)
+		}
+		if len(rs.Cols) != len(ors.Cols) {
+			return fmt.Sprintf("relation %s: arity %d vs %d", name, len(rs.Cols), len(ors.Cols))
+		}
+		for c := range rs.Cols {
+			a, b := &rs.Cols[c], &ors.Cols[c]
+			if a.Distinct != b.Distinct {
+				return fmt.Sprintf("relation %s col %d: distinct %d vs %d", name, c, a.Distinct, b.Distinct)
+			}
+			if len(a.MCV) != len(b.MCV) {
+				return fmt.Sprintf("relation %s col %d: MCV size %d vs %d", name, c, len(a.MCV), len(b.MCV))
+			}
+			for k := range a.MCV {
+				if a.MCV[k] != b.MCV[k] {
+					return fmt.Sprintf("relation %s col %d: MCV[%d] %v vs %v", name, c, k, a.MCV[k], b.MCV[k])
+				}
+			}
+		}
+	}
+	for name := range other.rels {
+		if st.rels[name] == nil {
+			return fmt.Sprintf("relation %s: absent here, present there", name)
+		}
+	}
+	return ""
+}
 
 // Est is the estimated profile of a (possibly derived) table: an estimated
 // row count and per-column distinct-count estimates aligned with Vars.

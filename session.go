@@ -11,9 +11,25 @@ import (
 // analogous to database/sql's *DB: it builds and caches the per-database
 // structures every search consults (relation indices, arity/candidate
 // buckets, materialized atom tables) once, and shares them across all
-// queries prepared on it. Safe for concurrent use; the database must not
-// be modified while the Engine is in use.
+// queries prepared on it. Safe for concurrent use.
+//
+// The database is mutable through Engine.Apply, which absorbs batched
+// tuple inserts/deletes into a new epoch snapshot (incrementally
+// maintained statistics, candidate index and caches) without disturbing
+// in-flight executions; direct mutation of the *Database is not allowed
+// while the Engine is in use.
 type Engine = engine.Engine
+
+// Delta is a batched database change (per-relation tuple inserts and
+// deletes) applied atomically by Engine.Apply.
+type Delta = engine.Delta
+
+// RelationDelta is one relation's change within a Delta.
+type RelationDelta = engine.RelationDelta
+
+// ApplyResult reports what an Engine.Apply did: the epoch now current and
+// the effective insert/delete/compaction counts.
+type ApplyResult = engine.ApplyResult
 
 // Prepared is a metaquery analyzed once — validation, hypertree
 // decomposition, scheme ordering — and executable many times against its
