@@ -5,7 +5,8 @@
 //	metaquery -db DIR -query "R(X,Z) <- P(X,Y), Q(Y,Z)" \
 //	    [-type 0|1|2] [-min-sup R] [-min-cnf R] [-min-cvr R] \
 //	    [-naive] [-limit N] [-stats] [-timeout D] [-explain] \
-//	    [-decide sup|cnf|cvr] [-k R] [-workers N]
+//	    [-decide sup|cnf|cvr] [-k R] [-workers N] \
+//	    [-approx-eps E -approx-delta D [-approx-max-samples N]]
 //
 // The database directory holds one CSV file per relation (rows are tuples;
 // the file name without extension is the relation name). Thresholds are
@@ -24,6 +25,16 @@
 // -workers N (decision mode only) partitions the first decomposition
 // node's candidate atoms across N goroutines sharing a first-witness
 // cancellation; the verdict is identical to the sequential run.
+//
+// -approx-eps/-approx-delta (decision mode only) switch the decision to
+// the sampling ε–δ path: candidate fractions are estimated from uniform
+// row samples and accepted or rejected as soon as the confidence interval
+// at 1−δ clears the bound, escalating to exact evaluation when it
+// straddles. YES verdicts are exactly confirmed and never wrong; NO
+// verdicts are wrong with probability at most δ when the true value lies
+// outside k±ε. -approx-max-samples caps the per-fraction draws (0 derives
+// the budget from ε and δ). -stats additionally reports samples drawn and
+// escalations.
 //
 // -explain (enumeration mode only) prints the chosen plan before the
 // answers: the decomposition node visit order with the cost planner's
@@ -84,6 +95,9 @@ func main() {
 		kBound  = flag.String("k", "", "decision bound for -decide (strict: index > k; default 0)")
 		workers = flag.Int("workers", 0, "decision workers: partition the first node's candidates across N goroutines (-decide only; <=1 = sequential)")
 		explain = flag.Bool("explain", false, "print the chosen join order with per-node cost estimates vs. actual row counts (enumeration mode only)")
+		apxEps  = flag.Float64("approx-eps", 0, "approximate decision half-band ε in (0,1): sample the fractions instead of computing them exactly (-decide only; needs -approx-delta)")
+		apxDel  = flag.Float64("approx-delta", 0, "approximate decision error bound δ in (0,1) (-decide only; needs -approx-eps)")
+		apxMax  = flag.Int("approx-max-samples", 0, "per-fraction sample budget before escalating to exact evaluation (0 = derive from ε and δ)")
 	)
 	flag.Parse()
 	var err error
@@ -101,7 +115,8 @@ func main() {
 		case *explain:
 			err = fmt.Errorf("-explain does not apply with -decide (the report describes the enumeration plan)")
 		default:
-			err = runDecide(*dbDir, *query, *typN, *decide, *kBound, *workers, *showSts, *timeout)
+			approx := metaquery.ApproxOptions{Epsilon: *apxEps, Delta: *apxDel, MaxSamples: *apxMax}
+			err = runDecide(*dbDir, *query, *typN, *decide, *kBound, *workers, approx, *showSts, *timeout)
 		}
 		if errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintln(os.Stderr, "metaquery: decision timed out before reaching a verdict")
@@ -113,6 +128,8 @@ func main() {
 		err = fmt.Errorf("-k requires -decide (use -min-sup/-min-cnf/-min-cvr for enumeration thresholds)")
 	} else if *workers != 0 {
 		err = fmt.Errorf("-workers requires -decide (enumeration runs are sequential)")
+	} else if *apxEps != 0 || *apxDel != 0 || *apxMax != 0 {
+		err = fmt.Errorf("-approx-eps/-approx-delta/-approx-max-samples require -decide (enumeration is always exact)")
 	} else if *explain && *naive {
 		err = fmt.Errorf("-explain does not apply with -naive (the naive engine has no plan)")
 	} else {
@@ -139,9 +156,12 @@ func main() {
 // engine's first-witness path and prints the verdict (plus the witness
 // rule on YES). workers > 1 partitions the first decomposition node's
 // candidates across that many goroutines sharing a first-witness
-// cancellation. It returns errNoVerdict on a completed NO so main can map
-// it to the dedicated exit status.
-func runDecide(dbDir, query string, typN int, index, kBound string, workers int, showStats bool, timeout time.Duration) error {
+// cancellation. With approx configured (-approx-eps/-approx-delta) the
+// candidate fractions are decided by uniform row sampling under the ε–δ
+// contract instead of exactly, escalating to exact evaluation when the
+// confidence interval straddles the bound. It returns errNoVerdict on a
+// completed NO so main can map it to the dedicated exit status.
+func runDecide(dbDir, query string, typN int, index, kBound string, workers int, approx metaquery.ApproxOptions, showStats bool, timeout time.Duration) error {
 	var ix metaquery.Index
 	switch index {
 	case "sup":
@@ -168,19 +188,32 @@ func runDecide(dbDir, query string, typN int, index, kBound string, workers int,
 	ctx, cancel := searchContext(timeout)
 	defer cancel()
 
-	prep, err := metaquery.NewEngine(db).Prepare(mq, metaquery.Options{Type: typ, Workers: workers})
+	prep, err := metaquery.NewEngine(db).Prepare(mq, metaquery.Options{Type: typ, Workers: workers, Approx: approx})
 	if err != nil {
 		return err
 	}
-	yes, wit, stats, err := prep.DecideFirstStats(ctx, ix, k)
+	var (
+		yes   bool
+		wit   *metaquery.Instantiation
+		stats *metaquery.Stats
+	)
+	if approx.Enabled() {
+		yes, wit, stats, err = prep.DecideApproxStats(ctx, ix, k)
+	} else {
+		yes, wit, stats, err = prep.DecideFirstStats(ctx, ix, k)
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Printf("# decision: is there a %s instantiation with %s > %s?\n", typ, ix, k)
+	if approx.Enabled() {
+		fmt.Printf("# method: approx (eps=%g delta=%g); YES verdicts are exactly confirmed\n", approx.Epsilon, approx.Delta)
+	}
 	if showStats {
-		fmt.Printf("# width=%d nodes=%d candidates=%d pruned_empty=%d pruned_support=%d bodies=%d heads=%d heads_skipped=%d\n",
+		fmt.Printf("# width=%d nodes=%d candidates=%d pruned_empty=%d pruned_support=%d bodies=%d heads=%d heads_skipped=%d samples=%d escalated=%d\n",
 			stats.Width, stats.Nodes, stats.BodyCandidatesTried, stats.BodiesPrunedEmpty,
-			stats.BodiesPrunedSupport, stats.BodiesReachedRoot, stats.HeadsTried, stats.HeadsSkipped)
+			stats.BodiesPrunedSupport, stats.BodiesReachedRoot, stats.HeadsTried, stats.HeadsSkipped,
+			stats.SamplesDrawn, stats.ApproxEscalated)
 	}
 	if !yes {
 		fmt.Println("NO")

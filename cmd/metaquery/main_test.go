@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/mqgo/metaquery"
 )
 
 // writeTelecomCSV writes a small CSV database for CLI tests.
@@ -82,7 +84,7 @@ func TestRunImpureQueryType0Fails(t *testing.T) {
 
 func TestRunDecideYes(t *testing.T) {
 	dir := writeTelecomCSV(t)
-	if err := runDecide(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "cnf", "1/2", 0, true, 0); err != nil {
+	if err := runDecide(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "cnf", "1/2", 0, metaquery.ApproxOptions{}, true, 0); err != nil {
 		t.Fatalf("decide run failed: %v", err)
 	}
 }
@@ -91,7 +93,7 @@ func TestRunDecideNo(t *testing.T) {
 	dir := writeTelecomCSV(t)
 	// No index can strictly exceed 1: a clean NO, reported as errNoVerdict
 	// so main can exit with the dedicated status.
-	err := runDecide(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "sup", "1", 0, false, 0)
+	err := runDecide(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "sup", "1", 0, metaquery.ApproxOptions{}, false, 0)
 	if err != errNoVerdict {
 		t.Fatalf("NO decision returned %v, want errNoVerdict", err)
 	}
@@ -100,11 +102,29 @@ func TestRunDecideNo(t *testing.T) {
 func TestRunDecideWorkers(t *testing.T) {
 	dir := writeTelecomCSV(t)
 	// The parallel path must reach the same verdicts as the sequential one.
-	if err := runDecide(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "cnf", "1/2", 3, false, 0); err != nil {
+	if err := runDecide(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "cnf", "1/2", 3, metaquery.ApproxOptions{}, false, 0); err != nil {
 		t.Fatalf("parallel decide YES failed: %v", err)
 	}
-	if err := runDecide(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "sup", "1", 3, false, 0); err != errNoVerdict {
+	if err := runDecide(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "sup", "1", 3, metaquery.ApproxOptions{}, false, 0); err != errNoVerdict {
 		t.Fatalf("parallel decide NO returned %v, want errNoVerdict", err)
+	}
+}
+
+func TestRunDecideApprox(t *testing.T) {
+	dir := writeTelecomCSV(t)
+	approx := metaquery.ApproxOptions{Epsilon: 0.1, Delta: 0.1}
+	// The ε–δ path must reach the same verdicts as the exact one on this
+	// tiny database (the sample budget covers every population).
+	if err := runDecide(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "cnf", "1/2", 0, approx, true, 0); err != nil {
+		t.Fatalf("approx decide YES failed: %v", err)
+	}
+	if err := runDecide(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "sup", "1", 0, approx, false, 0); err != errNoVerdict {
+		t.Fatalf("approx decide NO returned %v, want errNoVerdict", err)
+	}
+	// Invalid parameters surface as hard errors through Prepare.
+	bad := metaquery.ApproxOptions{Epsilon: 2, Delta: 0.1}
+	if err := runDecide(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "cnf", "1/2", 0, bad, false, 0); err == nil || err == errNoVerdict {
+		t.Fatalf("invalid approx options returned %v, want a hard error", err)
 	}
 }
 
@@ -128,11 +148,21 @@ func TestRunExplain(t *testing.T) {
 func TestRunDecideValidation(t *testing.T) {
 	dir := writeTelecomCSV(t)
 	for name, fn := range map[string]func() error{
-		"bad index":  func() error { return runDecide(dir, "R(X) <- P(X)", 0, "bogus", "0", 0, false, 0) },
-		"bad bound":  func() error { return runDecide(dir, "R(X) <- P(X)", 0, "sup", "x/y", 0, false, 0) },
-		"bad type":   func() error { return runDecide(dir, "R(X) <- P(X)", 9, "sup", "0", 0, false, 0) },
-		"missing db": func() error { return runDecide("", "R(X) <- P(X)", 0, "sup", "0", 0, false, 0) },
-		"bad query":  func() error { return runDecide(dir, "not a query", 0, "sup", "0", 0, false, 0) },
+		"bad index": func() error {
+			return runDecide(dir, "R(X) <- P(X)", 0, "bogus", "0", 0, metaquery.ApproxOptions{}, false, 0)
+		},
+		"bad bound": func() error {
+			return runDecide(dir, "R(X) <- P(X)", 0, "sup", "x/y", 0, metaquery.ApproxOptions{}, false, 0)
+		},
+		"bad type": func() error {
+			return runDecide(dir, "R(X) <- P(X)", 9, "sup", "0", 0, metaquery.ApproxOptions{}, false, 0)
+		},
+		"missing db": func() error {
+			return runDecide("", "R(X) <- P(X)", 0, "sup", "0", 0, metaquery.ApproxOptions{}, false, 0)
+		},
+		"bad query": func() error {
+			return runDecide(dir, "not a query", 0, "sup", "0", 0, metaquery.ApproxOptions{}, false, 0)
+		},
 	} {
 		if err := fn(); err == nil || err == errNoVerdict {
 			t.Errorf("%s: got %v, want a hard error", name, err)

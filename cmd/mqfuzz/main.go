@@ -1,9 +1,12 @@
 // Command mqfuzz drives the differential oracle harness (internal/diff)
 // over seeded random scenarios: every generated case is executed on every
 // production path — naive enumeration, the findRules engine, the
-// Prepared/Stream session API, and the sequential, parallel and
-// engine-backed deciders — and each is checked against the transparent
-// brute-force oracle, rat-exact and order-insensitive.
+// Prepared/Stream session API, the sequential, parallel and engine-backed
+// deciders, and the sampling ε–δ approximate decider at every
+// verdict-flipping bound — and each is checked against the transparent
+// brute-force oracle, rat-exact and order-insensitive. The approximate
+// decider's confusion counts (TP/FP/TN/FN per shape) are summarized at the
+// end of a clean run and its out-of-band error rate is gated against δ.
 //
 // On a mismatch, the failing scenario is minimized — delta debugging
 // (ddmin) over the database's tuples, then a greedy polish dropping body
@@ -82,6 +85,13 @@ func run(w *os.File, seed int64, n int, shape string, verbose bool, writeRepro s
 	if n <= 0 {
 		return fmt.Errorf("-n must be positive")
 	}
+	// Static mode also drives the ε–δ approximate decider at every derived
+	// verdict-flipping bound; the tally carries the sweep-level confusion
+	// accounting its error contract is gated on below.
+	var tally *diff.ApproxTally
+	if !deltas {
+		tally = diff.NewApproxTally()
+	}
 	ran := 0
 	for i := 0; i < n; i++ {
 		sh := shapes[i%len(shapes)]
@@ -94,7 +104,7 @@ func run(w *os.File, seed int64, n int, shape string, verbose bool, writeRepro s
 		if deltas {
 			m, err = diff.RunDeltas(s)
 		} else {
-			m, err = diff.Run(s)
+			m, err = diff.RunTally(s, tally)
 		}
 		if err != nil {
 			return fmt.Errorf("%s/%d: %w", sh, caseSeed, err)
@@ -136,6 +146,14 @@ func run(w *os.File, seed int64, n int, shape string, verbose bool, writeRepro s
 	verdict := "all paths agree with the oracle"
 	if deltas {
 		verdict = "all incremental paths match from-scratch rebuilds"
+	}
+	if tally != nil {
+		fmt.Fprintln(w, tally.Summary())
+		// Per-case checks already fail hard on false positives and in-band
+		// misses; the aggregate rate is the remaining ε–δ contract term.
+		if rate := tally.OutOfBandErrorRate(); rate > diff.ApproxDelta {
+			return fmt.Errorf("approx out-of-band error rate %.4f exceeds delta %g", rate, diff.ApproxDelta)
+		}
 	}
 	fmt.Fprintf(w, "mqfuzz: %d case(s) across %d shape(s), %s\n", ran, len(shapes), verdict)
 	return nil

@@ -17,6 +17,9 @@ func TestRunSmoke(t *testing.T) {
 	if !strings.Contains(text, "24 case(s)") {
 		t.Errorf("output %q does not report the case count", text)
 	}
+	if !strings.Contains(text, "decide-approx sweep") || !strings.Contains(text, "out-of-band error rate") {
+		t.Errorf("output does not report the approx confusion summary:\n%s", text)
+	}
 }
 
 // The -shape filter restricts generation and rejects unknown names.

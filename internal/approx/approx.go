@@ -1,0 +1,251 @@
+// Package approx implements the statistical core of the sampling-based
+// approximate index decider: confidence intervals for a sampled fraction
+// (Hoeffding and Wilson forms) and a sequential early-verdict test that
+// answers "is the fraction > k?" at confidence 1−δ as soon as the interval
+// clears the threshold, escalating to exact evaluation when the interval
+// still straddles k after a sample budget.
+//
+// The paper's plausibility indices (sup/cnf/cvr, Definition 2.6) are all
+// fractions |t ⋉ u| / |t| of a denominator table t, so one Bernoulli
+// abstraction covers all three: draw uniform rows of t, test membership of
+// each row's shared-column projection in u, and feed the hit counts into a
+// Seq. The engine (internal/engine.DecideApprox) owns the sampling and the
+// membership probes; this package owns only the mathematics, which keeps it
+// independently property-testable against exhaustive small-population
+// enumeration.
+//
+// Error accounting: verdicts are checked at geometrically spaced sample
+// counts (16, 32, 64, …, budget) with the δ budget split evenly across
+// checkpoints, so by the union bound the probability that any checkpoint's
+// Hoeffding interval excludes the true fraction is at most δ. A cleared
+// interval therefore gives the verdict at confidence 1−δ; an exhausted
+// budget yields Escalate (or Exact when the budget covered the whole
+// population, since the samplers draw without replacement).
+package approx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params configures one ε–δ decision.
+type Params struct {
+	// Epsilon is the half-width of the indifference band around the
+	// threshold: outside [k−ε, k+ε] the decider's verdicts are wrong with
+	// probability at most Delta; inside the band it escalates to exact
+	// evaluation (given a sufficient budget) rather than guess.
+	Epsilon float64
+	// Delta bounds the probability of a wrong sampled verdict.
+	Delta float64
+	// MaxSamples is the per-fraction sample budget before escalation.
+	// 0 forces immediate escalation: every fraction is evaluated exactly.
+	MaxSamples int
+}
+
+// Validate reports whether the parameters denote a meaningful ε–δ decision:
+// ε and δ strictly inside (0, 1), a non-negative budget.
+func (p Params) Validate() error {
+	if !(p.Epsilon > 0 && p.Epsilon < 1) {
+		return fmt.Errorf("approx: epsilon %v outside (0, 1)", p.Epsilon)
+	}
+	if !(p.Delta > 0 && p.Delta < 1) {
+		return fmt.Errorf("approx: delta %v outside (0, 1)", p.Delta)
+	}
+	if p.MaxSamples < 0 {
+		return fmt.Errorf("approx: negative sample budget %d", p.MaxSamples)
+	}
+	return nil
+}
+
+// SamplesFor returns the Hoeffding sample count at which a two-sided
+// interval at confidence 1−delta has half-width at most eps:
+// ⌈ln(2/δ) / (2ε²)⌉. It is the natural default budget for Params: at that
+// count an interval that still straddles k certifies the true fraction is
+// within ±ε of the threshold, i.e. escalation only happens inside the band.
+func SamplesFor(eps, delta float64) int {
+	if !(eps > 0) || !(delta > 0) {
+		return 0
+	}
+	return int(math.Ceil(math.Log(2/delta) / (2 * eps * eps)))
+}
+
+// Hoeffding returns the two-sided Hoeffding confidence interval for the
+// true fraction p after observing m successes in n draws, at confidence
+// 1−delta: p̂ ± sqrt(ln(2/δ)/(2n)), clamped to [0, 1]. The bound is
+// distribution-free and, for draws without replacement, conservative
+// (hypergeometric tails are dominated by binomial ones, Hoeffding 1963 §6).
+func Hoeffding(m, n int, delta float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	phat := float64(m) / float64(n)
+	w := math.Sqrt(math.Log(2/delta) / (2 * float64(n)))
+	return clamp01(phat - w), clamp01(phat + w)
+}
+
+// Wilson returns the Wilson score interval for the true fraction p after m
+// successes in n draws, at confidence 1−delta. It is asymptotically tighter
+// than Hoeffding near p ∈ {0, 1} — the regime NO-heavy decisions live in —
+// but its coverage is approximate (normal-theory), so the sequential
+// decider uses Hoeffding for its guarantee and Wilson only as a diagnostic.
+func Wilson(m, n int, delta float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	phat := float64(m) / float64(n)
+	z := math.Sqrt2 * math.Erfinv(1-delta)
+	z2 := z * z
+	nf := float64(n)
+	denom := 1 + z2/nf
+	center := (phat + z2/(2*nf)) / denom
+	hw := z / denom * math.Sqrt(phat*(1-phat)/nf+z2/(4*nf*nf))
+	lo, hi = clamp01(center-hw), clamp01(center+hw)
+	// At the extremes the closed form evaluates to exactly 0 and 1 on
+	// paper; pin them so float rounding cannot exclude a boundary truth.
+	if m == 0 {
+		lo = 0
+	}
+	if m == n {
+		hi = 1
+	}
+	return lo, hi
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Verdict is the state of one sequential fraction test.
+type Verdict int
+
+const (
+	// None: undecided, more samples wanted (Batch says how many).
+	None Verdict = iota
+	// Above: fraction > k at confidence 1−δ.
+	Above
+	// Below: fraction ≤ k at confidence 1−δ.
+	Below
+	// Exact: the whole population was drawn (without replacement), so
+	// Counts returns the exact fraction and no confidence is involved.
+	Exact
+	// Escalate: the budget is exhausted and the interval still straddles
+	// k; the caller must evaluate the fraction exactly.
+	Escalate
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case None:
+		return "none"
+	case Above:
+		return "above"
+	case Below:
+		return "below"
+	case Exact:
+		return "exact"
+	default:
+		return "escalate"
+	}
+}
+
+// firstCheckpoint is the sample count of the first verdict check; later
+// checkpoints double up to the budget.
+const firstCheckpoint = 16
+
+// Seq is the sequential early-verdict test for one fraction over a
+// population of known size: feed it batches of Bernoulli outcomes (Batch
+// tells the caller how many draws to perform before the next checkpoint)
+// and it settles on a Verdict. The δ budget is split evenly across the
+// geometric checkpoint schedule, so the overall error probability of a
+// cleared interval stays at most δ despite the repeated looks.
+type Seq struct {
+	k        float64
+	pop      int
+	budget   int
+	deltaPer float64
+	m, n     int
+	next     int // sample count of the next checkpoint
+	verdict  Verdict
+}
+
+// NewSeq starts a sequential test of "fraction > k" over a population of
+// pop rows. The effective budget is min(p.MaxSamples, pop): draws are
+// without replacement, so covering the population yields an Exact verdict.
+// A zero budget (or an immediate straddle with pop > 0) yields Escalate
+// without any draws; an empty population is Exact with counts 0/0.
+func NewSeq(k float64, pop int, p Params) *Seq {
+	s := &Seq{k: k, pop: pop, budget: min(p.MaxSamples, pop)}
+	if pop == 0 {
+		s.verdict = Exact
+		return s
+	}
+	if s.budget <= 0 {
+		s.verdict = Escalate
+		return s
+	}
+	s.next = min(firstCheckpoint, s.budget)
+	checks := 1
+	for c := s.next; c < s.budget; {
+		c = min(2*c, s.budget)
+		checks++
+	}
+	s.deltaPer = p.Delta / float64(checks)
+	return s
+}
+
+// Batch returns how many draws the caller should perform before the next
+// Observe, or 0 once the test has settled.
+func (s *Seq) Batch() int {
+	if s.verdict != None {
+		return 0
+	}
+	return s.next - s.n
+}
+
+// Observe records a batch of draws (hits successes out of drawn) and, at a
+// checkpoint, re-tests the interval against the threshold.
+func (s *Seq) Observe(hits, drawn int) {
+	s.m += hits
+	s.n += drawn
+	if s.verdict != None || s.n < s.next {
+		return
+	}
+	lo, hi := Hoeffding(s.m, s.n, s.deltaPer)
+	switch {
+	case lo > s.k:
+		s.verdict = Above
+	case hi <= s.k:
+		s.verdict = Below
+	case s.n >= s.pop:
+		s.verdict = Exact
+	case s.n >= s.budget:
+		s.verdict = Escalate
+	default:
+		s.next = min(2*s.next, s.budget)
+	}
+}
+
+// Verdict returns the test's current state.
+func (s *Seq) Verdict() Verdict { return s.verdict }
+
+// Counts returns the successes and draws observed so far. Under an Exact
+// verdict m/n is the true fraction (0/0 for an empty population).
+func (s *Seq) Counts() (m, n int) { return s.m, s.n }
+
+// Drawn returns the number of draws observed so far.
+func (s *Seq) Drawn() int { return s.n }
+
+// Interval returns the current Hoeffding interval at the per-checkpoint
+// confidence level, for diagnostics.
+func (s *Seq) Interval() (lo, hi float64) {
+	if s.pop == 0 {
+		return 0, 0
+	}
+	return Hoeffding(s.m, s.n, s.deltaPer)
+}

@@ -1,0 +1,320 @@
+package approx
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+)
+
+// binomPMF returns the Binomial(n, p) probability mass at m, via a Pascal
+// row product (n ≤ ~50 keeps this well inside float64 range).
+func binomPMF(m, n int, p float64) float64 {
+	c := 1.0
+	for i := 0; i < m; i++ {
+		c = c * float64(n-i) / float64(i+1)
+	}
+	return c * math.Pow(p, float64(m)) * math.Pow(1-p, float64(n-m))
+}
+
+// TestHoeffdingCoverageBinomial exhaustively sums the binomial mass of the
+// outcomes whose interval covers the true fraction: for every (n, p) the
+// covered mass must be at least 1−δ — Hoeffding is a guaranteed, not an
+// approximate, bound.
+func TestHoeffdingCoverageBinomial(t *testing.T) {
+	const delta = 0.2
+	for _, n := range []int{1, 2, 5, 10, 25, 40} {
+		for num := 0; num <= 12; num++ {
+			p := float64(num) / 12
+			covered := 0.0
+			for m := 0; m <= n; m++ {
+				lo, hi := Hoeffding(m, n, delta)
+				if lo <= p && p <= hi {
+					covered += binomPMF(m, n, p)
+				}
+			}
+			if covered < 1-delta-1e-9 {
+				t.Errorf("Hoeffding n=%d p=%v: coverage %v < %v", n, p, covered, 1-delta)
+			}
+		}
+	}
+}
+
+// TestWilsonCoverageBinomial: Wilson is normal-theory, so its coverage is
+// only approximately 1−δ; the test allows a 1.5δ miscoverage slack (and
+// skips the tiny n where Wilson is known to dip further) but still catches
+// sign errors, swapped bounds, or a wrong z quantile.
+func TestWilsonCoverageBinomial(t *testing.T) {
+	const delta = 0.2
+	for _, n := range []int{10, 25, 40} {
+		for num := 0; num <= 12; num++ {
+			p := float64(num) / 12
+			covered := 0.0
+			for m := 0; m <= n; m++ {
+				lo, hi := Wilson(m, n, delta)
+				if lo <= p && p <= hi {
+					covered += binomPMF(m, n, p)
+				}
+			}
+			if covered < 1-1.5*delta {
+				t.Errorf("Wilson n=%d p=%v: coverage %v < %v", n, p, covered, 1-1.5*delta)
+			}
+		}
+	}
+}
+
+// TestHoeffdingCoverageHypergeometric enumerates every n-subset of a small
+// population (the engine samples without replacement) and checks that the
+// fraction of subsets whose interval misses the true fraction is at most δ:
+// without-replacement tails are dominated by binomial ones (Hoeffding 1963
+// §6), so the same bound must hold exhaustively.
+func TestHoeffdingCoverageHypergeometric(t *testing.T) {
+	const delta = 0.2
+	for _, N := range []int{6, 8, 10} {
+		for K := 0; K <= N; K++ {
+			p := float64(K) / float64(N)
+			for n := 1; n <= N; n++ {
+				miss, total := 0, 0
+				for mask := 0; mask < 1<<N; mask++ {
+					if bits.OnesCount(uint(mask)) != n {
+						continue
+					}
+					m := bits.OnesCount(uint(mask) & (1<<K - 1)) // successes = rows < K
+					lo, hi := Hoeffding(m, n, delta)
+					total++
+					if p < lo || p > hi {
+						miss++
+					}
+				}
+				if float64(miss) > delta*float64(total)+1e-9 {
+					t.Errorf("N=%d K=%d n=%d: %d/%d subsets miss (> δ=%v)", N, K, n, miss, total, delta)
+				}
+			}
+		}
+	}
+}
+
+// TestIntervalShape checks structural properties on a grid: bounds ordered,
+// clamped to [0, 1], containing the point estimate, and shrinking with n.
+func TestIntervalShape(t *testing.T) {
+	for _, f := range []struct {
+		name string
+		ci   func(m, n int, delta float64) (float64, float64)
+	}{{"hoeffding", Hoeffding}, {"wilson", Wilson}} {
+		for _, n := range []int{1, 4, 16, 64, 256} {
+			for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+				m := int(frac * float64(n))
+				lo, hi := f.ci(m, n, 0.1)
+				phat := float64(m) / float64(n)
+				if lo < 0 || hi > 1 || lo > hi {
+					t.Fatalf("%s(%d,%d): malformed interval [%v, %v]", f.name, m, n, lo, hi)
+				}
+				if phat < lo-1e-12 || phat > hi+1e-12 {
+					t.Fatalf("%s(%d,%d): p̂=%v outside [%v, %v]", f.name, m, n, phat, lo, hi)
+				}
+				lo4, hi4 := f.ci(4*m, 4*n, 0.1)
+				if hi4-lo4 > hi-lo+1e-12 {
+					t.Fatalf("%s: interval grew with n: %v at n=%d vs %v at n=%d", f.name, hi4-lo4, 4*n, hi-lo, n)
+				}
+			}
+		}
+		lo, hi := f.ci(0, 0, 0.1)
+		if lo != 0 || hi != 1 {
+			t.Fatalf("%s with no draws: [%v, %v], want vacuous [0, 1]", f.name, lo, hi)
+		}
+	}
+}
+
+// TestSamplesFor: at the returned count the Hoeffding half-width is at most
+// eps, and one draw fewer is not (minimality).
+func TestSamplesFor(t *testing.T) {
+	for _, eps := range []float64{0.01, 0.05, 0.125, 0.3} {
+		for _, delta := range []float64{0.01, 0.1, 0.25} {
+			n := SamplesFor(eps, delta)
+			if n <= 0 {
+				t.Fatalf("SamplesFor(%v, %v) = %d", eps, delta, n)
+			}
+			w := math.Sqrt(math.Log(2/delta) / (2 * float64(n)))
+			if w > eps+1e-12 {
+				t.Fatalf("SamplesFor(%v, %v) = %d: half-width %v > eps", eps, delta, n, w)
+			}
+			if n > 1 {
+				wPrev := math.Sqrt(math.Log(2/delta) / (2 * float64(n-1)))
+				if wPrev <= eps-1e-12 {
+					t.Fatalf("SamplesFor(%v, %v) = %d not minimal", eps, delta, n)
+				}
+			}
+		}
+	}
+	if SamplesFor(0, 0.1) != 0 || SamplesFor(0.1, 0) != 0 {
+		t.Fatal("degenerate SamplesFor should be 0")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{Epsilon: 0.1, Delta: 0.05, MaxSamples: 100}).Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	for _, p := range []Params{
+		{Epsilon: 0, Delta: 0.05},
+		{Epsilon: 1, Delta: 0.05},
+		{Epsilon: 0.1, Delta: 0},
+		{Epsilon: 0.1, Delta: 1},
+		{Epsilon: math.NaN(), Delta: 0.05},
+		{Epsilon: 0.1, Delta: 0.05, MaxSamples: -1},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("invalid params %+v accepted", p)
+		}
+	}
+}
+
+// drive feeds a Seq batches from a deterministic hit pattern until it
+// settles, returning the verdict.
+func drive(s *Seq, hit func(i int) bool) Verdict {
+	i := 0
+	for {
+		b := s.Batch()
+		if b == 0 {
+			return s.Verdict()
+		}
+		hits := 0
+		for j := 0; j < b; j++ {
+			if hit(i) {
+				hits++
+			}
+			i++
+		}
+		s.Observe(hits, b)
+	}
+}
+
+func TestSeqEdgeCases(t *testing.T) {
+	par := Params{Epsilon: 0.1, Delta: 0.1, MaxSamples: 256}
+
+	// Empty population (an empty relation, or an all-tombstone epoch whose
+	// live row count is 0): immediately Exact with counts 0/0.
+	s := NewSeq(0.5, 0, par)
+	if s.Verdict() != Exact || s.Batch() != 0 {
+		t.Fatalf("empty population: verdict %v batch %d", s.Verdict(), s.Batch())
+	}
+	if m, n := s.Counts(); m != 0 || n != 0 {
+		t.Fatalf("empty population counts %d/%d", m, n)
+	}
+
+	// MaxSamples = 0 forces immediate escalation, no draws requested.
+	s = NewSeq(0.5, 1000, Params{Epsilon: 0.1, Delta: 0.1, MaxSamples: 0})
+	if s.Verdict() != Escalate || s.Batch() != 0 || s.Drawn() != 0 {
+		t.Fatalf("zero budget: verdict %v batch %d drawn %d", s.Verdict(), s.Batch(), s.Drawn())
+	}
+
+	// Threshold exactly 1: "fraction > 1" is unsatisfiable, and the clamped
+	// upper bound certifies Below at the very first checkpoint even when
+	// every draw hits.
+	s = NewSeq(1, 1000, par)
+	if v := drive(s, func(int) bool { return true }); v != Below {
+		t.Fatalf("k=1 all hits: verdict %v, want Below", v)
+	}
+	if s.Drawn() != firstCheckpoint {
+		t.Fatalf("k=1 settled after %d draws, want %d", s.Drawn(), firstCheckpoint)
+	}
+
+	// Threshold exactly 0 with all hits: Above at the first checkpoint.
+	s = NewSeq(0, 1000, par)
+	if v := drive(s, func(int) bool { return true }); v != Above {
+		t.Fatalf("k=0 all hits: verdict %v, want Above", v)
+	}
+
+	// Threshold exactly 0 with no hits: sampling can never certify p = 0
+	// (the interval's upper end stays positive), so the test must run out
+	// of budget and escalate rather than answer.
+	s = NewSeq(0, 1000, par)
+	if v := drive(s, func(int) bool { return false }); v != Escalate {
+		t.Fatalf("k=0 no hits: verdict %v, want Escalate", v)
+	}
+	if s.Drawn() != par.MaxSamples {
+		t.Fatalf("k=0 no hits drew %d, want full budget %d", s.Drawn(), par.MaxSamples)
+	}
+
+	// Straddling fraction: p̂ pinned to k → budget exhausted → Escalate.
+	s = NewSeq(0.5, 100000, par)
+	if v := drive(s, func(i int) bool { return i%2 == 0 }); v != Escalate {
+		t.Fatalf("straddling: verdict %v, want Escalate", v)
+	}
+
+	// Budget covering the whole population: without-replacement exhaustion
+	// is Exact, not Escalate, and the counts are the true fraction.
+	s = NewSeq(0.5, 20, par)
+	if v := drive(s, func(i int) bool { return i%2 == 0 }); v != Exact {
+		t.Fatalf("full coverage: verdict %v, want Exact", v)
+	}
+	if m, n := s.Counts(); m != 10 || n != 20 {
+		t.Fatalf("full coverage counts %d/%d, want 10/20", m, n)
+	}
+
+	// Clear cases decide early: far-above and far-below fractions settle at
+	// the first checkpoint, long before the budget.
+	s = NewSeq(0.5, 100000, par)
+	if v := drive(s, func(int) bool { return true }); v != Above || s.Drawn() != firstCheckpoint {
+		t.Fatalf("clear YES: verdict %v after %d draws", v, s.Drawn())
+	}
+	s = NewSeq(0.5, 100000, par)
+	if v := drive(s, func(int) bool { return false }); v != Below || s.Drawn() != firstCheckpoint {
+		t.Fatalf("clear NO: verdict %v after %d draws", v, s.Drawn())
+	}
+}
+
+// TestSeqErrorBudget: the per-checkpoint δ split must cover every
+// checkpoint of the geometric schedule — a Seq driven to its budget sees
+// exactly the planned number of looks.
+func TestSeqErrorBudget(t *testing.T) {
+	par := Params{Epsilon: 0.05, Delta: 0.1, MaxSamples: 300}
+	s := NewSeq(0.5, 100000, par)
+	looks := 0
+	i := 0
+	for s.Verdict() == None {
+		b := s.Batch()
+		hits := 0
+		for j := 0; j < b; j++ {
+			if i%2 == 0 {
+				hits++
+			}
+			i++
+		}
+		s.Observe(hits, b)
+		looks++
+	}
+	// Schedule: 16, 32, 64, 128, 256, 300 → 6 looks.
+	if looks != 6 {
+		t.Fatalf("looks = %d, want 6", looks)
+	}
+	if want := 0.1 / 6; math.Abs(s.deltaPer-want) > 1e-12 {
+		t.Fatalf("deltaPer = %v, want %v", s.deltaPer, want)
+	}
+}
+
+// TestVerdictString pins the diagnostic renderings.
+func TestVerdictString(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		None: "none", Above: "above", Below: "below",
+		Exact: "exact", Escalate: "escalate",
+	} {
+		if got := v.String(); got != want {
+			t.Errorf("Verdict(%d).String() = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// TestSeqInterval checks the diagnostic interval: centered on the observed
+// fraction, clamped to [0, 1], and degenerate for an empty population.
+func TestSeqInterval(t *testing.T) {
+	s := NewSeq(0.5, 1000, Params{Epsilon: 0.1, Delta: 0.1, MaxSamples: 64})
+	s.Observe(8, 16)
+	lo, hi := s.Interval()
+	if lo < 0 || hi > 1 || lo > 0.5 || hi < 0.5 {
+		t.Errorf("interval after 8/16 = [%g, %g], want it to bracket 0.5 within [0, 1]", lo, hi)
+	}
+	empty := NewSeq(0.5, 0, Params{Epsilon: 0.1, Delta: 0.1, MaxSamples: 64})
+	if lo, hi := empty.Interval(); lo != 0 || hi != 0 {
+		t.Errorf("empty-population interval = [%g, %g], want [0, 0]", lo, hi)
+	}
+}

@@ -2,8 +2,8 @@
 // scenario (internal/gen) through every execution path of the repo — the
 // naive enumerator, the findRules engine under both the cost-based and
 // the greedy join planner, the Prepared/Stream session API (sequential
-// and worker-pool parallel), and the sequential, parallel and
-// first-witness (sequential and partitioned)
+// and worker-pool parallel), and the sequential, parallel, first-witness
+// (sequential and partitioned) and sampling ε–δ approximate
 // deciders — and checks each against the transparent brute-force oracle
 // (internal/oracle), rat-exact and order-insensitive. A disagreement anywhere is a bug in one of the
 // production paths (or, symmetrically, in the oracle), and is reported as a
@@ -19,9 +19,11 @@ package diff
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/mqgo/metaquery/internal/core"
 	"github.com/mqgo/metaquery/internal/engine"
@@ -30,6 +32,140 @@ import (
 	"github.com/mqgo/metaquery/internal/rat"
 )
 
+// The harness drives the approximate decider under one fixed ε–δ contract:
+// wide enough that the generated populations are covered by the sample
+// budget (making the sweep deterministic), tight enough that the ±ε band
+// around each derived bound stays meaningful.
+const (
+	// ApproxEps is the indifference half-band the harness grants the
+	// sampled decider around each decision bound.
+	ApproxEps = 0.125
+	// ApproxDelta bounds the sampled decider's per-decision error
+	// probability outside the band; the sweep gate checks the observed
+	// out-of-band error rate against it.
+	ApproxDelta = 0.125
+	// ApproxBudget is the per-fraction sample cap. It exceeds every
+	// generated population, so without-replacement sampling always covers
+	// the population (which is exact) before guessing — the sweep therefore
+	// tolerates zero out-of-band errors in practice while still walking the
+	// whole sampling machinery.
+	ApproxBudget = 4096
+)
+
+// ApproxCounts is oracle-derived confusion accounting for sampled
+// decisions: positives are oracle-YES cases (the true max index exceeds the
+// bound), so a false negative is a missed witness and a false positive a
+// fabricated one.
+type ApproxCounts struct {
+	TP, FP, TN, FN int
+	// InBand counts decisions whose true max index lies within ±ApproxEps
+	// of the bound — the regime where the decider must escalate to exact
+	// evaluation rather than guess.
+	InBand int
+	// OutFN counts false negatives outside the band: the only error the
+	// ε–δ contract permits, at rate at most ApproxDelta.
+	OutFN int
+	// Escalated counts decisions reporting at least one escalation;
+	// Samples totals the rows drawn.
+	Escalated int
+	Samples   int
+	Decisions int
+}
+
+func (c *ApproxCounts) add(o ApproxCounts) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.TN += o.TN
+	c.FN += o.FN
+	c.InBand += o.InBand
+	c.OutFN += o.OutFN
+	c.Escalated += o.Escalated
+	c.Samples += o.Samples
+	c.Decisions += o.Decisions
+}
+
+// ApproxTally accumulates per-shape ApproxCounts across a sweep. It is safe
+// for concurrent RunTally calls.
+type ApproxTally struct {
+	mu     sync.Mutex
+	shapes map[string]*ApproxCounts
+}
+
+// NewApproxTally returns an empty tally.
+func NewApproxTally() *ApproxTally {
+	return &ApproxTally{shapes: map[string]*ApproxCounts{}}
+}
+
+func (t *ApproxTally) record(shape string, c ApproxCounts) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sc := t.shapes[shape]
+	if sc == nil {
+		sc = &ApproxCounts{}
+		t.shapes[shape] = sc
+	}
+	sc.add(c)
+}
+
+// Shape returns the accumulated counts for one scenario shape.
+func (t *ApproxTally) Shape(shape string) ApproxCounts {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c := t.shapes[shape]; c != nil {
+		return *c
+	}
+	return ApproxCounts{}
+}
+
+// Total returns the counts summed over all shapes.
+func (t *ApproxTally) Total() ApproxCounts {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var total ApproxCounts
+	for _, c := range t.shapes {
+		total.add(*c)
+	}
+	return total
+}
+
+// OutOfBandErrorRate is the observed error rate over decisions outside the
+// ±ε band — the quantity the ε–δ contract bounds by ApproxDelta. It is 0
+// when no out-of-band decision was recorded.
+func (t *ApproxTally) OutOfBandErrorRate() float64 {
+	total := t.Total()
+	out := total.Decisions - total.InBand
+	if out <= 0 {
+		return 0
+	}
+	return float64(total.OutFN) / float64(out)
+}
+
+// Summary renders the per-shape confusion table plus the aggregate line.
+func (t *ApproxTally) Summary() string {
+	t.mu.Lock()
+	names := make([]string, 0, len(t.shapes))
+	for shape := range t.shapes {
+		names = append(names, shape)
+	}
+	t.mu.Unlock()
+	sort.Strings(names)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "decide-approx sweep (eps=%g delta=%g budget=%d):\n", ApproxEps, ApproxDelta, ApproxBudget)
+	fmt.Fprintf(&b, "  %-16s %5s %5s %5s %5s %7s %6s %9s %9s\n",
+		"shape", "TP", "FP", "TN", "FN", "in-band", "escal", "samples", "decisions")
+	for _, shape := range names {
+		c := t.Shape(shape)
+		fmt.Fprintf(&b, "  %-16s %5d %5d %5d %5d %7d %6d %9d %9d\n",
+			shape, c.TP, c.FP, c.TN, c.FN, c.InBand, c.Escalated, c.Samples, c.Decisions)
+	}
+	total := t.Total()
+	fmt.Fprintf(&b, "  %-16s %5d %5d %5d %5d %7d %6d %9d %9d\n",
+		"total", total.TP, total.FP, total.TN, total.FN, total.InBand, total.Escalated, total.Samples, total.Decisions)
+	fmt.Fprintf(&b, "  out-of-band error rate %.4f (contract: <= %g)", t.OutOfBandErrorRate(), ApproxDelta)
+	return b.String()
+}
+
 // Mismatch describes one divergence between a production execution path and
 // the oracle (or between two production paths).
 type Mismatch struct {
@@ -37,7 +173,7 @@ type Mismatch struct {
 	// Path names the execution path that disagreed: "naive", "engine",
 	// "engine-greedy", "stream", "stream-rerun", "stream-parallel",
 	// "findrules-parallel", "decide", "decide-parallel", "engine-decide",
-	// "decide-first", "decide-first-parallel", "witness".
+	// "decide-first", "decide-first-parallel", "decide-approx", "witness".
 	Path string
 	// Detail is a human-readable description of the divergence.
 	Detail string
@@ -126,6 +262,14 @@ func coreKeys(as []core.Answer) []string {
 // found, or nil when all paths agree with the oracle exactly. Errors are
 // infrastructure failures (invalid scenario), not divergences.
 func Run(s *gen.Scenario) (*Mismatch, error) {
+	return RunTally(s, nil)
+}
+
+// RunTally is Run additionally recording the approximate decider's
+// oracle-derived confusion counts into tally (when non-nil). A nil tally
+// tightens the decide-approx check to exact agreement: without the sweep's
+// δ accounting, any disagreement is reported as a mismatch.
+func RunTally(s *gen.Scenario, tally *ApproxTally) (*Mismatch, error) {
 	ctx := context.Background()
 
 	// Ground truth: one exhaustive oracle pass yields both the admissible
@@ -234,6 +378,14 @@ func Run(s *gen.Scenario) (*Mismatch, error) {
 			Detail: fmt.Sprintf("workers=%d: %s", parWorkers, d)}, nil
 	}
 
+	// The approximate decider runs under the harness's fixed ε–δ contract,
+	// seeded from the scenario so repros replay byte-identically.
+	prepApprox, err := eng.Prepare(s.MQ, engine.Options{Type: s.Type, Thresholds: s.Th,
+		Approx: engine.ApproxOptions{Epsilon: ApproxEps, Delta: ApproxDelta, MaxSamples: ApproxBudget, Seed: s.Seed}})
+	if err != nil {
+		return nil, fmt.Errorf("prepare-approx: %w", err)
+	}
+
 	// Decision problems: for every index, derive bounds that flip the
 	// verdict — 0 (YES iff the max index is positive) and the exact max
 	// (always NO under the strict comparison) — and check the sequential
@@ -314,6 +466,60 @@ func Run(s *gen.Scenario) (*Mismatch, error) {
 					Detail: fmt.Sprintf("%s > %s (workers=%d): got %v, oracle says %v", ix, k, parWorkers, gotPFirst, wantYes)}, nil
 			}
 			if m := checkWitness(s, ix, k, witPFirst, "decide-first-parallel"); m != nil {
+				return m, nil
+			}
+
+			// Approximate first-witness path under the ε–δ contract. A YES
+			// is exactly confirmed inside the decider, so a false positive
+			// is unconditionally a bug; a miss with the true max inside the
+			// ±ε band means an escalation-to-exact went wrong, also
+			// unconditionally a bug. Only an out-of-band miss is permitted —
+			// with probability at most δ, which the tally accounts for
+			// across the sweep (without a tally it too is a mismatch).
+			gotApprox, witApprox, stApprox, err := prepApprox.DecideApproxStats(ctx, ix, k)
+			if err != nil {
+				return nil, fmt.Errorf("decide-approx: %w", err)
+			}
+			inBand := math.Abs(maxV.Float64()-k.Float64()) <= ApproxEps
+			if tally != nil {
+				var c ApproxCounts
+				c.Decisions = 1
+				c.Samples = stApprox.SamplesDrawn
+				if stApprox.ApproxEscalated > 0 {
+					c.Escalated = 1
+				}
+				if inBand {
+					c.InBand = 1
+				}
+				switch {
+				case wantYes && gotApprox:
+					c.TP = 1
+				case wantYes && !gotApprox:
+					c.FN = 1
+					if !inBand {
+						c.OutFN = 1
+					}
+				case !wantYes && gotApprox:
+					c.FP = 1
+				default:
+					c.TN = 1
+				}
+				tally.record(s.Shape, c)
+			}
+			if gotApprox != wantYes {
+				switch {
+				case gotApprox:
+					return &Mismatch{Scenario: s, Path: "decide-approx",
+						Detail: fmt.Sprintf("%s > %s: false positive — sampled accepts are exactly confirmed and may never be wrong (oracle max %s)", ix, k, maxV)}, nil
+				case inBand:
+					return &Mismatch{Scenario: s, Path: "decide-approx",
+						Detail: fmt.Sprintf("%s > %s: in-band miss — the true max %s is within ±%g of the bound, so the decider must escalate to exact evaluation", ix, k, maxV, ApproxEps)}, nil
+				case tally == nil:
+					return &Mismatch{Scenario: s, Path: "decide-approx",
+						Detail: fmt.Sprintf("%s > %s: out-of-band miss (oracle max %s); permitted at rate delta only under a sweep tally", ix, k, maxV)}, nil
+				}
+			}
+			if m := checkWitness(s, ix, k, witApprox, "decide-approx"); m != nil {
 				return m, nil
 			}
 		}

@@ -16,37 +16,69 @@ import (
 const seedsPerShape = 25
 
 // TestDifferentialSweep runs the full harness — oracle vs. naive, engine,
-// stream (twice), and all three deciders with witness validation — over
-// hundreds of seeded scenarios across every registered shape.
+// stream (twice), and all four deciders with witness validation — over
+// hundreds of seeded scenarios across every registered shape, accumulating
+// the approximate decider's confusion counts; the aggregate ε–δ gates run
+// in TestDifferentialSweep/approx-contract after every shape completes.
 func TestDifferentialSweep(t *testing.T) {
 	shapes := gen.Shapes()
 	if total := seedsPerShape * len(shapes); total < 300 {
 		t.Fatalf("sweep covers only %d cases; the harness promises >= 300", total)
 	}
-	for _, shape := range shapes {
-		shape := shape
-		t.Run(shape, func(t *testing.T) {
-			t.Parallel()
-			for seed := int64(0); seed < seedsPerShape; seed++ {
-				s, err := gen.NewScenario(seed, shape)
-				if err != nil {
-					t.Fatal(err)
-				}
-				m, err := Run(s)
-				if err != nil {
-					t.Fatalf("seed %d: %v", seed, err)
-				}
-				if m != nil {
-					min := Minimize(s)
-					repro, merr := MarshalScenario(min)
-					if merr != nil {
-						repro = "(marshal failed: " + merr.Error() + ")"
+	tally := NewApproxTally()
+	// The shape subtests run in parallel inside one group: the group's Run
+	// does not return until every parallel child finished, so the
+	// approx-contract gates below see the complete tally.
+	t.Run("shapes", func(t *testing.T) {
+		for _, shape := range shapes {
+			shape := shape
+			t.Run(shape, func(t *testing.T) {
+				t.Parallel()
+				for seed := int64(0); seed < seedsPerShape; seed++ {
+					s, err := gen.NewScenario(seed, shape)
+					if err != nil {
+						t.Fatal(err)
 					}
-					t.Fatalf("%v\nminimized repro (commit under internal/diff/testdata/corpus/):\n%s", m, repro)
+					m, err := RunTally(s, tally)
+					if err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+					if m != nil {
+						min := Minimize(s)
+						repro, merr := MarshalScenario(min)
+						if merr != nil {
+							repro = "(marshal failed: " + merr.Error() + ")"
+						}
+						t.Fatalf("%v\nminimized repro (commit under internal/diff/testdata/corpus/):\n%s", m, repro)
+					}
 				}
-			}
-		})
-	}
+			})
+		}
+	})
+	// Aggregate ε–δ gates over the whole sweep.
+	t.Run("approx-contract", func(t *testing.T) {
+		total := tally.Total()
+		if total.Decisions == 0 {
+			t.Fatal("sweep recorded no approx decisions")
+		}
+		// Sampled accepts are confirmed exactly: a false positive is a bug
+		// regardless of δ. In-band misses mean a failed escalation: same.
+		// (Both are also per-case mismatches in RunTally; this re-checks the
+		// aggregate so the gate survives harness refactors.)
+		if total.FP != 0 {
+			t.Errorf("%d false positives across the sweep; sampled accepts are exactly confirmed and must never be wrong", total.FP)
+		}
+		if rate := tally.OutOfBandErrorRate(); rate > ApproxDelta {
+			t.Errorf("out-of-band error rate %.4f exceeds delta %g", rate, ApproxDelta)
+		}
+		// With the budget covering every generated population, in-band
+		// cases resolve exactly (full coverage or escalation): agreement
+		// there must be total, i.e. all misses are out-of-band.
+		if total.FN != total.OutFN {
+			t.Errorf("%d in-band misses; in-band decisions escalate to exact evaluation and may never be wrong", total.FN-total.OutFN)
+		}
+		t.Log("\n" + tally.Summary())
+	})
 }
 
 // Every committed corpus entry must keep passing the full harness: corpus

@@ -41,12 +41,12 @@ func (p *Prepared) DecideFirst(ctx context.Context, ix core.Index, k rat.Rat) (b
 // benchmarked) separately.
 //
 // With Options.Workers > 1 the first decomposition node's candidate atoms
-// are partitioned into contiguous blocks of the selectivity-ordered list,
-// one worker per block, sharing a first-witness cancellation: the first
-// worker to find a witness stops the others. The verdict is identical to
-// the sequential run (the blocks cover the candidate space exactly); the
-// witness may differ when several exist, and the returned counters are the
-// sums over all workers.
+// are handed out as chunks of the selectivity-ordered list through a shared
+// atomic cursor (parallel.go); the workers share a first-witness
+// cancellation, so the first worker to find a witness stops the others. The
+// verdict is identical to the sequential run (the chunks cover the
+// candidate space exactly); the witness may differ when several exist, and
+// the returned counters are the sums over all workers.
 func (p *Prepared) DecideFirstStats(ctx context.Context, ix core.Index, k rat.Rat) (bool, *core.Instantiation, *Stats, error) {
 	if p.opt.Workers > 1 {
 		if yes, wit, st, ok, err := p.decideFirstParallel(ctx, ix, k); ok {
@@ -88,12 +88,13 @@ func (p *Prepared) decideFirstSeq(ctx context.Context, ix core.Index, k rat.Rat,
 	return d.witness != nil, d.witness, r.stats, nil
 }
 
-// decideFirstParallel partitions the first decision node's candidates
-// across p.opt.Workers goroutines. It reports ok=false when the search has
-// no scheme worth partitioning (no pattern in the first node, or fewer
-// candidates than two blocks), in which case the caller runs sequentially.
+// decideFirstParallel shards the first decision node's candidates across
+// p.opt.Workers goroutines via the shared chunk cursor. It reports ok=false
+// when the search has no scheme worth partitioning (no pattern in the first
+// node, or fewer than two candidates), in which case the caller runs
+// sequentially.
 func (p *Prepared) decideFirstParallel(ctx context.Context, ix core.Index, k rat.Rat) (bool, *core.Instantiation, *Stats, bool, error) {
-	// One epoch for the whole sharded execution: the block partition and
+	// One epoch for the whole sharded execution: the chunk partition and
 	// every worker must see the same candidate lists and database version.
 	ep := p.epoch()
 	order := p.decideOrder(ep)
@@ -119,35 +120,44 @@ func (p *Prepared) decideFirstParallel(ctx context.Context, ix core.Index, k rat
 		merged   Stats
 		wg       sync.WaitGroup
 	)
+	cursor := newCandCursor(cands, workers)
 	for w := 0; w < workers; w++ {
-		// Contiguous blocks of the selectivity-ordered list: every worker
-		// starts with its cheapest candidates.
-		lo, hi := w*len(cands)/workers, (w+1)*len(cands)/workers
 		wg.Add(1)
-		go func(block []relation.Atom) {
+		go func() {
 			defer wg.Done()
-			yes, wit, st, err := p.decideFirstSeq(wctx, ix, k, map[int][]relation.Atom{schemeID: block}, ep)
-			mu.Lock()
-			defer mu.Unlock()
-			if st != nil {
-				merged.BodyCandidatesTried += st.BodyCandidatesTried
-				merged.BodiesPrunedEmpty += st.BodiesPrunedEmpty
-				merged.BodiesReachedRoot += st.BodiesReachedRoot
-				merged.BodiesPrunedSupport += st.BodiesPrunedSupport
-				merged.HeadsTried += st.HeadsTried
-				merged.HeadsSkipped += st.HeadsSkipped
-			}
-			if err != nil {
-				if firstErr == nil && wctx.Err() == nil {
-					firstErr = err
+			// Claim chunks off the shared atomic cursor until a witness is
+			// found somewhere or the candidates run out: a worker whose
+			// chunks are cheap keeps pulling from the remainder instead of
+			// idling while another holds an expensive static block.
+			restrict := map[int][]relation.Atom{}
+			for block := cursor.take(); block != nil; block = cursor.take() {
+				if wctx.Err() != nil {
+					return
 				}
-				return
+				restrict[schemeID] = block
+				yes, wit, st, err := p.decideFirstSeq(wctx, ix, k, restrict, ep)
+				mu.Lock()
+				if st != nil {
+					merged.merge(st)
+				}
+				if err != nil {
+					if firstErr == nil && wctx.Err() == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				if yes {
+					if witness == nil {
+						witness = wit
+					}
+					mu.Unlock()
+					cancel() // first witness wins; stop the other workers
+					return
+				}
+				mu.Unlock()
 			}
-			if yes && witness == nil {
-				witness = wit
-				cancel() // first witness wins; stop the other blocks
-			}
-		}(cands[lo:hi])
+		}()
 	}
 	wg.Wait()
 	merged.Width = p.decomp.Width

@@ -1,0 +1,418 @@
+package engine
+
+import (
+	"context"
+
+	"github.com/mqgo/metaquery/internal/approx"
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/relation"
+)
+
+// approxMinPopulation is the denominator size below which sampling cannot
+// beat the exact block-hashed semijoin kernels: tiny fractions are computed
+// exactly, outside the escalation accounting.
+const approxMinPopulation = 16
+
+// approxMinFractionBudget floors the stratified per-fraction budget shares
+// at one checkpoint doubling, so a low-estimate atom can still clear an
+// interval instead of escalating unconditionally.
+const approxMinFractionBudget = 32
+
+// DecideApprox solves the decision problem ⟨DB, MQ, ix, k, T⟩ like
+// DecideFirst, but evaluates the candidate fractions by uniform row
+// sampling under the Prepared's Options.Approx (ε, δ) contract instead of
+// exactly. For every candidate fraction |t ⋉ u| / |t| it runs a sequential
+// test (internal/approx.Seq): uniform rows of t are drawn without
+// replacement and probed against u, and the candidate is accepted or
+// rejected as soon as the Hoeffding interval at confidence 1−δ clears the
+// threshold. An interval still straddling k after the sample budget — which
+// certifies the fraction is within ±ε of k under the default budget —
+// escalates to the same exact semijoin kernels DecideFirst uses, as does a
+// budget that covers the whole population (exhausted without-replacement
+// sampling *is* exact evaluation).
+//
+// The error contract is one-sided in practice: a sampled accept is
+// confirmed exactly before it can become a witness, so a YES verdict (and
+// its witness) is never wrong; a NO verdict may miss a true witness with
+// probability at most δ per rejected fraction when its true value lies
+// above k+ε. Stats.SamplesDrawn and Stats.ApproxEscalated report the
+// sampling effort and the escalation count.
+//
+// The run shares everything with DecideFirst: the candidate index, the
+// selectivity-ordered (stats-driven) node visit order, and the per-epoch
+// node-join cache. The per-body sup budget is stratified across the body's
+// atom fractions proportionally to the statistics' MCV-backed cardinality
+// estimates. All sampling randomness derives from Options.Approx.Seed, so
+// identical inputs replay identical decisions. The run is sequential:
+// Options.Workers is ignored here (the sampled NO path makes per-candidate
+// work too small to amortize worker startup).
+//
+// Without Options.Approx configured, DecideApprox falls back to the exact
+// DecideFirst.
+func (p *Prepared) DecideApprox(ctx context.Context, ix core.Index, k rat.Rat) (bool, *core.Instantiation, error) {
+	yes, wit, _, err := p.DecideApproxStats(ctx, ix, k)
+	return yes, wit, err
+}
+
+// DecideApproxStats is DecideApprox additionally returning the run's search
+// counters, including the samples-drawn and escalation counts.
+func (p *Prepared) DecideApproxStats(ctx context.Context, ix core.Index, k rat.Rat) (bool, *core.Instantiation, *Stats, error) {
+	if !p.opt.Approx.Enabled() {
+		return p.DecideFirstStats(ctx, ix, k)
+	}
+	opt := p.opt
+	opt.Thresholds = core.SingleIndex(ix, k)
+	opt.Limit = 0
+	ep := p.epoch()
+	r := p.newRunEp(ctx, opt, ep)
+	defer r.release()
+	r.order = p.decideOrder(ep)
+
+	d := &approxDecider{
+		run: r,
+		ix:  ix,
+		k:   k,
+		kf:  k.Float64(),
+		par: approxParams(opt.Approx),
+	}
+	d.seedBase = approxSeedBase(opt.Approx.Seed, ix, k)
+	r.onBody = d.onBody
+	err := r.forEachBody()
+	if err != nil && err != errFound {
+		return false, nil, r.stats, err
+	}
+	if d.witness != nil {
+		r.stats.Answers = 1
+	}
+	return d.witness != nil, d.witness, r.stats, nil
+}
+
+// approxParams normalizes the option triple: an unset budget derives the
+// Hoeffding count at which a straddling interval certifies the fraction is
+// inside the ±ε band (the δ/16 accounts for the geometric checkpoint
+// schedule splitting δ across at most ~16 looks).
+func approxParams(a ApproxOptions) approx.Params {
+	par := approx.Params{Epsilon: a.Epsilon, Delta: a.Delta, MaxSamples: a.MaxSamples}
+	if par.MaxSamples == 0 {
+		par.MaxSamples = approx.SamplesFor(a.Epsilon, a.Delta/16)
+	}
+	return par
+}
+
+// approxSeedBase folds the decision's identity into the configured seed so
+// different (ix, k) decisions draw different — but individually
+// reproducible — sample orders. Seed 0 means a fixed default, never a
+// random one.
+func approxSeedBase(seed int64, ix core.Index, k rat.Rat) uint64 {
+	s := uint64(seed)
+	if s == 0 {
+		s = 0x6d657461717279 // "metaqry": the fixed default seed
+	}
+	s ^= uint64(ix+1) << 56
+	s ^= uint64(k.Num())<<20 ^ uint64(k.Den())
+	return s
+}
+
+// approxDecider is the sampling first-witness consumer of the body-search
+// iterator: the DecideApprox counterpart of decider.
+type approxDecider struct {
+	run      *run
+	ix       core.Index
+	k        rat.Rat
+	kf       float64
+	par      approx.Params
+	seedBase uint64
+	seedCtr  uint64
+	witness  *core.Instantiation
+
+	// Reused per-fraction staging (probe tuple and column positions) and
+	// per-body stratification buffers.
+	buf  relation.Tuple
+	pos  []int
+	raS  []*relation.Table
+	idS  []int
+	estS []float64
+}
+
+// nextSeed returns a fresh deterministic sampler seed: a Weyl sequence over
+// the decision's seed base, advanced once per fraction in walk order.
+func (d *approxDecider) nextSeed() uint64 {
+	d.seedCtr++
+	return d.seedBase + d.seedCtr*0x9e3779b97f4a7c15
+}
+
+// onBody checks one complete body instantiation, sampling its fractions.
+func (d *approxDecider) onBody(b *body) error {
+	if d.ix == core.Sup {
+		return d.supBody(b)
+	}
+	return d.headSearch(b)
+}
+
+// supBody decides the head-independent support index for one body: sup is
+// the maximum atom fraction, so the body is a witness as soon as any
+// fraction exceeds k. The sample budget is stratified across the body's
+// atom fractions proportionally to the snapshot statistics' estimated atom
+// cardinalities (AtomEst consults the MCV sketches for constant
+// selections), floored so small strata still get a decidable share.
+func (d *approxDecider) supBody(b *body) error {
+	r := d.run
+	ras, ids, ests := d.raS[:0], d.idS[:0], d.estS[:0]
+	defer func() {
+		for i := range ras {
+			ras[i] = nil
+		}
+		d.raS, d.idS, d.estS = ras[:0], ids[:0], ests[:0]
+	}()
+	total := 0.0
+	for id, bs := range r.p.schemes {
+		atom, err := r.instAtom(bs.scheme, b.sigma)
+		if err != nil {
+			return err
+		}
+		ra, err := r.ep.snap.ev.TableFor(atom)
+		if err != nil {
+			return err
+		}
+		if ra.Len() == 0 {
+			continue
+		}
+		est := float64(ra.Len())
+		if r.ep.snap.st != nil && !r.opt.DisableCostPlanner {
+			if e := r.ep.snap.ev.AtomEst(atom).Rows; e > 0 {
+				est = e
+			}
+		}
+		ras, ids, ests = append(ras, ra), append(ids, id), append(ests, est)
+		total += est
+	}
+	exceeded := false
+	for i, ra := range ras {
+		if err := r.ctx.Err(); err != nil {
+			return err
+		}
+		budget := d.par.MaxSamples
+		if len(ras) > 1 && total > 0 {
+			budget = int(float64(d.par.MaxSamples) * ests[i] / total)
+			if budget < approxMinFractionBudget {
+				budget = approxMinFractionBudget
+			}
+		}
+		bs := r.p.schemes[ids[i]]
+		node := r.p.decomp.CoverNode[ids[i]]
+		reduced := b.s[node.ID].ProjectS(bs.vars, r.sc)
+		exceeds, err := d.fractionExceeds(ra, reduced, budget)
+		r.sc.Release(reduced)
+		if err != nil {
+			return err
+		}
+		if exceeds {
+			exceeded = true
+			break
+		}
+	}
+	if !exceeded {
+		r.stats.BodiesPrunedSupport++
+		return nil
+	}
+	wit, ok := r.completeHead(b.sigma)
+	if !ok {
+		return nil
+	}
+	r.stats.HeadsSkipped++
+	d.witness = wit
+	return errFound
+}
+
+// headSearch materializes the body join once and samples the queried
+// head-dependent fraction for each agreeing head candidate: cnf samples the
+// body join's rows against the head table, cvr samples the head table's
+// rows against the body join.
+func (d *approxDecider) headSearch(b *body) error {
+	r := d.run
+	bj, bjOwned, err := r.bodyJoin(b.sigma, b.s)
+	if err != nil {
+		return err
+	}
+	release := func() {
+		if bjOwned {
+			r.sc.Release(bj)
+		}
+	}
+	for _, ha := range r.ep.snap.cands.Candidates(r.p.mq.Head, r.opt.Type, r.p.headPatternIdx) {
+		if err := r.ctx.Err(); err != nil {
+			release()
+			return err
+		}
+		if !r.headAgrees(b.sigma, ha) {
+			continue
+		}
+		r.stats.HeadsTried++
+		h, err := r.ep.snap.ev.TableFor(ha)
+		if err != nil {
+			release()
+			return err
+		}
+		var exceeds bool
+		if d.ix == core.Cnf {
+			// cnf = |b ⋉ h| / |b|: sample body-join rows, probe the head.
+			exceeds, err = d.fractionExceeds(bj, h, d.par.MaxSamples)
+		} else {
+			// cvr = |h ⋉ b| / |h|: sample head rows, probe the body join.
+			exceeds, err = d.fractionExceeds(h, bj, d.par.MaxSamples)
+		}
+		if err != nil {
+			release()
+			return err
+		}
+		if !exceeds {
+			continue
+		}
+		full := b.sigma.Clone()
+		if r.p.mq.Head.PredVar {
+			if err := full.Assign(r.p.mq.Head, ha); err != nil {
+				continue // cannot agree (e.g. conflicting relation)
+			}
+		}
+		d.witness = full
+		release()
+		return errFound
+	}
+	release()
+	return nil
+}
+
+// fractionExceeds decides |t ⋉ u| / |t| > k. Large denominators run the
+// sequential sampled test with the given budget; tiny ones, cartesian
+// degenerations (no shared columns), escalations, and the exact
+// confirmation of sampled accepts all go through the same exact kernels the
+// exact decider uses, so every returned YES is a certainty.
+func (d *approxDecider) fractionExceeds(t, u *relation.Table, budget int) (bool, error) {
+	r := d.run
+	pop := t.Len()
+	if pop == 0 {
+		return false, nil // fraction 0; 0 > k is false for k ≥ 0
+	}
+	// d.pos holds, for each shared column in u's column order, its position
+	// in t; probeSet below restages it if u needs projecting.
+	d.pos = d.pos[:0]
+	for _, v := range u.Vars() {
+		if p := t.Pos(v); p >= 0 {
+			d.pos = append(d.pos, p)
+		}
+	}
+	if len(d.pos) == 0 {
+		// Cartesian semijoin semantics: every t row matches iff u has rows.
+		if u.Empty() {
+			return false, nil
+		}
+		return rat.One.Greater(d.k), nil
+	}
+	exact := func() (bool, error) {
+		num := t.SemijoinCountS(u, r.sc)
+		if num == 0 {
+			return false, nil
+		}
+		return rat.New(int64(num), int64(pop)).Greater(d.k), nil
+	}
+	if pop <= approxMinPopulation {
+		return exact()
+	}
+	seq := approx.NewSeq(d.kf, pop, approx.Params{Epsilon: d.par.Epsilon, Delta: d.par.Delta, MaxSamples: budget})
+	if seq.Verdict() == approx.Escalate {
+		r.stats.ApproxEscalated++
+		return exact()
+	}
+
+	// Membership set for the sampled probes: π_shared(u), with rows staged
+	// in its column order. When every u column is shared (the sup case:
+	// the reduced cover projection), u itself is the set.
+	probe, owned := d.probeSet(t, u)
+	if cap(d.buf) < len(d.pos) {
+		d.buf = make(relation.Tuple, len(d.pos))
+	}
+	buf := d.buf[:len(probe.Vars())]
+	smp := relation.NewSampler(pop, d.nextSeed())
+	for {
+		batch := seq.Batch()
+		if batch == 0 {
+			break
+		}
+		if err := r.ctx.Err(); err != nil {
+			if owned {
+				r.sc.Release(probe)
+			}
+			return false, err
+		}
+		hits := 0
+		for i := 0; i < batch; i++ {
+			row := t.Row(smp.Next())
+			for j, p := range d.pos {
+				buf[j] = row[p]
+			}
+			if probe.Contains(buf) {
+				hits++
+			}
+		}
+		seq.Observe(hits, batch)
+	}
+	if owned {
+		r.sc.Release(probe)
+	}
+	r.stats.SamplesDrawn += seq.Drawn()
+	switch seq.Verdict() {
+	case approx.Above:
+		// Confirm a sampled accept exactly before it can become a witness:
+		// approximate YES verdicts are then never wrong. A contradiction
+		// (probability ≤ δ) counts as an escalation and the exact value
+		// decides.
+		ok, err := exact()
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			r.stats.ApproxEscalated++
+		}
+		return ok, nil
+	case approx.Below:
+		return false, nil
+	case approx.Exact:
+		// The sampler covered the whole population without replacement:
+		// the counts are the exact fraction, no kernels needed.
+		r.stats.ApproxEscalated++
+		m, n := seq.Counts()
+		if m == 0 {
+			return false, nil
+		}
+		return rat.New(int64(m), int64(n)).Greater(d.k), nil
+	default: // approx.Escalate
+		r.stats.ApproxEscalated++
+		return exact()
+	}
+}
+
+// probeSet returns the membership set π_shared(u) for probes staged through
+// d.pos (t-side positions, in u's shared-column order), together with
+// whether the caller must release it. When every u column is shared, u is
+// its own membership set.
+func (d *approxDecider) probeSet(t, u *relation.Table) (*relation.Table, bool) {
+	r := d.run
+	if len(d.pos) == len(u.Vars()) {
+		return u, false
+	}
+	// Some u columns are not in t: probe against the projection onto the
+	// shared ones, and restage d.pos to its column order.
+	shared := make([]string, 0, len(d.pos))
+	for _, v := range u.Vars() {
+		if t.Pos(v) >= 0 {
+			shared = append(shared, v)
+		}
+	}
+	proj := u.ProjectS(shared, r.sc)
+	d.pos = d.pos[:0]
+	for _, v := range shared {
+		d.pos = append(d.pos, t.Pos(v))
+	}
+	return proj, true
+}

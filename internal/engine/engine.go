@@ -42,6 +42,7 @@ import (
 	"context"
 	"fmt"
 
+	"github.com/mqgo/metaquery/internal/approx"
 	"github.com/mqgo/metaquery/internal/core"
 	"github.com/mqgo/metaquery/internal/hypertree"
 	"github.com/mqgo/metaquery/internal/rat"
@@ -73,6 +74,12 @@ type Options struct {
 	// whose first node has no pattern scheme (or fewer than two candidate
 	// atoms) always run sequentially.
 	Workers int
+
+	// Approx configures the sampling-based ε–δ decision path
+	// (Prepared.DecideApprox). The zero value disables it; setting Epsilon
+	// and Delta enables it for DecideApprox runs only — enumeration paths
+	// and DecideFirst always stay exact.
+	Approx ApproxOptions
 
 	// Ablation switches (all default off = full algorithm). They change
 	// performance only, never results; see the ablation benchmarks.
@@ -120,6 +127,52 @@ type Stats struct {
 	HeadsSkipped int
 	// Answers is the number of rules returned.
 	Answers int
+	// SamplesDrawn counts the rows drawn by DecideApprox's fraction
+	// samplers (0 on exact runs).
+	SamplesDrawn int
+	// ApproxEscalated counts the sampled fractions whose confidence
+	// interval never cleared the threshold and were therefore resolved
+	// exactly: by drawing the whole population, by the exact semijoin
+	// kernels after the budget ran out, or because a sampled accept was
+	// overturned by its exact confirmation.
+	ApproxEscalated int
+}
+
+// ApproxOptions configures the ε–δ approximate decision path; see
+// Prepared.DecideApprox for the semantics. The zero value disables it.
+type ApproxOptions struct {
+	// Epsilon is the indifference half-band around the threshold: for true
+	// index values outside [k−ε, k+ε] the sampled verdict is wrong with
+	// probability at most Delta; inside the band the decider escalates to
+	// exact evaluation instead of guessing. Must be in (0, 1) when set.
+	Epsilon float64
+	// Delta bounds the probability of a wrong sampled verdict (and because
+	// sampled YES verdicts are confirmed exactly before becoming
+	// witnesses, in practice only NO verdicts carry it). Must be in (0, 1)
+	// when set.
+	Delta float64
+	// MaxSamples is the per-fraction sample budget before escalating to
+	// the exact kernels. 0 derives approx.SamplesFor(Epsilon, Delta/16) —
+	// enough draws that an interval still straddling the threshold at the
+	// budget certifies the fraction lies within the ±ε band.
+	MaxSamples int
+	// Seed fixes the sampling randomness: every random choice the approx
+	// decider makes derives deterministically from it (0 means a fixed
+	// default seed, not a random one), so decisions — and diff/fuzz
+	// repros — replay identically for identical inputs.
+	Seed int64
+}
+
+// Enabled reports whether the approximate path is configured.
+func (a ApproxOptions) Enabled() bool { return a.Epsilon != 0 || a.Delta != 0 }
+
+// validate rejects half-configured or out-of-range approx options at
+// Prepare time, where every other option is fixed too.
+func (a ApproxOptions) validate() error {
+	if !a.Enabled() {
+		return nil
+	}
+	return approx.Params{Epsilon: a.Epsilon, Delta: a.Delta, MaxSamples: a.MaxSamples}.Validate()
 }
 
 // FindRules computes all type-T instantiations of mq over db whose indices

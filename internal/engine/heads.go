@@ -71,7 +71,12 @@ func (r *run) supportExceeds(sigma *core.Instantiation, s map[int]*relation.Tabl
 // bodyJoin materializes b = J(σ(body)) over att(body), including type-2
 // padding variables (they contribute to the confidence denominator).
 // Atom tables are semijoin-reduced against their cover nodes first, which
-// is what makes the final join cheap after the full-reducer passes.
+// is what makes the final join cheap after the full-reducer passes. The
+// reduction is elided when it is provably the identity (the atom's cover
+// node is a childless node joining that atom alone, so the node table is
+// the atom's own projection): that case returns the shared cached atom
+// table with no per-body copy, which is what keeps single-atom-body
+// decisions O(probes) instead of O(|relation|).
 //
 // The join order is cost-based when the engine carries statistics: the
 // reduced tables' actual cardinalities combine with the atoms' estimated
@@ -86,12 +91,13 @@ func (r *run) supportExceeds(sigma *core.Instantiation, s map[int]*relation.Tabl
 func (r *run) bodyJoin(sigma *core.Instantiation, s map[int]*relation.Table) (*relation.Table, bool, error) {
 	costBased := r.ep.snap.st != nil && !r.opt.DisableCostPlanner && len(r.p.schemes) > 2
 	tables := r.bjTables[:0]
+	owns := r.bjOwn[:0]
 	atoms := r.bjAtoms[:0]
 	defer func() {
 		for i := range tables {
 			tables[i] = nil
 		}
-		r.bjTables, r.bjAtoms = tables[:0], atoms[:0]
+		r.bjTables, r.bjOwn, r.bjAtoms = tables[:0], owns[:0], atoms[:0]
 	}()
 	for id, bs := range r.p.schemes {
 		atom, err := r.instAtom(bs.scheme, sigma)
@@ -102,11 +108,21 @@ func (r *run) bodyJoin(sigma *core.Instantiation, s map[int]*relation.Table) (*r
 		if err != nil {
 			return nil, false, err
 		}
+		own := false
 		if !r.opt.DisableFullReducer {
 			node := r.p.decomp.CoverNode[id]
-			ta = ta.SemijoinS(s[node.ID], r.sc)
+			// A childless cover node joining exactly this atom stores
+			// π_χ(ta): semijoining ta against its own projection keeps every
+			// row, so the copy is skipped and ta stays the shared cached
+			// table. Single-atom bodies — the decision-probe steady state —
+			// take this path on every body candidate.
+			if len(node.Children) > 0 || len(r.p.nodeSchemes[node.ID]) > 1 {
+				ta = ta.SemijoinS(s[node.ID], r.sc)
+				own = true
+			}
 		}
 		tables = append(tables, ta)
+		owns = append(owns, own)
 		if costBased {
 			atoms = append(atoms, atom)
 		}
@@ -132,14 +148,18 @@ func (r *run) bodyJoin(sigma *core.Instantiation, s map[int]*relation.Table) (*r
 		// returns the input itself, which the caller must not release.
 		return b, len(tables) > 1, nil
 	}
-	// The semijoined inputs are run-owned; recycle them now — except when
-	// the join returned one of them directly (single-input case).
-	for _, ta := range tables {
-		if ta != b {
+	// Semijoined inputs are run-owned and recycled now; inputs whose reducer
+	// pass was skipped stay shared. The returned flag follows b: a fresh
+	// join output is owned, a directly returned input keeps its own status.
+	bOwned := true
+	for i, ta := range tables {
+		if ta == b {
+			bOwned = owns[i]
+		} else if owns[i] {
 			r.sc.Release(ta)
 		}
 	}
-	return b, true, nil
+	return b, bOwned, nil
 }
 
 // headAgrees reports whether head candidate ha agrees with σb in the sense

@@ -3,25 +3,70 @@ package engine
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"github.com/mqgo/metaquery/internal/core"
 	"github.com/mqgo/metaquery/internal/relation"
 )
 
 // This file implements parallel enumeration: Options.Workers > 1 shards the
-// first enumeration node's candidate atoms — contiguous blocks of the
-// selectivity-ordered list, the same partition DecideFirst uses — across a
-// worker pool. Each worker drives an independent body search (run.search)
-// over its block through the run.restrict hook and feeds one merged result
-// channel behind Stream/StreamStats/FindRules.
+// first enumeration node's candidate atoms — chunks of the
+// selectivity-ordered list handed out through a shared atomic cursor, the
+// same scheme DecideFirst uses — across a worker pool. Each worker drives
+// an independent body search (run.search) per claimed chunk through the
+// run.restrict hook and feeds one merged result channel behind
+// Stream/StreamStats/FindRules.
 //
 // Correctness of the partition: the sharded scheme is a pattern scheme of
 // the first node in the visit order, so every complete body assigns it
 // exactly one candidate atom, and it is assigned before any other scheme
-// can pin its predicate variable. Restricting it to a block therefore
-// selects exactly the bodies whose assignment lies in that block: the
-// workers' answer multisets are disjoint by construction and union to the
+// can pin its predicate variable. Restricting it to a chunk therefore
+// selects exactly the bodies whose assignment lies in that chunk: the
+// cursor hands every candidate to exactly one worker, so the workers'
+// answer multisets are disjoint by construction and union to the
 // sequential answer multiset. Only the merge order differs.
+//
+// The cursor replaced PR 7's static contiguous-block partition: with one
+// fixed block per worker, a skewed workload could leave one worker holding
+// the whole expensive tail while the others sat idle. Chunks several times
+// smaller than a fair share let workers that finish early steal from the
+// remainder; a worker pays one extra run setup (pool fetch + restrict
+// rebind) per chunk, which the chunk sizing keeps negligible.
+
+// candCursor hands out chunks of a shared candidate list to parallel
+// workers through an atomic cursor. Each candidate lands in exactly one
+// chunk, chunks are contiguous and in order, and a worker that finishes a
+// cheap chunk immediately claims the next — the dynamic-balancing
+// replacement for the static one-block-per-worker partition.
+type candCursor struct {
+	cands []relation.Atom
+	chunk int
+	next  atomic.Int64
+}
+
+// newCandCursor sizes chunks at an eighth of a worker's fair share
+// (minimum 1): small enough that a skewed tail redistributes, large enough
+// that per-chunk run setup stays amortized.
+func newCandCursor(cands []relation.Atom, workers int) *candCursor {
+	chunk := len(cands) / (8 * workers)
+	if chunk < 1 {
+		chunk = 1
+	}
+	return &candCursor{cands: cands, chunk: chunk}
+}
+
+// take claims the next chunk, or nil when the list is exhausted.
+func (c *candCursor) take() []relation.Atom {
+	hi := int(c.next.Add(int64(c.chunk)))
+	lo := hi - c.chunk
+	if lo >= len(c.cands) {
+		return nil
+	}
+	if hi > len(c.cands) {
+		hi = len(c.cands)
+	}
+	return c.cands[lo:hi]
+}
 
 // streamParallel runs the sharded enumeration, yielding merged answers. It
 // reports false — without yielding anything — when the query has no
@@ -61,18 +106,17 @@ func (p *Prepared) streamParallel(ctx context.Context, st *Stats, yield func(cor
 		firstErr error
 		wg       sync.WaitGroup
 	)
+	cursor := newCandCursor(cands, workers)
 	for w := 0; w < workers; w++ {
-		// Contiguous blocks of the selectivity-ordered list: every worker
-		// starts with its cheapest candidates.
-		lo, hi := w*len(cands)/workers, (w+1)*len(cands)/workers
 		wg.Add(1)
-		go func(block []relation.Atom) {
+		go func() {
 			defer wg.Done()
 			opt := p.opt
 			opt.Limit = 0 // the merge loop enforces the global limit
 			r := p.newRunEp(wctx, opt, ep)
 			defer r.release()
-			r.restrict = map[int][]relation.Atom{schemeID: block}
+			restrict := map[int][]relation.Atom{}
+			r.restrict = restrict
 			r.emit = func(a core.Answer) error {
 				select {
 				case results <- a:
@@ -81,7 +125,16 @@ func (p *Prepared) streamParallel(ctx context.Context, st *Stats, yield func(cor
 					return wctx.Err()
 				}
 			}
-			err := r.search()
+			// Claim chunks off the shared cursor until the list (or the
+			// run) is done; the run — with its scratch and stats — is
+			// reused across chunks, so a chunk costs one restrict rebind.
+			var err error
+			for block := cursor.take(); block != nil; block = cursor.take() {
+				restrict[schemeID] = block
+				if err = r.search(); err != nil {
+					break
+				}
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			st.merge(r.stats)
@@ -91,7 +144,7 @@ func (p *Prepared) streamParallel(ctx context.Context, st *Stats, yield func(cor
 			if err != nil && firstErr == nil && (ctx.Err() != nil || wctx.Err() == nil) {
 				firstErr = err
 			}
-		}(cands[lo:hi])
+		}()
 	}
 	go func() {
 		wg.Wait()
@@ -167,4 +220,6 @@ func (st *Stats) merge(o *Stats) {
 	st.BodiesPrunedSupport += o.BodiesPrunedSupport
 	st.HeadsTried += o.HeadsTried
 	st.HeadsSkipped += o.HeadsSkipped
+	st.SamplesDrawn += o.SamplesDrawn
+	st.ApproxEscalated += o.ApproxEscalated
 }

@@ -12,6 +12,7 @@ import (
 
 	"github.com/mqgo/metaquery/internal/core"
 	"github.com/mqgo/metaquery/internal/gen"
+	"github.com/mqgo/metaquery/internal/relation"
 )
 
 // answerMultiset folds an answer slice into a multiset keyed by rule text
@@ -133,6 +134,64 @@ func TestParallelStreamMatchesSequential(t *testing.T) {
 					}
 				}
 			})
+		}
+	}
+}
+
+// TestCandCursorPartition drives the shared chunk cursor from concurrent
+// takers across a sweep of list lengths and worker counts, asserting the
+// invariant the parallel paths rely on: the claimed chunks form a disjoint
+// partition of the candidate list — every candidate is handed out exactly
+// once — so the workers' answer multisets union to the sequential one.
+func TestCandCursorPartition(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 16, 57, 200, 1024} {
+		for _, workers := range []int{1, 2, 4, 7} {
+			cands := make([]relation.Atom, n)
+			for i := range cands {
+				cands[i] = relation.Atom{Pred: fmt.Sprintf("r%d", i)}
+			}
+			cursor := newCandCursor(cands, workers)
+
+			var (
+				mu     sync.Mutex
+				seen   = make(map[string]int, n)
+				chunks int
+				wg     sync.WaitGroup
+			)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for block := cursor.take(); block != nil; block = cursor.take() {
+						if len(block) == 0 {
+							t.Error("cursor handed out an empty chunk")
+							return
+						}
+						mu.Lock()
+						chunks++
+						for _, a := range block {
+							seen[a.Pred]++
+						}
+						mu.Unlock()
+					}
+				}()
+			}
+			wg.Wait()
+
+			if len(seen) != n {
+				t.Fatalf("n=%d workers=%d: %d distinct candidates handed out, want %d",
+					n, workers, len(seen), n)
+			}
+			for _, c := range cands {
+				if seen[c.Pred] != 1 {
+					t.Fatalf("n=%d workers=%d: candidate %s claimed %d times, want exactly once",
+						n, workers, c.Pred, seen[c.Pred])
+				}
+			}
+			if max := (n + cursor.chunk - 1) / cursor.chunk; chunks > max {
+				t.Fatalf("n=%d workers=%d: %d chunks claimed, chunk size %d allows at most %d",
+					n, workers, chunks, cursor.chunk, max)
+			}
 		}
 	}
 }

@@ -89,6 +89,9 @@ func (e *Engine) Prepare(mq *core.Metaquery, opt Options) (*Prepared, error) {
 	if err := core.ValidateForType(snap.db, mq, opt.Type); err != nil {
 		return nil, err
 	}
+	if err := opt.Approx.validate(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
 	p := &Prepared{
 		eng: e,
 		mq:  mq,

@@ -97,6 +97,7 @@ type run struct {
 	sOwned   []*relation.Table
 	bodyBuf  body
 	bjTables []*relation.Table
+	bjOwn    []bool
 	bjAtoms  []relation.Atom
 	bjEsts   []stats.Est
 }
@@ -116,6 +117,7 @@ func (r *run) release() {
 		r.bjTables[i] = nil
 	}
 	r.bjTables = r.bjTables[:0]
+	r.bjOwn = r.bjOwn[:0]
 	r.atoms = r.atoms[:0]
 	r.bjAtoms = r.bjAtoms[:0]
 	r.bodyBuf = body{}

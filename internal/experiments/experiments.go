@@ -101,6 +101,7 @@ var registry = map[string]Runner{
 	"E23": runE23,
 	"E24": runE24,
 	"E25": runE25,
+	"E26": runE26,
 }
 
 // IDs returns the registered experiment IDs in order.

@@ -15,8 +15,14 @@ import (
 // runE24 measures the parallel enumeration path: FindRules and Stream on
 // one prepared metaquery at 1, 2, 4 and 8 workers over the E22-style
 // skewed workload (heavy-hitter columns staggered across relations, the
-// regime where per-candidate body work is most uneven and a static block
+// regime where per-candidate body work is most uneven and a fixed
 // partition is least favorable — worker imbalance shows up honestly).
+//
+// Since PR 9 the workers claim candidate chunks off a shared atomic cursor
+// instead of receiving one static contiguous block each: on this skewed
+// workload the expensive candidates no longer pin a single worker, because
+// whoever finishes early pulls the next chunk from the remainder. The
+// multiset check below is exactly the invariance the cursor must preserve.
 //
 // The reproduction check is hardware-independent: every worker count must
 // produce exactly the sequential answer multiset (sharding the first
@@ -97,6 +103,7 @@ func runE24(ctx context.Context, quick bool) (*Result, error) {
 			fmt.Sprint(len(answers)), fmt.Sprint(after.Mallocs-before.Mallocs))
 	}
 	res.Notef("pass = answer-multiset equality across worker counts plus stream/findrules row agreement; wall columns are informational")
+	res.Notef("partition: chunked shared atomic cursor (workers steal from the remainder), replacing the static contiguous blocks of PR 7")
 	res.Notef("measured at GOMAXPROCS=%d on %d CPU(s); parallel wall-clock speedup requires multiple cores",
 		runtime.GOMAXPROCS(0), runtime.NumCPU())
 	res.Pass = pass

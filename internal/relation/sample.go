@@ -1,0 +1,119 @@
+package relation
+
+// This file implements the uniform row samplers behind the approximate
+// (ε–δ) index decider in internal/approx: a full-cycle stride sampler that
+// enumerates row indices in a pseudo-random order without replacement, and
+// a classic reservoir sampler for one-shot fixed-size index samples. Both
+// are deterministic functions of their seed, which is what lets diff repros
+// and fuzz minimizations replay approximate decisions byte-identically.
+//
+// Samplers address rows through the RowSource interface, which both Table
+// and Relation satisfy. Relation's Len/Row pair already skips tombstoned
+// rows (epoch deletions route through the lazy live index), so a sampler
+// over an extended epoch's relation draws from live tuples only — dead rows
+// are unreachable by construction, not by rejection.
+
+// RowSource is uniform random access to a set of rows: Len live rows,
+// addressed 0..Len()-1 through Row. *Table implements it directly;
+// *Relation implements it with tombstoned rows skipped.
+type RowSource interface {
+	Len() int
+	Row(i int) Tuple
+}
+
+// Sampler enumerates the indices 0..n-1 in a seed-determined pseudo-random
+// order, each exactly once (sampling without replacement): drawing all n
+// indices visits the whole population, so an exhausted sampler has computed
+// an exact — not estimated — fraction. The order is a full-cycle linear
+// congruential walk over the next power of two ≥ n with out-of-range states
+// skipped, so a Sampler holds no per-row memory and allocates nothing.
+type Sampler struct {
+	n     uint64
+	mask  uint64
+	mult  uint64
+	inc   uint64
+	state uint64
+	drawn int
+}
+
+// NewSampler returns a sampler over the indices [0, n). Equal seeds yield
+// equal orders; the zero seed is a valid (fixed) order of its own.
+func NewSampler(n int, seed uint64) Sampler {
+	size := uint64(2)
+	for size < uint64(n) {
+		size <<= 1
+	}
+	r := splitmix64(&seed)
+	// Hull–Dobell: over a power-of-two modulus the walk is full-cycle iff
+	// the increment is odd and the multiplier is ≡ 1 (mod 4).
+	s := Sampler{
+		n:    uint64(n),
+		mask: size - 1,
+		mult: (splitmix64(&seed) &^ 3) | 1,
+		inc:  splitmix64(&seed) | 1,
+	}
+	s.state = r & s.mask
+	return s
+}
+
+// Next returns the next sampled index, or -1 once all n indices have been
+// drawn.
+func (s *Sampler) Next() int {
+	if s.drawn >= int(s.n) {
+		return -1
+	}
+	for {
+		v := s.state
+		s.state = (s.mult*s.state + s.inc) & s.mask
+		if v < s.n {
+			s.drawn++
+			return int(v)
+		}
+	}
+}
+
+// Drawn returns the number of indices handed out so far.
+func (s *Sampler) Drawn() int { return s.drawn }
+
+// ReservoirRows draws a uniform without-replacement sample of min(k, n) row
+// indices from a population of n (Vitter's Algorithm R), into the scratch's
+// sample buffer when sc is non-nil. The result is valid until the next
+// ReservoirRows call on the same scratch. Prefer Sampler for sequential
+// tests that may stop early; the reservoir is for one-shot samples whose
+// size is known up front.
+func (sc *Scratch) ReservoirRows(n, k int, seed uint64) []int {
+	if k > n {
+		k = n
+	}
+	var out []int
+	if sc != nil {
+		if cap(sc.sample) < k {
+			sc.sample = make([]int, k)
+		}
+		out = sc.sample[:k]
+	} else {
+		out = make([]int, k)
+	}
+	for i := 0; i < k; i++ {
+		out[i] = i
+	}
+	for i := k; i < n; i++ {
+		// j uniform over [0, i]: replacement probability k/(i+1), the
+		// classic reservoir invariant.
+		j := int(splitmix64(&seed) % uint64(i+1))
+		if j < k {
+			out[j] = i
+		}
+	}
+	return out
+}
+
+// splitmix64 advances *x by the SplitMix64 step and returns the mixed
+// output: a cheap, well-distributed stream of 64-bit values from one seed.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,152 @@
+package relation
+
+import "testing"
+
+// TestSamplerFullCycle: drawing n times from NewSampler(n, seed) must yield
+// every index in [0, n) exactly once, for a spread of sizes (including
+// powers of two and their neighbors, where the rejection walk degenerates).
+func TestSamplerFullCycle(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 16, 31, 32, 33, 100, 255, 256, 1000} {
+		for seed := uint64(0); seed < 5; seed++ {
+			s := NewSampler(n, seed)
+			seen := make([]bool, n)
+			for i := 0; i < n; i++ {
+				v := s.Next()
+				if v < 0 || v >= n {
+					t.Fatalf("n=%d seed=%d: draw %d out of range: %d", n, seed, i, v)
+				}
+				if seen[v] {
+					t.Fatalf("n=%d seed=%d: index %d drawn twice", n, seed, v)
+				}
+				seen[v] = true
+			}
+			if got := s.Next(); got != -1 {
+				t.Fatalf("n=%d seed=%d: exhausted sampler returned %d, want -1", n, seed, got)
+			}
+			if s.Drawn() != n {
+				t.Fatalf("n=%d seed=%d: Drawn = %d, want %d", n, seed, s.Drawn(), n)
+			}
+		}
+	}
+}
+
+// TestSamplerDeterminism: equal seeds replay the identical order; different
+// seeds should (for a non-trivial population) differ somewhere.
+func TestSamplerDeterminism(t *testing.T) {
+	const n = 64
+	draw := func(seed uint64) []int {
+		s := NewSampler(n, seed)
+		out := make([]int, n)
+		for i := range out {
+			out[i] = s.Next()
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := draw(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("seeds 42 and 43 produced the identical order")
+	}
+}
+
+// TestReservoirRows: the reservoir is a without-replacement k-subset of
+// [0, n), deterministic per seed, clamped to the population size, and
+// reuses the scratch buffer across calls.
+func TestReservoirRows(t *testing.T) {
+	sc := NewScratch()
+	for _, tc := range []struct{ n, k int }{{0, 0}, {5, 0}, {5, 5}, {5, 8}, {100, 10}, {1000, 64}} {
+		got := sc.ReservoirRows(tc.n, tc.k, 7)
+		want := tc.k
+		if want > tc.n {
+			want = tc.n
+		}
+		if len(got) != want {
+			t.Fatalf("n=%d k=%d: len = %d, want %d", tc.n, tc.k, len(got), want)
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v < 0 || v >= tc.n {
+				t.Fatalf("n=%d k=%d: index %d out of range", tc.n, tc.k, v)
+			}
+			if seen[v] {
+				t.Fatalf("n=%d k=%d: index %d sampled twice", tc.n, tc.k, v)
+			}
+			seen[v] = true
+		}
+	}
+	a := append([]int(nil), sc.ReservoirRows(100, 10, 99)...)
+	b := sc.ReservoirRows(100, 10, 99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	if got := NewScratch().ReservoirRows(50, 10, 99); len(got) != 10 {
+		t.Fatalf("fresh scratch reservoir len = %d", len(got))
+	}
+	var nilSc *Scratch
+	if got := nilSc.ReservoirRows(50, 10, 99); len(got) != 10 {
+		t.Fatalf("nil scratch reservoir len = %d", len(got))
+	}
+}
+
+// TestSamplerRespectsTombstones: sampling a Relation through the RowSource
+// interface after deletions must only ever surface live tuples — Len/Row
+// route through the live index, so tombstoned rows are unreachable.
+func TestSamplerRespectsTombstones(t *testing.T) {
+	r := NewRelation("r", 1)
+	for i := 0; i < 20; i++ {
+		r.Insert(Tuple{Value(i)})
+	}
+	ext := r.Extend()
+	for i := 0; i < 20; i += 2 {
+		ext.Delete(Tuple{Value(i)})
+	}
+	ext.Seal()
+	var src RowSource = ext
+	if src.Len() != 10 {
+		t.Fatalf("live rows = %d, want 10", src.Len())
+	}
+	s := NewSampler(src.Len(), 3)
+	seen := map[Value]bool{}
+	for {
+		i := s.Next()
+		if i < 0 {
+			break
+		}
+		v := src.Row(i)[0]
+		if v%2 == 0 {
+			t.Fatalf("sampled tombstoned tuple %v", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("sampled %d distinct live tuples, want 10", len(seen))
+	}
+
+	// All-tombstone epoch: every row deleted leaves an empty population.
+	dead := r.Extend()
+	for i := 0; i < 20; i++ {
+		dead.Delete(Tuple{Value(i)})
+	}
+	dead.Seal()
+	if dead.Len() != 0 {
+		t.Fatalf("all-tombstone Len = %d, want 0", dead.Len())
+	}
+	empty := NewSampler(dead.Len(), 3)
+	if got := empty.Next(); got != -1 {
+		t.Fatalf("all-tombstone sampler returned %d, want -1", got)
+	}
+}

@@ -31,6 +31,7 @@ type Scratch struct {
 	heads      []int32
 	next       []int32
 	buf        Tuple
+	sample     []int
 	free       []*Table
 }
 

@@ -15,10 +15,12 @@ import (
 // with the same options map to one key and therefore one Prepared.
 func prepKey(mq *core.Metaquery, opt engine.Options) string {
 	th := opt.Thresholds
-	return fmt.Sprintf("%s|t%d|s%v:%s|c%v:%s|v%v:%s|l%d|w%d|g%v",
+	a := opt.Approx
+	return fmt.Sprintf("%s|t%d|s%v:%s|c%v:%s|v%v:%s|l%d|w%d|g%v|a%g:%g:%d:%d",
 		mq.CanonicalKey(), opt.Type,
 		th.CheckSup, th.Sup, th.CheckCnf, th.Cnf, th.CheckCvr, th.Cvr,
-		opt.Limit, opt.Workers, opt.DisableCostPlanner)
+		opt.Limit, opt.Workers, opt.DisableCostPlanner,
+		a.Epsilon, a.Delta, a.MaxSamples, a.Seed)
 }
 
 // prepCache is a fixed-capacity LRU of Prepared metaqueries, one per

@@ -51,6 +51,16 @@ type decideRequest struct {
 	// sequential).
 	Workers   int   `json:"workers,omitempty"`
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Epsilon/Delta, when both set, switch the decision to the sampling
+	// ε–δ approximate path: true index values outside [k−ε, k+ε] are
+	// decided correctly with probability at least 1−δ (YES verdicts are
+	// exactly confirmed and never wrong), values inside the band escalate
+	// to exact evaluation. Both must be in (0, 1).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	Delta   float64 `json:"delta,omitempty"`
+	// MaxSamples caps the per-fraction sample budget before escalation
+	// (0 derives it from epsilon and delta).
+	MaxSamples int `json:"max_samples,omitempty"`
 }
 
 // answerJSON is one discovered rule with its exact index values.
@@ -72,6 +82,8 @@ type statsJSON struct {
 	Answers         int `json:"answers"`
 	PrunedEmpty     int `json:"pruned_empty,omitempty"`
 	PrunedSupport   int `json:"pruned_support,omitempty"`
+	SamplesDrawn    int `json:"samples_drawn,omitempty"`
+	Escalated       int `json:"escalated,omitempty"`
 }
 
 func toStatsJSON(st *engine.Stats) *statsJSON {
@@ -88,6 +100,8 @@ func toStatsJSON(st *engine.Stats) *statsJSON {
 		Answers:         st.Answers,
 		PrunedEmpty:     st.BodiesPrunedEmpty,
 		PrunedSupport:   st.BodiesPrunedSupport,
+		SamplesDrawn:    st.SamplesDrawn,
+		Escalated:       st.ApproxEscalated,
 	}
 }
 
@@ -104,7 +118,10 @@ type queryResponse struct {
 
 // decideResponse is the /v1/decide verdict document.
 type decideResponse struct {
-	Yes       bool       `json:"yes"`
+	Yes bool `json:"yes"`
+	// Method is "exact" (the first-witness path) or "approx" (the sampling
+	// ε–δ path, when the request set epsilon/delta).
+	Method    string     `json:"method"`
 	Witness   string     `json:"witness,omitempty"`
 	CacheHit  bool       `json:"cache_hit"`
 	ElapsedMS float64    `json:"elapsed_ms"`
@@ -242,7 +259,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 // handleDecide answers POST /v1/decide through the engine's first-witness
 // path: only the queried index is evaluated and the search stops at the
-// first admissible witness.
+// first admissible witness. With epsilon/delta set the decision runs the
+// sampling ε–δ path instead, and the response reports "method": "approx"
+// plus the samples-drawn and escalation counters.
 func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	var req decideRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
@@ -282,7 +301,11 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "workers must be >= 0")
 		return
 	}
-	prep, hit, err := s.prepared(d, mq, engine.Options{Type: typ, Workers: req.Workers})
+	// epsilon/delta select the approximate path. They are part of the
+	// engine Options and therefore of the prepared-cache key: exact and
+	// approximate decisions over one query cache separate Prepared values.
+	approx := engine.ApproxOptions{Epsilon: req.Epsilon, Delta: req.Delta, MaxSamples: req.MaxSamples}
+	prep, hit, err := s.prepared(d, mq, engine.Options{Type: typ, Workers: req.Workers, Approx: approx})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -290,13 +313,25 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.searchContext(r, req.TimeoutMS)
 	defer cancel()
 	start := time.Now()
-	yes, wit, st, err := prep.DecideFirstStats(ctx, ix, k)
+	var (
+		yes bool
+		wit *core.Instantiation
+		st  *engine.Stats
+	)
+	method := "exact"
+	if approx.Enabled() {
+		method = "approx"
+		yes, wit, st, err = prep.DecideApproxStats(ctx, ix, k)
+	} else {
+		yes, wit, st, err = prep.DecideFirstStats(ctx, ix, k)
+	}
 	if err != nil {
 		s.searchError(w, r, err)
 		return
 	}
 	out := decideResponse{
 		Yes:       yes,
+		Method:    method,
 		CacheHit:  hit,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
 		Stats:     toStatsJSON(st),

@@ -220,6 +220,71 @@ func TestDecideEndpoint(t *testing.T) {
 	if resp.CacheHit {
 		t.Fatalf("workers=3 must prepare its own cache entry (Workers is part of the key)")
 	}
+	if resp.Method != "exact" {
+		t.Fatalf("exact decision reports method %q, want \"exact\": %s", resp.Method, body)
+	}
+}
+
+// /v1/decide with epsilon/delta runs the sampling ε–δ path: the verdict
+// must agree with the exact one on this tiny database (sampling covers the
+// population), the response must say so via "method": "approx", and the
+// approx parameters must key their own prepared-cache entry.
+func TestDecideApproxEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.LoadDatabase("fig1", figure1DB())
+
+	ask := func(req decideRequest) (decideResponse, []byte) {
+		t.Helper()
+		code, body := postJSON(t, ts.URL+"/v1/decide", req)
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, body)
+		}
+		var resp decideResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		return resp, body
+	}
+
+	exact, _ := ask(decideRequest{DB: "fig1", Query: "R(X,Z) <- P(X,Y), Q(Y,Z)", Type: 0, Index: "cnf", K: "1/2"})
+	approx, body := ask(decideRequest{
+		DB: "fig1", Query: "R(X,Z) <- P(X,Y), Q(Y,Z)", Type: 0, Index: "cnf", K: "1/2",
+		Epsilon: 0.1, Delta: 0.1,
+	})
+	if approx.Method != "approx" {
+		t.Fatalf("method %q, want \"approx\": %s", approx.Method, body)
+	}
+	if approx.Yes != exact.Yes {
+		t.Fatalf("approx verdict %v differs from exact %v on a fully covered population", approx.Yes, exact.Yes)
+	}
+	if approx.Yes && approx.Witness == "" {
+		t.Fatalf("approx YES without witness: %s", body)
+	}
+	if approx.CacheHit {
+		t.Fatal("approx request must prepare its own cache entry (epsilon/delta are part of the key)")
+	}
+	// Replay hits the approx entry, never the exact one.
+	again, _ := ask(decideRequest{
+		DB: "fig1", Query: "R(X,Z) <- P(X,Y), Q(Y,Z)", Type: 0, Index: "cnf", K: "1/2",
+		Epsilon: 0.1, Delta: 0.1,
+	})
+	if !again.CacheHit {
+		t.Fatal("identical approx request should hit the prepared cache")
+	}
+
+	// Out-of-range and half-configured parameters are rejected up front.
+	for _, bad := range []decideRequest{
+		{DB: "fig1", Query: "R(X,Z) <- P(X,Y), Q(Y,Z)", Index: "cnf", Epsilon: 1.5, Delta: 0.1},
+		{DB: "fig1", Query: "R(X,Z) <- P(X,Y), Q(Y,Z)", Index: "cnf", Epsilon: 0.1, Delta: -1},
+		{DB: "fig1", Query: "R(X,Z) <- P(X,Y), Q(Y,Z)", Index: "cnf", Epsilon: 0.1},
+		{DB: "fig1", Query: "R(X,Z) <- P(X,Y), Q(Y,Z)", Index: "cnf", Delta: 0.1},
+		{DB: "fig1", Query: "R(X,Z) <- P(X,Y), Q(Y,Z)", Index: "cnf", Epsilon: 0.1, Delta: 0.1, MaxSamples: -1},
+	} {
+		code, body := postJSON(t, ts.URL+"/v1/decide", bad)
+		if code != http.StatusBadRequest {
+			t.Fatalf("invalid approx params %+v: status %d, want 400: %s", bad, code, body)
+		}
+	}
 }
 
 func TestStreamEndpoint(t *testing.T) {

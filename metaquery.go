@@ -139,6 +139,10 @@ type Rat = rat.Rat
 // Options configures the findRules engine.
 type Options = engine.Options
 
+// ApproxOptions configures the sampling ε–δ approximate decision path
+// (Prepared.DecideApprox) through Options.Approx.
+type ApproxOptions = engine.ApproxOptions
+
 // Stats reports engine search-effort counters.
 type Stats = engine.Stats
 
