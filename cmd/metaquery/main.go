@@ -98,8 +98,12 @@ func main() {
 		apxEps  = flag.Float64("approx-eps", 0, "approximate decision half-band ε in (0,1): sample the fractions instead of computing them exactly (-decide only; needs -approx-delta)")
 		apxDel  = flag.Float64("approx-delta", 0, "approximate decision error bound δ in (0,1) (-decide only; needs -approx-eps)")
 		apxMax  = flag.Int("approx-max-samples", 0, "per-fraction sample budget before escalating to exact evaluation (0 = derive from ε and δ)")
+		trace   = flag.Bool("trace", false, "print the execution's span tree (epoch binding, node joins with estimate-vs-actual rows, sampling) to stderr")
 	)
 	flag.Parse()
+	if *trace {
+		cliTracer = metaquery.NewTracer()
+	}
 	var err error
 	if *decide != "" {
 		// The enumeration-only flags have no meaning in decision mode:
@@ -118,6 +122,7 @@ func main() {
 			approx := metaquery.ApproxOptions{Epsilon: *apxEps, Delta: *apxDel, MaxSamples: *apxMax}
 			err = runDecide(*dbDir, *query, *typN, *decide, *kBound, *workers, approx, *showSts, *timeout)
 		}
+		printTrace()
 		if errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintln(os.Stderr, "metaquery: decision timed out before reaching a verdict")
 			os.Exit(exitTimeout)
@@ -132,12 +137,15 @@ func main() {
 		err = fmt.Errorf("-approx-eps/-approx-delta/-approx-max-samples require -decide (enumeration is always exact)")
 	} else if *explain && *naive {
 		err = fmt.Errorf("-explain does not apply with -naive (the naive engine has no plan)")
+	} else if *trace && *naive {
+		err = fmt.Errorf("-trace does not apply with -naive (the naive engine records no spans)")
 	} else {
 		if *explain {
 			err = runExplain(*dbDir, *query, *typN, *minSup, *minCnf, *minCvr, *limit, *showSts, *timeout)
 		} else {
 			err = runTimed(*dbDir, *query, *typN, *minSup, *minCnf, *minCvr, *naive, *limit, *showSts, *timeout)
 		}
+		printTrace()
 		if errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintln(os.Stderr, "metaquery: search timed out, results are partial")
 			os.Exit(exitTimeout)
@@ -293,10 +301,28 @@ func loadQuery(dbDir, query string, typN int) (*metaquery.Database, *metaquery.M
 
 // searchContext bounds the search wall-clock when timeout is positive.
 func searchContext(timeout time.Duration) (context.Context, context.CancelFunc) {
-	if timeout > 0 {
-		return context.WithTimeout(context.Background(), timeout)
+	ctx := context.Background()
+	if cliTracer != nil {
+		ctx = metaquery.WithTracer(ctx, cliTracer)
 	}
-	return context.Background(), func() {}
+	if timeout > 0 {
+		return context.WithTimeout(ctx, timeout)
+	}
+	return ctx, func() {}
+}
+
+// cliTracer is the -trace tracer, injected into every search context and
+// rendered to stderr after the run.
+var cliTracer *metaquery.Tracer
+
+// printTrace renders the -trace span tree to stderr, once. No-op without
+// -trace.
+func printTrace() {
+	if cliTracer == nil {
+		return
+	}
+	fmt.Fprint(os.Stderr, "# trace:\n"+metaquery.RenderTree(cliTracer.Tree()))
+	cliTracer = nil
 }
 
 // printEngineStats prints the enumeration search counters comment line.

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/mqgo/metaquery"
+)
+
+// TestRunWithTrace drives the -trace plumbing: a set cliTracer is
+// injected into the search context, the run records spans, and
+// printTrace renders them once and disarms the tracer.
+func TestRunWithTrace(t *testing.T) {
+	dir := writeTelecomCSV(t)
+	cliTracer = metaquery.NewTracer()
+	t.Cleanup(func() { cliTracer = nil })
+	if err := run(dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", 0, "", "1/2", "", false, 0, false); err != nil {
+		t.Fatalf("traced run failed: %v", err)
+	}
+	tr := cliTracer
+	if len(tr.Tree()) == 0 {
+		t.Fatal("traced run recorded no spans")
+	}
+	printTrace()
+	if cliTracer != nil {
+		t.Fatal("printTrace did not disarm the tracer")
+	}
+	printTrace() // second call is a no-op
+}

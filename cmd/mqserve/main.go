@@ -2,13 +2,19 @@
 // named CSV databases over the HTTP/JSON surface of internal/server —
 // full answers (POST /v1/query), first-witness decisions (POST
 // /v1/decide), streamed NDJSON answers (POST /v1/stream), database loads
-// (POST /v1/db/{name}) and observability (GET /v1/stats, GET /debug).
+// (POST /v1/db/{name}) and observability (GET /v1/stats, GET /debug,
+// GET /metrics in Prometheus text form, and /debug/pprof/ behind -pprof).
 //
 // Usage:
 //
 //	mqserve -addr :8080 -db telecom=./csv/telecom -db hr=./csv/hr \
 //	    [-max-inflight N] [-timeout D] [-max-timeout D] \
-//	    [-cache-size N] [-drain-timeout D]
+//	    [-cache-size N] [-drain-timeout D] \
+//	    [-slow-query-ms N] [-pprof] [-quiet]
+//
+// Requests log one structured line each (endpoint, database, status,
+// duration) unless -quiet; with -slow-query-ms set, requests over the
+// threshold additionally log their execution span tree at warning level.
 //
 // Admission control: at most -max-inflight searches execute concurrently;
 // requests beyond that are shed with 429 + Retry-After instead of queued.
@@ -27,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -68,17 +75,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		maxTimeout   = fs.Duration("max-timeout", 2*time.Minute, "upper clamp on client-requested deadlines")
 		cacheSize    = fs.Int("cache-size", 256, "per-database prepared-metaquery LRU capacity")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight searches on shutdown")
+		slowQueryMS  = fs.Int64("slow-query-ms", 0, "log requests slower than this (ms) at warning level with their span tree; 0 disables")
+		enablePprof  = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		quiet        = fs.Bool("quiet", false, "suppress per-request structured logging")
 	)
 	fs.Var(&dbs, "db", "mount a database: name=csv-dir (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewTextHandler(stderr, nil))
+	}
 	srv := server.New(server.Config{
 		MaxInFlight:    *maxInFlight,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		PrepCacheSize:  *cacheSize,
+		Logger:         logger,
+		SlowQuery:      time.Duration(*slowQueryMS) * time.Millisecond,
+		EnablePprof:    *enablePprof,
 	})
 	for _, mount := range dbs {
 		name, dir, _ := strings.Cut(mount, "=")

@@ -7,6 +7,7 @@ import (
 
 	"github.com/mqgo/metaquery/internal/core"
 	"github.com/mqgo/metaquery/internal/hypertree"
+	"github.com/mqgo/metaquery/internal/obs"
 	"github.com/mqgo/metaquery/internal/rat"
 	"github.com/mqgo/metaquery/internal/relation"
 	"github.com/mqgo/metaquery/internal/stats"
@@ -54,24 +55,32 @@ func (p *Prepared) DecideFirstStats(ctx context.Context, ix core.Index, k rat.Ra
 		}
 		// No partitionable scheme (or too few candidates): run sequential.
 	}
-	return p.decideFirstSeq(ctx, ix, k, nil, nil)
+	return p.decideFirstSeq(ctx, ix, k, nil, nil, -1)
 }
 
 // decideFirstSeq is one sequential first-witness run, optionally with a
 // candidate restriction for a parallel worker's block. A non-nil ep pins
 // the epoch (the parallel coordinator resolves one for all workers); nil
-// resolves the current one.
-func (p *Prepared) decideFirstSeq(ctx context.Context, ix core.Index, k rat.Rat, restrict map[int][]relation.Atom, ep *prepEpoch) (bool, *core.Instantiation, *Stats, error) {
+// resolves the current one. parent is the tracing parent span: -1 for a
+// standalone run, the coordinator's span for a parallel worker chunk.
+func (p *Prepared) decideFirstSeq(ctx context.Context, ix core.Index, k rat.Rat, restrict map[int][]relation.Atom, ep *prepEpoch, parent int) (bool, *core.Instantiation, *Stats, error) {
 	opt := p.opt
 	opt.Thresholds = core.SingleIndex(ix, k)
 	opt.Limit = 0 // unused here: the decision run terminates via errFound
 	if ep == nil {
-		ep = p.epoch()
+		ep = p.tracedEpoch(resolveTracer(ctx, opt))
 	}
 	r := p.newRunEp(ctx, opt, ep)
 	defer r.release()
 	r.order = p.decideOrder(ep)
 	r.restrict = restrict
+	r.span = parent
+	if restrict == nil {
+		r.beginRoot("decide")
+	} else {
+		r.beginRoot("chunk")
+	}
+	defer r.endRoot()
 
 	d := &decider{run: r, ix: ix, k: k}
 	r.onBody = d.onBody
@@ -96,7 +105,8 @@ func (p *Prepared) decideFirstSeq(ctx context.Context, ix core.Index, k rat.Rat,
 func (p *Prepared) decideFirstParallel(ctx context.Context, ix core.Index, k rat.Rat) (bool, *core.Instantiation, *Stats, bool, error) {
 	// One epoch for the whole sharded execution: the chunk partition and
 	// every worker must see the same candidate lists and database version.
-	ep := p.epoch()
+	tr := resolveTracer(ctx, p.opt)
+	ep := p.tracedEpoch(tr)
 	order := p.decideOrder(ep)
 	schemeID, cands := p.partitionScheme(ep, order)
 	if schemeID < 0 || len(cands) < 2 {
@@ -106,6 +116,8 @@ func (p *Prepared) decideFirstParallel(ctx context.Context, ix core.Index, k rat
 	if workers > len(cands) {
 		workers = len(cands)
 	}
+	root := tr.Begin(-1, "decide-parallel")
+	defer func() { tr.End(root, obs.AInt("workers", workers), obs.AInt("candidates", len(cands))) }()
 
 	if ctx == nil {
 		ctx = context.Background()
@@ -135,7 +147,7 @@ func (p *Prepared) decideFirstParallel(ctx context.Context, ix core.Index, k rat
 					return
 				}
 				restrict[schemeID] = block
-				yes, wit, st, err := p.decideFirstSeq(wctx, ix, k, restrict, ep)
+				yes, wit, st, err := p.decideFirstSeq(wctx, ix, k, restrict, ep, root)
 				mu.Lock()
 				if st != nil {
 					merged.merge(st)

@@ -5,6 +5,7 @@ import (
 
 	"github.com/mqgo/metaquery/internal/approx"
 	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/obs"
 	"github.com/mqgo/metaquery/internal/rat"
 	"github.com/mqgo/metaquery/internal/relation"
 )
@@ -64,10 +65,12 @@ func (p *Prepared) DecideApproxStats(ctx context.Context, ix core.Index, k rat.R
 	opt := p.opt
 	opt.Thresholds = core.SingleIndex(ix, k)
 	opt.Limit = 0
-	ep := p.epoch()
+	ep := p.tracedEpoch(resolveTracer(ctx, opt))
 	r := p.newRunEp(ctx, opt, ep)
 	defer r.release()
 	r.order = p.decideOrder(ep)
+	r.beginRoot("decide-approx")
+	defer r.endRoot()
 
 	d := &approxDecider{
 		run: r,
@@ -283,12 +286,35 @@ func (d *approxDecider) headSearch(b *body) error {
 	return nil
 }
 
-// fractionExceeds decides |t ⋉ u| / |t| > k. Large denominators run the
-// sequential sampled test with the given budget; tiny ones, cartesian
+// fractionExceeds decides |t ⋉ u| / |t| > k through fractionExceedsImpl,
+// wrapping it in a "sample" span when the run is traced: the span's
+// escalated attr reports whether this fraction was resolved exactly (every
+// ApproxEscalated increment happens inside the impl, at most once per
+// call, so the before/after delta is exact), and drawn reports the rows
+// this call sampled.
+func (d *approxDecider) fractionExceeds(t, u *relation.Table, budget int) (bool, error) {
+	r := d.run
+	if r.tr == nil {
+		return d.fractionExceedsImpl(t, u, budget)
+	}
+	esc0, drawn0 := r.stats.ApproxEscalated, r.stats.SamplesDrawn
+	sp := r.tr.Begin(r.span, "sample")
+	exceeds, err := d.fractionExceedsImpl(t, u, budget)
+	r.tr.End(sp,
+		obs.AInt("population", t.Len()),
+		obs.AInt("budget", budget),
+		obs.AInt("drawn", r.stats.SamplesDrawn-drawn0),
+		obs.ABool("escalated", r.stats.ApproxEscalated > esc0),
+		obs.ABool("exceeds", exceeds))
+	return exceeds, err
+}
+
+// fractionExceedsImpl decides |t ⋉ u| / |t| > k. Large denominators run
+// the sequential sampled test with the given budget; tiny ones, cartesian
 // degenerations (no shared columns), escalations, and the exact
 // confirmation of sampled accepts all go through the same exact kernels the
 // exact decider uses, so every returned YES is a certainty.
-func (d *approxDecider) fractionExceeds(t, u *relation.Table, budget int) (bool, error) {
+func (d *approxDecider) fractionExceedsImpl(t, u *relation.Table, budget int) (bool, error) {
 	r := d.run
 	pop := t.Len()
 	if pop == 0 {

@@ -45,6 +45,7 @@ import (
 	"github.com/mqgo/metaquery/internal/approx"
 	"github.com/mqgo/metaquery/internal/core"
 	"github.com/mqgo/metaquery/internal/hypertree"
+	"github.com/mqgo/metaquery/internal/obs"
 	"github.com/mqgo/metaquery/internal/rat"
 	"github.com/mqgo/metaquery/internal/relation"
 )
@@ -80,6 +81,16 @@ type Options struct {
 	// and Delta enables it for DecideApprox runs only — enumeration paths
 	// and DecideFirst always stay exact.
 	Approx ApproxOptions
+
+	// Tracer, when non-nil, records a span tree of every execution on this
+	// Prepared: epoch binding, node joins (cache hit/miss with
+	// estimate-vs-actual row counts), parallel worker chunks, and approx
+	// sampling/escalation. nil — the default — is the zero-allocation
+	// disabled tracer; the instrumentation then costs a nil check per
+	// site. Per-request tracing without re-preparing goes through
+	// obs.WithTracer on the execution context instead (the server's path:
+	// Options participate in its prepared-cache key).
+	Tracer *obs.Tracer
 
 	// Ablation switches (all default off = full algorithm). They change
 	// performance only, never results; see the ablation benchmarks.

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/obs"
 	"github.com/mqgo/metaquery/internal/relation"
 )
 
@@ -80,7 +81,8 @@ func (c *candCursor) take() []relation.Atom {
 func (p *Prepared) streamParallel(ctx context.Context, st *Stats, yield func(core.Answer, error) bool) bool {
 	// One epoch for the whole sharded execution: the block partition and
 	// every worker must see the same candidate lists and database version.
-	ep := p.epoch()
+	tr := resolveTracer(ctx, p.opt)
+	ep := p.tracedEpoch(tr)
 	schemeID, cands := p.partitionScheme(ep, p.order)
 	if schemeID < 0 || len(cands) < 2 {
 		return false
@@ -97,6 +99,11 @@ func (p *Prepared) streamParallel(ctx context.Context, st *Stats, yield func(cor
 		st = &local
 	}
 	*st = Stats{Width: p.decomp.Width, Nodes: len(p.order)}
+
+	// The coordinator span parents every worker's chunk spans; its duration
+	// is the whole sharded execution including the merge drain.
+	root := tr.Begin(-1, "stream-parallel")
+	defer tr.End(root, obs.AInt("workers", workers), obs.AInt("candidates", len(cands)))
 
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -128,10 +135,16 @@ func (p *Prepared) streamParallel(ctx context.Context, st *Stats, yield func(cor
 			// Claim chunks off the shared cursor until the list (or the
 			// run) is done; the run — with its scratch and stats — is
 			// reused across chunks, so a chunk costs one restrict rebind.
+			// Each chunk gets its own span under the coordinator so the
+			// work-stealing shape (who ran what, for how long) is visible
+			// in the trace.
 			var err error
 			for block := cursor.take(); block != nil; block = cursor.take() {
 				restrict[schemeID] = block
-				if err = r.search(); err != nil {
+				r.span = r.tr.Begin(root, "chunk")
+				err = r.search()
+				r.tr.End(r.span, obs.AInt("worker", w), obs.AInt("candidates", len(block)))
+				if err != nil {
 					break
 				}
 			}

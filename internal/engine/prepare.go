@@ -79,6 +79,13 @@ type prepEpoch struct {
 	// nil map) fall back to the candidate index order.
 	candOrderOnce sync.Once
 	candOrder     map[int][]relation.Atom
+
+	// nodeEst caches the per-node estimated λ-join output sizes consumed
+	// by the tracing/metrics layer (estimate-vs-actual per node join),
+	// computed lazily once per epoch so observed runs pay a map lookup,
+	// not a re-estimation, per join.
+	nodeEstOnce sync.Once
+	nodeEst     map[int]float64
 }
 
 // Prepare validates mq for opt.Type and computes the query-level analysis
@@ -315,7 +322,21 @@ var runPool = sync.Pool{New: func() any { return new(run) }}
 // handed back via run.release when the execution finishes; its Stats are
 // caller-owned and survive the release.
 func (p *Prepared) newRunOpt(ctx context.Context, opt Options) *run {
-	return p.newRunEp(ctx, opt, p.epoch())
+	return p.newRunEp(ctx, opt, p.tracedEpoch(resolveTracer(ctx, opt)))
+}
+
+// nodeEstimates returns the epoch's per-node estimated λ-join output
+// sizes (nodeEstimate over every decomposition node), computed on first
+// use and shared by all observed executions on the epoch.
+func (p *Prepared) nodeEstimates(ep *prepEpoch) map[int]float64 {
+	ep.nodeEstOnce.Do(func() {
+		m := make(map[int]float64, len(p.order))
+		for _, n := range p.order {
+			m[n.ID] = p.nodeEstimate(ep, n)
+		}
+		ep.nodeEst = m
+	})
+	return ep.nodeEst
 }
 
 // newRunEp is newRunOpt with the epoch pinned by the caller: the parallel
@@ -329,6 +350,9 @@ func (p *Prepared) newRunEp(ctx context.Context, opt Options, ep *prepEpoch) *ru
 	r := runPool.Get().(*run)
 	r.p, r.ep, r.opt, r.order, r.ctx = p, ep, opt, p.order, ctx
 	r.stats = &Stats{Width: p.decomp.Width, Nodes: len(p.order)}
+	r.tr = resolveTracer(ctx, opt)
+	r.em = p.eng.obsm.Load()
+	r.span, r.rootSpan = -1, -1
 	if r.rTables == nil {
 		r.rTables = make(map[int]*relation.Table, len(p.order))
 	}
@@ -360,6 +384,8 @@ func (p *Prepared) FindRulesStats(ctx context.Context) ([]core.Answer, *Stats, e
 	}
 	r := p.newRun(ctx)
 	defer r.release()
+	r.beginRoot("findrules")
+	defer r.endRoot()
 	var answers []core.Answer
 	r.emit = func(a core.Answer) error {
 		answers = append(answers, a)

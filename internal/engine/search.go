@@ -3,9 +3,11 @@ package engine
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"github.com/mqgo/metaquery/internal/core"
 	"github.com/mqgo/metaquery/internal/hypertree"
+	"github.com/mqgo/metaquery/internal/obs"
 	"github.com/mqgo/metaquery/internal/relation"
 	"github.com/mqgo/metaquery/internal/stats"
 )
@@ -72,6 +74,18 @@ type run struct {
 	// observations as node tables are computed (explain.go).
 	explain *Explain
 
+	// tr is the run's tracer (obs.go); nil — the default — disables span
+	// recording at a nil check per site. span is the parent for spans the
+	// search opens (the execution's root span, or a parallel chunk span);
+	// rootSpan is the one beginRoot opened, closed by endRoot.
+	tr       *obs.Tracer
+	span     int
+	rootSpan int
+
+	// em points at the engine's execution histograms when enabled; nil
+	// skips recording entirely.
+	em *Metrics
+
 	// onBody receives each complete body instantiation. Returning a
 	// sentinel (errLimit, errStop, errFound) unwinds the search cleanly.
 	onBody func(*body) error
@@ -123,6 +137,8 @@ func (r *run) release() {
 	r.bodyBuf = body{}
 	r.p, r.ep, r.ctx, r.order, r.stats = nil, nil, nil, nil, nil
 	r.restrict, r.explain, r.onBody, r.emit = nil, nil, nil, nil
+	r.tr, r.em = nil, nil
+	r.span, r.rootSpan = -1, -1
 	runPool.Put(r)
 }
 
@@ -285,14 +301,45 @@ func (r *run) nodeJoin(node *hypertree.Node, schemeIDs []int, sigma *core.Instan
 	}
 	r.key, r.atoms = key, atoms
 	if t, ok := r.ep.cachedJoin(key); ok {
+		if r.tr != nil {
+			r.tr.Point(r.span, "node-join",
+				obs.AInt("node", node.ID),
+				obs.A("cache", "hit"),
+				obs.AFloat("est_rows", r.p.nodeEstimates(r.ep)[node.ID]),
+				obs.AInt("rows", t.Len()))
+		}
 		return t, nil
+	}
+	span := -1
+	var joinStart time.Time
+	if r.tr != nil || r.em != nil {
+		// Timed only when observed: the disabled path stays two nil checks.
+		if r.tr != nil {
+			span = r.tr.Begin(r.span, "node-join")
+		}
+		joinStart = time.Now()
 	}
 	j, err := r.ep.snap.ev.JoinOrdered(atoms, !r.opt.DisableCostPlanner)
 	if err != nil {
+		r.tr.End(span, obs.A("error", err.Error()))
 		return nil, err
 	}
 	t := j.Project(node.Chi)
-	return r.ep.storeJoin(key, t), nil
+	t = r.ep.storeJoin(key, t)
+	if r.tr != nil || r.em != nil {
+		d := time.Since(joinStart)
+		est := r.p.nodeEstimates(r.ep)[node.ID]
+		if r.em != nil {
+			r.em.NodeJoin.RecordDuration(d)
+			r.em.EstActualRatio.Record(ratioPerMille(est, t.Len()))
+		}
+		r.tr.End(span,
+			obs.AInt("node", node.ID),
+			obs.A("cache", "miss"),
+			obs.AFloat("est_rows", est),
+			obs.AInt("rows", t.Len()))
+	}
+	return t, nil
 }
 
 // appendAtomKey appends an injective binary encoding of a: length-prefixed

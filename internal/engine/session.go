@@ -59,6 +59,10 @@ func newSnapshot(epoch uint64, db *relation.Database, cands *core.CandidateIndex
 type Engine struct {
 	snap    atomic.Pointer[snapshot]
 	applyMu sync.Mutex // serializes Apply; the snapshot chain is linear
+
+	// obsm holds the execution histograms once EnableMetrics is called
+	// (obs.go); nil — the default — disables recording entirely.
+	obsm atomic.Pointer[Metrics]
 }
 
 // NewEngine builds a session over db, constructing the relation and

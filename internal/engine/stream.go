@@ -40,6 +40,8 @@ func (p *Prepared) StreamStats(ctx context.Context, st *Stats) iter.Seq2[core.An
 		}
 		r := p.newRun(ctx)
 		defer r.release()
+		r.beginRoot("stream")
+		defer r.endRoot()
 		if st != nil {
 			*st = *r.stats
 			r.stats = st

@@ -102,6 +102,7 @@ var registry = map[string]Runner{
 	"E24": runE24,
 	"E25": runE25,
 	"E26": runE26,
+	"E27": runE27,
 }
 
 // IDs returns the registered experiment IDs in order.

@@ -44,10 +44,10 @@ func TestResultRendering(t *testing.T) {
 
 func TestIDsOrdered(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 26 {
-		t.Fatalf("%d experiments registered, want 26", len(ids))
+	if len(ids) != 27 {
+		t.Fatalf("%d experiments registered, want 27", len(ids))
 	}
-	if ids[0] != "E1" || ids[len(ids)-1] != "E26" {
+	if ids[0] != "E1" || ids[len(ids)-1] != "E27" {
 		t.Errorf("order: %v", ids)
 	}
 }

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/engine"
+	"github.com/mqgo/metaquery/internal/obs"
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/relation"
+	"github.com/mqgo/metaquery/internal/workload"
+)
+
+// runE27 is the tracing-overhead ablation: the same two warm workloads —
+// the prepared FindRules reuse loop of BenchmarkPreparedReuse and a scaled
+// E26-style approximate decide — measured with the tracer disabled (the
+// nil default every untraced caller gets) and enabled (a fresh Tracer per
+// run via WithTracer, the per-request shape the server uses).
+//
+// The reproduction check is the zero-cost-when-off contract: the disabled
+// runs must stay at the instrumentation-free baseline (the prepared
+// FindRules loop holds ~300 allocs/op; anything past 400 means the nil
+// path started allocating), and an enabled run must actually produce a
+// span tree. Enabled overhead is reported, not gated — it buys the trace.
+func runE27(ctx context.Context, quick bool) (*Result, error) {
+	res := &Result{ID: "E27", Title: "Tracing overhead ablation: disabled vs enabled tracer on prepared FindRules and approx decide",
+		Header: []string{"workload", "tracer", "allocs/op", "wall/op", "spans"}}
+
+	type load struct {
+		name     string
+		run      func(ctx context.Context) error
+		allocCap float64 // disabled-path gate
+		reps     int     // AllocsPerRun + wall iterations
+	}
+	var loads []load
+
+	// Workload 1: BenchmarkPreparedReuse/prepared — N executions of one
+	// warm Prepared, the steady state the pooled scratch keeps flat.
+	{
+		db := workload.ChainDB(3, 25, 100, 5)
+		prep, err := engine.NewEngine(db).Prepare(workload.ChainMQ(3), engine.Options{
+			Type: core.Type0, Thresholds: core.AllAbove(rat.New(1, 10), rat.Zero, rat.Zero),
+		})
+		if err != nil {
+			return nil, err
+		}
+		reps := 50
+		if quick {
+			reps = 15
+		}
+		loads = append(loads, load{
+			name: "findrules-prepared",
+			run: func(ctx context.Context) error {
+				_, err := prep.FindRules(ctx)
+				return err
+			},
+			allocCap: 400, reps: reps,
+		})
+	}
+
+	// Workload 2: the E26 decide shape scaled down — cnf = 1/5 everywhere,
+	// so the sampler settles every pair without escalating and the traced
+	// run emits one sample span per candidate pair.
+	{
+		rowsPer := 10_000
+		if quick {
+			rowsPer = 2_000
+		}
+		const headVals = 29
+		db := relation.NewDatabase()
+		for i := 0; i < 2; i++ {
+			name := fmt.Sprintf("p%d", i)
+			for j := 0; j < rowsPer; j++ {
+				v := fmt.Sprintf("z%d-%d", i, j)
+				if j%5 == 0 {
+					v = fmt.Sprintf("v%d", j%headVals)
+				}
+				db.MustInsertNamed(name, fmt.Sprintf("p%dx%d", i, j), v)
+			}
+			hname := fmt.Sprintf("h%d", i)
+			for k := 0; k < headVals; k++ {
+				db.MustInsertNamed(hname, fmt.Sprintf("v%d", k))
+			}
+		}
+		prep, err := engine.NewEngine(db).Prepare(core.MustParse("R(Y) <- P(X,Y)"), engine.Options{
+			Type:   core.Type0,
+			Approx: engine.ApproxOptions{Epsilon: 0.1, Delta: 0.05},
+		})
+		if err != nil {
+			return nil, err
+		}
+		reps := 20
+		if quick {
+			reps = 8
+		}
+		loads = append(loads, load{
+			name: "decide-approx",
+			run: func(ctx context.Context) error {
+				_, _, _, err := prep.DecideApproxStats(ctx, core.Cnf, rat.New(1, 2))
+				return err
+			},
+			allocCap: 2_000, reps: reps,
+		})
+	}
+
+	pass := true
+	for _, l := range loads {
+		// Warm pass fills the node-join cache so both modes measure the
+		// steady state, and proves the traced run yields a span tree.
+		warm := obs.NewTracer()
+		if err := l.run(obs.WithTracer(ctx, warm)); err != nil {
+			return nil, err
+		}
+		if len(warm.Tree()) == 0 {
+			pass = false
+			res.Notef("%s: traced run produced no spans", l.name)
+		}
+
+		measure := func(traced bool) (float64, time.Duration, int, error) {
+			var runErr error
+			var spans int
+			body := func() {
+				c := ctx
+				if traced {
+					tr := obs.NewTracer()
+					c = obs.WithTracer(ctx, tr)
+					defer func() { spans = countSpans(tr.Tree()) }()
+				}
+				if err := l.run(c); err != nil && runErr == nil {
+					runErr = err
+				}
+			}
+			allocs := testing.AllocsPerRun(l.reps, body)
+			if runErr != nil {
+				return 0, 0, 0, runErr
+			}
+			wall, err := timeIt(func() error {
+				for i := 0; i < l.reps; i++ {
+					body()
+				}
+				return runErr
+			})
+			return allocs, wall / time.Duration(l.reps), spans, err
+		}
+
+		offAllocs, offWall, _, err := measure(false)
+		if err != nil {
+			return nil, err
+		}
+		onAllocs, onWall, spans, err := measure(true)
+		if err != nil {
+			return nil, err
+		}
+
+		if offAllocs > l.allocCap {
+			pass = false
+			res.Notef("%s: disabled tracer costs %.0f allocs/op, want <= %.0f (nil path must stay allocation-free)",
+				l.name, offAllocs, l.allocCap)
+		}
+		res.AddRow(l.name, "disabled", fmt.Sprintf("%.0f", offAllocs), fmtDur(offWall), "0")
+		res.AddRow(l.name, "enabled", fmt.Sprintf("%.0f", onAllocs), fmtDur(onWall), fmt.Sprint(spans))
+		res.Notef("%s: enabled tracer costs %+.0f allocs/op and %.2fx wall for %d spans",
+			l.name, onAllocs-offAllocs, float64(onWall)/float64(offWall), spans)
+	}
+
+	res.Notef("disabled = the nil-tracer default of untraced callers; enabled = fresh Tracer per run via WithTracer (per-request server shape)")
+	res.Notef("pass = disabled runs at the instrumentation-free baseline and traced runs produce a span tree; enabled overhead is informational")
+	res.Pass = pass
+	return res, nil
+}
+
+// countSpans counts the nodes of a span forest.
+func countSpans(roots []*obs.SpanTree) int {
+	n := 0
+	for _, r := range roots {
+		n += 1 + countSpans(r.Children)
+	}
+	return n
+}

@@ -181,6 +181,7 @@ replay:
 	if hits, misses, ok := cacheCounters(ctx, base); ok {
 		res.Notef("prepared cache: %d hits / %d misses", hits, misses)
 	}
+	crossCheckServerLatency(ctx, base, res, lat)
 	// The run reproduces iff every request was answered (200 or a shed
 	// 429) and each endpoint class saw at least one successful search.
 	res.Pass = errCount == 0 &&
@@ -299,6 +300,70 @@ func cacheCounters(ctx context.Context, base string) (hits, misses uint64, ok bo
 		return 0, 0, false
 	}
 	return st.CacheHits, st.CacheMisses, true
+}
+
+// crossCheckServerLatency compares the replay's client-side percentiles
+// with the server's own histograms (/v1/stats latency_by_endpoint): the
+// two measure the same requests from opposite ends of the connection, so
+// they should roughly agree. Disagreement beyond 2x in either direction is
+// reported as a note (not a failure — the client measures full round trips
+// of OK responses only, the server measures handler time of every
+// outcome, and the histogram buckets are log-spaced). Best-effort against
+// servers without the endpoint.
+func crossCheckServerLatency(ctx context.Context, base string, res *Result, lat map[string][]time.Duration) {
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/v1/stats", nil)
+	if err != nil {
+		return
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var st struct {
+		ByEndpoint []struct {
+			Endpoint string  `json:"endpoint"`
+			Count    uint64  `json:"count"`
+			P50MS    float64 `json:"p50_ms"`
+			P95MS    float64 `json:"p95_ms"`
+			P99MS    float64 `json:"p99_ms"`
+		} `json:"latency_by_endpoint"`
+	}
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&st) != nil || len(st.ByEndpoint) == 0 {
+		return
+	}
+	warned := false
+	for _, sv := range st.ByEndpoint {
+		ds := lat[sv.Endpoint]
+		if len(ds) == 0 {
+			continue
+		}
+		client := [3]float64{
+			float64(percentile(ds, 0.50).Microseconds()) / 1e3,
+			float64(percentile(ds, 0.95).Microseconds()) / 1e3,
+			float64(percentile(ds, 0.99).Microseconds()) / 1e3,
+		}
+		srv := [3]float64{sv.P50MS, sv.P95MS, sv.P99MS}
+		qname := [3]string{"p50", "p95", "p99"}
+		res.Notef("server %s: n=%d p50=%.2fms p95=%.2fms p99=%.2fms (client p50=%.2fms p95=%.2fms p99=%.2fms)",
+			sv.Endpoint, sv.Count, srv[0], srv[1], srv[2], client[0], client[1], client[2])
+		for i := range srv {
+			// Sub-millisecond values sit inside transport jitter; only
+			// meaningfully large percentiles can disagree meaningfully.
+			if client[i] < 1 && srv[i] < 1 {
+				continue
+			}
+			lo, hi := srv[i], client[i]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if lo > 0 && hi/lo > 2 && !warned {
+				res.Notef("WARNING: %s %s disagrees >2x between client (%.2fms) and server (%.2fms)",
+					sv.Endpoint, qname[i], client[i], srv[i])
+				warned = true
+			}
+		}
+	}
 }
 
 func percentile(ds []time.Duration, q float64) time.Duration {

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers the full uint64 range with the log-linear bucketing
+// below: 8 exact buckets for values 0..7, then 4 sub-buckets per power of
+// two from 2^3 up through 2^63.
+const numBuckets = 8 + 4*60
+
+// Histogram is a lock-free log-bucketed histogram of non-negative integer
+// observations (the server records nanoseconds; the engine also records
+// scaled ratios). Record is one atomic add on a fixed bucket — no locks,
+// no allocation — so it is safe on hot paths and from any number of
+// goroutines. Buckets are exact below 8 and then log-linear (4 linear
+// sub-buckets per octave), bounding the relative quantile error at 25%.
+//
+// The zero value is an empty, ready-to-use histogram.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [numBuckets]atomic.Uint64
+}
+
+// bucketIndex maps a value to its bucket: values below 8 map exactly;
+// larger values index by bit length (the octave) and the top two bits
+// below the leading one (the linear sub-bucket).
+func bucketIndex(v uint64) int {
+	if v < 8 {
+		return int(v)
+	}
+	n := bits.Len64(v) // >= 4
+	idx := 8 + (n-4)*4 + int((v>>(uint(n)-3))&3)
+	if idx >= numBuckets {
+		return numBuckets - 1
+	}
+	return idx
+}
+
+// BucketUpper returns the exclusive upper bound of bucket i — the value
+// Quantile reports for observations landing in it.
+func BucketUpper(i int) uint64 {
+	if i < 8 {
+		return uint64(i + 1)
+	}
+	o := uint((i - 8) / 4)
+	s := uint64((i-8)%4) + 1
+	return (8 + 2*s) << o
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v uint64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// RecordDuration records a duration in nanoseconds (negative clamps to 0).
+func (h *Histogram) RecordDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Record(uint64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// observation (q in [0, 1]), i.e. an estimate U of the true quantile x
+// with x ≤ U ≤ ceil(1.25·x). Zero observations return 0. Concurrent
+// Records make the result approximate, never invalid.
+func (h *Histogram) Quantile(q float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(numBuckets - 1)
+}
+
+// QuantileSeconds is Quantile for nanosecond-recorded histograms, in
+// seconds.
+func (h *Histogram) QuantileSeconds(q float64) float64 {
+	return float64(h.Quantile(q)) / float64(time.Second)
+}
+
+// Merge adds o's observations into h bucket-wise. Merging is associative
+// and commutative (every field is a sum), so per-shard histograms combine
+// in any order.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	for i := range h.buckets {
+		if n := o.buckets[i].Load(); n > 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot: Count
+// observations at values < Upper (and ≥ the previous bucket's Upper).
+type Bucket struct {
+	Upper uint64
+	Count uint64
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram: the non-empty
+// buckets in ascending order plus the totals, the shape the Prometheus
+// renderer and the stats endpoints consume.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Buckets []Bucket
+}
+
+// Snapshot copies the histogram's non-empty buckets.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Upper: BucketUpper(i), Count: n})
+		}
+	}
+	return s
+}

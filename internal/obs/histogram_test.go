@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketRoundTrip checks the bucketing invariants across the whole
+// range: indices are monotone in the value, every value lies strictly
+// below its bucket's upper bound and at or above the previous bucket's.
+func TestBucketRoundTrip(t *testing.T) {
+	prev := 0
+	for _, v := range []uint64{0, 1, 2, 7, 8, 9, 10, 15, 16, 19, 20, 63, 64, 100, 1000, 1 << 20, 1<<40 + 12345, 1 << 62} {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+		if up := BucketUpper(i); v >= up {
+			t.Errorf("value %d >= upper bound %d of its bucket %d", v, up, i)
+		}
+		if i > 0 {
+			if lo := BucketUpper(i - 1); v < lo {
+				t.Errorf("value %d < lower bound %d of its bucket %d", v, lo, i)
+			}
+		}
+	}
+}
+
+// TestQuantileErrorBound is the property test: for random value sets, the
+// reported quantile must bracket the true order statistic within the
+// log-bucketing's error bound U ∈ [x, 1.25·x + 1].
+func TestQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(2000)
+		vals := make([]uint64, n)
+		var h Histogram
+		for i := range vals {
+			// Mix scales: exact small values, mid-range, and heavy tail.
+			switch rng.Intn(3) {
+			case 0:
+				vals[i] = uint64(rng.Intn(8))
+			case 1:
+				vals[i] = uint64(rng.Intn(100_000))
+			default:
+				vals[i] = uint64(rng.Int63n(int64(10 * time.Second)))
+			}
+			h.Record(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0, 0.5, 0.9, 0.95, 0.99, 1} {
+			// The q-th observation per Quantile's contract: rank ceil(q·n),
+			// 1-indexed, floored at 1.
+			rank := int(math.Ceil(q * float64(n)))
+			if rank < 1 {
+				rank = 1
+			}
+			truth := vals[rank-1]
+			got := h.Quantile(q)
+			if got < truth {
+				t.Fatalf("trial %d q=%.2f: quantile %d below true value %d", trial, q, got, truth)
+			}
+			if limit := truth + truth/4 + 1; got > limit {
+				t.Fatalf("trial %d q=%.2f: quantile %d above error bound %d (true %d)", trial, q, got, limit, truth)
+			}
+		}
+		if h.Count() != uint64(n) {
+			t.Fatalf("count = %d, want %d", h.Count(), n)
+		}
+	}
+}
+
+// TestHistogramConcurrentRecord hammers one histogram from many
+// goroutines; run under -race this is the lock-freedom check, and the
+// totals must come out exact regardless.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(uint64(rng.Intn(1_000_000)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	var buckets uint64
+	for _, b := range h.Snapshot().Buckets {
+		buckets += b.Count
+	}
+	if buckets != workers*per {
+		t.Fatalf("bucket total = %d, want %d", buckets, workers*per)
+	}
+}
+
+// TestMergeAssociativity checks (a ⊕ b) ⊕ c = a ⊕ (b ⊕ c) via snapshot
+// equality, plus commutativity and the nil no-op.
+func TestMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	fill := func(n int) *Histogram {
+		h := &Histogram{}
+		for i := 0; i < n; i++ {
+			h.Record(uint64(rng.Int63n(1 << 30)))
+		}
+		return h
+	}
+	a, b, c := fill(100), fill(57), fill(233)
+
+	left := &Histogram{}
+	left.Merge(a)
+	left.Merge(b)
+	left.Merge(c)
+
+	bc := &Histogram{}
+	bc.Merge(b)
+	bc.Merge(c)
+	right := &Histogram{}
+	right.Merge(a)
+	right.Merge(bc)
+
+	snapEqual := func(x, y HistogramSnapshot) bool {
+		if x.Count != y.Count || x.Sum != y.Sum || len(x.Buckets) != len(y.Buckets) {
+			return false
+		}
+		for i := range x.Buckets {
+			if x.Buckets[i] != y.Buckets[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !snapEqual(left.Snapshot(), right.Snapshot()) {
+		t.Fatal("merge is not associative")
+	}
+	comm := &Histogram{}
+	comm.Merge(c)
+	comm.Merge(b)
+	comm.Merge(a)
+	if !snapEqual(left.Snapshot(), comm.Snapshot()) {
+		t.Fatal("merge is not commutative")
+	}
+	before := left.Snapshot()
+	left.Merge(nil)
+	if !snapEqual(before, left.Snapshot()) {
+		t.Fatal("nil merge changed the histogram")
+	}
+}
+
+func TestRecordDuration(t *testing.T) {
+	var h Histogram
+	h.RecordDuration(-time.Second) // clamps to 0
+	h.RecordDuration(time.Millisecond)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	if got := h.QuantileSeconds(1); got < 0.001 || got > 0.00126 {
+		t.Fatalf("p100 = %gs, want ~1ms within bucket error", got)
+	}
+	if h.Quantile(0) != 1 { // the clamped 0 lands in bucket [0,1)
+		t.Fatalf("p0 = %d, want 1", h.Quantile(0))
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	if s := h.Snapshot(); len(s.Buckets) != 0 {
+		t.Fatalf("empty snapshot has %d buckets", len(s.Buckets))
+	}
+}
+
+// TestWriteHistogramProm checks the rendered exposition: cumulative
+// buckets, +Inf, sum/count, and the label path.
+func TestWriteHistogramProm(t *testing.T) {
+	var h Histogram
+	h.Record(3)
+	h.Record(3)
+	h.Record(100)
+	var b strings.Builder
+	WriteHeader(&b, "x_seconds", "node-join wall time", "histogram")
+	WriteHistogram(&b, "x_seconds", Labels(Label("db", "d1")), h.Snapshot(), 1)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP x_seconds node-join wall time\n# TYPE x_seconds histogram\n",
+		`x_seconds_bucket{db="d1",le="4"} 2`,
+		`x_seconds_bucket{db="d1",le="+Inf"} 3`,
+		`x_seconds_sum{db="d1"} 106`,
+		`x_seconds_count{db="d1"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	var nb strings.Builder
+	WriteHistogram(&nb, "y", "", h.Snapshot(), 1)
+	if !strings.Contains(nb.String(), `y_bucket{le="+Inf"} 3`) || !strings.Contains(nb.String(), "y_count 3") {
+		t.Errorf("unlabeled exposition wrong:\n%s", nb.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	if got := Label("db", "a\"b\\c\nd"); got != `db="a\"b\\c\nd"` {
+		t.Fatalf("Label escaping = %s", got)
+	}
+}
+
+func TestReadRuntimeHealth(t *testing.T) {
+	h := ReadRuntimeHealth()
+	if h.Goroutines < 1 {
+		t.Errorf("goroutines = %d, want >= 1", h.Goroutines)
+	}
+	if h.HeapBytes == 0 {
+		t.Error("heap bytes = 0")
+	}
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file renders metrics in the Prometheus text exposition format
+// (version 0.0.4) with the standard library only. The server composes
+// families itself (one HELP/TYPE header, then one rendered series per
+// label set); the helpers here handle the line grammar.
+
+// WriteHeader writes a family's # HELP and # TYPE lines. typ is "counter",
+// "gauge" or "histogram".
+func WriteHeader(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// WriteSample writes one sample line: name{labels} value. labels is a
+// pre-rendered comma-joined label list ("" for none); values render in Go
+// shortest-float form, which the Prometheus grammar accepts.
+func WriteSample(w io.Writer, name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, formatFloat(v))
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatFloat(v))
+}
+
+// WriteHistogram writes one histogram series — cumulative _bucket lines
+// with le labels (ending in +Inf), then _sum and _count. scale divides the
+// recorded integer values for rendering: 1e9 turns nanosecond recordings
+// into seconds, 1000 turns per-mille recordings into ratios.
+func WriteHistogram(w io.Writer, name, labels string, s HistogramSnapshot, scale float64) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := uint64(0)
+	for _, b := range s.Buckets {
+		cum += b.Count
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n",
+			name, labels, sep, formatFloat(float64(b.Upper)/scale), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.Count)
+	WriteSample(w, name+"_sum", labels, float64(s.Sum)/scale)
+	fmt.Fprintf(w, "%s_count", name)
+	if labels != "" {
+		fmt.Fprintf(w, "{%s}", labels)
+	}
+	fmt.Fprintf(w, " %d\n", s.Count)
+}
+
+// Label renders one label pair for a WriteSample/WriteHistogram labels
+// list, escaping the value per the exposition grammar.
+func Label(key, value string) string {
+	var b strings.Builder
+	b.WriteString(key)
+	b.WriteString(`="`)
+	for _, r := range value {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteString(`"`)
+	return b.String()
+}
+
+// Labels joins rendered label pairs.
+func Labels(pairs ...string) string { return strings.Join(pairs, ",") }
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"time"
+)
+
+// RuntimeHealth is a snapshot of the Go runtime signals worth watching on
+// a serving process: scheduler pressure, heap footprint and GC cost.
+type RuntimeHealth struct {
+	Goroutines    int64         `json:"goroutines"`
+	HeapBytes     uint64        `json:"heap_bytes"`
+	GCCycles      uint64        `json:"gc_cycles"`
+	GCPauseTotal  time.Duration `json:"gc_pause_total_ns"`
+	GCPauseTotalS float64       `json:"gc_pause_total_seconds"`
+}
+
+// runtimeSamples are the runtime/metrics names ReadRuntimeHealth reads;
+// declared once so the sample slice shape is fixed.
+var runtimeSamples = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/cpu/classes/gc/pause:cpu-seconds",
+}
+
+// ReadRuntimeHealth samples the runtime. Metrics a future runtime no
+// longer exports read as zero rather than failing.
+func ReadRuntimeHealth() RuntimeHealth {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	var h RuntimeHealth
+	for _, s := range samples {
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			if s.Value.Kind() == metrics.KindUint64 {
+				h.Goroutines = int64(s.Value.Uint64())
+			}
+		case "/memory/classes/heap/objects:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				h.HeapBytes = s.Value.Uint64()
+			}
+		case "/gc/cycles/total:gc-cycles":
+			if s.Value.Kind() == metrics.KindUint64 {
+				h.GCCycles = s.Value.Uint64()
+			}
+		case "/cpu/classes/gc/pause:cpu-seconds":
+			if s.Value.Kind() == metrics.KindFloat64 {
+				h.GCPauseTotalS = s.Value.Float64()
+				h.GCPauseTotal = time.Duration(s.Value.Float64() * float64(time.Second))
+			}
+		}
+	}
+	return h
+}

@@ -1,0 +1,285 @@
+// Package obs is the engine's and server's observability toolkit: a
+// lightweight span tracer with a zero-cost disabled default (trace.go),
+// lock-free log-bucketed latency histograms with mergeable atomic counters
+// and percentile extraction (histogram.go), Prometheus text exposition
+// helpers (prom.go), and Go runtime health snapshots (runtime.go).
+//
+// The package depends only on the standard library and is imported by
+// internal/engine, so it must never import any other internal package.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultMaxSpans bounds a tracer's span buffer: a runaway enumeration
+// keeps the trace (and the response carrying it) bounded instead of
+// recording millions of node joins. Spans beyond the cap are counted in
+// Dropped, not recorded.
+const DefaultMaxSpans = 4096
+
+// Attr is one key/value annotation on a span. Values are strings: traces
+// are a reporting surface, not a data path, and string attrs render
+// directly into JSON and text.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// A is the string attr constructor.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// AInt is the integer attr constructor.
+func AInt(key string, v int) Attr { return Attr{Key: key, Value: strconv.Itoa(v)} }
+
+// ABool is the boolean attr constructor.
+func ABool(key string, v bool) Attr { return Attr{Key: key, Value: strconv.FormatBool(v)} }
+
+// AFloat is the float attr constructor (shortest round-trip rendering).
+func AFloat(key string, v float64) Attr {
+	return Attr{Key: key, Value: strconv.FormatFloat(v, 'g', -1, 64)}
+}
+
+// Span is one recorded operation: a named interval with a parent (-1 for
+// roots), offsets from the tracer's start, and optional attrs. IDs are
+// dense indices into the tracer's buffer, assigned in Begin order.
+type Span struct {
+	ID     int
+	Parent int
+	Name   string
+	Start  time.Duration
+	End    time.Duration // -1 while open
+	Attrs  []Attr
+}
+
+// Tracer records spans from one logical execution (a request, a CLI run).
+// A nil *Tracer is the disabled tracer: every method no-ops, Begin returns
+// -1, and the instrumentation sites cost a nil check — the zero-allocation
+// default the engine hot paths rely on.
+//
+// A Tracer is safe for concurrent use: the parallel execution paths hand
+// one tracer to every worker.
+type Tracer struct {
+	mu      sync.Mutex
+	t0      time.Time
+	spans   []Span
+	max     int
+	dropped int
+}
+
+// NewTracer returns an enabled tracer with the default span cap.
+func NewTracer() *Tracer { return NewTracerCap(DefaultMaxSpans) }
+
+// NewTracerCap returns an enabled tracer recording at most max spans
+// (values < 1 mean DefaultMaxSpans).
+func NewTracerCap(max int) *Tracer {
+	if max < 1 {
+		max = DefaultMaxSpans
+	}
+	return &Tracer{t0: time.Now(), max: max}
+}
+
+// Begin opens a span under parent (-1 for a root) and returns its ID, or
+// -1 when the tracer is nil or its buffer is full. The returned ID is
+// always safe to pass to End.
+func (t *Tracer) Begin(parent int, name string) int {
+	if t == nil {
+		return -1
+	}
+	now := time.Since(t.t0)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= t.max {
+		t.dropped++
+		return -1
+	}
+	id := len(t.spans)
+	t.spans = append(t.spans, Span{ID: id, Parent: parent, Name: name, Start: now, End: -1})
+	return id
+}
+
+// End closes the span, attaching attrs. It no-ops on a nil tracer or a
+// dropped (-1) ID, so call sites never need to branch on Begin's result.
+func (t *Tracer) End(id int, attrs ...Attr) {
+	if t == nil || id < 0 {
+		return
+	}
+	now := time.Since(t.t0)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id >= len(t.spans) {
+		return
+	}
+	sp := &t.spans[id]
+	if sp.End < 0 {
+		sp.End = now
+	}
+	if len(attrs) > 0 {
+		sp.Attrs = append(sp.Attrs, attrs...)
+	}
+}
+
+// Point records an instantaneous span (Begin and End at the same offset):
+// the shape used for events with no meaningful duration, like node-join
+// cache hits.
+func (t *Tracer) Point(parent int, name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	now := time.Since(t.t0)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= t.max {
+		t.dropped++
+		return
+	}
+	t.spans = append(t.spans, Span{ID: len(t.spans), Parent: parent, Name: name, Start: now, End: now, Attrs: attrs})
+}
+
+// Dropped reports how many spans the cap discarded.
+func (t *Tracer) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Spans returns a copy of the recorded spans in Begin order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// SpanTree is the reconstructed hierarchical form of a trace, the JSON
+// shape returned by the server's "trace": true responses. Open spans
+// (never Ended) report the tracer-relative capture time as their end.
+type SpanTree struct {
+	Name     string            `json:"name"`
+	StartUS  float64           `json:"start_us"`
+	DurUS    float64           `json:"dur_us"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*SpanTree       `json:"children,omitempty"`
+}
+
+// Tree reconstructs the span forest: roots in Begin order, children nested
+// under their parents. Spans whose parent was dropped by the cap surface
+// as roots, so a truncated trace still renders.
+func (t *Tracer) Tree() []*SpanTree {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := make([]Span, len(t.spans))
+	copy(spans, t.spans)
+	now := time.Since(t.t0)
+	t.mu.Unlock()
+
+	nodes := make([]*SpanTree, len(spans))
+	for i, sp := range spans {
+		end := sp.End
+		if end < 0 {
+			end = now
+		}
+		n := &SpanTree{
+			Name:    sp.Name,
+			StartUS: float64(sp.Start) / float64(time.Microsecond),
+			DurUS:   float64(end-sp.Start) / float64(time.Microsecond),
+		}
+		if len(sp.Attrs) > 0 {
+			n.Attrs = make(map[string]string, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				n.Attrs[a.Key] = a.Value
+			}
+		}
+		nodes[i] = n
+	}
+	var roots []*SpanTree
+	for i, sp := range spans {
+		if sp.Parent >= 0 && sp.Parent < len(nodes) && sp.Parent != i {
+			p := nodes[sp.Parent]
+			p.Children = append(p.Children, nodes[i])
+		} else {
+			roots = append(roots, nodes[i])
+		}
+	}
+	return roots
+}
+
+// RenderTree renders a span forest as indented text, one span per line:
+//
+//	decide 1234.5us
+//	  bind-epoch 1.2us epoch=3 rebound=false
+//	  node-join 830.0us cache=miss est_rows=12 rows=9
+//
+// The format is what cmd/metaquery -trace prints and what the server's
+// slow-query log embeds.
+func RenderTree(roots []*SpanTree) string {
+	var b strings.Builder
+	var walk func(n *SpanTree, depth int)
+	walk = func(n *SpanTree, depth int) {
+		for i := 0; i < depth; i++ {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%s %.1fus", n.Name, n.DurUS)
+		for _, k := range sortedKeys(n.Attrs) {
+			fmt.Fprintf(&b, " %s=%s", k, n.Attrs[k])
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]string) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// tracerKey is the context key for per-request tracer injection.
+type tracerKey struct{}
+
+// WithTracer returns a context carrying tr. The server threads per-request
+// tracers this way (engine Options are part of the prepared-cache key and
+// must not vary per request); the engine resolves the context tracer when
+// Options.Tracer is unset.
+func WithTracer(ctx context.Context, tr *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, tr)
+}
+
+// FromContext returns the tracer carried by ctx, or nil.
+func FromContext(ctx context.Context) *Tracer {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return tr
+}

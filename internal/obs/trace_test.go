@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilTracerZeroAlloc is the disabled-default contract: every method on
+// a nil *Tracer must no-op without allocating.
+func TestNilTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(100, func() {
+		id := tr.Begin(-1, "x")
+		tr.End(id)
+		tr.Point(-1, "y")
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer allocated %.1f per op, want 0", allocs)
+	}
+	if tr.Begin(-1, "x") != -1 || tr.Dropped() != 0 || tr.Spans() != nil || tr.Tree() != nil {
+		t.Fatal("nil tracer must report empty state")
+	}
+	tr.End(-1, A("k", "v")) // must not panic
+}
+
+func TestSpanTreeReconstruction(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Begin(-1, "decide")
+	bind := tr.Begin(root, "bind-epoch")
+	tr.End(bind, AInt("epoch", 3), ABool("rebound", false))
+	join := tr.Begin(root, "node-join")
+	tr.End(join, A("cache", "miss"), AInt("rows", 9), AFloat("est_rows", 12.5))
+	tr.Point(root, "node-join", A("cache", "hit"))
+	tr.End(root)
+
+	roots := tr.Tree()
+	if len(roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(roots))
+	}
+	d := roots[0]
+	if d.Name != "decide" || len(d.Children) != 3 {
+		t.Fatalf("root = %q with %d children, want decide with 3", d.Name, len(d.Children))
+	}
+	if d.Children[0].Name != "bind-epoch" || d.Children[0].Attrs["epoch"] != "3" {
+		t.Fatalf("first child wrong: %+v", d.Children[0])
+	}
+	if d.Children[1].Attrs["cache"] != "miss" || d.Children[1].Attrs["est_rows"] != "12.5" {
+		t.Fatalf("join attrs wrong: %v", d.Children[1].Attrs)
+	}
+	if d.Children[2].DurUS != 0 {
+		t.Fatalf("point span has duration %v", d.Children[2].DurUS)
+	}
+
+	text := RenderTree(roots)
+	for _, want := range []string{"decide ", "  bind-epoch ", "epoch=3", "cache=hit", "est_rows=12.5"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestTracerCap checks that the cap drops rather than grows, that dropped
+// parents still leave a renderable forest, and that End on a dropped ID is
+// harmless.
+func TestTracerCap(t *testing.T) {
+	tr := NewTracerCap(2)
+	a := tr.Begin(-1, "a")
+	b := tr.Begin(a, "b")
+	c := tr.Begin(b, "c") // over cap
+	if c != -1 {
+		t.Fatalf("over-cap Begin = %d, want -1", c)
+	}
+	tr.Point(b, "d") // over cap too
+	tr.End(c)
+	tr.End(b)
+	tr.End(a)
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+	if got := len(tr.Spans()); got != 2 {
+		t.Fatalf("spans = %d, want 2", got)
+	}
+}
+
+// TestOpenSpansRender checks that never-Ended spans still produce a tree
+// (the slow-query dump captures mid-flight traces).
+func TestOpenSpansRender(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Begin(-1, "stream")
+	tr.Begin(root, "chunk")
+	roots := tr.Tree()
+	if len(roots) != 1 || len(roots[0].Children) != 1 {
+		t.Fatalf("tree shape wrong: %+v", roots)
+	}
+	if roots[0].DurUS < 0 || roots[0].Children[0].DurUS < 0 {
+		t.Fatal("open span rendered with negative duration")
+	}
+}
+
+// TestTracerConcurrent drives Begin/End/Point from several goroutines
+// (the parallel engine paths share one tracer); -race is the real check.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracerCap(100_000)
+	root := tr.Begin(-1, "parallel")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := tr.Begin(root, "chunk")
+				tr.Point(id, "join", AInt("worker", w))
+				tr.End(id, AInt("i", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	tr.End(root)
+	if got := len(tr.Spans()); got != 1+4*500*2 {
+		t.Fatalf("spans = %d, want %d", got, 1+4*500*2)
+	}
+	roots := tr.Tree()
+	if len(roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(roots))
+	}
+	if got := len(roots[0].Children); got != 4*500 {
+		t.Fatalf("chunks = %d, want %d", got, 4*500)
+	}
+}
+
+func TestContextTracer(t *testing.T) {
+	if FromContext(context.Background()) != nil || FromContext(nil) != nil {
+		t.Fatal("empty context must carry no tracer")
+	}
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("context tracer not recovered")
+	}
+}

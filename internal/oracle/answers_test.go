@@ -1,0 +1,97 @@
+package oracle
+
+import (
+	"testing"
+
+	"github.com/mqgo/metaquery/internal/core"
+	"github.com/mqgo/metaquery/internal/rat"
+	"github.com/mqgo/metaquery/internal/relation"
+	"github.com/mqgo/metaquery/internal/workload"
+)
+
+// TestAllRulesAndAnswersFigure1 pins the oracle's enumeration entry
+// points to the paper's worked example: AllRules on the Figure 1 database
+// returns the full sorted ground truth, and Answers filters it with the
+// strict (>) threshold semantics — at cnf > 1/2 the 5/7-confidence rule
+// survives, at cnf > 5/7 it does not.
+func TestAllRulesAndAnswersFigure1(t *testing.T) {
+	db := workload.DB1()
+	mq := workload.MQ4()
+
+	all, err := AllRules(db, mq, core.Type0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 {
+		t.Fatal("AllRules returned nothing on Figure 1")
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Rule.String() > all[i].Rule.String() {
+			t.Fatalf("AllRules not sorted: %q after %q", all[i].Rule, all[i-1].Rule)
+		}
+	}
+	var best *Answer
+	for i := range all {
+		if all[i].Rule.String() == "UsPT(X,Z) <- UsCa(X,Y), CaTe(Y,Z)" {
+			best = &all[i]
+		}
+	}
+	if best == nil || !best.Cnf.Equal(rat.New(5, 7)) {
+		t.Fatalf("Figure 1 rule missing or wrong cnf in AllRules: %+v", best)
+	}
+
+	loose, err := Answers(db, mq, core.Type0, core.Thresholds{Cnf: rat.New(1, 2), CheckCnf: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Answers(db, mq, core.Type0, core.Thresholds{Cnf: rat.New(5, 7), CheckCnf: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := func(as []Answer) bool {
+		for _, a := range as {
+			if a.Rule.String() == "UsPT(X,Z) <- UsCa(X,Y), CaTe(Y,Z)" {
+				return true
+			}
+		}
+		return false
+	}
+	if !found(loose) {
+		t.Error("cnf > 1/2 dropped the 5/7 rule")
+	}
+	if found(tight) {
+		t.Error("strict cnf > 5/7 admitted the 5/7 rule")
+	}
+	if len(tight) >= len(loose) {
+		t.Errorf("tightening the bound grew the answer set: %d -> %d", len(loose), len(tight))
+	}
+
+	// All three checks engaged at once: sup and cvr are 1 for the Figure 1
+	// rule, so only the cnf bound decides.
+	th := core.AllAbove(rat.New(1, 2), rat.New(1, 2), rat.New(1, 2))
+	some, err := Answers(db, mq, core.Type0, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found(some) {
+		t.Error("AllAbove(1/2,1/2,1/2) dropped the Figure 1 rule")
+	}
+}
+
+// TestConstNameResolution checks both constant-term forms: named
+// constants resolve to their own name, interned ones go through the
+// dictionary.
+func TestConstNameResolution(t *testing.T) {
+	db := relation.NewDatabase()
+	db.MustInsertNamed("p", "rome")
+	v, ok := db.Dict().Lookup("rome")
+	if !ok {
+		t.Fatal("rome not interned")
+	}
+	if got := constName(db.Dict(), relation.CN("paris")); got != "paris" {
+		t.Fatalf("named constant resolves to %q", got)
+	}
+	if got := constName(db.Dict(), relation.C(v)); got != "rome" {
+		t.Fatalf("interned constant resolves to %q", got)
+	}
+}

@@ -33,6 +33,39 @@ type Scratch struct {
 	buf        Tuple
 	sample     []int
 	free       []*Table
+	ops        Ops
+}
+
+// Ops tallies the scratch-aware kernel calls routed through one Scratch:
+// the relational-operator work profile of whatever search ran on it. The
+// counters are plain (non-atomic) because a Scratch is single-goroutine by
+// contract; read them through Scratch.Ops.
+type Ops struct {
+	// Semijoins counts SemijoinS calls (materializing reductions).
+	Semijoins uint64
+	// SemijoinCounts counts SemijoinCountS calls (cardinality-only probes).
+	SemijoinCounts uint64
+	// Projections counts ProjectS calls.
+	Projections uint64
+	// Released counts tables recycled through Release.
+	Released uint64
+}
+
+// Ops returns the kernel-call tally since NewScratch or ResetOps. A nil
+// scratch reports zero ops.
+func (sc *Scratch) Ops() Ops {
+	if sc == nil {
+		return Ops{}
+	}
+	return sc.ops
+}
+
+// ResetOps zeroes the kernel-call tally, so a reused scratch can report
+// per-run profiles.
+func (sc *Scratch) ResetOps() {
+	if sc != nil {
+		sc.ops = Ops{}
+	}
 }
 
 // NewScratch returns an empty scratch.
@@ -58,6 +91,7 @@ func (sc *Scratch) Release(t *Table) {
 	if sc == nil || t == nil {
 		return
 	}
+	sc.ops.Released++
 	sc.free = append(sc.free, t)
 }
 

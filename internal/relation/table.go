@@ -136,6 +136,7 @@ func (t *Table) Project(vars []string) *Table {
 func (t *Table) ProjectS(vars []string, sc *Scratch) *Table {
 	var pos []int
 	if sc != nil {
+		sc.ops.Projections++
 		pos = sc.posA[:0]
 	}
 	for _, v := range vars {
@@ -256,6 +257,9 @@ func (t *Table) Semijoin(u *Table) *Table {
 // result is owned by the caller and may be handed back through sc.Release
 // once it is no longer referenced.
 func (t *Table) SemijoinS(u *Table, sc *Scratch) *Table {
+	if sc != nil {
+		sc.ops.Semijoins++
+	}
 	return t.semi(u, true, sc)
 }
 
@@ -279,6 +283,9 @@ func (t *Table) SemijoinCount(u *Table) int {
 // SemijoinCountS is SemijoinCount drawing its transient buffers from sc
 // (see Scratch); nil sc allocates as SemijoinCount does.
 func (t *Table) SemijoinCountS(u *Table, sc *Scratch) int {
+	if sc != nil {
+		sc.ops.SemijoinCounts++
+	}
 	tPos, uPos := sharedPosS(t, u, sc)
 	if len(tPos) == 0 {
 		if u.nrows > 0 {

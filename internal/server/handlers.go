@@ -9,6 +9,7 @@ import (
 
 	"github.com/mqgo/metaquery/internal/core"
 	"github.com/mqgo/metaquery/internal/engine"
+	"github.com/mqgo/metaquery/internal/obs"
 	"github.com/mqgo/metaquery/internal/rat"
 )
 
@@ -34,6 +35,9 @@ type searchRequest struct {
 	// TimeoutMS bounds the search wall-clock; 0 uses the server default.
 	// Values above the server maximum are clamped.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Trace returns the execution's span tree in the response (/v1/query:
+	// "trace" field; /v1/stream: trailer line).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // decideRequest is the body of /v1/decide: one index bound over a named
@@ -61,6 +65,8 @@ type decideRequest struct {
 	// MaxSamples caps the per-fraction sample budget before escalation
 	// (0 derives it from epsilon and delta).
 	MaxSamples int `json:"max_samples,omitempty"`
+	// Trace returns the decision's span tree in the response.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // answerJSON is one discovered rule with its exact index values.
@@ -110,10 +116,11 @@ func toStatsJSON(st *engine.Stats) *statsJSON {
 // queries share one Prepared, so a repeat of "R(A,C) <- P(A,B), Q(B,C)"
 // after "R(X,Z) <- P(X,Y), Q(Y,Z)" renders its rules over X, Y, Z.
 type queryResponse struct {
-	Answers   []answerJSON `json:"answers"`
-	CacheHit  bool         `json:"cache_hit"`
-	ElapsedMS float64      `json:"elapsed_ms"`
-	Stats     *statsJSON   `json:"stats,omitempty"`
+	Answers   []answerJSON    `json:"answers"`
+	CacheHit  bool            `json:"cache_hit"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+	Stats     *statsJSON      `json:"stats,omitempty"`
+	Trace     []*obs.SpanTree `json:"trace,omitempty"`
 }
 
 // decideResponse is the /v1/decide verdict document.
@@ -121,20 +128,22 @@ type decideResponse struct {
 	Yes bool `json:"yes"`
 	// Method is "exact" (the first-witness path) or "approx" (the sampling
 	// ε–δ path, when the request set epsilon/delta).
-	Method    string     `json:"method"`
-	Witness   string     `json:"witness,omitempty"`
-	CacheHit  bool       `json:"cache_hit"`
-	ElapsedMS float64    `json:"elapsed_ms"`
-	Stats     *statsJSON `json:"stats,omitempty"`
+	Method    string          `json:"method"`
+	Witness   string          `json:"witness,omitempty"`
+	CacheHit  bool            `json:"cache_hit"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+	Stats     *statsJSON      `json:"stats,omitempty"`
+	Trace     []*obs.SpanTree `json:"trace,omitempty"`
 }
 
 // streamTrailer is the final NDJSON line of every /v1/stream response: the
 // in-band status of the search that produced the rows above it. A client
 // that does not see a trailer line knows the stream was cut mid-flight.
 type streamTrailer struct {
-	Status  string `json:"status"` // "ok", "deadline_exceeded", "canceled", "error"
-	Answers int    `json:"answers"`
-	Error   string `json:"error,omitempty"`
+	Status  string          `json:"status"` // "ok", "deadline_exceeded", "canceled", "error"
+	Answers int             `json:"answers"`
+	Error   string          `json:"error,omitempty"`
+	Trace   []*obs.SpanTree `json:"trace,omitempty"`
 }
 
 // resolveSearch validates a searchRequest into an executable (database,
@@ -231,11 +240,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err.Error())
 		return
 	}
+	tagDB(w, req.DB)
 	prep, hit, err := s.prepared(d, mq, opt)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	tr, r := requestTracer(r, req.Trace)
 	ctx, cancel := s.searchContext(r, req.TimeoutMS)
 	defer cancel()
 	start := time.Now()
@@ -250,6 +261,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		CacheHit:  hit,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
 		Stats:     toStatsJSON(st),
+		Trace:     traceOut(tr, req.Trace),
 	}
 	for i, a := range answers {
 		out.Answers[i] = answerJSON{Rule: a.Rule.String(), Sup: a.Sup.String(), Cnf: a.Cnf.String(), Cvr: a.Cvr.String()}
@@ -273,6 +285,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown database %q (have %v)", req.DB, s.reg.names()))
 		return
 	}
+	tagDB(w, req.DB)
 	mq, typ, status, err := parseQueryType(req.Query, req.Type)
 	if err != nil {
 		writeError(w, status, err.Error())
@@ -310,6 +323,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	tr, r := requestTracer(r, req.Trace)
 	ctx, cancel := s.searchContext(r, req.TimeoutMS)
 	defer cancel()
 	start := time.Now()
@@ -335,6 +349,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		CacheHit:  hit,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
 		Stats:     toStatsJSON(st),
+		Trace:     traceOut(tr, req.Trace),
 	}
 	if yes && wit != nil {
 		// Apply against the Prepared's own metaquery: under a cache hit it
@@ -366,11 +381,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err.Error())
 		return
 	}
+	tagDB(w, req.DB)
 	prep, _, err := s.prepared(d, mq, opt)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	tr, r := requestTracer(r, req.Trace)
 	ctx, cancel := s.searchContext(r, req.TimeoutMS)
 	defer cancel()
 
@@ -399,7 +416,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			s.streamSent(n)
 		}
 	}
-	trailer := streamTrailer{Status: "ok", Answers: n}
+	trailer := streamTrailer{Status: "ok", Answers: n, Trace: traceOut(tr, req.Trace)}
 	switch {
 	case errors.Is(streamErr, context.DeadlineExceeded):
 		trailer.Status = "deadline_exceeded"

@@ -1,0 +1,306 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/mqgo/metaquery/internal/obs"
+)
+
+// This file is the server's observability surface: per-request latency
+// histograms keyed by endpoint × database × outcome, structured request
+// logging with slow-query span-tree dumps, per-request tracing behind the
+// "trace" request field, and the GET /metrics Prometheus text exposition.
+
+// latKey identifies one request-latency series. The label set is bounded:
+// endpoints are the three search routes, outcomes the four classes below,
+// and db only takes registered database names (unknown names record under
+// the empty db), so series cardinality cannot be driven by request spam.
+type latKey struct {
+	endpoint, db, outcome string
+}
+
+// latencies holds the request-duration histograms. The map is
+// mutex-guarded (a lookup per request); each histogram is lock-free, so
+// recording contends only on series creation and snapshotting.
+type latencies struct {
+	mu sync.Mutex
+	m  map[latKey]*obs.Histogram
+}
+
+// rec records one request duration (in nanoseconds) under key.
+func (l *latencies) rec(key latKey, d time.Duration) {
+	l.mu.Lock()
+	h := l.m[key]
+	if h == nil {
+		if l.m == nil {
+			l.m = make(map[latKey]*obs.Histogram)
+		}
+		h = &obs.Histogram{}
+		l.m[key] = h
+	}
+	l.mu.Unlock()
+	h.RecordDuration(d)
+}
+
+// snapshot returns the series in deterministic key order.
+func (l *latencies) snapshot() ([]latKey, []*obs.Histogram) {
+	l.mu.Lock()
+	keys := make([]latKey, 0, len(l.m))
+	for k := range l.m {
+		keys = append(keys, k)
+	}
+	l.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.endpoint != b.endpoint {
+			return a.endpoint < b.endpoint
+		}
+		if a.db != b.db {
+			return a.db < b.db
+		}
+		return a.outcome < b.outcome
+	})
+	hs := make([]*obs.Histogram, len(keys))
+	l.mu.Lock()
+	for i, k := range keys {
+		hs[i] = l.m[k]
+	}
+	l.mu.Unlock()
+	return keys, hs
+}
+
+// obsWriter wraps the ResponseWriter to capture the response status for
+// outcome classification, and carries the request's database label (tagged
+// by the handler once the database resolves, so unknown names never mint
+// label values).
+type obsWriter struct {
+	http.ResponseWriter
+	status int
+	db     string
+}
+
+func (w *obsWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *obsWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// Flush forwards to the underlying writer so NDJSON streaming keeps its
+// flush-per-row behavior through the wrapper.
+func (w *obsWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// tagDB labels the in-flight request's latency series with the resolved
+// database name. Handlers call it only after the registry lookup succeeds.
+func tagDB(w http.ResponseWriter, db string) {
+	if ow, ok := w.(*obsWriter); ok {
+		ow.db = db
+	}
+}
+
+// outcomeOf classifies a response status for the latency outcome label.
+func outcomeOf(status int) string {
+	switch {
+	case status == http.StatusGatewayTimeout:
+		return "deadline"
+	case status >= 500:
+		return "error"
+	case status >= 400:
+		return "client_error"
+	default:
+		return "ok"
+	}
+}
+
+// observe wraps a search handler with the latency/logging/tracing layer:
+// it times the request, classifies the outcome off the captured status,
+// records the endpoint × db × outcome histogram, emits one structured log
+// line per request, and — when the duration crosses the slow-query
+// threshold — dumps the request's span tree at warning level. The
+// slow-query tracer rides the request context (obs.WithTracer), the same
+// channel the "trace" request field uses, so the engine needs no
+// per-request Options change.
+func (s *Server) observe(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ow := &obsWriter{ResponseWriter: w}
+		var tr *obs.Tracer
+		if s.cfg.SlowQuery > 0 && s.cfg.Logger != nil {
+			tr = obs.NewTracer()
+			r = r.WithContext(obs.WithTracer(r.Context(), tr))
+		}
+		start := time.Now()
+		h(ow, r)
+		d := time.Since(start)
+		if ow.status == 0 {
+			// Nothing was written: a disconnected client's search ended
+			// with nobody listening.
+			ow.status = http.StatusOK
+		}
+		outcome := outcomeOf(ow.status)
+		s.lat.rec(latKey{endpoint: endpoint, db: ow.db, outcome: outcome}, d)
+		if s.cfg.Logger == nil {
+			return
+		}
+		s.cfg.Logger.Info("request",
+			"endpoint", endpoint, "db", ow.db, "status", ow.status,
+			"outcome", outcome, "dur_ms", float64(d.Microseconds())/1e3)
+		if s.cfg.SlowQuery > 0 && d >= s.cfg.SlowQuery {
+			s.cfg.Logger.Warn("slow query",
+				"endpoint", endpoint, "db", ow.db, "status", ow.status,
+				"dur_ms", float64(d.Microseconds())/1e3,
+				"threshold_ms", float64(s.cfg.SlowQuery.Microseconds())/1e3,
+				"trace", "\n"+obs.RenderTree(tr.Tree()))
+		}
+	}
+}
+
+// requestTracer resolves the tracer for a handler that was asked to return
+// a span tree ("trace": true): the context tracer when the slow-query
+// layer already installed one, a fresh context-injected tracer otherwise.
+// The returned request must be used for the search context so the tracer
+// reaches the engine.
+func requestTracer(r *http.Request, want bool) (*obs.Tracer, *http.Request) {
+	if tr := obs.FromContext(r.Context()); tr != nil {
+		return tr, r
+	}
+	if !want {
+		return nil, r
+	}
+	tr := obs.NewTracer()
+	return tr, r.WithContext(obs.WithTracer(r.Context(), tr))
+}
+
+// traceOut returns the span forest to attach to a response, nil unless the
+// request asked for it.
+func traceOut(tr *obs.Tracer, want bool) []*obs.SpanTree {
+	if !want || tr == nil {
+		return nil
+	}
+	return tr.Tree()
+}
+
+// handleMetrics answers GET /metrics in the Prometheus text exposition
+// format (0.0.4), stdlib-rendered: server counters, the in-flight gauge,
+// request-duration histograms per endpoint × db × outcome, each database's
+// engine histograms (node-join wall time, planner estimate quality), and
+// Go runtime health.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	obs.WriteHeader(w, "mq_requests_total", "Admitted search requests by endpoint.", "counter")
+	obs.WriteSample(w, "mq_requests_total", obs.Label("endpoint", "query"), float64(s.metrics.queries.Load()))
+	obs.WriteSample(w, "mq_requests_total", obs.Label("endpoint", "decide"), float64(s.metrics.decisions.Load()))
+	obs.WriteSample(w, "mq_requests_total", obs.Label("endpoint", "stream"), float64(s.metrics.streams.Load()))
+
+	counters := []struct {
+		name, help string
+		v          uint64
+	}{
+		{"mq_rejected_total", "Requests rejected with 429 (admission semaphore full).", s.metrics.rejected.Load()},
+		{"mq_db_loads_total", "Databases loaded or replaced.", s.metrics.dbLoads.Load()},
+		{"mq_db_deltas_total", "Incremental deltas applied.", s.metrics.dbDeltas.Load()},
+		{"mq_prep_cache_hits_total", "Prepared-metaquery cache hits.", s.metrics.cacheHits.Load()},
+		{"mq_prep_cache_misses_total", "Prepared-metaquery cache misses.", s.metrics.cacheMisses.Load()},
+		{"mq_stream_rows_total", "NDJSON answer rows written.", s.metrics.streamRows.Load()},
+		{"mq_streams_cut_total", "Streams ended early by disconnect or deadline.", s.metrics.streamsCut.Load()},
+		{"mq_deadline_hits_total", "Requests ended by their search deadline.", s.metrics.deadlineHits.Load()},
+		{"mq_answers_served_total", "Answers returned by /v1/query.", s.metrics.answersServed.Load()},
+	}
+	for _, c := range counters {
+		obs.WriteHeader(w, c.name, c.help, "counter")
+		obs.WriteSample(w, c.name, "", float64(c.v))
+	}
+
+	obs.WriteHeader(w, "mq_in_flight", "Currently executing search requests.", "gauge")
+	obs.WriteSample(w, "mq_in_flight", "", float64(s.metrics.inFlight.Load()))
+
+	keys, hists := s.lat.snapshot()
+	if len(keys) > 0 {
+		obs.WriteHeader(w, "mq_request_duration_seconds",
+			"Search request latency by endpoint, database and outcome.", "histogram")
+		for i, k := range keys {
+			labels := obs.Labels(
+				obs.Label("endpoint", k.endpoint),
+				obs.Label("db", k.db),
+				obs.Label("outcome", k.outcome))
+			obs.WriteHistogram(w, "mq_request_duration_seconds", labels, hists[i].Snapshot(), 1e9)
+		}
+	}
+
+	names := s.reg.names()
+	obs.WriteHeader(w, "mq_db_tuples", "Tuples per registered database.", "gauge")
+	for _, name := range names {
+		if d, ok := s.reg.get(name); ok {
+			obs.WriteSample(w, "mq_db_tuples", obs.Label("db", name), float64(d.eng.Database().Size()))
+		}
+	}
+	wroteJoin, wroteRatio := false, false
+	for _, name := range names {
+		d, ok := s.reg.get(name)
+		if !ok {
+			continue
+		}
+		m := d.eng.Metrics()
+		if m == nil {
+			continue
+		}
+		if !wroteJoin {
+			obs.WriteHeader(w, "mq_node_join_duration_seconds",
+				"Wall time of executed (cache-miss) decomposition node joins.", "histogram")
+			wroteJoin = true
+		}
+		obs.WriteHistogram(w, "mq_node_join_duration_seconds", obs.Label("db", name), m.NodeJoin.Snapshot(), 1e9)
+	}
+	for _, name := range names {
+		d, ok := s.reg.get(name)
+		if !ok {
+			continue
+		}
+		m := d.eng.Metrics()
+		if m == nil {
+			continue
+		}
+		if !wroteRatio {
+			obs.WriteHeader(w, "mq_node_join_est_actual_ratio",
+				"Planner estimate quality per executed node join: actual/estimated output rows (1 = perfect).", "histogram")
+			wroteRatio = true
+		}
+		obs.WriteHistogram(w, "mq_node_join_est_actual_ratio", obs.Label("db", name), m.EstActualRatio.Snapshot(), 1000)
+	}
+
+	rt := obs.ReadRuntimeHealth()
+	obs.WriteHeader(w, "go_goroutines", "Live goroutines.", "gauge")
+	obs.WriteSample(w, "go_goroutines", "", float64(rt.Goroutines))
+	obs.WriteHeader(w, "go_heap_inuse_bytes", "Bytes of live heap objects.", "gauge")
+	obs.WriteSample(w, "go_heap_inuse_bytes", "", float64(rt.HeapBytes))
+	obs.WriteHeader(w, "go_gc_cycles_total", "Completed GC cycles.", "counter")
+	obs.WriteSample(w, "go_gc_cycles_total", "", float64(rt.GCCycles))
+	obs.WriteHeader(w, "go_gc_pause_seconds_total", "Cumulative GC pause time.", "counter")
+	obs.WriteSample(w, "go_gc_pause_seconds_total", "", rt.GCPauseTotalS)
+}
+
+// mountPprof registers the net/http/pprof handlers on the server mux.
+// Explicit registration (rather than the package's init side effect on
+// http.DefaultServeMux) keeps the profiling surface behind Config.
+func (s *Server) mountPprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

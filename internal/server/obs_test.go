@@ -1,0 +1,334 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promLine matches one non-comment line of the Prometheus text exposition
+// format 0.0.4: metric name, optional label list, and a float value.
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? ` +
+		`(-?[0-9.e+-]+|\+Inf|NaN)$`)
+
+// promComment matches # HELP and # TYPE lines.
+var promComment = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestMetricsExposition serves a few requests and validates the /metrics
+// scrape: every line parses under the exposition grammar, the request
+// latency histogram carries the endpoint × db × outcome labels, and the
+// engine's node-join histograms are exported per database.
+func TestMetricsExposition(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.LoadDatabase("fig1", figure1DB())
+
+	if code, body := postJSON(t, ts.URL+"/v1/query", searchRequest{
+		DB: "fig1", Query: "R(X,Z) <- P(X,Y), Q(Y,Z)", Type: 0,
+	}); code != http.StatusOK {
+		t.Fatalf("query status %d: %s", code, body)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/decide", decideRequest{
+		DB: "fig1", Query: "R(X,Z) <- P(X,Y), Q(Y,Z)", Index: "cnf", K: "1/2",
+	}); code != http.StatusOK {
+		t.Fatalf("decide status %d", code)
+	}
+	// A missing database must classify as client_error without minting a
+	// db label value.
+	if code, _ := postJSON(t, ts.URL+"/v1/query", searchRequest{
+		DB: "nope", Query: "R(X,Z) <- P(X,Y), Q(Y,Z)",
+	}); code != http.StatusNotFound {
+		t.Fatalf("unknown-db status %d", code)
+	}
+
+	body := scrape(t, ts.URL+"/metrics")
+	for i, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !promComment.MatchString(line) {
+				t.Fatalf("line %d: bad comment %q", i+1, line)
+			}
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("line %d: bad sample %q", i+1, line)
+		}
+	}
+	for _, want := range []string{
+		`mq_requests_total{endpoint="query"} 2`,
+		`mq_requests_total{endpoint="decide"} 1`,
+		`mq_request_duration_seconds_bucket{endpoint="query",db="fig1",outcome="ok",le="+Inf"} 1`,
+		`mq_request_duration_seconds_bucket{endpoint="query",db="",outcome="client_error",le="+Inf"} 1`,
+		`mq_request_duration_seconds_count{endpoint="decide",db="fig1",outcome="ok"} 1`,
+		`mq_node_join_duration_seconds_bucket{db="fig1",le="+Inf"}`,
+		`mq_node_join_est_actual_ratio_count{db="fig1"}`,
+		`mq_db_tuples{db="fig1"} 5`,
+		"go_goroutines ",
+		"go_heap_inuse_bytes ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+// TestTraceResponses checks the "trace": true request field end to end:
+// /v1/query and /v1/decide attach a span forest whose node-join spans
+// carry estimate-vs-actual row counts, and /v1/stream attaches it to the
+// trailer line.
+func TestTraceResponses(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.LoadDatabase("fig1", figure1DB())
+
+	findJoins := func(t *testing.T, trace []*spanNode) []*spanNode {
+		t.Helper()
+		var joins []*spanNode
+		var walk func(n *spanNode)
+		walk = func(n *spanNode) {
+			if n.Name == "node-join" {
+				joins = append(joins, n)
+			}
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		for _, n := range trace {
+			walk(n)
+		}
+		return joins
+	}
+
+	code, body := postJSON(t, ts.URL+"/v1/query", searchRequest{
+		DB: "fig1", Query: "R(X,Z) <- P(X,Y), Q(Y,Z)", Type: 0, Trace: true,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("query status %d: %s", code, body)
+	}
+	var qr struct {
+		Answers []answerJSON `json:"answers"`
+		Trace   []*spanNode  `json:"trace"`
+	}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Trace) == 0 {
+		t.Fatalf("query response has no trace: %s", body)
+	}
+	joins := findJoins(t, qr.Trace)
+	if len(joins) == 0 {
+		t.Fatalf("trace has no node-join spans: %s", body)
+	}
+	for _, j := range joins {
+		if j.Attrs["est_rows"] == "" || j.Attrs["rows"] == "" {
+			t.Fatalf("node-join span missing est_rows/rows: %v", j.Attrs)
+		}
+	}
+
+	code, body = postJSON(t, ts.URL+"/v1/decide", decideRequest{
+		DB: "fig1", Query: "R(X,Z) <- P(X,Y), Q(Y,Z)", Index: "cnf", K: "1/2", Trace: true,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("decide status %d: %s", code, body)
+	}
+	var dr struct {
+		Yes   bool        `json:"yes"`
+		Trace []*spanNode `json:"trace"`
+	}
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if len(dr.Trace) == 0 {
+		t.Fatalf("decide response has no trace: %s", body)
+	}
+	if len(findJoins(t, dr.Trace)) == 0 {
+		t.Fatalf("decide trace has no node-join spans: %s", body)
+	}
+
+	// Untraced requests must not pay for (or leak) a trace.
+	code, body = postJSON(t, ts.URL+"/v1/decide", decideRequest{
+		DB: "fig1", Query: "R(X,Z) <- P(X,Y), Q(Y,Z)", Index: "cnf", K: "1/2",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("decide status %d: %s", code, body)
+	}
+	if strings.Contains(string(body), `"trace"`) {
+		t.Fatalf("untraced decide leaked a trace: %s", body)
+	}
+
+	// Stream: the trailer (last NDJSON line) carries the trace.
+	code, body = postJSON(t, ts.URL+"/v1/stream", searchRequest{
+		DB: "fig1", Query: "R(X,Z) <- P(X,Y), Q(Y,Z)", Type: 0, Trace: true,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("stream status %d: %s", code, body)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	var trailer struct {
+		Status string      `json:"status"`
+		Trace  []*spanNode `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &trailer); err != nil {
+		t.Fatalf("trailer: %v", err)
+	}
+	if trailer.Status != "ok" || len(trailer.Trace) == 0 {
+		t.Fatalf("stream trailer missing trace: %s", lines[len(lines)-1])
+	}
+}
+
+// spanNode mirrors obs.SpanTree's wire form for response assertions.
+type spanNode struct {
+	Name     string            `json:"name"`
+	Attrs    map[string]string `json:"attrs"`
+	Children []*spanNode       `json:"children"`
+}
+
+// TestSlowQueryLogging sets a zero-distance slow threshold and checks that
+// every request logs one structured line and slow ones add a warning with
+// the rendered span tree.
+func TestSlowQueryLogging(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	s, ts := newTestServer(t, Config{Logger: logger, SlowQuery: time.Nanosecond})
+	s.LoadDatabase("fig1", figure1DB())
+
+	if code, body := postJSON(t, ts.URL+"/v1/query", searchRequest{
+		DB: "fig1", Query: "R(X,Z) <- P(X,Y), Q(Y,Z)", Type: 0,
+	}); code != http.StatusOK {
+		t.Fatalf("query status %d: %s", code, body)
+	}
+	logs := buf.String()
+	if !strings.Contains(logs, `msg=request`) || !strings.Contains(logs, `endpoint=query`) {
+		t.Fatalf("no request log line:\n%s", logs)
+	}
+	if !strings.Contains(logs, `msg="slow query"`) {
+		t.Fatalf("no slow-query warning:\n%s", logs)
+	}
+	if !strings.Contains(logs, "findrules") || !strings.Contains(logs, "node-join") {
+		t.Fatalf("slow-query dump missing span tree:\n%s", logs)
+	}
+}
+
+// TestLoadDirAndConfig drives the CSV-directory registration path (the
+// one mqserve -db uses) and the effective-config accessor.
+func TestLoadDirAndConfig(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"citizen.csv":  "john,italy\n",
+		"language.csv": "italy,italian\n",
+		"speaks.csv":   "john,italian\n",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, ts := newTestServer(t, Config{SlowQuery: time.Second})
+	if err := s.LoadDir("fig1", dir); err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if err := s.LoadDir("bad", filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("LoadDir on a missing directory succeeded")
+	}
+	if code, body := postJSON(t, ts.URL+"/v1/query", searchRequest{
+		DB: "fig1", Query: "R(X,Z) <- P(X,Y), Q(Y,Z)", Type: 0,
+	}); code != http.StatusOK {
+		t.Fatalf("query over LoadDir database: status %d: %s", code, body)
+	}
+	cfg := s.Config()
+	if cfg.SlowQuery != time.Second || cfg.MaxInFlight <= 0 {
+		t.Fatalf("Config() not defaulted/propagated: %+v", cfg)
+	}
+}
+
+// TestPprofGate checks that the pprof surface exists only behind the
+// config switch.
+func TestPprofGate(t *testing.T) {
+	_, off := newTestServer(t, Config{})
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof mounted without EnablePprof")
+	}
+
+	_, on := newTestServer(t, Config{EnablePprof: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d with EnablePprof", resp.StatusCode)
+	}
+}
+
+// TestStatsLatencyAndRuntime checks the /v1/stats additions: runtime
+// health and per-endpoint latency percentiles (the server side of the
+// mqbench E23 cross-check).
+func TestStatsLatencyAndRuntime(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.LoadDatabase("fig1", figure1DB())
+	for i := 0; i < 3; i++ {
+		if code, body := postJSON(t, ts.URL+"/v1/query", searchRequest{
+			DB: "fig1", Query: "R(X,Z) <- P(X,Y), Q(Y,Z)", Type: 0,
+		}); code != http.StatusOK {
+			t.Fatalf("query status %d: %s", code, body)
+		}
+	}
+	st := getJSON[Stats](t, ts.URL+"/v1/stats")
+	if st.Runtime.Goroutines <= 0 || st.Runtime.HeapBytes == 0 {
+		t.Fatalf("runtime health not populated: %+v", st.Runtime)
+	}
+	if len(st.LatencyByEndpoint) == 0 {
+		t.Fatalf("no per-endpoint latency: %+v", st)
+	}
+	q := st.LatencyByEndpoint[0]
+	if q.Endpoint != "query" || q.Count != 3 {
+		t.Fatalf("query latency summary wrong: %+v", q)
+	}
+	if q.P50MS <= 0 || q.P99MS < q.P50MS {
+		t.Fatalf("implausible percentiles: %+v", q)
+	}
+	if len(st.Latency) == 0 || st.Latency[0].Outcome != "ok" {
+		t.Fatalf("per-series latency missing: %+v", st.Latency)
+	}
+
+	// /debug renders the same numbers as text.
+	resp, err := http.Get(ts.URL + "/debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "latency query") || !strings.Contains(string(body), "goroutines") {
+		t.Fatalf("/debug missing latency/runtime:\n%s", body)
+	}
+}

@@ -72,9 +72,13 @@ func (s *Server) LoadDir(name, dir string) error {
 
 // LoadDatabase registers db under name, replacing any previous engine of
 // that name. The server takes ownership of db: it must not be modified
-// afterwards (the Engine snapshots it at construction).
+// afterwards (the Engine snapshots it at construction). Engine metrics are
+// enabled on registration so /metrics exposes every database's node-join
+// histograms.
 func (s *Server) LoadDatabase(name string, db *relation.Database) {
-	s.reg.put(name, engine.NewEngine(db), s.cfg.PrepCacheSize)
+	eng := engine.NewEngine(db)
+	eng.EnableMetrics()
+	s.reg.put(name, eng, s.cfg.PrepCacheSize)
 	s.metrics.dbLoads.Add(1)
 }
 

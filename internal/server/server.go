@@ -17,6 +17,16 @@
 //	GET  /v1/db        list the registered databases
 //	GET  /v1/stats     machine-readable server/cache/engine statistics
 //	GET  /debug        the same statistics as human-readable text
+//	GET  /metrics      Prometheus text exposition (latency histograms,
+//	                   counters, engine histograms, Go runtime health)
+//	GET  /debug/pprof/ net/http/pprof profiles (only with Config.EnablePprof)
+//
+// Search requests may set "trace": true to receive the execution's span
+// tree (epoch binding, node joins with estimate-vs-actual rows, parallel
+// chunks, approx sampling) in the response — /v1/query and /v1/decide
+// attach it to the JSON document, /v1/stream to the trailer line. With
+// Config.SlowQuery set, requests slower than the threshold dump the same
+// tree to the structured log.
 //
 // The decision and enumeration handlers run the exact same Prepared paths
 // internal/diff verifies against the brute-force oracle; the server adds
@@ -27,6 +37,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -57,6 +68,18 @@ type Config struct {
 	// RetryAfter is the value of the Retry-After header on 429 responses,
 	// in seconds. Default 1.
 	RetryAfter int
+
+	// Logger, when non-nil, receives one structured line per search
+	// request (endpoint, database, status, outcome, duration) and the
+	// slow-query warnings. nil disables request logging.
+	Logger *slog.Logger
+	// SlowQuery, when positive (and Logger is set), traces every search
+	// request and dumps the span tree of any request slower than this
+	// threshold at warning level.
+	SlowQuery time.Duration
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/.
+	// Off by default: profiling endpoints expose process internals.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +136,7 @@ type Server struct {
 	sem     chan struct{}
 	mux     *http.ServeMux
 	metrics metrics
+	lat     latencies
 
 	// Test hooks (nil outside tests): holdSearch blocks while a semaphore
 	// slot is held, making saturation deterministic; streamSent observes
@@ -133,14 +157,18 @@ func New(cfg Config) *Server {
 		sem: make(chan struct{}, cfg.MaxInFlight),
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/query", s.admitted(s.handleQuery, &s.metrics.queries))
-	s.mux.HandleFunc("POST /v1/decide", s.admitted(s.handleDecide, &s.metrics.decisions))
-	s.mux.HandleFunc("POST /v1/stream", s.admitted(s.handleStream, &s.metrics.streams))
+	s.mux.HandleFunc("POST /v1/query", s.observe("query", s.admitted(s.handleQuery, &s.metrics.queries)))
+	s.mux.HandleFunc("POST /v1/decide", s.observe("decide", s.admitted(s.handleDecide, &s.metrics.decisions)))
+	s.mux.HandleFunc("POST /v1/stream", s.observe("stream", s.admitted(s.handleStream, &s.metrics.streams)))
 	s.mux.HandleFunc("POST /v1/db/{name}", s.handleLoadDB)
 	s.mux.HandleFunc("PATCH /v1/db/{name}", s.handleApplyDB)
 	s.mux.HandleFunc("GET /v1/db", s.handleListDB)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /debug", s.handleDebug)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		s.mountPprof()
+	}
 	return s
 }
 

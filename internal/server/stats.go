@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+
+	"github.com/mqgo/metaquery/internal/obs"
 )
 
 // Stats is a point-in-time snapshot of the server's cumulative counters
@@ -29,7 +31,43 @@ type Stats struct {
 	DeadlineHits  uint64 `json:"deadline_hits"`
 	AnswersServed uint64 `json:"answers_served"`
 
+	// Runtime is the Go runtime health snapshot (goroutines, live heap,
+	// GC cycles and cumulative pause time).
+	Runtime obs.RuntimeHealth `json:"runtime"`
+	// Latency reports request-latency percentiles per endpoint × database
+	// × outcome series; LatencyByEndpoint merges each endpoint's series
+	// into one overall distribution (the cross-check surface for client-
+	// side measurements, e.g. mqbench -serve).
+	Latency           []LatencyStats `json:"latency,omitempty"`
+	LatencyByEndpoint []LatencyStats `json:"latency_by_endpoint,omitempty"`
+
 	Databases []DBStats `json:"databases"`
+}
+
+// LatencyStats reports one latency series' percentiles in milliseconds.
+// The histogram buckets are log-spaced, so each percentile is an upper
+// bound within 25% of the true order statistic.
+type LatencyStats struct {
+	Endpoint string  `json:"endpoint"`
+	DB       string  `json:"db,omitempty"`
+	Outcome  string  `json:"outcome,omitempty"`
+	Count    uint64  `json:"count"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	P99MS    float64 `json:"p99_ms"`
+}
+
+// latencyStats folds one histogram into the wire form.
+func latencyStats(endpoint, db, outcome string, h *obs.Histogram) LatencyStats {
+	return LatencyStats{
+		Endpoint: endpoint,
+		DB:       db,
+		Outcome:  outcome,
+		Count:    h.Count(),
+		P50MS:    h.QuantileSeconds(0.50) * 1e3,
+		P95MS:    h.QuantileSeconds(0.95) * 1e3,
+		P99MS:    h.QuantileSeconds(0.99) * 1e3,
+	}
 }
 
 // DBStats reports one registered database and its prepared-cache counters.
@@ -60,6 +98,23 @@ func (s *Server) Stats() Stats {
 	}
 	if total := st.CacheHits + st.CacheMisses; total > 0 {
 		st.CacheHitRate = float64(st.CacheHits) / float64(total)
+	}
+	st.Runtime = obs.ReadRuntimeHealth()
+	keys, hists := s.lat.snapshot()
+	merged := map[string]*obs.Histogram{}
+	var endpoints []string
+	for i, k := range keys {
+		st.Latency = append(st.Latency, latencyStats(k.endpoint, k.db, k.outcome, hists[i]))
+		m := merged[k.endpoint]
+		if m == nil {
+			m = &obs.Histogram{}
+			merged[k.endpoint] = m
+			endpoints = append(endpoints, k.endpoint)
+		}
+		m.Merge(hists[i])
+	}
+	for _, ep := range endpoints {
+		st.LatencyByEndpoint = append(st.LatencyByEndpoint, latencyStats(ep, "", "", merged[ep]))
 	}
 	for _, name := range s.reg.names() {
 		d, ok := s.reg.get(name)
@@ -96,6 +151,12 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "  deadline hits   %d\n", st.DeadlineHits)
 	fmt.Fprintf(&b, "  answers served  %d\n", st.AnswersServed)
 	fmt.Fprintf(&b, "  prep cache      %d hits / %d misses (rate %.3f)\n", st.CacheHits, st.CacheMisses, st.CacheHitRate)
+	fmt.Fprintf(&b, "  runtime         %d goroutines, %.1f MiB heap, %d GC cycles (pause %.3fs)\n",
+		st.Runtime.Goroutines, float64(st.Runtime.HeapBytes)/(1<<20), st.Runtime.GCCycles, st.Runtime.GCPauseTotalS)
+	for _, l := range st.LatencyByEndpoint {
+		fmt.Fprintf(&b, "  latency %-8s n=%d p50=%.2fms p95=%.2fms p99=%.2fms\n",
+			l.Endpoint, l.Count, l.P50MS, l.P95MS, l.P99MS)
+	}
 	fmt.Fprintf(&b, "  databases       %d (loads %d, deltas %d)\n", len(st.Databases), st.DBLoads, st.DBDeltas)
 	for _, d := range st.Databases {
 		fmt.Fprintf(&b, "    %-16s %d relations, %d tuples; cache %d/%d (h%d m%d e%d)\n",

@@ -1,0 +1,50 @@
+package metaquery
+
+import (
+	"context"
+
+	"github.com/mqgo/metaquery/internal/engine"
+	"github.com/mqgo/metaquery/internal/obs"
+)
+
+// This file re-exports the observability layer: execution tracing
+// (span trees of epoch binding, node joins with estimate-vs-actual row
+// counts, parallel worker chunks, approx sampling) and the engine's
+// lock-free execution histograms.
+//
+//	tr := metaquery.NewTracer()
+//	answers, _, err := prep.FindRulesStats(metaquery.WithTracer(ctx, tr))
+//	fmt.Print(metaquery.RenderTree(tr.Tree()))
+//
+// A Tracer can alternatively be fixed for every execution of a Prepared
+// through Options.Tracer. The nil default is the zero-allocation disabled
+// tracer: untraced runs pay a nil check per instrumentation site.
+
+// Tracer records an execution's span tree. Safe for concurrent use; nil is
+// the disabled tracer.
+type Tracer = obs.Tracer
+
+// SpanTree is one node of a reconstructed trace (Tracer.Tree), with
+// microsecond offsets and string attributes.
+type SpanTree = obs.SpanTree
+
+// Histogram is a lock-free log-bucketed histogram with mergeable
+// snapshots and quantile estimates (each within 25% of the true order
+// statistic).
+type Histogram = obs.Histogram
+
+// EngineMetrics are an Engine's cumulative execution histograms
+// (Engine.EnableMetrics / Engine.Metrics): node-join wall time and
+// planner estimate-vs-actual row ratios.
+type EngineMetrics = engine.Metrics
+
+// NewTracer returns an enabled tracer with the default span cap.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// WithTracer attaches a tracer to ctx: executions under this context
+// record their spans into it without re-preparing (the alternative to
+// Options.Tracer for per-run tracing on a shared Prepared).
+func WithTracer(ctx context.Context, tr *Tracer) context.Context { return obs.WithTracer(ctx, tr) }
+
+// RenderTree renders a span forest as indented text, one span per line.
+func RenderTree(roots []*SpanTree) string { return obs.RenderTree(roots) }

@@ -1,0 +1,51 @@
+package metaquery
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestPublicTracing exercises the observability facade end to end: a
+// public-API tracer attached via WithTracer records a run's span tree,
+// RenderTree renders it, and the engine's execution histograms are
+// reachable through the EngineMetrics alias.
+func TestPublicTracing(t *testing.T) {
+	db := speaksDB()
+	eng := NewEngine(db)
+	var m *EngineMetrics = eng.EnableMetrics()
+	prep, err := eng.Prepare(MustParse("R(X,Z) <- P(X,Y), Q(Y,Z)"), Options{Type: Type0})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := NewTracer()
+	if _, err := prep.FindRules(WithTracer(context.Background(), tr)); err != nil {
+		t.Fatal(err)
+	}
+	roots := tr.Tree()
+	if len(roots) == 0 {
+		t.Fatal("traced run recorded no spans")
+	}
+	rendered := RenderTree(roots)
+	for _, want := range []string{"findrules", "node-join", "est_rows="} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("rendered trace missing %q:\n%s", want, rendered)
+		}
+	}
+	if m.NodeJoin.Count() == 0 {
+		t.Fatal("NodeJoin histogram empty after a traced run")
+	}
+	if s := m.NodeJoin.QuantileSeconds(0.5); s <= 0 {
+		t.Fatalf("p50 node-join wall = %v, want > 0", s)
+	}
+
+	// An untraced run on the same Prepared records nothing new.
+	before := len(tr.Tree())
+	if _, err := prep.FindRules(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Tree()); got != before {
+		t.Fatalf("untraced run grew the trace: %d -> %d roots", before, got)
+	}
+}
